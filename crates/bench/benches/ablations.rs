@@ -1,0 +1,206 @@
+//! Ablation benches for design choices DESIGN.md calls out:
+//!
+//! * chunk size (search locality vs rebalance cost),
+//! * sorted-prefix + bypass insertion vs rebalance-every-insert,
+//! * stack-based descending scan vs lookup-per-key descending on Oak,
+//! * the MapDB-style B-tree comparator (≥10× slower claim, §1.2).
+
+mod common;
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oak_bench::adapter::{BTreeAdapter, OakAdapter};
+use oak_bench::driver::{ingest, run_fixed_ops};
+use oak_bench::workload::{Mix, WorkloadConfig};
+use oak_core::{OakMap, OakMapConfig};
+
+fn wl() -> WorkloadConfig {
+    WorkloadConfig {
+        key_range: 10_000,
+        key_size: 100,
+        value_size: 256,
+        seed: 0xAB1A,
+        distribution: oak_bench::workload::KeyDistribution::Uniform,
+    }
+}
+
+/// Chunk-size sweep: gets against maps built with different capacities.
+fn ablate_chunk_size(c: &mut Criterion) {
+    let wl = wl();
+    let mut g = c.benchmark_group("ablate_chunk_size_get");
+    common::tune(&mut g);
+    g.throughput(Throughput::Elements(1));
+    for cap in [64u32, 256, 1024, 4096] {
+        let map = OakAdapter::new(
+            OakMapConfig::default().chunk_capacity(cap).pool(common::pool()),
+        );
+        ingest(&map, &wl);
+        g.bench_with_input(BenchmarkId::new("get", cap), &cap, |b, _| {
+            b.iter_custom(|iters| run_fixed_ops(&map, &wl, Mix::GetZeroCopy, iters))
+        });
+    }
+    g.finish();
+}
+
+/// Bypass insertion vs always-rebalance: an unsorted-ratio of ~0 forces a
+/// reorganization storm, quantifying what the bypass list saves.
+fn ablate_rebalance_policy(c: &mut Criterion) {
+    let wl = wl();
+    let mut g = c.benchmark_group("ablate_rebalance_policy_put");
+    common::tune(&mut g);
+    g.throughput(Throughput::Elements(1));
+    for (label, ratio) in [("bypass-0.5", 0.5f64), ("eager-0.05", 0.05)] {
+        let mut cfg = OakMapConfig::default().pool(common::pool());
+        cfg.rebalance_unsorted_ratio = ratio;
+        let map = OakAdapter::new(cfg);
+        ingest(&map, &wl);
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| run_fixed_ops(&map, &wl, Mix::PutOnly, iters))
+        });
+    }
+    g.finish();
+}
+
+/// Oak's stack-based descending scan vs a lookup-per-key descent over the
+/// same Oak map (isolating the Figure 2 mechanism itself).
+fn ablate_descend_mechanism(c: &mut Criterion) {
+    let wl = wl();
+    let map = OakMap::with_config(OakMapConfig::default().pool(common::pool()));
+    for id in 0..wl.key_range {
+        map.put(&wl.key(id), &wl.value(id)).unwrap();
+    }
+    let scan = 1_000usize;
+    let from = wl.key(wl.key_range - 1);
+
+    let mut g = c.benchmark_group("ablate_descend");
+    common::tune(&mut g);
+    g.throughput(Throughput::Elements(scan as u64));
+    g.bench_function("stack-based(Fig2)", |b| {
+        b.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                let mut n = 0;
+                map.for_each_descending(Some(&from), None, |_, _| {
+                    n += 1;
+                    n < scan
+                });
+                std::hint::black_box(n);
+            }
+            start.elapsed()
+        })
+    });
+    g.bench_function("lookup-per-key", |b| {
+        b.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                // Emulate the skiplist strategy on Oak: a fresh descending
+                // lookup (index query + position rebuild) for every key,
+                // instead of resuming the Figure 2 stack.
+                let mut cursor = from.clone();
+                let mut n = 0;
+                while n < scan {
+                    let mut stepped = None;
+                    map.for_each_descending(Some(&cursor), None, |k, _| {
+                        if k < cursor.as_slice() {
+                            stepped = Some(k.to_vec());
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    match stepped {
+                        Some(k) => cursor = k,
+                        None => break,
+                    }
+                    n += 1;
+                }
+                std::hint::black_box(&cursor);
+            }
+            start.elapsed()
+        })
+    });
+    g.finish();
+}
+
+/// MapDB-style B-tree vs Oak on gets and puts (the ≥10× gap at scale; at
+/// bench scale the gap is smaller but the ordering must hold).
+fn ablate_btree(c: &mut Criterion) {
+    let wl = wl();
+    let mut g = c.benchmark_group("ablate_btree");
+    common::tune(&mut g);
+    g.throughput(Throughput::Elements(1));
+    let oak = OakAdapter::new(OakMapConfig::default().pool(common::pool()));
+    ingest(&oak, &wl);
+    let btree = BTreeAdapter::new(common::pool());
+    ingest(&btree, &wl);
+    g.bench_function("Oak-get", |b| {
+        b.iter_custom(|iters| run_fixed_ops(&oak, &wl, Mix::GetZeroCopy, iters))
+    });
+    g.bench_function("BTree-get", |b| {
+        b.iter_custom(|iters| run_fixed_ops(&btree, &wl, Mix::GetZeroCopy, iters))
+    });
+    g.bench_function("Oak-put", |b| {
+        b.iter_custom(|iters| run_fixed_ops(&oak, &wl, Mix::PutOnly, iters))
+    });
+    g.bench_function("BTree-put", |b| {
+        b.iter_custom(|iters| run_fixed_ops(&btree, &wl, Mix::PutOnly, iters))
+    });
+    g.finish();
+}
+
+/// Header reclamation policies under delete-heavy churn (the §3.3
+/// extension): throughput cost of generation checks + recycling, against
+/// the default retain-forever manager.
+fn ablate_reclamation(c: &mut Criterion) {
+    use oak_mempool::ReclamationPolicy;
+    let wl = wl();
+    let mut g = c.benchmark_group("ablate_reclamation_churn");
+    common::tune(&mut g);
+    g.throughput(Throughput::Elements(1));
+    for (label, policy) in [
+        ("retain-headers", ReclamationPolicy::RetainHeaders),
+        ("reclaim-headers", ReclamationPolicy::ReclaimHeaders),
+    ] {
+        let map = OakAdapter::new(
+            OakMapConfig::default()
+                .pool(common::pool())
+                .reclamation(policy),
+        );
+        ingest(&map, &wl);
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| run_fixed_ops(&map, &wl, Mix::PutRemoveChurn, iters))
+        });
+    }
+    g.finish();
+}
+
+/// Uniform vs Zipfian key skew on gets (hot chunks stay cached; skew also
+/// concentrates header-lock contention under writes).
+fn ablate_key_skew(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_key_skew_get");
+    common::tune(&mut g);
+    g.throughput(Throughput::Elements(1));
+    for (label, wl) in [
+        ("uniform", wl()),
+        ("zipf-0.99", wl().zipfian(0.99)),
+    ] {
+        let map = OakAdapter::new(OakMapConfig::default().pool(common::pool()));
+        ingest(&map, &wl);
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| run_fixed_ops(&map, &wl, Mix::GetZeroCopy, iters))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_chunk_size,
+    ablate_rebalance_policy,
+    ablate_descend_mechanism,
+    ablate_btree,
+    ablate_reclamation,
+    ablate_key_skew
+);
+criterion_main!(benches);

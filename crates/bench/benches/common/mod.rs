@@ -1,0 +1,48 @@
+//! Shared Criterion setup for the figure benches.
+//!
+//! All benches run at reduced scale so `cargo bench --workspace` finishes
+//! quickly; the `synchrobench` / `fig3` / `fig5` binaries run the
+//! full-scale sweeps. The *relative* ordering of solutions — the shape the
+//! paper reports — is what these regenerate.
+#![allow(dead_code)] // each bench target uses a subset of these helpers
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use oak_bench::adapter::MapAdapter;
+use oak_bench::driver::ingest;
+use oak_bench::scenarios::build;
+use oak_bench::workload::WorkloadConfig;
+use oak_mempool::PoolConfig;
+
+/// Benchmark workload: 20K keys × (100 B + 1 KB), ~22 MB raw.
+pub fn workload() -> WorkloadConfig {
+    WorkloadConfig::small()
+}
+
+/// Pool with ample room for the benchmark dataset plus put churn.
+pub fn pool() -> PoolConfig {
+    PoolConfig {
+        arena_size: 8 << 20,
+        max_arenas: 48,
+    }
+}
+
+/// Builds and pre-fills a competitor.
+pub fn prepared(name: &str) -> Arc<dyn MapAdapter> {
+    let map = build(name, pool(), 4096);
+    ingest(map.as_ref(), &workload());
+    map
+}
+
+/// Applies the common group settings (short, low-sample runs).
+pub fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+}
+
+/// Standard three competitors (plus Oak-Copy where a figure needs it).
+pub const COMPETITORS: &[&str] = &["OakMap", "JavaSkipListMap", "OffHeapList"];
+

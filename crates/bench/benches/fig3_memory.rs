@@ -1,0 +1,49 @@
+//! Figure 3: ingestion under a RAM budget. Criterion measures the
+//! in-budget points; the OOM frontier (who caps first) is asserted in the
+//! integration tests and swept by the `fig3` binary.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oak_bench::memfig::{ingest_oak, ingest_offheap, ingest_onheap, raw_bytes, IngestOutcome};
+use oak_bench::workload::WorkloadConfig;
+
+fn bench(c: &mut Criterion) {
+    let wl = WorkloadConfig {
+        key_range: u64::MAX,
+        key_size: 100,
+        value_size: 1024,
+        seed: 0xF163,
+        distribution: oak_bench::workload::KeyDistribution::Uniform,
+    };
+    let n = 5_000u64;
+    // Generous budget: measures ingestion speed shape (Fig 3a's left side).
+    let budget = raw_bytes(&wl, n) * 4;
+
+    let mut g = c.benchmark_group("fig3_ingest");
+    common::tune(&mut g);
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n));
+    g.bench_with_input(BenchmarkId::new("OakMap", n), &n, |b, &n| {
+        b.iter(|| match ingest_oak(&wl, n, budget) {
+            IngestOutcome::Done { kops } => kops,
+            IngestOutcome::Oom { .. } => panic!("unexpected OOM"),
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("JavaSkipListMap", n), &n, |b, &n| {
+        b.iter(|| match ingest_onheap(&wl, n, budget) {
+            IngestOutcome::Done { kops } => kops,
+            IngestOutcome::Oom { .. } => panic!("unexpected OOM"),
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("OffHeapList", n), &n, |b, &n| {
+        b.iter(|| match ingest_offheap(&wl, n, budget) {
+            IngestOutcome::Done { kops } => kops,
+            IngestOutcome::Oom { .. } => panic!("unexpected OOM"),
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

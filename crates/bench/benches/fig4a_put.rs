@@ -1,0 +1,25 @@
+//! Figure 4a: put-only throughput (Oak vs Skiplist-OnHeap vs
+//! Skiplist-OffHeap). Expected shape: Oak ≥ 2× Skiplist-OnHeap.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oak_bench::driver::run_fixed_ops;
+use oak_bench::workload::Mix;
+
+fn bench(c: &mut Criterion) {
+    let wl = common::workload();
+    let mut g = c.benchmark_group("fig4a_put");
+    common::tune(&mut g);
+    g.throughput(Throughput::Elements(1));
+    for name in common::COMPETITORS {
+        let map = common::prepared(name);
+        g.bench_function(*name, |b| {
+            b.iter_custom(|iters| run_fixed_ops(map.as_ref(), &wl, Mix::PutOnly, iters))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 4c: get-only throughput, including the Oak-Copy legacy curve.
+//! Expected shape: Oak-ZC fastest; Oak-Copy pays a copying penalty.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oak_bench::driver::run_fixed_ops;
+use oak_bench::workload::Mix;
+
+fn bench(c: &mut Criterion) {
+    let wl = common::workload();
+    let mut g = c.benchmark_group("fig4c_get");
+    common::tune(&mut g);
+    g.throughput(Throughput::Elements(1));
+    for name in common::COMPETITORS {
+        let map = common::prepared(name);
+        g.bench_function(*name, |b| {
+            b.iter_custom(|iters| run_fixed_ops(map.as_ref(), &wl, Mix::GetZeroCopy, iters))
+        });
+    }
+    // The legacy copying API on the same Oak structure.
+    let map = common::prepared("Oak-Copy");
+    g.bench_function("Oak-Copy", |b| {
+        b.iter_custom(|iters| run_fixed_ops(map.as_ref(), &wl, Mix::GetCopy, iters))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

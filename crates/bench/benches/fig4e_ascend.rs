@@ -1,0 +1,46 @@
+//! Figure 4e: ascending scans of 1K pairs (scaled from the paper's 10K),
+//! Set API vs Stream API. Expected shape: Oak-stream fastest thanks to
+//! chunk locality.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oak_bench::driver::run_fixed_ops;
+use oak_bench::workload::Mix;
+
+const SCAN: usize = 1_000;
+
+fn bench(c: &mut Criterion) {
+    let wl = common::workload();
+    let mut g = c.benchmark_group("fig4e_ascend_scan");
+    common::tune(&mut g);
+    g.throughput(Throughput::Elements(SCAN as u64));
+    for name in common::COMPETITORS {
+        let map = common::prepared(name);
+        g.bench_function(*name, |b| {
+            b.iter_custom(|iters| {
+                run_fixed_ops(
+                    map.as_ref(),
+                    &wl,
+                    Mix::AscendScan { len: SCAN, stream: false },
+                    iters,
+                )
+            })
+        });
+    }
+    let map = common::prepared("OakMap");
+    g.bench_function("Oak-stream", |b| {
+        b.iter_custom(|iters| {
+            run_fixed_ops(
+                map.as_ref(),
+                &wl,
+                Mix::AscendScan { len: SCAN, stream: true },
+                iters,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 5a: Druid I² ingestion throughput — I²-Oak vs I²-legacy.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oak_bench::druidfig::{generate_tuples, ingest_legacy, ingest_oak};
+use oak_bench::memfig::IngestOutcome;
+
+fn bench(c: &mut Criterion) {
+    let n = 5_000u64;
+    let rows = generate_tuples(n);
+    let budget = 8u64 << 30; // generous: throughput shape only
+
+    let mut g = c.benchmark_group("fig5a_druid_ingest");
+    common::tune(&mut g);
+    g.throughput(Throughput::Elements(n));
+    g.bench_with_input(BenchmarkId::new("I2-Oak", n), &rows, |b, rows| {
+        b.iter(|| match ingest_oak(rows, budget).0 {
+            IngestOutcome::Done { kops } => kops,
+            IngestOutcome::Oom { .. } => panic!("unexpected OOM"),
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("I2-legacy", n), &rows, |b, rows| {
+        b.iter(|| match ingest_legacy(rows, budget).0 {
+            IngestOutcome::Done { kops } => kops,
+            IngestOutcome::Oom { .. } => panic!("unexpected OOM"),
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

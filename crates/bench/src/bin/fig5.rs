@@ -1,0 +1,75 @@
+//! Figure 5 runner: the Druid incremental-index case study.
+//!
+//! ```text
+//! fig5 a [--ram-mb 128] [--tuples 10000,20000,...]   # throughput vs data
+//! fig5 b [--tuples 50000] [--ram-mbs 40,60,...]      # throughput vs RAM
+//! fig5 c [--tuples 10000,30000,50000]                # RAM overhead
+//! fig5 all --quick
+//! ```
+//!
+//! Paper scale: 1M–7M tuples of 1.25 KB, 25–32 GB RAM, single thread.
+
+use oak_bench::druidfig::{bench_schema, fig5a, fig5b, fig5c, raw_bytes};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_list(s: &str) -> Vec<u64> {
+    s.split(',').map(|x| x.parse().expect("number")).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let quick = args.iter().any(|a| a == "--quick");
+    let per_tuple = raw_bytes(&bench_schema(), 1);
+    println!("# tuple raw size ≈ {per_tuple} B (paper: 1.25 KB)");
+
+    if which == "a" || which == "all" {
+        let ram = parse_flag(&args, "--ram-mb")
+            .map(|s| s.parse::<u64>().expect("MB"))
+            .unwrap_or(if quick { 48 } else { 128 })
+            << 20;
+        let counts = parse_flag(&args, "--tuples").map(|s| parse_list(&s)).unwrap_or_else(|| {
+            let full = ram / per_tuple;
+            vec![full / 8, full / 4, full / 2, (full * 3) / 4, full]
+        });
+        println!("# Figure 5a: I² ingestion throughput, RAM = {} MB", ram >> 20);
+        let s = fig5a(ram, &counts);
+        println!("{}", s.to_table());
+        println!("{}", s.to_csv());
+    }
+
+    if which == "b" || which == "all" {
+        let tuples = parse_flag(&args, "--tuples")
+            .map(|s| s.parse::<u64>().expect("tuples"))
+            .unwrap_or(if quick { 10_000 } else { 40_000 });
+        let raw = raw_bytes(&bench_schema(), tuples);
+        let budgets = parse_flag(&args, "--ram-mbs")
+            .map(|s| parse_list(&s).into_iter().map(|m| m << 20).collect::<Vec<_>>())
+            .unwrap_or_else(|| (0..7).map(|i| raw + (i * raw) / 4).collect());
+        println!("# Figure 5b: I² ingestion throughput, dataset = {tuples} tuples");
+        let s = fig5b(tuples, &budgets);
+        println!("{}", s.to_table());
+        println!("{}", s.to_csv());
+    }
+
+    if which == "c" || which == "all" {
+        let counts = parse_flag(&args, "--tuples")
+            .map(|s| parse_list(&s))
+            .unwrap_or_else(|| {
+                if quick {
+                    vec![2_000, 5_000]
+                } else {
+                    vec![10_000, 20_000, 40_000]
+                }
+            });
+        println!("# Figure 5c: RAM utilization (ratio column = bytes / raw)");
+        let s = fig5c(&counts);
+        println!("{}", s.to_table());
+        println!("{}", s.to_csv());
+    }
+}

@@ -1,0 +1,106 @@
+//! The synchrobench-equivalent runner: executes the Figure 4 scenarios for
+//! every competitor and prints a summary.csv-style table (artifact §A.6).
+//!
+//! ```text
+//! synchrobench [--threads 1,2,4] [--size 100000] [--key-size 100]
+//!              [--value-size 1024] [--duration-ms 3000] [--scenario 4a-put]
+//!              [--csv out.csv] [--quick]
+//! ```
+
+use std::time::Duration;
+
+use oak_bench::report::Summary;
+use oak_bench::scenarios::{run_scenario, SCENARIOS};
+use oak_bench::workload::WorkloadConfig;
+use oak_mempool::PoolConfig;
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let threads: Vec<usize> = parse_flag(&args, "--threads")
+        .unwrap_or_else(|| if quick { "1".into() } else { "1,2,4".into() })
+        .split(',')
+        .map(|t| t.parse().expect("thread count"))
+        .collect();
+    let size: u64 = parse_flag(&args, "--size")
+        .map(|s| s.parse().expect("size"))
+        .unwrap_or(if quick { 10_000 } else { 100_000 });
+    let duration = Duration::from_millis(
+        parse_flag(&args, "--duration-ms")
+            .map(|s| s.parse().expect("duration"))
+            .unwrap_or(if quick { 200 } else { 3_000 }),
+    );
+    let workload = WorkloadConfig {
+        key_range: size,
+        key_size: parse_flag(&args, "--key-size")
+            .map(|s| s.parse().expect("key size"))
+            .unwrap_or(100),
+        value_size: parse_flag(&args, "--value-size")
+            .map(|s| s.parse().expect("value size"))
+            .unwrap_or(1024),
+        seed: 0xA110C8ED,
+        distribution: match parse_flag(&args, "--zipf") {
+            Some(theta) => oak_bench::workload::KeyDistribution::Zipfian {
+                theta: theta.parse().expect("zipf theta in (0,1)"),
+            },
+            None => oak_bench::workload::KeyDistribution::Uniform,
+        },
+    };
+    let only = parse_flag(&args, "--scenario");
+
+    // Enough off-heap budget for the dataset plus put churn.
+    let raw = size as u64 * (workload.key_size + workload.value_size + 24) as u64;
+    let pool = PoolConfig::with_budget(8 << 20, (raw as usize * 3).max(64 << 20));
+    let scan_len = if quick { 1_000 } else { 10_000 };
+
+    let mut summary = Summary::new();
+    for scenario in SCENARIOS {
+        if let Some(o) = &only {
+            if !scenario.label.starts_with(o.as_str()) {
+                continue;
+            }
+        }
+        // Scale scan lengths in quick mode.
+        let mut sc = *scenario;
+        sc.mix = match sc.mix {
+            oak_bench::workload::Mix::AscendScan { stream, .. } => {
+                oak_bench::workload::Mix::AscendScan {
+                    len: scan_len,
+                    stream,
+                }
+            }
+            oak_bench::workload::Mix::DescendScan { stream, .. } => {
+                oak_bench::workload::Mix::DescendScan {
+                    len: scan_len,
+                    stream,
+                }
+            }
+            m => m,
+        };
+        run_scenario(
+            &sc,
+            &threads,
+            &workload,
+            pool.clone(),
+            4096,
+            duration,
+            &mut summary,
+            true,
+        );
+    }
+
+    println!("{}", summary.to_table());
+    if let Some(path) = parse_flag(&args, "--csv") {
+        std::fs::write(&path, summary.to_csv()).expect("write csv");
+        eprintln!("wrote {path}");
+    } else {
+        println!("{}", summary.to_csv());
+    }
+}

@@ -1,0 +1,260 @@
+//! Figure 5: the Druid incremental-index case study.
+//!
+//! Fig 5a: single-thread ingestion throughput vs. dataset size under a
+//! fixed RAM budget. Fig 5b: fixed dataset under a varying budget (the
+//! legacy index "cannot run with less than 29 GB" — here, the scaled
+//! equivalent OOMs). Fig 5c: RAM overhead of each index versus the raw
+//! data. Tuples use the current timestamp as the primary dimension, so the
+//! workload is spatially local, and all input is generated in advance —
+//! both as in §6.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use oak_core::{OakError, OakMapConfig};
+use oak_druid::agg::AggSpec;
+use oak_druid::index::{IncrementalIndex, LegacyIndex, OakIndex};
+use oak_druid::row::{DimKind, DimValue, InputRow, Schema};
+use oak_gcheap::{HeapConfig, HeapModel, ManagedHeap};
+use oak_mempool::{AllocError, PoolConfig};
+
+use crate::memfig::IngestOutcome;
+use crate::report::{Row, Summary};
+
+/// The benchmark schema: two string dimensions, one long dimension, and a
+/// rollup tuple of ~1.1 KB (count, sums, min/max, HLL) so tuples are close
+/// to the paper's 1.25 KB.
+pub fn bench_schema() -> Schema {
+    Schema::rollup(
+        vec![
+            ("page".to_string(), DimKind::Str),
+            ("user".to_string(), DimKind::Str),
+            ("status".to_string(), DimKind::Long),
+        ],
+        vec![
+            AggSpec::Count,
+            AggSpec::LongSum(0),
+            AggSpec::DoubleSum(1),
+            AggSpec::DoubleMin(1),
+            AggSpec::DoubleMax(1),
+            AggSpec::HllUniqueDim(1),
+        ],
+    )
+}
+
+/// Generates `n` unique tuples in advance ("in order to measure ingestion
+/// performance in isolation, all the input is generated in advance", §6).
+/// Timestamps advance monotonically — the paper's spatially-local primary
+/// dimension.
+pub fn generate_tuples(n: u64) -> Vec<InputRow> {
+    (0..n)
+        .map(|i| InputRow {
+            timestamp: 1_700_000_000_000 + i as i64,
+            dims: vec![
+                DimValue::Str(format!("page-{}", i % 10_000)),
+                DimValue::Str(format!("user-{}", i % 50_000)),
+                DimValue::Long((i % 7) as i64),
+            ],
+            metrics: vec![(i % 100) as f64, (i % 1_000) as f64 / 10.0],
+        })
+        .collect()
+}
+
+/// Approximate raw bytes for `n` ingested tuples: key plus aggregate tuple.
+pub fn raw_bytes(schema: &Schema, n: u64) -> u64 {
+    n * (schema.key_size() as u64 + schema.agg_state_size() as u64)
+}
+
+/// Ingests into I²-Oak under a total RAM budget.
+pub fn ingest_oak(rows: &[InputRow], ram_budget: u64) -> (IngestOutcome, OakIndex) {
+    let schema = bench_schema();
+    let need = ((raw_bytes(&schema, rows.len() as u64) as f64) * 1.2) as usize + (1 << 20);
+    let arena = 1 << 20;
+    let pool = PoolConfig {
+        arena_size: arena,
+        max_arenas: need.div_ceil(arena).max(2),
+    };
+    let idx = OakIndex::new(schema, OakMapConfig::default().pool(pool.clone()));
+    if (pool.arena_size * pool.max_arenas) as u64 > ram_budget {
+        return (IngestOutcome::Oom { ingested: 0 }, idx);
+    }
+    let start = Instant::now();
+    for (i, row) in rows.iter().enumerate() {
+        match idx.insert(row) {
+            Ok(()) => {}
+            Err(OakError::Alloc(AllocError::PoolExhausted)) => {
+                return (IngestOutcome::Oom { ingested: i as u64 }, idx);
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    (
+        IngestOutcome::Done {
+            kops: rows.len() as f64 / start.elapsed().as_secs_f64() / 1_000.0,
+        },
+        idx,
+    )
+}
+
+/// Ingests into I²-legacy under a simulated JVM heap of the full budget.
+pub fn ingest_legacy(rows: &[InputRow], ram_budget: u64) -> (IngestOutcome, LegacyIndex) {
+    let heap = Arc::new(ManagedHeap::new(HeapConfig::with_capacity(ram_budget)));
+    let idx = LegacyIndex::with_managed_heap(bench_schema(), heap.clone());
+    let start = Instant::now();
+    for (i, row) in rows.iter().enumerate() {
+        idx.insert(row).expect("legacy insert is infallible");
+        // Per-tuple temporaries: dimension objects, boxed aggregator
+        // arguments, key builders.
+        heap.transient(256);
+        if heap.oom() {
+            return (IngestOutcome::Oom { ingested: i as u64 }, idx);
+        }
+    }
+    (
+        IngestOutcome::Done {
+            kops: rows.len() as f64 / start.elapsed().as_secs_f64() / 1_000.0,
+        },
+        idx,
+    )
+}
+
+fn push(summary: &mut Summary, scenario: &str, bench: &str, ram: u64, n: u64, o: IngestOutcome) {
+    let (mops, note) = match o {
+        IngestOutcome::Done { kops } => (kops / 1_000.0, String::new()),
+        IngestOutcome::Oom { ingested } => (0.0, format!("OOM after {ingested}")),
+    };
+    summary.push(Row {
+        scenario: scenario.to_string(),
+        bench: bench.to_string(),
+        heap_bytes: ram,
+        direct_bytes: 0,
+        threads: 1,
+        final_size: n as usize,
+        mops,
+        note,
+    });
+}
+
+/// Figure 5a: throughput vs dataset size at a fixed budget.
+pub fn fig5a(ram_budget: u64, tuple_counts: &[u64]) -> Summary {
+    let mut s = Summary::new();
+    for &n in tuple_counts {
+        let rows = generate_tuples(n);
+        push(&mut s, "5a-druid-ingest", "I2-Oak", ram_budget, n, ingest_oak(&rows, ram_budget).0);
+        push(
+            &mut s,
+            "5a-druid-ingest",
+            "I2-legacy",
+            ram_budget,
+            n,
+            ingest_legacy(&rows, ram_budget).0,
+        );
+    }
+    s
+}
+
+/// Figure 5b: throughput vs RAM budget at a fixed dataset.
+pub fn fig5b(tuples: u64, budgets: &[u64]) -> Summary {
+    let mut s = Summary::new();
+    let rows = generate_tuples(tuples);
+    for &b in budgets {
+        push(&mut s, "5b-druid-ram", "I2-Oak", b, tuples, ingest_oak(&rows, b).0);
+        push(&mut s, "5b-druid-ram", "I2-legacy", b, tuples, ingest_legacy(&rows, b).0);
+    }
+    s
+}
+
+/// One Figure 5c sample: raw vs. index footprints after ingesting `n`
+/// tuples. Returns `(raw, oak_total, legacy_total)` in bytes.
+pub fn fig5c_sample(n: u64) -> (u64, u64, u64) {
+    let rows = generate_tuples(n);
+    let generous = 8u64 << 30;
+    let (_, oak_idx) = ingest_oak(&rows, generous);
+    let (_, legacy_idx) = ingest_legacy(&rows, generous);
+    let raw = raw_bytes(&bench_schema(), n);
+    (raw, oak_idx.footprint().total(), legacy_idx.footprint().total())
+}
+
+/// Figure 5c: RAM utilization rows across tuple counts.
+pub fn fig5c(tuple_counts: &[u64]) -> Summary {
+    let mut s = Summary::new();
+    for &n in tuple_counts {
+        let (raw, oak, legacy) = fig5c_sample(n);
+        for (bench, bytes) in [("RawData", raw), ("I2-Oak", oak), ("I2-legacy", legacy)] {
+            s.push(Row {
+                scenario: "5c-druid-overhead".to_string(),
+                bench: bench.to_string(),
+                heap_bytes: bytes,
+                direct_bytes: 0,
+                threads: 1,
+                final_size: n as usize,
+                mops: bytes as f64 / raw.max(1) as f64, // overhead ratio
+                note: format!("{bytes} bytes"),
+            });
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oak_and_legacy_agree_on_rollups() {
+        let rows = generate_tuples(2_000);
+        let (o1, oak) = ingest_oak(&rows, 8 << 30);
+        let (o2, legacy) = ingest_legacy(&rows, 8 << 30);
+        assert!(matches!(o1, IngestOutcome::Done { .. }));
+        assert!(matches!(o2, IngestOutcome::Done { .. }));
+        assert_eq!(oak.num_keys(), legacy.num_keys());
+        // Total row count via the Count aggregator must equal the input.
+        let mut total_oak = 0i64;
+        oak.scan(i64::MIN / 2, i64::MAX / 2, &mut |_, vals| {
+            if let oak_druid::AggValue::Long(c) = vals[0] {
+                total_oak += c;
+            }
+            true
+        });
+        let mut total_legacy = 0i64;
+        legacy.scan(i64::MIN / 2, i64::MAX / 2, &mut |_, vals| {
+            if let oak_druid::AggValue::Long(c) = vals[0] {
+                total_legacy += c;
+            }
+            true
+        });
+        assert_eq!(total_oak, 2_000);
+        assert_eq!(total_legacy, 2_000);
+    }
+
+    #[test]
+    fn legacy_overhead_exceeds_oak_overhead() {
+        // The Figure 5c shape: I²-Oak's overhead over raw is a few percent;
+        // I²-legacy's is tens of percent.
+        let (raw, oak, legacy) = fig5c_sample(3_000);
+        assert!(raw > 0);
+        let oak_overhead = oak as f64 / raw as f64;
+        let legacy_overhead = legacy as f64 / raw as f64;
+        assert!(
+            legacy_overhead > oak_overhead,
+            "legacy {legacy_overhead:.3} !> oak {oak_overhead:.3}"
+        );
+        assert!(legacy_overhead > 1.10, "legacy {legacy_overhead:.3}");
+    }
+
+    #[test]
+    fn legacy_ooms_where_oak_survives() {
+        let n = 3_000u64;
+        let rows = generate_tuples(n);
+        let raw = raw_bytes(&bench_schema(), n);
+        let budget = (raw as f64 * 1.5) as u64 + (2 << 20);
+        assert!(matches!(
+            ingest_oak(&rows, budget).0,
+            IngestOutcome::Done { .. }
+        ));
+        assert!(matches!(
+            ingest_legacy(&rows, budget).0,
+            IngestOutcome::Oom { .. }
+        ));
+    }
+}

@@ -1,0 +1,23 @@
+//! # oak-bench — synchrobench-equivalent harness for the Oak evaluation
+//!
+//! Reimplements the methodology of the paper's §5.1 and artifact appendix:
+//! uniform key draws from a configurable range, 100 B keys / 1 KB values by
+//! default, an ingestion stage pre-filling 50% of the range with
+//! `putIfAbsent`, then a sustained-rate stage running an operation mix on
+//! symmetric worker threads; output is a `summary.csv`-style table.
+//!
+//! The [`adapter`] module wraps every compared solution behind one trait:
+//! Oak (ZC and Copy), `Skiplist-OnHeap`, `Skiplist-OffHeap`, and the MapDB
+//! stand-in B-tree. [`driver`] runs the stages; [`scenarios`] defines one
+//! entry per paper figure; [`memfig`] and [`druidfig`] build the memory
+//! (Fig 3) and Druid (Fig 5) experiments.
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod driver;
+pub mod druidfig;
+pub mod memfig;
+pub mod report;
+pub mod scenarios;
+pub mod workload;

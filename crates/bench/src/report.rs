@@ -1,0 +1,140 @@
+//! summary.csv-style reporting, following the artifact appendix layout:
+//!
+//! ```text
+//! Scenario, Bench, Heap size, Direct Mem, #Threads, Final Size, Throughput
+//! ```
+
+use std::fmt::Write as _;
+
+/// One row of the summary table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Scenario label, e.g. `4a-put`.
+    pub scenario: String,
+    /// Solution name, e.g. `OakMap`.
+    pub bench: String,
+    /// Simulated on-heap budget (bytes; 0 = unbounded).
+    pub heap_bytes: u64,
+    /// Off-heap budget (bytes; 0 = none).
+    pub direct_bytes: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Map size after ingestion.
+    pub final_size: usize,
+    /// Millions of operations per second (artifact unit).
+    pub mops: f64,
+    /// Free-form note (e.g. `OOM`).
+    pub note: String,
+}
+
+/// Accumulates rows and renders the CSV.
+#[derive(Debug, Default)]
+pub struct Summary {
+    rows: Vec<Row>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// All rows collected so far.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Renders the artifact-style CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("Scenario,Bench,Heap size,Direct Mem,#Threads,Final Size,Throughput,Note\n");
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{:.6},{}",
+                r.scenario,
+                r.bench,
+                human_bytes(r.heap_bytes),
+                human_bytes(r.direct_bytes),
+                r.threads,
+                r.final_size,
+                r.mops,
+                r.note
+            );
+        }
+        out
+    }
+
+    /// Renders an aligned table for the terminal.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{:<28} {:<16} {:>9} {:>9} {:>8} {:>11} {:>12}  {}\n",
+            "Scenario", "Bench", "Heap", "DirectMem", "Threads", "FinalSize", "Mops/s", "Note"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<28} {:<16} {:>9} {:>9} {:>8} {:>11} {:>12.4}  {}",
+                r.scenario,
+                r.bench,
+                human_bytes(r.heap_bytes),
+                human_bytes(r.direct_bytes),
+                r.threads,
+                r.final_size,
+                r.mops,
+                r.note
+            );
+        }
+        out
+    }
+}
+
+/// Formats a byte count the way the artifact's config does (`12g`, `100m`).
+pub fn human_bytes(b: u64) -> String {
+    if b == 0 {
+        "0".to_string()
+    } else if b.is_multiple_of(1 << 30) {
+        format!("{}g", b >> 30)
+    } else if b.is_multiple_of(1 << 20) {
+        format!("{}m", b >> 20)
+    } else {
+        format!("{b}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_layout() {
+        let mut s = Summary::new();
+        s.push(Row {
+            scenario: "4a-put".into(),
+            bench: "OakMap".into(),
+            heap_bytes: 12 << 30,
+            direct_bytes: 20 << 30,
+            threads: 4,
+            final_size: 10_000_000,
+            mops: 1.5,
+            note: String::new(),
+        });
+        let csv = s.to_csv();
+        assert!(csv.starts_with("Scenario,Bench,"));
+        assert!(csv.contains("4a-put,OakMap,12g,20g,4,10000000,1.500000,"));
+        assert!(s.to_table().contains("OakMap"));
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(0), "0");
+        assert_eq!(human_bytes(1 << 30), "1g");
+        assert_eq!(human_bytes(100 << 20), "100m");
+        assert_eq!(human_bytes(1234), "1234");
+    }
+}

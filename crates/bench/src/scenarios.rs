@@ -1,0 +1,190 @@
+//! Figure 4 scenario definitions, named like the artifact's `run.sh`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use oak_core::OakMapConfig;
+use oak_mempool::PoolConfig;
+
+use crate::adapter::{
+    BTreeAdapter, MapAdapter, OakAdapter, OffHeapSkipListAdapter, OnHeapSkipListAdapter,
+};
+use crate::driver::{ingest, sustained};
+use crate::report::{Row, Summary};
+use crate::workload::{Mix, WorkloadConfig};
+
+/// A named Figure-4 scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Artifact-style label (first two characters = the paper figure).
+    pub label: &'static str,
+    /// Operation mix.
+    pub mix: Mix,
+}
+
+/// The scenario table from the artifact appendix (§A.7).
+pub const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        label: "4a-put",
+        mix: Mix::PutOnly,
+    },
+    Scenario {
+        label: "4b-putIfAbsentComputeIfPresent",
+        mix: Mix::ComputeOnly,
+    },
+    Scenario {
+        label: "4c-get-zc",
+        mix: Mix::GetZeroCopy,
+    },
+    Scenario {
+        label: "4c-get-copy",
+        mix: Mix::GetCopy,
+    },
+    Scenario {
+        label: "4d-95Get5Put",
+        mix: Mix::Mixed95,
+    },
+    Scenario {
+        label: "4e-entrySet-ascend",
+        mix: Mix::AscendScan {
+            len: 10_000,
+            stream: false,
+        },
+    },
+    Scenario {
+        label: "4e-entryStreamSet-ascend",
+        mix: Mix::AscendScan {
+            len: 10_000,
+            stream: true,
+        },
+    },
+    Scenario {
+        label: "4f-entrySet-descend",
+        mix: Mix::DescendScan {
+            len: 10_000,
+            stream: false,
+        },
+    },
+    Scenario {
+        label: "4f-entryStreamSet-descend",
+        mix: Mix::DescendScan {
+            len: 10_000,
+            stream: true,
+        },
+    },
+];
+
+/// Which solutions a scenario runs on (Oak-Copy only for `4c-get-copy`,
+/// stream scans only for Oak, per the artifact).
+pub fn competitors_for(label: &str) -> Vec<&'static str> {
+    match label {
+        "4c-get-copy" => vec!["Oak-Copy", "JavaSkipListMap", "OffHeapList"],
+        l if l.contains("StreamSet") => vec!["OakMap"],
+        _ => vec!["OakMap", "JavaSkipListMap", "OffHeapList"],
+    }
+}
+
+/// Builds an adapter by artifact name.
+pub fn build(name: &str, pool: PoolConfig, chunk_capacity: u32) -> Arc<dyn MapAdapter> {
+    let oak_cfg = OakMapConfig::default()
+        .chunk_capacity(chunk_capacity)
+        .pool(pool.clone());
+    match name {
+        "OakMap" => Arc::new(OakAdapter::new(oak_cfg)),
+        "Oak-Copy" => Arc::new(OakAdapter::new_copy_mode(oak_cfg)),
+        "JavaSkipListMap" => Arc::new(OnHeapSkipListAdapter::new()),
+        "OffHeapList" => Arc::new(OffHeapSkipListAdapter::new(pool)),
+        "MapDB-BTree" => Arc::new(BTreeAdapter::new(pool)),
+        other => panic!("unknown competitor {other}"),
+    }
+}
+
+/// Runs one scenario across `threads` for all competitors, appending rows.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario(
+    scenario: &Scenario,
+    threads: &[usize],
+    workload: &WorkloadConfig,
+    pool: PoolConfig,
+    chunk_capacity: u32,
+    duration: Duration,
+    summary: &mut Summary,
+    verbose: bool,
+) {
+    for name in competitors_for(scenario.label) {
+        for &t in threads {
+            let map = build(name, pool.clone(), chunk_capacity);
+            ingest(map.as_ref(), workload);
+            let r = sustained(&map, workload, scenario.mix, t, duration);
+            if verbose {
+                eprintln!(
+                    "{} / {} / {} threads: {:.1} Kops/s",
+                    scenario.label,
+                    name,
+                    t,
+                    r.kops_per_sec()
+                );
+            }
+            summary.push(Row {
+                scenario: scenario.label.to_string(),
+                bench: name.to_string(),
+                heap_bytes: 0,
+                direct_bytes: (pool.arena_size * pool.max_arenas) as u64,
+                threads: t,
+                final_size: r.final_size,
+                mops: r.mops_per_sec(),
+                note: String::new(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_table_covers_figure_4() {
+        let labels: Vec<&str> = SCENARIOS.iter().map(|s| s.label).collect();
+        for fig in ["4a", "4b", "4c", "4d", "4e", "4f"] {
+            assert!(
+                labels.iter().any(|l| l.starts_with(fig)),
+                "figure {fig} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn all_competitors_buildable() {
+        for name in ["OakMap", "Oak-Copy", "JavaSkipListMap", "OffHeapList", "MapDB-BTree"] {
+            let m = build(name, PoolConfig::small(), 64);
+            m.put(b"k", b"v");
+            assert!(m.get_zc(b"k"), "{name}");
+            assert_eq!(m.len(), 1);
+        }
+    }
+
+    #[test]
+    fn smoke_run_one_scenario() {
+        let wl = WorkloadConfig {
+            key_range: 300,
+            key_size: 32,
+            value_size: 64,
+            seed: 3,
+            distribution: crate::workload::KeyDistribution::Uniform,
+        };
+        let mut summary = Summary::new();
+        run_scenario(
+            &SCENARIOS[0],
+            &[1],
+            &wl,
+            PoolConfig::small(),
+            64,
+            Duration::from_millis(20),
+            &mut summary,
+            false,
+        );
+        assert_eq!(summary.rows().len(), 3); // three competitors
+        assert!(summary.rows().iter().all(|r| r.mops > 0.0));
+    }
+}

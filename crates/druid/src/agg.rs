@@ -1,0 +1,379 @@
+//! Rollup aggregators over off-heap state.
+//!
+//! Each aggregator owns a fixed-size slice of the value buffer; `init`
+//! materializes the first row, `fold` accumulates subsequent rows in
+//! place. Because all states are fixed-size, the whole aggregate tuple is
+//! updated by one Oak `compute` lambda with no reallocation — the paper's
+//! "atomic update of multiple aggregates within a single lambda" (§6).
+
+use crate::row::InputRow;
+use crate::sketch::{hll, quantile};
+
+/// An aggregator specification. Metric indexes refer to
+/// [`InputRow::metrics`]; `HllUniqueDim` refers to a dimension position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggSpec {
+    /// Row count.
+    Count,
+    /// Sum of a metric, kept as i64.
+    LongSum(usize),
+    /// Sum of a metric, kept as f64.
+    DoubleSum(usize),
+    /// Minimum of a metric.
+    DoubleMin(usize),
+    /// Maximum of a metric.
+    DoubleMax(usize),
+    /// Approximate distinct count of a dimension (HyperLogLog).
+    HllUniqueDim(usize),
+    /// Approximate quantiles of a metric (reservoir sketch).
+    Quantile(usize),
+    /// Value of a metric in the earliest-timestamped row (Druid's
+    /// `doubleFirst`). State: `(timestamp i64, value f64)`.
+    DoubleFirst(usize),
+    /// Value of a metric in the latest-timestamped row (`doubleLast`).
+    DoubleLast(usize),
+}
+
+/// A materialized aggregate read back from the index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggValue {
+    /// Count / LongSum result.
+    Long(i64),
+    /// DoubleSum / DoubleMin / DoubleMax result.
+    Double(f64),
+    /// HLL estimate.
+    Estimate(f64),
+    /// The q = 0.5 quantile (helpers expose other quantiles).
+    Median(Option<f64>),
+    /// First/Last result: `(timestamp, value)`.
+    Timestamped(i64, f64),
+}
+
+impl AggSpec {
+    /// Size in bytes of this aggregator's serialized state.
+    pub fn state_size(&self) -> usize {
+        match self {
+            AggSpec::Count | AggSpec::LongSum(_) => 8,
+            AggSpec::DoubleSum(_) | AggSpec::DoubleMin(_) | AggSpec::DoubleMax(_) => 8,
+            AggSpec::HllUniqueDim(_) => hll::STATE_SIZE,
+            AggSpec::Quantile(_) => quantile::STATE_SIZE,
+            AggSpec::DoubleFirst(_) | AggSpec::DoubleLast(_) => 16,
+        }
+    }
+
+    fn write_ts_val(out: &mut [u8], ts: i64, v: f64) {
+        out[..8].copy_from_slice(&ts.to_le_bytes());
+        out[8..16].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn read_ts_val(state: &[u8]) -> (i64, f64) {
+        (
+            i64::from_le_bytes(state[..8].try_into().unwrap()),
+            f64::from_le_bytes(state[8..16].try_into().unwrap()),
+        )
+    }
+
+    fn dim_identity(row: &InputRow, dim: usize) -> u64 {
+        match &row.dims[dim] {
+            crate::row::DimValue::Str(s) => {
+                // Stable content hash (FNV-1a) — dictionary codes are not
+                // available at fold time and identity only needs stability.
+                let mut h: u64 = 0xcbf29ce484222325;
+                for &b in s.as_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+                h
+            }
+            crate::row::DimValue::Long(v) => *v as u64,
+        }
+    }
+
+    /// Writes the state for the first row of a key.
+    pub fn init(&self, out: &mut [u8], row: &InputRow) {
+        debug_assert_eq!(out.len(), self.state_size());
+        match self {
+            AggSpec::Count => out.copy_from_slice(&1i64.to_le_bytes()),
+            AggSpec::LongSum(m) => {
+                out.copy_from_slice(&(row.metrics[*m] as i64).to_le_bytes())
+            }
+            AggSpec::DoubleSum(m) | AggSpec::DoubleMin(m) | AggSpec::DoubleMax(m) => {
+                out.copy_from_slice(&row.metrics[*m].to_le_bytes())
+            }
+            AggSpec::HllUniqueDim(d) => {
+                hll::init(out);
+                hll::add(out, Self::dim_identity(row, *d));
+            }
+            AggSpec::Quantile(m) => {
+                quantile::init(out);
+                quantile::add(out, row.metrics[*m]);
+            }
+            AggSpec::DoubleFirst(m) | AggSpec::DoubleLast(m) => {
+                Self::write_ts_val(out, row.timestamp, row.metrics[*m]);
+            }
+        }
+    }
+
+    /// Folds a subsequent row into existing state, in place.
+    pub fn fold(&self, state: &mut [u8], row: &InputRow) {
+        match self {
+            AggSpec::Count => {
+                let c = i64::from_le_bytes(state[..8].try_into().unwrap());
+                state.copy_from_slice(&(c + 1).to_le_bytes());
+            }
+            AggSpec::LongSum(m) => {
+                let c = i64::from_le_bytes(state[..8].try_into().unwrap());
+                state.copy_from_slice(&(c + row.metrics[*m] as i64).to_le_bytes());
+            }
+            AggSpec::DoubleSum(m) => {
+                let c = f64::from_le_bytes(state[..8].try_into().unwrap());
+                state.copy_from_slice(&(c + row.metrics[*m]).to_le_bytes());
+            }
+            AggSpec::DoubleMin(m) => {
+                let c = f64::from_le_bytes(state[..8].try_into().unwrap());
+                state.copy_from_slice(&c.min(row.metrics[*m]).to_le_bytes());
+            }
+            AggSpec::DoubleMax(m) => {
+                let c = f64::from_le_bytes(state[..8].try_into().unwrap());
+                state.copy_from_slice(&c.max(row.metrics[*m]).to_le_bytes());
+            }
+            AggSpec::HllUniqueDim(d) => hll::add(state, Self::dim_identity(row, *d)),
+            AggSpec::Quantile(m) => quantile::add(state, row.metrics[*m]),
+            AggSpec::DoubleFirst(m) => {
+                let (ts, _) = Self::read_ts_val(state);
+                if row.timestamp < ts {
+                    Self::write_ts_val(state, row.timestamp, row.metrics[*m]);
+                }
+            }
+            AggSpec::DoubleLast(m) => {
+                let (ts, _) = Self::read_ts_val(state);
+                if row.timestamp >= ts {
+                    Self::write_ts_val(state, row.timestamp, row.metrics[*m]);
+                }
+            }
+        }
+    }
+
+    /// Merges state `other` into `state` (both for this aggregator):
+    /// counts and sums add, min/max combine, HLL takes register-wise max,
+    /// and quantile reservoirs fold samples (approximate). Used when
+    /// persisted segments are compacted.
+    pub fn merge(&self, state: &mut [u8], other: &[u8]) {
+        match self {
+            AggSpec::Count | AggSpec::LongSum(_) => {
+                let a = i64::from_le_bytes(state[..8].try_into().unwrap());
+                let b = i64::from_le_bytes(other[..8].try_into().unwrap());
+                state.copy_from_slice(&(a + b).to_le_bytes());
+            }
+            AggSpec::DoubleSum(_) => {
+                let a = f64::from_le_bytes(state[..8].try_into().unwrap());
+                let b = f64::from_le_bytes(other[..8].try_into().unwrap());
+                state.copy_from_slice(&(a + b).to_le_bytes());
+            }
+            AggSpec::DoubleMin(_) => {
+                let a = f64::from_le_bytes(state[..8].try_into().unwrap());
+                let b = f64::from_le_bytes(other[..8].try_into().unwrap());
+                state.copy_from_slice(&a.min(b).to_le_bytes());
+            }
+            AggSpec::DoubleMax(_) => {
+                let a = f64::from_le_bytes(state[..8].try_into().unwrap());
+                let b = f64::from_le_bytes(other[..8].try_into().unwrap());
+                state.copy_from_slice(&a.max(b).to_le_bytes());
+            }
+            AggSpec::HllUniqueDim(_) => hll::merge(state, other),
+            AggSpec::Quantile(_) => {
+                // Fold the other reservoir's samples in (approximate: the
+                // sample weights skew slightly, acceptable for sketches).
+                let n = quantile::count(other).min(quantile::K as u64) as usize;
+                for i in 0..n {
+                    let v = f64::from_le_bytes(other[8 + 8 * i..16 + 8 * i].try_into().unwrap());
+                    quantile::add(state, v);
+                }
+            }
+            AggSpec::DoubleFirst(_) => {
+                let (a_ts, _) = Self::read_ts_val(state);
+                let (b_ts, b_v) = Self::read_ts_val(other);
+                if b_ts < a_ts {
+                    Self::write_ts_val(state, b_ts, b_v);
+                }
+            }
+            AggSpec::DoubleLast(_) => {
+                let (a_ts, _) = Self::read_ts_val(state);
+                let (b_ts, b_v) = Self::read_ts_val(other);
+                if b_ts >= a_ts {
+                    Self::write_ts_val(state, b_ts, b_v);
+                }
+            }
+        }
+    }
+
+    /// Reads the materialized result out of the state.
+    pub fn read(&self, state: &[u8]) -> AggValue {
+        match self {
+            AggSpec::Count | AggSpec::LongSum(_) => {
+                AggValue::Long(i64::from_le_bytes(state[..8].try_into().unwrap()))
+            }
+            AggSpec::DoubleSum(_) | AggSpec::DoubleMin(_) | AggSpec::DoubleMax(_) => {
+                AggValue::Double(f64::from_le_bytes(state[..8].try_into().unwrap()))
+            }
+            AggSpec::HllUniqueDim(_) => AggValue::Estimate(hll::estimate(state)),
+            AggSpec::Quantile(_) => AggValue::Median(quantile::query(state, 0.5)),
+            AggSpec::DoubleFirst(_) | AggSpec::DoubleLast(_) => {
+                let (ts, v) = Self::read_ts_val(state);
+                AggValue::Timestamped(ts, v)
+            }
+        }
+    }
+}
+
+/// Initializes a full aggregate tuple (all aggregators, concatenated).
+pub fn init_all(specs: &[AggSpec], row: &InputRow) -> Vec<u8> {
+    let total: usize = specs.iter().map(|a| a.state_size()).sum();
+    let mut out = vec![0u8; total];
+    let mut off = 0;
+    for spec in specs {
+        let sz = spec.state_size();
+        spec.init(&mut out[off..off + sz], row);
+        off += sz;
+    }
+    out
+}
+
+/// Folds `row` into a full aggregate tuple in place.
+pub fn fold_all(specs: &[AggSpec], state: &mut [u8], row: &InputRow) {
+    let mut off = 0;
+    for spec in specs {
+        let sz = spec.state_size();
+        spec.fold(&mut state[off..off + sz], row);
+        off += sz;
+    }
+}
+
+/// Merges full aggregate tuple `other` into `state` in place.
+pub fn merge_all(specs: &[AggSpec], state: &mut [u8], other: &[u8]) {
+    let mut off = 0;
+    for spec in specs {
+        let sz = spec.state_size();
+        spec.merge(&mut state[off..off + sz], &other[off..off + sz]);
+        off += sz;
+    }
+}
+
+/// Reads all aggregators from a full tuple.
+pub fn read_all(specs: &[AggSpec], state: &[u8]) -> Vec<AggValue> {
+    let mut out = Vec::with_capacity(specs.len());
+    let mut off = 0;
+    for spec in specs {
+        let sz = spec.state_size();
+        out.push(spec.read(&state[off..off + sz]));
+        off += sz;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::DimValue;
+
+    fn row(ts: i64, page: &str, latency: f64) -> InputRow {
+        InputRow {
+            timestamp: ts,
+            dims: vec![DimValue::Str(page.into())],
+            metrics: vec![latency],
+        }
+    }
+
+    #[test]
+    fn count_and_sums() {
+        let specs = vec![AggSpec::Count, AggSpec::DoubleSum(0), AggSpec::LongSum(0)];
+        let r1 = row(0, "a", 1.5);
+        let mut st = init_all(&specs, &r1);
+        fold_all(&specs, &mut st, &row(0, "a", 2.5));
+        fold_all(&specs, &mut st, &row(0, "a", 4.0));
+        let vals = read_all(&specs, &st);
+        assert_eq!(vals[0], AggValue::Long(3));
+        assert_eq!(vals[1], AggValue::Double(8.0));
+        assert_eq!(vals[2], AggValue::Long(1 + 2 + 4));
+    }
+
+    #[test]
+    fn min_max() {
+        let specs = vec![AggSpec::DoubleMin(0), AggSpec::DoubleMax(0)];
+        let mut st = init_all(&specs, &row(0, "a", 5.0));
+        for v in [3.0, 9.0, 4.0] {
+            fold_all(&specs, &mut st, &row(0, "a", v));
+        }
+        assert_eq!(
+            read_all(&specs, &st),
+            vec![AggValue::Double(3.0), AggValue::Double(9.0)]
+        );
+    }
+
+    #[test]
+    fn hll_unique_dim() {
+        let specs = vec![AggSpec::HllUniqueDim(0)];
+        let mut st = init_all(&specs, &row(0, "page-0", 0.0));
+        for i in 1..2_000 {
+            fold_all(&specs, &mut st, &row(0, &format!("page-{i}"), 0.0));
+        }
+        // Re-add duplicates.
+        for i in 0..2_000 {
+            fold_all(&specs, &mut st, &row(0, &format!("page-{}", i % 10), 0.0));
+        }
+        let AggValue::Estimate(est) = read_all(&specs, &st)[0] else {
+            panic!()
+        };
+        assert!((est - 2_000.0).abs() / 2_000.0 < 0.15, "est {est}");
+    }
+
+    #[test]
+    fn quantile_median() {
+        let specs = vec![AggSpec::Quantile(0)];
+        let mut st = init_all(&specs, &row(0, "a", 0.0));
+        for i in 1..1_000 {
+            fold_all(&specs, &mut st, &row(0, "a", i as f64));
+        }
+        let AggValue::Median(Some(med)) = read_all(&specs, &st)[0] else {
+            panic!()
+        };
+        assert!((med - 500.0).abs() < 200.0, "median {med}");
+    }
+}
+
+#[cfg(test)]
+mod first_last_tests {
+    use super::*;
+    use crate::row::DimValue;
+
+    fn row_at(ts: i64, v: f64) -> InputRow {
+        InputRow {
+            timestamp: ts,
+            dims: vec![DimValue::Long(0)],
+            metrics: vec![v],
+        }
+    }
+
+    #[test]
+    fn first_and_last_track_timestamps() {
+        let specs = vec![AggSpec::DoubleFirst(0), AggSpec::DoubleLast(0)];
+        let mut st = init_all(&specs, &row_at(100, 1.0));
+        fold_all(&specs, &mut st, &row_at(50, 2.0)); // earlier
+        fold_all(&specs, &mut st, &row_at(200, 3.0)); // later
+        fold_all(&specs, &mut st, &row_at(150, 9.0)); // middle
+        let vals = read_all(&specs, &st);
+        assert_eq!(vals[0], AggValue::Timestamped(50, 2.0));
+        assert_eq!(vals[1], AggValue::Timestamped(200, 3.0));
+    }
+
+    #[test]
+    fn first_last_merge() {
+        let specs = vec![AggSpec::DoubleFirst(0), AggSpec::DoubleLast(0)];
+        let mut a = init_all(&specs, &row_at(100, 1.0));
+        let b = init_all(&specs, &row_at(10, 7.0));
+        merge_all(&specs, &mut a, &b);
+        let vals = read_all(&specs, &a);
+        assert_eq!(vals[0], AggValue::Timestamped(10, 7.0));
+        assert_eq!(vals[1], AggValue::Timestamped(100, 1.0));
+    }
+}

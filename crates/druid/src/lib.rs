@@ -1,0 +1,39 @@
+//! # oak-druid — the Druid incremental-index (I²) case study (paper §6)
+//!
+//! Apache Druid's *incremental index* is "a data structure that absorbs new
+//! data while serving queries in parallel". This crate reproduces the
+//! paper's prototype integration of Oak into that component:
+//!
+//! * multi-dimensional tuples with a timestamp as the primary dimension
+//!   ([`row`]);
+//! * dynamic dictionaries mapping variable-size (string) dimension values
+//!   to numeric codewords ([`dictionary`]) — keys become flat arrays of
+//!   integers;
+//! * *rollup* indexes whose values are materialized aggregates, including
+//!   sketches for approximate statistics ([`agg`], [`sketch`]), and *plain*
+//!   indexes storing raw rows;
+//! * two interchangeable backends ([`index`]): **I²-Oak** over
+//!   [`oak_core::OakMap`] — the write path uses
+//!   `put_if_absent_compute_if_present` to update all aggregates of a key
+//!   atomically in one lambda, and the read path is a lightweight facade
+//!   over Oak buffers — and **I²-legacy** over the on-heap
+//!   [`oak_skiplist::SkipListMap`] with simulated JVM heap accounting,
+//!   reproducing Figures 5a–5c.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod dictionary;
+pub mod engine;
+pub mod index;
+pub mod query;
+pub mod row;
+pub mod segment;
+pub mod sketch;
+
+pub use agg::{AggSpec, AggValue};
+pub use dictionary::Dictionary;
+pub use engine::DataNode;
+pub use index::{IncrementalIndex, LegacyIndex, OakIndex};
+pub use segment::Segment;
+pub use row::{DimValue, InputRow, Schema};

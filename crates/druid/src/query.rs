@@ -1,0 +1,211 @@
+//! Query engine over incremental indexes: Druid's signature query types.
+//!
+//! Druid's I² "absorbs new data while serving queries in parallel" (§6);
+//! these are the query shapes it serves. All of them run as scans over the
+//! rolled-up keys, combining the materialized per-key aggregates — the read
+//! path the paper adapts to Oak buffers.
+
+use std::collections::HashMap;
+
+use crate::agg::{AggSpec, AggValue};
+use crate::index::IncrementalIndex;
+
+/// Result of a [`timeseries`] query: one bucket per time granule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBucket {
+    /// Bucket start timestamp (inclusive).
+    pub start: i64,
+    /// Row count in the bucket.
+    pub rows: i64,
+    /// Sum of the selected metric aggregator over the bucket.
+    pub metric_sum: f64,
+}
+
+/// Aggregates `[t0, t1)` into fixed-size time buckets, combining the
+/// per-key `Count` and the selected `DoubleSum`-family aggregator.
+///
+/// `count_idx`/`sum_idx` are positions into the schema's aggregator list;
+/// the former must be a `Count`, the latter a `DoubleSum`.
+pub fn timeseries(
+    index: &dyn IncrementalIndex,
+    t0: i64,
+    t1: i64,
+    granularity: i64,
+    count_idx: usize,
+    sum_idx: usize,
+) -> Vec<TimeBucket> {
+    assert!(granularity > 0);
+    assert!(matches!(
+        index.schema().aggregators.get(count_idx),
+        Some(AggSpec::Count)
+    ));
+    assert!(matches!(
+        index.schema().aggregators.get(sum_idx),
+        Some(AggSpec::DoubleSum(_))
+    ));
+    let mut buckets: Vec<TimeBucket> = Vec::new();
+    index.scan(t0, t1, &mut |ts, vals| {
+        let start = t0 + ((ts - t0) / granularity) * granularity;
+        if buckets.last().map(|b| b.start) != Some(start) {
+            buckets.push(TimeBucket {
+                start,
+                rows: 0,
+                metric_sum: 0.0,
+            });
+        }
+        let b = buckets.last_mut().expect("bucket pushed above");
+        if let AggValue::Long(c) = vals[count_idx] {
+            b.rows += c;
+        }
+        if let AggValue::Double(s) = vals[sum_idx] {
+            b.metric_sum += s;
+        }
+        true
+    });
+    buckets
+}
+
+/// One group of a [`group_by`] result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// The grouped timestamp bucket.
+    pub bucket: i64,
+    /// Total rows in the group.
+    pub rows: i64,
+    /// Combined metric sum.
+    pub metric_sum: f64,
+}
+
+/// Groups `[t0, t1)` by time bucket via a hash aggregation (the shape of
+/// Druid's groupBy); unlike [`timeseries`] the output is keyed, unordered
+/// until the final sort.
+pub fn group_by(
+    index: &dyn IncrementalIndex,
+    t0: i64,
+    t1: i64,
+    granularity: i64,
+    count_idx: usize,
+    sum_idx: usize,
+) -> Vec<Group> {
+    assert!(granularity > 0);
+    let mut groups: HashMap<i64, (i64, f64)> = HashMap::new();
+    index.scan(t0, t1, &mut |ts, vals| {
+        let bucket = t0 + ((ts - t0) / granularity) * granularity;
+        let e = groups.entry(bucket).or_insert((0, 0.0));
+        if let AggValue::Long(c) = vals[count_idx] {
+            e.0 += c;
+        }
+        if let AggValue::Double(s) = vals[sum_idx] {
+            e.1 += s;
+        }
+        true
+    });
+    let mut out: Vec<Group> = groups
+        .into_iter()
+        .map(|(bucket, (rows, metric_sum))| Group {
+            bucket,
+            rows,
+            metric_sum,
+        })
+        .collect();
+    out.sort_by_key(|g| g.bucket);
+    out
+}
+
+/// Returns the `n` time buckets with the highest metric sum (Druid's topN,
+/// over the time dimension).
+pub fn top_n(
+    index: &dyn IncrementalIndex,
+    t0: i64,
+    t1: i64,
+    granularity: i64,
+    count_idx: usize,
+    sum_idx: usize,
+    n: usize,
+) -> Vec<Group> {
+    let mut groups = group_by(index, t0, t1, granularity, count_idx, sum_idx);
+    groups.sort_by(|a, b| {
+        b.metric_sum
+            .partial_cmp(&a.metric_sum)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    groups.truncate(n);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::OakIndex;
+    use crate::row::{DimKind, DimValue, InputRow, Schema};
+    use oak_core::OakMapConfig;
+
+    fn build_index() -> OakIndex {
+        let schema = Schema::rollup(
+            vec![("d".to_string(), DimKind::Long)],
+            vec![AggSpec::Count, AggSpec::DoubleSum(0)],
+        );
+        let idx = OakIndex::new(schema, OakMapConfig::small());
+        // 100 rows per second over 10 seconds; metric value = second index.
+        for sec in 0..10i64 {
+            for i in 0..100i64 {
+                idx.insert(&InputRow {
+                    timestamp: sec * 1_000 + (i % 7) * 10,
+                    dims: vec![DimValue::Long(i % 5)],
+                    metrics: vec![sec as f64],
+                })
+                .unwrap();
+            }
+        }
+        idx
+    }
+
+    #[test]
+    fn timeseries_buckets_cover_everything() {
+        let idx = build_index();
+        let buckets = timeseries(&idx, 0, 10_000, 1_000, 0, 1);
+        assert_eq!(buckets.len(), 10);
+        let total: i64 = buckets.iter().map(|b| b.rows).sum();
+        assert_eq!(total, 1_000);
+        for (sec, b) in buckets.iter().enumerate() {
+            assert_eq!(b.start, sec as i64 * 1_000);
+            assert_eq!(b.rows, 100);
+            assert_eq!(b.metric_sum, 100.0 * sec as f64);
+        }
+    }
+
+    #[test]
+    fn timeseries_respects_bounds() {
+        let idx = build_index();
+        let buckets = timeseries(&idx, 3_000, 6_000, 1_000, 0, 1);
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].start, 3_000);
+        let total: i64 = buckets.iter().map(|b| b.rows).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn group_by_matches_timeseries() {
+        let idx = build_index();
+        let ts = timeseries(&idx, 0, 10_000, 2_000, 0, 1);
+        let gb = group_by(&idx, 0, 10_000, 2_000, 0, 1);
+        assert_eq!(ts.len(), gb.len());
+        for (a, b) in ts.iter().zip(&gb) {
+            assert_eq!(a.start, b.bucket);
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.metric_sum, b.metric_sum);
+        }
+    }
+
+    #[test]
+    fn top_n_orders_by_metric() {
+        let idx = build_index();
+        let top = top_n(&idx, 0, 10_000, 1_000, 0, 1, 3);
+        assert_eq!(top.len(), 3);
+        // metric_sum per second = 100 × sec → seconds 9, 8, 7 win.
+        assert_eq!(top[0].bucket, 9_000);
+        assert_eq!(top[1].bucket, 8_000);
+        assert_eq!(top[2].bucket, 7_000);
+        assert!(top[0].metric_sum >= top[1].metric_sum);
+    }
+}

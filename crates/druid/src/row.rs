@@ -1,0 +1,118 @@
+//! Input tuples and schemas.
+//!
+//! "I² keys and values are multi-dimensional. […] In order to save space,
+//! variable-size (e.g., string) dimensions are mapped to numeric codewords,
+//! through auxiliary dynamic dictionaries. A key maps to a flat array of
+//! integers; time is always the primary dimension." (§6)
+
+use crate::agg::AggSpec;
+
+/// A dimension value in an incoming tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DimValue {
+    /// A string dimension (dictionary-encoded into the key).
+    Str(String),
+    /// A numeric (long) dimension, stored directly in the key.
+    Long(i64),
+}
+
+/// One incoming data tuple: timestamp, dimension values, numeric metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputRow {
+    /// Event time in milliseconds — always the primary key dimension.
+    pub timestamp: i64,
+    /// Dimension values, matching `Schema::dimensions` by position.
+    pub dims: Vec<DimValue>,
+    /// Raw metric inputs consumed by the aggregators, by position.
+    pub metrics: Vec<f64>,
+}
+
+/// Kind of a schema dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimKind {
+    /// Dictionary-encoded string.
+    Str,
+    /// 64-bit integer, encoded order-preservingly.
+    Long,
+}
+
+/// The index schema: dimension layout and (for rollup indexes) the
+/// aggregators materialized per key.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// Dimension names and kinds, in key order (after the timestamp).
+    pub dimensions: Vec<(String, DimKind)>,
+    /// Aggregators computed per unique key (rollup mode).
+    pub aggregators: Vec<AggSpec>,
+    /// Rollup (aggregate per key) or plain (store raw rows).
+    pub rollup: bool,
+}
+
+impl Schema {
+    /// A rollup schema with the given dimensions and aggregators.
+    pub fn rollup(dimensions: Vec<(String, DimKind)>, aggregators: Vec<AggSpec>) -> Self {
+        Schema {
+            dimensions,
+            aggregators,
+            rollup: true,
+        }
+    }
+
+    /// A plain schema: raw rows, no aggregation.
+    pub fn plain(dimensions: Vec<(String, DimKind)>) -> Self {
+        Schema {
+            dimensions,
+            aggregators: Vec::new(),
+            rollup: false,
+        }
+    }
+
+    /// Serialized key size: 8-byte timestamp plus 8 bytes per dimension.
+    pub fn key_size(&self) -> usize {
+        8 + 8 * self.dimensions.len()
+    }
+
+    /// Total serialized size of one aggregate-state tuple.
+    pub fn agg_state_size(&self) -> usize {
+        self.aggregators.iter().map(|a| a.state_size()).sum()
+    }
+}
+
+/// Order-preserving big-endian encoding of an `i64` (flips the sign bit so
+/// byte order equals numeric order).
+#[inline]
+pub fn encode_i64(v: i64) -> [u8; 8] {
+    ((v as u64) ^ (1 << 63)).to_be_bytes()
+}
+
+/// Inverse of [`encode_i64`].
+#[inline]
+pub fn decode_i64(b: &[u8]) -> i64 {
+    (u64::from_be_bytes(b.try_into().expect("8-byte field")) ^ (1 << 63)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_encoding_is_order_preserving() {
+        let vals = [i64::MIN, -1_000_000, -1, 0, 1, 42, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(encode_i64(w[0]) < encode_i64(w[1]), "{} < {}", w[0], w[1]);
+        }
+        for v in vals {
+            assert_eq!(decode_i64(&encode_i64(v)), v);
+        }
+    }
+
+    #[test]
+    fn schema_sizes() {
+        let s = Schema::rollup(
+            vec![("page".into(), DimKind::Str), ("code".into(), DimKind::Long)],
+            vec![AggSpec::Count, AggSpec::DoubleSum(0)],
+        );
+        assert_eq!(s.key_size(), 24);
+        assert_eq!(s.agg_state_size(), 16);
+    }
+}

@@ -1,0 +1,234 @@
+//! Approximate sketches for rollup aggregators.
+//!
+//! "Complex aggregates (e.g., unique count and quantiles) are embodied
+//! through sketches – compact data structures for approximate statistical
+//! queries" (§6). Both sketches here operate **in place on byte slices**,
+//! so they can live inside Oak's off-heap values and be updated atomically
+//! by a single `compute` lambda.
+
+pub mod hll {
+    //! HyperLogLog unique-count sketch with 2^10 single-byte registers
+    //! (fixed 1024-byte state; standard bias correction).
+
+    /// log2 of the register count.
+    pub const P: u32 = 10;
+    /// Number of registers / state size in bytes.
+    pub const STATE_SIZE: usize = 1 << P;
+
+    /// Initializes an HLL state in `out` (zeroed registers).
+    pub fn init(out: &mut [u8]) {
+        debug_assert_eq!(out.len(), STATE_SIZE);
+        out.fill(0);
+    }
+
+    fn hash64(x: u64) -> u64 {
+        // splitmix64 finalizer — good avalanche for HLL purposes.
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Folds one item (by 64-bit identity) into the state.
+    pub fn add(state: &mut [u8], item: u64) {
+        let h = hash64(item);
+        let idx = (h >> (64 - P)) as usize;
+        let rest = h << P;
+        let rank = (rest.leading_zeros() + 1).min(64 - P) as u8;
+        if state[idx] < rank {
+            state[idx] = rank;
+        }
+    }
+
+    /// Estimates the number of distinct items folded into `state`.
+    pub fn estimate(state: &[u8]) -> f64 {
+        let m = STATE_SIZE as f64;
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let mut sum = 0.0;
+        let mut zeros = 0usize;
+        for &r in state {
+            sum += 1.0 / (1u64 << r) as f64;
+            if r == 0 {
+                zeros += 1;
+            }
+        }
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m && zeros > 0 {
+            // Small-range (linear counting) correction.
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// Merges `other` into `state` (register-wise max).
+    pub fn merge(state: &mut [u8], other: &[u8]) {
+        for (a, &b) in state.iter_mut().zip(other) {
+            if *a < b {
+                *a = b;
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn estimates_within_tolerance() {
+            for &n in &[100u64, 1_000, 50_000] {
+                let mut st = vec![0u8; STATE_SIZE];
+                init(&mut st);
+                for i in 0..n {
+                    add(&mut st, i.wrapping_mul(0x9E3779B97F4A7C15));
+                }
+                let est = estimate(&st);
+                let err = (est - n as f64).abs() / n as f64;
+                // Standard error for m=1024 is ~3.25%; allow 4σ.
+                assert!(err < 0.13, "n={n} est={est} err={err}");
+            }
+        }
+
+        #[test]
+        fn duplicates_do_not_inflate() {
+            let mut st = vec![0u8; STATE_SIZE];
+            init(&mut st);
+            for _ in 0..10_000 {
+                add(&mut st, 42);
+            }
+            assert!(estimate(&st) < 3.0);
+        }
+
+        #[test]
+        fn merge_equals_union() {
+            let (mut a, mut b, mut u) = (
+                vec![0u8; STATE_SIZE],
+                vec![0u8; STATE_SIZE],
+                vec![0u8; STATE_SIZE],
+            );
+            for i in 0..5_000u64 {
+                add(&mut a, i);
+                add(&mut u, i);
+            }
+            for i in 2_500..7_500u64 {
+                add(&mut b, i);
+                add(&mut u, i);
+            }
+            merge(&mut a, &b);
+            assert_eq!(a, u, "merge must equal the sketch of the union");
+        }
+    }
+}
+
+pub mod quantile {
+    //! Fixed-size reservoir-sampling quantile sketch.
+    //!
+    //! State layout: `count: u64 | reservoir: [f64; K]` (little-endian),
+    //! 8 + 8·K bytes. Reservoir sampling keeps a uniform sample, so
+    //! quantile queries are approximate with error shrinking in √K.
+
+    /// Reservoir capacity.
+    pub const K: usize = 128;
+    /// Fixed state size in bytes.
+    pub const STATE_SIZE: usize = 8 + 8 * K;
+
+    fn read_count(state: &[u8]) -> u64 {
+        u64::from_le_bytes(state[..8].try_into().unwrap())
+    }
+
+    fn write_count(state: &mut [u8], c: u64) {
+        state[..8].copy_from_slice(&c.to_le_bytes());
+    }
+
+    fn slot(state: &[u8], i: usize) -> f64 {
+        f64::from_le_bytes(state[8 + 8 * i..16 + 8 * i].try_into().unwrap())
+    }
+
+    fn set_slot(state: &mut [u8], i: usize, v: f64) {
+        state[8 + 8 * i..16 + 8 * i].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Initializes an empty sketch.
+    pub fn init(out: &mut [u8]) {
+        debug_assert_eq!(out.len(), STATE_SIZE);
+        out.fill(0);
+    }
+
+    /// Folds a sample into the sketch. Randomness is derived
+    /// deterministically from the running count (reproducible runs).
+    pub fn add(state: &mut [u8], value: f64) {
+        let n = read_count(state);
+        if (n as usize) < K {
+            set_slot(state, n as usize, value);
+        } else {
+            // Deterministic pseudo-random replacement index in [0, n].
+            let mut z = (n + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z ^= z >> 29;
+            z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let j = z % (n + 1);
+            if (j as usize) < K {
+                set_slot(state, j as usize, value);
+            }
+        }
+        write_count(state, n + 1);
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1); `None` for an empty sketch.
+    pub fn query(state: &[u8], q: f64) -> Option<f64> {
+        let n = read_count(state);
+        if n == 0 {
+            return None;
+        }
+        let filled = (n as usize).min(K);
+        let mut sample: Vec<f64> = (0..filled).map(|i| slot(state, i)).collect();
+        sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((q * (filled - 1) as f64).round() as usize).min(filled - 1);
+        Some(sample[idx])
+    }
+
+    /// Total samples folded in.
+    pub fn count(state: &[u8]) -> u64 {
+        read_count(state)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn exact_when_under_capacity() {
+            let mut st = vec![0u8; STATE_SIZE];
+            init(&mut st);
+            for i in 0..100 {
+                add(&mut st, i as f64);
+            }
+            assert_eq!(count(&st), 100);
+            assert_eq!(query(&st, 0.0), Some(0.0));
+            assert_eq!(query(&st, 1.0), Some(99.0));
+            let med = query(&st, 0.5).unwrap();
+            assert!((med - 49.5).abs() <= 1.0);
+        }
+
+        #[test]
+        fn approximate_over_capacity() {
+            let mut st = vec![0u8; STATE_SIZE];
+            init(&mut st);
+            for i in 0..100_000 {
+                add(&mut st, i as f64);
+            }
+            assert_eq!(count(&st), 100_000);
+            let med = query(&st, 0.5).unwrap();
+            // Reservoir of 128: generous tolerance (±15% of the range).
+            assert!((med - 50_000.0).abs() < 15_000.0, "median {med}");
+            let p99 = query(&st, 0.99).unwrap();
+            assert!(p99 > 80_000.0, "p99 {p99}");
+        }
+
+        #[test]
+        fn empty_sketch_has_no_quantiles() {
+            let mut st = vec![0u8; STATE_SIZE];
+            init(&mut st);
+            assert_eq!(query(&st, 0.5), None);
+        }
+    }
+}

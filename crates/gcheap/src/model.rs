@@ -1,0 +1,90 @@
+//! The `HeapModel` trait: how simulated data structures report allocations.
+
+/// Opaque handle to a registered heap object.
+///
+/// Returned by [`HeapModel::alloc`]; stored by the owning data structure and
+/// passed back to [`HeapModel::free`] when the object becomes garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjToken(pub(crate) u64);
+
+impl ObjToken {
+    /// The token used by [`NoopHeap`]; carries no registry slot.
+    pub const NONE: ObjToken = ObjToken(u64::MAX);
+}
+
+/// Abstraction over heap accounting, implemented by
+/// [`ManagedHeap`](crate::ManagedHeap) (full simulation) and [`NoopHeap`]
+/// (zero-cost, for off-heap configurations).
+///
+/// Simulated "on-heap" structures call `alloc`/`free` for every object a
+/// Java implementation would create, and `safepoint` at operation
+/// boundaries so a pending stop-the-world collection can pause them — the
+/// analogue of JVM safepoint polls.
+pub trait HeapModel: Send + Sync {
+    /// Registers an object of `bytes` bytes. If the heap is at budget this
+    /// may first run a stop-the-world collection; if even that cannot make
+    /// room, the model's out-of-memory flag is raised (allocation itself
+    /// still proceeds so callers need no unwinding logic; benchmarks check
+    /// [`oom`](Self::oom) and discard the run).
+    fn alloc(&self, bytes: usize) -> ObjToken;
+
+    /// Declares the object garbage. The bytes remain part of heap occupancy
+    /// until the next collection sweeps them, as on a real JVM.
+    fn free(&self, token: ObjToken);
+
+    /// A mutator-side poll: blocks while a stop-the-world collection is in
+    /// progress. Call once per data-structure operation.
+    fn safepoint(&self);
+
+    /// Whether an allocation has ever exceeded the budget.
+    fn oom(&self) -> bool;
+
+    /// Registers short-lived garbage: the boxed integers, iterator objects
+    /// and temporary buffers a Java implementation allocates *per
+    /// operation*. They die immediately but still occupy the heap until
+    /// the next collection — this is what makes GC frequency climb as
+    /// headroom shrinks (the Figure 3 throughput collapse).
+    fn transient(&self, bytes: usize) {
+        let t = self.alloc(bytes);
+        self.free(t);
+    }
+}
+
+/// A heap model that costs nothing: used for Oak and other off-heap
+/// configurations whose metadata footprint is negligible, and for unit tests
+/// of the data structures themselves.
+#[derive(Debug, Default, Clone)]
+pub struct NoopHeap;
+
+impl HeapModel for NoopHeap {
+    #[inline]
+    fn alloc(&self, _bytes: usize) -> ObjToken {
+        ObjToken::NONE
+    }
+
+    #[inline]
+    fn free(&self, _token: ObjToken) {}
+
+    #[inline]
+    fn safepoint(&self) {}
+
+    #[inline]
+    fn oom(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_heap_is_inert() {
+        let h = NoopHeap;
+        let t = h.alloc(1 << 30);
+        assert_eq!(t, ObjToken::NONE);
+        h.free(t);
+        h.safepoint();
+        assert!(!h.oom());
+    }
+}

@@ -1,0 +1,42 @@
+//! Collection and occupancy statistics.
+
+/// Point-in-time statistics for a [`ManagedHeap`](crate::ManagedHeap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcStats {
+    /// Heap budget in bytes.
+    pub capacity: u64,
+    /// Bytes owned by live objects.
+    pub live_bytes: u64,
+    /// Bytes owned by garbage awaiting collection.
+    pub garbage_bytes: u64,
+    /// Number of live objects in the registry.
+    pub live_objects: u64,
+    /// Stop-the-world collections performed (minor + major).
+    pub collections: u64,
+    /// Minor (young-generation) collections, when generational mode is on.
+    pub minor_collections: u64,
+    /// Total wall-clock time spent inside collections, nanoseconds.
+    pub total_pause_ns: u64,
+    /// Longest single collection, nanoseconds.
+    pub max_pause_ns: u64,
+    /// Cumulative bytes reclaimed by sweeps.
+    pub swept_bytes: u64,
+    /// Whether any allocation exceeded the budget even after collecting.
+    pub oom: bool,
+}
+
+impl GcStats {
+    /// Current heap occupancy (live + uncollected garbage).
+    pub fn occupancy(&self) -> u64 {
+        self.live_bytes + self.garbage_bytes
+    }
+
+    /// Occupancy as a fraction of capacity.
+    pub fn occupancy_ratio(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.occupancy() as f64 / self.capacity as f64
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! A single large, fixed-size raw memory region.
+//!
+//! One arena corresponds to what the paper calls an "off-heap arena": a large
+//! (100 MB by default) region pre-allocated once and carved up internally.
+//! The region is allocated directly through [`std::alloc`] with an explicit
+//! layout, zero-initialized, and never resized or handed back until drop.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU32, AtomicU64};
+
+/// Alignment of every arena and of every allocation carved out of it.
+///
+/// 8-byte alignment lets value headers embed `AtomicU32`/`AtomicU64` words.
+pub const ARENA_ALIGN: usize = 8;
+
+/// A fixed-size raw memory region with interior-mutable byte access.
+///
+/// `Arena` hands out raw views into its region. It performs **no** access
+/// synchronization itself: callers (the pool / value store) guarantee
+/// exclusion, e.g. through value-header locks or publication protocols.
+pub struct Arena {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: the arena is a plain byte region; synchronization of contents is
+// the responsibility of callers, and the pointer itself is never mutated.
+unsafe impl Send for Arena {}
+unsafe impl Sync for Arena {}
+
+impl Arena {
+    /// Allocates a new zero-initialized arena of `len` bytes.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero or not a multiple of [`ARENA_ALIGN`]; aborts
+    /// on allocation failure (consistent with `std` collection behaviour).
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "arena must be non-empty");
+        assert!(
+            len.is_multiple_of(ARENA_ALIGN),
+            "arena length must be a multiple of {ARENA_ALIGN}"
+        );
+        let layout = Layout::from_size_align(len, ARENA_ALIGN).expect("valid arena layout");
+        // SAFETY: layout has non-zero size as asserted above.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout)
+        };
+        Arena { ptr, len }
+    }
+
+    /// Size of the region in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`: arenas are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn check(&self, offset: u32, len: u32) {
+        let end = offset as usize + len as usize;
+        assert!(end <= self.len, "arena access out of bounds: {end} > {}", self.len);
+    }
+
+    /// Returns a shared view of `len` bytes at `offset`.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no thread writes to this byte range for
+    /// the lifetime of the returned slice (e.g. the range holds an immutable
+    /// key, or the caller holds the value-header read lock).
+    #[inline]
+    pub unsafe fn slice(&self, offset: u32, len: u32) -> &[u8] {
+        self.check(offset, len);
+        std::slice::from_raw_parts(self.ptr.as_ptr().add(offset as usize), len as usize)
+    }
+
+    /// Returns an exclusive view of `len` bytes at `offset`.
+    ///
+    /// # Safety
+    /// The caller must guarantee exclusive access to this byte range for the
+    /// lifetime of the returned slice (e.g. it holds the value-header write
+    /// lock, or the range is freshly allocated and unpublished).
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn slice_mut(&self, offset: u32, len: u32) -> &mut [u8] {
+        self.check(offset, len);
+        std::slice::from_raw_parts_mut(self.ptr.as_ptr().add(offset as usize), len as usize)
+    }
+
+    /// Returns a reference to an `AtomicU32` embedded at `offset`.
+    ///
+    /// # Safety
+    /// `offset` must be 4-byte aligned and within bounds. Atomic words may be
+    /// shared freely; this is how value headers synchronize access.
+    #[inline]
+    pub unsafe fn atomic_u32(&self, offset: u32) -> &AtomicU32 {
+        debug_assert!(offset.is_multiple_of(4), "unaligned atomic access");
+        self.check(offset, 4);
+        &*(self.ptr.as_ptr().add(offset as usize) as *const AtomicU32)
+    }
+
+    /// Returns a reference to an `AtomicU64` embedded at `offset`.
+    ///
+    /// # Safety
+    /// `offset` must be 8-byte aligned and within bounds.
+    #[inline]
+    pub unsafe fn atomic_u64(&self, offset: u32) -> &AtomicU64 {
+        debug_assert!(offset.is_multiple_of(8), "unaligned atomic access");
+        self.check(offset, 8);
+        &*(self.ptr.as_ptr().add(offset as usize) as *const AtomicU64)
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.len, ARENA_ALIGN).expect("valid arena layout");
+        // SAFETY: ptr was produced by alloc_zeroed with the identical layout.
+        unsafe { dealloc(self.ptr.as_ptr(), layout) };
+    }
+}
+
+impl std::fmt::Debug for Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn arena_is_zeroed() {
+        let a = Arena::new(4096);
+        let s = unsafe { a.slice(0, 4096) };
+        assert!(s.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let a = Arena::new(1024);
+        unsafe {
+            a.slice_mut(100, 4).copy_from_slice(&[1, 2, 3, 4]);
+            assert_eq!(a.slice(100, 4), &[1, 2, 3, 4]);
+            // Neighbouring bytes untouched.
+            assert_eq!(a.slice(99, 1), &[0]);
+            assert_eq!(a.slice(104, 1), &[0]);
+        }
+    }
+
+    #[test]
+    fn atomics_in_arena() {
+        let a = Arena::new(64);
+        unsafe {
+            let w = a.atomic_u32(8);
+            w.store(42, Ordering::SeqCst);
+            assert_eq!(a.atomic_u32(8).load(Ordering::SeqCst), 42);
+            let d = a.atomic_u64(16);
+            d.fetch_add(7, Ordering::SeqCst);
+            assert_eq!(d.load(Ordering::SeqCst), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_access_panics() {
+        let a = Arena::new(64);
+        let _ = unsafe { a.slice(60, 8) };
+    }
+
+    #[test]
+    fn concurrent_atomic_increments() {
+        let a = std::sync::Arc::new(Arena::new(64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    unsafe { a.atomic_u64(0) }.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(unsafe { a.atomic_u64(0) }.load(Ordering::SeqCst), 4000);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for allocation and value access.
+
+use core::fmt;
+
+/// Errors returned by pool allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The pool reached its configured arena budget and no arena could
+    /// satisfy the request.
+    PoolExhausted,
+    /// The requested size exceeds the maximum encodable slice length
+    /// (or the arena size).
+    TooLarge {
+        /// Requested size in bytes.
+        requested: usize,
+        /// Maximum supported size in bytes.
+        max: usize,
+    },
+    /// A zero-sized allocation was requested; Oak keys and values are
+    /// always at least one byte.
+    ZeroSized,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::PoolExhausted => write!(f, "memory pool exhausted"),
+            AllocError::TooLarge { requested, max } => {
+                write!(f, "allocation of {requested} bytes exceeds maximum of {max}")
+            }
+            AllocError::ZeroSized => write!(f, "zero-sized allocation"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Errors returned when accessing a value through its header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessError {
+    /// The value was concurrently deleted. This is the Rust analogue of the
+    /// `ConcurrentModificationException` thrown by Java Oak's buffers.
+    Deleted,
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::Deleted => write!(f, "value was concurrently deleted"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}

@@ -1,0 +1,309 @@
+//! Value headers: per-value concurrency control and deletion marking.
+//!
+//! "Oak allows atomic access to an off-heap value v via the methods
+//! `v.put(val)`, `v.compute(func)`, `v.remove()`, and `v.isDeleted()`. To
+//! this end, it allocates headers to all values […] Oak's default concurrency
+//! control mechanism uses a read-write lock (in the header) […] The header
+//! also includes a bit indicating whether the value is deleted." (§3.3)
+//!
+//! Our header is a 16-byte slot inside the pool:
+//!
+//! ```text
+//! +0  AtomicU32  lock word: [ DELETED:1 | WRITER:1 | readers:30 ]
+//! +4  AtomicU32  generation (reserved for epoch-based header reclamation)
+//! +8  AtomicU64  payload SliceRef (raw)
+//! ```
+//!
+//! Headers are **never freed** by the default memory manager ("Oak's default
+//! mechanism simply refrains from reclaiming headers while allowing reuse of
+//! the space taken up by the deleted value"), so a `HeaderRef` observed by
+//! any operation remains valid and un-reused for the lifetime of the map —
+//! which is exactly what makes the `finalizeRemove` `prev` comparison of
+//! §4.4 ABA-free.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::error::AccessError;
+use crate::pool::MemoryPool;
+use crate::refs::SliceRef;
+
+/// Size of a value header in bytes.
+pub const HEADER_SIZE: usize = 16;
+
+/// Reference to a value header (a 16-byte pool slice).
+pub type HeaderRef = SliceRef;
+
+const DELETED: u32 = 1 << 31;
+const WRITER: u32 = 1 << 30;
+const READER_MASK: u32 = WRITER - 1;
+
+/// Spin iterations before yielding the thread while waiting on the lock.
+const SPIN_LIMIT: u32 = 64;
+
+/// Decoded view of a header lock word, mainly for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockState {
+    /// Deleted bit set: all further access fails.
+    pub deleted: bool,
+    /// A writer currently holds the lock.
+    pub writer: bool,
+    /// Number of readers currently holding the lock.
+    pub readers: u32,
+}
+
+impl LockState {
+    /// Decodes a raw lock word.
+    pub fn decode(word: u32) -> Self {
+        LockState {
+            deleted: word & DELETED != 0,
+            writer: word & WRITER != 0,
+            readers: word & READER_MASK,
+        }
+    }
+}
+
+/// A borrowed view of one header's three words.
+///
+/// Constructed by [`Header::at`]; all synchronization for the value payload
+/// flows through this type.
+pub(crate) struct Header<'a> {
+    state: &'a AtomicU32,
+    generation: &'a AtomicU32,
+    payload: &'a AtomicU64,
+}
+
+impl<'a> Header<'a> {
+    /// Resolves a header reference inside `pool`.
+    ///
+    /// # Safety
+    /// `h` must be a header slot allocated by
+    /// [`ValueStore::allocate_value`](crate::ValueStore::allocate_value)
+    /// on this pool (16 bytes, 8-aligned). This holds for every `HeaderRef`
+    /// the crate hands out.
+    #[inline]
+    pub(crate) unsafe fn at(pool: &'a MemoryPool, h: HeaderRef) -> Self {
+        // Versioned references (the reclaiming manager) carry the slot
+        // generation in the length field; resolve against the fixed slot
+        // extent either way.
+        let slot = SliceRef::new(h.block(), h.offset(), HEADER_SIZE as u32);
+        Header {
+            state: pool.atomic_u32_at(slot, 0),
+            generation: pool.atomic_u32_at(slot, 4),
+            payload: pool.atomic_u64_at(slot, 8),
+        }
+    }
+
+    /// Acquires the read lock, failing if the value is deleted.
+    ///
+    /// Readers spin briefly while a writer is active, then yield; writers
+    /// hold the lock only for bounded copy/compute work.
+    pub(crate) fn read_lock(&self) -> Result<(), AccessError> {
+        let mut spins = 0u32;
+        loop {
+            let cur = self.state.load(Ordering::Acquire);
+            if cur & DELETED != 0 {
+                return Err(AccessError::Deleted);
+            }
+            if cur & WRITER != 0 {
+                backoff(&mut spins);
+                continue;
+            }
+            debug_assert!(cur & READER_MASK < READER_MASK, "reader count overflow");
+            if self
+                .state
+                .compare_exchange_weak(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Releases a read lock acquired by [`read_lock`](Self::read_lock).
+    #[inline]
+    pub(crate) fn read_unlock(&self) {
+        let prev = self.state.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev & READER_MASK > 0, "read_unlock without read_lock");
+    }
+
+    /// Acquires the write lock, failing if the value is deleted.
+    pub(crate) fn write_lock(&self) -> Result<(), AccessError> {
+        let mut spins = 0u32;
+        loop {
+            let cur = self.state.load(Ordering::Acquire);
+            if cur & DELETED != 0 {
+                return Err(AccessError::Deleted);
+            }
+            if cur != 0 {
+                // Readers or another writer active.
+                backoff(&mut spins);
+                continue;
+            }
+            if self
+                .state
+                .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Releases the write lock.
+    #[inline]
+    pub(crate) fn write_unlock(&self) {
+        let prev = self.state.swap(0, Ordering::Release);
+        debug_assert_eq!(prev, WRITER, "write_unlock without write_lock");
+    }
+
+    /// Marks the value deleted and releases the write lock in one step.
+    ///
+    /// This is the linearization point of a successful `remove` (§4.5): the
+    /// single transition that makes exactly one remover succeed.
+    #[inline]
+    pub(crate) fn mark_deleted_and_unlock(&self) {
+        let prev = self.state.swap(DELETED, Ordering::Release);
+        debug_assert_eq!(prev, WRITER, "mark_deleted without write_lock");
+    }
+
+    /// Whether the deleted bit is set.
+    #[inline]
+    pub(crate) fn is_deleted(&self) -> bool {
+        self.state.load(Ordering::Acquire) & DELETED != 0
+    }
+
+    /// Loads the payload reference. Callers needing a stable payload must
+    /// hold the read or write lock; lock-free peeks are allowed only for
+    /// heuristics.
+    #[inline]
+    pub(crate) fn payload(&self) -> SliceRef {
+        SliceRef::from_raw(self.payload.load(Ordering::Acquire))
+    }
+
+    /// Stores a new payload reference (callers hold the write lock, or the
+    /// header is freshly allocated and unpublished).
+    #[inline]
+    pub(crate) fn set_payload(&self, r: SliceRef) {
+        self.payload.store(r.to_raw(), Ordering::Release);
+    }
+
+    /// Decoded lock state for diagnostics.
+    pub(crate) fn lock_state(&self) -> LockState {
+        LockState::decode(self.state.load(Ordering::Acquire))
+    }
+
+    /// Current slot generation (the ABA counter of the reclaiming memory
+    /// manager, §3.3/§4.4).
+    #[inline]
+    pub(crate) fn generation(&self) -> u32 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Bumps the slot generation; called by the reclaiming manager under
+    /// the write lock, immediately before the slot is retired for reuse.
+    #[inline]
+    pub(crate) fn bump_generation(&self) -> u32 {
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Clears the lock word for a recycled slot (new value, unpublished to
+    /// holders of the *new* reference; stale readers are fenced off by the
+    /// generation check).
+    #[inline]
+    pub(crate) fn reset_state(&self) {
+        self.state.store(0, Ordering::Release);
+    }
+}
+
+#[inline]
+fn backoff(spins: &mut u32) {
+    if *spins < SPIN_LIMIT {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use crate::value::ValueStore;
+    use std::sync::Arc;
+
+    fn store() -> ValueStore {
+        ValueStore::new(Arc::new(MemoryPool::new(PoolConfig::small())))
+    }
+
+    #[test]
+    fn lock_state_decoding() {
+        let s = LockState::decode(DELETED | 5);
+        assert!(s.deleted);
+        assert!(!s.writer);
+        assert_eq!(s.readers, 5);
+        let s = LockState::decode(WRITER);
+        assert!(s.writer && !s.deleted);
+    }
+
+    #[test]
+    fn read_lock_counts() {
+        let vs = store();
+        let h = vs.allocate_value(b"abc").unwrap();
+        let hd = unsafe { Header::at(vs.pool(), h) };
+        hd.read_lock().unwrap();
+        hd.read_lock().unwrap();
+        assert_eq!(hd.lock_state().readers, 2);
+        hd.read_unlock();
+        hd.read_unlock();
+        assert_eq!(hd.lock_state().readers, 0);
+    }
+
+    #[test]
+    fn deleted_blocks_all_locks() {
+        let vs = store();
+        let h = vs.allocate_value(b"abc").unwrap();
+        assert!(vs.remove(h));
+        let hd = unsafe { Header::at(vs.pool(), h) };
+        assert_eq!(hd.read_lock(), Err(AccessError::Deleted));
+        assert_eq!(hd.write_lock(), Err(AccessError::Deleted));
+        assert!(hd.is_deleted());
+    }
+
+    #[test]
+    fn writer_excludes_readers() {
+        let vs = store();
+        let h = vs.allocate_value(&[0u8; 8]).unwrap();
+        let pool = vs.pool().clone();
+        let vs = Arc::new(vs);
+
+        // One writer mutates the payload many times while readers verify
+        // they never observe a torn write.
+        let writer = {
+            let vs = vs.clone();
+            std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    let bytes = i.to_le_bytes();
+                    assert!(vs.put(h, &bytes).unwrap());
+                }
+            })
+        };
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let vs = vs.clone();
+            readers.push(std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    let v = vs
+                        .read(h, |b| u64::from_le_bytes(b.try_into().unwrap()))
+                        .unwrap();
+                    assert!(v < 2000);
+                }
+            }));
+        }
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        drop(pool);
+    }
+}

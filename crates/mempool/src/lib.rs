@@ -1,0 +1,48 @@
+//! # oak-mempool — Oak's self-managed "off-heap" memory
+//!
+//! This crate is the Rust equivalent of Oak's off-heap memory manager
+//! (paper §3.2–§3.3). In the Java original, key and value buffers live in
+//! large pre-allocated `DirectByteBuffer` arenas outside the garbage-collected
+//! heap. In Rust, "off-heap" translates to *self-managed*: each arena is one
+//! large raw allocation obtained once from the system and carved up by our own
+//! first-fit free list. No per-object allocator metadata, no global-allocator
+//! traffic on the data path, and an exactly computable RAM footprint.
+//!
+//! The crate provides:
+//!
+//! * [`Arena`] — a single large, fixed-size raw memory region;
+//! * [`FreeList`] — a first-fit, coalescing free list over one arena;
+//! * [`MemoryPool`] — a multi-arena pool handing out packed 64-bit
+//!   [`SliceRef`]s, with exact footprint accounting;
+//! * [`ValueStore`] — the value-access layer: every value is fronted by a
+//!   16-byte *header* holding a reader/writer lock word, a deleted bit, and an
+//!   indirection to the payload, enabling atomic `put`/`compute`/`remove` and
+//!   in-place payload resize (paper §3.3). Headers are bump-allocated and
+//!   never reused, which makes the `finalizeRemove` ABA argument of §4.4 hold.
+//!
+//! All memory handed out by this crate stays mapped until the pool is
+//! dropped, so reading a stale buffer is never undefined behaviour — logical
+//! staleness is surfaced through the header's deleted bit instead
+//! (the Rust analogue of Java Oak's `ConcurrentModificationException`).
+
+#![warn(missing_docs)]
+
+mod arena;
+mod error;
+mod freelist;
+mod header;
+mod pool;
+mod refs;
+mod shared;
+mod stats;
+mod value;
+
+pub use arena::{Arena, ARENA_ALIGN};
+pub use error::{AccessError, AllocError};
+pub use freelist::FreeList;
+pub use header::{HeaderRef, LockState, HEADER_SIZE};
+pub use pool::{MemoryPool, PoolConfig};
+pub use shared::{ArenaPool, ArenaPoolStats};
+pub use refs::{SliceRef, MAX_ARENA_SIZE, MAX_BLOCKS, MAX_SLICE_LEN};
+pub use stats::PoolStats;
+pub use value::{ReclamationPolicy, ValueBytes, ValueBytesMut, ValueStore};

@@ -1,0 +1,428 @@
+//! Multi-arena memory pool.
+//!
+//! The pool owns a set of fixed-size [`Arena`]s, each carved up by its own
+//! first-fit [`FreeList`]. Allocation tries existing arenas in order and
+//! lazily reserves a new arena when all are full, up to a configurable
+//! budget — the Rust rendering of the paper's "shared pool of large (100 MB
+//! by default) pre-allocated off-heap arenas" (§3.2).
+//!
+//! Arena slots are pre-sized and initialized at most once, so the read path
+//! (`slice`, `atomic_*`) indexes into arenas without taking any lock.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+use crate::arena::Arena;
+use crate::error::AllocError;
+use crate::shared::ArenaPool;
+use crate::freelist::{round_up, FreeList};
+use crate::refs::{SliceRef, MAX_BLOCKS, MAX_SLICE_LEN};
+use crate::stats::{Counters, PoolStats};
+
+/// Configuration for a [`MemoryPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Size of each arena in bytes. The paper's default is 100 MB; tests and
+    /// scaled-down benchmarks use much smaller arenas.
+    pub arena_size: usize,
+    /// Maximum number of arenas the pool may reserve. Reaching this budget
+    /// makes further allocations fail with [`AllocError::PoolExhausted`].
+    pub max_arenas: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            arena_size: 100 << 20, // 100 MB, as in the paper
+            max_arenas: 256,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A small configuration convenient for unit tests.
+    pub fn small() -> Self {
+        PoolConfig {
+            arena_size: 1 << 20, // 1 MB
+            max_arenas: 64,
+        }
+    }
+
+    /// Configuration with an explicit total RAM budget in bytes.
+    pub fn with_budget(arena_size: usize, budget_bytes: usize) -> Self {
+        PoolConfig {
+            arena_size,
+            max_arenas: (budget_bytes / arena_size).max(1),
+        }
+    }
+}
+
+struct Block {
+    arena: Arena,
+    free: Mutex<FreeList>,
+}
+
+/// A multi-arena, thread-safe memory pool with packed-reference addressing.
+pub struct MemoryPool {
+    config: PoolConfig,
+    blocks: Box<[OnceLock<Block>]>,
+    /// Number of initialized blocks. Blocks `[0, nblocks)` are initialized.
+    nblocks: AtomicUsize,
+    grow_lock: Mutex<()>,
+    counters: Counters,
+    /// When set, arenas come from (and return to) a shared reservoir
+    /// instead of the system allocator (§3.2).
+    shared: Option<std::sync::Arc<ArenaPool>>,
+}
+
+impl MemoryPool {
+    /// Creates an empty pool; the first arena is reserved on first use.
+    pub fn new(config: PoolConfig) -> Self {
+        assert!(config.arena_size >= 64, "arena too small");
+        assert!(
+            config.arena_size.is_multiple_of(8),
+            "arena size must be 8-byte aligned"
+        );
+        assert!(
+            config.arena_size <= u32::MAX as usize,
+            "arena size must fit 32-bit offsets"
+        );
+        let max_arenas = config.max_arenas.min(MAX_BLOCKS);
+        let blocks = (0..max_arenas)
+            .map(|_| OnceLock::new())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        MemoryPool {
+            config: PoolConfig {
+                max_arenas,
+                ..config
+            },
+            blocks,
+            nblocks: AtomicUsize::new(0),
+            grow_lock: Mutex::new(()),
+            counters: Counters::default(),
+            shared: None,
+        }
+    }
+
+    /// Creates a pool with the default (paper) configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(PoolConfig::default())
+    }
+
+    /// Creates a pool that draws its arenas from a shared pre-allocated
+    /// reservoir and returns them when dropped — the paper's multi-instance
+    /// arena pool (§3.2). `max_arenas` still caps this instance's own
+    /// growth.
+    pub fn with_shared(max_arenas: usize, shared: std::sync::Arc<ArenaPool>) -> Self {
+        let mut pool = Self::new(PoolConfig {
+            arena_size: shared.arena_size(),
+            max_arenas,
+        });
+        pool.shared = Some(shared);
+        pool
+    }
+
+    /// The shared reservoir this pool draws from, if any.
+    pub fn shared_pool(&self) -> Option<&std::sync::Arc<ArenaPool>> {
+        self.shared.as_ref()
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Allocates `len` bytes and returns a packed reference.
+    ///
+    /// The referenced bytes are zero-initialized on first use of the arena
+    /// but may contain stale data from previously freed slices; callers
+    /// always overwrite before publishing.
+    pub fn allocate(&self, len: usize) -> Result<SliceRef, AllocError> {
+        if len == 0 {
+            return Err(AllocError::ZeroSized);
+        }
+        if len > MAX_SLICE_LEN || len > self.config.arena_size {
+            return Err(AllocError::TooLarge {
+                requested: len,
+                max: MAX_SLICE_LEN.min(self.config.arena_size),
+            });
+        }
+        let padded = round_up(len as u32);
+
+        loop {
+            let n = self.nblocks.load(Ordering::Acquire);
+            for i in 0..n {
+                let block = self.blocks[i].get().expect("block < nblocks initialized");
+                if let Some(offset) = block.free.lock().allocate(padded) {
+                    self.counters
+                        .allocated_bytes
+                        .fetch_add(padded as u64, Ordering::Relaxed);
+                    self.counters.alloc_count.fetch_add(1, Ordering::Relaxed);
+                    return Ok(SliceRef::new(i, offset, len as u32));
+                }
+            }
+            // All initialized arenas are full: reserve another one.
+            let _g = self.grow_lock.lock();
+            // Another thread may have grown the pool while we waited.
+            if self.nblocks.load(Ordering::Acquire) != n {
+                continue;
+            }
+            if n >= self.config.max_arenas {
+                return Err(AllocError::PoolExhausted);
+            }
+            let arena = match &self.shared {
+                Some(reservoir) => reservoir.take().ok_or(AllocError::PoolExhausted)?,
+                None => Arena::new(self.config.arena_size),
+            };
+            let block = Block {
+                arena,
+                free: Mutex::new(FreeList::new(self.config.arena_size as u32)),
+            };
+            self.blocks[n]
+                .set(block)
+                .unwrap_or_else(|_| panic!("block {n} double-initialized"));
+            self.nblocks.store(n + 1, Ordering::Release);
+        }
+    }
+
+    /// Returns a slice to the free list.
+    ///
+    /// # Safety-adjacent contract
+    /// The caller must guarantee `r` came from [`allocate`](Self::allocate)
+    /// on this pool, is freed at most once, and that no live view of the
+    /// bytes remains (enforced upstream by header locks / epoch deferral).
+    pub fn free(&self, r: SliceRef) {
+        assert!(!r.is_null(), "freeing the null reference");
+        let padded = round_up(r.len());
+        let block = self.block(r.block());
+        block.free.lock().free(r.offset(), padded);
+        self.counters
+            .freed_bytes
+            .fetch_add(padded as u64, Ordering::Relaxed);
+        self.counters.free_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn block(&self, idx: usize) -> &Block {
+        assert!(
+            idx < self.nblocks.load(Ordering::Acquire),
+            "block index {idx} out of range"
+        );
+        self.blocks[idx].get().expect("initialized block")
+    }
+
+    /// Shared view of the referenced bytes.
+    ///
+    /// # Safety
+    /// No thread may write this byte range while the returned slice is live
+    /// (immutable key bytes, or value bytes under the header read lock).
+    #[inline]
+    pub unsafe fn slice(&self, r: SliceRef) -> &[u8] {
+        self.block(r.block()).arena.slice(r.offset(), r.len())
+    }
+
+    /// Exclusive view of the referenced bytes.
+    ///
+    /// # Safety
+    /// The caller must have exclusive access to the byte range (value-header
+    /// write lock, or a freshly allocated unpublished slice).
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn slice_mut(&self, r: SliceRef) -> &mut [u8] {
+        self.block(r.block()).arena.slice_mut(r.offset(), r.len())
+    }
+
+    /// Writes `data` into a freshly allocated, not-yet-published slice.
+    ///
+    /// # Safety
+    /// `r` must be freshly allocated from this pool and not yet shared with
+    /// any other thread.
+    pub unsafe fn write_initial(&self, r: SliceRef, data: &[u8]) {
+        debug_assert_eq!(r.len() as usize, data.len());
+        self.slice_mut(r).copy_from_slice(data);
+    }
+
+    /// An `AtomicU32` embedded at offset `delta` inside slice `r`.
+    ///
+    /// # Safety
+    /// See [`Arena::atomic_u32`]; the word must lie inside slice `r`.
+    #[inline]
+    pub unsafe fn atomic_u32_at(&self, r: SliceRef, delta: u32) -> &std::sync::atomic::AtomicU32 {
+        debug_assert!(delta + 4 <= round_up(r.len()));
+        self.block(r.block()).arena.atomic_u32(r.offset() + delta)
+    }
+
+    /// An `AtomicU64` embedded at offset `delta` inside slice `r`.
+    ///
+    /// # Safety
+    /// See [`Arena::atomic_u64`]; the word must lie inside slice `r`.
+    #[inline]
+    pub unsafe fn atomic_u64_at(&self, r: SliceRef, delta: u32) -> &AtomicU64 {
+        debug_assert!(delta + 8 <= round_up(r.len()));
+        self.block(r.block()).arena.atomic_u64(r.offset() + delta)
+    }
+
+    /// Copies the referenced bytes out into a `Vec`.
+    ///
+    /// # Safety
+    /// Same contract as [`slice`](Self::slice).
+    pub unsafe fn copy_out(&self, r: SliceRef) -> Vec<u8> {
+        self.slice(r).to_vec()
+    }
+
+    /// Point-in-time footprint statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.counters.snapshot(
+            self.nblocks.load(Ordering::Acquire) as u64,
+            self.config.arena_size as u64,
+        )
+    }
+
+    pub(crate) fn counters(&self) -> &Counters {
+        &self.counters
+    }
+}
+
+impl Drop for MemoryPool {
+    fn drop(&mut self) {
+        // Hand arenas back to the shared reservoir, if any ("each arena …
+        // returns to the pool when that instance is disposed", §3.2).
+        let Some(reservoir) = self.shared.take() else {
+            return;
+        };
+        let blocks = std::mem::take(&mut self.blocks);
+        for slot in Vec::from(blocks) {
+            if let Some(block) = slot.into_inner() {
+                reservoir.give_back(block.arena);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MemoryPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryPool")
+            .field("arena_size", &self.config.arena_size)
+            .field("arenas", &self.nblocks.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tiny_pool() -> MemoryPool {
+        MemoryPool::new(PoolConfig {
+            arena_size: 4096,
+            max_arenas: 4,
+        })
+    }
+
+    #[test]
+    fn allocate_write_read() {
+        let pool = tiny_pool();
+        let r = pool.allocate(11).unwrap();
+        unsafe {
+            pool.write_initial(r, b"hello world");
+            assert_eq!(pool.slice(r), b"hello world");
+        }
+        assert_eq!(r.len(), 11);
+    }
+
+    #[test]
+    fn grows_to_more_arenas() {
+        let pool = tiny_pool();
+        let mut refs = Vec::new();
+        // Each arena fits 4096/1024 = 4 such allocations; 10 forces growth.
+        for _ in 0..10 {
+            refs.push(pool.allocate(1024).unwrap());
+        }
+        let stats = pool.stats();
+        assert!(stats.arenas >= 3);
+        assert_eq!(stats.alloc_count, 10);
+        // All refs distinct.
+        let mut raw: Vec<u64> = refs.iter().map(|r| r.to_raw()).collect();
+        raw.sort_unstable();
+        raw.dedup();
+        assert_eq!(raw.len(), 10);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let pool = tiny_pool();
+        let mut n = 0;
+        loop {
+            match pool.allocate(1024) {
+                Ok(_) => n += 1,
+                Err(AllocError::PoolExhausted) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(n, 16); // 4 arenas × 4 slots
+    }
+
+    #[test]
+    fn free_allows_reuse() {
+        let pool = MemoryPool::new(PoolConfig {
+            arena_size: 1024,
+            max_arenas: 1,
+        });
+        let r = pool.allocate(1024).unwrap();
+        assert!(matches!(
+            pool.allocate(8),
+            Err(AllocError::PoolExhausted)
+        ));
+        pool.free(r);
+        assert!(pool.allocate(1024).is_ok());
+        let stats = pool.stats();
+        assert_eq!(stats.free_count, 1);
+        assert_eq!(stats.live_bytes, 1024);
+    }
+
+    #[test]
+    fn zero_and_oversize_rejected() {
+        let pool = tiny_pool();
+        assert_eq!(pool.allocate(0), Err(AllocError::ZeroSized));
+        assert!(matches!(
+            pool.allocate(8192),
+            Err(AllocError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_allocation_yields_disjoint_slices() {
+        let pool = Arc::new(MemoryPool::new(PoolConfig {
+            arena_size: 1 << 16,
+            max_arenas: 8,
+        }));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut refs = Vec::new();
+                for i in 0..200usize {
+                    let r = pool.allocate(64).unwrap();
+                    unsafe {
+                        let s = pool.slice_mut(r);
+                        s.fill(t.wrapping_mul(31).wrapping_add(i as u8));
+                    }
+                    refs.push((r, t.wrapping_mul(31).wrapping_add(i as u8)));
+                }
+                // Verify our writes were not clobbered by other threads.
+                for (r, fill) in &refs {
+                    let s = unsafe { pool.slice(*r) };
+                    assert!(s.iter().all(|b| b == fill));
+                }
+                refs.len()
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 800);
+        assert_eq!(pool.stats().alloc_count, 800);
+    }
+}

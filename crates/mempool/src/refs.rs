@@ -1,0 +1,158 @@
+//! Packed 64-bit references into the pool.
+//!
+//! Oak's memory manager returns references "consisting of an arena id, an
+//! offset, and a length" (§3.2). We pack all three into a single `u64` so a
+//! chunk entry's value reference is one `AtomicU64` and the CAS steps of
+//! Algorithms 2 and 3 are single hardware CAS instructions.
+//!
+//! Layout (most significant to least significant):
+//!
+//! ```text
+//! | block+1 : 12 bits | offset : 32 bits | len : 20 bits |
+//! ```
+//!
+//! The block field stores `block_index + 1` so that the all-zero word is
+//! never a valid reference; `0` therefore encodes ⊥ (null).
+
+/// Number of bits used for the block (arena) index.
+pub const BLOCK_BITS: u32 = 12;
+/// Number of bits used for the byte offset within an arena.
+pub const OFFSET_BITS: u32 = 32;
+/// Number of bits used for the slice length.
+pub const LEN_BITS: u32 = 20;
+
+/// Maximum number of arenas a pool can hold (`block+1` must fit in 12 bits).
+pub const MAX_BLOCKS: usize = (1 << BLOCK_BITS) - 1;
+/// Maximum arena size in bytes (offsets must fit in 32 bits).
+pub const MAX_ARENA_SIZE: usize = u32::MAX as usize;
+/// Maximum length of a single allocation in bytes.
+pub const MAX_SLICE_LEN: usize = (1 << LEN_BITS) - 1;
+
+/// A packed reference to a byte slice inside a [`MemoryPool`](crate::MemoryPool).
+///
+/// `SliceRef` is `Copy`, 8 bytes, and convertible to/from a raw `u64` for
+/// storage in atomics. The zero word is the null reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SliceRef(u64);
+
+impl SliceRef {
+    /// The null reference (⊥ in the paper's pseudocode).
+    pub const NULL: SliceRef = SliceRef(0);
+
+    /// Packs `(block, offset, len)` into a reference.
+    ///
+    /// # Panics
+    /// Panics if any component exceeds its field width; the pool validates
+    /// sizes before calling this.
+    #[inline]
+    pub fn new(block: usize, offset: u32, len: u32) -> Self {
+        assert!(block < MAX_BLOCKS, "block index {block} out of range");
+        assert!((len as usize) <= MAX_SLICE_LEN, "len {len} out of range");
+        let packed = ((block as u64 + 1) << (OFFSET_BITS + LEN_BITS))
+            | ((offset as u64) << LEN_BITS)
+            | len as u64;
+        SliceRef(packed)
+    }
+
+    /// Returns `true` if this is the null reference.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The arena (block) index.
+    #[inline]
+    pub fn block(self) -> usize {
+        debug_assert!(!self.is_null());
+        ((self.0 >> (OFFSET_BITS + LEN_BITS)) - 1) as usize
+    }
+
+    /// The byte offset within the arena.
+    #[inline]
+    pub fn offset(self) -> u32 {
+        ((self.0 >> LEN_BITS) & ((1 << OFFSET_BITS) - 1)) as u32
+    }
+
+    /// The slice length in bytes.
+    #[inline]
+    pub fn len(self) -> u32 {
+        (self.0 & ((1 << LEN_BITS) - 1)) as u32
+    }
+
+    /// Returns `true` for zero-length slices (only the null ref in practice).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// The raw packed word, suitable for storage in an `AtomicU64`.
+    #[inline]
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a reference from a raw packed word.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        SliceRef(raw)
+    }
+}
+
+impl Default for SliceRef {
+    fn default() -> Self {
+        SliceRef::NULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_zero() {
+        assert!(SliceRef::NULL.is_null());
+        assert_eq!(SliceRef::NULL.to_raw(), 0);
+        assert_eq!(SliceRef::from_raw(0), SliceRef::NULL);
+    }
+
+    #[test]
+    fn round_trip_fields() {
+        let r = SliceRef::new(7, 123_456, 999);
+        assert!(!r.is_null());
+        assert_eq!(r.block(), 7);
+        assert_eq!(r.offset(), 123_456);
+        assert_eq!(r.len(), 999);
+        let raw = r.to_raw();
+        assert_eq!(SliceRef::from_raw(raw), r);
+    }
+
+    #[test]
+    fn block_zero_offset_zero_is_not_null() {
+        // The +1 bias guarantees (0, 0, len) packs to a non-zero word.
+        let r = SliceRef::new(0, 0, 1);
+        assert!(!r.is_null());
+        assert_eq!(r.block(), 0);
+        assert_eq!(r.offset(), 0);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn extremes_round_trip() {
+        let r = SliceRef::new(MAX_BLOCKS - 1, u32::MAX, MAX_SLICE_LEN as u32);
+        assert_eq!(r.block(), MAX_BLOCKS - 1);
+        assert_eq!(r.offset(), u32::MAX);
+        assert_eq!(r.len() as usize, MAX_SLICE_LEN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_block_panics() {
+        let _ = SliceRef::new(MAX_BLOCKS, 0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_len_panics() {
+        let _ = SliceRef::new(0, 0, MAX_SLICE_LEN as u32 + 1);
+    }
+}

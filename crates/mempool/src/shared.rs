@@ -1,0 +1,132 @@
+//! The shared arena pool (§3.2).
+//!
+//! "Oak's allocator manages a shared pool of large (100 MB by default)
+//! pre-allocated off-heap arenas. The pool supports multiple Oak instances.
+//! Each arena is associated with a single Oak instance and returns to the
+//! pool when that instance is disposed."
+//!
+//! [`ArenaPool`] pre-allocates its arenas eagerly — the point of the design
+//! is that short-lived ingestion structures (like Druid's I², created and
+//! disposed continuously) never touch the system allocator on their data
+//! path. A [`MemoryPool`](crate::MemoryPool) built with
+//! [`MemoryPool::with_shared`](crate::MemoryPool::with_shared) draws arenas
+//! from here and hands them back from its destructor.
+//!
+//! Returned arenas are **not** re-zeroed (zeroing 100 MB on every index
+//! disposal would defeat the purpose); all pool allocations are fully
+//! overwritten before publication, so recycled contents are never
+//! observable through the API.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::arena::Arena;
+
+/// A pre-allocated reservoir of equally sized arenas shared by multiple
+/// map instances.
+pub struct ArenaPool {
+    arena_size: usize,
+    capacity: usize,
+    free: Mutex<Vec<Arena>>,
+    taken: AtomicU64,
+    returned: AtomicU64,
+}
+
+/// Point-in-time statistics for an [`ArenaPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaPoolStats {
+    /// Arena size in bytes.
+    pub arena_size: usize,
+    /// Total arenas owned by the reservoir.
+    pub capacity: usize,
+    /// Arenas currently lent out to live instances.
+    pub outstanding: usize,
+    /// Cumulative take operations.
+    pub taken: u64,
+    /// Cumulative returns.
+    pub returned: u64,
+}
+
+impl ArenaPool {
+    /// Pre-allocates `capacity` arenas of `arena_size` bytes each.
+    pub fn new(arena_size: usize, capacity: usize) -> Self {
+        assert!(arena_size >= 64 && arena_size.is_multiple_of(8));
+        assert!(capacity >= 1);
+        let free = (0..capacity).map(|_| Arena::new(arena_size)).collect();
+        ArenaPool {
+            arena_size,
+            capacity,
+            free: Mutex::new(free),
+            taken: AtomicU64::new(0),
+            returned: AtomicU64::new(0),
+        }
+    }
+
+    /// Arena size in bytes.
+    pub fn arena_size(&self) -> usize {
+        self.arena_size
+    }
+
+    /// Takes an arena for a map instance; `None` when the reservoir is
+    /// exhausted (the caller surfaces `PoolExhausted`).
+    pub(crate) fn take(&self) -> Option<Arena> {
+        let a = self.free.lock().pop();
+        if a.is_some() {
+            self.taken.fetch_add(1, Ordering::Relaxed);
+        }
+        a
+    }
+
+    /// Returns an arena after its instance is disposed.
+    pub(crate) fn give_back(&self, arena: Arena) {
+        debug_assert_eq!(arena.len(), self.arena_size);
+        self.returned.fetch_add(1, Ordering::Relaxed);
+        self.free.lock().push(arena);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ArenaPoolStats {
+        ArenaPoolStats {
+            arena_size: self.arena_size,
+            capacity: self.capacity,
+            outstanding: self.capacity - self.free.lock().len(),
+            taken: self.taken.load(Ordering::Relaxed),
+            returned: self.returned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for ArenaPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArenaPool")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_and_return_cycle() {
+        let pool = ArenaPool::new(4096, 3);
+        assert_eq!(pool.stats().outstanding, 0);
+        let a = pool.take().unwrap();
+        let b = pool.take().unwrap();
+        assert_eq!(pool.stats().outstanding, 2);
+        pool.give_back(a);
+        assert_eq!(pool.stats().outstanding, 1);
+        let c = pool.take().unwrap();
+        let d = pool.take().unwrap();
+        assert!(pool.take().is_none(), "reservoir of 3 exhausted");
+        pool.give_back(b);
+        pool.give_back(c);
+        pool.give_back(d);
+        let s = pool.stats();
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(s.taken, 4);
+        assert_eq!(s.returned, 4);
+    }
+}

@@ -1,0 +1,69 @@
+//! Footprint accounting.
+//!
+//! Oak "supports fast estimation of its RAM footprint – a common application
+//! requirement" (§1.1). The pool keeps exact atomic counters so footprint
+//! queries are O(1) reads, and Figure 5c-style memory-overhead reports can be
+//! produced without walking the data structure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters owned by the pool.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) allocated_bytes: AtomicU64,
+    pub(crate) freed_bytes: AtomicU64,
+    pub(crate) alloc_count: AtomicU64,
+    pub(crate) free_count: AtomicU64,
+    pub(crate) header_bytes: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn snapshot(&self, arenas: u64, arena_size: u64) -> PoolStats {
+        let allocated = self.allocated_bytes.load(Ordering::Relaxed);
+        let freed = self.freed_bytes.load(Ordering::Relaxed);
+        PoolStats {
+            arenas,
+            reserved_bytes: arenas * arena_size,
+            live_bytes: allocated.saturating_sub(freed),
+            allocated_bytes: allocated,
+            freed_bytes: freed,
+            alloc_count: self.alloc_count.load(Ordering::Relaxed),
+            free_count: self.free_count.load(Ordering::Relaxed),
+            header_bytes: self.header_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of pool memory usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of arenas currently reserved.
+    pub arenas: u64,
+    /// Total bytes reserved from the OS (arenas × arena size). This is the
+    /// pool's RAM footprint.
+    pub reserved_bytes: u64,
+    /// Bytes currently allocated to live slices (granularity-rounded).
+    pub live_bytes: u64,
+    /// Cumulative bytes ever allocated.
+    pub allocated_bytes: u64,
+    /// Cumulative bytes ever freed.
+    pub freed_bytes: u64,
+    /// Number of allocations performed.
+    pub alloc_count: u64,
+    /// Number of frees performed.
+    pub free_count: u64,
+    /// Bytes consumed by value headers (never reclaimed by the default
+    /// memory manager, per paper §3.3).
+    pub header_bytes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of reserved memory holding live data; 0 for an empty pool.
+    pub fn utilization(&self) -> f64 {
+        if self.reserved_bytes == 0 {
+            0.0
+        } else {
+            self.live_bytes as f64 / self.reserved_bytes as f64
+        }
+    }
+}

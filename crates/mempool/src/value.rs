@@ -1,0 +1,720 @@
+//! The value-access layer: atomic `put`, `compute`, `remove`, `read`.
+//!
+//! `ValueStore` implements §3.3 of the paper. A *value* is a header slot
+//! (see [`crate::header`]) plus a separately allocated payload slice. The
+//! header's read-write lock makes each access method atomic; the deleted bit
+//! makes post-removal access fail. Because the payload is reached through an
+//! indirection in the header, `put` and `compute` can *resize* a value in
+//! place ("extends the value's memory allocation if its code so requires",
+//! §2.2) without disturbing concurrent operations that hold only the
+//! header reference.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{AccessError, AllocError};
+use crate::header::{Header, HeaderRef, LockState, HEADER_SIZE};
+use crate::pool::MemoryPool;
+use crate::refs::SliceRef;
+
+/// How value headers are reclaimed after removal (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReclamationPolicy {
+    /// The paper's default: removed values free their payload but retain
+    /// the 16-byte header forever. Header references are never reused, so
+    /// the `finalizeRemove` comparison is trivially ABA-free.
+    #[default]
+    RetainHeaders,
+    /// The paper's "more elaborate solution that uses generations (epochs)
+    /// in order to reclaim headers as well": removed headers are recycled
+    /// through a free list, and every reference carries the slot's
+    /// generation. A stale reference fails its generation check after
+    /// acquiring the lock — the "monotonically increasing ABA counter"
+    /// of §4.4.
+    ReclaimHeaders,
+}
+
+/// Width of the generation carried in a versioned header reference (the
+/// reference's length field).
+const GEN_BITS: u32 = 20;
+const GEN_MASK: u32 = (1 << GEN_BITS) - 1;
+
+/// Allocation and atomic access for header-fronted values.
+///
+/// Cloning is cheap: stores share the underlying pool and recycle list.
+///
+/// ```
+/// use std::sync::Arc;
+/// use oak_mempool::{MemoryPool, PoolConfig, ValueStore};
+///
+/// let store = ValueStore::new(Arc::new(MemoryPool::new(PoolConfig::small())));
+/// let v = store.allocate_value(b"hello").unwrap();
+/// assert_eq!(store.read_to_vec(v).unwrap(), b"hello");
+/// store.compute(v, |buf| buf.as_mut_slice().make_ascii_uppercase());
+/// assert_eq!(store.read_to_vec(v).unwrap(), b"HELLO");
+/// assert!(store.remove(v));
+/// assert!(store.read(v, |_| ()).is_err()); // deleted
+/// ```
+#[derive(Clone, Debug)]
+pub struct ValueStore {
+    pool: Arc<MemoryPool>,
+    policy: ReclamationPolicy,
+    /// Retired header slots awaiting reuse (reclaiming policy only).
+    recycled: Arc<Mutex<Vec<SliceRef>>>,
+}
+
+impl ValueStore {
+    /// Creates a value store over `pool` with the default (retaining)
+    /// policy.
+    pub fn new(pool: Arc<MemoryPool>) -> Self {
+        Self::with_policy(pool, ReclamationPolicy::RetainHeaders)
+    }
+
+    /// Creates a value store with an explicit reclamation policy.
+    pub fn with_policy(pool: Arc<MemoryPool>, policy: ReclamationPolicy) -> Self {
+        ValueStore {
+            pool,
+            policy,
+            recycled: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The active reclamation policy.
+    pub fn policy(&self) -> ReclamationPolicy {
+        self.policy
+    }
+
+    /// Number of retired header slots currently awaiting reuse.
+    pub fn recycled_headers(&self) -> usize {
+        self.recycled.lock().len()
+    }
+
+    /// The underlying pool (shared with key storage and footprint queries).
+    pub fn pool(&self) -> &Arc<MemoryPool> {
+        &self.pool
+    }
+
+    /// Whether `header`'s current generation matches reference `h`.
+    #[inline]
+    fn gen_matches(&self, header: &Header<'_>, h: HeaderRef) -> bool {
+        match self.policy {
+            ReclamationPolicy::RetainHeaders => true,
+            ReclamationPolicy::ReclaimHeaders => header.generation() & GEN_MASK == h.len(),
+        }
+    }
+
+    /// Acquires the read lock and validates the reference generation.
+    fn read_locked(&self, h: HeaderRef) -> Result<Header<'_>, AccessError> {
+        // SAFETY: h designates a header slot from allocate_value.
+        let header = unsafe { Header::at(&self.pool, h) };
+        header.read_lock()?;
+        if !self.gen_matches(&header, h) {
+            header.read_unlock();
+            return Err(AccessError::Deleted);
+        }
+        Ok(header)
+    }
+
+    /// Acquires the write lock and validates the reference generation.
+    fn write_locked(&self, h: HeaderRef) -> Result<Header<'_>, AccessError> {
+        // SAFETY: h designates a header slot from allocate_value.
+        let header = unsafe { Header::at(&self.pool, h) };
+        header.write_lock()?;
+        if !self.gen_matches(&header, h) {
+            header.write_unlock();
+            return Err(AccessError::Deleted);
+        }
+        Ok(header)
+    }
+
+    /// Allocates a fresh value holding `data` and returns its header ref.
+    ///
+    /// The value is unlocked and not deleted. Empty values are allowed (the
+    /// payload reference is null and reads observe `&[]`).
+    pub fn allocate_value(&self, data: &[u8]) -> Result<HeaderRef, AllocError> {
+        let payload = if data.is_empty() {
+            SliceRef::NULL
+        } else {
+            let p = self.pool.allocate(data.len())?;
+            // SAFETY: freshly allocated, unpublished.
+            unsafe { self.pool.write_initial(p, data) };
+            p
+        };
+        // Reuse a retired slot under the reclaiming policy (popped only
+        // after the fallible payload allocation so slots never leak).
+        let recycled_slot = match self.policy {
+            ReclamationPolicy::RetainHeaders => None,
+            ReclamationPolicy::ReclaimHeaders => self.recycled.lock().pop(),
+        };
+        if let Some(slot) = recycled_slot {
+            // SAFETY: slot is a retired header from this store.
+            let header = unsafe { Header::at(&self.pool, slot) };
+            let generation = header.generation() & GEN_MASK;
+            header.set_payload(payload);
+            // Publish to the lock protocol last: until this store, stale
+            // readers fail on the deleted bit; afterwards they fail the
+            // generation check.
+            header.reset_state();
+            return Ok(SliceRef::new(slot.block(), slot.offset(), generation));
+        }
+        let href = self.pool.allocate(HEADER_SIZE)?;
+        self.pool
+            .counters()
+            .header_bytes
+            .fetch_add(HEADER_SIZE as u64, Ordering::Relaxed);
+        // SAFETY: href is a fresh 16-byte 8-aligned slot. It may be
+        // recycled arena memory (frees of *payloads* can hand the same
+        // region back); reset all three words before publication.
+        let header = unsafe { Header::at(&self.pool, href) };
+        unsafe {
+            self.pool.atomic_u32_at(href, 0).store(0, Ordering::Relaxed);
+            self.pool.atomic_u32_at(href, 4).store(0, Ordering::Relaxed);
+        }
+        header.set_payload(payload);
+        match self.policy {
+            ReclamationPolicy::RetainHeaders => Ok(href),
+            // Fresh slot: generation 0.
+            ReclamationPolicy::ReclaimHeaders => {
+                Ok(SliceRef::new(href.block(), href.offset(), 0))
+            }
+        }
+    }
+
+    /// Atomically reads the value, passing the payload bytes to `f`.
+    ///
+    /// Fails with [`AccessError::Deleted`] if the value was removed.
+    pub fn read<R>(&self, h: HeaderRef, f: impl FnOnce(&[u8]) -> R) -> Result<R, AccessError> {
+        let header = self.read_locked(h)?;
+        let payload = header.payload();
+        let result = if payload.is_null() {
+            f(&[])
+        } else {
+            // SAFETY: read lock held — no writer can mutate or free payload.
+            f(unsafe { self.pool.slice(payload) })
+        };
+        header.read_unlock();
+        Ok(result)
+    }
+
+    /// Atomically replaces the value's contents with `data` (the paper's
+    /// `v.put`). Returns `Ok(false)` if the value is deleted.
+    pub fn put(&self, h: HeaderRef, data: &[u8]) -> Result<bool, AllocError> {
+        let Ok(header) = self.write_locked(h) else {
+            return Ok(false);
+        };
+        let old = header.payload();
+        let result = if old.len() as usize == data.len() {
+            if !data.is_empty() {
+                // SAFETY: write lock grants exclusive payload access.
+                unsafe { self.pool.slice_mut(old) }.copy_from_slice(data);
+            }
+            Ok(true)
+        } else {
+            // Resize: allocate-copy-swap-free, all under the write lock.
+            match self.replace_payload(&header, old, data) {
+                Ok(()) => Ok(true),
+                Err(e) => Err(e),
+            }
+        };
+        header.write_unlock();
+        result
+    }
+
+    fn replace_payload(
+        &self,
+        header: &Header<'_>,
+        old: SliceRef,
+        data: &[u8],
+    ) -> Result<(), AllocError> {
+        let new = if data.is_empty() {
+            SliceRef::NULL
+        } else {
+            let p = self.pool.allocate(data.len())?;
+            unsafe { self.pool.write_initial(p, data) };
+            p
+        };
+        header.set_payload(new);
+        if !old.is_null() {
+            self.pool.free(old);
+        }
+        Ok(())
+    }
+
+    /// Like [`put`](Self::put), but atomically returns a copy of the old
+    /// contents (the legacy `ConcurrentNavigableMap.put` shape, which must
+    /// return the previous value). Returns `Ok(None)` if deleted.
+    pub fn replace(&self, h: HeaderRef, data: &[u8]) -> Result<Option<Vec<u8>>, AllocError> {
+        let Ok(header) = self.write_locked(h) else {
+            return Ok(None);
+        };
+        let old = header.payload();
+        let old_copy = if old.is_null() {
+            Vec::new()
+        } else {
+            // SAFETY: write lock grants exclusive payload access.
+            unsafe { self.pool.slice(old) }.to_vec()
+        };
+        let result = if old.len() as usize == data.len() {
+            if !data.is_empty() {
+                unsafe { self.pool.slice_mut(old) }.copy_from_slice(data);
+            }
+            Ok(Some(old_copy))
+        } else {
+            match self.replace_payload(&header, old, data) {
+                Ok(()) => Ok(Some(old_copy)),
+                Err(e) => Err(e),
+            }
+        };
+        header.write_unlock();
+        result
+    }
+
+    /// Atomically applies `f` to the value in place (the paper's
+    /// `v.compute`). Returns `None` if the value is deleted, otherwise the
+    /// closure's result. The closure receives a [`ValueBytesMut`] supporting
+    /// reads, writes, and resizing.
+    pub fn compute<R>(
+        &self,
+        h: HeaderRef,
+        f: impl FnOnce(&mut ValueBytesMut<'_>) -> R,
+    ) -> Option<R> {
+        let Ok(header) = self.write_locked(h) else {
+            return None;
+        };
+        let payload = header.payload();
+        let mut guard = ValueBytesMut {
+            store: self,
+            header: &header,
+            payload,
+        };
+        let result = f(&mut guard);
+        header.write_unlock();
+        Some(result)
+    }
+
+    /// Like [`remove`](Self::remove), but atomically returns a copy of the
+    /// removed contents (legacy `ConcurrentNavigableMap.remove` shape).
+    pub fn remove_returning(&self, h: HeaderRef) -> Option<Vec<u8>> {
+        let Ok(header) = self.write_locked(h) else {
+            return None;
+        };
+        let payload = header.payload();
+        let copy = if payload.is_null() {
+            Vec::new()
+        } else {
+            // SAFETY: write lock held.
+            unsafe { self.pool.slice(payload) }.to_vec()
+        };
+        header.set_payload(SliceRef::NULL);
+        self.retire(&header, h);
+        if !payload.is_null() {
+            self.pool.free(payload);
+        }
+        Some(copy)
+    }
+
+    /// Marks the value deleted and, under the reclaiming policy, bumps the
+    /// generation and queues the slot for reuse. Caller holds the write
+    /// lock, which this releases.
+    fn retire(&self, header: &Header<'_>, h: HeaderRef) {
+        if self.policy == ReclamationPolicy::ReclaimHeaders {
+            // Invalidate outstanding references before the deleted bit is
+            // even cleared by a future recycle.
+            header.bump_generation();
+        }
+        header.mark_deleted_and_unlock();
+        if self.policy == ReclamationPolicy::ReclaimHeaders {
+            self.recycled
+                .lock()
+                .push(SliceRef::new(h.block(), h.offset(), HEADER_SIZE as u32));
+        }
+    }
+
+    /// Atomically marks the value deleted and reclaims its payload (the
+    /// paper's `v.remove`). Returns `false` if already deleted — exactly one
+    /// caller succeeds.
+    pub fn remove(&self, h: HeaderRef) -> bool {
+        let Ok(header) = self.write_locked(h) else {
+            return false;
+        };
+        let payload = header.payload();
+        header.set_payload(SliceRef::NULL);
+        // The linearization point: deleted becomes visible to all.
+        self.retire(&header, h);
+        if !payload.is_null() {
+            // Safe to reclaim: any reader must first take the read lock,
+            // which now fails on the deleted bit; readers that held the lock
+            // before we acquired the write lock have already released it.
+            self.pool.free(payload);
+        }
+        true
+    }
+
+    /// Whether the value's deleted bit is set.
+    pub fn is_deleted(&self, h: HeaderRef) -> bool {
+        let header = unsafe { Header::at(&self.pool, h) };
+        header.is_deleted() || !self.gen_matches(&header, h)
+    }
+
+    /// Current payload length in bytes; fails if deleted.
+    pub fn value_len(&self, h: HeaderRef) -> Result<usize, AccessError> {
+        self.read(h, |b| b.len())
+    }
+
+    /// Copies the value out; fails if deleted.
+    pub fn read_to_vec(&self, h: HeaderRef) -> Result<Vec<u8>, AccessError> {
+        self.read(h, |b| b.to_vec())
+    }
+
+    /// Diagnostic view of the header lock word.
+    pub fn lock_state(&self, h: HeaderRef) -> LockState {
+        unsafe { Header::at(&self.pool, h) }.lock_state()
+    }
+}
+
+/// Read-only alias used by zero-copy buffer APIs.
+pub type ValueBytes<'a> = &'a [u8];
+
+/// Exclusive, resizable access to a value's payload inside
+/// [`ValueStore::compute`]. The header write lock is held for the guard's
+/// whole lifetime.
+pub struct ValueBytesMut<'a> {
+    store: &'a ValueStore,
+    header: &'a Header<'a>,
+    payload: SliceRef,
+}
+
+impl ValueBytesMut<'_> {
+    /// Current length of the payload in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len() as usize
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_null() || self.payload.len() == 0
+    }
+
+    /// Shared view of the payload.
+    pub fn as_slice(&self) -> &[u8] {
+        if self.payload.is_null() {
+            &[]
+        } else {
+            // SAFETY: write lock held for the guard lifetime.
+            unsafe { self.store.pool.slice(self.payload) }
+        }
+    }
+
+    /// Exclusive view of the payload.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        if self.payload.is_null() {
+            &mut []
+        } else {
+            // SAFETY: write lock held for the guard lifetime.
+            unsafe { self.store.pool.slice_mut(self.payload) }
+        }
+    }
+
+    /// Resizes the payload to `new_len` bytes, preserving the common prefix
+    /// and zero-filling any extension. This is how `compute` lambdas grow a
+    /// value ("extends the value's memory allocation if its code so
+    /// requires").
+    pub fn resize(&mut self, new_len: usize) -> Result<(), AllocError> {
+        if new_len == self.len() {
+            return Ok(());
+        }
+        let new = if new_len == 0 {
+            SliceRef::NULL
+        } else {
+            let p = self.store.pool.allocate(new_len)?;
+            let keep = new_len.min(self.len());
+            // SAFETY: p is fresh and unpublished; old payload exclusive.
+            unsafe {
+                let dst = self.store.pool.slice_mut(p);
+                dst[..keep].copy_from_slice(&self.as_slice()[..keep]);
+                dst[keep..].fill(0);
+            }
+            p
+        };
+        let old = self.payload;
+        self.header.set_payload(new);
+        self.payload = new;
+        if !old.is_null() {
+            self.store.pool.free(old);
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` at byte offset `at`.
+    pub fn get_u64(&self, at: usize) -> u64 {
+        u64::from_le_bytes(self.as_slice()[at..at + 8].try_into().unwrap())
+    }
+
+    /// Writes a little-endian `u64` at byte offset `at`.
+    pub fn put_u64(&mut self, at: usize, v: u64) {
+        self.as_mut_slice()[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+
+    fn vs() -> ValueStore {
+        ValueStore::new(Arc::new(MemoryPool::new(PoolConfig::small())))
+    }
+
+    #[test]
+    fn allocate_and_read() {
+        let vs = vs();
+        let h = vs.allocate_value(b"value-1").unwrap();
+        assert_eq!(vs.read_to_vec(h).unwrap(), b"value-1");
+        assert_eq!(vs.value_len(h).unwrap(), 7);
+        assert!(!vs.is_deleted(h));
+    }
+
+    #[test]
+    fn empty_value_supported() {
+        let vs = vs();
+        let h = vs.allocate_value(b"").unwrap();
+        assert_eq!(vs.read_to_vec(h).unwrap(), Vec::<u8>::new());
+        assert!(vs.put(h, b"now nonempty").unwrap());
+        assert_eq!(vs.read_to_vec(h).unwrap(), b"now nonempty");
+    }
+
+    #[test]
+    fn put_same_size_in_place() {
+        let vs = vs();
+        let h = vs.allocate_value(b"aaaa").unwrap();
+        let before = vs.pool().stats().alloc_count;
+        assert!(vs.put(h, b"bbbb").unwrap());
+        // Same-size put must not allocate.
+        assert_eq!(vs.pool().stats().alloc_count, before);
+        assert_eq!(vs.read_to_vec(h).unwrap(), b"bbbb");
+    }
+
+    #[test]
+    fn put_resizes() {
+        let vs = vs();
+        let h = vs.allocate_value(b"short").unwrap();
+        assert!(vs.put(h, b"a much longer value indeed").unwrap());
+        assert_eq!(vs.read_to_vec(h).unwrap(), b"a much longer value indeed");
+        assert!(vs.put(h, b"x").unwrap());
+        assert_eq!(vs.read_to_vec(h).unwrap(), b"x");
+    }
+
+    #[test]
+    fn remove_is_exactly_once() {
+        let vs = vs();
+        let h = vs.allocate_value(b"gone").unwrap();
+        assert!(vs.remove(h));
+        assert!(!vs.remove(h));
+        assert!(vs.is_deleted(h));
+        assert_eq!(vs.read(h, |_| ()), Err(AccessError::Deleted));
+        assert_eq!(vs.put(h, b"zz"), Ok(false));
+        assert!(vs.compute(h, |_| ()).is_none());
+    }
+
+    #[test]
+    fn compute_mutates_in_place() {
+        let vs = vs();
+        let h = vs.allocate_value(&0u64.to_le_bytes()).unwrap();
+        for _ in 0..10 {
+            vs.compute(h, |b| {
+                let v = b.get_u64(0);
+                b.put_u64(0, v + 1);
+            })
+            .unwrap();
+        }
+        let v = vs.read(h, |b| u64::from_le_bytes(b.try_into().unwrap())).unwrap();
+        assert_eq!(v, 10);
+    }
+
+    #[test]
+    fn compute_can_grow_value() {
+        let vs = vs();
+        let h = vs.allocate_value(b"ab").unwrap();
+        vs.compute(h, |b| {
+            b.resize(6).unwrap();
+            b.as_mut_slice()[2..].copy_from_slice(b"cdef");
+        })
+        .unwrap();
+        assert_eq!(vs.read_to_vec(h).unwrap(), b"abcdef");
+        // Shrink preserves prefix.
+        vs.compute(h, |b| b.resize(3).unwrap()).unwrap();
+        assert_eq!(vs.read_to_vec(h).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn remove_frees_payload_but_not_header() {
+        let vs = vs();
+        let h = vs.allocate_value(&[7u8; 1000]).unwrap();
+        let live_before = vs.pool().stats().live_bytes;
+        assert!(vs.remove(h));
+        let stats = vs.pool().stats();
+        // Payload (1000 → 1000 padded) freed; 16-byte header retained.
+        assert_eq!(live_before - stats.live_bytes, 1000);
+        assert_eq!(stats.header_bytes, 16);
+    }
+
+    #[test]
+    fn concurrent_compute_is_atomic() {
+        // Increment a counter from many threads through compute; the header
+        // write lock must make every increment take effect exactly once.
+        let vs = Arc::new(vs());
+        let h = vs.allocate_value(&0u64.to_le_bytes()).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let vs = vs.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    vs.compute(h, |b| {
+                        let v = b.get_u64(0);
+                        b.put_u64(0, v + 1);
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for hdl in handles {
+            hdl.join().unwrap();
+        }
+        let v = vs
+            .read(h, |b| u64::from_le_bytes(b.try_into().unwrap()))
+            .unwrap();
+        assert_eq!(v, 2000);
+    }
+
+    #[test]
+    fn concurrent_remove_single_winner() {
+        let vs = Arc::new(vs());
+        for _ in 0..50 {
+            let h = vs.allocate_value(b"contended").unwrap();
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let vs = vs.clone();
+                handles.push(std::thread::spawn(move || vs.remove(h) as u32));
+            }
+            let winners: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(winners, 1, "exactly one remove must succeed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod reclaim_tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+
+    fn vs() -> ValueStore {
+        ValueStore::with_policy(
+            Arc::new(MemoryPool::new(PoolConfig::small())),
+            ReclamationPolicy::ReclaimHeaders,
+        )
+    }
+
+    #[test]
+    fn headers_are_recycled() {
+        let store = vs();
+        let h1 = store.allocate_value(b"first").unwrap();
+        let slab_after_first = store.pool().stats().header_bytes;
+        assert!(store.remove(h1));
+        assert_eq!(store.recycled_headers(), 1);
+        let h2 = store.allocate_value(b"second").unwrap();
+        assert_eq!(store.recycled_headers(), 0);
+        // Same physical slot, different generation.
+        assert_eq!((h1.block(), h1.offset()), (h2.block(), h2.offset()));
+        assert_ne!(h1.len(), h2.len());
+        // No new header slab space was consumed.
+        assert_eq!(store.pool().stats().header_bytes, slab_after_first);
+        assert_eq!(store.read_to_vec(h2).unwrap(), b"second");
+    }
+
+    #[test]
+    fn stale_reference_fails_all_access() {
+        let store = vs();
+        let h_old = store.allocate_value(b"old").unwrap();
+        assert!(store.remove(h_old));
+        let h_new = store.allocate_value(b"new").unwrap();
+        // h_old points at the recycled slot now holding "new": every access
+        // through the stale reference must fail, not observe "new".
+        assert_eq!(store.read(h_old, |b| b.to_vec()), Err(AccessError::Deleted));
+        assert_eq!(store.put(h_old, b"clobber"), Ok(false));
+        assert!(store.compute(h_old, |_| ()).is_none());
+        assert!(!store.remove(h_old), "stale remove must not kill the new value");
+        assert!(store.is_deleted(h_old));
+        // The new value is untouched.
+        assert_eq!(store.read_to_vec(h_new).unwrap(), b"new");
+        assert!(!store.is_deleted(h_new));
+    }
+
+    #[test]
+    fn header_slab_stays_bounded_under_churn() {
+        let store = vs();
+        for i in 0..10_000u32 {
+            let h = store.allocate_value(&i.to_le_bytes()).unwrap();
+            assert!(store.remove(h));
+        }
+        let stats = store.pool().stats();
+        // The retaining policy would have burned 10_000 × 16 B of headers;
+        // recycling caps the slab at a handful of slots.
+        assert!(
+            stats.header_bytes <= 16 * 8,
+            "header slab grew to {} bytes",
+            stats.header_bytes
+        );
+    }
+
+    #[test]
+    fn concurrent_churn_with_stale_readers() {
+        let store = Arc::new(vs());
+        let h0 = store.allocate_value(&0u64.to_le_bytes()).unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        // Writer: endless remove/allocate cycles on the same slot.
+        let writer = {
+            let (store, stop) = (store.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut h = h0;
+                let mut i = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    assert!(store.remove(h));
+                    h = store.allocate_value(&i.to_le_bytes()).unwrap();
+                    i += 1;
+                }
+            })
+        };
+        // Stale readers: only ever use the original reference; they must
+        // see either the original value (before its removal) or Deleted —
+        // never a torn or newer value.
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let store = store.clone();
+            readers.push(std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    match store.read(h0, |b| u64::from_le_bytes(b.try_into().unwrap())) {
+                        Ok(v) => assert_eq!(v, 0, "stale ref observed a newer value"),
+                        Err(AccessError::Deleted) => {}
+                    }
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn retaining_policy_unaffected() {
+        let store = ValueStore::new(Arc::new(MemoryPool::new(PoolConfig::small())));
+        let h = store.allocate_value(b"x").unwrap();
+        store.remove(h);
+        assert_eq!(store.recycled_headers(), 0);
+        let h2 = store.allocate_value(b"y").unwrap();
+        assert_ne!((h.block(), h.offset()), (h2.block(), h2.offset()));
+    }
+}

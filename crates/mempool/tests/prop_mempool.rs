@@ -1,0 +1,182 @@
+//! Property-based tests for the memory pool substrate.
+//!
+//! These check the allocator invariants the rest of the system leans on:
+//! no double-allocation, exact accounting, reference round-trips, and value
+//! store sequential consistency against a model.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use oak_mempool::{AllocError, FreeList, MemoryPool, PoolConfig, SliceRef, ValueStore};
+use proptest::prelude::*;
+
+/// Model-checks the free list: random interleavings of allocs and frees must
+/// keep segments disjoint, keep accounting exact, and never hand out
+/// overlapping regions.
+#[derive(Debug, Clone)]
+enum FlOp {
+    Alloc(u32),
+    FreeNth(usize),
+}
+
+fn fl_ops() -> impl Strategy<Value = Vec<FlOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..400).prop_map(|n| FlOp::Alloc(n * 8)),
+            (0usize..64).prop_map(FlOp::FreeNth),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn freelist_never_overlaps(ops in fl_ops()) {
+        let cap = 64 * 1024;
+        let mut fl = FreeList::new(cap);
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for op in ops {
+            match op {
+                FlOp::Alloc(len) => {
+                    if let Some(off) = fl.allocate(len) {
+                        // Must not overlap any live allocation.
+                        for &(o, l) in &live {
+                            prop_assert!(
+                                off + len <= o || o + l <= off,
+                                "overlap: new [{off},+{len}) vs live [{o},+{l})"
+                            );
+                        }
+                        live.push((off, len));
+                    }
+                }
+                FlOp::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let (off, len) = live.swap_remove(i % live.len());
+                        fl.free(off, len);
+                    }
+                }
+            }
+            fl.check_invariants();
+            let live_bytes: u64 = live.iter().map(|&(_, l)| l as u64).sum();
+            prop_assert_eq!(fl.free_bytes() + live_bytes, cap as u64);
+        }
+    }
+
+    #[test]
+    fn slice_refs_round_trip(block in 0usize..100, offset in 0u32..1_000_000, len in 1u32..100_000) {
+        let r = SliceRef::new(block, offset, len);
+        let raw = r.to_raw();
+        let back = SliceRef::from_raw(raw);
+        prop_assert_eq!(back.block(), block);
+        prop_assert_eq!(back.offset(), offset);
+        prop_assert_eq!(back.len(), len);
+        prop_assert!(!back.is_null());
+    }
+
+    /// Pool allocations hold their contents: write a fingerprint into every
+    /// allocation, free a random subset, allocate more, and verify the
+    /// survivors are intact (i.e. reuse never clobbers live data).
+    #[test]
+    fn pool_preserves_live_contents(sizes in prop::collection::vec(1usize..2048, 1..100),
+                                    free_mask in prop::collection::vec(any::<bool>(), 1..100)) {
+        let pool = MemoryPool::new(PoolConfig { arena_size: 1 << 16, max_arenas: 64 });
+        let mut live: HashMap<u64, u8> = HashMap::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            let r = pool.allocate(sz).unwrap();
+            let tag = (i % 251) as u8;
+            unsafe { pool.slice_mut(r) }.fill(tag);
+            live.insert(r.to_raw(), tag);
+            if *free_mask.get(i).unwrap_or(&false) {
+                // Free a random earlier allocation (the first in map order).
+                if let Some((&raw, _)) = live.iter().next() {
+                    pool.free(SliceRef::from_raw(raw));
+                    live.remove(&raw);
+                }
+            }
+        }
+        for (&raw, &tag) in &live {
+            let r = SliceRef::from_raw(raw);
+            let s = unsafe { pool.slice(r) };
+            prop_assert!(s.iter().all(|&b| b == tag), "clobbered allocation");
+        }
+    }
+
+    /// The value store agrees with a sequential model under arbitrary
+    /// single-threaded op sequences.
+    #[test]
+    fn value_store_matches_model(ops in prop::collection::vec(0u8..5, 1..200),
+                                 payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..200)) {
+        let vs = ValueStore::new(Arc::new(MemoryPool::new(PoolConfig::small())));
+        let mut handles: Vec<(oak_mempool::HeaderRef, Option<Vec<u8>>)> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let data = &payloads[i % payloads.len()];
+            match op {
+                0 => {
+                    let h = vs.allocate_value(data).unwrap();
+                    handles.push((h, Some(data.clone())));
+                }
+                1 if !handles.is_empty() => {
+                    let idx = i % handles.len();
+                    let (h, model) = &mut handles[idx];
+                    let ok = vs.put(*h, data).unwrap();
+                    prop_assert_eq!(ok, model.is_some());
+                    if model.is_some() {
+                        *model = Some(data.clone());
+                    }
+                }
+                2 if !handles.is_empty() => {
+                    let idx = i % handles.len();
+                    let (h, model) = &mut handles[idx];
+                    let ok = vs.remove(*h);
+                    prop_assert_eq!(ok, model.is_some());
+                    *model = None;
+                }
+                3 if !handles.is_empty() => {
+                    let idx = i % handles.len();
+                    let (h, model) = &handles[idx];
+                    match (vs.read_to_vec(*h), model) {
+                        (Ok(bytes), Some(m)) => prop_assert_eq!(&bytes, m),
+                        (Err(_), None) => {}
+                        (got, want) => prop_assert!(false, "mismatch: {:?} vs {:?}", got, want),
+                    }
+                }
+                4 if !handles.is_empty() => {
+                    let idx = i % handles.len();
+                    let (h, model) = &mut handles[idx];
+                    let res = vs.compute(*h, |b| {
+                        let n = b.len();
+                        b.resize(n + 1).unwrap();
+                        b.as_mut_slice()[n] = 0xAB;
+                    });
+                    prop_assert_eq!(res.is_some(), model.is_some());
+                    if let Some(m) = model {
+                        m.push(0xAB);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Deterministic regression: pool exhaustion surfaces as an error, never a
+/// panic or a bogus reference.
+#[test]
+fn budget_exhaustion_is_clean() {
+    let pool = MemoryPool::new(PoolConfig {
+        arena_size: 4096,
+        max_arenas: 2,
+    });
+    let mut got = 0;
+    loop {
+        match pool.allocate(512) {
+            Ok(_) => got += 1,
+            Err(AllocError::PoolExhausted) => break,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert_eq!(got, 16);
+    assert_eq!(pool.stats().reserved_bytes, 8192);
+}

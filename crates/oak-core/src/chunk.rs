@@ -1,0 +1,716 @@
+//! Chunk objects (§3.1, §4.1).
+//!
+//! A chunk covers a contiguous key range `[minKey, next.minKey)` and holds
+//! an array of entries referencing off-heap keys and values. When a chunk
+//! is created (by rebalance) a *sorted prefix* of the array is filled and
+//! linked in order; later insertions take a cell by fetch-and-add and are
+//! spliced into the intra-chunk linked list as *bypasses*, keeping searches
+//! logarithmic-plus-short-walk (binary search on the prefix, then a list
+//! walk).
+//!
+//! ## Publish/freeze protocol
+//!
+//! The paper coordinates updates with the rebalancer through a per-thread
+//! publication array; rebalance "may help published operations complete
+//! (for lock-freedom), but for simplicity, our description herein assumes
+//! that it does not. Hence, we always retry an operation upon failure"
+//! (§4.1). Since helping is explicitly out of scope, we implement the same
+//! guarantee with a single word per chunk: a publication *counter* plus a
+//! FROZEN bit. `publish` increments the counter unless the chunk is frozen;
+//! `freeze` sets the bit and waits for the counter to drain. After `freeze`
+//! returns, no published mutation is in flight and none can start — exactly
+//! the invariant the rebalancer needs before copying entries.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Mutex, RwLock};
+
+use oak_mempool::{HeaderRef, MemoryPool, SliceRef};
+
+use crate::cmp::KeyComparator;
+
+/// Sentinel entry index for "no entry".
+pub(crate) const NONE: u32 = u32::MAX;
+
+const FROZEN: u32 = 1 << 31;
+
+/// One slot of the entries array. `key` is written once before the entry is
+/// published (linked); `value` is the CAS target of Algorithms 2–3.
+pub(crate) struct Entry {
+    key: AtomicU64,
+    value: AtomicU64,
+    next: AtomicU32,
+}
+
+impl Entry {
+    fn empty() -> Self {
+        Entry {
+            key: AtomicU64::new(0),
+            value: AtomicU64::new(0),
+            next: AtomicU32::new(NONE),
+        }
+    }
+}
+
+/// Outcome of [`Chunk::ll_put_if_absent`].
+pub(crate) enum LinkOutcome {
+    /// The entry was linked.
+    Linked,
+    /// An entry with the same key already exists; its index is returned.
+    Found(u32),
+    /// The chunk is frozen; the caller must retry after rebalance.
+    Frozen,
+}
+
+/// A chunk of the Oak map.
+pub(crate) struct Chunk {
+    /// Lower bound of this chunk's key range (invariant over its lifetime).
+    pub(crate) min_key: Box<[u8]>,
+    entries: Box<[Entry]>,
+    /// Number of entries in the sorted prefix (immutable after creation).
+    sorted_count: u32,
+    /// Allocation cursor: next free cell (starts at `sorted_count`).
+    alloc_cursor: AtomicU32,
+    /// First entry of the intra-chunk linked list.
+    head: AtomicU32,
+    /// FROZEN bit + count of published (in-flight) mutations.
+    sync: AtomicU32,
+    /// Heuristic count of live entries (maintained at insert/remove
+    /// linearization points; drives the merge policy).
+    live_hint: AtomicU32,
+    /// Index of a recently linked entry (NONE when unset): a search-start
+    /// hint that turns monotone ingestion (e.g. Druid's time-ordered keys,
+    /// §6) from an O(suffix) walk per insert into O(1) amortized. Purely an
+    /// optimization — the hint is validated by key comparison before use
+    /// and only ever set to entries that are linked (linked entries never
+    /// leave the list until the chunk is replaced).
+    link_hint: AtomicU32,
+    /// Next chunk in the chunk list.
+    next: RwLock<Option<Arc<Chunk>>>,
+    /// Set when this chunk has been replaced by rebalance: the chunks that
+    /// now cover its range (first element starts at `min_key`).
+    replacement: OnceLock<Arc<Chunk>>,
+    /// Serializes rebalances engaging this chunk.
+    pub(crate) rebalance_lock: Mutex<()>,
+}
+
+impl Chunk {
+    /// Creates an empty chunk (used for the initial chunk, `minKey` = −∞).
+    pub(crate) fn new_empty(capacity: u32, min_key: Box<[u8]>) -> Self {
+        Chunk {
+            min_key,
+            entries: (0..capacity).map(|_| Entry::empty()).collect(),
+            sorted_count: 0,
+            alloc_cursor: AtomicU32::new(0),
+            head: AtomicU32::new(NONE),
+            sync: AtomicU32::new(0),
+            live_hint: AtomicU32::new(0),
+            link_hint: AtomicU32::new(NONE),
+            next: RwLock::new(None),
+            replacement: OnceLock::new(),
+            rebalance_lock: Mutex::new(()),
+        }
+    }
+
+    /// Creates a chunk pre-filled with a sorted prefix of `(key, value)`
+    /// reference pairs (used by rebalance).
+    pub(crate) fn new_sorted(
+        capacity: u32,
+        min_key: Box<[u8]>,
+        items: &[(SliceRef, u64)],
+    ) -> Self {
+        assert!(items.len() as u32 <= capacity);
+        let entries: Box<[Entry]> = (0..capacity).map(|_| Entry::empty()).collect();
+        for (i, &(k, v)) in items.iter().enumerate() {
+            entries[i].key.store(k.to_raw(), Ordering::Relaxed);
+            entries[i].value.store(v, Ordering::Relaxed);
+            let nxt = if i + 1 < items.len() {
+                (i + 1) as u32
+            } else {
+                NONE
+            };
+            entries[i].next.store(nxt, Ordering::Relaxed);
+        }
+        Chunk {
+            min_key,
+            entries,
+            sorted_count: items.len() as u32,
+            alloc_cursor: AtomicU32::new(items.len() as u32),
+            head: AtomicU32::new(if items.is_empty() { NONE } else { 0 }),
+            sync: AtomicU32::new(0),
+            live_hint: AtomicU32::new(items.len() as u32),
+            link_hint: AtomicU32::new(NONE),
+            next: RwLock::new(None),
+            replacement: OnceLock::new(),
+            rebalance_lock: Mutex::new(()),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    pub(crate) fn sorted_count(&self) -> u32 {
+        self.sorted_count
+    }
+
+    /// Entries allocated so far (sorted prefix + bypass suffix).
+    pub(crate) fn allocated(&self) -> u32 {
+        self.alloc_cursor.load(Ordering::Acquire).min(self.capacity())
+    }
+
+    /// Whether the unsorted suffix has outgrown the configured ratio of the
+    /// sorted prefix — the paper's rebalance trigger (§5.1).
+    pub(crate) fn needs_reorg(&self, ratio: f64) -> bool {
+        let unsorted = self.allocated().saturating_sub(self.sorted_count);
+        unsorted as f64 > (self.sorted_count.max(8)) as f64 * ratio
+    }
+
+    /// Records a fresh insertion (heuristic for the merge policy).
+    pub(crate) fn note_insert(&self) {
+        self.live_hint.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a removal; returns the updated live estimate.
+    pub(crate) fn note_remove(&self) -> u32 {
+        // Saturating: hints can drift when operations land on stale chunks.
+        let mut cur = self.live_hint.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return 0;
+            }
+            match self.live_hint.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return cur - 1,
+                Err(x) => cur = x,
+            }
+        }
+    }
+
+    // --- publish / freeze -------------------------------------------------
+
+    /// Announces an impending mutation (Algorithm 2 line 33). Fails if the
+    /// chunk is frozen.
+    pub(crate) fn publish(&self) -> bool {
+        let mut cur = self.sync.load(Ordering::Acquire);
+        loop {
+            if cur & FROZEN != 0 {
+                return false;
+            }
+            match self.sync.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(x) => cur = x,
+            }
+        }
+    }
+
+    /// Clears the publication made by [`publish`](Self::publish).
+    pub(crate) fn unpublish(&self) {
+        let prev = self.sync.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev & !FROZEN > 0, "unpublish without publish");
+    }
+
+    /// Freezes the chunk and waits for in-flight publications to drain.
+    /// After this returns, entry values are stable for copying.
+    pub(crate) fn freeze(&self) {
+        self.sync.fetch_or(FROZEN, Ordering::AcqRel);
+        let mut spins = 0u32;
+        while self.sync.load(Ordering::Acquire) & !FROZEN != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    pub(crate) fn is_frozen(&self) -> bool {
+        self.sync.load(Ordering::Acquire) & FROZEN != 0
+    }
+
+    // --- chunk list -------------------------------------------------------
+
+    pub(crate) fn next_chunk(&self) -> Option<Arc<Chunk>> {
+        self.next.read().clone()
+    }
+
+    pub(crate) fn set_next(&self, next: Option<Arc<Chunk>>) {
+        *self.next.write() = next;
+    }
+
+    /// CAS-like guarded update of `next`: only swings the pointer if it
+    /// still refers to `expect`. Returns success.
+    pub(crate) fn swing_next(&self, expect: &Arc<Chunk>, to: Arc<Chunk>) -> bool {
+        let mut g = self.next.write();
+        match &*g {
+            Some(cur) if Arc::ptr_eq(cur, expect) => {
+                *g = Some(to);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    pub(crate) fn replacement(&self) -> Option<&Arc<Chunk>> {
+        self.replacement.get()
+    }
+
+    pub(crate) fn set_replacement(&self, r: Arc<Chunk>) {
+        self.replacement
+            .set(r)
+            .unwrap_or_else(|_| panic!("chunk replaced twice"));
+    }
+
+    // --- entries ----------------------------------------------------------
+
+    pub(crate) fn key_ref(&self, idx: u32) -> SliceRef {
+        SliceRef::from_raw(self.entries[idx as usize].key.load(Ordering::Acquire))
+    }
+
+    /// Raw value-reference word (0 = ⊥).
+    pub(crate) fn value_raw(&self, idx: u32) -> u64 {
+        self.entries[idx as usize].value.load(Ordering::Acquire)
+    }
+
+    /// Value header reference, or `None` for ⊥.
+    pub(crate) fn value_ref(&self, idx: u32) -> Option<HeaderRef> {
+        let raw = self.value_raw(idx);
+        if raw == 0 {
+            None
+        } else {
+            Some(SliceRef::from_raw(raw))
+        }
+    }
+
+    /// CAS on an entry's value reference (Algorithms 2–3). The caller must
+    /// have published.
+    pub(crate) fn cas_value(&self, idx: u32, expect: u64, new: u64) -> bool {
+        self.entries[idx as usize]
+            .value
+            .compare_exchange(expect, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    pub(crate) fn entry_next(&self, idx: u32) -> u32 {
+        self.entries[idx as usize].next.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn head_entry(&self) -> u32 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Reads an entry's key bytes.
+    ///
+    /// # Safety-adjacent contract
+    /// Key buffers are immutable and live for the map's lifetime under the
+    /// default memory manager.
+    pub(crate) fn key_bytes<'a>(&self, pool: &'a MemoryPool, idx: u32) -> &'a [u8] {
+        let r = self.key_ref(idx);
+        debug_assert!(!r.is_null(), "reading key of unallocated entry");
+        unsafe { pool.slice(r) }
+    }
+
+    /// Allocates a fresh entry referring to `key_ref` (Algorithm 2 line
+    /// 28). Returns `None` when the chunk is full — the caller triggers a
+    /// rebalance and retries.
+    pub(crate) fn allocate_entry(&self, key_ref: SliceRef) -> Option<u32> {
+        let idx = self.alloc_cursor.fetch_add(1, Ordering::AcqRel);
+        if idx >= self.capacity() {
+            // Saturate the cursor so it cannot wrap on pathological retry
+            // storms.
+            self.alloc_cursor.store(self.capacity(), Ordering::Release);
+            return None;
+        }
+        let e = &self.entries[idx as usize];
+        e.key.store(key_ref.to_raw(), Ordering::Release);
+        e.value.store(0, Ordering::Release);
+        e.next.store(NONE, Ordering::Release);
+        Some(idx)
+    }
+
+    /// Binary search on the sorted prefix: the largest prefix index whose
+    /// key is ≤ `key`, or `None` if the prefix is empty / all keys > `key`.
+    fn prefix_floor<C: KeyComparator>(&self, pool: &MemoryPool, cmp: &C, key: &[u8]) -> Option<u32> {
+        let n = self.sorted_count;
+        if n == 0 {
+            return None;
+        }
+        let (mut lo, mut hi) = (0u32, n); // invariant: keys[lo-1] <= key < keys[hi]
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let mk = self.key_bytes(pool, mid);
+            match cmp.compare(mk, key) {
+                std::cmp::Ordering::Greater => hi = mid,
+                _ => lo = mid + 1,
+            }
+        }
+        if lo == 0 {
+            None
+        } else {
+            Some(lo - 1)
+        }
+    }
+
+    /// The chunk's `lookUp(k)` (§4.1): binary search on the prefix, then a
+    /// walk of the linked list. Returns the entry index holding `key`.
+    pub(crate) fn lookup<C: KeyComparator>(
+        &self,
+        pool: &MemoryPool,
+        cmp: &C,
+        key: &[u8],
+    ) -> Option<u32> {
+        let mut cur = match self.prefix_floor(pool, cmp, key) {
+            Some(i) => i,
+            None => {
+                let h = self.head_entry();
+                if h == NONE {
+                    return None;
+                }
+                h
+            }
+        };
+        loop {
+            let kb = self.key_bytes(pool, cur);
+            match cmp.compare(kb, key) {
+                std::cmp::Ordering::Equal => return Some(cur),
+                std::cmp::Ordering::Greater => return None,
+                std::cmp::Ordering::Less => {
+                    let nxt = self.entry_next(cur);
+                    if nxt == NONE {
+                        return None;
+                    }
+                    cur = nxt;
+                }
+            }
+        }
+    }
+
+    /// First entry with key ≥ `key` (for range scans); `NONE` if none.
+    pub(crate) fn lower_bound<C: KeyComparator>(
+        &self,
+        pool: &MemoryPool,
+        cmp: &C,
+        key: &[u8],
+    ) -> u32 {
+        let mut cur = match self.prefix_floor(pool, cmp, key) {
+            Some(i) => i,
+            None => self.head_entry(),
+        };
+        while cur != NONE {
+            let kb = self.key_bytes(pool, cur);
+            if cmp.compare(kb, key) != std::cmp::Ordering::Less {
+                return cur;
+            }
+            cur = self.entry_next(cur);
+        }
+        NONE
+    }
+
+    /// `entriesLLputIfAbsent` (§4.1): links an allocated entry into the
+    /// sorted list with CAS, preserving key uniqueness. Fails with
+    /// [`LinkOutcome::Frozen`] during rebalance.
+    pub(crate) fn ll_put_if_absent<C: KeyComparator>(
+        &self,
+        pool: &MemoryPool,
+        cmp: &C,
+        new_idx: u32,
+    ) -> LinkOutcome {
+        let new_key = self.key_bytes(pool, new_idx);
+        loop {
+            // Find (pred, succ) bracketing the new key; pred == NONE means
+            // the head pointer is the predecessor link.
+            let mut pred = NONE;
+            let mut succ = match self.prefix_floor(pool, cmp, new_key) {
+                Some(i) => {
+                    // The prefix floor has key ≤ new_key; walk from it.
+                    pred = i;
+                    self.entry_next(i)
+                }
+                None => self.head_entry(),
+            };
+            // Fast-forward through the bypass run using the last-linked
+            // hint when it lies strictly between pred and the new key.
+            let hint = self.link_hint.load(Ordering::Acquire);
+            if hint != NONE {
+                let hb = self.key_bytes(pool, hint);
+                let hint_usable = cmp.compare(hb, new_key) == std::cmp::Ordering::Less
+                    && (pred == NONE
+                        || cmp.compare(self.key_bytes(pool, pred), hb)
+                            == std::cmp::Ordering::Less);
+                if hint_usable {
+                    pred = hint;
+                    succ = self.entry_next(hint);
+                }
+            }
+            // If the floor itself equals the key, report it.
+            if pred != NONE
+                && cmp.compare(self.key_bytes(pool, pred), new_key) == std::cmp::Ordering::Equal {
+                    return LinkOutcome::Found(pred);
+                }
+            while succ != NONE {
+                match cmp.compare(self.key_bytes(pool, succ), new_key) {
+                    std::cmp::Ordering::Less => {
+                        pred = succ;
+                        succ = self.entry_next(succ);
+                    }
+                    std::cmp::Ordering::Equal => return LinkOutcome::Found(succ),
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            // Splice: new → succ, then pred → new (CAS).
+            self.entries[new_idx as usize]
+                .next
+                .store(succ, Ordering::Release);
+            // Guard the structural CAS with the publish protocol so the
+            // rebalancer never copies a list in mid-splice.
+            if !self.publish() {
+                return LinkOutcome::Frozen;
+            }
+            let link = if pred == NONE {
+                &self.head
+            } else {
+                &self.entries[pred as usize].next
+            };
+            let ok = link
+                .compare_exchange(succ, new_idx, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok();
+            self.unpublish();
+            if ok {
+                self.link_hint.store(new_idx, Ordering::Release);
+                return LinkOutcome::Linked;
+            }
+            // Lost a race; retry the position search.
+        }
+    }
+
+    /// Iterates the linked list collecting live `(key_ref, value_raw)`
+    /// pairs in key order. Called by the rebalancer after freeze, and by
+    /// tests. `keep` decides entry liveness from its raw value word.
+    pub(crate) fn collect_live(&self, keep: impl Fn(u64) -> bool) -> Vec<(SliceRef, u64)> {
+        let mut out = Vec::with_capacity(self.allocated() as usize);
+        let mut cur = self.head_entry();
+        while cur != NONE {
+            let v = self.value_raw(cur);
+            if keep(v) {
+                out.push((self.key_ref(cur), v));
+            }
+            cur = self.entry_next(cur);
+        }
+        out
+    }
+
+    /// Number of linked entries with non-⊥ values (diagnostic).
+    pub(crate) fn live_count(&self) -> usize {
+        self.collect_live(|v| v != 0).len()
+    }
+}
+
+impl std::fmt::Debug for Chunk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chunk")
+            .field("min_key_len", &self.min_key.len())
+            .field("sorted", &self.sorted_count)
+            .field("allocated", &self.allocated())
+            .field("frozen", &self.is_frozen())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmp::Lexicographic;
+    use oak_mempool::PoolConfig;
+
+    fn pool() -> Arc<MemoryPool> {
+        Arc::new(MemoryPool::new(PoolConfig::small()))
+    }
+
+    fn alloc_key(pool: &MemoryPool, key: &[u8]) -> SliceRef {
+        let r = pool.allocate(key.len()).unwrap();
+        unsafe { pool.write_initial(r, key) };
+        r
+    }
+
+    /// Inserts a key with a dummy value reference and returns its index.
+    fn insert(chunk: &Chunk, pool: &MemoryPool, key: &[u8], val: u64) -> u32 {
+        let kr = alloc_key(pool, key);
+        let idx = chunk.allocate_entry(kr).expect("chunk not full");
+        match chunk.ll_put_if_absent(pool, &Lexicographic, idx) {
+            LinkOutcome::Linked => {
+                assert!(chunk.cas_value(idx, 0, val));
+                idx
+            }
+            LinkOutcome::Found(existing) => existing,
+            LinkOutcome::Frozen => panic!("unexpected freeze"),
+        }
+    }
+
+    #[test]
+    fn empty_chunk_lookup() {
+        let p = pool();
+        let c = Chunk::new_empty(16, Box::new([]));
+        assert_eq!(c.lookup(&p, &Lexicographic, b"x"), None);
+        assert_eq!(c.lower_bound(&p, &Lexicographic, b"x"), NONE);
+    }
+
+    #[test]
+    fn insert_and_lookup_bypasses() {
+        let p = pool();
+        let c = Chunk::new_empty(16, Box::new([]));
+        for key in [b"m", b"c", b"x", b"a", b"t"] {
+            insert(&c, &p, key, 7);
+        }
+        for key in [b"a", b"c", b"m", b"t", b"x"] {
+            let idx = c.lookup(&p, &Lexicographic, key).expect("found");
+            assert_eq!(c.key_bytes(&p, idx), key);
+        }
+        assert_eq!(c.lookup(&p, &Lexicographic, b"b"), None);
+        // Linked list is in sorted order.
+        let live = c.collect_live(|v| v != 0);
+        let keys: Vec<&[u8]> = live
+            .iter()
+            .map(|(k, _)| unsafe { p.slice(*k) })
+            .collect();
+        assert_eq!(keys, vec![&b"a"[..], b"c", b"m", b"t", b"x"]);
+    }
+
+    #[test]
+    fn duplicate_key_reports_existing() {
+        let p = pool();
+        let c = Chunk::new_empty(16, Box::new([]));
+        let first = insert(&c, &p, b"dup", 1);
+        let kr = alloc_key(&p, b"dup");
+        let idx = c.allocate_entry(kr).unwrap();
+        match c.ll_put_if_absent(&p, &Lexicographic, idx) {
+            LinkOutcome::Found(i) => assert_eq!(i, first),
+            _ => panic!("expected Found"),
+        }
+    }
+
+    #[test]
+    fn sorted_chunk_binary_search() {
+        let p = pool();
+        let items: Vec<(SliceRef, u64)> = (0..50u32)
+            .map(|i| (alloc_key(&p, format!("k{i:03}").as_bytes()), i as u64 + 1))
+            .collect();
+        let c = Chunk::new_sorted(64, Box::new([]), &items);
+        assert_eq!(c.sorted_count(), 50);
+        for i in 0..50u32 {
+            let idx = c
+                .lookup(&p, &Lexicographic, format!("k{i:03}").as_bytes())
+                .expect("present");
+            assert_eq!(c.value_raw(idx), i as u64 + 1);
+        }
+        assert_eq!(c.lookup(&p, &Lexicographic, b"k0505"), None);
+        // Mixed: bypass insert into a sorted chunk.
+        insert(&c, &p, b"k025x", 99);
+        let idx = c.lookup(&p, &Lexicographic, b"k025x").unwrap();
+        assert_eq!(c.value_raw(idx), 99);
+    }
+
+    #[test]
+    fn chunk_fills_up() {
+        let p = pool();
+        let c = Chunk::new_empty(8, Box::new([]));
+        for i in 0..8u32 {
+            insert(&c, &p, format!("{i}").as_bytes(), 1);
+        }
+        let kr = alloc_key(&p, b"overflow");
+        assert!(c.allocate_entry(kr).is_none());
+    }
+
+    #[test]
+    fn freeze_blocks_publish_and_linking() {
+        let p = pool();
+        let c = Chunk::new_empty(16, Box::new([]));
+        insert(&c, &p, b"pre", 1);
+        c.freeze();
+        assert!(c.is_frozen());
+        assert!(!c.publish());
+        let kr = alloc_key(&p, b"post");
+        let idx = c.allocate_entry(kr).unwrap();
+        assert!(matches!(
+            c.ll_put_if_absent(&p, &Lexicographic, idx),
+            LinkOutcome::Frozen
+        ));
+        // Lookups still proceed on frozen chunks (paper §4.1).
+        assert!(c.lookup(&p, &Lexicographic, b"pre").is_some());
+    }
+
+    #[test]
+    fn freeze_waits_for_inflight_publication() {
+        let c = Arc::new(Chunk::new_empty(16, Box::new([])));
+        assert!(c.publish());
+        let c2 = c.clone();
+        let froze = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let f2 = froze.clone();
+        let t = std::thread::spawn(move || {
+            c2.freeze();
+            f2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!froze.load(Ordering::SeqCst), "freeze returned too early");
+        c.unpublish();
+        t.join().unwrap();
+        assert!(froze.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn needs_reorg_tracks_unsorted_ratio() {
+        let p = pool();
+        let items: Vec<(SliceRef, u64)> = (0..20u32)
+            .map(|i| (alloc_key(&p, format!("s{i:03}").as_bytes()), 1))
+            .collect();
+        let c = Chunk::new_sorted(64, Box::new([]), &items);
+        assert!(!c.needs_reorg(0.5));
+        for i in 0..11u32 {
+            insert(&c, &p, format!("u{i:03}").as_bytes(), 1);
+        }
+        assert!(c.needs_reorg(0.5), "11 unsorted > 20 × 0.5");
+    }
+
+    #[test]
+    fn concurrent_inserts_distinct_keys() {
+        let p = pool();
+        let c = Arc::new(Chunk::new_empty(1024, Box::new([])));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let c = c.clone();
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let key = format!("{:04}", t * 200 + i);
+                    let kr = alloc_key(&p, key.as_bytes());
+                    let idx = c.allocate_entry(kr).unwrap();
+                    match c.ll_put_if_absent(&p, &Lexicographic, idx) {
+                        LinkOutcome::Linked => assert!(c.cas_value(idx, 0, 1)),
+                        _ => panic!("distinct keys cannot collide"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let live = c.collect_live(|v| v != 0);
+        assert_eq!(live.len(), 800);
+        // Sorted.
+        let keys: Vec<Vec<u8>> = live
+            .iter()
+            .map(|(k, _)| unsafe { p.slice(*k) }.to_vec())
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+}

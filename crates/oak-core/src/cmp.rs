@@ -1,0 +1,119 @@
+//! Key comparators over serialized bytes.
+//!
+//! "To allow efficient search over buffer-resident keys, the user is
+//! further required to provide a comparator" (§2.1). Comparators order the
+//! *serialized* key bytes so searches never deserialize.
+
+use std::cmp::Ordering;
+
+/// Total order over serialized key bytes.
+///
+/// Implementations must be cheap to clone (they are typically zero-sized)
+/// and must treat the empty byte string as the infimum: Oak's first chunk
+/// uses the empty key as its `minKey` (−∞).
+pub trait KeyComparator: Send + Sync + Clone + 'static {
+    /// Compares two serialized keys.
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering;
+}
+
+/// Plain lexicographic byte order; correct for big-endian-encoded integers
+/// and UTF-8 strings, and the comparator used throughout the benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lexicographic;
+
+impl KeyComparator for Lexicographic {
+    #[inline]
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        a.cmp(b)
+    }
+}
+
+/// Numeric order for 8-byte big-endian `u64` keys (equivalent to
+/// lexicographic on the bytes, provided as a typed convenience; the empty
+/// key sorts first).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct U64BeComparator;
+
+impl KeyComparator for U64BeComparator {
+    #[inline]
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        match (a.len(), b.len()) {
+            (8, 8) => {
+                let x = u64::from_be_bytes(a.try_into().unwrap());
+                let y = u64::from_be_bytes(b.try_into().unwrap());
+                x.cmp(&y)
+            }
+            // Shorter keys (notably the empty −∞ minKey) sort first.
+            _ => a.len().cmp(&b.len()).then_with(|| a.cmp(b)),
+        }
+    }
+}
+
+/// An owned key ordered by a [`KeyComparator`] — the key type of Oak's
+/// on-heap chunk index.
+#[derive(Debug, Clone)]
+pub(crate) struct MinKey<C> {
+    pub(crate) bytes: Box<[u8]>,
+    pub(crate) cmp: C,
+}
+
+impl<C: KeyComparator> MinKey<C> {
+    pub(crate) fn new(bytes: &[u8], cmp: C) -> Self {
+        MinKey {
+            bytes: bytes.into(),
+            cmp,
+        }
+    }
+}
+
+impl<C: KeyComparator> PartialEq for MinKey<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp.compare(&self.bytes, &other.bytes) == Ordering::Equal
+    }
+}
+impl<C: KeyComparator> Eq for MinKey<C> {}
+impl<C: KeyComparator> PartialOrd for MinKey<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<C: KeyComparator> Ord for MinKey<C> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp.compare(&self.bytes, &other.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order() {
+        let c = Lexicographic;
+        assert_eq!(c.compare(b"", b"a"), Ordering::Less);
+        assert_eq!(c.compare(b"a", b"a"), Ordering::Equal);
+        assert_eq!(c.compare(b"ab", b"b"), Ordering::Less);
+    }
+
+    #[test]
+    fn u64_be_order_matches_numeric() {
+        let c = U64BeComparator;
+        for (x, y) in [(0u64, 1u64), (255, 256), (1 << 40, (1 << 40) + 1)] {
+            assert_eq!(
+                c.compare(&x.to_be_bytes(), &y.to_be_bytes()),
+                Ordering::Less,
+                "{x} < {y}"
+            );
+        }
+        assert_eq!(c.compare(b"", &0u64.to_be_bytes()), Ordering::Less);
+    }
+
+    #[test]
+    fn min_key_ordering_uses_comparator() {
+        let a = MinKey::new(&5u64.to_be_bytes(), U64BeComparator);
+        let b = MinKey::new(&10u64.to_be_bytes(), U64BeComparator);
+        assert!(a < b);
+        let inf = MinKey::new(b"", U64BeComparator);
+        assert!(inf < a);
+    }
+}

@@ -1,0 +1,86 @@
+//! Map configuration.
+
+use std::sync::Arc;
+
+use oak_mempool::{ArenaPool, PoolConfig, ReclamationPolicy};
+
+/// Configuration for an [`OakMap`](crate::OakMap).
+///
+/// Defaults follow the paper's evaluation setup (§5.1): 4096 entries per
+/// chunk, rebalance when the unsorted suffix exceeds half the sorted
+/// prefix, 100 MB arenas.
+#[derive(Debug, Clone)]
+pub struct OakMapConfig {
+    /// Entries per chunk.
+    pub chunk_capacity: u32,
+    /// Rebalance when `unsorted > sorted × ratio` (paper: 0.5).
+    pub rebalance_unsorted_ratio: f64,
+    /// Merge a chunk into its successor when its live entries fall below
+    /// `chunk_capacity × merge_ratio`.
+    pub merge_ratio: f64,
+    /// Off-heap pool configuration.
+    pub pool: PoolConfig,
+    /// Shared pre-allocated arena reservoir (§3.2): when set, this map
+    /// draws its arenas from the reservoir and returns them on drop,
+    /// supporting fleets of short-lived instances (e.g. Druid I²) with no
+    /// allocator traffic. `pool.arena_size` is ignored in favour of the
+    /// reservoir's.
+    pub shared_arenas: Option<Arc<ArenaPool>>,
+    /// Value-header reclamation: the paper's default retains headers
+    /// forever; [`ReclamationPolicy::ReclaimHeaders`] recycles them through
+    /// generation-checked references (§3.3's epoch-based extension).
+    pub reclamation: ReclamationPolicy,
+}
+
+impl Default for OakMapConfig {
+    fn default() -> Self {
+        OakMapConfig {
+            chunk_capacity: 4096,
+            rebalance_unsorted_ratio: 0.5,
+            merge_ratio: 0.125,
+            pool: PoolConfig::default(),
+            shared_arenas: None,
+            reclamation: ReclamationPolicy::RetainHeaders,
+        }
+    }
+}
+
+impl OakMapConfig {
+    /// Small chunks and arenas: convenient for tests (forces frequent
+    /// rebalancing with little data).
+    pub fn small() -> Self {
+        OakMapConfig {
+            chunk_capacity: 64,
+            rebalance_unsorted_ratio: 0.5,
+            merge_ratio: 0.125,
+            pool: PoolConfig::small(),
+            shared_arenas: None,
+            reclamation: ReclamationPolicy::RetainHeaders,
+        }
+    }
+
+    /// Draws arenas from a shared pre-allocated reservoir.
+    pub fn shared_arenas(mut self, shared: Arc<ArenaPool>) -> Self {
+        self.shared_arenas = Some(shared);
+        self
+    }
+
+    /// Selects the header-reclamation policy.
+    pub fn reclamation(mut self, policy: ReclamationPolicy) -> Self {
+        self.reclamation = policy;
+        self
+    }
+
+    /// Sets the chunk capacity (entries per chunk).
+    pub fn chunk_capacity(mut self, cap: u32) -> Self {
+        assert!(cap >= 4, "chunks need at least 4 entries");
+        self.chunk_capacity = cap;
+        self
+    }
+
+    /// Sets the pool configuration.
+    pub fn pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = pool;
+        self
+    }
+}

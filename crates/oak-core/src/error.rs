@@ -1,0 +1,40 @@
+//! Oak error types.
+
+use core::fmt;
+
+use oak_mempool::AllocError;
+
+/// Errors surfaced by Oak operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OakError {
+    /// The off-heap pool could not satisfy an allocation.
+    Alloc(AllocError),
+    /// A zero-copy buffer access raced with a concurrent deletion — the
+    /// analogue of Java Oak's `ConcurrentModificationException` (§2.2).
+    ConcurrentModification,
+}
+
+impl fmt::Display for OakError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OakError::Alloc(e) => write!(f, "allocation failure: {e}"),
+            OakError::ConcurrentModification => {
+                write!(f, "buffer access raced with concurrent deletion")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OakError {}
+
+impl From<AllocError> for OakError {
+    fn from(e: AllocError) -> Self {
+        OakError::Alloc(e)
+    }
+}
+
+impl From<oak_mempool::AccessError> for OakError {
+    fn from(_: oak_mempool::AccessError) -> Self {
+        OakError::ConcurrentModification
+    }
+}

@@ -1,0 +1,380 @@
+//! Ascending and descending scans (§4.2, Figure 2).
+//!
+//! Scans are non-atomic (§1.1): keys inserted before the scan starts and
+//! not removed before it ends are returned; keys never present (or removed
+//! before the start and not re-inserted) are not; no key is returned twice.
+//! Concurrent insertions/removals may or may not be observed.
+
+use std::sync::Arc;
+
+use oak_mempool::{HeaderRef, SliceRef};
+
+use crate::buffer::OakRBuffer;
+use crate::chunk::{Chunk, NONE};
+use crate::cmp::KeyComparator;
+use crate::map::OakMap;
+
+/// Ascending Set-API iterator: yields an ephemeral `(key, value)` buffer
+/// pair per entry. The stream API ([`OakMap::for_each_in`]) avoids these
+/// per-entry objects — the distinction Figure 4e measures.
+pub struct EntryIter<'a, C: KeyComparator> {
+    map: &'a OakMap<C>,
+    chunk: Option<Arc<Chunk>>,
+    entry: u32,
+    hi: Option<Box<[u8]>>,
+    last_key: Option<SliceRef>,
+}
+
+impl<'a, C: KeyComparator> EntryIter<'a, C> {
+    pub(crate) fn new(map: &'a OakMap<C>, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Self {
+        let chunk = match lo {
+            Some(k) => map.locate_chunk(k),
+            None => map.first_chunk(),
+        };
+        let entry = match lo {
+            Some(k) => chunk.lower_bound(map.pool(), &map.cmp, k),
+            None => chunk.head_entry(),
+        };
+        EntryIter {
+            map,
+            chunk: Some(chunk),
+            entry,
+            hi: hi.map(|h| h.into()),
+            last_key: None,
+        }
+    }
+
+    /// Advances to the next live entry, returning raw references.
+    fn next_raw(&mut self) -> Option<(SliceRef, HeaderRef)> {
+        loop {
+            let chunk = self.chunk.as_ref()?;
+            while self.entry != NONE {
+                let idx = self.entry;
+                self.entry = chunk.entry_next(idx);
+                let kb = chunk.key_bytes(self.map.pool(), idx);
+                if let Some(h) = &self.hi {
+                    if self.map.cmp.compare(kb, h) != std::cmp::Ordering::Less {
+                        self.chunk = None;
+                        return None;
+                    }
+                }
+                if let Some(lk) = self.last_key {
+                    let lb = unsafe { self.map.pool().slice(lk) };
+                    if self.map.cmp.compare(kb, lb) != std::cmp::Ordering::Greater {
+                        continue; // already covered before a chunk hop
+                    }
+                }
+                let Some(h) = chunk.value_ref(idx) else {
+                    continue;
+                };
+                if self.map.value_store().is_deleted(h) {
+                    continue;
+                }
+                self.last_key = Some(chunk.key_ref(idx));
+                return Some((chunk.key_ref(idx), h));
+            }
+            // Hop to the next chunk, resolving replacement chains.
+            let mut n = chunk.next_chunk();
+            while let Some(c) = &n {
+                match c.replacement() {
+                    Some(r) => n = Some(r.clone()),
+                    None => break,
+                }
+            }
+            match n {
+                Some(c) => {
+                    self.entry = match self.last_key {
+                        Some(lk) => {
+                            let lb = unsafe { self.map.pool().slice(lk) };
+                            c.lower_bound(self.map.pool(), &self.map.cmp, lb)
+                        }
+                        None => c.head_entry(),
+                    };
+                    self.chunk = Some(c);
+                }
+                None => {
+                    self.chunk = None;
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl<C: KeyComparator> Iterator for EntryIter<'_, C> {
+    type Item = (OakRBuffer, OakRBuffer);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (kref, h) = self.next_raw()?;
+        Some((
+            OakRBuffer::key(self.map.pool().clone(), kref),
+            OakRBuffer::value(self.map.value_store().clone(), h),
+        ))
+    }
+}
+
+/// Descending iterator implementing the stack algorithm of Figure 2.
+///
+/// Within a chunk: locate the last relevant entry via the sorted prefix,
+/// walk each bypass run while pushing entries on a stack, pop to yield,
+/// step one prefix cell back when the stack drains. On chunk exhaustion,
+/// query the index for the chunk with the greatest `minKey` strictly
+/// smaller than the current chunk's. Complexity for a scan of S keys over
+/// N: O(S/B · log N + S) instead of the skiplist's O(S log N).
+pub struct DescendIter<'a, C: KeyComparator> {
+    map: &'a OakMap<C>,
+    chunk: Option<Arc<Chunk>>,
+    /// Entries pending in descending order (top = largest remaining).
+    stack: Vec<u32>,
+    /// Next prefix cell to refill from; -1 = the pre-prefix head run,
+    /// -2 = chunk exhausted.
+    next_prefix: i64,
+    /// Inclusive lower bound of the scan.
+    lo: Option<Box<[u8]>>,
+    /// One-item lookahead (set by [`skip_exact`](Self::skip_exact)).
+    pending: Option<(SliceRef, HeaderRef)>,
+    done: bool,
+}
+
+impl<'a, C: KeyComparator> DescendIter<'a, C> {
+    pub(crate) fn new(map: &'a OakMap<C>, from: Option<&[u8]>, lo: Option<&[u8]>) -> Self {
+        let mut it = DescendIter {
+            map,
+            chunk: None,
+            stack: Vec::new(),
+            next_prefix: -2,
+            lo: lo.map(|l| l.into()),
+            pending: None,
+            done: false,
+        };
+        // Start at the chunk containing `from`, or the last chunk.
+        let chunk = match from {
+            Some(k) => map.locate_chunk(k),
+            None => {
+                let mut c = map.first_chunk();
+                loop {
+                    while let Some(r) = c.replacement() {
+                        c = r.clone();
+                    }
+                    match c.next_chunk() {
+                        Some(n) => c = n,
+                        None => break,
+                    }
+                }
+                c
+            }
+        };
+        it.enter_chunk(chunk, from, true);
+        it
+    }
+
+    /// Initializes the stack for `chunk`: pushes every entry with key ≤
+    /// `bound` (or < when `inclusive` is false; unbounded when `None`).
+    fn enter_chunk(&mut self, chunk: Arc<Chunk>, bound: Option<&[u8]>, inclusive: bool) {
+        let pool = self.map.pool();
+        let cmp = &self.map.cmp;
+        self.stack.clear();
+
+        let in_bound = |kb: &[u8]| match bound {
+            None => true,
+            Some(b) => match cmp.compare(kb, b) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => inclusive,
+                std::cmp::Ordering::Greater => false,
+            },
+        };
+
+        // The starting prefix cell: the last prefix entry within bound.
+        // (prefix_floor is inclusive-≤; adjust for the exclusive case by
+        // walking with `in_bound` below anyway.)
+        let start = match bound {
+            Some(b) => {
+                // Largest prefix index with key ≤ b; may still be out of
+                // bound in the exclusive case — in_bound filters.
+                let n = chunk.sorted_count() as i64;
+                let (mut a, mut z) = (0i64, n);
+                while a < z {
+                    let mid = (a + z) / 2;
+                    let mk = chunk.key_bytes(pool, mid as u32);
+                    if cmp.compare(mk, b) == std::cmp::Ordering::Greater {
+                        z = mid;
+                    } else {
+                        a = mid + 1;
+                    }
+                }
+                a - 1
+            }
+            None => chunk.sorted_count() as i64 - 1,
+        };
+
+        // Initial run: from prefix cell `start` (or the head run when the
+        // prefix is empty / bound precedes it) pushing in-bound entries.
+        let first_entry = if start >= 0 {
+            start as u32
+        } else {
+            chunk.head_entry()
+        };
+        let mut cur = first_entry;
+        let mut first = true;
+        while cur != NONE {
+            // Stop when the run flows into the prefix region (those cells
+            // are handled by later refills), except for the starting cell.
+            if !first && start >= 0 && cur < chunk.sorted_count() {
+                break;
+            }
+            if start < 0 && cur < chunk.sorted_count() {
+                // Head run reached the first prefix cell: prefix cells are
+                // all > bound here (start < 0), so stop.
+                break;
+            }
+            let kb = chunk.key_bytes(pool, cur);
+            if !in_bound(kb) {
+                break;
+            }
+            self.stack.push(cur);
+            first = false;
+            cur = chunk.entry_next(cur);
+        }
+        self.next_prefix = if start >= 0 { start - 1 } else { -2 };
+        self.chunk = Some(chunk);
+    }
+
+    /// Refills the stack from the next prefix cell back (Figure 2's
+    /// "move one entry back in the prefix and traverse the bypass").
+    fn refill(&mut self) -> bool {
+        let Some(chunk) = self.chunk.clone() else {
+            return false;
+        };
+        loop {
+            if self.next_prefix == -2 {
+                return false;
+            }
+            if self.next_prefix == -1 {
+                // The run of bypasses before the first prefix cell.
+                let mut cur = chunk.head_entry();
+                while cur != NONE && cur >= chunk.sorted_count() {
+                    self.stack.push(cur);
+                    cur = chunk.entry_next(cur);
+                }
+                self.next_prefix = -2;
+                if !self.stack.is_empty() {
+                    return true;
+                }
+                return false;
+            }
+            // Walk from prefix cell p through its bypass run, stopping at
+            // the next prefix cell (already covered by a previous run).
+            let p = self.next_prefix as u32;
+            self.next_prefix -= 1;
+            let mut cur = p;
+            let mut first = true;
+            while cur != NONE {
+                if !first && cur < chunk.sorted_count() {
+                    break;
+                }
+                self.stack.push(cur);
+                first = false;
+                cur = chunk.entry_next(cur);
+            }
+            if !self.stack.is_empty() {
+                return true;
+            }
+        }
+    }
+
+    /// Moves to the chunk preceding the current one (index query for the
+    /// greatest `minKey` strictly smaller — §4.2).
+    fn prev_chunk(&mut self) -> bool {
+        let Some(chunk) = self.chunk.take() else {
+            return false;
+        };
+        if chunk.min_key.is_empty() {
+            return false; // the first chunk has no predecessor
+        }
+        let mut prev = match self.map.index.floor_by(
+            |mk| {
+                self.map.cmp.compare(&mk.bytes, &chunk.min_key) == std::cmp::Ordering::Less
+            },
+            |_, v| v.clone(),
+        ) {
+            Some(p) => p,
+            None => self.map.first.read().clone(),
+        };
+        loop {
+            while let Some(r) = prev.replacement() {
+                prev = r.clone();
+            }
+            // Walk forward while still strictly below the old minKey.
+            match prev.next_chunk() {
+                Some(n)
+                    if self.map.cmp.compare(&n.min_key, &chunk.min_key)
+                        == std::cmp::Ordering::Less =>
+                {
+                    prev = n;
+                }
+                _ => break,
+            }
+        }
+        // Everything ≥ old minKey was already returned: bound strictly.
+        let bound = chunk.min_key.clone();
+        self.enter_chunk(prev, Some(&bound), false);
+        true
+    }
+
+    /// Drops the next entry if its key is exactly `key` (used by bounded
+    /// views whose upper bound is exclusive).
+    pub(crate) fn skip_exact(&mut self, key: &[u8]) {
+        if let Some((kref, h)) = self.next_raw() {
+            let kb = unsafe { self.map.pool().slice(kref) };
+            if self.map.cmp.compare(kb, key) != std::cmp::Ordering::Equal {
+                self.pending = Some((kref, h));
+            }
+        }
+    }
+
+    /// Next raw live entry in descending order.
+    pub(crate) fn next_raw(&mut self) -> Option<(SliceRef, HeaderRef)> {
+        if let Some(item) = self.pending.take() {
+            return Some(item);
+        }
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.stack.is_empty() && !self.refill() && !self.prev_chunk() {
+                self.done = true;
+                return None;
+            }
+            let Some(idx) = self.stack.pop() else {
+                continue;
+            };
+            let chunk = self.chunk.as_ref()?;
+            let kb = chunk.key_bytes(self.map.pool(), idx);
+            if let Some(l) = &self.lo {
+                if self.map.cmp.compare(kb, l) == std::cmp::Ordering::Less {
+                    self.done = true; // descending: below lo means finished
+                    return None;
+                }
+            }
+            let Some(h) = chunk.value_ref(idx) else {
+                continue;
+            };
+            if self.map.value_store().is_deleted(h) {
+                continue;
+            }
+            return Some((chunk.key_ref(idx), h));
+        }
+    }
+}
+
+impl<C: KeyComparator> Iterator for DescendIter<'_, C> {
+    type Item = (OakRBuffer, OakRBuffer);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (kref, h) = self.next_raw()?;
+        Some((
+            OakRBuffer::key(self.map.pool().clone(), kref),
+            OakRBuffer::value(self.map.value_store().clone(), h),
+        ))
+    }
+}

@@ -1,0 +1,64 @@
+//! # oak-core — Oak: a scalable off-heap allocated key-value map
+//!
+//! A Rust implementation of the Oak concurrent ordered KV-map
+//! (Meir et al., PPoPP '20). Oak stores variable-size keys and values in
+//! self-managed arena memory ([`oak_mempool`]) and keeps only small
+//! metadata — a chunk list and a lazy index — "on heap". Its design points,
+//! all implemented here:
+//!
+//! * **Chunk-based organization** (§3.1): entries live in large chunks with
+//!   a binary-searchable sorted prefix and a bypass linked list for new
+//!   inserts, giving searches locality that node-per-entry skiplists lack.
+//! * **Atomic conditional updates** (§4): `put`, `put_if_absent`,
+//!   `compute_if_present` and `put_if_absent_compute_if_present` are all
+//!   linearizable, including the in-place compute lambdas — which the JDK's
+//!   maps do not offer.
+//! * **Zero-copy API** (§2.2): `get` and scans return [`OakRBuffer`] views
+//!   into Oak's own memory rather than deserialized objects; update lambdas
+//!   receive an [`OakWBuffer`]. A legacy copying API
+//!   ([`legacy::TypedOakMap`]) mirrors `ConcurrentNavigableMap`.
+//! * **Two-way scans** (§4.2): ascending scans stream through chunks;
+//!   descending scans use the sorted-prefix + bypass-stack algorithm of
+//!   Figure 2, avoiding a fresh O(log N) lookup per key.
+//! * **Internal GC** (§3.2–§3.3): value payloads are reclaimed on remove
+//!   and resize through headers with a reader/writer lock and deleted bit;
+//!   headers are never reused (the default memory manager), making the
+//!   `finalizeRemove` path ABA-free.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use oak_core::{OakMap, OakMapConfig};
+//!
+//! let map = OakMap::with_config(OakMapConfig::small());
+//! map.put(b"hello", b"world").unwrap();
+//! let len = map.get_with(b"hello", |v| v.len()).unwrap();
+//! assert_eq!(len, 5);
+//! map.compute_if_present(b"hello", |v| v.as_mut_slice()[0] = b'W');
+//! assert_eq!(map.get_copy(b"hello").unwrap(), b"World");
+//! map.remove(b"hello");
+//! assert!(map.get_copy(b"hello").is_none());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod legacy;
+pub mod serde_api;
+
+mod buffer;
+mod chunk;
+mod cmp;
+mod config;
+mod error;
+mod iter;
+mod map;
+mod rebalance;
+mod zc;
+
+pub use buffer::{OakRBuffer, OakWBuffer};
+pub use cmp::{KeyComparator, Lexicographic, U64BeComparator};
+pub use config::OakMapConfig;
+pub use error::OakError;
+pub use iter::{DescendIter, EntryIter};
+pub use map::{OakMap, OakStats};
+pub use zc::{SubMapView, ZeroCopyView};

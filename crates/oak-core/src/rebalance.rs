@@ -1,0 +1,187 @@
+//! Chunk rebalancing: split, merge, and compaction (§4.1).
+//!
+//! "The chunk object has a rebalance method, which splits chunks when they
+//! are over-utilized, merges chunks when they are under-used, and
+//! reorganizes chunks' internals." The rebalancer:
+//!
+//! 1. engages the chunk (per-chunk mutex; concurrent rebalancers of the
+//!    same chunk serialize, later ones find it already replaced and
+//!    return),
+//! 2. freezes it — after `freeze` returns no published mutation is in
+//!    flight and none can start,
+//! 3. collects the live entries in key order (entries with ⊥ or deleted
+//!    values are dropped, garbage-collecting removed keys),
+//! 4. optionally engages the successor for a merge when the chunk is
+//!    under-used,
+//! 5. builds replacement chunks with fully sorted prefixes,
+//! 6. splices them into the chunk list and records the replacement pointer
+//!    on each engaged chunk (stale readers chase these), and
+//! 7. lazily updates the index (§3.1 — the index may be outdated; `locate`
+//!    compensates by walking the list).
+//!
+//! The rebalance guarantees RB1–RB3 follow from freezing: the collected
+//! sequence is exactly the live entries at freeze time, sorted; keys
+//! inserted before the freeze and not removed are kept (RB1), never-present
+//! or removed keys are not resurrected (RB2), and `new_sorted` preserves
+//! order (RB3). `tests/rebalance_guarantees.rs` exercises them under
+//! concurrency.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use oak_mempool::SliceRef;
+
+use crate::chunk::Chunk;
+use crate::cmp::{KeyComparator, MinKey};
+use crate::map::OakMap;
+
+impl<C: KeyComparator> OakMap<C> {
+    /// Rebalances `chunk` (idempotent: returns immediately if it was
+    /// already replaced). Blocks while another thread rebalances it.
+    pub(crate) fn rebalance(&self, chunk: &Arc<Chunk>) {
+        let _engaged = chunk.rebalance_lock.lock();
+        if chunk.replacement().is_some() {
+            return;
+        }
+        chunk.freeze();
+
+        let keep =
+            |raw: u64| raw != 0 && !self.store.is_deleted(SliceRef::from_raw(raw));
+        let mut items = chunk.collect_live(keep);
+
+        // Merge policy: engage the successor when we are under-used.
+        let merge_threshold =
+            (self.config.chunk_capacity as f64 * self.config.merge_ratio) as usize;
+        let next_holder = if items.len() <= merge_threshold {
+            chunk.next_chunk()
+        } else {
+            None
+        };
+        let mut merged_next: Option<&Arc<Chunk>> = None;
+        let mut _next_guard = None;
+        if let Some(n) = next_holder.as_ref() {
+            // try_lock: if the successor is being rebalanced concurrently,
+            // skip the merge rather than risk waiting behind a chain.
+            if let Some(g) = n.rebalance_lock.try_lock() {
+                if n.replacement().is_none() {
+                    n.freeze();
+                    items.extend(n.collect_live(keep));
+                    merged_next = Some(n);
+                    _next_guard = Some(g);
+                }
+            }
+        }
+
+        // Build replacement chunks: each at most half full so fresh
+        // bypass insertions have room.
+        let cap = self.config.chunk_capacity;
+        let per_chunk = (cap / 2).max(1) as usize;
+        let mut new_chunks: Vec<Arc<Chunk>> = Vec::new();
+        if items.is_empty() {
+            new_chunks.push(Arc::new(Chunk::new_empty(cap, chunk.min_key.clone())));
+        } else {
+            for (i, group) in items.chunks(per_chunk).enumerate() {
+                let min_key: Box<[u8]> = if i == 0 {
+                    // The first replacement inherits the engaged range's
+                    // lower bound (minKey is invariant, §3.1).
+                    chunk.min_key.clone()
+                } else {
+                    // SAFETY: key buffers are immutable and live.
+                    unsafe { self.pool().slice(group[0].0) }.into()
+                };
+                new_chunks.push(Arc::new(Chunk::new_sorted(cap, min_key, group)));
+            }
+        }
+
+        // Chain the new chunks and attach the tail.
+        let tail = match merged_next {
+            Some(n) => n.next_chunk(),
+            None => chunk.next_chunk(),
+        };
+        for w in new_chunks.windows(2) {
+            w[0].set_next(Some(w[1].clone()));
+        }
+        new_chunks
+            .last()
+            .expect("at least one replacement")
+            .set_next(tail);
+
+        // Splice into the chunk list, then record replacements so stale
+        // readers (and the lazy index) converge on the new chunks.
+        let new_head = new_chunks[0].clone();
+        self.splice(chunk, new_head.clone());
+        chunk.set_replacement(new_head.clone());
+        if let Some(n) = merged_next {
+            // The chunk now covering n's range start: the last new chunk
+            // whose min_key ≤ n.min_key.
+            let cover = new_chunks
+                .iter()
+                .rev()
+                .find(|nc| {
+                    self.cmp.compare(&nc.min_key, &n.min_key)
+                        != std::cmp::Ordering::Greater
+                })
+                .unwrap_or(&new_head)
+                .clone();
+            n.set_replacement(cover);
+        }
+
+        // Lazy index maintenance: publish new minKeys, drop stale ones.
+        for nc in &new_chunks {
+            if !nc.min_key.is_empty() {
+                self.index
+                    .put(MinKey::new(&nc.min_key, self.cmp.clone()), nc.clone());
+            }
+        }
+        if let Some(n) = merged_next {
+            let still_a_boundary = new_chunks.iter().any(|nc| {
+                self.cmp.compare(&nc.min_key, &n.min_key) == std::cmp::Ordering::Equal
+            });
+            if !still_a_boundary {
+                self.index
+                    .remove(&MinKey::new(&n.min_key, self.cmp.clone()));
+            }
+        }
+
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replaces `old` with `new_head` in the chunk list. `old` is engaged
+    /// (its rebalance lock is held) and not yet marked replaced, so it is
+    /// reachable from the live chain.
+    fn splice(&self, old: &Arc<Chunk>, new_head: Arc<Chunk>) {
+        if old.min_key.is_empty() {
+            // `old` is the first chunk; `self.first` necessarily points at
+            // it (each first-replacement updates the pointer under the
+            // old first's rebalance lock, which we hold transitively).
+            let mut g = self.first.write();
+            debug_assert!(Arc::ptr_eq(&g, old), "first pointer out of sync");
+            *g = new_head;
+            return;
+        }
+        let mut spins = 0u64;
+        'outer: loop {
+            let mut cur = self.first.read().clone();
+            loop {
+                while let Some(r) = cur.replacement() {
+                    cur = r.clone();
+                }
+                let Some(n) = cur.next_chunk() else {
+                    // `old` temporarily unreachable through the live chain
+                    // (a concurrent splice is mid-flight); retry.
+                    break;
+                };
+                if Arc::ptr_eq(&n, old) {
+                    if cur.swing_next(old, new_head.clone()) {
+                        return;
+                    }
+                    continue 'outer;
+                }
+                cur = n;
+            }
+            spins += 1;
+            assert!(spins < 1_000_000, "splice could not find engaged chunk");
+            std::hint::spin_loop();
+        }
+    }
+}

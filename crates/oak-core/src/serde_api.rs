@@ -1,0 +1,115 @@
+//! Serialization traits for the legacy (typed) API.
+//!
+//! "To convert objects (both keys and values) to and from their serialized
+//! forms, the user must implement a (1) serializer, (2) deserializer, and
+//! (3) serialized size calculator" (§2.1). We fold all three into one trait
+//! with three methods; the zero-copy API never calls `deserialize`.
+
+/// Serializer / deserializer / size calculator for a key or value type.
+pub trait OakSerializer: Send + Sync + 'static {
+    /// The in-memory (deserialized) type.
+    type Item;
+
+    /// Exact size in bytes of `item`'s serialized form.
+    fn serialized_size(&self, item: &Self::Item) -> usize;
+
+    /// Writes `item` into `out`, which has exactly `serialized_size` bytes.
+    /// This writes directly into Oak's off-heap allocation — no
+    /// intermediate buffer.
+    fn serialize(&self, item: &Self::Item, out: &mut [u8]);
+
+    /// Reconstructs an item from its serialized bytes.
+    fn deserialize(&self, bytes: &[u8]) -> Self::Item;
+}
+
+/// Identity serializer for raw byte vectors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BytesSerializer;
+
+impl OakSerializer for BytesSerializer {
+    type Item = Vec<u8>;
+
+    fn serialized_size(&self, item: &Vec<u8>) -> usize {
+        item.len()
+    }
+
+    fn serialize(&self, item: &Vec<u8>, out: &mut [u8]) {
+        out.copy_from_slice(item);
+    }
+
+    fn deserialize(&self, bytes: &[u8]) -> Vec<u8> {
+        bytes.to_vec()
+    }
+}
+
+/// Big-endian `u64` serializer (sorts correctly under
+/// [`Lexicographic`](crate::Lexicographic)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct U64Serializer;
+
+impl OakSerializer for U64Serializer {
+    type Item = u64;
+
+    fn serialized_size(&self, _: &u64) -> usize {
+        8
+    }
+
+    fn serialize(&self, item: &u64, out: &mut [u8]) {
+        out.copy_from_slice(&item.to_be_bytes());
+    }
+
+    fn deserialize(&self, bytes: &[u8]) -> u64 {
+        u64::from_be_bytes(bytes.try_into().expect("u64 key is 8 bytes"))
+    }
+}
+
+/// UTF-8 string serializer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StringSerializer;
+
+impl OakSerializer for StringSerializer {
+    type Item = String;
+
+    fn serialized_size(&self, item: &String) -> usize {
+        item.len()
+    }
+
+    fn serialize(&self, item: &String, out: &mut [u8]) {
+        out.copy_from_slice(item.as_bytes());
+    }
+
+    fn deserialize(&self, bytes: &[u8]) -> String {
+        String::from_utf8(bytes.to_vec()).expect("stored string is valid UTF-8")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<S: OakSerializer>(s: &S, item: S::Item) -> S::Item {
+        let mut buf = vec![0u8; s.serialized_size(&item)];
+        s.serialize(&item, &mut buf);
+        s.deserialize(&buf)
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let v = vec![1u8, 2, 3, 250];
+        assert_eq!(round_trip(&BytesSerializer, v.clone()), v);
+    }
+
+    #[test]
+    fn u64_round_trip_and_order() {
+        assert_eq!(round_trip(&U64Serializer, 0), 0);
+        assert_eq!(round_trip(&U64Serializer, u64::MAX), u64::MAX);
+        // Big-endian encoding sorts numerically under byte order.
+        assert!(5u64.to_be_bytes() < 300u64.to_be_bytes());
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let s = "héllo wörld".to_string();
+        assert_eq!(round_trip(&StringSerializer, s.clone()), s);
+    }
+}

@@ -1,0 +1,388 @@
+//! Functional tests for OakMap: point operations, conditional updates,
+//! scans, buffers, the legacy API, and footprint accounting.
+
+use oak_core::legacy::TypedOakMap;
+use oak_core::serde_api::{StringSerializer, U64Serializer};
+use oak_core::{OakMap, OakMapConfig, U64BeComparator};
+
+fn small_map() -> OakMap {
+    OakMap::with_config(OakMapConfig::small())
+}
+
+fn k(i: u32) -> Vec<u8> {
+    format!("key{i:06}").into_bytes()
+}
+
+fn v(i: u32) -> Vec<u8> {
+    format!("value-{i}").into_bytes()
+}
+
+#[test]
+fn empty_map() {
+    let m = small_map();
+    assert!(m.is_empty());
+    assert!(m.get(b"nope").is_none());
+    assert!(!m.remove(b"nope"));
+    assert!(!m.compute_if_present(b"nope", |_| {}));
+    assert_eq!(m.iter_range(None, None).count(), 0);
+    assert_eq!(m.iter_descending(None, None).count(), 0);
+}
+
+#[test]
+fn put_get_roundtrip() {
+    let m = small_map();
+    m.put(&k(1), &v(1)).unwrap();
+    assert_eq!(m.get_copy(&k(1)).unwrap(), v(1));
+    assert!(m.contains_key(&k(1)));
+    // Replace with different sizes (forces payload resize).
+    m.put(&k(1), b"x").unwrap();
+    assert_eq!(m.get_copy(&k(1)).unwrap(), b"x");
+    m.put(&k(1), &vec![7u8; 500]).unwrap();
+    assert_eq!(m.get_copy(&k(1)).unwrap(), vec![7u8; 500]);
+    assert_eq!(m.len(), 1);
+}
+
+#[test]
+fn put_if_absent_semantics() {
+    let m = small_map();
+    assert!(m.put_if_absent(&k(5), &v(5)).unwrap());
+    assert!(!m.put_if_absent(&k(5), b"other").unwrap());
+    assert_eq!(m.get_copy(&k(5)).unwrap(), v(5));
+    m.remove(&k(5));
+    assert!(m.put_if_absent(&k(5), b"after-remove").unwrap());
+    assert_eq!(m.get_copy(&k(5)).unwrap(), b"after-remove");
+}
+
+#[test]
+fn remove_semantics() {
+    let m = small_map();
+    for i in 0..100 {
+        m.put(&k(i), &v(i)).unwrap();
+    }
+    assert_eq!(m.len(), 100);
+    for i in (0..100).step_by(2) {
+        assert!(m.remove(&k(i)));
+        assert!(!m.remove(&k(i)), "second remove must fail");
+    }
+    assert_eq!(m.len(), 50);
+    for i in 0..100 {
+        assert_eq!(m.get(&k(i)).is_some(), i % 2 == 1, "key {i}");
+    }
+}
+
+#[test]
+fn compute_if_present_is_in_place() {
+    let m = small_map();
+    m.put(b"ctr", &0u64.to_le_bytes()).unwrap();
+    for _ in 0..10 {
+        assert!(m.compute_if_present(b"ctr", |buf| {
+            let cur = u64::from_le_bytes(buf.as_slice().try_into().unwrap());
+            buf.as_mut_slice().copy_from_slice(&(cur + 1).to_le_bytes());
+        }));
+    }
+    assert_eq!(
+        m.get_with(b"ctr", |b| u64::from_le_bytes(b.try_into().unwrap())),
+        Some(10)
+    );
+}
+
+#[test]
+fn compute_can_grow_value() {
+    let m = small_map();
+    m.put(b"grow", b"ab").unwrap();
+    assert!(m.compute_if_present(b"grow", |buf| {
+        let n = buf.len();
+        buf.resize(n + 4).unwrap();
+        buf.as_mut_slice()[n..].copy_from_slice(b"cdef");
+    }));
+    assert_eq!(m.get_copy(b"grow").unwrap(), b"abcdef");
+}
+
+#[test]
+fn put_if_absent_compute_if_present_upserts() {
+    let m = small_map();
+    for _ in 0..5 {
+        m.put_if_absent_compute_if_present(b"agg", &1u64.to_le_bytes(), |buf| {
+            let cur = u64::from_le_bytes(buf.as_slice().try_into().unwrap());
+            buf.as_mut_slice().copy_from_slice(&(cur + 1).to_le_bytes());
+        })
+        .unwrap();
+    }
+    assert_eq!(
+        m.get_with(b"agg", |b| u64::from_le_bytes(b.try_into().unwrap())),
+        Some(5)
+    );
+}
+
+#[test]
+fn many_inserts_force_rebalances() {
+    let m = small_map(); // 64-entry chunks
+    let n = 5_000u32;
+    for i in 0..n {
+        m.put(&k(i * 7919 % n), &v(i)).unwrap();
+    }
+    let stats = m.stats();
+    assert!(stats.rebalances > 10, "rebalances: {}", stats.rebalances);
+    assert!(stats.chunks > 10, "chunks: {}", stats.chunks);
+    assert_eq!(m.len() as u32, n);
+    for i in 0..n {
+        assert!(m.get(&k(i)).is_some(), "missing key {i}");
+    }
+}
+
+#[test]
+fn ascending_scan_ordered_and_bounded() {
+    let m = small_map();
+    for i in 0..1_000 {
+        m.put(&k(i), &v(i)).unwrap();
+    }
+    // Set API.
+    let keys: Vec<Vec<u8>> = m
+        .iter_range(Some(&k(100)), Some(&k(200)))
+        .map(|(kb, _)| kb.to_vec().unwrap())
+        .collect();
+    assert_eq!(keys.len(), 100);
+    assert_eq!(keys[0], k(100));
+    assert_eq!(keys[99], k(199));
+    assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    // Stream API must agree.
+    let mut stream_keys = Vec::new();
+    m.for_each_in(Some(&k(100)), Some(&k(200)), |kb, _| {
+        stream_keys.push(kb.to_vec());
+        true
+    });
+    assert_eq!(keys, stream_keys);
+}
+
+#[test]
+fn descending_scan_matches_reverse_ascending() {
+    let m = small_map();
+    for i in 0..2_000 {
+        m.put(&k(i), &v(i)).unwrap();
+    }
+    // Delete some to create gaps.
+    for i in (0..2_000).step_by(3) {
+        m.remove(&k(i));
+    }
+    let mut asc: Vec<Vec<u8>> = Vec::new();
+    m.for_each_in(Some(&k(250)), Some(&k(1750)), |kb, _| {
+        asc.push(kb.to_vec());
+        true
+    });
+    asc.reverse();
+    let desc: Vec<Vec<u8>> = m
+        .iter_descending(Some(&k(1749)), Some(&k(250)))
+        .map(|(kb, _)| kb.to_vec().unwrap())
+        .collect();
+    assert_eq!(asc.len(), desc.len());
+    assert_eq!(asc, desc);
+    // Stream descending agrees too.
+    let mut stream_desc = Vec::new();
+    m.for_each_descending(Some(&k(1749)), Some(&k(250)), |kb, _| {
+        stream_desc.push(kb.to_vec());
+        true
+    });
+    assert_eq!(desc, stream_desc);
+}
+
+#[test]
+fn descending_full_map() {
+    let m = small_map();
+    for i in 0..500 {
+        m.put(&k(i), &v(i)).unwrap();
+    }
+    let desc: Vec<Vec<u8>> = m
+        .iter_descending(None, None)
+        .map(|(kb, _)| kb.to_vec().unwrap())
+        .collect();
+    assert_eq!(desc.len(), 500);
+    assert_eq!(desc[0], k(499));
+    assert_eq!(desc[499], k(0));
+    assert!(desc.windows(2).all(|w| w[0] > w[1]));
+}
+
+#[test]
+fn buffers_survive_and_observe_updates() {
+    let m = small_map();
+    m.put(b"watch", &1u64.to_le_bytes()).unwrap();
+    let buf = m.get(b"watch").unwrap();
+    assert_eq!(buf.get_u64(0).unwrap(), 1);
+    // ZC view: in-place updates are visible through the same buffer.
+    m.compute_if_present(b"watch", |b| b.put_u64(0, 42));
+    assert_eq!(buf.get_u64(0).unwrap(), 42);
+    // After removal, access fails (ConcurrentModificationException analogue).
+    m.remove(b"watch");
+    assert!(buf.get_u64(0).is_err());
+    assert!(buf.is_deleted());
+}
+
+#[test]
+fn zc_view_api_surface() {
+    let m = small_map();
+    let zc = m.zc();
+    zc.put(b"a", b"1").unwrap();
+    assert!(zc.put_if_absent(b"b", b"2").unwrap());
+    assert!(!zc.put_if_absent(b"b", b"x").unwrap());
+    assert!(zc.compute_if_present(b"b", |buf| buf.as_mut_slice()[0] = b'9'));
+    assert_eq!(zc.get(b"b").unwrap().to_vec().unwrap(), b"9");
+    assert!(zc
+        .put_if_absent_compute_if_present(b"c", b"0", |_| {})
+        .unwrap());
+    let n = zc.entry_stream_set(None, None, |_, _| true);
+    assert_eq!(n, 3);
+    assert_eq!(zc.entry_set(None, None).count(), 3);
+    assert_eq!(zc.descending_entry_set(None, None).count(), 3);
+    zc.remove(b"a");
+    assert!(zc.get(b"a").is_none());
+}
+
+#[test]
+fn custom_comparator_u64() {
+    let m: OakMap<U64BeComparator> =
+        OakMap::with_comparator(OakMapConfig::small(), U64BeComparator);
+    // Insert in numeric-hostile order.
+    for i in [300u64, 5, 1_000_000, 42, 7] {
+        m.put(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    let mut keys = Vec::new();
+    m.for_each_in(None, None, |kb, _| {
+        keys.push(u64::from_be_bytes(kb.try_into().unwrap()));
+        true
+    });
+    assert_eq!(keys, vec![5, 7, 42, 300, 1_000_000]);
+}
+
+#[test]
+fn legacy_typed_api() {
+    let m = TypedOakMap::new(
+        OakMap::with_config(OakMapConfig::small()),
+        U64Serializer,
+        StringSerializer,
+    );
+    assert_eq!(m.put(&1, &"one".to_string()).unwrap(), None);
+    assert_eq!(
+        m.put(&1, &"uno".to_string()).unwrap(),
+        Some("one".to_string())
+    );
+    assert_eq!(m.get(&1), Some("uno".to_string()));
+    assert!(m.compute_if_present(&1, |s| format!("{s}!")));
+    assert_eq!(m.get(&1), Some("uno!".to_string()));
+    assert_eq!(m.remove(&1), Some("uno!".to_string()));
+    assert_eq!(m.remove(&1), None);
+    assert!(m.is_empty());
+    // Range collection.
+    for i in 0..50u64 {
+        m.put(&i, &format!("v{i}")).unwrap();
+    }
+    let got = m.collect_range(Some(&10), Some(&20));
+    assert_eq!(got.len(), 10);
+    assert_eq!(got[0], (10, "v10".to_string()));
+}
+
+#[test]
+fn footprint_accounting() {
+    let m = small_map();
+    let n = 500u32;
+    for i in 0..n {
+        m.put(&k(i), &[1u8; 100]).unwrap();
+    }
+    let stats = m.stats();
+    // Raw data: 500 × (9-byte key + 100-byte value + 16-byte header).
+    assert!(stats.pool.live_bytes >= 500 * (9 + 100 + 16) - 4096);
+    assert!(stats.pool.reserved_bytes >= stats.pool.live_bytes);
+    let live_before = stats.pool.live_bytes;
+    for i in 0..n {
+        m.remove(&k(i));
+    }
+    let after = m.stats();
+    // Value payloads are reclaimed; headers are retained by the default
+    // memory manager.
+    assert!(after.pool.live_bytes < live_before);
+    assert_eq!(after.len, 0);
+}
+
+#[test]
+fn empty_key_rejected() {
+    let m = small_map();
+    assert!(m.put(b"", b"v").is_err());
+}
+
+#[test]
+fn values_of_wildly_varying_sizes() {
+    let m = small_map();
+    for i in 0..200u32 {
+        let size = 1 + (i as usize * 37) % 2_000;
+        m.put(&k(i), &vec![i as u8; size]).unwrap();
+    }
+    for i in 0..200u32 {
+        let size = 1 + (i as usize * 37) % 2_000;
+        assert_eq!(m.get_with(&k(i), |v| v.len()), Some(size));
+    }
+}
+
+#[test]
+fn descending_across_fully_deleted_chunks() {
+    // Delete whole chunk-sized regions, then descend across the holes:
+    // the chunk hops must skip dead regions without yielding phantoms.
+    let m = small_map(); // 64-entry chunks
+    for i in 0..1_000 {
+        m.put(&k(i), &v(i)).unwrap();
+    }
+    // Carve out two large holes.
+    for i in 200..400 {
+        m.remove(&k(i));
+    }
+    for i in 600..800 {
+        m.remove(&k(i));
+    }
+    let got: Vec<Vec<u8>> = m
+        .iter_descending(None, None)
+        .map(|(kb, _)| kb.to_vec().unwrap())
+        .collect();
+    let mut want: Vec<Vec<u8>> = (0..1_000)
+        .filter(|i| !(200..400).contains(i) && !(600..800).contains(i))
+        .map(k)
+        .collect();
+    want.reverse();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn descending_single_key_and_boundaries() {
+    let m = small_map();
+    m.put(b"only", b"one").unwrap();
+    let got: Vec<Vec<u8>> = m
+        .iter_descending(None, None)
+        .map(|(kb, _)| kb.to_vec().unwrap())
+        .collect();
+    assert_eq!(got, vec![b"only".to_vec()]);
+    // from below the key: nothing.
+    assert_eq!(m.iter_descending(Some(b"aaa"), None).count(), 0);
+    // from exactly the key: inclusive.
+    assert_eq!(m.iter_descending(Some(b"only"), None).count(), 1);
+    // lo above the key: nothing.
+    assert_eq!(m.iter_descending(None, Some(b"zzz")).count(), 0);
+    // lo exactly the key: inclusive.
+    assert_eq!(m.iter_descending(None, Some(b"only")).count(), 1);
+}
+
+#[test]
+fn descending_bounds_at_chunk_boundaries() {
+    // Force known chunk splits, then scan with bounds likely to fall on
+    // minKeys.
+    let m = small_map();
+    for i in 0..512 {
+        m.put(&k(i), b"x").unwrap();
+    }
+    let stats = m.stats();
+    assert!(stats.chunks >= 4, "need multiple chunks: {}", stats.chunks);
+    for (from, lo) in [(511, 0), (300, 100), (256, 255), (128, 128), (64, 63)] {
+        let got: Vec<Vec<u8>> = m
+            .iter_descending(Some(&k(from)), Some(&k(lo)))
+            .map(|(kb, _)| kb.to_vec().unwrap())
+            .collect();
+        let mut want: Vec<Vec<u8>> = (lo..=from).map(k).collect();
+        want.reverse();
+        assert_eq!(got, want, "from {from} lo {lo}");
+    }
+}

@@ -1,0 +1,462 @@
+//! `Skiplist-OffHeap`: the paper's off-heap skiplist baseline (§5.1).
+//!
+//! "Internally, Skiplist-OffHeap maintains a concurrent skiplist over an
+//! intermediate cell object. Each cell references a key buffer and a value
+//! buffer allocated in off-heap arenas through Oak's memory manager."
+//!
+//! The skiplist nodes and cells count as (simulated) on-heap metadata; the
+//! key and value bytes live in an [`oak_mempool`] pool. Values are fronted
+//! by Oak value headers, so this baseline exposes the same zero-copy,
+//! atomic-in-place access as Oak — isolating *off-heap allocation* from
+//! Oak's chunk organization, exactly the comparison the paper draws.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::Arc;
+
+use oak_gcheap::{layout, HeapModel, NoopHeap};
+use oak_mempool::{AllocError, HeaderRef, MemoryPool, PoolConfig, SliceRef, ValueStore};
+
+use crate::list::SkipListMap;
+
+/// The skiplist key: either a pooled (off-heap) key buffer owned by a cell,
+/// or an inline byte copy used for lookups and bounds.
+pub struct OffKey {
+    repr: KeyRepr,
+}
+
+enum KeyRepr {
+    Pooled { pool: Arc<MemoryPool>, r: SliceRef },
+    Inline(Box<[u8]>),
+}
+
+impl OffKey {
+    fn pooled(pool: Arc<MemoryPool>, r: SliceRef) -> Self {
+        OffKey {
+            repr: KeyRepr::Pooled { pool, r },
+        }
+    }
+
+    fn inline(bytes: &[u8]) -> Self {
+        OffKey {
+            repr: KeyRepr::Inline(bytes.into()),
+        }
+    }
+
+    /// The key bytes (for pooled keys, a zero-copy view into the arena).
+    pub fn bytes(&self) -> &[u8] {
+        match &self.repr {
+            // SAFETY: key buffers are immutable from allocation until the
+            // owning OffKey is dropped (which frees them).
+            KeyRepr::Pooled { pool, r } => unsafe { pool.slice(*r) },
+            KeyRepr::Inline(b) => b,
+        }
+    }
+}
+
+impl Drop for OffKey {
+    fn drop(&mut self) {
+        if let KeyRepr::Pooled { pool, r } = &self.repr {
+            pool.free(*r);
+        }
+    }
+}
+
+impl Clone for OffKey {
+    /// Clones are always inline copies; pooled buffers have a single owner.
+    fn clone(&self) -> Self {
+        OffKey::inline(self.bytes())
+    }
+}
+
+impl PartialEq for OffKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes() == other.bytes()
+    }
+}
+impl Eq for OffKey {}
+impl PartialOrd for OffKey {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OffKey {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.bytes().cmp(other.bytes())
+    }
+}
+
+impl std::fmt::Debug for OffKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OffKey({} bytes)", self.bytes().len())
+    }
+}
+
+/// A concurrent ordered byte-key map over off-heap cells: the paper's
+/// `Skiplist-OffHeap` baseline.
+pub struct OffHeapSkipListMap {
+    store: ValueStore,
+    list: SkipListMap<OffKey, HeaderRef>,
+}
+
+impl OffHeapSkipListMap {
+    /// Creates a map over a fresh pool with the given configuration.
+    pub fn new(config: PoolConfig) -> Self {
+        Self::with_heap(config, Arc::new(NoopHeap))
+    }
+
+    /// Creates a map charging `heap` for the simulated on-heap metadata
+    /// (skiplist nodes and cell objects) while data bytes live off-heap.
+    pub fn with_heap(config: PoolConfig, heap: Arc<dyn HeapModel>) -> Self {
+        let pool = Arc::new(MemoryPool::new(config));
+        let store = ValueStore::new(pool);
+        // Per entry: the cell object (two references) plus the buffer
+        // facade objects; key/value bytes themselves are off-heap.
+        let list = SkipListMap::with_heap(
+            heap,
+            |_k| layout::object(2 * layout::REF_SIZE),
+            |_v| layout::object(layout::REF_SIZE),
+        );
+        OffHeapSkipListMap { store, list }
+    }
+
+    /// The backing pool (for footprint statistics).
+    pub fn pool(&self) -> &Arc<MemoryPool> {
+        self.store.pool()
+    }
+
+    /// Number of live mappings.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Zero-copy get: applies `f` to the value bytes under the header read
+    /// lock.
+    pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let lookup = OffKey::inline(key);
+        self.list
+            .get_with(&lookup, |h| self.store.read(*h, f).ok())
+            .flatten()
+    }
+
+    /// Copying get (legacy-API shape).
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.get_with(key, |b| b.to_vec())
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.get_with(key, |_| ()).is_some()
+    }
+
+    fn new_cell(&self, key: &[u8], value: &[u8]) -> Result<(OffKey, HeaderRef), AllocError> {
+        let kref = self.store.pool().allocate(key.len())?;
+        // SAFETY: fresh, unpublished allocation.
+        unsafe { self.store.pool().write_initial(kref, key) };
+        let h = match self.store.allocate_value(value) {
+            Ok(h) => h,
+            Err(e) => {
+                self.store.pool().free(kref);
+                return Err(e);
+            }
+        };
+        Ok((OffKey::pooled(self.store.pool().clone(), kref), h))
+    }
+
+    /// Inserts or replaces `key → value`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), AllocError> {
+        loop {
+            let lookup = OffKey::inline(key);
+            let existing = self.list.get_with(&lookup, |h| *h);
+            if let Some(h) = existing {
+                if self.store.put(h, value)? {
+                    return Ok(());
+                }
+                // Concurrently removed; retry as insert.
+                continue;
+            }
+            let (k, h) = self.new_cell(key, value)?;
+            if self.list.put_if_absent(k, h) {
+                return Ok(());
+            }
+            // Lost the race: free the value cell (the key buffer is freed
+            // by OffKey's drop) and retry as replace.
+            self.store.remove(h);
+        }
+    }
+
+    /// Inserts `key → value` if absent; returns `true` if inserted.
+    pub fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool, AllocError> {
+        loop {
+            let lookup = OffKey::inline(key);
+            let exists = self
+                .list
+                .get_with(&lookup, |h| !self.store.is_deleted(*h))
+                .unwrap_or(false);
+            if exists {
+                return Ok(false);
+            }
+            let (k, h) = self.new_cell(key, value)?;
+            if self.list.put_if_absent(k, h) {
+                return Ok(true);
+            }
+            self.store.remove(h);
+        }
+    }
+
+    /// Atomically updates the value in place under the header write lock
+    /// (this baseline shares Oak's value-access layer, hence its compute is
+    /// atomic, unlike `Skiplist-OnHeap`'s CAS-replace).
+    pub fn compute_if_present(
+        &self,
+        key: &[u8],
+        f: impl FnOnce(&mut oak_mempool::ValueBytesMut<'_>),
+    ) -> bool {
+        let lookup = OffKey::inline(key);
+        self.list
+            .get_with(&lookup, |h| self.store.compute(*h, f).is_some())
+            .unwrap_or(false)
+    }
+
+    /// `putIfAbsentComputeIfPresent`: insert if absent, else atomic
+    /// in-place update.
+    pub fn put_if_absent_compute_if_present(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        f: impl Fn(&mut oak_mempool::ValueBytesMut<'_>),
+    ) -> Result<(), AllocError> {
+        loop {
+            let lookup = OffKey::inline(key);
+            let computed = self
+                .list
+                .get_with(&lookup, |h| self.store.compute(*h, &f).is_some())
+                .unwrap_or(false);
+            if computed {
+                return Ok(());
+            }
+            let (k, h) = self.new_cell(key, value)?;
+            if self.list.put_if_absent(k, h) {
+                return Ok(());
+            }
+            self.store.remove(h);
+        }
+    }
+
+    /// Removes the mapping; returns `true` if this call removed it.
+    pub fn remove(&self, key: &[u8]) -> bool {
+        let lookup = OffKey::inline(key);
+        match self.list.remove_with(&lookup, |h| *h) {
+            Some(h) => {
+                self.store.remove(h);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ascending zero-copy scan over `[lo, hi)`; `f` gets key and value
+    /// bytes. Returns entries visited; stops early when `f` returns false.
+    pub fn for_each_range(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> usize {
+        let lo_k = lo.map(OffKey::inline);
+        let hi_k = hi.map(OffKey::inline);
+        let mut count = 0;
+        self.list
+            .for_each_range(lo_k.as_ref(), hi_k.as_ref(), |k, h| {
+                match self.store.read(*h, |v| f(k.bytes(), v)) {
+                    Ok(keep) => {
+                        count += 1;
+                        keep
+                    }
+                    Err(_) => true, // concurrently deleted; skip
+                }
+            });
+        count
+    }
+
+    /// Descending scan, one fresh lookup per key — the skiplist baseline
+    /// behaviour Figure 4f measures.
+    pub fn for_each_descending(
+        &self,
+        from: &[u8],
+        lo: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> usize {
+        let from_k = OffKey::inline(from);
+        let lo_k = lo.map(OffKey::inline);
+        let mut count = 0;
+        self.list
+            .for_each_descending(&from_k, lo_k.as_ref(), |k, h| {
+                match self.store.read(*h, |v| f(k.bytes(), v)) {
+                    Ok(keep) => {
+                        count += 1;
+                        keep
+                    }
+                    Err(_) => true,
+                }
+            });
+        count
+    }
+}
+
+impl std::fmt::Debug for OffHeapSkipListMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OffHeapSkipListMap")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> OffHeapSkipListMap {
+        OffHeapSkipListMap::new(PoolConfig::small())
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let m = map();
+        m.put(b"alpha", b"1").unwrap();
+        m.put(b"beta", b"2").unwrap();
+        assert_eq!(m.get(b"alpha").unwrap(), b"1");
+        assert_eq!(m.get(b"beta").unwrap(), b"2");
+        assert_eq!(m.get(b"gamma"), None);
+        m.put(b"alpha", b"replaced-with-longer-value").unwrap();
+        assert_eq!(m.get(b"alpha").unwrap(), b"replaced-with-longer-value");
+        assert!(m.remove(b"alpha"));
+        assert!(!m.remove(b"alpha"));
+        assert_eq!(m.get(b"alpha"), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn put_if_absent_and_compute() {
+        let m = map();
+        assert!(m.put_if_absent(b"k", &0u64.to_le_bytes()).unwrap());
+        assert!(!m.put_if_absent(b"k", &9u64.to_le_bytes()).unwrap());
+        for _ in 0..5 {
+            assert!(m.compute_if_present(b"k", |b| {
+                let v = b.get_u64(0);
+                b.put_u64(0, v + 1);
+            }));
+        }
+        assert_eq!(
+            m.get_with(b"k", |b| u64::from_le_bytes(b.try_into().unwrap())),
+            Some(5)
+        );
+        assert!(!m.compute_if_present(b"missing", |_| {}));
+    }
+
+    #[test]
+    fn upsert_path() {
+        let m = map();
+        for _ in 0..3 {
+            m.put_if_absent_compute_if_present(b"ctr", &1u64.to_le_bytes(), |b| {
+                let v = b.get_u64(0);
+                b.put_u64(0, v + 1);
+            })
+            .unwrap();
+        }
+        assert_eq!(
+            m.get_with(b"ctr", |b| u64::from_le_bytes(b.try_into().unwrap())),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn scans_in_order() {
+        let m = map();
+        for i in (0..50u32).rev() {
+            m.put(format!("key{i:04}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        let mut keys = Vec::new();
+        m.for_each_range(Some(b"key0010"), Some(b"key0020"), |k, _| {
+            keys.push(String::from_utf8(k.to_vec()).unwrap());
+            true
+        });
+        assert_eq!(keys.len(), 10);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(keys[0], "key0010");
+
+        let mut desc = Vec::new();
+        m.for_each_descending(b"key0049", Some(b"key0040"), |k, _| {
+            desc.push(String::from_utf8(k.to_vec()).unwrap());
+            true
+        });
+        assert_eq!(desc.len(), 10);
+        assert!(desc.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn footprint_shrinks_on_remove() {
+        let m = map();
+        for i in 0..100u32 {
+            m.put(&i.to_le_bytes(), &[0u8; 500]).unwrap();
+        }
+        let live_full = m.pool().stats().live_bytes;
+        for i in 0..100u32 {
+            m.remove(&i.to_le_bytes());
+        }
+        // Value payloads are freed eagerly; key buffers follow when the
+        // epoch collector destroys the unlinked nodes.
+        let live_after = m.pool().stats().live_bytes;
+        assert!(live_after < live_full, "{live_after} !< {live_full}");
+    }
+
+    #[test]
+    fn concurrent_mixed_ops() {
+        let m = std::sync::Arc::new(map());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    let k = ((t * 500 + i) % 200).to_le_bytes();
+                    match i % 4 {
+                        0 => {
+                            m.put(&k, &i.to_le_bytes()).unwrap();
+                        }
+                        1 => {
+                            let _ = m.get(&k);
+                        }
+                        2 => {
+                            m.compute_if_present(&k, |b| {
+                                if b.len() >= 4 {
+                                    let v =
+                                        u32::from_le_bytes(b.as_slice()[..4].try_into().unwrap());
+                                    b.as_mut_slice()[..4]
+                                        .copy_from_slice(&v.wrapping_add(1).to_le_bytes());
+                                }
+                            });
+                        }
+                        _ => {
+                            m.remove(&k);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Map is internally consistent.
+        let mut n = 0;
+        m.for_each_range(None, None, |_, _| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, m.len());
+    }
+}

@@ -1,0 +1,67 @@
+//! Tower-height generation.
+//!
+//! A small per-thread xorshift generator: heights are geometric with
+//! p = 1/2, capped at [`MAX_HEIGHT`](crate::MAX_HEIGHT). Keeping this
+//! dependency-free (no `rand` in the library's hot path) follows the
+//! standard-library skiplist implementations.
+
+use std::cell::Cell;
+
+thread_local! {
+    static STATE: Cell<u64> = Cell::new(seed());
+}
+
+fn seed() -> u64 {
+    // Mix thread identity and a global counter; quality is irrelevant, we
+    // only need decorrelated streams per thread.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    let c = COUNTER.fetch_add(0x2545_F491_4F6C_DD1D, Ordering::Relaxed);
+    c | 1
+}
+
+/// Next raw pseudo-random word (xorshift64*).
+pub fn next_u64() -> u64 {
+    STATE.with(|s| {
+        let mut x = s.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        s.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    })
+}
+
+/// Samples a tower height in `1..=max`: geometric with p = 1/2.
+pub fn random_height(max: usize) -> usize {
+    let bits = next_u64();
+    // Count trailing ones ⇒ geometric(1/2); +1 for the base level.
+    let h = (bits.trailing_ones() as usize) + 1;
+    h.min(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heights_are_in_range_and_geometricish() {
+        let mut counts = [0usize; 33];
+        for _ in 0..100_000 {
+            let h = random_height(32);
+            assert!((1..=32).contains(&h));
+            counts[h] += 1;
+        }
+        // Roughly half of all towers are height 1, a quarter height 2, …
+        assert!(counts[1] > 40_000 && counts[1] < 60_000, "h=1: {}", counts[1]);
+        assert!(counts[2] > 17_000 && counts[2] < 33_000, "h=2: {}", counts[2]);
+        assert!(counts[1] > counts[2] && counts[2] > counts[3]);
+    }
+
+    #[test]
+    fn streams_differ_across_threads() {
+        let a = next_u64();
+        let b = std::thread::spawn(next_u64).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests: the skiplist must agree with `std::collections::BTreeMap`
+//! under arbitrary sequential operation mixes, including ordered queries.
+
+use std::collections::BTreeMap;
+
+use oak_skiplist::{PutOutcome, SkipListMap};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u32),
+    PutIfAbsent(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Compute(u16, u32),
+    Merge(u16, u32),
+    Floor(u16, bool),
+    Ceiling(u16, bool),
+    Range(u16, u16),
+    Descend(u16, u16),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Put(k % 128, v)),
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::PutIfAbsent(k % 128, v)),
+            any::<u16>().prop_map(|k| Op::Remove(k % 128)),
+            any::<u16>().prop_map(|k| Op::Get(k % 128)),
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Compute(k % 128, v)),
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Merge(k % 128, v)),
+            (any::<u16>(), any::<bool>()).prop_map(|(k, i)| Op::Floor(k % 128, i)),
+            (any::<u16>(), any::<bool>()).prop_map(|(k, i)| Op::Ceiling(k % 128, i)),
+            (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 128, b % 128)),
+            (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Descend(a % 128, b % 128)),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matches_btreemap(ops in ops()) {
+        let sl = SkipListMap::<u16, u32>::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    let out = sl.put(k, v);
+                    let old = model.insert(k, v);
+                    prop_assert_eq!(out == PutOutcome::Replaced, old.is_some());
+                }
+                Op::PutIfAbsent(k, v) => {
+                    let inserted = sl.put_if_absent(k, v);
+                    let absent = !model.contains_key(&k);
+                    prop_assert_eq!(inserted, absent);
+                    if absent {
+                        model.insert(k, v);
+                    }
+                }
+                Op::Remove(k) => {
+                    let removed = sl.remove(&k);
+                    prop_assert_eq!(removed, model.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(sl.get_cloned(&k), model.get(&k).copied());
+                }
+                Op::Compute(k, add) => {
+                    let did = sl.compute_if_present(&k, |v| v.wrapping_add(add));
+                    if let Some(v) = model.get_mut(&k) {
+                        prop_assert!(did);
+                        *v = v.wrapping_add(add);
+                    } else {
+                        prop_assert!(!did);
+                    }
+                }
+                Op::Merge(k, v) => {
+                    sl.merge(k, v, |cur| cur.wrapping_add(1));
+                    model
+                        .entry(k)
+                        .and_modify(|c| *c = c.wrapping_add(1))
+                        .or_insert(v);
+                }
+                Op::Floor(k, inclusive) => {
+                    let got = sl.floor_with(&k, inclusive, |k, v| (*k, *v));
+                    let want = if inclusive {
+                        model.range(..=k).next_back().map(|(a, b)| (*a, *b))
+                    } else {
+                        model.range(..k).next_back().map(|(a, b)| (*a, *b))
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                Op::Ceiling(k, inclusive) => {
+                    let got = sl.ceiling_with(&k, inclusive, |k, v| (*k, *v));
+                    let want = if inclusive {
+                        model.range(k..).next().map(|(a, b)| (*a, *b))
+                    } else {
+                        model.range((std::ops::Bound::Excluded(k), std::ops::Bound::Unbounded))
+                            .next()
+                            .map(|(a, b)| (*a, *b))
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let got = sl.collect_range(Some(&lo), Some(&hi));
+                    let want: Vec<(u16, u32)> =
+                        model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Descend(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let mut got = Vec::new();
+                    sl.for_each_descending(&hi, Some(&lo), |k, v| {
+                        got.push((*k, *v));
+                        true
+                    });
+                    let mut want: Vec<(u16, u32)> =
+                        model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                    want.reverse();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(sl.len(), model.len());
+        }
+
+        // Final full-content comparison.
+        let got = sl.collect_range(None, None);
+        let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Direct checks for the probe-based floor search used by Oak's index.
+#[test]
+fn floor_by_matches_floor_with() {
+    let m = SkipListMap::<u32, u32>::new();
+    for k in (0..100).step_by(5) {
+        m.put(k, k);
+    }
+    for probe in 0..110u32 {
+        let via_key = m.floor_with(&probe, true, |k, _| *k);
+        let via_probe = m.floor_by(|k| *k <= probe, |k, _| *k);
+        assert_eq!(via_key, via_probe, "probe {probe}");
+        let strict_key = m.floor_with(&probe, false, |k, _| *k);
+        let strict_probe = m.floor_by(|k| *k < probe, |k, _| *k);
+        assert_eq!(strict_key, strict_probe, "strict probe {probe}");
+    }
+    assert_eq!(m.floor_by(|_| false, |k, _| *k), None);
+    assert_eq!(m.floor_by(|_| true, |k, _| *k), Some(95));
+}

@@ -1,0 +1,229 @@
+//! Concurrent stress tests for the lock-free skiplist.
+//!
+//! These run on however many cores the host has; the invariants they check
+//! (unique winners, no lost updates, exact length accounting, linearizable
+//! get-after-remove) must hold regardless of interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use oak_skiplist::SkipListMap;
+
+const THREADS: usize = 4;
+
+#[test]
+fn concurrent_put_if_absent_unique_winner() {
+    let m = Arc::new(SkipListMap::<u64, u64>::new());
+    for round in 0..20u64 {
+        let winners = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..THREADS as u64 {
+            let m = m.clone();
+            let winners = winners.clone();
+            handles.push(std::thread::spawn(move || {
+                if m.put_if_absent(round, t) {
+                    winners.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(winners.load(Ordering::SeqCst), 1, "round {round}");
+        // The stored value must be the winner's.
+        assert!(m.get_cloned(&round).is_some());
+    }
+    assert_eq!(m.len(), 20);
+}
+
+#[test]
+fn concurrent_remove_unique_winner() {
+    let m = Arc::new(SkipListMap::<u64, u64>::new());
+    for round in 0..20u64 {
+        m.put(round, round);
+        let winners = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let m = m.clone();
+            let winners = winners.clone();
+            handles.push(std::thread::spawn(move || {
+                if m.remove(&round) {
+                    winners.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(winners.load(Ordering::SeqCst), 1, "round {round}");
+        assert_eq!(m.get_cloned(&round), None);
+    }
+    assert_eq!(m.len(), 0);
+}
+
+#[test]
+fn concurrent_disjoint_inserts_all_land() {
+    let m = Arc::new(SkipListMap::<u64, u64>::new());
+    let per_thread = 2_000u64;
+    let mut handles = Vec::new();
+    for t in 0..THREADS as u64 {
+        let m = m.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_thread {
+                let k = t * per_thread + i;
+                assert!(m.put_if_absent(k, k * 3));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(m.len(), THREADS * per_thread as usize);
+    let all = m.collect_range(None, None);
+    assert_eq!(all.len(), m.len());
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted order");
+    for (k, v) in all {
+        assert_eq!(v, k * 3);
+    }
+}
+
+#[test]
+fn concurrent_same_key_churn() {
+    // Insert/remove the same small key set from all threads; afterwards the
+    // map must be consistent with its own length counter and hold only
+    // values some thread actually wrote.
+    let m = Arc::new(SkipListMap::<u64, u64>::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS as u64 {
+        let m = m.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut state = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            for i in 0..5_000u64 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let k = state % 16;
+                match state % 3 {
+                    0 => {
+                        m.put(k, t * 1_000_000 + i);
+                    }
+                    1 => {
+                        m.put_if_absent(k, t * 1_000_000 + i);
+                    }
+                    _ => {
+                        m.remove(&k);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let survivors = m.collect_range(None, None);
+    assert_eq!(survivors.len(), m.len());
+    for (k, v) in survivors {
+        assert!(k < 16);
+        assert!(v % 1_000_000 < 5_000, "value written by some thread");
+    }
+}
+
+#[test]
+fn concurrent_compute_no_lost_updates() {
+    // compute_if_present is a CAS loop: no increment may be lost.
+    let m = Arc::new(SkipListMap::<u64, u64>::new());
+    m.put(0, 0);
+    let per_thread = 2_000u64;
+    let mut handles = Vec::new();
+    for _ in 0..THREADS {
+        let m = m.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..per_thread {
+                assert!(m.compute_if_present(&0, |v| v + 1));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(m.get_cloned(&0), Some(THREADS as u64 * per_thread));
+}
+
+#[test]
+fn get_after_remove_is_linearizable() {
+    // A reader that observes absence after a remove completed must keep
+    // observing absence until a subsequent insert. We drive remove/insert
+    // cycles and check the reader never sees stale values.
+    let m = Arc::new(SkipListMap::<u64, u64>::new());
+    let stop = Arc::new(AtomicU64::new(0));
+    let epoch_ctr = Arc::new(AtomicU64::new(0));
+
+    let writer = {
+        let (m, stop, epoch_ctr) = (m.clone(), stop.clone(), epoch_ctr.clone());
+        std::thread::spawn(move || {
+            for gen in 0..2_000u64 {
+                m.put(7, gen);
+                epoch_ctr.store(gen * 2 + 1, Ordering::SeqCst); // inserted(gen)
+                m.remove(&7);
+                epoch_ctr.store(gen * 2 + 2, Ordering::SeqCst); // removed(gen)
+            }
+            stop.store(1, Ordering::SeqCst);
+        })
+    };
+    let reader = {
+        let (m, stop, epoch_ctr) = (m, stop, epoch_ctr);
+        std::thread::spawn(move || {
+            while stop.load(Ordering::SeqCst) == 0 {
+                let before = epoch_ctr.load(Ordering::SeqCst);
+                let got = m.get_cloned(&7);
+                let after = epoch_ctr.load(Ordering::SeqCst);
+                if let Some(v) = got {
+                    // The value's insert must not have been fully removed
+                    // before our read began: v's generation is gen = v; it
+                    // was removed at counter 2v+2. If the removal counter
+                    // was already past when we started, the read is stale.
+                    assert!(
+                        before <= 2 * v + 2,
+                        "stale read: saw gen {v} but counter was {before} (after {after})"
+                    );
+                }
+            }
+        })
+    };
+    writer.join().unwrap();
+    reader.join().unwrap();
+}
+
+#[test]
+fn mixed_scan_during_churn_respects_bounds() {
+    let m = Arc::new(SkipListMap::<u64, u64>::new());
+    // Stable keys that are never touched: must always appear in scans.
+    for k in (0..1_000u64).step_by(2) {
+        m.put(k, k);
+    }
+    let stop = Arc::new(AtomicU64::new(0));
+    let churn = {
+        let (m, stop) = (m.clone(), stop.clone());
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while stop.load(Ordering::SeqCst) == 0 {
+                let k = (i * 2 + 1) % 1_000; // odd keys only
+                m.put(k, k);
+                m.remove(&k);
+                i += 1;
+            }
+        })
+    };
+    for _ in 0..50 {
+        let snapshot = m.collect_range(Some(&100), Some(&900));
+        // Every stable (even) key in range must be present; odd keys may or
+        // may not appear; order must be strict.
+        let evens: Vec<u64> = snapshot.iter().map(|(k, _)| *k).filter(|k| k % 2 == 0).collect();
+        let expect: Vec<u64> = (100..900).step_by(2).collect();
+        assert_eq!(evens, expect);
+        assert!(snapshot.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(snapshot.iter().all(|(k, _)| (100..900).contains(k)));
+    }
+    stop.store(1, Ordering::SeqCst);
+    churn.join().unwrap();
+}

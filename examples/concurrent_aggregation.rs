@@ -1,0 +1,120 @@
+//! Concurrent aggregation: many writer threads, atomic in-place compute,
+//! and queries running against the live map — the usage pattern that
+//! motivates Oak's linearizable `putIfAbsentComputeIfPresent` (§1.1's
+//! "Java's concurrent collections do not offer atomic update-in-place").
+//!
+//! Eight workers ingest click events keyed by (minute, page); each event
+//! atomically bumps a count and adds to a revenue sum inside one lambda.
+//! A query thread snapshots totals during ingestion. At the end, the sum
+//! of all per-key counts must equal the number of events — the invariant
+//! a non-atomic merge would violate under contention.
+//!
+//! ```sh
+//! cargo run --release --example concurrent_aggregation
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use oak_kv::{OakMap, OakMapConfig};
+
+const WORKERS: u64 = 8;
+const EVENTS_PER_WORKER: u64 = 50_000;
+
+fn key(minute: u64, page: u64) -> Vec<u8> {
+    format!("m{minute:06}/p{page:04}").into_bytes()
+}
+
+fn main() {
+    let map = Arc::new(OakMap::with_config(OakMapConfig::default()));
+    let produced = Arc::new(AtomicU64::new(0));
+
+    let start = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..WORKERS {
+        let map = map.clone();
+        let produced = produced.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..EVENTS_PER_WORKER {
+                let minute = (w * EVENTS_PER_WORKER + i) / 20_000;
+                let page = (w * 31 + i * 7) % 100;
+                let revenue_cents = (i % 500) + 1;
+
+                // Initial state: count = 1, revenue = this event.
+                let mut init = [0u8; 16];
+                init[..8].copy_from_slice(&1u64.to_le_bytes());
+                init[8..].copy_from_slice(&revenue_cents.to_le_bytes());
+
+                map.put_if_absent_compute_if_present(&key(minute, page), &init, |buf| {
+                    // Atomic: the whole lambda runs under the value lock.
+                    let count = u64::from_le_bytes(buf.as_slice()[..8].try_into().unwrap());
+                    let rev = u64::from_le_bytes(buf.as_slice()[8..].try_into().unwrap());
+                    buf.as_mut_slice()[..8].copy_from_slice(&(count + 1).to_le_bytes());
+                    buf.as_mut_slice()[8..]
+                        .copy_from_slice(&(rev + revenue_cents).to_le_bytes());
+                })
+                .expect("ingest");
+                produced.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    // Live queries while ingestion runs.
+    let querier = {
+        let map = map.clone();
+        let produced = produced.clone();
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            while produced.load(Ordering::Relaxed) < WORKERS * EVENTS_PER_WORKER {
+                let mut counted = 0u64;
+                map.for_each_in(None, None, |_, v| {
+                    counted += u64::from_le_bytes(v[..8].try_into().unwrap());
+                    true
+                });
+                if counted > last {
+                    println!(
+                        "  live query: {counted} events aggregated across {} keys",
+                        map.len()
+                    );
+                    last = counted;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        })
+    };
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    querier.join().unwrap();
+    let elapsed = start.elapsed();
+
+    // The atomicity check: no update may be lost.
+    let mut total_count = 0u64;
+    let mut total_revenue = 0u64;
+    map.for_each_in(None, None, |_, v| {
+        total_count += u64::from_le_bytes(v[..8].try_into().unwrap());
+        total_revenue += u64::from_le_bytes(v[8..].try_into().unwrap());
+        true
+    });
+    let expected = WORKERS * EVENTS_PER_WORKER;
+    println!(
+        "\ningested {expected} events from {WORKERS} threads in {elapsed:?} \
+         ({:.0} Kops/s aggregate)",
+        expected as f64 / elapsed.as_secs_f64() / 1_000.0
+    );
+    println!(
+        "aggregated into {} keys; total count {total_count}, revenue {:.2}",
+        map.len(),
+        total_revenue as f64 / 100.0
+    );
+    assert_eq!(total_count, expected, "lost updates!");
+    println!("atomicity check passed: zero lost updates");
+    let stats = map.stats();
+    println!(
+        "map: {} chunks, {} rebalances, {:.1} MB off-heap live",
+        stats.chunks,
+        stats.rebalances,
+        stats.pool.live_bytes as f64 / 1e6
+    );
+}

@@ -1,0 +1,87 @@
+//! Quickstart: the Oak map in five minutes.
+//!
+//! Demonstrates both API surfaces of Table 1 — the zero-copy API
+//! (`map.zc()`) and the legacy copying API — plus the footprint query.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use oak_kv::legacy::TypedOakMap;
+use oak_kv::serde_api::{StringSerializer, U64Serializer};
+use oak_kv::{OakMap, OakMapConfig};
+
+fn main() {
+    // ---- Zero-copy API ----------------------------------------------------
+    let map = OakMap::with_config(OakMapConfig::default());
+    let zc = map.zc();
+
+    zc.put(b"apple", b"red").unwrap();
+    zc.put(b"banana", b"yellow").unwrap();
+    assert!(zc.put_if_absent(b"cherry", b"red").unwrap());
+    assert!(!zc.put_if_absent(b"cherry", b"purple").unwrap());
+
+    // get() returns an OakRBuffer — a view into Oak's own memory.
+    let buf = zc.get(b"banana").expect("present");
+    buf.read(|bytes| println!("banana -> {}", String::from_utf8_lossy(bytes)))
+        .unwrap();
+
+    // Atomic in-place update through a lambda over an OakWBuffer.
+    zc.compute_if_present(b"banana", |value| {
+        value.as_mut_slice().make_ascii_uppercase();
+    });
+    // The same buffer view observes the update (zero-copy semantics).
+    buf.read(|bytes| println!("banana -> {}", String::from_utf8_lossy(bytes)))
+        .unwrap();
+
+    // Upsert: insert if absent, else update in place.
+    for _ in 0..3 {
+        zc.put_if_absent_compute_if_present(b"counter", &1u64.to_le_bytes(), |value| {
+            let v = u64::from_le_bytes(value.as_slice().try_into().unwrap());
+            value.as_mut_slice().copy_from_slice(&(v + 1).to_le_bytes());
+        })
+        .unwrap();
+    }
+    let count = map.get_with(b"counter", |v| u64::from_le_bytes(v.try_into().unwrap()));
+    println!("counter -> {count:?}");
+    assert_eq!(count, Some(3));
+
+    // Ordered scans, both directions.
+    print!("ascending:");
+    zc.entry_stream_set(None, None, |k, _| {
+        print!(" {}", String::from_utf8_lossy(k));
+        true
+    });
+    println!();
+    print!("descending:");
+    zc.descending_entry_stream_set(None, None, |k, _| {
+        print!(" {}", String::from_utf8_lossy(k));
+        true
+    });
+    println!();
+
+    zc.remove(b"apple");
+    assert!(zc.get(b"apple").is_none());
+
+    // Footprint estimation (§1.1).
+    let stats = map.stats();
+    println!(
+        "footprint: {} bytes reserved, {} live, {} chunks, {} rebalances",
+        stats.pool.reserved_bytes, stats.pool.live_bytes, stats.chunks, stats.rebalances
+    );
+
+    // ---- Legacy (typed, copying) API ---------------------------------------
+    let typed = TypedOakMap::new(
+        OakMap::with_config(OakMapConfig::small()),
+        U64Serializer,
+        StringSerializer,
+    );
+    assert_eq!(typed.put(&7, &"seven".to_string()).unwrap(), None);
+    assert_eq!(
+        typed.put(&7, &"SEVEN".to_string()).unwrap(),
+        Some("seven".to_string()) // legacy put returns the old value
+    );
+    assert_eq!(typed.get(&7), Some("SEVEN".to_string()));
+    assert_eq!(typed.remove(&7), Some("SEVEN".to_string()));
+    println!("legacy API round-trip OK");
+}

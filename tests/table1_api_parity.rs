@@ -1,0 +1,155 @@
+//! Table 1: the zero-copy API against the legacy ConcurrentNavigableMap
+//! API — every row of the table, checked for behavioural parity.
+//!
+//! | ZC                                        | Legacy                          |
+//! |-------------------------------------------|---------------------------------|
+//! | OakRBuffer get(K)                         | V get(K)                        |
+//! | keySet()/valueSet()/entrySet() (+stream)  | Set<K>/Set<V>/Set<K,V>          |
+//! | void put(K,V)                             | V put(K,V)                      |
+//! | void remove(K)                            | V remove(K)                     |
+//! | boolean putIfAbsent(K,V)                  | V putIfAbsent(K,V)              |
+//! | boolean computeIfPresent(K, f(OakWBuffer))| non-atomic V computeIfPresent   |
+//! | boolean putIfAbsentComputeIfPresent(...)  | non-atomic V merge(...)         |
+
+use oak_kv::legacy::TypedOakMap;
+use oak_kv::serde_api::{StringSerializer, U64Serializer};
+use oak_kv::{OakMap, OakMapConfig};
+
+fn zc_map() -> OakMap {
+    OakMap::with_config(OakMapConfig::small())
+}
+
+fn legacy_map() -> TypedOakMap<U64Serializer, StringSerializer> {
+    TypedOakMap::new(zc_map(), U64Serializer, StringSerializer)
+}
+
+#[test]
+fn row_get_zc_returns_buffer_legacy_returns_object() {
+    let m = zc_map();
+    m.put(b"k", b"value").unwrap();
+    // ZC: a buffer view.
+    let buf = m.zc().get(b"k").unwrap();
+    assert_eq!(buf.to_vec().unwrap(), b"value");
+    // Legacy: a deserialized object copy.
+    let t = legacy_map();
+    t.put(&1, &"value".to_string()).unwrap();
+    let obj: String = t.get(&1).unwrap();
+    assert_eq!(obj, "value");
+}
+
+#[test]
+fn row_put_zc_returns_nothing_legacy_returns_old() {
+    let m = zc_map();
+    // ZC put: no old value (they type as `()`).
+    m.zc().put(b"k", b"v1").unwrap();
+    m.zc().put(b"k", b"v2").unwrap();
+    assert_eq!(m.get_copy(b"k").unwrap(), b"v2");
+    // Legacy put: returns the previous value atomically.
+    let t = legacy_map();
+    assert_eq!(t.put(&9, &"old".to_string()).unwrap(), None);
+    assert_eq!(t.put(&9, &"new".to_string()).unwrap(), Some("old".into()));
+}
+
+#[test]
+fn row_remove_zc_void_legacy_returns_old() {
+    let m = zc_map();
+    m.put(b"k", b"v").unwrap();
+    m.zc().remove(b"k");
+    assert!(m.get(b"k").is_none());
+
+    let t = legacy_map();
+    t.put(&3, &"bye".to_string()).unwrap();
+    assert_eq!(t.remove(&3), Some("bye".to_string()));
+    assert_eq!(t.remove(&3), None);
+}
+
+#[test]
+fn row_put_if_absent_boolean() {
+    let m = zc_map();
+    assert!(m.zc().put_if_absent(b"k", b"v").unwrap());
+    assert!(!m.zc().put_if_absent(b"k", b"w").unwrap());
+    let t = legacy_map();
+    assert!(t.put_if_absent(&5, &"x".to_string()).unwrap());
+    assert!(!t.put_if_absent(&5, &"y".to_string()).unwrap());
+}
+
+#[test]
+fn row_compute_if_present_zc_is_atomic_in_place() {
+    // ZC compute mutates Oak's own buffer; the same OakRBuffer view
+    // observes the change — impossible in the legacy object API.
+    let m = zc_map();
+    m.put(b"k", b"aaaa").unwrap();
+    let view = m.zc().get(b"k").unwrap();
+    assert!(m.zc().compute_if_present(b"k", |b| b.as_mut_slice().fill(b'z')));
+    assert_eq!(view.to_vec().unwrap(), b"zzzz");
+    // Legacy compute: object round-trip.
+    let t = legacy_map();
+    t.put(&1, &"aa".to_string()).unwrap();
+    assert!(t.compute_if_present(&1, |s| s.to_uppercase()));
+    assert_eq!(t.get(&1), Some("AA".to_string()));
+}
+
+#[test]
+fn row_put_if_absent_compute_if_present() {
+    let m = zc_map();
+    for _ in 0..4 {
+        m.zc()
+            .put_if_absent_compute_if_present(b"agg", &10u64.to_le_bytes(), |b| {
+                let v = u64::from_le_bytes(b.as_slice().try_into().unwrap());
+                b.as_mut_slice().copy_from_slice(&(v + 5).to_le_bytes());
+            })
+            .unwrap();
+    }
+    assert_eq!(
+        m.get_with(b"agg", |v| u64::from_le_bytes(v.try_into().unwrap())),
+        Some(25) // 10 inserted, then +5 three times
+    );
+}
+
+#[test]
+fn row_entry_sets_and_stream_sets() {
+    let m = zc_map();
+    for i in 0..100u32 {
+        m.put(format!("k{i:03}").as_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    let zc = m.zc();
+
+    // entrySet(): ephemeral buffer pairs.
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = zc
+        .entry_set(Some(b"k010"), Some(b"k020"))
+        .map(|(k, v)| (k.to_vec().unwrap(), v.to_vec().unwrap()))
+        .collect();
+    assert_eq!(pairs.len(), 10);
+    assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+
+    // entryStreamSet(): same contents, no per-entry objects.
+    let mut streamed = Vec::new();
+    zc.entry_stream_set(Some(b"k010"), Some(b"k020"), |k, v| {
+        streamed.push((k.to_vec(), v.to_vec()));
+        true
+    });
+    assert_eq!(pairs, streamed);
+
+    // descendingMap(): reverse order, same contents.
+    let desc: Vec<Vec<u8>> = zc
+        .descending_entry_set(Some(b"k019"), Some(b"k010"))
+        .map(|(k, _)| k.to_vec().unwrap())
+        .collect();
+    let mut asc_keys: Vec<Vec<u8>> = pairs.into_iter().map(|(k, _)| k).collect();
+    asc_keys.reverse();
+    assert_eq!(desc, asc_keys);
+}
+
+#[test]
+fn buffer_after_concurrent_delete_raises() {
+    // §2.2: "A get() method throws a ConcurrentModificationException in
+    // case the mapping is concurrently deleted."
+    let m = zc_map();
+    m.put(b"doomed", b"v").unwrap();
+    let buf = m.zc().get(b"doomed").unwrap();
+    m.zc().remove(b"doomed");
+    assert!(matches!(
+        buf.read(|_| ()),
+        Err(oak_kv::OakError::ConcurrentModification)
+    ));
+}

@@ -33,7 +33,9 @@ fn ablate_chunk_size(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
     for cap in [64u32, 256, 1024, 4096] {
         let map = OakAdapter::new(
-            OakMapConfig::default().chunk_capacity(cap).pool(common::pool()),
+            OakMapConfig::default()
+                .chunk_capacity(cap)
+                .pool(common::pool()),
         );
         ingest(&map, &wl);
         g.bench_with_input(BenchmarkId::new("get", cap), &cap, |b, _| {
@@ -181,10 +183,7 @@ fn ablate_key_skew(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate_key_skew_get");
     common::tune(&mut g);
     g.throughput(Throughput::Elements(1));
-    for (label, wl) in [
-        ("uniform", wl()),
-        ("zipf-0.99", wl().zipfian(0.99)),
-    ] {
+    for (label, wl) in [("uniform", wl()), ("zipf-0.99", wl().zipfian(0.99))] {
         let map = OakAdapter::new(OakMapConfig::default().pool(common::pool()));
         ingest(&map, &wl);
         g.bench_function(label, |b| {

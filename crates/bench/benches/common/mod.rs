@@ -45,4 +45,3 @@ pub fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::Wa
 
 /// Standard three competitors (plus Oak-Copy where a figure needs it).
 pub const COMPETITORS: &[&str] = &["OakMap", "JavaSkipListMap", "OffHeapList"];
-

@@ -22,7 +22,10 @@ fn bench(c: &mut Criterion) {
                 run_fixed_ops(
                     map.as_ref(),
                     &wl,
-                    Mix::DescendScan { len: SCAN, stream: false },
+                    Mix::DescendScan {
+                        len: SCAN,
+                        stream: false,
+                    },
                     iters,
                 )
             })
@@ -34,7 +37,10 @@ fn bench(c: &mut Criterion) {
             run_fixed_ops(
                 map.as_ref(),
                 &wl,
-                Mix::DescendScan { len: SCAN, stream: true },
+                Mix::DescendScan {
+                    len: SCAN,
+                    stream: true,
+                },
                 iters,
             )
         })

@@ -54,6 +54,13 @@ pub trait MapAdapter: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Off-heap pool statistics, for solutions backed by an
+    /// [`oak_mempool`] pool. Used to surface contention / failure counters
+    /// in the report; `None` for on-heap competitors.
+    fn pool_stats(&self) -> Option<oak_mempool::PoolStats> {
+        None
+    }
 }
 
 fn bump8(buf: &mut [u8]) {
@@ -189,6 +196,10 @@ impl MapAdapter for OakAdapter {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    fn pool_stats(&self) -> Option<oak_mempool::PoolStats> {
+        Some(self.map.pool().stats())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -266,11 +277,12 @@ impl MapAdapter for OnHeapSkipListAdapter {
 
     fn ascend(&self, from: &[u8], len: usize, _stream: bool) -> usize {
         let mut n = 0;
-        self.list.for_each_range(Some(&from.to_vec()), None, |k, v| {
-            black_box((k.len(), v.lock().len()));
-            n += 1;
-            n < len
-        });
+        self.list
+            .for_each_range(Some(&from.to_vec()), None, |k, v| {
+                black_box((k.len(), v.lock().len()));
+                n += 1;
+                n < len
+            });
         n
     }
 
@@ -330,7 +342,9 @@ impl MapAdapter for OffHeapSkipListAdapter {
     }
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> bool {
-        self.map.put_if_absent(key, value).expect("offheap putIfAbsent")
+        self.map
+            .put_if_absent(key, value)
+            .expect("offheap putIfAbsent")
     }
 
     fn get_zc(&self, key: &[u8]) -> bool {
@@ -346,7 +360,8 @@ impl MapAdapter for OffHeapSkipListAdapter {
     }
 
     fn compute8(&self, key: &[u8]) -> bool {
-        self.map.compute_if_present(key, |buf| bump8(buf.as_mut_slice()))
+        self.map
+            .compute_if_present(key, |buf| bump8(buf.as_mut_slice()))
     }
 
     fn remove(&self, key: &[u8]) -> bool {
@@ -375,6 +390,10 @@ impl MapAdapter for OffHeapSkipListAdapter {
 
     fn len(&self) -> usize {
         self.map.len()
+    }
+
+    fn pool_stats(&self) -> Option<oak_mempool::PoolStats> {
+        Some(self.map.pool().stats())
     }
 }
 
@@ -459,5 +478,9 @@ impl MapAdapter for BTreeAdapter {
 
     fn len(&self) -> usize {
         self.tree.len()
+    }
+
+    fn pool_stats(&self) -> Option<oak_mempool::PoolStats> {
+        Some(self.tree.pool().stats())
     }
 }

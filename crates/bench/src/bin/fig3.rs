@@ -40,13 +40,26 @@ fn main() {
             .map(|s| s.parse::<u64>().expect("MB"))
             .unwrap_or(if quick { 64 } else { 256 })
             << 20;
-        let sizes = parse_flag(&args, "--sizes").map(|s| parse_list(&s)).unwrap_or_else(|| {
-            // Sweep from well within budget to well past it, mirroring the
-            // paper's 1M→100M under 128 GB.
-            let full = ram / 1_160; // ≈ keys that fit raw
-            vec![full / 16, full / 8, full / 4, full / 2, (full * 3) / 4, full, full * 2]
-        });
-        println!("# Figure 3a: ingestion throughput, fixed RAM = {} MB", ram >> 20);
+        let sizes = parse_flag(&args, "--sizes")
+            .map(|s| parse_list(&s))
+            .unwrap_or_else(|| {
+                // Sweep from well within budget to well past it, mirroring the
+                // paper's 1M→100M under 128 GB.
+                let full = ram / 1_160; // ≈ keys that fit raw
+                vec![
+                    full / 16,
+                    full / 8,
+                    full / 4,
+                    full / 2,
+                    (full * 3) / 4,
+                    full,
+                    full * 2,
+                ]
+            });
+        println!(
+            "# Figure 3a: ingestion throughput, fixed RAM = {} MB",
+            ram >> 20
+        );
         println!(
             "# raw data per key ≈ {} B; budget holds ≈ {} keys raw",
             raw_bytes(&workload, 1),
@@ -63,7 +76,12 @@ fn main() {
             .unwrap_or(if quick { 10_000 } else { 50_000 });
         let raw = raw_bytes(&workload, size);
         let budgets = parse_flag(&args, "--ram-mbs")
-            .map(|s| parse_list(&s).into_iter().map(|m| m << 20).collect::<Vec<_>>())
+            .map(|s| {
+                parse_list(&s)
+                    .into_iter()
+                    .map(|m| m << 20)
+                    .collect::<Vec<_>>()
+            })
             .unwrap_or_else(|| {
                 // The paper sweeps 14→26 GB around an 11 GB dataset:
                 // budgets from just under raw to ~2.4× raw.

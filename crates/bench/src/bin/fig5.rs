@@ -33,11 +33,16 @@ fn main() {
             .map(|s| s.parse::<u64>().expect("MB"))
             .unwrap_or(if quick { 48 } else { 128 })
             << 20;
-        let counts = parse_flag(&args, "--tuples").map(|s| parse_list(&s)).unwrap_or_else(|| {
-            let full = ram / per_tuple;
-            vec![full / 8, full / 4, full / 2, (full * 3) / 4, full]
-        });
-        println!("# Figure 5a: I² ingestion throughput, RAM = {} MB", ram >> 20);
+        let counts = parse_flag(&args, "--tuples")
+            .map(|s| parse_list(&s))
+            .unwrap_or_else(|| {
+                let full = ram / per_tuple;
+                vec![full / 8, full / 4, full / 2, (full * 3) / 4, full]
+            });
+        println!(
+            "# Figure 5a: I² ingestion throughput, RAM = {} MB",
+            ram >> 20
+        );
         let s = fig5a(ram, &counts);
         println!("{}", s.to_table());
         println!("{}", s.to_csv());
@@ -49,7 +54,12 @@ fn main() {
             .unwrap_or(if quick { 10_000 } else { 40_000 });
         let raw = raw_bytes(&bench_schema(), tuples);
         let budgets = parse_flag(&args, "--ram-mbs")
-            .map(|s| parse_list(&s).into_iter().map(|m| m << 20).collect::<Vec<_>>())
+            .map(|s| {
+                parse_list(&s)
+                    .into_iter()
+                    .map(|m| m << 20)
+                    .collect::<Vec<_>>()
+            })
             .unwrap_or_else(|| (0..7).map(|i| raw + (i * raw) / 4).collect());
         println!("# Figure 5b: I² ingestion throughput, dataset = {tuples} tuples");
         let s = fig5b(tuples, &budgets);

@@ -200,10 +200,22 @@ mod tests {
             Mix::GetZeroCopy,
             Mix::GetCopy,
             Mix::Mixed95,
-            Mix::AscendScan { len: 50, stream: true },
-            Mix::AscendScan { len: 50, stream: false },
-            Mix::DescendScan { len: 50, stream: true },
-            Mix::DescendScan { len: 50, stream: false },
+            Mix::AscendScan {
+                len: 50,
+                stream: true,
+            },
+            Mix::AscendScan {
+                len: 50,
+                stream: false,
+            },
+            Mix::DescendScan {
+                len: 50,
+                stream: true,
+            },
+            Mix::DescendScan {
+                len: 50,
+                stream: false,
+            },
         ] {
             let r = sustained(&map, &config, mix, 2, Duration::from_millis(30));
             assert!(r.ops > 0, "mix {mix:?} made no progress");

@@ -132,6 +132,7 @@ fn push(summary: &mut Summary, scenario: &str, bench: &str, ram: u64, n: u64, o:
         final_size: n as usize,
         mops,
         note,
+        robustness: None,
     });
 }
 
@@ -140,7 +141,14 @@ pub fn fig5a(ram_budget: u64, tuple_counts: &[u64]) -> Summary {
     let mut s = Summary::new();
     for &n in tuple_counts {
         let rows = generate_tuples(n);
-        push(&mut s, "5a-druid-ingest", "I2-Oak", ram_budget, n, ingest_oak(&rows, ram_budget).0);
+        push(
+            &mut s,
+            "5a-druid-ingest",
+            "I2-Oak",
+            ram_budget,
+            n,
+            ingest_oak(&rows, ram_budget).0,
+        );
         push(
             &mut s,
             "5a-druid-ingest",
@@ -158,8 +166,22 @@ pub fn fig5b(tuples: u64, budgets: &[u64]) -> Summary {
     let mut s = Summary::new();
     let rows = generate_tuples(tuples);
     for &b in budgets {
-        push(&mut s, "5b-druid-ram", "I2-Oak", b, tuples, ingest_oak(&rows, b).0);
-        push(&mut s, "5b-druid-ram", "I2-legacy", b, tuples, ingest_legacy(&rows, b).0);
+        push(
+            &mut s,
+            "5b-druid-ram",
+            "I2-Oak",
+            b,
+            tuples,
+            ingest_oak(&rows, b).0,
+        );
+        push(
+            &mut s,
+            "5b-druid-ram",
+            "I2-legacy",
+            b,
+            tuples,
+            ingest_legacy(&rows, b).0,
+        );
     }
     s
 }
@@ -172,7 +194,11 @@ pub fn fig5c_sample(n: u64) -> (u64, u64, u64) {
     let (_, oak_idx) = ingest_oak(&rows, generous);
     let (_, legacy_idx) = ingest_legacy(&rows, generous);
     let raw = raw_bytes(&bench_schema(), n);
-    (raw, oak_idx.footprint().total(), legacy_idx.footprint().total())
+    (
+        raw,
+        oak_idx.footprint().total(),
+        legacy_idx.footprint().total(),
+    )
 }
 
 /// Figure 5c: RAM utilization rows across tuple counts.
@@ -190,6 +216,7 @@ pub fn fig5c(tuple_counts: &[u64]) -> Summary {
                 final_size: n as usize,
                 mops: bytes as f64 / raw.max(1) as f64, // overhead ratio
                 note: format!("{bytes} bytes"),
+                robustness: None,
             });
         }
     }

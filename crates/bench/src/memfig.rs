@@ -20,7 +20,7 @@ use oak_skiplist::SkipListMap;
 
 use parking_lot::Mutex;
 
-use crate::report::{Row, Summary};
+use crate::report::{RobustnessStats, Row, Summary};
 use crate::workload::WorkloadConfig;
 
 /// Result of one ingestion run.
@@ -81,10 +81,20 @@ pub fn shuffled_ids(n: u64, seed: u64) -> Vec<u64> {
 
 /// Ingests exactly `n` unique keys into Oak under a total RAM budget.
 pub fn ingest_oak(config: &WorkloadConfig, n: u64, ram_budget: u64) -> IngestOutcome {
+    ingest_oak_stats(config, n, ram_budget).0
+}
+
+/// [`ingest_oak`] plus the pool's robustness counters, so OOM rows in the
+/// report carry the failed-allocation count that triggered them.
+pub fn ingest_oak_stats(
+    config: &WorkloadConfig,
+    n: u64,
+    ram_budget: u64,
+) -> (IngestOutcome, Option<RobustnessStats>) {
     let pool = pool_for(config, n);
     let pool_bytes = (pool.arena_size * pool.max_arenas) as u64;
     if pool_bytes > ram_budget {
-        return IngestOutcome::Oom { ingested: 0 };
+        return (IngestOutcome::Oom { ingested: 0 }, None);
     }
     let map = OakMap::with_config(OakMapConfig::default().pool(pool));
     let ids = shuffled_ids(n, config.seed);
@@ -94,14 +104,16 @@ pub fn ingest_oak(config: &WorkloadConfig, n: u64, ram_budget: u64) -> IngestOut
         match map.put_if_absent(&config.key(id), &config.value(id)) {
             Ok(_) => {}
             Err(oak_core::OakError::Alloc(AllocError::PoolExhausted)) => {
-                return IngestOutcome::Oom { ingested: i };
+                let stats = RobustnessStats::from(map.pool().stats());
+                return (IngestOutcome::Oom { ingested: i }, Some(stats));
             }
             Err(e) => panic!("unexpected: {e}"),
         }
     }
-    IngestOutcome::Done {
+    let outcome = IngestOutcome::Done {
         kops: n as f64 / start.elapsed().as_secs_f64() / 1_000.0,
-    }
+    };
+    (outcome, Some(RobustnessStats::from(map.pool().stats())))
 }
 
 /// Ingests into the on-heap skiplist under a simulated JVM heap of the
@@ -131,35 +143,56 @@ pub fn ingest_onheap(config: &WorkloadConfig, n: u64, ram_budget: u64) -> Ingest
 /// Ingests into the off-heap skiplist: raw data off-heap, cells and nodes
 /// charged to a simulated heap holding the remainder of the budget.
 pub fn ingest_offheap(config: &WorkloadConfig, n: u64, ram_budget: u64) -> IngestOutcome {
+    ingest_offheap_stats(config, n, ram_budget).0
+}
+
+/// [`ingest_offheap`] plus the pool's robustness counters.
+pub fn ingest_offheap_stats(
+    config: &WorkloadConfig,
+    n: u64,
+    ram_budget: u64,
+) -> (IngestOutcome, Option<RobustnessStats>) {
     let pool = pool_for(config, n);
     let pool_bytes = (pool.arena_size * pool.max_arenas) as u64;
     if pool_bytes >= ram_budget {
-        return IngestOutcome::Oom { ingested: 0 };
+        return (IngestOutcome::Oom { ingested: 0 }, None);
     }
     let heap = Arc::new(ManagedHeap::new(HeapConfig::with_capacity(
         ram_budget - pool_bytes,
     )));
     let map = OffHeapSkipListMap::with_heap(pool, heap.clone());
+    let stats = |m: &OffHeapSkipListMap| Some(RobustnessStats::from(m.pool().stats()));
     let ids = shuffled_ids(n, config.seed);
     let start = Instant::now();
     for (i, &id) in ids.iter().enumerate() {
         let i = i as u64;
         match map.put_if_absent(&config.key(id), &config.value(id)) {
             Ok(_) => {}
-            Err(AllocError::PoolExhausted) => return IngestOutcome::Oom { ingested: i },
+            Err(AllocError::PoolExhausted) => {
+                return (IngestOutcome::Oom { ingested: i }, stats(&map));
+            }
             Err(e) => panic!("unexpected: {e}"),
         }
         heap.transient(TRANSIENT_PER_OP);
         if heap.oom() {
-            return IngestOutcome::Oom { ingested: i };
+            return (IngestOutcome::Oom { ingested: i }, stats(&map));
         }
     }
-    IngestOutcome::Done {
+    let outcome = IngestOutcome::Done {
         kops: n as f64 / start.elapsed().as_secs_f64() / 1_000.0,
-    }
+    };
+    let s = stats(&map);
+    (outcome, s)
 }
 
-fn push_row(summary: &mut Summary, scenario: &str, bench: &str, ram: u64, n: u64, o: IngestOutcome) {
+fn push_row(
+    summary: &mut Summary,
+    scenario: &str,
+    bench: &str,
+    ram: u64,
+    n: u64,
+    (o, robustness): (IngestOutcome, Option<RobustnessStats>),
+) {
     let (mops, note) = match o {
         IngestOutcome::Done { kops } => (kops / 1_000.0, String::new()),
         IngestOutcome::Oom { ingested } => (0.0, format!("OOM after {ingested}")),
@@ -173,6 +206,7 @@ fn push_row(summary: &mut Summary, scenario: &str, bench: &str, ram: u64, n: u64
         final_size: n as usize,
         mops,
         note,
+        robustness,
     });
 }
 
@@ -180,14 +214,21 @@ fn push_row(summary: &mut Summary, scenario: &str, bench: &str, ram: u64, n: u64
 pub fn fig3a(config: &WorkloadConfig, ram_budget: u64, dataset_sizes: &[u64]) -> Summary {
     let mut s = Summary::new();
     for &n in dataset_sizes {
-        push_row(&mut s, "3a-ingest", "OakMap", ram_budget, n, ingest_oak(config, n, ram_budget));
+        push_row(
+            &mut s,
+            "3a-ingest",
+            "OakMap",
+            ram_budget,
+            n,
+            ingest_oak_stats(config, n, ram_budget),
+        );
         push_row(
             &mut s,
             "3a-ingest",
             "JavaSkipListMap",
             ram_budget,
             n,
-            ingest_onheap(config, n, ram_budget),
+            (ingest_onheap(config, n, ram_budget), None),
         );
         push_row(
             &mut s,
@@ -195,7 +236,7 @@ pub fn fig3a(config: &WorkloadConfig, ram_budget: u64, dataset_sizes: &[u64]) ->
             "OffHeapList",
             ram_budget,
             n,
-            ingest_offheap(config, n, ram_budget),
+            ingest_offheap_stats(config, n, ram_budget),
         );
     }
     s
@@ -205,14 +246,21 @@ pub fn fig3a(config: &WorkloadConfig, ram_budget: u64, dataset_sizes: &[u64]) ->
 pub fn fig3b(config: &WorkloadConfig, dataset: u64, budgets: &[u64]) -> Summary {
     let mut s = Summary::new();
     for &b in budgets {
-        push_row(&mut s, "3b-ingest", "OakMap", b, dataset, ingest_oak(config, dataset, b));
+        push_row(
+            &mut s,
+            "3b-ingest",
+            "OakMap",
+            b,
+            dataset,
+            ingest_oak_stats(config, dataset, b),
+        );
         push_row(
             &mut s,
             "3b-ingest",
             "JavaSkipListMap",
             b,
             dataset,
-            ingest_onheap(config, dataset, b),
+            (ingest_onheap(config, dataset, b), None),
         );
         push_row(
             &mut s,
@@ -220,7 +268,7 @@ pub fn fig3b(config: &WorkloadConfig, dataset: u64, budgets: &[u64]) -> Summary 
             "OffHeapList",
             b,
             dataset,
-            ingest_offheap(config, dataset, b),
+            ingest_offheap_stats(config, dataset, b),
         );
     }
     s
@@ -267,7 +315,10 @@ mod tests {
         let config = wl();
         let n = 1_000u64;
         let budget = 1 << 30;
-        assert!(matches!(ingest_oak(&config, n, budget), IngestOutcome::Done { .. }));
+        assert!(matches!(
+            ingest_oak(&config, n, budget),
+            IngestOutcome::Done { .. }
+        ));
         assert!(matches!(
             ingest_onheap(&config, n, budget),
             IngestOutcome::Done { .. }

@@ -25,6 +25,35 @@ pub struct Row {
     pub mops: f64,
     /// Free-form note (e.g. `OOM`).
     pub note: String,
+    /// Contention / failure counters from the solution's off-heap pool,
+    /// when the solution has one (Oak adapters report these).
+    pub robustness: Option<RobustnessStats>,
+}
+
+/// Contention and failure counters surfaced next to throughput, so a run
+/// that looked fast but aborted locks or dropped allocations is visible in
+/// the report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessStats {
+    /// Header-lock backoff rounds summed over all acquisitions.
+    pub lock_retries: u64,
+    /// Lock acquisitions abandoned after the bounded budget.
+    pub contended_aborts: u64,
+    /// Allocation requests that returned an error.
+    pub failed_allocs: u64,
+    /// Values poisoned by the compute panic guard.
+    pub poisoned_values: u64,
+}
+
+impl From<oak_mempool::PoolStats> for RobustnessStats {
+    fn from(s: oak_mempool::PoolStats) -> Self {
+        RobustnessStats {
+            lock_retries: s.lock_retries,
+            contended_aborts: s.contended_aborts,
+            failed_allocs: s.failed_allocs,
+            poisoned_values: s.poisoned_values,
+        }
+    }
 }
 
 /// Accumulates rows and renders the CSV.
@@ -49,14 +78,24 @@ impl Summary {
         &self.rows
     }
 
-    /// Renders the artifact-style CSV.
+    /// Renders the artifact-style CSV, extended with the contention /
+    /// failure columns (blank for solutions without an off-heap pool).
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("Scenario,Bench,Heap size,Direct Mem,#Threads,Final Size,Throughput,Note\n");
+        let mut out = String::from(
+            "Scenario,Bench,Heap size,Direct Mem,#Threads,Final Size,Throughput,Note,\
+             LockRetries,ContendedAborts,FailedAllocs,PoisonedValues\n",
+        );
         for r in &self.rows {
+            let rb = match &r.robustness {
+                Some(rb) => format!(
+                    "{},{},{},{}",
+                    rb.lock_retries, rb.contended_aborts, rb.failed_allocs, rb.poisoned_values
+                ),
+                None => ",,,".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{:.6},{}",
+                "{},{},{},{},{},{},{:.6},{},{}",
                 r.scenario,
                 r.bench,
                 human_bytes(r.heap_bytes),
@@ -64,7 +103,8 @@ impl Summary {
                 r.threads,
                 r.final_size,
                 r.mops,
-                r.note
+                r.note,
+                rb
             );
         }
         out
@@ -77,6 +117,21 @@ impl Summary {
             "Scenario", "Bench", "Heap", "DirectMem", "Threads", "FinalSize", "Mops/s", "Note"
         );
         for r in &self.rows {
+            // Contention details only when something actually went wrong:
+            // the common all-zero case stays quiet.
+            let mut note = r.note.clone();
+            if let Some(rb) = &r.robustness {
+                if *rb != RobustnessStats::default() {
+                    if !note.is_empty() {
+                        note.push(' ');
+                    }
+                    let _ = write!(
+                        note,
+                        "[retries={} aborts={} failed-allocs={} poisoned={}]",
+                        rb.lock_retries, rb.contended_aborts, rb.failed_allocs, rb.poisoned_values
+                    );
+                }
+            }
             let _ = writeln!(
                 out,
                 "{:<28} {:<16} {:>9} {:>9} {:>8} {:>11} {:>12.4}  {}",
@@ -87,7 +142,7 @@ impl Summary {
                 r.threads,
                 r.final_size,
                 r.mops,
-                r.note
+                note
             );
         }
         out
@@ -123,11 +178,38 @@ mod tests {
             final_size: 10_000_000,
             mops: 1.5,
             note: String::new(),
+            robustness: None,
         });
         let csv = s.to_csv();
         assert!(csv.starts_with("Scenario,Bench,"));
         assert!(csv.contains("4a-put,OakMap,12g,20g,4,10000000,1.500000,"));
         assert!(s.to_table().contains("OakMap"));
+    }
+
+    #[test]
+    fn robustness_columns() {
+        let mut s = Summary::new();
+        s.push(Row {
+            scenario: "4a-put".into(),
+            bench: "OakMap".into(),
+            heap_bytes: 0,
+            direct_bytes: 1 << 30,
+            threads: 2,
+            final_size: 10,
+            mops: 0.5,
+            note: String::new(),
+            robustness: Some(RobustnessStats {
+                lock_retries: 7,
+                contended_aborts: 1,
+                failed_allocs: 2,
+                poisoned_values: 3,
+            }),
+        });
+        let csv = s.to_csv();
+        assert!(csv.contains("LockRetries,ContendedAborts,FailedAllocs,PoisonedValues"));
+        assert!(csv.contains(",7,1,2,3\n"));
+        let table = s.to_table();
+        assert!(table.contains("[retries=7 aborts=1 failed-allocs=2 poisoned=3]"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::adapter::{
     BTreeAdapter, MapAdapter, OakAdapter, OffHeapSkipListAdapter, OnHeapSkipListAdapter,
 };
 use crate::driver::{ingest, sustained};
-use crate::report::{Row, Summary};
+use crate::report::{RobustnessStats, Row, Summary};
 use crate::workload::{Mix, WorkloadConfig};
 
 /// A named Figure-4 scenario.
@@ -134,6 +134,7 @@ pub fn run_scenario(
                 final_size: r.final_size,
                 mops: r.mops_per_sec(),
                 note: String::new(),
+                robustness: map.pool_stats().map(RobustnessStats::from),
             });
         }
     }
@@ -156,7 +157,13 @@ mod tests {
 
     #[test]
     fn all_competitors_buildable() {
-        for name in ["OakMap", "Oak-Copy", "JavaSkipListMap", "OffHeapList", "MapDB-BTree"] {
+        for name in [
+            "OakMap",
+            "Oak-Copy",
+            "JavaSkipListMap",
+            "OffHeapList",
+            "MapDB-BTree",
+        ] {
             let m = build(name, PoolConfig::small(), 64);
             m.put(b"k", b"v");
             assert!(m.get_zc(b"k"), "{name}");

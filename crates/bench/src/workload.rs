@@ -131,12 +131,12 @@ impl KeySampler {
     pub fn new(config: &WorkloadConfig, thread_id: u64) -> Self {
         let zipf = match config.distribution {
             KeyDistribution::Uniform => None,
-            KeyDistribution::Zipfian { theta } => {
-                Some(ZipfState::new(config.key_range, theta))
-            }
+            KeyDistribution::Zipfian { theta } => Some(ZipfState::new(config.key_range, theta)),
         };
         KeySampler {
-            rng: SmallRng::seed_from_u64(config.seed ^ (thread_id.wrapping_mul(0x9E3779B97F4A7C15))),
+            rng: SmallRng::seed_from_u64(
+                config.seed ^ (thread_id.wrapping_mul(0x9E3779B97F4A7C15)),
+            ),
             range: config.key_range,
             zipf,
         }

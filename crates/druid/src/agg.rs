@@ -94,9 +94,7 @@ impl AggSpec {
         debug_assert_eq!(out.len(), self.state_size());
         match self {
             AggSpec::Count => out.copy_from_slice(&1i64.to_le_bytes()),
-            AggSpec::LongSum(m) => {
-                out.copy_from_slice(&(row.metrics[*m] as i64).to_le_bytes())
-            }
+            AggSpec::LongSum(m) => out.copy_from_slice(&(row.metrics[*m] as i64).to_le_bytes()),
             AggSpec::DoubleSum(m) | AggSpec::DoubleMin(m) | AggSpec::DoubleMax(m) => {
                 out.copy_from_slice(&row.metrics[*m].to_le_bytes())
             }

@@ -72,7 +72,9 @@ impl Dictionary {
 
 impl std::fmt::Debug for Dictionary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Dictionary").field("len", &self.len()).finish()
+        f.debug_struct("Dictionary")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -162,7 +162,11 @@ mod tests {
         for i in 0..total {
             node.insert(&row(i, i % 7)).unwrap();
         }
-        assert!(node.num_segments() >= 4, "segments: {}", node.num_segments());
+        assert!(
+            node.num_segments() >= 4,
+            "segments: {}",
+            node.num_segments()
+        );
         assert!(node.live_keys() < 500);
         assert_eq!(node.total_rows(0, total, 0), total);
     }

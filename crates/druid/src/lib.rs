@@ -35,5 +35,5 @@ pub use agg::{AggSpec, AggValue};
 pub use dictionary::Dictionary;
 pub use engine::DataNode;
 pub use index::{IncrementalIndex, LegacyIndex, OakIndex};
-pub use segment::Segment;
 pub use row::{DimValue, InputRow, Schema};
+pub use segment::Segment;

@@ -109,7 +109,10 @@ mod tests {
     #[test]
     fn schema_sizes() {
         let s = Schema::rollup(
-            vec![("page".into(), DimKind::Str), ("code".into(), DimKind::Long)],
+            vec![
+                ("page".into(), DimKind::Str),
+                ("code".into(), DimKind::Long),
+            ],
             vec![AggSpec::Count, AggSpec::DoubleSum(0)],
         );
         assert_eq!(s.key_size(), 24);

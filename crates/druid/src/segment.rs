@@ -170,7 +170,11 @@ mod tests {
     fn schema() -> Schema {
         Schema::rollup(
             vec![("d".to_string(), DimKind::Long)],
-            vec![AggSpec::Count, AggSpec::DoubleSum(0), AggSpec::HllUniqueDim(0)],
+            vec![
+                AggSpec::Count,
+                AggSpec::DoubleSum(0),
+                AggSpec::HllUniqueDim(0),
+            ],
         )
     }
 
@@ -187,7 +191,9 @@ mod tests {
         }
     }
 
-    fn collect(scan: impl FnOnce(&mut dyn FnMut(i64, &[AggValue]) -> bool)) -> Vec<(i64, Vec<AggValue>)> {
+    fn collect(
+        scan: impl FnOnce(&mut dyn FnMut(i64, &[AggValue]) -> bool),
+    ) -> Vec<(i64, Vec<AggValue>)> {
         let mut out = Vec::new();
         scan(&mut |ts, vals| {
             out.push((ts, vals.to_vec()));

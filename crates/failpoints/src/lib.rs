@@ -1,0 +1,475 @@
+//! # oak-failpoints — deterministic fault injection for Oak
+//!
+//! A `fail_point!("pool/alloc")`-style macro backed by a registry of named
+//! sites. Each site can be configured with an [`Action`] (return an injected
+//! error, panic, yield the thread N times, or sleep) and a [`FirePolicy`]
+//! deciding *which* hits of the site trigger the action. Schedules derived
+//! from a seed ([`Schedule::generate`]) make whole fault runs reproducible:
+//! the same seed always injects the same faults at the same hit counts.
+//!
+//! ## Zero cost when disabled
+//!
+//! All registry machinery is compiled only under the `failpoints` feature.
+//! Without it, [`eval`] is an empty `#[inline(always)]` function returning
+//! `false`, so `fail_point!` folds to nothing in release builds — call sites
+//! carry no branch, no atomic, no string.
+//!
+//! ## Usage in library code
+//!
+//! ```ignore
+//! // Side effects only (panic / yield / delay):
+//! oak_failpoints::fail_point!("chunk/cas-value");
+//! // Early-return injection (fires when the site is configured with
+//! // `Action::ReturnErr`):
+//! oak_failpoints::fail_point!("pool/alloc", Err(AllocError::Injected));
+//! ```
+//!
+//! ## Usage in tests
+//!
+//! Tests configuring the global registry must serialize through
+//! [`scenario`], which takes a process-wide lock and clears all sites on
+//! both entry and drop:
+//!
+//! ```
+//! # #[cfg(feature = "failpoints")] {
+//! use oak_failpoints::{scenario, configure, Action, FirePolicy};
+//! let _s = scenario();
+//! configure("pool/alloc", Action::ReturnErr, FirePolicy::OnHits(vec![2]));
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+/// Description of one failpoint site, used by schedule generation.
+///
+/// `errorable` marks sites whose `fail_point!` invocation carries a
+/// return-expression — only those may be scheduled with
+/// [`Action::ReturnErr`]; at other sites the action would silently do
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteSpec {
+    /// Canonical site name, e.g. `"pool/alloc"`.
+    pub name: &'static str,
+    /// Whether the site supports return-error injection.
+    pub errorable: bool,
+}
+
+impl SiteSpec {
+    /// A site supporting return-error injection.
+    pub const fn errorable(name: &'static str) -> Self {
+        SiteSpec {
+            name,
+            errorable: true,
+        }
+    }
+
+    /// A side-effect-only site (yield / delay / panic).
+    pub const fn passive(name: &'static str) -> Self {
+        SiteSpec {
+            name,
+            errorable: false,
+        }
+    }
+}
+
+/// Evaluates the named failpoint.
+///
+/// Returns `true` when a configured [`Action::ReturnErr`] fires, telling
+/// the `fail_point!` macro to take its early-return arm. Side-effect
+/// actions (panic, yield, delay) are performed before returning `false`.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn eval(_name: &str) -> bool {
+    false
+}
+
+/// Declares a failpoint site.
+///
+/// * `fail_point!("site")` — side effects only (panic / yield / delay).
+/// * `fail_point!("site", expr)` — additionally supports
+///   [`Action::ReturnErr`]: when it fires, the enclosing function returns
+///   `expr`.
+///
+/// Compiles to a true no-op when the `failpoints` feature is disabled.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        let _ = $crate::eval($name);
+    };
+    ($name:expr, $ret:expr) => {
+        if $crate::eval($name) {
+            return $ret;
+        }
+    };
+}
+
+#[cfg(feature = "failpoints")]
+mod active {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    use super::SiteSpec;
+
+    /// What a firing failpoint does.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum Action {
+        /// Make `fail_point!(name, expr)` return `expr` from the enclosing
+        /// function. At side-effect-only sites this action does nothing.
+        ReturnErr,
+        /// Panic with a message naming the site.
+        Panic,
+        /// Call `std::thread::yield_now()` the given number of times —
+        /// perturbs interleavings without changing outcomes.
+        Yield(u32),
+        /// Sleep for the given number of microseconds.
+        DelayMicros(u64),
+    }
+
+    /// Which hits of a site trigger its action. Hit counts are 1-based and
+    /// reset by [`configure`] and [`clear`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum FirePolicy {
+        /// Every hit fires.
+        Always,
+        /// Only the first `n` hits fire.
+        Times(u64),
+        /// Every `n`-th hit fires (n ≥ 1).
+        EveryN(u64),
+        /// Exactly the listed 1-based hit counts fire — the deterministic
+        /// schedule primitive.
+        OnHits(Vec<u64>),
+    }
+
+    impl FirePolicy {
+        fn fires(&self, hit: u64) -> bool {
+            match self {
+                FirePolicy::Always => true,
+                FirePolicy::Times(n) => hit <= *n,
+                FirePolicy::EveryN(n) => *n >= 1 && hit.is_multiple_of(*n),
+                FirePolicy::OnHits(hits) => hits.contains(&hit),
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct SiteEntry {
+        action: Option<(Action, FirePolicy)>,
+        hits: u64,
+        fired: u64,
+    }
+
+    #[derive(Default)]
+    struct Registry {
+        sites: Mutex<HashMap<String, SiteEntry>>,
+    }
+
+    fn registry() -> &'static Registry {
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(Registry::default)
+    }
+
+    fn lock_sites() -> MutexGuard<'static, HashMap<String, SiteEntry>> {
+        registry()
+            .sites
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Total count of injected faults that actually fired, process-wide.
+    static TOTAL_FIRED: AtomicU64 = AtomicU64::new(0);
+
+    /// See the crate-level docs; this is the active implementation.
+    pub fn eval(name: &str) -> bool {
+        let decided = {
+            let mut sites = lock_sites();
+            let entry = sites.entry(name.to_string()).or_insert(SiteEntry {
+                action: None,
+                hits: 0,
+                fired: 0,
+            });
+            entry.hits += 1;
+            match &entry.action {
+                Some((action, policy)) if policy.fires(entry.hits) => {
+                    entry.fired += 1;
+                    Some(action.clone())
+                }
+                _ => None,
+            }
+        };
+        let Some(action) = decided else {
+            return false;
+        };
+        TOTAL_FIRED.fetch_add(1, Ordering::Relaxed);
+        match action {
+            Action::ReturnErr => true,
+            Action::Panic => panic!("failpoint '{name}' injected panic"),
+            Action::Yield(n) => {
+                for _ in 0..n {
+                    std::thread::yield_now();
+                }
+                false
+            }
+            Action::DelayMicros(us) => {
+                std::thread::sleep(std::time::Duration::from_micros(us));
+                false
+            }
+        }
+    }
+
+    /// Configures `name` with an action and fire policy, resetting its hit
+    /// and fired counters.
+    pub fn configure(name: &str, action: Action, policy: FirePolicy) {
+        let mut sites = lock_sites();
+        sites.insert(
+            name.to_string(),
+            SiteEntry {
+                action: Some((action, policy)),
+                hits: 0,
+                fired: 0,
+            },
+        );
+    }
+
+    /// Removes the configuration (and counters) of one site.
+    pub fn deconfigure(name: &str) {
+        lock_sites().remove(name);
+    }
+
+    /// Removes all site configurations and counters.
+    pub fn clear() {
+        lock_sites().clear();
+    }
+
+    /// Number of times `name` has been evaluated since it was configured
+    /// (or first hit).
+    pub fn hits(name: &str) -> u64 {
+        lock_sites().get(name).map_or(0, |e| e.hits)
+    }
+
+    /// Number of times `name`'s action has fired.
+    pub fn fired(name: &str) -> u64 {
+        lock_sites().get(name).map_or(0, |e| e.fired)
+    }
+
+    /// Process-wide count of fired injections (all sites, ever).
+    pub fn total_fired() -> u64 {
+        TOTAL_FIRED.load(Ordering::Relaxed)
+    }
+
+    /// RAII guard serializing tests that use the global registry. Sites are
+    /// cleared both when the scenario starts and when it drops.
+    pub struct Scenario {
+        _guard: MutexGuard<'static, ()>,
+    }
+
+    /// Enters an exclusive fault-injection scenario.
+    ///
+    /// Tests touching the registry must hold one of these: the registry is
+    /// process-global, and Rust runs tests concurrently.
+    pub fn scenario() -> Scenario {
+        static SCENARIO: Mutex<()> = Mutex::new(());
+        let guard = SCENARIO.lock().unwrap_or_else(PoisonError::into_inner);
+        clear();
+        Scenario { _guard: guard }
+    }
+
+    impl Drop for Scenario {
+        fn drop(&mut self) {
+            clear();
+        }
+    }
+
+    /// SplitMix64: a tiny, high-quality deterministic PRNG. Used for
+    /// schedule generation and exported so test harnesses can derive their
+    /// workloads from the same seed.
+    #[derive(Debug, Clone)]
+    pub struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> Self {
+            SplitMix64(seed)
+        }
+
+        /// Next 64 pseudo-random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform value in `[lo, hi]` (inclusive).
+        pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.below(hi - lo + 1)
+        }
+    }
+
+    /// One configured site of a [`Schedule`].
+    #[derive(Debug, Clone)]
+    pub struct ScheduleEntry {
+        /// Site name.
+        pub site: &'static str,
+        /// Action to inject.
+        pub action: Action,
+        /// When it fires.
+        pub policy: FirePolicy,
+    }
+
+    /// A deterministic per-seed fault schedule over a set of sites.
+    #[derive(Debug, Clone)]
+    pub struct Schedule {
+        /// The seed this schedule was generated from.
+        pub seed: u64,
+        /// Configured sites.
+        pub entries: Vec<ScheduleEntry>,
+    }
+
+    impl Schedule {
+        /// Generates the schedule for `seed` over `sites`.
+        ///
+        /// Each site is independently configured with probability ~1/2.
+        /// Errorable sites draw from {return-error, yield, delay}; passive
+        /// sites from {yield, delay}. Fire points are a small set of exact
+        /// hit counts in `[1, 64]`, or an every-N cadence — both exactly
+        /// reproducible for a given seed. `Action::Panic` is deliberately
+        /// never scheduled: random internal panics are not recoverable in
+        /// general and are exercised by dedicated tests instead.
+        pub fn generate(seed: u64, sites: &[SiteSpec]) -> Schedule {
+            let mut rng = SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F);
+            let mut entries = Vec::new();
+            for site in sites {
+                if rng.below(2) == 0 {
+                    continue;
+                }
+                let action = match (site.errorable, rng.below(10)) {
+                    (true, 0..=3) => Action::ReturnErr,
+                    (_, 4..=6) => Action::DelayMicros(rng.range(1, 100)),
+                    _ => Action::Yield(rng.range(1, 4) as u32),
+                };
+                let policy = if rng.below(3) == 0 {
+                    FirePolicy::EveryN(rng.range(2, 8))
+                } else {
+                    let n = rng.range(1, 3) as usize;
+                    let mut hits: Vec<u64> = (0..n).map(|_| rng.range(1, 64)).collect();
+                    hits.sort_unstable();
+                    hits.dedup();
+                    FirePolicy::OnHits(hits)
+                };
+                entries.push(ScheduleEntry {
+                    site: site.name,
+                    action,
+                    policy,
+                });
+            }
+            Schedule { seed, entries }
+        }
+
+        /// Installs every entry into the global registry.
+        pub fn install(&self) {
+            for e in &self.entries {
+                configure(e.site, e.action.clone(), e.policy.clone());
+            }
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use active::{
+    clear, configure, deconfigure, eval, fired, hits, scenario, total_fired, Action, FirePolicy,
+    Scenario, Schedule, ScheduleEntry, SplitMix64,
+};
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfigured_site_never_fires() {
+        let _s = scenario();
+        assert!(!eval("t/none"));
+        assert_eq!(hits("t/none"), 1);
+        assert_eq!(fired("t/none"), 0);
+    }
+
+    #[test]
+    fn on_hits_fires_exactly_there() {
+        let _s = scenario();
+        configure("t/oh", Action::ReturnErr, FirePolicy::OnHits(vec![2, 4]));
+        let fires: Vec<bool> = (0..5).map(|_| eval("t/oh")).collect();
+        assert_eq!(fires, [false, true, false, true, false]);
+        assert_eq!(fired("t/oh"), 2);
+    }
+
+    #[test]
+    fn every_n_and_times() {
+        let _s = scenario();
+        configure("t/en", Action::ReturnErr, FirePolicy::EveryN(3));
+        let fires: Vec<bool> = (0..6).map(|_| eval("t/en")).collect();
+        assert_eq!(fires, [false, false, true, false, false, true]);
+        configure("t/tm", Action::ReturnErr, FirePolicy::Times(2));
+        let fires: Vec<bool> = (0..4).map(|_| eval("t/tm")).collect();
+        assert_eq!(fires, [true, true, false, false]);
+    }
+
+    #[test]
+    fn panic_action_panics_with_site_name() {
+        let _s = scenario();
+        configure("t/boom", Action::Panic, FirePolicy::Always);
+        let err = std::panic::catch_unwind(|| eval("t/boom")).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("t/boom"));
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let sites = [
+            SiteSpec::errorable("a"),
+            SiteSpec::passive("b"),
+            SiteSpec::errorable("c"),
+            SiteSpec::passive("d"),
+        ];
+        for seed in 0..50u64 {
+            let s1 = Schedule::generate(seed, &sites);
+            let s2 = Schedule::generate(seed, &sites);
+            assert_eq!(s1.entries.len(), s2.entries.len());
+            for (a, b) in s1.entries.iter().zip(&s2.entries) {
+                assert_eq!(a.site, b.site);
+                assert_eq!(a.action, b.action);
+                assert_eq!(a.policy, b.policy);
+            }
+            // Return-error only lands on errorable sites.
+            for e in &s1.entries {
+                if e.action == Action::ReturnErr {
+                    assert!(e.site == "a" || e.site == "c");
+                }
+            }
+        }
+        // Different seeds must (overwhelmingly) give different schedules.
+        let all: Vec<_> = (0..50u64)
+            .map(|s| format!("{:?}", Schedule::generate(s, &sites).entries))
+            .collect();
+        let mut uniq = all.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() > 25, "schedules barely vary across seeds");
+    }
+
+    #[test]
+    fn scenario_clears_on_drop() {
+        {
+            let _s = scenario();
+            configure("t/tmp", Action::ReturnErr, FirePolicy::Always);
+            assert!(eval("t/tmp"));
+        }
+        let _s = scenario();
+        assert!(!eval("t/tmp"));
+    }
+}

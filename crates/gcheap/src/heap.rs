@@ -469,7 +469,11 @@ mod tests {
             h.free(t);
         }
         let s = h.stats();
-        assert!(s.collections >= 5, "expected several collections, got {}", s.collections);
+        assert!(
+            s.collections >= 5,
+            "expected several collections, got {}",
+            s.collections
+        );
         assert!(!s.oom);
         assert!(s.live_bytes == 0);
     }
@@ -534,7 +538,10 @@ mod tests {
             f2.store(true, Ordering::SeqCst);
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!flag.load(Ordering::SeqCst), "safepoint returned during STW");
+        assert!(
+            !flag.load(Ordering::SeqCst),
+            "safepoint returned during STW"
+        );
         drop(gate_held);
         t.join().unwrap();
         assert!(flag.load(Ordering::SeqCst));

@@ -138,10 +138,7 @@ mod tests {
         assert_eq!(7u64.java_size(), 24);
         assert_eq!("abcd".to_string().java_size(), object(12) + byte_array(4));
         let pair = (vec![0u8; 4], 1u64);
-        assert_eq!(
-            pair.java_size(),
-            object(16) + boxed_bytes(4) + 24
-        );
+        assert_eq!(pair.java_size(), object(16) + boxed_bytes(4) + 24);
     }
 
     #[test]

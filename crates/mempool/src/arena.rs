@@ -65,7 +65,11 @@ impl Arena {
     #[inline]
     fn check(&self, offset: u32, len: u32) {
         let end = offset as usize + len as usize;
-        assert!(end <= self.len, "arena access out of bounds: {end} > {}", self.len);
+        assert!(
+            end <= self.len,
+            "arena access out of bounds: {end} > {}",
+            self.len
+        );
     }
 
     /// Returns a shared view of `len` bytes at `offset`.

@@ -19,6 +19,13 @@ pub enum AllocError {
     /// A zero-sized allocation was requested; Oak keys and values are
     /// always at least one byte.
     ZeroSized,
+    /// An internal invariant was violated (e.g. an arena slot was found
+    /// already initialized while growing). Reported instead of panicking so
+    /// callers can fail one operation rather than poison the process.
+    Internal(&'static str),
+    /// A fault-injection site (`failpoints` feature) forced this allocation
+    /// to fail. Never produced in normal builds.
+    Injected,
 }
 
 impl fmt::Display for AllocError {
@@ -26,9 +33,14 @@ impl fmt::Display for AllocError {
         match self {
             AllocError::PoolExhausted => write!(f, "memory pool exhausted"),
             AllocError::TooLarge { requested, max } => {
-                write!(f, "allocation of {requested} bytes exceeds maximum of {max}")
+                write!(
+                    f,
+                    "allocation of {requested} bytes exceeds maximum of {max}"
+                )
             }
             AllocError::ZeroSized => write!(f, "zero-sized allocation"),
+            AllocError::Internal(what) => write!(f, "internal allocator error: {what}"),
+            AllocError::Injected => write!(f, "allocation failed by fault injection"),
         }
     }
 }
@@ -41,12 +53,20 @@ pub enum AccessError {
     /// The value was concurrently deleted. This is the Rust analogue of the
     /// `ConcurrentModificationException` thrown by Java Oak's buffers.
     Deleted,
+    /// The header lock could not be acquired within the bounded
+    /// spin/yield/sleep budget (several seconds of escalating backoff).
+    /// Indicates a stuck or extremely slow lock holder; the value itself
+    /// is untouched and the operation may be retried.
+    Contended,
 }
 
 impl fmt::Display for AccessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AccessError::Deleted => write!(f, "value was concurrently deleted"),
+            AccessError::Contended => {
+                write!(f, "header lock acquisition budget exhausted")
+            }
         }
     }
 }

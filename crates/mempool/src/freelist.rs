@@ -61,6 +61,9 @@ impl FreeList {
     /// Allocates `len` bytes (already granularity-rounded), returning the
     /// offset of the segment, or `None` if no segment fits (first-fit).
     pub fn allocate(&mut self, len: u32) -> Option<u32> {
+        // Injected miss: the pool skips this arena as if it were full,
+        // exercising arena growth and exhaustion paths.
+        oak_failpoints::fail_point!("freelist/pop", None);
         debug_assert!(len > 0 && len.is_multiple_of(GRANULARITY));
         // First fit: scan in offset order.
         let (&off, &seg_len) = self.free.iter().find(|&(_, &l)| l >= len)?;

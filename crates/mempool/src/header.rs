@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use crate::error::AccessError;
 use crate::pool::MemoryPool;
 use crate::refs::SliceRef;
+use crate::stats::Counters;
 
 /// Size of a value header in bytes.
 pub const HEADER_SIZE: usize = 16;
@@ -39,6 +40,20 @@ const READER_MASK: u32 = WRITER - 1;
 
 /// Spin iterations before yielding the thread while waiting on the lock.
 const SPIN_LIMIT: u32 = 64;
+/// Backoff rounds (including the spins) before escalating from
+/// `yield_now` to sleeping.
+const YIELD_LIMIT: u32 = SPIN_LIMIT + 256;
+/// Total backoff rounds before lock acquisition is abandoned with
+/// [`AccessError::Contended`]. The sleep phase escalates from
+/// [`SLEEP_BASE_MICROS`] up to [`SLEEP_CAP_MICROS`] per round, so the
+/// overall budget is on the order of a couple of seconds — far beyond any
+/// legitimate hold time (writers only copy/compute bounded payloads), yet
+/// bounded, so a stuck or killed lock holder cannot hang its peers forever.
+const BUDGET_ROUNDS: u32 = YIELD_LIMIT + 2_000;
+/// First sleep duration once yielding has not helped.
+const SLEEP_BASE_MICROS: u64 = 10;
+/// Per-round sleep cap during the escalation phase.
+const SLEEP_CAP_MICROS: u64 = 1_000;
 
 /// Decoded view of a header lock word, mainly for diagnostics and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +85,7 @@ pub(crate) struct Header<'a> {
     state: &'a AtomicU32,
     generation: &'a AtomicU32,
     payload: &'a AtomicU64,
+    counters: &'a Counters,
 }
 
 impl<'a> Header<'a> {
@@ -90,22 +106,30 @@ impl<'a> Header<'a> {
             state: pool.atomic_u32_at(slot, 0),
             generation: pool.atomic_u32_at(slot, 4),
             payload: pool.atomic_u64_at(slot, 8),
+            counters: pool.counters(),
         }
     }
 
     /// Acquires the read lock, failing if the value is deleted.
     ///
-    /// Readers spin briefly while a writer is active, then yield; writers
-    /// hold the lock only for bounded copy/compute work.
+    /// Readers spin briefly while a writer is active, then yield, then sleep
+    /// with escalating backoff; writers hold the lock only for bounded
+    /// copy/compute work, so the wait budget is generous. If it is
+    /// nevertheless exhausted (a stuck writer), acquisition fails with
+    /// [`AccessError::Contended`] instead of hanging forever. The
+    /// uncontended fast path is a single load + CAS, unchanged.
     pub(crate) fn read_lock(&self) -> Result<(), AccessError> {
-        let mut spins = 0u32;
+        let mut rounds = 0u32;
         loop {
             let cur = self.state.load(Ordering::Acquire);
             if cur & DELETED != 0 {
+                self.note_retries(rounds);
                 return Err(AccessError::Deleted);
             }
             if cur & WRITER != 0 {
-                backoff(&mut spins);
+                if !backoff(&mut rounds) {
+                    return self.abort_contended(rounds);
+                }
                 continue;
             }
             debug_assert!(cur & READER_MASK < READER_MASK, "reader count overflow");
@@ -114,6 +138,7 @@ impl<'a> Header<'a> {
                 .compare_exchange_weak(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
+                self.note_retries(rounds);
                 return Ok(());
             }
         }
@@ -126,17 +151,21 @@ impl<'a> Header<'a> {
         debug_assert!(prev & READER_MASK > 0, "read_unlock without read_lock");
     }
 
-    /// Acquires the write lock, failing if the value is deleted.
+    /// Acquires the write lock, failing if the value is deleted. Waits are
+    /// bounded exactly as in [`read_lock`](Self::read_lock).
     pub(crate) fn write_lock(&self) -> Result<(), AccessError> {
-        let mut spins = 0u32;
+        let mut rounds = 0u32;
         loop {
             let cur = self.state.load(Ordering::Acquire);
             if cur & DELETED != 0 {
+                self.note_retries(rounds);
                 return Err(AccessError::Deleted);
             }
             if cur != 0 {
                 // Readers or another writer active.
-                backoff(&mut spins);
+                if !backoff(&mut rounds) {
+                    return self.abort_contended(rounds);
+                }
                 continue;
             }
             if self
@@ -144,6 +173,7 @@ impl<'a> Header<'a> {
                 .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
+                self.note_retries(rounds);
                 return Ok(());
             }
         }
@@ -213,16 +243,45 @@ impl<'a> Header<'a> {
     pub(crate) fn reset_state(&self) {
         self.state.store(0, Ordering::Release);
     }
+
+    /// Flushes this acquisition's backoff-round count into the pool's
+    /// contention counter. Zero-cost on the uncontended path.
+    #[inline]
+    fn note_retries(&self, rounds: u32) {
+        if rounds > 0 {
+            self.counters
+                .lock_retries
+                .fetch_add(rounds as u64, Ordering::Relaxed);
+        }
+    }
+
+    #[cold]
+    fn abort_contended(&self, rounds: u32) -> Result<(), AccessError> {
+        self.note_retries(rounds);
+        self.counters
+            .contended_aborts
+            .fetch_add(1, Ordering::Relaxed);
+        Err(AccessError::Contended)
+    }
 }
 
+/// One backoff round: spin, then yield, then escalating bounded sleeps.
+/// Returns `false` once the total budget is exhausted.
 #[inline]
-fn backoff(spins: &mut u32) {
-    if *spins < SPIN_LIMIT {
-        *spins += 1;
+fn backoff(rounds: &mut u32) -> bool {
+    *rounds += 1;
+    if *rounds <= SPIN_LIMIT {
         std::hint::spin_loop();
-    } else {
+    } else if *rounds <= YIELD_LIMIT {
         std::thread::yield_now();
+    } else if *rounds <= BUDGET_ROUNDS {
+        let over = (*rounds - YIELD_LIMIT) as u64;
+        let micros = (SLEEP_BASE_MICROS * over).min(SLEEP_CAP_MICROS);
+        std::thread::sleep(std::time::Duration::from_micros(micros));
+    } else {
+        return false;
     }
+    true
 }
 
 #[cfg(test)]

@@ -42,7 +42,23 @@ pub use error::{AccessError, AllocError};
 pub use freelist::FreeList;
 pub use header::{HeaderRef, LockState, HEADER_SIZE};
 pub use pool::{MemoryPool, PoolConfig};
-pub use shared::{ArenaPool, ArenaPoolStats};
 pub use refs::{SliceRef, MAX_ARENA_SIZE, MAX_BLOCKS, MAX_SLICE_LEN};
+pub use shared::{ArenaPool, ArenaPoolStats};
 pub use stats::PoolStats;
 pub use value::{ReclamationPolicy, ValueBytes, ValueBytesMut, ValueStore};
+
+/// Canonical failpoint sites declared by this crate (see the `failpoints`
+/// feature and DESIGN.md "Failure model & panic safety"). Errorable sites
+/// can be scheduled with return-error injection; passive sites only perturb
+/// timing (yield / delay) or panic under explicit test configuration.
+pub const FAILPOINT_SITES: &[oak_failpoints::SiteSpec] = &[
+    oak_failpoints::SiteSpec::errorable("pool/alloc"),
+    oak_failpoints::SiteSpec::errorable("pool/grow"),
+    oak_failpoints::SiteSpec::errorable("freelist/pop"),
+    oak_failpoints::SiteSpec::errorable("value/alloc"),
+    oak_failpoints::SiteSpec::errorable("value/put"),
+    oak_failpoints::SiteSpec::errorable("value/replace"),
+    oak_failpoints::SiteSpec::passive("value/compute"),
+    oak_failpoints::SiteSpec::passive("value/remove"),
+    oak_failpoints::SiteSpec::passive("value/read"),
+];

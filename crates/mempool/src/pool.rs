@@ -16,9 +16,9 @@ use parking_lot::Mutex;
 
 use crate::arena::Arena;
 use crate::error::AllocError;
-use crate::shared::ArenaPool;
 use crate::freelist::{round_up, FreeList};
 use crate::refs::{SliceRef, MAX_BLOCKS, MAX_SLICE_LEN};
+use crate::shared::ArenaPool;
 use crate::stats::{Counters, PoolStats};
 
 /// Configuration for a [`MemoryPool`].
@@ -141,6 +141,14 @@ impl MemoryPool {
     /// but may contain stale data from previously freed slices; callers
     /// always overwrite before publishing.
     pub fn allocate(&self, len: usize) -> Result<SliceRef, AllocError> {
+        let result = self.allocate_inner(len);
+        if result.is_err() {
+            self.counters.failed_allocs.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn allocate_inner(&self, len: usize) -> Result<SliceRef, AllocError> {
         if len == 0 {
             return Err(AllocError::ZeroSized);
         }
@@ -150,6 +158,7 @@ impl MemoryPool {
                 max: MAX_SLICE_LEN.min(self.config.arena_size),
             });
         }
+        oak_failpoints::fail_point!("pool/alloc", Err(AllocError::Injected));
         let padded = round_up(len as u32);
 
         loop {
@@ -173,6 +182,7 @@ impl MemoryPool {
             if n >= self.config.max_arenas {
                 return Err(AllocError::PoolExhausted);
             }
+            oak_failpoints::fail_point!("pool/grow", Err(AllocError::Injected));
             let arena = match &self.shared {
                 Some(reservoir) => reservoir.take().ok_or(AllocError::PoolExhausted)?,
                 None => Arena::new(self.config.arena_size),
@@ -181,9 +191,16 @@ impl MemoryPool {
                 arena,
                 free: Mutex::new(FreeList::new(self.config.arena_size as u32)),
             };
-            self.blocks[n]
-                .set(block)
-                .unwrap_or_else(|_| panic!("block {n} double-initialized"));
+            if let Err(block) = self.blocks[n].set(block) {
+                // Unreachable as long as nblocks only advances under the
+                // grow lock; if the invariant is ever broken, fail this one
+                // allocation instead of poisoning the whole process, and
+                // don't leak the arena.
+                if let Some(reservoir) = &self.shared {
+                    reservoir.give_back(block.arena);
+                }
+                return Err(AllocError::Internal("arena slot double-initialized"));
+            }
             self.nblocks.store(n + 1, Ordering::Release);
         }
     }
@@ -373,10 +390,7 @@ mod tests {
             max_arenas: 1,
         });
         let r = pool.allocate(1024).unwrap();
-        assert!(matches!(
-            pool.allocate(8),
-            Err(AllocError::PoolExhausted)
-        ));
+        assert!(matches!(pool.allocate(8), Err(AllocError::PoolExhausted)));
         pool.free(r);
         assert!(pool.allocate(1024).is_ok());
         let stats = pool.stats();

@@ -15,6 +15,10 @@ pub(crate) struct Counters {
     pub(crate) alloc_count: AtomicU64,
     pub(crate) free_count: AtomicU64,
     pub(crate) header_bytes: AtomicU64,
+    pub(crate) lock_retries: AtomicU64,
+    pub(crate) contended_aborts: AtomicU64,
+    pub(crate) failed_allocs: AtomicU64,
+    pub(crate) poisoned_values: AtomicU64,
 }
 
 impl Counters {
@@ -30,6 +34,10 @@ impl Counters {
             alloc_count: self.alloc_count.load(Ordering::Relaxed),
             free_count: self.free_count.load(Ordering::Relaxed),
             header_bytes: self.header_bytes.load(Ordering::Relaxed),
+            lock_retries: self.lock_retries.load(Ordering::Relaxed),
+            contended_aborts: self.contended_aborts.load(Ordering::Relaxed),
+            failed_allocs: self.failed_allocs.load(Ordering::Relaxed),
+            poisoned_values: self.poisoned_values.load(Ordering::Relaxed),
         }
     }
 }
@@ -55,6 +63,18 @@ pub struct PoolStats {
     /// Bytes consumed by value headers (never reclaimed by the default
     /// memory manager, per paper §3.3).
     pub header_bytes: u64,
+    /// Header-lock acquisition attempts that found the lock busy and had to
+    /// back off (spin/yield/sleep rounds, summed over all acquisitions).
+    pub lock_retries: u64,
+    /// Header-lock acquisitions abandoned after exhausting the bounded
+    /// backoff budget ([`AccessError::Contended`](crate::AccessError)).
+    pub contended_aborts: u64,
+    /// Allocation requests that returned an error (exhaustion, oversize,
+    /// injected faults, internal errors).
+    pub failed_allocs: u64,
+    /// Values logically deleted by the panic-safety guard because a user
+    /// closure panicked inside `compute` while holding the write lock.
+    pub poisoned_values: u64,
 }
 
 impl PoolStats {

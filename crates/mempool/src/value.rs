@@ -134,6 +134,7 @@ impl ValueStore {
     /// The value is unlocked and not deleted. Empty values are allowed (the
     /// payload reference is null and reads observe `&[]`).
     pub fn allocate_value(&self, data: &[u8]) -> Result<HeaderRef, AllocError> {
+        oak_failpoints::fail_point!("value/alloc", Err(AllocError::Injected));
         let payload = if data.is_empty() {
             SliceRef::NULL
         } else {
@@ -176,17 +177,19 @@ impl ValueStore {
         match self.policy {
             ReclamationPolicy::RetainHeaders => Ok(href),
             // Fresh slot: generation 0.
-            ReclamationPolicy::ReclaimHeaders => {
-                Ok(SliceRef::new(href.block(), href.offset(), 0))
-            }
+            ReclamationPolicy::ReclaimHeaders => Ok(SliceRef::new(href.block(), href.offset(), 0)),
         }
     }
 
     /// Atomically reads the value, passing the payload bytes to `f`.
     ///
-    /// Fails with [`AccessError::Deleted`] if the value was removed.
+    /// Fails with [`AccessError::Deleted`] if the value was removed. The
+    /// read lock is released even if `f` panics (readers don't mutate, so
+    /// unlocking — not poisoning — is the correct unwind behaviour).
     pub fn read<R>(&self, h: HeaderRef, f: impl FnOnce(&[u8]) -> R) -> Result<R, AccessError> {
+        oak_failpoints::fail_point!("value/read");
         let header = self.read_locked(h)?;
+        let unlock = ReadUnlockOnDrop { header: &header };
         let payload = header.payload();
         let result = if payload.is_null() {
             f(&[])
@@ -194,13 +197,15 @@ impl ValueStore {
             // SAFETY: read lock held — no writer can mutate or free payload.
             f(unsafe { self.pool.slice(payload) })
         };
-        header.read_unlock();
+        drop(unlock);
         Ok(result)
     }
 
     /// Atomically replaces the value's contents with `data` (the paper's
-    /// `v.put`). Returns `Ok(false)` if the value is deleted.
+    /// `v.put`). Returns `Ok(false)` if the value is deleted or the header
+    /// lock budget was exhausted (see [`AccessError::Contended`]).
     pub fn put(&self, h: HeaderRef, data: &[u8]) -> Result<bool, AllocError> {
+        oak_failpoints::fail_point!("value/put", Err(AllocError::Injected));
         let Ok(header) = self.write_locked(h) else {
             return Ok(false);
         };
@@ -246,6 +251,7 @@ impl ValueStore {
     /// contents (the legacy `ConcurrentNavigableMap.put` shape, which must
     /// return the previous value). Returns `Ok(None)` if deleted.
     pub fn replace(&self, h: HeaderRef, data: &[u8]) -> Result<Option<Vec<u8>>, AllocError> {
+        oak_failpoints::fail_point!("value/replace", Err(AllocError::Injected));
         let Ok(header) = self.write_locked(h) else {
             return Ok(None);
         };
@@ -275,21 +281,39 @@ impl ValueStore {
     /// `v.compute`). Returns `None` if the value is deleted, otherwise the
     /// closure's result. The closure receives a [`ValueBytesMut`] supporting
     /// reads, writes, and resizing.
+    ///
+    /// # Panic safety
+    ///
+    /// `f` is arbitrary user code running under the header write lock. If
+    /// it panics, an RAII guard *poisons* the value before the panic
+    /// propagates: the payload (possibly half-mutated) is freed and the
+    /// header transitions to deleted exactly as in [`remove`](Self::remove),
+    /// releasing the lock. Concurrent and subsequent accesses observe a
+    /// cleanly deleted value — never a torn one, and never a header locked
+    /// forever by a dead frame.
     pub fn compute<R>(
         &self,
         h: HeaderRef,
         f: impl FnOnce(&mut ValueBytesMut<'_>) -> R,
     ) -> Option<R> {
+        oak_failpoints::fail_point!("value/compute");
         let Ok(header) = self.write_locked(h) else {
             return None;
         };
         let payload = header.payload();
+        let poison = PoisonOnPanic {
+            store: self,
+            header: &header,
+            h,
+            armed: std::cell::Cell::new(true),
+        };
         let mut guard = ValueBytesMut {
             store: self,
             header: &header,
             payload,
         };
         let result = f(&mut guard);
+        poison.armed.set(false);
         header.write_unlock();
         Some(result)
     }
@@ -297,6 +321,7 @@ impl ValueStore {
     /// Like [`remove`](Self::remove), but atomically returns a copy of the
     /// removed contents (legacy `ConcurrentNavigableMap.remove` shape).
     pub fn remove_returning(&self, h: HeaderRef) -> Option<Vec<u8>> {
+        oak_failpoints::fail_point!("value/remove");
         let Ok(header) = self.write_locked(h) else {
             return None;
         };
@@ -336,6 +361,7 @@ impl ValueStore {
     /// paper's `v.remove`). Returns `false` if already deleted — exactly one
     /// caller succeeds.
     pub fn remove(&self, h: HeaderRef) -> bool {
+        oak_failpoints::fail_point!("value/remove");
         let Ok(header) = self.write_locked(h) else {
             return false;
         };
@@ -371,6 +397,48 @@ impl ValueStore {
     /// Diagnostic view of the header lock word.
     pub fn lock_state(&self, h: HeaderRef) -> LockState {
         unsafe { Header::at(&self.pool, h) }.lock_state()
+    }
+}
+
+/// Releases a read lock on unwind as well as on the normal path.
+struct ReadUnlockOnDrop<'a> {
+    header: &'a Header<'a>,
+}
+
+impl Drop for ReadUnlockOnDrop<'_> {
+    fn drop(&mut self) {
+        self.header.read_unlock();
+    }
+}
+
+/// Poisons a value if a `compute` closure panics while holding the write
+/// lock: frees the (possibly half-mutated) payload and retires the header
+/// exactly like a remove, so the lock is released and every later access
+/// sees a clean deletion. Disarmed on the normal path.
+struct PoisonOnPanic<'a> {
+    store: &'a ValueStore,
+    header: &'a Header<'a>,
+    h: HeaderRef,
+    armed: std::cell::Cell<bool>,
+}
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if !self.armed.get() {
+            return;
+        }
+        // Re-read the payload: the closure may have resized it.
+        let payload = self.header.payload();
+        self.header.set_payload(SliceRef::NULL);
+        self.store
+            .pool
+            .counters()
+            .poisoned_values
+            .fetch_add(1, Ordering::Relaxed);
+        self.store.retire(self.header, self.h);
+        if !payload.is_null() {
+            self.store.pool.free(payload);
+        }
     }
 }
 
@@ -529,7 +597,9 @@ mod tests {
             })
             .unwrap();
         }
-        let v = vs.read(h, |b| u64::from_le_bytes(b.try_into().unwrap())).unwrap();
+        let v = vs
+            .read(h, |b| u64::from_le_bytes(b.try_into().unwrap()))
+            .unwrap();
         assert_eq!(v, 10);
     }
 
@@ -589,6 +659,63 @@ mod tests {
     }
 
     #[test]
+    fn panicking_compute_poisons_value() {
+        let vs = vs();
+        let h = vs.allocate_value(b"doomed").unwrap();
+        let live_before = vs.pool().stats().live_bytes;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            vs.compute(h, |b| {
+                b.as_mut_slice()[0] = b'X'; // half-done mutation
+                panic!("user closure exploded");
+            })
+        }))
+        .unwrap_err();
+        assert!(err.downcast_ref::<&str>().is_some());
+        // The value is cleanly deleted: no torn reads, no stuck lock.
+        assert!(vs.is_deleted(h));
+        assert_eq!(vs.read(h, |_| ()), Err(AccessError::Deleted));
+        assert_eq!(vs.put(h, b"zz"), Ok(false));
+        assert!(!vs.remove(h));
+        let stats = vs.pool().stats();
+        assert_eq!(stats.poisoned_values, 1);
+        // Payload reclaimed like a normal remove.
+        assert_eq!(live_before - stats.live_bytes, 8);
+        // The store remains fully usable.
+        let h2 = vs.allocate_value(b"fresh").unwrap();
+        assert_eq!(vs.read_to_vec(h2).unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn panicking_compute_after_resize_frees_new_payload() {
+        let vs = vs();
+        let h = vs.allocate_value(b"ab").unwrap();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            vs.compute(h, |b| {
+                b.resize(100).unwrap();
+                panic!("after resize");
+            })
+        }));
+        assert!(vs.is_deleted(h));
+        let stats = vs.pool().stats();
+        // Both the original and the resized payload are back on the free
+        // list: nothing is live except the retained header.
+        assert_eq!(stats.live_bytes, stats.header_bytes);
+    }
+
+    #[test]
+    fn panicking_read_releases_lock() {
+        let vs = vs();
+        let h = vs.allocate_value(b"peek").unwrap();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            vs.read(h, |_| panic!("reader closure exploded"))
+        }));
+        // Readers don't mutate, so the value survives and is writable.
+        assert_eq!(vs.lock_state(h).readers, 0);
+        assert_eq!(vs.read_to_vec(h).unwrap(), b"peek");
+        assert!(vs.put(h, b"still").unwrap());
+    }
+
+    #[test]
     fn concurrent_remove_single_winner() {
         let vs = Arc::new(vs());
         for _ in 0..50 {
@@ -644,7 +771,10 @@ mod reclaim_tests {
         assert_eq!(store.read(h_old, |b| b.to_vec()), Err(AccessError::Deleted));
         assert_eq!(store.put(h_old, b"clobber"), Ok(false));
         assert!(store.compute(h_old, |_| ()).is_none());
-        assert!(!store.remove(h_old), "stale remove must not kill the new value");
+        assert!(
+            !store.remove(h_old),
+            "stale remove must not kill the new value"
+        );
         assert!(store.is_deleted(h_old));
         // The new value is untouched.
         assert_eq!(store.read_to_vec(h_new).unwrap(), b"new");
@@ -697,6 +827,7 @@ mod reclaim_tests {
                     match store.read(h0, |b| u64::from_le_bytes(b.try_into().unwrap())) {
                         Ok(v) => assert_eq!(v, 0, "stale ref observed a newer value"),
                         Err(AccessError::Deleted) => {}
+                        Err(AccessError::Contended) => panic!("budget exhausted in test"),
                     }
                 }
             }));
@@ -706,6 +837,23 @@ mod reclaim_tests {
         }
         stop.store(true, Ordering::Relaxed);
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn panicking_compute_recycles_header() {
+        let store = vs();
+        let h = store.allocate_value(b"boom").unwrap();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.compute(h, |_| panic!("in reclaiming store"))
+        }));
+        // Poisoning under the reclaiming policy retires the slot for reuse;
+        // the stale reference is fenced off by the generation bump.
+        assert_eq!(store.recycled_headers(), 1);
+        assert!(store.is_deleted(h));
+        let h2 = store.allocate_value(b"reuse").unwrap();
+        assert_eq!((h.block(), h.offset()), (h2.block(), h2.offset()));
+        assert_eq!(store.read(h, |b| b.to_vec()), Err(AccessError::Deleted));
+        assert_eq!(store.read_to_vec(h2).unwrap(), b"reuse");
     }
 
     #[test]

@@ -115,11 +115,7 @@ impl Chunk {
 
     /// Creates a chunk pre-filled with a sorted prefix of `(key, value)`
     /// reference pairs (used by rebalance).
-    pub(crate) fn new_sorted(
-        capacity: u32,
-        min_key: Box<[u8]>,
-        items: &[(SliceRef, u64)],
-    ) -> Self {
+    pub(crate) fn new_sorted(capacity: u32, min_key: Box<[u8]>, items: &[(SliceRef, u64)]) -> Self {
         assert!(items.len() as u32 <= capacity);
         let entries: Box<[Entry]> = (0..capacity).map(|_| Entry::empty()).collect();
         for (i, &(k, v)) in items.iter().enumerate() {
@@ -157,7 +153,9 @@ impl Chunk {
 
     /// Entries allocated so far (sorted prefix + bypass suffix).
     pub(crate) fn allocated(&self) -> u32 {
-        self.alloc_cursor.load(Ordering::Acquire).min(self.capacity())
+        self.alloc_cursor
+            .load(Ordering::Acquire)
+            .min(self.capacity())
     }
 
     /// Whether the unsorted suffix has outgrown the configured ratio of the
@@ -197,17 +195,18 @@ impl Chunk {
     /// Announces an impending mutation (Algorithm 2 line 33). Fails if the
     /// chunk is frozen.
     pub(crate) fn publish(&self) -> bool {
+        // Injected refusal: callers treat it exactly like publishing against
+        // a frozen chunk (help rebalance, retry).
+        oak_failpoints::fail_point!("chunk/publish", false);
         let mut cur = self.sync.load(Ordering::Acquire);
         loop {
             if cur & FROZEN != 0 {
                 return false;
             }
-            match self.sync.compare_exchange_weak(
-                cur,
-                cur + 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .sync
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return true,
                 Err(x) => cur = x,
             }
@@ -216,6 +215,9 @@ impl Chunk {
 
     /// Clears the publication made by [`publish`](Self::publish).
     pub(crate) fn unpublish(&self) {
+        // Perturbation point: a delay here holds the publication open,
+        // forcing concurrent freezers to drain longer.
+        oak_failpoints::fail_point!("chunk/unpublish");
         let prev = self.sync.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev & !FROZEN > 0, "unpublish without publish");
     }
@@ -296,6 +298,7 @@ impl Chunk {
     /// CAS on an entry's value reference (Algorithms 2–3). The caller must
     /// have published.
     pub(crate) fn cas_value(&self, idx: u32, expect: u64, new: u64) -> bool {
+        oak_failpoints::fail_point!("chunk/cas-value");
         self.entries[idx as usize]
             .value
             .compare_exchange(expect, new, Ordering::AcqRel, Ordering::Acquire)
@@ -325,6 +328,9 @@ impl Chunk {
     /// 28). Returns `None` when the chunk is full — the caller triggers a
     /// rebalance and retries.
     pub(crate) fn allocate_entry(&self, key_ref: SliceRef) -> Option<u32> {
+        // Injected exhaustion: the caller frees its speculative key and
+        // rebalances, as if the chunk were full.
+        oak_failpoints::fail_point!("chunk/allocate-entry", None);
         let idx = self.alloc_cursor.fetch_add(1, Ordering::AcqRel);
         if idx >= self.capacity() {
             // Saturate the cursor so it cannot wrap on pathological retry
@@ -341,7 +347,12 @@ impl Chunk {
 
     /// Binary search on the sorted prefix: the largest prefix index whose
     /// key is ≤ `key`, or `None` if the prefix is empty / all keys > `key`.
-    fn prefix_floor<C: KeyComparator>(&self, pool: &MemoryPool, cmp: &C, key: &[u8]) -> Option<u32> {
+    fn prefix_floor<C: KeyComparator>(
+        &self,
+        pool: &MemoryPool,
+        cmp: &C,
+        key: &[u8],
+    ) -> Option<u32> {
         let n = self.sorted_count;
         if n == 0 {
             return None;
@@ -446,8 +457,7 @@ impl Chunk {
                 let hb = self.key_bytes(pool, hint);
                 let hint_usable = cmp.compare(hb, new_key) == std::cmp::Ordering::Less
                     && (pred == NONE
-                        || cmp.compare(self.key_bytes(pool, pred), hb)
-                            == std::cmp::Ordering::Less);
+                        || cmp.compare(self.key_bytes(pool, pred), hb) == std::cmp::Ordering::Less);
                 if hint_usable {
                     pred = hint;
                     succ = self.entry_next(hint);
@@ -455,9 +465,10 @@ impl Chunk {
             }
             // If the floor itself equals the key, report it.
             if pred != NONE
-                && cmp.compare(self.key_bytes(pool, pred), new_key) == std::cmp::Ordering::Equal {
-                    return LinkOutcome::Found(pred);
-                }
+                && cmp.compare(self.key_bytes(pool, pred), new_key) == std::cmp::Ordering::Equal
+            {
+                return LinkOutcome::Found(pred);
+            }
             while succ != NONE {
                 match cmp.compare(self.key_bytes(pool, succ), new_key) {
                     std::cmp::Ordering::Less => {
@@ -579,10 +590,7 @@ mod tests {
         assert_eq!(c.lookup(&p, &Lexicographic, b"b"), None);
         // Linked list is in sorted order.
         let live = c.collect_live(|v| v != 0);
-        let keys: Vec<&[u8]> = live
-            .iter()
-            .map(|(k, _)| unsafe { p.slice(*k) })
-            .collect();
+        let keys: Vec<&[u8]> = live.iter().map(|(k, _)| unsafe { p.slice(*k) }).collect();
         assert_eq!(keys, vec![&b"a"[..], b"c", b"m", b"t", b"x"]);
     }
 

@@ -12,6 +12,10 @@ pub enum OakError {
     /// A zero-copy buffer access raced with a concurrent deletion — the
     /// analogue of Java Oak's `ConcurrentModificationException` (§2.2).
     ConcurrentModification,
+    /// A value-header lock could not be acquired within its bounded
+    /// spin/yield/sleep budget — evidence of a stuck or pathologically slow
+    /// lock holder. The operation had no effect and may be retried.
+    Contended,
 }
 
 impl fmt::Display for OakError {
@@ -20,6 +24,9 @@ impl fmt::Display for OakError {
             OakError::Alloc(e) => write!(f, "allocation failure: {e}"),
             OakError::ConcurrentModification => {
                 write!(f, "buffer access raced with concurrent deletion")
+            }
+            OakError::Contended => {
+                write!(f, "value lock acquisition budget exhausted")
             }
         }
     }
@@ -34,7 +41,10 @@ impl From<AllocError> for OakError {
 }
 
 impl From<oak_mempool::AccessError> for OakError {
-    fn from(_: oak_mempool::AccessError) -> Self {
-        OakError::ConcurrentModification
+    fn from(e: oak_mempool::AccessError) -> Self {
+        match e {
+            oak_mempool::AccessError::Deleted => OakError::ConcurrentModification,
+            oak_mempool::AccessError::Contended => OakError::Contended,
+        }
     }
 }

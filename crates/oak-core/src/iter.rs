@@ -292,9 +292,7 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
             return false; // the first chunk has no predecessor
         }
         let mut prev = match self.map.index.floor_by(
-            |mk| {
-                self.map.cmp.compare(&mk.bytes, &chunk.min_key) == std::cmp::Ordering::Less
-            },
+            |mk| self.map.cmp.compare(&mk.bytes, &chunk.min_key) == std::cmp::Ordering::Less,
             |_, v| v.clone(),
         ) {
             Some(p) => p,

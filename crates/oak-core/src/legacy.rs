@@ -112,11 +112,7 @@ where
     /// serialize back (the whole step *is* made atomic here by the value
     /// write lock, but the object round-trip copying is what the paper's
     /// legacy API costs).
-    pub fn compute_if_present(
-        &self,
-        key: &KS::Item,
-        f: impl Fn(VS::Item) -> VS::Item,
-    ) -> bool {
+    pub fn compute_if_present(&self, key: &KS::Item, f: impl Fn(VS::Item) -> VS::Item) -> bool {
         let kb = self.key_bytes(key);
         self.map.compute_if_present(&kb, |buf| {
             let cur = self.val_serde.deserialize(buf.as_slice());
@@ -138,13 +134,11 @@ where
         let lo_b = lo.map(|k| self.key_bytes(k));
         let hi_b = hi.map(|k| self.key_bytes(k));
         let mut out = Vec::new();
-        self.map.for_each_in(lo_b.as_deref(), hi_b.as_deref(), |k, v| {
-            out.push((
-                self.key_serde.deserialize(k),
-                self.val_serde.deserialize(v),
-            ));
-            true
-        });
+        self.map
+            .for_each_in(lo_b.as_deref(), hi_b.as_deref(), |k, v| {
+                out.push((self.key_serde.deserialize(k), self.val_serde.deserialize(v)));
+                true
+            });
         out
     }
 
@@ -203,10 +197,7 @@ where
         let mut out = Vec::new();
         self.map
             .for_each_descending(from_b.as_deref(), lo_b.as_deref(), |k, v| {
-                out.push((
-                    self.key_serde.deserialize(k),
-                    self.val_serde.deserialize(v),
-                ));
+                out.push((self.key_serde.deserialize(k), self.val_serde.deserialize(v)));
                 true
             });
         out

@@ -62,3 +62,25 @@ pub use error::OakError;
 pub use iter::{DescendIter, EntryIter};
 pub use map::{OakMap, OakStats};
 pub use zc::{SubMapView, ZeroCopyView};
+
+/// Canonical failpoint sites declared by this crate (see the `failpoints`
+/// feature and DESIGN.md "Failure model & panic safety").
+pub const FAILPOINT_SITES: &[oak_failpoints::SiteSpec] = &[
+    oak_failpoints::SiteSpec::errorable("chunk/publish"),
+    oak_failpoints::SiteSpec::passive("chunk/unpublish"),
+    oak_failpoints::SiteSpec::passive("chunk/cas-value"),
+    oak_failpoints::SiteSpec::errorable("chunk/allocate-entry"),
+    oak_failpoints::SiteSpec::passive("rebalance/start"),
+    oak_failpoints::SiteSpec::passive("rebalance/freeze"),
+];
+
+/// All failpoint sites reachable through an [`OakMap`]: this crate's plus
+/// [`oak_mempool::FAILPOINT_SITES`]. Test harnesses generate fault
+/// schedules over this set.
+pub fn all_failpoint_sites() -> Vec<oak_failpoints::SiteSpec> {
+    FAILPOINT_SITES
+        .iter()
+        .chain(oak_mempool::FAILPOINT_SITES)
+        .copied()
+        .collect()
+}

@@ -150,9 +150,8 @@ impl<C: KeyComparator> OakMap<C> {
         loop {
             // Entries sorted and within [min_key, next.min_key).
             let next = c.next_chunk();
-            let items = c.collect_live(|raw| {
-                raw != 0 && !self.store.is_deleted(SliceRef::from_raw(raw))
-            });
+            let items =
+                c.collect_live(|raw| raw != 0 && !self.store.is_deleted(SliceRef::from_raw(raw)));
             let mut prev: Option<&[u8]> = None;
             for (kref, _) in &items {
                 let kb = unsafe { self.pool().slice(*kref) };
@@ -184,8 +183,7 @@ impl<C: KeyComparator> OakMap<C> {
                 Some(n) => {
                     if !c.min_key.is_empty() {
                         assert!(
-                            self.cmp.compare(&c.min_key, &n.min_key)
-                                == std::cmp::Ordering::Less,
+                            self.cmp.compare(&c.min_key, &n.min_key) == std::cmp::Ordering::Less,
                             "chunk ranges not ascending"
                         );
                     }
@@ -223,9 +221,7 @@ impl<C: KeyComparator> OakMap<C> {
                 c = r.clone();
             }
             match c.next_chunk() {
-                Some(n)
-                    if self.cmp.compare(&n.min_key, key) != std::cmp::Ordering::Greater =>
-                {
+                Some(n) if self.cmp.compare(&n.min_key, key) != std::cmp::Ordering::Greater => {
                     c = n;
                 }
                 _ => {
@@ -322,7 +318,7 @@ impl<C: KeyComparator> OakMap<C> {
                                 continue; // deleted under us → retry
                             }
                             PutOp::Compute(f) => {
-                                if self.store.compute(h, |b| f(b)).is_some() {
+                                if self.compute_guarded(h, *f) {
                                     // l.p.: the nested v.compute (§4.5).
                                     return Ok(false);
                                 }
@@ -400,6 +396,25 @@ impl<C: KeyComparator> OakMap<C> {
         }
     }
 
+    /// Runs a user compute closure through [`ValueStore::compute`], keeping
+    /// `len` consistent if the closure panics. The store's panic guard
+    /// poisons the value (logically deleting it), so the pair it belonged
+    /// to is gone from the map; account for that before the panic resumes —
+    /// otherwise `len()` and `validate()` would drift after every poisoning.
+    /// Returns whether the compute ran (value present and not deleted).
+    fn compute_guarded(&self, h: oak_mempool::HeaderRef, f: &dyn Fn(&mut OakWBuffer<'_>)) -> bool {
+        struct LenFixOnPanic<'a>(&'a AtomicUsize);
+        impl Drop for LenFixOnPanic<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let fix = LenFixOnPanic(&self.len);
+        let ran = self.store.compute(h, |b| f(b)).is_some();
+        std::mem::forget(fix);
+        ran
+    }
+
     /// Reclaims a speculative value allocation that was never published.
     fn undo_value(&self, h: oak_mempool::HeaderRef) {
         // Marks deleted and frees the payload; the 16-byte header is
@@ -417,9 +432,7 @@ impl<C: KeyComparator> OakMap<C> {
     /// Triggers a rebalance if the chunk outgrew its sorted prefix
     /// (the paper's reorganization policy, §5.1).
     fn maybe_reorg(&self, c: &Arc<Chunk>) {
-        if c.needs_reorg(self.config.rebalance_unsorted_ratio)
-            || c.allocated() >= c.capacity()
-        {
+        if c.needs_reorg(self.config.rebalance_unsorted_ratio) || c.allocated() >= c.capacity() {
             self.rebalance(c);
         }
     }
@@ -463,7 +476,7 @@ impl<C: KeyComparator> OakMap<C> {
                 // Case 1: value exists and is not deleted.
                 match &op {
                     PresentOp::Compute(f) => {
-                        if self.store.compute(h, |b| f(b)).is_some() {
+                        if self.compute_guarded(h, *f) {
                             // l.p.: successful nested v.compute (line 46).
                             return true;
                         }
@@ -582,11 +595,7 @@ impl<C: KeyComparator> OakMap<C> {
     /// Descending *Set API* iterator from `from` (inclusive; `None` = from
     /// the last key) down to `lo` (inclusive; `None` = unbounded), using
     /// the chunk-local stack algorithm of Figure 2.
-    pub fn iter_descending(
-        &self,
-        from: Option<&[u8]>,
-        lo: Option<&[u8]>,
-    ) -> DescendIter<'_, C> {
+    pub fn iter_descending(&self, from: Option<&[u8]>, lo: Option<&[u8]>) -> DescendIter<'_, C> {
         DescendIter::new(self, from, lo)
     }
 

@@ -39,14 +39,17 @@ impl<C: KeyComparator> OakMap<C> {
     /// Rebalances `chunk` (idempotent: returns immediately if it was
     /// already replaced). Blocks while another thread rebalances it.
     pub(crate) fn rebalance(&self, chunk: &Arc<Chunk>) {
+        oak_failpoints::fail_point!("rebalance/start");
         let _engaged = chunk.rebalance_lock.lock();
         if chunk.replacement().is_some() {
             return;
         }
+        // Perturbation between engage and freeze widens the window in which
+        // writers race the freeze drain.
+        oak_failpoints::fail_point!("rebalance/freeze");
         chunk.freeze();
 
-        let keep =
-            |raw: u64| raw != 0 && !self.store.is_deleted(SliceRef::from_raw(raw));
+        let keep = |raw: u64| raw != 0 && !self.store.is_deleted(SliceRef::from_raw(raw));
         let mut items = chunk.collect_live(keep);
 
         // Merge policy: engage the successor when we are under-used.
@@ -117,10 +120,7 @@ impl<C: KeyComparator> OakMap<C> {
             let cover = new_chunks
                 .iter()
                 .rev()
-                .find(|nc| {
-                    self.cmp.compare(&nc.min_key, &n.min_key)
-                        != std::cmp::Ordering::Greater
-                })
+                .find(|nc| self.cmp.compare(&nc.min_key, &n.min_key) != std::cmp::Ordering::Greater)
                 .unwrap_or(&new_head)
                 .clone();
             n.set_replacement(cover);
@@ -134,9 +134,9 @@ impl<C: KeyComparator> OakMap<C> {
             }
         }
         if let Some(n) = merged_next {
-            let still_a_boundary = new_chunks.iter().any(|nc| {
-                self.cmp.compare(&nc.min_key, &n.min_key) == std::cmp::Ordering::Equal
-            });
+            let still_a_boundary = new_chunks
+                .iter()
+                .any(|nc| self.cmp.compare(&nc.min_key, &n.min_key) == std::cmp::Ordering::Equal);
             if !still_a_boundary {
                 self.index
                     .remove(&MinKey::new(&n.min_key, self.cmp.clone()));

@@ -1,0 +1,386 @@
+//! Tier-2 fault-schedule harness: replays deterministic, seed-derived fault
+//! schedules against an [`OakMap`] while a sequential `BTreeMap` model
+//! tracks the expected contents.
+//!
+//! The contract under test is *fail-before-mutation*: every errorable
+//! failpoint fires before the operation commits anything, so an `Err`
+//! returned from the map means "no effect" — the model simply skips the
+//! update. Passive sites (yield / delay) perturb timing without changing
+//! outcomes. After every run the map must still satisfy `validate()` and
+//! agree with the model key-for-key, byte-for-byte.
+//!
+//! Closure-panic recovery (the `PoisonOnPanic` guard) is exercised by
+//! dedicated `catch_unwind` tests: a panic inside a compute lambda must
+//! poison exactly that value, release its lock, keep `len()` consistent,
+//! and leave the map fully usable.
+//!
+//! Every test holds [`oak_failpoints::scenario`]: the registry is
+//! process-global and the test runner is concurrent.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use oak_core::{all_failpoint_sites, OakMap, OakMapConfig};
+use oak_failpoints::{configure, scenario, Action, FirePolicy, Schedule, SplitMix64};
+use oak_mempool::{PoolConfig, ReclamationPolicy};
+
+const KEYS: u64 = 48;
+const OPS_PER_SEED: usize = 250;
+const SEEDS: u64 = 120;
+
+/// Tiny chunks and arenas: rebalances every few inserts, and the pool is
+/// small enough that injected allocation failures land on live paths.
+fn cramped_config(reclaim: bool) -> OakMapConfig {
+    let policy = if reclaim {
+        ReclamationPolicy::ReclaimHeaders
+    } else {
+        ReclamationPolicy::RetainHeaders
+    };
+    OakMapConfig::small()
+        .chunk_capacity(16)
+        .pool(PoolConfig {
+            arena_size: 8 << 10,
+            max_arenas: 8,
+        })
+        .reclamation(policy)
+}
+
+fn key_bytes(k: u64) -> [u8; 8] {
+    k.to_be_bytes()
+}
+
+/// Variable-length value derived from the workload RNG (8–24 bytes, first
+/// byte reserved for the compute marker).
+fn gen_value(rng: &mut SplitMix64) -> Vec<u8> {
+    let len = rng.range(8, 24) as usize;
+    let tag = rng.next_u64().to_le_bytes();
+    (0..len).map(|i| tag[i % 8]).collect()
+}
+
+const COMPUTE_MARK: u8 = 0xAB;
+
+/// Replays one seeded schedule; returns the number of injections that
+/// fired. Panics on any model divergence or invariant violation.
+fn run_schedule(seed: u64, reclaim: bool) -> u64 {
+    let _s = scenario();
+    let schedule = Schedule::generate(seed, &all_failpoint_sites());
+    schedule.install();
+    let fired_before = oak_failpoints::total_fired();
+
+    let map = OakMap::with_config(cramped_config(reclaim));
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut rng = SplitMix64::new(seed);
+
+    for i in 0..OPS_PER_SEED {
+        let k = rng.below(KEYS);
+        let kb = key_bytes(k);
+        match rng.below(100) {
+            0..=34 => {
+                let v = gen_value(&mut rng);
+                if map.put(&kb, &v).is_ok() {
+                    model.insert(k, v);
+                }
+            }
+            35..=49 => {
+                let v = gen_value(&mut rng);
+                // An Err (injected or real) means no effect on either side.
+                if let Ok(inserted) = map.put_if_absent(&kb, &v) {
+                    assert_eq!(
+                        inserted,
+                        !model.contains_key(&k),
+                        "seed {seed} op {i}: putIfAbsent disagrees with model"
+                    );
+                    if inserted {
+                        model.insert(k, v);
+                    }
+                }
+            }
+            50..=61 => {
+                let v = gen_value(&mut rng);
+                match map.put_if_absent_compute_if_present(&kb, &v, |b| {
+                    b.as_mut_slice()[0] = COMPUTE_MARK;
+                }) {
+                    Ok(true) => {
+                        assert!(!model.contains_key(&k));
+                        model.insert(k, v);
+                    }
+                    Ok(false) => {
+                        model.get_mut(&k).expect("computed a key the model lacks")[0] =
+                            COMPUTE_MARK;
+                    }
+                    Err(_) => {}
+                }
+            }
+            62..=76 => {
+                let removed = map.remove(&kb);
+                assert_eq!(
+                    removed,
+                    model.remove(&k).is_some(),
+                    "seed {seed} op {i}: remove disagrees with model"
+                );
+            }
+            77..=89 => {
+                assert_eq!(
+                    map.get_copy(&kb),
+                    model.get(&k).cloned(),
+                    "seed {seed} op {i}: get disagrees with model"
+                );
+            }
+            _ => {
+                let ran = map.compute_if_present(&kb, |b| {
+                    b.as_mut_slice()[0] = COMPUTE_MARK;
+                });
+                assert_eq!(
+                    ran,
+                    model.contains_key(&k),
+                    "seed {seed} op {i}: computeIfPresent disagrees with model"
+                );
+                if ran {
+                    model.get_mut(&k).unwrap()[0] = COMPUTE_MARK;
+                }
+            }
+        }
+        if i % 50 == 49 {
+            map.validate();
+        }
+    }
+
+    map.validate();
+    assert_eq!(map.len(), model.len(), "seed {seed}: len diverged");
+    for k in 0..KEYS {
+        assert_eq!(
+            map.get_copy(&key_bytes(k)),
+            model.get(&k).cloned(),
+            "seed {seed}: final contents diverged at key {k}"
+        );
+    }
+    assert_eq!(
+        map.pool().stats().poisoned_values,
+        0,
+        "schedules never inject panics, so nothing may be poisoned"
+    );
+    oak_failpoints::total_fired() - fired_before
+}
+
+#[test]
+fn seeded_schedules_match_model() {
+    let mut total_fired = 0;
+    let mut seeds_with_injections = 0;
+    for seed in 0..SEEDS {
+        let fired = run_schedule(seed, seed % 2 == 1);
+        total_fired += fired;
+        if fired > 0 {
+            seeds_with_injections += 1;
+        }
+    }
+    // The harness only proves something if faults actually fire: each seed
+    // configures roughly half the sites, so the vast majority of runs must
+    // see at least one injection.
+    assert!(
+        total_fired > 0,
+        "no faults fired across {SEEDS} schedules — harness is inert"
+    );
+    assert!(
+        seeds_with_injections > SEEDS / 2,
+        "only {seeds_with_injections}/{SEEDS} schedules injected anything"
+    );
+}
+
+/// Final observable state of a replay: map length plus per-key contents.
+type ReplayState = (usize, Vec<(u64, Option<Vec<u8>>)>);
+
+#[test]
+fn same_seed_replays_identically() {
+    for seed in [3u64, 17, 42] {
+        let run = |sd: u64| -> ReplayState {
+            let _s = scenario();
+            Schedule::generate(sd, &all_failpoint_sites()).install();
+            let map = OakMap::with_config(cramped_config(false));
+            let mut rng = SplitMix64::new(sd);
+            for _ in 0..OPS_PER_SEED {
+                let k = key_bytes(rng.below(KEYS));
+                match rng.below(3) {
+                    0 => {
+                        let v = gen_value(&mut rng);
+                        let _ = map.put(&k, &v);
+                    }
+                    1 => {
+                        let _ = map.remove(&k);
+                    }
+                    _ => {
+                        let _ = map.get_copy(&k);
+                    }
+                }
+            }
+            let contents = (0..KEYS)
+                .map(|k| (k, map.get_copy(&key_bytes(k))))
+                .collect();
+            (map.len(), contents)
+        };
+        assert_eq!(
+            run(seed),
+            run(seed),
+            "seed {seed} did not replay identically"
+        );
+    }
+}
+
+#[test]
+fn injected_alloc_failure_propagates_and_counts() {
+    let _s = scenario();
+    let map = OakMap::with_config(cramped_config(false));
+    map.put(b"steady", b"value").unwrap();
+    let failed_before = map.pool().stats().failed_allocs;
+
+    // The very next pool allocation fails; later ones succeed.
+    configure("pool/alloc", Action::ReturnErr, FirePolicy::OnHits(vec![1]));
+    let err = map.put(b"new-key", b"new-value");
+    assert!(err.is_err(), "injected alloc failure must surface as Err");
+    assert_eq!(map.get_copy(b"new-key"), None, "failed put must not insert");
+    assert!(map.pool().stats().failed_allocs > failed_before);
+
+    // The map is unharmed: the same insert now goes through.
+    map.put(b"new-key", b"new-value").unwrap();
+    assert_eq!(map.get_copy(b"new-key").as_deref(), Some(&b"new-value"[..]));
+    assert_eq!(map.get_copy(b"steady").as_deref(), Some(&b"value"[..]));
+    map.validate();
+}
+
+#[test]
+fn panic_in_compute_if_present_poisons_only_that_key() {
+    let _s = scenario();
+    let map = OakMap::with_config(cramped_config(false));
+    for k in 0..8u64 {
+        map.put(&key_bytes(k), &[k as u8; 12]).unwrap();
+    }
+    assert_eq!(map.len(), 8);
+
+    let poisoned = key_bytes(3);
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        map.compute_if_present(&poisoned, |_| panic!("user closure exploded"));
+    }));
+    assert!(unwound.is_err(), "the closure panic must propagate");
+
+    // The poisoned pair is gone; everything else is untouched.
+    assert_eq!(map.get_copy(&poisoned), None);
+    assert_eq!(map.len(), 7);
+    for k in (0..8u64).filter(|&k| k != 3) {
+        assert_eq!(
+            map.get_copy(&key_bytes(k)).as_deref(),
+            Some(&[k as u8; 12][..])
+        );
+    }
+    assert_eq!(map.pool().stats().poisoned_values, 1);
+    map.validate();
+
+    // The map is fully usable — including the poisoned key's slot.
+    assert!(!map.remove(&poisoned), "poisoned value reads as removed");
+    assert!(map.put_if_absent(&poisoned, b"reborn").unwrap());
+    assert_eq!(map.get_copy(&poisoned).as_deref(), Some(&b"reborn"[..]));
+    assert!(map.compute_if_present(&poisoned, |b| b.as_mut_slice()[0] = b'R'));
+    assert_eq!(map.len(), 8);
+    map.validate();
+}
+
+#[test]
+fn panic_in_put_if_absent_compute_if_present_recovers() {
+    let _s = scenario();
+    let map = OakMap::with_config(cramped_config(true));
+    map.put(b"k", b"original").unwrap();
+
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        let _ = map
+            .put_if_absent_compute_if_present(b"k", b"unused", |_| panic!("compute arm exploded"));
+    }));
+    assert!(unwound.is_err());
+
+    assert_eq!(map.get_copy(b"k"), None);
+    assert_eq!(map.len(), 0);
+    map.validate();
+
+    // The absent arm now inserts, exactly as for a removed key.
+    assert!(map
+        .put_if_absent_compute_if_present(b"k", b"fresh", |_| unreachable!())
+        .unwrap());
+    assert_eq!(map.get_copy(b"k").as_deref(), Some(&b"fresh"[..]));
+    assert_eq!(map.len(), 1);
+    map.validate();
+}
+
+#[test]
+fn concurrent_ops_survive_closure_panics() {
+    let _s = scenario();
+    // Roomy reclaiming pool: the workers churn headers far faster than the
+    // cramped fixture tolerates, and this test is about panics, not OOM.
+    let config = OakMapConfig::small()
+        .chunk_capacity(16)
+        .reclamation(ReclamationPolicy::ReclaimHeaders);
+    let map = Arc::new(OakMap::with_config(config));
+    let stop = Arc::new(AtomicBool::new(false));
+    let shared = key_bytes(u64::MAX);
+
+    // Panicker: re-insert the shared key and blow up computing it.
+    let panicker = {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut panics = 0u32;
+            while !stop.load(Ordering::Relaxed) && panics < 50 {
+                map.put(&shared, b"doomed-value").unwrap();
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    map.compute_if_present(&shared, |_| panic!("boom"));
+                }));
+                if r.is_err() {
+                    panics += 1;
+                }
+            }
+            panics
+        })
+    };
+
+    // Workers: ordinary traffic on a disjoint key range.
+    let workers: Vec<_> = (0..3u64)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(t + 1);
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = key_bytes(t * 100 + rng.below(16));
+                    match rng.below(4) {
+                        0 => {
+                            map.put(&k, &gen_value(&mut rng)).unwrap();
+                        }
+                        1 => {
+                            map.remove(&k);
+                        }
+                        2 => {
+                            map.compute_if_present(&k, |b| b.as_mut_slice()[0] = 1);
+                        }
+                        _ => {
+                            map.get_copy(&k);
+                        }
+                    }
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+
+    let panics = panicker.join().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        assert!(w.join().unwrap() > 0);
+    }
+    assert!(panics > 0, "the panicking thread never panicked");
+    assert_eq!(map.pool().stats().poisoned_values as u32, panics);
+
+    // Quiescent now: full invariant check, then prove the map still works.
+    map.validate();
+    map.put(&shared, b"alive").unwrap();
+    assert_eq!(map.get_copy(&shared).as_deref(), Some(&b"alive"[..]));
+}

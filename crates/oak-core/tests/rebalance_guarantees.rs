@@ -53,7 +53,10 @@ fn rb1_stable_keys_survive_rebalance_storms() {
             true
         });
         for &s in &stable {
-            assert!(seen.contains(&s), "RB1 violated: {s} missing after round {round}");
+            assert!(
+                seen.contains(&s),
+                "RB1 violated: {s} missing after round {round}"
+            );
         }
         // RB2: no odd key may linger.
         for &x in &seen {

@@ -87,7 +87,10 @@ fn stale_buffer_views_fail_cleanly_after_recycling() {
     m.remove(&k(1));
     // Force slot reuse by a different key.
     m.put(&k(2), b"squatter").unwrap();
-    assert!(view.to_vec().is_err(), "stale view must not read the squatter");
+    assert!(
+        view.to_vec().is_err(),
+        "stale view must not read the squatter"
+    );
     assert!(view.is_deleted());
     assert_eq!(m.get_copy(&k(2)).unwrap(), b"squatter");
 }

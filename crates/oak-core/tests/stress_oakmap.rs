@@ -191,8 +191,7 @@ fn concurrent_mixed_churn_consistency() {
                     3 => {
                         m.compute_if_present(&kk, |buf| {
                             if buf.len() >= 8 {
-                                let v =
-                                    u64::from_le_bytes(buf.as_slice()[..8].try_into().unwrap());
+                                let v = u64::from_le_bytes(buf.as_slice()[..8].try_into().unwrap());
                                 buf.as_mut_slice()[..8]
                                     .copy_from_slice(&v.wrapping_add(1).to_le_bytes());
                             }

@@ -127,7 +127,12 @@ impl LockedBTreeMap {
         Ok(())
     }
 
-    fn insert_non_full(&self, node: &mut Node, key: &[u8], value: &[u8]) -> Result<bool, AllocError> {
+    fn insert_non_full(
+        &self,
+        node: &mut Node,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, AllocError> {
         match node {
             Node::Internal { keys, children } => {
                 let mut idx = keys.partition_point(|k| k.as_ref() <= key);
@@ -303,10 +308,7 @@ impl LockedBTreeMap {
                             return false;
                         }
                     }
-                    let keep = self
-                        .store
-                        .read(vals[i], |v| f(kb, v))
-                        .unwrap_or(true);
+                    let keep = self.store.read(vals[i], |v| f(kb, v)).unwrap_or(true);
                     *count += 1;
                     if !keep {
                         return false;
@@ -373,7 +375,10 @@ mod tests {
         }
         assert_eq!(t.len() as u32, n);
         for i in 0..n {
-            assert!(t.get(format!("{:08}", i).as_bytes()).is_some(), "missing {i}");
+            assert!(
+                t.get(format!("{:08}", i).as_bytes()).is_some(),
+                "missing {i}"
+            );
         }
         // Full scan is sorted and complete.
         let mut prev: Option<Vec<u8>> = None;
@@ -407,7 +412,8 @@ mod tests {
     fn remove_works() {
         let t = tree();
         for i in 0..500u32 {
-            t.put(format!("{i:04}").as_bytes(), &i.to_le_bytes()).unwrap();
+            t.put(format!("{i:04}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         for i in (0..500u32).step_by(2) {
             assert!(t.remove(format!("{i:04}").as_bytes()));

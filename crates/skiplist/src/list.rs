@@ -205,8 +205,7 @@ where
     /// encounters (the helping protocol).
     fn find<'g>(&self, key: &K, guard: &'g Guard) -> FindResult<'g, K, V> {
         'retry: loop {
-            let mut preds: [*const Node<K, V>; MAX_HEIGHT] =
-                [&*self.head as *const _; MAX_HEIGHT];
+            let mut preds: [*const Node<K, V>; MAX_HEIGHT] = [&*self.head as *const _; MAX_HEIGHT];
             let mut succs: [Shared<'g, Node<K, V>>; MAX_HEIGHT] = [Shared::null(); MAX_HEIGHT];
 
             let mut pred: &Node<K, V> = &self.head;
@@ -595,10 +594,13 @@ where
                 value: new_val,
                 token: val_token,
             });
-            match c
-                .value
-                .compare_exchange(cur, new_box, Ordering::AcqRel, Ordering::Acquire, &guard)
-            {
+            match c.value.compare_exchange(
+                cur,
+                new_box,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
                 Ok(_) => {
                     self.heap.free(vb.token);
                     unsafe { guard.defer_destroy(cur) };
@@ -646,7 +648,9 @@ where
         let guard = epoch::pin();
         let mut curr = match lo {
             Some(k) => self.seek(k, &guard),
-            None => self.head.tower[0].load(Ordering::Acquire, &guard).with_tag(0),
+            None => self.head.tower[0]
+                .load(Ordering::Acquire, &guard)
+                .with_tag(0),
         };
         let mut visited = 0;
         while let Some(c) = unsafe { curr.as_ref() } {
@@ -723,7 +727,9 @@ where
         // Descend to the last node with key ≤/< `key`.
         let mut pred: &Node<K, V> = &self.head;
         for level in (0..MAX_HEIGHT).rev() {
-            let mut curr = pred.tower[level].load(Ordering::Acquire, &guard).with_tag(0);
+            let mut curr = pred.tower[level]
+                .load(Ordering::Acquire, &guard)
+                .with_tag(0);
             while let Some(c) = unsafe { curr.as_ref() } {
                 if in_range(c.key()) {
                     pred = c;
@@ -743,7 +749,9 @@ where
             // SAFETY: `pred` is protected by `guard`.
             Shared::from(pred as *const Node<K, V>)
         } else {
-            self.head.tower[0].load(Ordering::Acquire, &guard).with_tag(0)
+            self.head.tower[0]
+                .load(Ordering::Acquire, &guard)
+                .with_tag(0)
         };
         while let Some(c) = unsafe { scan.as_ref() } {
             if !in_range(c.key()) {
@@ -759,7 +767,9 @@ where
             // Cold path: `pred` and its tail segment were all logically
             // deleted. Fall back to a bottom-level walk from the head — the
             // true floor, if any, lies strictly before `pred`.
-            let mut cursor = self.head.tower[0].load(Ordering::Acquire, &guard).with_tag(0);
+            let mut cursor = self.head.tower[0]
+                .load(Ordering::Acquire, &guard)
+                .with_tag(0);
             while let Some(c) = unsafe { cursor.as_ref() } {
                 if !in_range(c.key()) {
                     break;
@@ -866,7 +876,9 @@ impl<K, V> Drop for SkipListMap<K, V> {
         let mut seen = std::collections::HashSet::new();
         let mut nodes: Vec<Shared<'_, Node<K, V>>> = Vec::new();
         for level in 0..MAX_HEIGHT {
-            let mut curr = self.head.tower[level].load(Ordering::Relaxed, guard).with_tag(0);
+            let mut curr = self.head.tower[level]
+                .load(Ordering::Relaxed, guard)
+                .with_tag(0);
             while let Some(c) = unsafe { curr.as_ref() } {
                 if seen.insert(curr.as_raw() as usize) {
                     nodes.push(curr);
@@ -942,7 +954,11 @@ mod tests {
         for k in [5u64, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
             m.put(k, k.to_string());
         }
-        let keys: Vec<u64> = m.collect_range(None, None).into_iter().map(|(k, _)| k).collect();
+        let keys: Vec<u64> = m
+            .collect_range(None, None)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         assert_eq!(keys, (0..10).collect::<Vec<_>>());
         // Bounded range [3, 7).
         let keys: Vec<u64> = m

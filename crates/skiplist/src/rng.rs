@@ -53,8 +53,16 @@ mod tests {
             counts[h] += 1;
         }
         // Roughly half of all towers are height 1, a quarter height 2, …
-        assert!(counts[1] > 40_000 && counts[1] < 60_000, "h=1: {}", counts[1]);
-        assert!(counts[2] > 17_000 && counts[2] < 33_000, "h=2: {}", counts[2]);
+        assert!(
+            counts[1] > 40_000 && counts[1] < 60_000,
+            "h=1: {}",
+            counts[1]
+        );
+        assert!(
+            counts[2] > 17_000 && counts[2] < 33_000,
+            "h=2: {}",
+            counts[2]
+        );
         assert!(counts[1] > counts[2] && counts[2] > counts[3]);
     }
 

@@ -218,7 +218,11 @@ fn mixed_scan_during_churn_respects_bounds() {
         let snapshot = m.collect_range(Some(&100), Some(&900));
         // Every stable (even) key in range must be present; odd keys may or
         // may not appear; order must be strict.
-        let evens: Vec<u64> = snapshot.iter().map(|(k, _)| *k).filter(|k| k % 2 == 0).collect();
+        let evens: Vec<u64> = snapshot
+            .iter()
+            .map(|(k, _)| *k)
+            .filter(|k| k % 2 == 0)
+            .collect();
         let expect: Vec<u64> = (100..900).step_by(2).collect();
         assert_eq!(evens, expect);
         assert!(snapshot.windows(2).all(|w| w[0].0 < w[1].0));

@@ -26,11 +26,11 @@ fn main() {
         ],
         vec![
             AggSpec::Count,
-            AggSpec::DoubleSum(0),     // latency sum
-            AggSpec::DoubleMin(0),     // latency min
-            AggSpec::DoubleMax(0),     // latency max
-            AggSpec::HllUniqueDim(1),  // approx. distinct users
-            AggSpec::Quantile(0),      // latency quantiles
+            AggSpec::DoubleSum(0),    // latency sum
+            AggSpec::DoubleMin(0),    // latency min
+            AggSpec::DoubleMax(0),    // latency max
+            AggSpec::HllUniqueDim(1), // approx. distinct users
+            AggSpec::Quantile(0),     // latency quantiles
         ],
     );
     let index = OakIndex::new(schema, OakMapConfig::default());

@@ -50,8 +50,7 @@ fn main() {
                     let count = u64::from_le_bytes(buf.as_slice()[..8].try_into().unwrap());
                     let rev = u64::from_le_bytes(buf.as_slice()[8..].try_into().unwrap());
                     buf.as_mut_slice()[..8].copy_from_slice(&(count + 1).to_le_bytes());
-                    buf.as_mut_slice()[8..]
-                        .copy_from_slice(&(rev + revenue_cents).to_le_bytes());
+                    buf.as_mut_slice()[8..].copy_from_slice(&(rev + revenue_cents).to_le_bytes());
                 })
                 .expect("ingest");
                 produced.fetch_add(1, Ordering::Relaxed);

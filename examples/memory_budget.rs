@@ -10,9 +10,9 @@
 //! cargo run --release --example memory_budget
 //! ```
 
-use oak_kv::gcheap::GcStats;
 use oak_bench::memfig::{ingest_oak, ingest_offheap, ingest_onheap, raw_bytes, IngestOutcome};
 use oak_bench::workload::WorkloadConfig;
+use oak_kv::gcheap::GcStats;
 
 fn main() {
     let workload = WorkloadConfig {

@@ -85,7 +85,9 @@ fn writers_readers_scanners_coexist() {
     // The counter's value equals the number of successful computes — no
     // lost updates.
     let ctr = m
-        .get_with(b"aaa-counter", |v| u64::from_le_bytes(v.try_into().unwrap()))
+        .get_with(b"aaa-counter", |v| {
+            u64::from_le_bytes(v.try_into().unwrap())
+        })
         .unwrap();
     assert!(ctr > 0);
 }

@@ -80,7 +80,9 @@ fn row_compute_if_present_zc_is_atomic_in_place() {
     let m = zc_map();
     m.put(b"k", b"aaaa").unwrap();
     let view = m.zc().get(b"k").unwrap();
-    assert!(m.zc().compute_if_present(b"k", |b| b.as_mut_slice().fill(b'z')));
+    assert!(m
+        .zc()
+        .compute_if_present(b"k", |b| b.as_mut_slice().fill(b'z')));
     assert_eq!(view.to_vec().unwrap(), b"zzzz");
     // Legacy compute: object round-trip.
     let t = legacy_map();
@@ -110,7 +112,8 @@ fn row_put_if_absent_compute_if_present() {
 fn row_entry_sets_and_stream_sets() {
     let m = zc_map();
     for i in 0..100u32 {
-        m.put(format!("k{i:03}").as_bytes(), &i.to_le_bytes()).unwrap();
+        m.put(format!("k{i:03}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
     }
     let zc = m.zc();
 

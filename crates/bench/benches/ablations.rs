@@ -10,10 +10,11 @@ mod common;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use oak_bench::adapter::{BTreeAdapter, OakAdapter};
+use oak_bench::adapter::TraitAdapter;
 use oak_bench::driver::{ingest, run_fixed_ops};
 use oak_bench::workload::{Mix, WorkloadConfig};
 use oak_core::{OakMap, OakMapConfig};
+use oak_skiplist::btree::LockedBTreeMap;
 
 fn wl() -> WorkloadConfig {
     WorkloadConfig {
@@ -32,10 +33,13 @@ fn ablate_chunk_size(c: &mut Criterion) {
     common::tune(&mut g);
     g.throughput(Throughput::Elements(1));
     for cap in [64u32, 256, 1024, 4096] {
-        let map = OakAdapter::new(
-            OakMapConfig::default()
-                .chunk_capacity(cap)
-                .pool(common::pool()),
+        let map = TraitAdapter::new(
+            "OakMap",
+            OakMap::with_config(
+                OakMapConfig::default()
+                    .chunk_capacity(cap)
+                    .pool(common::pool()),
+            ),
         );
         ingest(&map, &wl);
         g.bench_with_input(BenchmarkId::new("get", cap), &cap, |b, _| {
@@ -55,7 +59,7 @@ fn ablate_rebalance_policy(c: &mut Criterion) {
     for (label, ratio) in [("bypass-0.5", 0.5f64), ("eager-0.05", 0.05)] {
         let mut cfg = OakMapConfig::default().pool(common::pool());
         cfg.rebalance_unsorted_ratio = ratio;
-        let map = OakAdapter::new(cfg);
+        let map = TraitAdapter::new("OakMap", OakMap::with_config(cfg));
         ingest(&map, &wl);
         g.bench_function(label, |b| {
             b.iter_custom(|iters| run_fixed_ops(&map, &wl, Mix::PutOnly, iters))
@@ -132,9 +136,12 @@ fn ablate_btree(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate_btree");
     common::tune(&mut g);
     g.throughput(Throughput::Elements(1));
-    let oak = OakAdapter::new(OakMapConfig::default().pool(common::pool()));
+    let oak = TraitAdapter::new(
+        "OakMap",
+        OakMap::with_config(OakMapConfig::default().pool(common::pool())),
+    );
     ingest(&oak, &wl);
-    let btree = BTreeAdapter::new(common::pool());
+    let btree = TraitAdapter::new("MapDB-BTree", LockedBTreeMap::new(common::pool()));
     ingest(&btree, &wl);
     g.bench_function("Oak-get", |b| {
         b.iter_custom(|iters| run_fixed_ops(&oak, &wl, Mix::GetZeroCopy, iters))
@@ -164,10 +171,13 @@ fn ablate_reclamation(c: &mut Criterion) {
         ("retain-headers", ReclamationPolicy::RetainHeaders),
         ("reclaim-headers", ReclamationPolicy::ReclaimHeaders),
     ] {
-        let map = OakAdapter::new(
-            OakMapConfig::default()
-                .pool(common::pool())
-                .reclamation(policy),
+        let map = TraitAdapter::new(
+            "OakMap",
+            OakMap::with_config(
+                OakMapConfig::default()
+                    .pool(common::pool())
+                    .reclamation(policy),
+            ),
         );
         ingest(&map, &wl);
         g.bench_function(label, |b| {
@@ -184,7 +194,10 @@ fn ablate_key_skew(c: &mut Criterion) {
     common::tune(&mut g);
     g.throughput(Throughput::Elements(1));
     for (label, wl) in [("uniform", wl()), ("zipf-0.99", wl().zipfian(0.99))] {
-        let map = OakAdapter::new(OakMapConfig::default().pool(common::pool()));
+        let map = TraitAdapter::new(
+            "OakMap",
+            OakMap::with_config(OakMapConfig::default().pool(common::pool())),
+        );
         ingest(&map, &wl);
         g.bench_function(label, |b| {
             b.iter_custom(|iters| run_fixed_ops(&map, &wl, Mix::GetZeroCopy, iters))

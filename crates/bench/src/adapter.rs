@@ -1,25 +1,29 @@
-//! One trait over every compared map, mirroring the artifact's competitor
-//! set: `OakMap` (ZC and Copy), `JavaSkipListMap` (= `Skiplist-OnHeap`),
-//! `OffHeapList` (= `Skiplist-OffHeap`), and the MapDB-style B-tree.
+//! The benchmark-facing adapter over the workspace-wide
+//! [`OrderedKvMap`](oak_core::OrderedKvMap)/[`ZeroCopyRead`] traits.
+//!
+//! Historically this module carried one hand-rolled adapter per
+//! competitor; every compared map now implements the shared traits in
+//! `oak_core`, so a single generic [`TraitAdapter`] covers the whole
+//! artifact competitor set: `OakMap` (ZC and Copy), `ShardedOak-N`,
+//! `JavaSkipListMap` (= `Skiplist-OnHeap`), `OffHeapList`
+//! (= `Skiplist-OffHeap`), and the MapDB-style B-tree.
 
 use std::hint::black_box;
-use std::sync::Arc;
 
-use oak_core::{OakMap, OakMapConfig};
-use oak_gcheap::{layout, HeapModel, NoopHeap};
-use oak_mempool::PoolConfig;
-use oak_skiplist::btree::LockedBTreeMap;
-use oak_skiplist::offheap::OffHeapSkipListMap;
-use oak_skiplist::SkipListMap;
-
-use parking_lot::Mutex;
+use oak_core::ZeroCopyRead;
 
 /// Uniform interface for the benchmark driver. All methods take serialized
 /// keys/values; `touch`-style reads consume the value bytes through
 /// `black_box` so the compiler cannot elide the access.
 pub trait MapAdapter: Send + Sync {
     /// Solution name for reports (artifact names).
-    fn name(&self) -> &'static str;
+    fn name(&self) -> &str;
+
+    /// Shard count behind this solution (1 for unsharded maps); surfaced
+    /// as a report column.
+    fn shards(&self) -> usize {
+        1
+    }
 
     /// Insert or replace.
     fn put(&self, key: &[u8], value: &[u8]);
@@ -63,73 +67,80 @@ pub trait MapAdapter: Send + Sync {
     }
 }
 
-fn bump8(buf: &mut [u8]) {
+pub(crate) fn bump8(buf: &mut [u8]) {
     if buf.len() >= 8 {
         let v = u64::from_le_bytes(buf[..8].try_into().unwrap());
         buf[..8].copy_from_slice(&v.wrapping_add(1).to_le_bytes());
     }
 }
 
-// ---------------------------------------------------------------------------
-// Oak
-// ---------------------------------------------------------------------------
-
-/// Oak through its zero-copy API (`OakMap` in the artifact).
-pub struct OakAdapter {
-    map: OakMap,
-    /// When set, gets deserialize a copy — the `Oak-Copy` legacy curves.
+/// The one [`MapAdapter`] implementation: wraps any map implementing
+/// [`ZeroCopyRead`] (which every compared solution does).
+///
+/// `copy_mode` redirects `get_zc` through the copying path, producing the
+/// `Oak-Copy` legacy curves of Fig 4c on the same underlying map.
+pub struct TraitAdapter<M: ZeroCopyRead> {
+    name: String,
+    map: M,
     copy_mode: bool,
+    shards: usize,
 }
 
-impl OakAdapter {
-    /// Creates an Oak adapter with the given map configuration.
-    pub fn new(config: OakMapConfig) -> Self {
-        OakAdapter {
-            map: OakMap::with_config(config),
+impl<M: ZeroCopyRead> TraitAdapter<M> {
+    /// Wraps `map` under the given report name.
+    pub fn new(name: impl Into<String>, map: M) -> Self {
+        TraitAdapter {
+            name: name.into(),
+            map,
             copy_mode: false,
+            shards: 1,
         }
     }
 
-    /// Same map, but gets go through the copying path (Fig 4c `Oak-Copy`).
-    pub fn new_copy_mode(config: OakMapConfig) -> Self {
-        OakAdapter {
-            map: OakMap::with_config(config),
-            copy_mode: true,
-        }
+    /// Routes `get_zc` through the copying path (Fig 4c `Oak-Copy`).
+    #[must_use]
+    pub fn copy_mode(mut self) -> Self {
+        self.copy_mode = true;
+        self
+    }
+
+    /// Records the shard count reported next to throughput.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// The wrapped map (for footprint stats).
-    pub fn map(&self) -> &OakMap {
+    pub fn map(&self) -> &M {
         &self.map
     }
 }
 
-impl MapAdapter for OakAdapter {
-    fn name(&self) -> &'static str {
-        if self.copy_mode {
-            "Oak-Copy"
-        } else {
-            "OakMap"
-        }
+impl<M: ZeroCopyRead> MapAdapter for TraitAdapter<M> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn shards(&self) -> usize {
+        self.shards
     }
 
     fn put(&self, key: &[u8], value: &[u8]) {
-        self.map.put(key, value).expect("oak put");
+        self.map.put(key, value).expect("put");
     }
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> bool {
-        self.map.put_if_absent(key, value).expect("oak putIfAbsent")
+        self.map.put_if_absent(key, value).expect("putIfAbsent")
     }
 
     fn get_zc(&self, key: &[u8]) -> bool {
         if self.copy_mode {
             return self.get_copy(key).is_some();
         }
-        self.map
-            .get_with(key, |v| {
-                black_box(v.iter().fold(0u64, |a, &b| a.wrapping_add(b as u64)));
-            })
-            .is_some()
+        self.map.read_with(key, &mut |v| {
+            black_box(v.iter().fold(0u64, |a, &b| a.wrapping_add(u64::from(b))));
+        })
     }
 
     fn get_copy(&self, key: &[u8]) -> Option<Vec<u8>> {
@@ -139,8 +150,7 @@ impl MapAdapter for OakAdapter {
     }
 
     fn compute8(&self, key: &[u8]) -> bool {
-        self.map
-            .compute_if_present(key, |buf| bump8(buf.as_mut_slice()))
+        self.map.compute_if_present(key, &bump8)
     }
 
     fn remove(&self, key: &[u8]) -> bool {
@@ -148,48 +158,33 @@ impl MapAdapter for OakAdapter {
     }
 
     fn ascend(&self, from: &[u8], len: usize, stream: bool) -> usize {
+        let mut n = 0;
+        let mut touch = |k: &[u8], v: &[u8]| {
+            black_box((k.len(), v.len()));
+            n += 1;
+            n < len
+        };
         if stream {
-            let mut n = 0;
-            self.map.for_each_in(Some(from), None, |k, v| {
-                black_box((k.len(), v.len()));
-                n += 1;
-                n < len
-            });
-            n
+            self.map.ascend(Some(from), None, &mut touch)
         } else {
-            let mut n = 0;
-            for (k, v) in self.map.iter_range(Some(from), None) {
-                black_box(k.len().unwrap_or(0));
-                black_box(v.len().unwrap_or(0));
-                n += 1;
-                if n >= len {
-                    break;
-                }
-            }
-            n
+            // Set API (per-entry objects) where the solution distinguishes
+            // one — the slower Fig 4e variant; baselines fall back to the
+            // stream scan.
+            self.map.ascend_entries(Some(from), None, &mut touch)
         }
     }
 
     fn descend(&self, from: &[u8], len: usize, stream: bool) -> usize {
+        let mut n = 0;
+        let mut touch = |k: &[u8], v: &[u8]| {
+            black_box((k.len(), v.len()));
+            n += 1;
+            n < len
+        };
         if stream {
-            let mut n = 0;
-            self.map.for_each_descending(Some(from), None, |k, v| {
-                black_box((k.len(), v.len()));
-                n += 1;
-                n < len
-            });
-            n
+            self.map.descend(Some(from), None, &mut touch)
         } else {
-            let mut n = 0;
-            for (k, v) in self.map.iter_descending(Some(from), None) {
-                black_box(k.len().unwrap_or(0));
-                black_box(v.len().unwrap_or(0));
-                n += 1;
-                if n >= len {
-                    break;
-                }
-            }
-            n
+            self.map.descend_entries(Some(from), None, &mut touch)
         }
     }
 
@@ -198,289 +193,6 @@ impl MapAdapter for OakAdapter {
     }
 
     fn pool_stats(&self) -> Option<oak_mempool::PoolStats> {
-        Some(self.map.pool().stats())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Skiplist-OnHeap (JavaSkipListMap)
-// ---------------------------------------------------------------------------
-
-/// The `ConcurrentSkipListMap` baseline: on-heap nodes, boxed keys and
-/// values, in-place (locked) 8-byte updates as the paper's merge workload
-/// does not grow the object count.
-pub struct OnHeapSkipListAdapter {
-    list: SkipListMap<Vec<u8>, Mutex<Vec<u8>>>,
-}
-
-impl OnHeapSkipListAdapter {
-    /// Creates the baseline without heap simulation.
-    pub fn new() -> Self {
-        Self::with_heap(Arc::new(NoopHeap))
-    }
-
-    /// Creates the baseline charging a simulated JVM heap.
-    pub fn with_heap(heap: Arc<dyn HeapModel>) -> Self {
-        OnHeapSkipListAdapter {
-            list: SkipListMap::with_heap(
-                heap,
-                |k: &Vec<u8>| layout::boxed_bytes(k.len()),
-                |v: &Mutex<Vec<u8>>| layout::boxed_bytes(v.lock().len()),
-            ),
-        }
-    }
-}
-
-impl Default for OnHeapSkipListAdapter {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl MapAdapter for OnHeapSkipListAdapter {
-    fn name(&self) -> &'static str {
-        "JavaSkipListMap"
-    }
-
-    fn put(&self, key: &[u8], value: &[u8]) {
-        self.list.put(key.to_vec(), Mutex::new(value.to_vec()));
-    }
-
-    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> bool {
-        self.list
-            .put_if_absent(key.to_vec(), Mutex::new(value.to_vec()))
-    }
-
-    fn get_zc(&self, key: &[u8]) -> bool {
-        // No zero-copy API: reading still goes through the boxed value.
-        self.list
-            .get_with(&key.to_vec(), |v| {
-                let g = v.lock();
-                black_box(g.iter().fold(0u64, |a, &b| a.wrapping_add(b as u64)));
-            })
-            .is_some()
-    }
-
-    fn get_copy(&self, key: &[u8]) -> Option<Vec<u8>> {
-        self.list.get_with(&key.to_vec(), |v| v.lock().clone())
-    }
-
-    fn compute8(&self, key: &[u8]) -> bool {
-        self.list
-            .get_with(&key.to_vec(), |v| bump8(&mut v.lock()))
-            .is_some()
-    }
-
-    fn remove(&self, key: &[u8]) -> bool {
-        self.list.remove(&key.to_vec())
-    }
-
-    fn ascend(&self, from: &[u8], len: usize, _stream: bool) -> usize {
-        let mut n = 0;
-        self.list
-            .for_each_range(Some(&from.to_vec()), None, |k, v| {
-                black_box((k.len(), v.lock().len()));
-                n += 1;
-                n < len
-            });
-        n
-    }
-
-    fn descend(&self, from: &[u8], len: usize, _stream: bool) -> usize {
-        // One fresh O(log N) lookup per key — the CSLM behaviour.
-        let mut n = 0;
-        self.list.for_each_descending(&from.to_vec(), None, |k, v| {
-            black_box((k.len(), v.lock().len()));
-            n += 1;
-            n < len
-        });
-        n
-    }
-
-    fn len(&self) -> usize {
-        self.list.len()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Skiplist-OffHeap (OffHeapList)
-// ---------------------------------------------------------------------------
-
-/// The `Skiplist-OffHeap` baseline.
-pub struct OffHeapSkipListAdapter {
-    map: OffHeapSkipListMap,
-}
-
-impl OffHeapSkipListAdapter {
-    /// Creates the baseline over a pool with the given configuration.
-    pub fn new(pool: PoolConfig) -> Self {
-        OffHeapSkipListAdapter {
-            map: OffHeapSkipListMap::new(pool),
-        }
-    }
-
-    /// With simulated heap accounting for the on-heap cells.
-    pub fn with_heap(pool: PoolConfig, heap: Arc<dyn HeapModel>) -> Self {
-        OffHeapSkipListAdapter {
-            map: OffHeapSkipListMap::with_heap(pool, heap),
-        }
-    }
-
-    /// The wrapped map.
-    pub fn map(&self) -> &OffHeapSkipListMap {
-        &self.map
-    }
-}
-
-impl MapAdapter for OffHeapSkipListAdapter {
-    fn name(&self) -> &'static str {
-        "OffHeapList"
-    }
-
-    fn put(&self, key: &[u8], value: &[u8]) {
-        self.map.put(key, value).expect("offheap put");
-    }
-
-    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> bool {
-        self.map
-            .put_if_absent(key, value)
-            .expect("offheap putIfAbsent")
-    }
-
-    fn get_zc(&self, key: &[u8]) -> bool {
-        self.map
-            .get_with(key, |v| {
-                black_box(v.iter().fold(0u64, |a, &b| a.wrapping_add(b as u64)));
-            })
-            .is_some()
-    }
-
-    fn get_copy(&self, key: &[u8]) -> Option<Vec<u8>> {
-        self.map.get(key)
-    }
-
-    fn compute8(&self, key: &[u8]) -> bool {
-        self.map
-            .compute_if_present(key, |buf| bump8(buf.as_mut_slice()))
-    }
-
-    fn remove(&self, key: &[u8]) -> bool {
-        self.map.remove(key)
-    }
-
-    fn ascend(&self, from: &[u8], len: usize, _stream: bool) -> usize {
-        let mut n = 0;
-        self.map.for_each_range(Some(from), None, |k, v| {
-            black_box((k.len(), v.len()));
-            n += 1;
-            n < len
-        });
-        n
-    }
-
-    fn descend(&self, from: &[u8], len: usize, _stream: bool) -> usize {
-        let mut n = 0;
-        self.map.for_each_descending(from, None, |k, v| {
-            black_box((k.len(), v.len()));
-            n += 1;
-            n < len
-        });
-        n
-    }
-
-    fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    fn pool_stats(&self) -> Option<oak_mempool::PoolStats> {
-        Some(self.map.pool().stats())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// MapDB stand-in
-// ---------------------------------------------------------------------------
-
-/// The coarse-locked off-heap B+-tree (MapDB comparator).
-pub struct BTreeAdapter {
-    tree: LockedBTreeMap,
-}
-
-impl BTreeAdapter {
-    /// Creates the comparator over a pool with the given configuration.
-    pub fn new(pool: PoolConfig) -> Self {
-        BTreeAdapter {
-            tree: LockedBTreeMap::new(pool),
-        }
-    }
-}
-
-impl MapAdapter for BTreeAdapter {
-    fn name(&self) -> &'static str {
-        "MapDB-BTree"
-    }
-
-    fn put(&self, key: &[u8], value: &[u8]) {
-        self.tree.put(key, value).expect("btree put");
-    }
-
-    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> bool {
-        if self.tree.get_with(key, |_| ()).is_some() {
-            return false;
-        }
-        self.tree.put(key, value).expect("btree put");
-        true
-    }
-
-    fn get_zc(&self, key: &[u8]) -> bool {
-        self.tree
-            .get_with(key, |v| {
-                black_box(v.iter().fold(0u64, |a, &b| a.wrapping_add(b as u64)));
-            })
-            .is_some()
-    }
-
-    fn get_copy(&self, key: &[u8]) -> Option<Vec<u8>> {
-        self.tree.get(key)
-    }
-
-    fn compute8(&self, key: &[u8]) -> bool {
-        // Read-modify-write under the coarse lock structure: get + put.
-        match self.tree.get(key) {
-            Some(mut v) => {
-                bump8(&mut v);
-                self.tree.put(key, &v).expect("btree put");
-                true
-            }
-            None => false,
-        }
-    }
-
-    fn remove(&self, key: &[u8]) -> bool {
-        self.tree.remove(key)
-    }
-
-    fn ascend(&self, from: &[u8], len: usize, _stream: bool) -> usize {
-        let mut n = 0;
-        self.tree.for_each_range(Some(from), None, |k, v| {
-            black_box((k.len(), v.len()));
-            n += 1;
-            n < len
-        });
-        n
-    }
-
-    fn descend(&self, _from: &[u8], _len: usize, _stream: bool) -> usize {
-        // MapDB-style trees have no reverse cursor in this stand-in; the
-        // paper omits MapDB from the scan plots as well.
-        0
-    }
-
-    fn len(&self) -> usize {
-        self.tree.len()
-    }
-
-    fn pool_stats(&self) -> Option<oak_mempool::PoolStats> {
-        Some(self.tree.pool().stats())
+        self.map.pool_stats()
     }
 }

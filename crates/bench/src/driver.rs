@@ -167,8 +167,10 @@ pub fn run_fixed_ops(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adapter::{OakAdapter, OnHeapSkipListAdapter};
-    use oak_core::OakMapConfig;
+    use crate::adapter::TraitAdapter;
+    use oak_core::{OakMap, OakMapConfig};
+    use oak_skiplist::SkipListMap;
+    use parking_lot::Mutex;
 
     fn tiny() -> WorkloadConfig {
         WorkloadConfig {
@@ -183,7 +185,7 @@ mod tests {
     #[test]
     fn ingest_fills_half_the_range() {
         let config = tiny();
-        let map = OakAdapter::new(OakMapConfig::small());
+        let map = TraitAdapter::new("OakMap", OakMap::with_config(OakMapConfig::small()));
         let (inserted, _) = ingest(&map, &config);
         assert_eq!(inserted, 250);
         assert_eq!(map.len(), 250);
@@ -192,7 +194,10 @@ mod tests {
     #[test]
     fn sustained_runs_all_mixes() {
         let config = tiny();
-        let map: Arc<dyn MapAdapter> = Arc::new(OakAdapter::new(OakMapConfig::small()));
+        let map: Arc<dyn MapAdapter> = Arc::new(TraitAdapter::new(
+            "OakMap",
+            OakMap::with_config(OakMapConfig::small()),
+        ));
         ingest(map.as_ref(), &config);
         for mix in [
             Mix::PutOnly,
@@ -226,7 +231,10 @@ mod tests {
     #[test]
     fn fixed_ops_deterministic_progress() {
         let config = tiny();
-        let map = OnHeapSkipListAdapter::new();
+        let map = TraitAdapter::new(
+            "JavaSkipListMap",
+            SkipListMap::<Vec<u8>, Mutex<Vec<u8>>>::new(),
+        );
         ingest(&map, &config);
         let d = run_fixed_ops(&map, &config, Mix::GetZeroCopy, 1_000);
         assert!(d.as_nanos() > 0);

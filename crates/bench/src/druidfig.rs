@@ -129,6 +129,7 @@ fn push(summary: &mut Summary, scenario: &str, bench: &str, ram: u64, n: u64, o:
         heap_bytes: ram,
         direct_bytes: 0,
         threads: 1,
+        shards: 1,
         final_size: n as usize,
         mops,
         note,
@@ -213,6 +214,7 @@ pub fn fig5c(tuple_counts: &[u64]) -> Summary {
                 heap_bytes: bytes,
                 direct_bytes: 0,
                 threads: 1,
+                shards: 1,
                 final_size: n as usize,
                 mops: bytes as f64 / raw.max(1) as f64, // overhead ratio
                 note: format!("{bytes} bytes"),

@@ -6,11 +6,12 @@
 //! `putIfAbsent`, then a sustained-rate stage running an operation mix on
 //! symmetric worker threads; output is a `summary.csv`-style table.
 //!
-//! The [`adapter`] module wraps every compared solution behind one trait:
-//! Oak (ZC and Copy), `Skiplist-OnHeap`, `Skiplist-OffHeap`, and the MapDB
-//! stand-in B-tree. [`driver`] runs the stages; [`scenarios`] defines one
-//! entry per paper figure; [`memfig`] and [`druidfig`] build the memory
-//! (Fig 3) and Druid (Fig 5) experiments.
+//! The [`adapter`] module wraps every compared solution behind one generic
+//! adapter over the workspace-wide `OrderedKvMap` trait: Oak (ZC and
+//! Copy), `ShardedOak-N`, `Skiplist-OnHeap`, `Skiplist-OffHeap`, and the
+//! MapDB stand-in B-tree. [`driver`] runs the stages; [`scenarios`]
+//! defines one entry per paper figure; [`memfig`] and [`druidfig`] build
+//! the memory (Fig 3) and Druid (Fig 5) experiments.
 
 #![warn(missing_docs)]
 

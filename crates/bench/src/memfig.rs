@@ -203,6 +203,7 @@ fn push_row(
         heap_bytes: ram,
         direct_bytes: 0,
         threads: 1,
+        shards: 1,
         final_size: n as usize,
         mops,
         note,

@@ -1,7 +1,7 @@
 //! summary.csv-style reporting, following the artifact appendix layout:
 //!
 //! ```text
-//! Scenario, Bench, Heap size, Direct Mem, #Threads, Final Size, Throughput
+//! Scenario, Bench, Heap size, Direct Mem, #Threads, Shards, Final Size, Throughput
 //! ```
 
 use std::fmt::Write as _;
@@ -19,6 +19,8 @@ pub struct Row {
     pub direct_bytes: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Shards behind the solution (1 for unsharded maps).
+    pub shards: usize,
     /// Map size after ingestion.
     pub final_size: usize,
     /// Millions of operations per second (artifact unit).
@@ -82,7 +84,7 @@ impl Summary {
     /// failure columns (blank for solutions without an off-heap pool).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "Scenario,Bench,Heap size,Direct Mem,#Threads,Final Size,Throughput,Note,\
+            "Scenario,Bench,Heap size,Direct Mem,#Threads,Shards,Final Size,Throughput,Note,\
              LockRetries,ContendedAborts,FailedAllocs,PoisonedValues\n",
         );
         for r in &self.rows {
@@ -95,12 +97,13 @@ impl Summary {
             };
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{:.6},{},{}",
+                "{},{},{},{},{},{},{},{:.6},{},{}",
                 r.scenario,
                 r.bench,
                 human_bytes(r.heap_bytes),
                 human_bytes(r.direct_bytes),
                 r.threads,
+                r.shards,
                 r.final_size,
                 r.mops,
                 r.note,
@@ -113,8 +116,16 @@ impl Summary {
     /// Renders an aligned table for the terminal.
     pub fn to_table(&self) -> String {
         let mut out = format!(
-            "{:<28} {:<16} {:>9} {:>9} {:>8} {:>11} {:>12}  {}\n",
-            "Scenario", "Bench", "Heap", "DirectMem", "Threads", "FinalSize", "Mops/s", "Note"
+            "{:<28} {:<16} {:>9} {:>9} {:>8} {:>7} {:>11} {:>12}  {}\n",
+            "Scenario",
+            "Bench",
+            "Heap",
+            "DirectMem",
+            "Threads",
+            "Shards",
+            "FinalSize",
+            "Mops/s",
+            "Note"
         );
         for r in &self.rows {
             // Contention details only when something actually went wrong:
@@ -134,12 +145,13 @@ impl Summary {
             }
             let _ = writeln!(
                 out,
-                "{:<28} {:<16} {:>9} {:>9} {:>8} {:>11} {:>12.4}  {}",
+                "{:<28} {:<16} {:>9} {:>9} {:>8} {:>7} {:>11} {:>12.4}  {}",
                 r.scenario,
                 r.bench,
                 human_bytes(r.heap_bytes),
                 human_bytes(r.direct_bytes),
                 r.threads,
+                r.shards,
                 r.final_size,
                 r.mops,
                 note
@@ -175,6 +187,7 @@ mod tests {
             heap_bytes: 12 << 30,
             direct_bytes: 20 << 30,
             threads: 4,
+            shards: 1,
             final_size: 10_000_000,
             mops: 1.5,
             note: String::new(),
@@ -182,7 +195,8 @@ mod tests {
         });
         let csv = s.to_csv();
         assert!(csv.starts_with("Scenario,Bench,"));
-        assert!(csv.contains("4a-put,OakMap,12g,20g,4,10000000,1.500000,"));
+        assert!(csv.contains("#Threads,Shards,Final Size"));
+        assert!(csv.contains("4a-put,OakMap,12g,20g,4,1,10000000,1.500000,"));
         assert!(s.to_table().contains("OakMap"));
     }
 
@@ -195,6 +209,7 @@ mod tests {
             heap_bytes: 0,
             direct_bytes: 1 << 30,
             threads: 2,
+            shards: 4,
             final_size: 10,
             mops: 0.5,
             note: String::new(),

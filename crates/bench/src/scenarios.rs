@@ -3,12 +3,14 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use oak_core::OakMapConfig;
+use oak_core::{OakMapConfig, ShardedOakMap};
 use oak_mempool::PoolConfig;
+use oak_skiplist::btree::LockedBTreeMap;
+use oak_skiplist::offheap::OffHeapSkipListMap;
+use oak_skiplist::SkipListMap;
+use parking_lot::Mutex;
 
-use crate::adapter::{
-    BTreeAdapter, MapAdapter, OakAdapter, OffHeapSkipListAdapter, OnHeapSkipListAdapter,
-};
+use crate::adapter::{MapAdapter, TraitAdapter};
 use crate::driver::{ingest, sustained};
 use crate::report::{RobustnessStats, Row, Summary};
 use crate::workload::{Mix, WorkloadConfig};
@@ -74,27 +76,46 @@ pub const SCENARIOS: &[Scenario] = &[
     },
 ];
 
+/// The default sharded competitor: four hash-routed shards.
+pub const SHARDED_DEFAULT: &str = "ShardedOak-4";
+
 /// Which solutions a scenario runs on (Oak-Copy only for `4c-get-copy`,
-/// stream scans only for Oak, per the artifact).
+/// stream scans only for the Oak variants, per the artifact).
 pub fn competitors_for(label: &str) -> Vec<&'static str> {
     match label {
         "4c-get-copy" => vec!["Oak-Copy", "JavaSkipListMap", "OffHeapList"],
-        l if l.contains("StreamSet") => vec!["OakMap"],
-        _ => vec!["OakMap", "JavaSkipListMap", "OffHeapList"],
+        l if l.contains("StreamSet") => vec!["OakMap", SHARDED_DEFAULT],
+        _ => vec!["OakMap", SHARDED_DEFAULT, "JavaSkipListMap", "OffHeapList"],
     }
 }
 
-/// Builds an adapter by artifact name.
+/// Builds an adapter by artifact name. `ShardedOak-N` builds an N-shard
+/// [`ShardedOakMap`] with hash-prefix routing.
 pub fn build(name: &str, pool: PoolConfig, chunk_capacity: u32) -> Arc<dyn MapAdapter> {
     let oak_cfg = OakMapConfig::default()
         .chunk_capacity(chunk_capacity)
         .pool(pool.clone());
+    if let Some(n) = name.strip_prefix("ShardedOak-") {
+        let shards: usize = n.parse().expect("shard count in ShardedOak-N");
+        return Arc::new(
+            TraitAdapter::new(name, ShardedOakMap::with_config(shards, oak_cfg))
+                .with_shards(shards),
+        );
+    }
     match name {
-        "OakMap" => Arc::new(OakAdapter::new(oak_cfg)),
-        "Oak-Copy" => Arc::new(OakAdapter::new_copy_mode(oak_cfg)),
-        "JavaSkipListMap" => Arc::new(OnHeapSkipListAdapter::new()),
-        "OffHeapList" => Arc::new(OffHeapSkipListAdapter::new(pool)),
-        "MapDB-BTree" => Arc::new(BTreeAdapter::new(pool)),
+        "OakMap" => Arc::new(TraitAdapter::new(
+            name,
+            oak_core::OakMap::with_config(oak_cfg),
+        )),
+        "Oak-Copy" => {
+            Arc::new(TraitAdapter::new(name, oak_core::OakMap::with_config(oak_cfg)).copy_mode())
+        }
+        "JavaSkipListMap" => Arc::new(TraitAdapter::new(
+            name,
+            SkipListMap::<Vec<u8>, Mutex<Vec<u8>>>::new(),
+        )),
+        "OffHeapList" => Arc::new(TraitAdapter::new(name, OffHeapSkipListMap::new(pool))),
+        "MapDB-BTree" => Arc::new(TraitAdapter::new(name, LockedBTreeMap::new(pool))),
         other => panic!("unknown competitor {other}"),
     }
 }
@@ -131,6 +152,7 @@ pub fn run_scenario(
                 heap_bytes: 0,
                 direct_bytes: (pool.arena_size * pool.max_arenas) as u64,
                 threads: t,
+                shards: map.shards(),
                 final_size: r.final_size,
                 mops: r.mops_per_sec(),
                 note: String::new(),
@@ -163,11 +185,27 @@ mod tests {
             "JavaSkipListMap",
             "OffHeapList",
             "MapDB-BTree",
+            "ShardedOak-4",
         ] {
             let m = build(name, PoolConfig::small(), 64);
             m.put(b"k", b"v");
             assert!(m.get_zc(b"k"), "{name}");
             assert_eq!(m.len(), 1);
+            let want = if name == "ShardedOak-4" { 4 } else { 1 };
+            assert_eq!(m.shards(), want, "{name}");
+        }
+    }
+
+    #[test]
+    fn sharded_competitor_in_every_scan_scenario() {
+        for s in SCENARIOS {
+            if s.label.starts_with("4e") || s.label.starts_with("4f") {
+                assert!(
+                    competitors_for(s.label).contains(&SHARDED_DEFAULT),
+                    "{} misses the sharded competitor",
+                    s.label
+                );
+            }
         }
     }
 
@@ -191,7 +229,11 @@ mod tests {
             &mut summary,
             false,
         );
-        assert_eq!(summary.rows().len(), 3); // three competitors
+        assert_eq!(summary.rows().len(), 4); // four competitors
         assert!(summary.rows().iter().all(|r| r.mops > 0.0));
+        assert!(summary
+            .rows()
+            .iter()
+            .any(|r| r.bench == SHARDED_DEFAULT && r.shards == 4));
     }
 }

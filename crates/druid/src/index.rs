@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use oak_core::{OakError, OakMap, OakMapConfig};
+use oak_core::{OakError, OakMap, OakMapConfig, OakStatsSource, OrderedKvMap};
 use oak_gcheap::{layout, HeapModel, NoopHeap};
 use oak_skiplist::SkipListMap;
 
@@ -87,6 +87,11 @@ fn decode_ts(key: &[u8]) -> i64 {
 
 /// The Oak-backed incremental index (the paper's I²-Oak prototype).
 ///
+/// Generic over the backing map: any [`OrderedKvMap`] that also reports
+/// Oak-shaped statistics ([`OakStatsSource`]) works, so the same index
+/// runs over a single [`OakMap`] (the default) or a
+/// [`ShardedOakMap`](oak_core::ShardedOakMap) via [`OakIndex::with_map`].
+///
 /// ```
 /// use oak_core::OakMapConfig;
 /// use oak_druid::agg::{AggSpec, AggValue};
@@ -112,10 +117,10 @@ fn decode_ts(key: &[u8]) -> i64 {
 ///     true
 /// });
 /// ```
-pub struct OakIndex {
+pub struct OakIndex<M: OrderedKvMap + OakStatsSource = OakMap> {
     schema: Schema,
     dicts: Vec<Dictionary>,
-    map: OakMap,
+    map: M,
     chunk_capacity: u32,
     /// Plain-mode row id generator (gives raw rows unique keys).
     row_id: AtomicU64,
@@ -124,21 +129,31 @@ pub struct OakIndex {
 impl OakIndex {
     /// Creates an index over a fresh Oak map.
     pub fn new(schema: Schema, config: OakMapConfig) -> Self {
+        let chunk_capacity = config.chunk_capacity;
+        Self::with_map(schema, OakMap::with_config(config), chunk_capacity)
+    }
+}
+
+impl<M: OrderedKvMap + OakStatsSource> OakIndex<M> {
+    /// Creates an index over an existing map (e.g. a pre-built
+    /// [`ShardedOakMap`](oak_core::ShardedOakMap)). `chunk_capacity` is
+    /// the per-chunk entry count used for metadata estimation in
+    /// [`footprint`](IncrementalIndex::footprint).
+    pub fn with_map(schema: Schema, map: M, chunk_capacity: u32) -> Self {
         let dicts = (0..schema.dimensions.len())
             .map(|_| Dictionary::new())
             .collect();
-        let chunk_capacity = config.chunk_capacity;
         OakIndex {
             schema,
             dicts,
-            map: OakMap::with_config(config),
+            map,
             chunk_capacity,
             row_id: AtomicU64::new(0),
         }
     }
 
-    /// The underlying Oak map.
-    pub fn map(&self) -> &OakMap {
+    /// The underlying map.
+    pub fn map(&self) -> &M {
         &self.map
     }
 
@@ -154,7 +169,7 @@ impl OakIndex {
     }
 }
 
-impl IncrementalIndex for OakIndex {
+impl<M: OrderedKvMap + OakStatsSource> IncrementalIndex for OakIndex<M> {
     fn insert(&self, row: &InputRow) -> Result<(), OakError> {
         let mut key = Vec::with_capacity(self.schema.key_size() + 8);
         encode_key(&self.schema, &self.dicts, row, &mut key);
@@ -164,8 +179,8 @@ impl IncrementalIndex for OakIndex {
             let init = agg::init_all(&self.schema.aggregators, row);
             let specs = &self.schema.aggregators;
             self.map
-                .put_if_absent_compute_if_present(&key, &init, |buf| {
-                    agg::fold_all(specs, buf.as_mut_slice(), row);
+                .put_if_absent_compute_if_present(&key, &init, &|buf| {
+                    agg::fold_all(specs, buf, row);
                 })?;
         } else {
             // Plain index: raw rows under unique keys.
@@ -184,7 +199,7 @@ impl IncrementalIndex for OakIndex {
         let lo = encode_i64(t0);
         let hi = encode_i64(t1);
         let specs = &self.schema.aggregators;
-        self.map.for_each_in(Some(&lo), Some(&hi), |k, v| {
+        self.map.ascend(Some(&lo), Some(&hi), &mut |k, v| {
             let vals = if self.schema.rollup {
                 agg::read_all(specs, v)
             } else {
@@ -195,11 +210,11 @@ impl IncrementalIndex for OakIndex {
     }
 
     fn scan_raw(&self, f: &mut dyn FnMut(&[u8], &[u8]) -> bool) -> usize {
-        self.map.for_each_in(None, None, f)
+        self.map.ascend(None, None, f)
     }
 
     fn footprint(&self) -> IndexFootprint {
-        let stats = self.map.stats();
+        let stats = self.map.oak_stats();
         // Data: live off-heap bytes minus value headers (headers count as
         // metadata). Metadata: headers + on-heap chunk structures (entries
         // arrays at 20 B/entry plus per-chunk fixed overhead and the lazy
@@ -450,6 +465,20 @@ mod tests {
         let idx = LegacyIndex::unaccounted(schema());
         check_backend(&idx);
         assert!(idx.footprint().total() > 0);
+    }
+
+    #[test]
+    fn sharded_backend_rolls_up() {
+        let config = OakMapConfig::small();
+        let cap = config.chunk_capacity;
+        let idx = OakIndex::with_map(
+            schema(),
+            oak_core::ShardedOakMap::with_config(4, config),
+            cap,
+        );
+        check_backend(&idx);
+        assert!(idx.footprint().total() > 0);
+        assert_eq!(idx.map().shard_stats().len(), 4);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! # oak-failpoints — deterministic fault injection for Oak
 //!
 //! A `fail_point!("pool/alloc")`-style macro backed by a registry of named
-//! sites. Each site can be configured with an [`Action`] (return an injected
-//! error, panic, yield the thread N times, or sleep) and a [`FirePolicy`]
+//! sites. Each site can be configured with an `Action` (return an injected
+//! error, panic, yield the thread N times, or sleep) and a `FirePolicy`
 //! deciding *which* hits of the site trigger the action. Schedules derived
-//! from a seed ([`Schedule::generate`]) make whole fault runs reproducible:
+//! from a seed (`Schedule::generate`) make whole fault runs reproducible:
 //! the same seed always injects the same faults at the same hit counts.
 //!
 //! ## Zero cost when disabled
@@ -27,7 +27,7 @@
 //! ## Usage in tests
 //!
 //! Tests configuring the global registry must serialize through
-//! [`scenario`], which takes a process-wide lock and clears all sites on
+//! `scenario`, which takes a process-wide lock and clears all sites on
 //! both entry and drop:
 //!
 //! ```
@@ -44,7 +44,7 @@
 ///
 /// `errorable` marks sites whose `fail_point!` invocation carries a
 /// return-expression — only those may be scheduled with
-/// [`Action::ReturnErr`]; at other sites the action would silently do
+/// `Action::ReturnErr`; at other sites the action would silently do
 /// nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SiteSpec {
@@ -74,7 +74,7 @@ impl SiteSpec {
 
 /// Evaluates the named failpoint.
 ///
-/// Returns `true` when a configured [`Action::ReturnErr`] fires, telling
+/// Returns `true` when a configured `Action::ReturnErr` fires, telling
 /// the `fail_point!` macro to take its early-return arm. Side-effect
 /// actions (panic, yield, delay) are performed before returning `false`.
 #[cfg(not(feature = "failpoints"))]
@@ -87,7 +87,7 @@ pub fn eval(_name: &str) -> bool {
 ///
 /// * `fail_point!("site")` — side effects only (panic / yield / delay).
 /// * `fail_point!("site", expr)` — additionally supports
-///   [`Action::ReturnErr`]: when it fires, the enclosing function returns
+///   `Action::ReturnErr`: when it fires, the enclosing function returns
 ///   `expr`.
 ///
 /// Compiles to a true no-op when the `failpoints` feature is disabled.

@@ -78,6 +78,27 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
+    /// Field-wise sum of two snapshots, for aggregating the footprint of
+    /// several pools (e.g. the shards of a sharded map). Note that pools
+    /// drawing arenas from one shared [`ArenaPool`](crate::ArenaPool)
+    /// reserve disjoint arenas, so summing `reserved_bytes` stays exact.
+    #[must_use]
+    pub fn merged(mut self, other: &PoolStats) -> PoolStats {
+        self.arenas += other.arenas;
+        self.reserved_bytes += other.reserved_bytes;
+        self.live_bytes += other.live_bytes;
+        self.allocated_bytes += other.allocated_bytes;
+        self.freed_bytes += other.freed_bytes;
+        self.alloc_count += other.alloc_count;
+        self.free_count += other.free_count;
+        self.header_bytes += other.header_bytes;
+        self.lock_retries += other.lock_retries;
+        self.contended_aborts += other.contended_aborts;
+        self.failed_allocs += other.failed_allocs;
+        self.poisoned_values += other.poisoned_values;
+        self
+    }
+
     /// Fraction of reserved memory holding live data; 0 for an empty pool.
     pub fn utilization(&self) -> f64 {
         if self.reserved_bytes == 0 {

@@ -1,0 +1,134 @@
+//! The lazy minKey→chunk index (§3.1), behind a narrow interface.
+//!
+//! The index maps each chunk's non-infimum `minKey` to the chunk and keeps
+//! the distinguished first-chunk pointer (`minKey` = −∞, encoded as the
+//! empty key). It is *lazy*: rebalances publish and retire boundaries
+//! best-effort, so a lookup may land on a frozen or stale chunk —
+//! [`ChunkIndex::locate`] compensates by chasing replacement pointers and
+//! walking the chunk list, exactly as `locateChunk` does in the paper.
+//!
+//! Everything outside this module goes through the handful of methods
+//! below; no other code touches the underlying skiplist or the first
+//! pointer directly.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use oak_skiplist::SkipListMap;
+
+use crate::chunk::Chunk;
+use crate::cmp::{KeyComparator, MinKey};
+
+/// Narrow interface over the lazy chunk index: locate chunks by key,
+/// publish/retire rebalance boundaries, and swing the first-chunk pointer.
+pub(crate) struct ChunkIndex<C: KeyComparator> {
+    cmp: C,
+    /// Lazy index: non-infimum `minKey` → chunk (§3.1).
+    minkeys: SkipListMap<MinKey<C>, Arc<Chunk>>,
+    /// The first chunk (`minKey` = −∞, encoded as the empty key).
+    first: RwLock<Arc<Chunk>>,
+}
+
+impl<C: KeyComparator> ChunkIndex<C> {
+    pub(crate) fn new(cmp: C, first: Arc<Chunk>) -> Self {
+        ChunkIndex {
+            cmp,
+            minkeys: SkipListMap::new(),
+            first: RwLock::new(first),
+        }
+    }
+
+    /// The current first chunk, *without* resolving replacement chains.
+    /// Used as the fallback starting point for list walks.
+    pub(crate) fn first_raw(&self) -> Arc<Chunk> {
+        self.first.read().clone()
+    }
+
+    /// The current first chunk, with replacement chains resolved.
+    pub(crate) fn first_resolved(&self) -> Arc<Chunk> {
+        let mut c = self.first_raw();
+        while let Some(r) = c.replacement() {
+            c = r.clone();
+        }
+        c
+    }
+
+    /// `locateChunk(key)` (§3.1): index floor plus chunk-list walk, with
+    /// replacement chains resolved so callers always land on a live (or at
+    /// worst freshly frozen) chunk covering `key`.
+    pub(crate) fn locate(&self, key: &[u8]) -> Arc<Chunk> {
+        // Probe the index with the raw key bytes (no per-lookup allocation).
+        let mut c = self
+            .minkeys
+            .floor_by(
+                |mk| self.cmp.compare(&mk.bytes, key) != std::cmp::Ordering::Greater,
+                |_, v| v.clone(),
+            )
+            .unwrap_or_else(|| self.first_raw());
+        loop {
+            while let Some(r) = c.replacement() {
+                c = r.clone();
+            }
+            match c.next_chunk() {
+                Some(n) if self.cmp.compare(&n.min_key, key) != std::cmp::Ordering::Greater => {
+                    c = n;
+                }
+                _ => {
+                    if c.replacement().is_some() {
+                        continue; // replaced while we looked at next
+                    }
+                    return c;
+                }
+            }
+        }
+    }
+
+    /// The chunk with the greatest `minKey` strictly smaller than
+    /// `min_key`, list-walked forward to the immediate predecessor (the
+    /// descending scan's index query, §4.2). `min_key` must be non-empty.
+    pub(crate) fn floor_before(&self, min_key: &[u8]) -> Arc<Chunk> {
+        let mut prev = match self.minkeys.floor_by(
+            |mk| self.cmp.compare(&mk.bytes, min_key) == std::cmp::Ordering::Less,
+            |_, v| v.clone(),
+        ) {
+            Some(p) => p,
+            None => self.first_raw(),
+        };
+        loop {
+            while let Some(r) = prev.replacement() {
+                prev = r.clone();
+            }
+            // Walk forward while still strictly below the old minKey.
+            match prev.next_chunk() {
+                Some(n) if self.cmp.compare(&n.min_key, min_key) == std::cmp::Ordering::Less => {
+                    prev = n;
+                }
+                _ => break,
+            }
+        }
+        prev
+    }
+
+    /// Publishes a rebalance-produced chunk boundary. No-op for the
+    /// infimum key (the first chunk is tracked by the first pointer).
+    pub(crate) fn publish(&self, chunk: &Arc<Chunk>) {
+        if !chunk.min_key.is_empty() {
+            self.minkeys
+                .put(MinKey::new(&chunk.min_key, self.cmp.clone()), chunk.clone());
+        }
+    }
+
+    /// Retires a boundary that no longer starts a chunk (merge case).
+    pub(crate) fn retire(&self, min_key: &[u8]) {
+        self.minkeys.remove(&MinKey::new(min_key, self.cmp.clone()));
+    }
+
+    /// Swings the first pointer from `old` to `new_head`. The caller holds
+    /// `old`'s rebalance lock, so the pointer cannot move concurrently.
+    pub(crate) fn replace_first(&self, old: &Arc<Chunk>, new_head: Arc<Chunk>) {
+        let mut g = self.first.write();
+        debug_assert!(Arc::ptr_eq(&g, old), "first pointer out of sync");
+        *g = new_head;
+    }
+}

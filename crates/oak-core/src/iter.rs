@@ -45,7 +45,7 @@ impl<'a, C: KeyComparator> EntryIter<'a, C> {
     }
 
     /// Advances to the next live entry, returning raw references.
-    fn next_raw(&mut self) -> Option<(SliceRef, HeaderRef)> {
+    pub(crate) fn next_raw(&mut self) -> Option<(SliceRef, HeaderRef)> {
         loop {
             let chunk = self.chunk.as_ref()?;
             while self.entry != NONE {
@@ -291,28 +291,7 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
         if chunk.min_key.is_empty() {
             return false; // the first chunk has no predecessor
         }
-        let mut prev = match self.map.index.floor_by(
-            |mk| self.map.cmp.compare(&mk.bytes, &chunk.min_key) == std::cmp::Ordering::Less,
-            |_, v| v.clone(),
-        ) {
-            Some(p) => p,
-            None => self.map.first.read().clone(),
-        };
-        loop {
-            while let Some(r) = prev.replacement() {
-                prev = r.clone();
-            }
-            // Walk forward while still strictly below the old minKey.
-            match prev.next_chunk() {
-                Some(n)
-                    if self.map.cmp.compare(&n.min_key, &chunk.min_key)
-                        == std::cmp::Ordering::Less =>
-                {
-                    prev = n;
-                }
-                _ => break,
-            }
-        }
+        let prev = self.map.index.floor_before(&chunk.min_key);
         // Everything ≥ old minKey was already returned: bound strictly.
         let bound = chunk.min_key.clone();
         self.enter_chunk(prev, Some(&bound), false);
@@ -374,5 +353,123 @@ impl<C: KeyComparator> Iterator for DescendIter<'_, C> {
             OakRBuffer::key(self.map.pool().clone(), kref),
             OakRBuffer::value(self.map.value_store().clone(), h),
         ))
+    }
+}
+
+// Stream scans (no per-entry objects): the fast path Figure 4e/4f contrast
+// against the Set-API iterators above.
+impl<C: KeyComparator> OakMap<C> {
+    /// Ascending zero-copy scan over `[lo, hi)` (unbounded where `None`):
+    /// the *stream* API — no per-entry objects, `f` borrows key and value
+    /// bytes directly. Returns entries visited; stops early when `f`
+    /// returns `false`.
+    pub fn for_each_in(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> usize {
+        let mut count = 0;
+        self.stream_ascend(lo, hi, |kref, h| {
+            let kb = unsafe { self.pool().slice(kref) };
+            match self.value_store().read(h, |v| f(kb, v)) {
+                Ok(keep) => {
+                    count += 1;
+                    keep
+                }
+                Err(_) => true, // deleted under the iterator: skip
+            }
+        });
+        count
+    }
+
+    /// Descending stream scan (no per-entry objects). Returns entries
+    /// visited; stops early when `f` returns `false`.
+    pub fn for_each_descending(
+        &self,
+        from: Option<&[u8]>,
+        lo: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> usize {
+        let mut count = 0;
+        let mut it = DescendIter::new(self, from, lo);
+        while let Some((kref, h)) = it.next_raw() {
+            let kb = unsafe { self.pool().slice(kref) };
+            match self.value_store().read(h, |v| f(kb, v)) {
+                Ok(keep) => {
+                    count += 1;
+                    if !keep {
+                        break;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        count
+    }
+
+    /// Internal ascending walk yielding raw `(key_ref, header_ref)` pairs
+    /// of live entries. Shared by the stream API and the Set iterator.
+    pub(crate) fn stream_ascend(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(SliceRef, HeaderRef) -> bool,
+    ) {
+        let mut chunk = match lo {
+            Some(k) => self.locate_chunk(k),
+            None => self.first_chunk(),
+        };
+        let mut entry = match lo {
+            Some(k) => chunk.lower_bound(self.pool(), &self.cmp, k),
+            None => chunk.head_entry(),
+        };
+        // Last key yielded: used to avoid re-yielding keys after hopping
+        // into a replacement chunk whose range overlaps what we already
+        // covered (merge case).
+        let mut last_key: Option<SliceRef> = None;
+        loop {
+            while entry != NONE {
+                let idx = entry;
+                entry = chunk.entry_next(idx);
+                let kb = chunk.key_bytes(self.pool(), idx);
+                if let Some(h) = hi {
+                    if self.cmp.compare(kb, h) != std::cmp::Ordering::Less {
+                        return;
+                    }
+                }
+                if let Some(lk) = last_key {
+                    let lb = unsafe { self.pool().slice(lk) };
+                    if self.cmp.compare(kb, lb) != std::cmp::Ordering::Greater {
+                        continue;
+                    }
+                }
+                let Some(h) = chunk.value_ref(idx) else {
+                    continue;
+                };
+                if self.value_store().is_deleted(h) {
+                    continue;
+                }
+                last_key = Some(chunk.key_ref(idx));
+                if !f(chunk.key_ref(idx), h) {
+                    return;
+                }
+            }
+            // Hop to the next chunk, resolving replacements.
+            let Some(mut n) = chunk.next_chunk() else {
+                return;
+            };
+            while let Some(r) = n.replacement() {
+                n = r.clone();
+            }
+            entry = match last_key {
+                Some(lk) => {
+                    let lb = unsafe { self.pool().slice(lk) };
+                    n.lower_bound(self.pool(), &self.cmp, lb)
+                }
+                None => n.head_entry(),
+            };
+            chunk = n;
+        }
     }
 }

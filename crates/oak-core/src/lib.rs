@@ -50,9 +50,13 @@ mod chunk;
 mod cmp;
 mod config;
 mod error;
+mod index;
 mod iter;
 mod map;
+mod ops;
 mod rebalance;
+mod sharded;
+mod traits;
 mod zc;
 
 pub use buffer::{OakRBuffer, OakWBuffer};
@@ -61,6 +65,8 @@ pub use config::OakMapConfig;
 pub use error::OakError;
 pub use iter::{DescendIter, EntryIter};
 pub use map::{OakMap, OakStats};
+pub use sharded::{ShardSplitter, ShardedOakMap};
+pub use traits::{OakStatsSource, OnHeapSkipListMap, OrderedKvMap, ZeroCopyRead};
 pub use zc::{SubMapView, ZeroCopyView};
 
 /// Canonical failpoint sites declared by this crate (see the `failpoints`

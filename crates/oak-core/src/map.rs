@@ -1,34 +1,23 @@
-//! The Oak map: location, queries, and update operations (Algorithms 1–3).
+//! The Oak map's public shell: construction, configuration, statistics,
+//! and invariant checking.
+//!
+//! The heavy lifting lives in the sibling modules: [`ops`](crate::ops)
+//! holds the operation retry loops (Algorithms 1–3), [`index`](crate::index)
+//! the lazy minKey→chunk index, [`iter`](crate::iter) the ascending and
+//! descending scans, and [`rebalance`](crate::rebalance) the chunk
+//! split/merge machinery.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use oak_mempool::{MemoryPool, PoolStats, SliceRef, ValueStore};
 
-use oak_mempool::{AllocError, MemoryPool, PoolStats, SliceRef, ValueStore};
-use oak_skiplist::SkipListMap;
-
-use crate::buffer::{OakRBuffer, OakWBuffer};
-use crate::chunk::{Chunk, LinkOutcome};
-use crate::cmp::{KeyComparator, Lexicographic, MinKey};
+use crate::chunk::Chunk;
+use crate::cmp::{KeyComparator, Lexicographic};
 use crate::config::OakMapConfig;
-use crate::error::OakError;
+use crate::index::ChunkIndex;
 use crate::iter::{DescendIter, EntryIter};
 use crate::zc::ZeroCopyView;
-
-/// Which insertion operation `do_put` is executing (Algorithm 2).
-enum PutOp<'f> {
-    Put,
-    PutIfAbsent,
-    /// `putIfAbsentComputeIfPresent` with its compute lambda.
-    Compute(&'f dyn Fn(&mut OakWBuffer<'_>)),
-}
-
-/// Which non-insertion operation `do_if_present` is executing (Algorithm 3).
-enum PresentOp<'f> {
-    Compute(&'f dyn Fn(&mut OakWBuffer<'_>)),
-    Remove,
-}
 
 /// A concurrent ordered map from byte keys to byte values, allocated in
 /// self-managed off-heap arenas. See the [crate docs](crate) for an
@@ -37,11 +26,9 @@ pub struct OakMap<C: KeyComparator = Lexicographic> {
     pub(crate) store: ValueStore,
     pub(crate) cmp: C,
     pub(crate) config: OakMapConfig,
-    /// Lazy index: non-infimum `minKey` → chunk (§3.1).
-    pub(crate) index: SkipListMap<MinKey<C>, Arc<Chunk>>,
-    /// The first chunk (`minKey` = −∞, encoded as the empty key).
-    pub(crate) first: RwLock<Arc<Chunk>>,
-    len: AtomicUsize,
+    /// Chunk location: the lazy minKey index plus the first-chunk pointer.
+    pub(crate) index: ChunkIndex<C>,
+    pub(crate) len: AtomicUsize,
     pub(crate) rebalances: AtomicU64,
 }
 
@@ -56,6 +43,17 @@ pub struct OakStats {
     pub rebalances: u64,
     /// Off-heap pool footprint.
     pub pool: PoolStats,
+}
+
+impl OakStats {
+    /// Field-wise sum of two stat snapshots (shard aggregation).
+    pub(crate) fn merged(mut self, other: &OakStats) -> OakStats {
+        self.len += other.len;
+        self.chunks += other.chunks;
+        self.rebalances += other.rebalances;
+        self.pool = self.pool.merged(&other.pool);
+        self
+    }
 }
 
 impl OakMap<Lexicographic> {
@@ -78,6 +76,19 @@ impl Default for OakMap<Lexicographic> {
     }
 }
 
+/// Builds a map from `(key, value)` pairs with default configuration.
+/// Panics if the off-heap pool cannot hold the data (use explicit
+/// [`OakMap::put`] calls to handle allocation failure).
+impl FromIterator<(Vec<u8>, Vec<u8>)> for OakMap<Lexicographic> {
+    fn from_iter<I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>>(iter: I) -> Self {
+        let map = OakMap::new();
+        for (k, v) in iter {
+            map.put(&k, &v).expect("off-heap allocation failed");
+        }
+        map
+    }
+}
+
 impl<C: KeyComparator> OakMap<C> {
     /// Creates a map with a custom comparator over serialized keys.
     pub fn with_comparator(config: OakMapConfig, cmp: C) -> Self {
@@ -88,10 +99,9 @@ impl<C: KeyComparator> OakMap<C> {
         let first = Arc::new(Chunk::new_empty(config.chunk_capacity, Box::new([])));
         OakMap {
             store: ValueStore::with_policy(pool, config.reclamation),
-            cmp,
+            cmp: cmp.clone(),
             config,
-            index: SkipListMap::new(),
-            first: RwLock::new(first),
+            index: ChunkIndex::new(cmp, first),
             len: AtomicUsize::new(0),
             rebalances: AtomicU64::new(0),
         }
@@ -197,394 +207,15 @@ impl<C: KeyComparator> OakMap<C> {
 
     /// The current first chunk, with replacement chains resolved.
     pub(crate) fn first_chunk(&self) -> Arc<Chunk> {
-        let mut c = self.first.read().clone();
-        while let Some(r) = c.replacement() {
-            c = r.clone();
-        }
-        c
+        self.index.first_resolved()
     }
 
-    /// `locateChunk(key)` (§3.1): index floor plus chunk-list walk, with
-    /// replacement chains resolved so callers always land on a live (or at
-    /// worst freshly frozen) chunk covering `key`.
+    /// `locateChunk(key)` (§3.1), delegated to the chunk index.
     pub(crate) fn locate_chunk(&self, key: &[u8]) -> Arc<Chunk> {
-        // Probe the index with the raw key bytes (no per-lookup allocation).
-        let mut c = self
-            .index
-            .floor_by(
-                |mk| self.cmp.compare(&mk.bytes, key) != std::cmp::Ordering::Greater,
-                |_, v| v.clone(),
-            )
-            .unwrap_or_else(|| self.first.read().clone());
-        loop {
-            while let Some(r) = c.replacement() {
-                c = r.clone();
-            }
-            match c.next_chunk() {
-                Some(n) if self.cmp.compare(&n.min_key, key) != std::cmp::Ordering::Greater => {
-                    c = n;
-                }
-                _ => {
-                    if c.replacement().is_some() {
-                        continue; // replaced while we looked at next
-                    }
-                    return c;
-                }
-            }
-        }
+        self.index.locate(key)
     }
 
-    // --- queries (Algorithm 1) -------------------------------------------
-
-    /// Zero-copy get through a closure: applies `f` to the value bytes
-    /// under the header read lock. Returns `None` if absent.
-    pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Option<R> {
-        let c = self.locate_chunk(key);
-        let ei = c.lookup(self.pool(), &self.cmp, key)?;
-        let h = c.value_ref(ei)?;
-        self.store.read(h, f).ok()
-    }
-
-    /// Zero-copy get returning an [`OakRBuffer`] view (the ZC API's
-    /// `get`). The buffer stays valid indefinitely; reads fail with
-    /// [`OakError::ConcurrentModification`] after a concurrent remove.
-    pub fn get(&self, key: &[u8]) -> Option<OakRBuffer> {
-        let c = self.locate_chunk(key);
-        let ei = c.lookup(self.pool(), &self.cmp, key)?;
-        let h = c.value_ref(ei)?;
-        if self.store.is_deleted(h) {
-            return None;
-        }
-        Some(OakRBuffer::value(self.store.clone(), h))
-    }
-
-    /// Copying get (the legacy API shape).
-    pub fn get_copy(&self, key: &[u8]) -> Option<Vec<u8>> {
-        self.get_with(key, |b| b.to_vec())
-    }
-
-    /// Whether `key` is present.
-    pub fn contains_key(&self, key: &[u8]) -> bool {
-        self.get_with(key, |_| ()).is_some()
-    }
-
-    // --- insertion operations (Algorithm 2) -------------------------------
-
-    /// Unconditionally associates `key` with `value` (ZC `put`: does not
-    /// return the old value, §2.2).
-    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), OakError> {
-        self.do_put(key, value, PutOp::Put).map(|_| ())
-    }
-
-    /// Associates `key` with `value` if absent; returns whether this call
-    /// inserted.
-    pub fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool, OakError> {
-        self.do_put(key, value, PutOp::PutIfAbsent)
-    }
-
-    /// If `key` is absent, inserts `value`; otherwise atomically applies
-    /// `f` to the present value in place. Returns `true` if this call
-    /// inserted a new mapping.
-    pub fn put_if_absent_compute_if_present(
-        &self,
-        key: &[u8],
-        value: &[u8],
-        f: impl Fn(&mut OakWBuffer<'_>),
-    ) -> Result<bool, OakError> {
-        self.do_put(key, value, PutOp::Compute(&f))
-    }
-
-    /// Algorithm 2's `doPut`, with its `case 1` / `case 2` structure and
-    /// retry discipline. Returns whether a *new* mapping was inserted.
-    fn do_put(&self, key: &[u8], value: &[u8], op: PutOp<'_>) -> Result<bool, OakError> {
-        if key.is_empty() {
-            return Err(OakError::Alloc(AllocError::ZeroSized));
-        }
-        loop {
-            let c = self.locate_chunk(key);
-            let ei = c.lookup(self.pool(), &self.cmp, key);
-
-            if let Some(ei) = ei {
-                if let Some(h) = c.value_ref(ei) {
-                    if !self.store.is_deleted(h) {
-                        // Case 1: key present.
-                        match &op {
-                            PutOp::PutIfAbsent => return Ok(false),
-                            PutOp::Put => {
-                                if self.store.put(h, value)? {
-                                    // l.p.: the nested v.put (§4.5).
-                                    return Ok(false);
-                                }
-                                continue; // deleted under us → retry
-                            }
-                            PutOp::Compute(f) => {
-                                if self.compute_guarded(h, *f) {
-                                    // l.p.: the nested v.compute (§4.5).
-                                    return Ok(false);
-                                }
-                                continue;
-                            }
-                        }
-                    }
-                    // Value deleted but reference not yet ⊥: help the
-                    // remover finish (mirrors Algorithm 3 case 2, avoiding
-                    // a blocking wait on finalizeRemove) and retry.
-                    if !c.publish() {
-                        self.rebalance(&c);
-                        continue;
-                    }
-                    c.cas_value(ei, h.to_raw(), 0);
-                    c.unpublish();
-                    continue;
-                }
-            }
-
-            // Case 2: key absent (no entry, or an entry with valRef = ⊥
-            // that we reuse — §4.3).
-            let ei = match ei {
-                Some(existing) => existing,
-                None => {
-                    if c.is_frozen() {
-                        self.rebalance(&c);
-                        continue;
-                    }
-                    let kref = self.allocate_key(key)?;
-                    let Some(new_ei) = c.allocate_entry(kref) else {
-                        // Chunk full: free the speculative key, rebalance,
-                        // retry (Algorithm 2 line 31).
-                        self.pool().free(kref);
-                        self.rebalance(&c);
-                        continue;
-                    };
-                    match c.ll_put_if_absent(self.pool(), &self.cmp, new_ei) {
-                        LinkOutcome::Linked => new_ei,
-                        LinkOutcome::Found(existing) => {
-                            // Our allocated entry stays unlinked and
-                            // unreachable; reclaim its key buffer.
-                            self.pool().free(kref);
-                            existing
-                        }
-                        LinkOutcome::Frozen => {
-                            self.pool().free(kref);
-                            self.rebalance(&c);
-                            continue;
-                        }
-                    }
-                }
-            };
-
-            // Allocate and write the value off-heap (line 30), publish,
-            // and CAS it in (line 35).
-            let newh = self.store.allocate_value(value)?;
-            if !c.publish() {
-                self.undo_value(newh);
-                self.rebalance(&c);
-                continue;
-            }
-            let ok = c.cas_value(ei, 0, newh.to_raw());
-            c.unpublish();
-            if ok {
-                // l.p. of a fresh insertion: the successful CAS (§4.5).
-                self.len.fetch_add(1, Ordering::Relaxed);
-                c.note_insert();
-                self.maybe_reorg(&c);
-                return Ok(true);
-            }
-            // CAS failed: a concurrent insertion or removal got there
-            // first; undo and retry (line 38).
-            self.undo_value(newh);
-        }
-    }
-
-    /// Runs a user compute closure through [`ValueStore::compute`], keeping
-    /// `len` consistent if the closure panics. The store's panic guard
-    /// poisons the value (logically deleting it), so the pair it belonged
-    /// to is gone from the map; account for that before the panic resumes —
-    /// otherwise `len()` and `validate()` would drift after every poisoning.
-    /// Returns whether the compute ran (value present and not deleted).
-    fn compute_guarded(&self, h: oak_mempool::HeaderRef, f: &dyn Fn(&mut OakWBuffer<'_>)) -> bool {
-        struct LenFixOnPanic<'a>(&'a AtomicUsize);
-        impl Drop for LenFixOnPanic<'_> {
-            fn drop(&mut self) {
-                self.0.fetch_sub(1, Ordering::Relaxed);
-            }
-        }
-        let fix = LenFixOnPanic(&self.len);
-        let ran = self.store.compute(h, |b| f(b)).is_some();
-        std::mem::forget(fix);
-        ran
-    }
-
-    /// Reclaims a speculative value allocation that was never published.
-    fn undo_value(&self, h: oak_mempool::HeaderRef) {
-        // Marks deleted and frees the payload; the 16-byte header is
-        // retained, consistent with the default memory manager (§3.3).
-        self.store.remove(h);
-    }
-
-    fn allocate_key(&self, key: &[u8]) -> Result<SliceRef, OakError> {
-        let r = self.pool().allocate(key.len())?;
-        // SAFETY: fresh, unpublished allocation.
-        unsafe { self.pool().write_initial(r, key) };
-        Ok(r)
-    }
-
-    /// Triggers a rebalance if the chunk outgrew its sorted prefix
-    /// (the paper's reorganization policy, §5.1).
-    fn maybe_reorg(&self, c: &Arc<Chunk>) {
-        if c.needs_reorg(self.config.rebalance_unsorted_ratio) || c.allocated() >= c.capacity() {
-            self.rebalance(c);
-        }
-    }
-
-    /// Merge policy trigger: when a removal leaves the chunk empty (by the
-    /// live-entry heuristic) and it has a successor, rebalance it — the
-    /// rebalancer will fold it into its neighbour ("merges chunks when they
-    /// are under-used", §4.1).
-    fn maybe_merge(&self, c: &Arc<Chunk>) {
-        if c.note_remove() == 0 && !c.is_frozen() && c.next_chunk().is_some() {
-            self.rebalance(c);
-        }
-    }
-
-    // --- non-insertion operations (Algorithm 3) ----------------------------
-
-    /// Atomically applies `f` to the value mapped to `key`, in place, under
-    /// the value's write lock. Returns whether the value was present.
-    pub fn compute_if_present(&self, key: &[u8], f: impl Fn(&mut OakWBuffer<'_>)) -> bool {
-        self.do_if_present(key, PresentOp::Compute(&f))
-    }
-
-    /// Removes the mapping for `key`; returns whether this call removed it.
-    pub fn remove(&self, key: &[u8]) -> bool {
-        self.do_if_present(key, PresentOp::Remove)
-    }
-
-    /// Algorithm 3's `doIfPresent`.
-    fn do_if_present(&self, key: &[u8], op: PresentOp<'_>) -> bool {
-        loop {
-            let c = self.locate_chunk(key);
-            let ei = c.lookup(self.pool(), &self.cmp, key);
-            let Some(ei) = ei else {
-                return false; // l.p.: entry not found (line 44)
-            };
-            let Some(h) = c.value_ref(ei) else {
-                return false; // l.p.: valRef = ⊥ (line 44)
-            };
-
-            if !self.store.is_deleted(h) {
-                // Case 1: value exists and is not deleted.
-                match &op {
-                    PresentOp::Compute(f) => {
-                        if self.compute_guarded(h, *f) {
-                            // l.p.: successful nested v.compute (line 46).
-                            return true;
-                        }
-                    }
-                    PresentOp::Remove => {
-                        if self.store.remove(h) {
-                            // l.p.: v.remove set the deleted bit (line 48).
-                            self.len.fetch_sub(1, Ordering::Relaxed);
-                            self.finalize_remove(key, h);
-                            self.maybe_merge(&c);
-                            return true;
-                        }
-                    }
-                }
-            }
-            // Case 2: value deleted — ensure the entry is removed by
-            // CASing its value reference to ⊥ (lines 50–55).
-            if !c.publish() {
-                self.rebalance(&c);
-                continue;
-            }
-            let ok = c.cas_value(ei, h.to_raw(), 0);
-            c.unpublish();
-            if ok {
-                return false; // l.p.: successful CAS to ⊥ (line 52)
-            }
-            // CAS failed: the entry changed under us; retry (line 54).
-        }
-    }
-
-    /// Removal that atomically returns a copy of the removed value — the
-    /// legacy `ConcurrentNavigableMap.remove` shape. Same structure as
-    /// `do_if_present(Remove)` with a copying `v.remove`.
-    pub(crate) fn remove_with_copy(&self, key: &[u8]) -> Option<Vec<u8>> {
-        loop {
-            let c = self.locate_chunk(key);
-            let ei = c.lookup(self.pool(), &self.cmp, key)?;
-            let h = c.value_ref(ei)?;
-            if !self.store.is_deleted(h) {
-                if let Some(old) = self.store.remove_returning(h) {
-                    self.len.fetch_sub(1, Ordering::Relaxed);
-                    self.finalize_remove(key, h);
-                    self.maybe_merge(&c);
-                    return Some(old);
-                }
-            }
-            // Value deleted: ensure the entry is cleaned, as in case 2.
-            if !c.publish() {
-                self.rebalance(&c);
-                continue;
-            }
-            let ok = c.cas_value(ei, h.to_raw(), 0);
-            c.unpublish();
-            if ok {
-                return None;
-            }
-        }
-    }
-
-    /// Algorithm 3's `finalizeRemove`: best-effort CAS of the entry's value
-    /// reference to ⊥ after a successful remove. Headers are never reused,
-    /// so comparing against `prev` is ABA-free (§4.4).
-    fn finalize_remove(&self, key: &[u8], prev: oak_mempool::HeaderRef) {
-        loop {
-            let c = self.locate_chunk(key);
-            let Some(ei) = c.lookup(self.pool(), &self.cmp, key) else {
-                return;
-            };
-            let v = c.value_raw(ei);
-            if v != prev.to_raw() {
-                return; // key removed or replaced already (line 65)
-            }
-            if !c.publish() {
-                self.rebalance(&c);
-                continue;
-            }
-            // Success or failure both fine: remove already linearized.
-            c.cas_value(ei, v, 0);
-            c.unpublish();
-            return;
-        }
-    }
-
-    // --- scans --------------------------------------------------------------
-
-    /// Ascending zero-copy scan over `[lo, hi)` (unbounded where `None`):
-    /// the *stream* API — no per-entry objects, `f` borrows key and value
-    /// bytes directly. Returns entries visited; stops early when `f`
-    /// returns `false`.
-    pub fn for_each_in(
-        &self,
-        lo: Option<&[u8]>,
-        hi: Option<&[u8]>,
-        mut f: impl FnMut(&[u8], &[u8]) -> bool,
-    ) -> usize {
-        let mut count = 0;
-        self.stream_ascend(lo, hi, |kref, h| {
-            let kb = unsafe { self.pool().slice(kref) };
-            match self.store.read(h, |v| f(kb, v)) {
-                Ok(keep) => {
-                    count += 1;
-                    keep
-                }
-                Err(_) => true, // deleted under the iterator: skip
-            }
-        });
-        count
-    }
+    // --- scans (bodies in `iter`) ----------------------------------------
 
     /// Ascending *Set API* iterator: yields `(OakRBuffer, OakRBuffer)`
     /// pairs, one ephemeral pair per entry (Figure 4e's slower variant).
@@ -597,96 +228,6 @@ impl<C: KeyComparator> OakMap<C> {
     /// the chunk-local stack algorithm of Figure 2.
     pub fn iter_descending(&self, from: Option<&[u8]>, lo: Option<&[u8]>) -> DescendIter<'_, C> {
         DescendIter::new(self, from, lo)
-    }
-
-    /// Descending stream scan (no per-entry objects). Returns entries
-    /// visited; stops early when `f` returns `false`.
-    pub fn for_each_descending(
-        &self,
-        from: Option<&[u8]>,
-        lo: Option<&[u8]>,
-        mut f: impl FnMut(&[u8], &[u8]) -> bool,
-    ) -> usize {
-        let mut count = 0;
-        let mut it = DescendIter::new(self, from, lo);
-        while let Some((kref, h)) = it.next_raw() {
-            let kb = unsafe { self.pool().slice(kref) };
-            match self.store.read(h, |v| f(kb, v)) {
-                Ok(keep) => {
-                    count += 1;
-                    if !keep {
-                        break;
-                    }
-                }
-                Err(_) => continue,
-            }
-        }
-        count
-    }
-
-    /// Internal ascending walk yielding raw `(key_ref, header_ref)` pairs
-    /// of live entries. Shared by the stream API and the Set iterator.
-    pub(crate) fn stream_ascend(
-        &self,
-        lo: Option<&[u8]>,
-        hi: Option<&[u8]>,
-        mut f: impl FnMut(SliceRef, oak_mempool::HeaderRef) -> bool,
-    ) {
-        let mut chunk = match lo {
-            Some(k) => self.locate_chunk(k),
-            None => self.first_chunk(),
-        };
-        let mut entry = match lo {
-            Some(k) => chunk.lower_bound(self.pool(), &self.cmp, k),
-            None => chunk.head_entry(),
-        };
-        // Last key yielded: used to avoid re-yielding keys after hopping
-        // into a replacement chunk whose range overlaps what we already
-        // covered (merge case).
-        let mut last_key: Option<SliceRef> = None;
-        loop {
-            while entry != crate::chunk::NONE {
-                let idx = entry;
-                entry = chunk.entry_next(idx);
-                let kb = chunk.key_bytes(self.pool(), idx);
-                if let Some(h) = hi {
-                    if self.cmp.compare(kb, h) != std::cmp::Ordering::Less {
-                        return;
-                    }
-                }
-                if let Some(lk) = last_key {
-                    let lb = unsafe { self.pool().slice(lk) };
-                    if self.cmp.compare(kb, lb) != std::cmp::Ordering::Greater {
-                        continue;
-                    }
-                }
-                let Some(h) = chunk.value_ref(idx) else {
-                    continue;
-                };
-                if self.store.is_deleted(h) {
-                    continue;
-                }
-                last_key = Some(chunk.key_ref(idx));
-                if !f(chunk.key_ref(idx), h) {
-                    return;
-                }
-            }
-            // Hop to the next chunk, resolving replacements.
-            let Some(mut n) = chunk.next_chunk() else {
-                return;
-            };
-            while let Some(r) = n.replacement() {
-                n = r.clone();
-            }
-            entry = match last_key {
-                Some(lk) => {
-                    let lb = unsafe { self.pool().slice(lk) };
-                    n.lower_bound(self.pool(), &self.cmp, lb)
-                }
-                None => n.head_entry(),
-            };
-            chunk = n;
-        }
     }
 }
 

@@ -1,0 +1,360 @@
+//! Query and update operations (Algorithms 1–3): the retry loops, help
+//! paths, and linearization points of `get`, `doPut`, and `doIfPresent`.
+//!
+//! [`map`](crate::map) holds the public shell and construction;
+//! [`index`](crate::index) resolves keys to chunks; this module owns the
+//! per-operation logic moved verbatim from the original monolithic map.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use oak_mempool::{AllocError, SliceRef};
+
+use crate::buffer::{OakRBuffer, OakWBuffer};
+use crate::chunk::LinkOutcome;
+use crate::cmp::KeyComparator;
+use crate::error::OakError;
+use crate::map::OakMap;
+
+/// Which insertion operation `do_put` is executing (Algorithm 2).
+enum PutOp<'f> {
+    Put,
+    PutIfAbsent,
+    /// `putIfAbsentComputeIfPresent` with its compute lambda.
+    Compute(&'f dyn Fn(&mut OakWBuffer<'_>)),
+}
+
+/// Which non-insertion operation `do_if_present` is executing (Algorithm 3).
+enum PresentOp<'f> {
+    Compute(&'f dyn Fn(&mut OakWBuffer<'_>)),
+    Remove,
+}
+
+impl<C: KeyComparator> OakMap<C> {
+    // --- queries (Algorithm 1) -------------------------------------------
+
+    /// Zero-copy get through a closure: applies `f` to the value bytes
+    /// under the header read lock. Returns `None` if absent.
+    pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let c = self.index.locate(key);
+        let ei = c.lookup(self.pool(), &self.cmp, key)?;
+        let h = c.value_ref(ei)?;
+        self.store.read(h, f).ok()
+    }
+
+    /// Zero-copy get returning an [`OakRBuffer`] view (the ZC API's
+    /// `get`). The buffer stays valid indefinitely; reads fail with
+    /// [`OakError::ConcurrentModification`] after a concurrent remove.
+    pub fn get(&self, key: &[u8]) -> Option<OakRBuffer> {
+        let c = self.index.locate(key);
+        let ei = c.lookup(self.pool(), &self.cmp, key)?;
+        let h = c.value_ref(ei)?;
+        if self.store.is_deleted(h) {
+            return None;
+        }
+        Some(OakRBuffer::value(self.store.clone(), h))
+    }
+
+    /// Copying get (the legacy API shape).
+    pub fn get_copy(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.get_with(key, |b| b.to_vec())
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.get_with(key, |_| ()).is_some()
+    }
+
+    // --- insertion operations (Algorithm 2) -------------------------------
+
+    /// Unconditionally associates `key` with `value` (ZC `put`: does not
+    /// return the old value, §2.2).
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), OakError> {
+        self.do_put(key, value, PutOp::Put).map(|_| ())
+    }
+
+    /// Associates `key` with `value` if absent; returns whether this call
+    /// inserted.
+    pub fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool, OakError> {
+        self.do_put(key, value, PutOp::PutIfAbsent)
+    }
+
+    /// If `key` is absent, inserts `value`; otherwise atomically applies
+    /// `f` to the present value in place. Returns `true` if this call
+    /// inserted a new mapping.
+    pub fn put_if_absent_compute_if_present(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        f: impl Fn(&mut OakWBuffer<'_>),
+    ) -> Result<bool, OakError> {
+        self.do_put(key, value, PutOp::Compute(&f))
+    }
+
+    /// Algorithm 2's `doPut`, with its `case 1` / `case 2` structure and
+    /// retry discipline. Returns whether a *new* mapping was inserted.
+    fn do_put(&self, key: &[u8], value: &[u8], op: PutOp<'_>) -> Result<bool, OakError> {
+        if key.is_empty() {
+            return Err(OakError::Alloc(AllocError::ZeroSized));
+        }
+        loop {
+            let c = self.index.locate(key);
+            let ei = c.lookup(self.pool(), &self.cmp, key);
+
+            if let Some(ei) = ei {
+                if let Some(h) = c.value_ref(ei) {
+                    if !self.store.is_deleted(h) {
+                        // Case 1: key present.
+                        match &op {
+                            PutOp::PutIfAbsent => return Ok(false),
+                            PutOp::Put => {
+                                if self.store.put(h, value)? {
+                                    // l.p.: the nested v.put (§4.5).
+                                    return Ok(false);
+                                }
+                                continue; // deleted under us → retry
+                            }
+                            PutOp::Compute(f) => {
+                                if self.compute_guarded(h, *f) {
+                                    // l.p.: the nested v.compute (§4.5).
+                                    return Ok(false);
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    // Value deleted but reference not yet ⊥: help the
+                    // remover finish (mirrors Algorithm 3 case 2, avoiding
+                    // a blocking wait on finalizeRemove) and retry.
+                    if !c.publish() {
+                        self.rebalance(&c);
+                        continue;
+                    }
+                    c.cas_value(ei, h.to_raw(), 0);
+                    c.unpublish();
+                    continue;
+                }
+            }
+
+            // Case 2: key absent (no entry, or an entry with valRef = ⊥
+            // that we reuse — §4.3).
+            let ei = match ei {
+                Some(existing) => existing,
+                None => {
+                    if c.is_frozen() {
+                        self.rebalance(&c);
+                        continue;
+                    }
+                    let kref = self.allocate_key(key)?;
+                    let Some(new_ei) = c.allocate_entry(kref) else {
+                        // Chunk full: free the speculative key, rebalance,
+                        // retry (Algorithm 2 line 31).
+                        self.pool().free(kref);
+                        self.rebalance(&c);
+                        continue;
+                    };
+                    match c.ll_put_if_absent(self.pool(), &self.cmp, new_ei) {
+                        LinkOutcome::Linked => new_ei,
+                        LinkOutcome::Found(existing) => {
+                            // Our allocated entry stays unlinked and
+                            // unreachable; reclaim its key buffer.
+                            self.pool().free(kref);
+                            existing
+                        }
+                        LinkOutcome::Frozen => {
+                            self.pool().free(kref);
+                            self.rebalance(&c);
+                            continue;
+                        }
+                    }
+                }
+            };
+
+            // Allocate and write the value off-heap (line 30), publish,
+            // and CAS it in (line 35).
+            let newh = self.store.allocate_value(value)?;
+            if !c.publish() {
+                self.undo_value(newh);
+                self.rebalance(&c);
+                continue;
+            }
+            let ok = c.cas_value(ei, 0, newh.to_raw());
+            c.unpublish();
+            if ok {
+                // l.p. of a fresh insertion: the successful CAS (§4.5).
+                self.len.fetch_add(1, Ordering::Relaxed);
+                c.note_insert();
+                self.maybe_reorg(&c);
+                return Ok(true);
+            }
+            // CAS failed: a concurrent insertion or removal got there
+            // first; undo and retry (line 38).
+            self.undo_value(newh);
+        }
+    }
+
+    /// Runs a user compute closure through [`ValueStore::compute`], keeping
+    /// `len` consistent if the closure panics. The store's panic guard
+    /// poisons the value (logically deleting it), so the pair it belonged
+    /// to is gone from the map; account for that before the panic resumes —
+    /// otherwise `len()` and `validate()` would drift after every poisoning.
+    /// Returns whether the compute ran (value present and not deleted).
+    ///
+    /// [`ValueStore::compute`]: oak_mempool::ValueStore::compute
+    fn compute_guarded(&self, h: oak_mempool::HeaderRef, f: &dyn Fn(&mut OakWBuffer<'_>)) -> bool {
+        struct LenFixOnPanic<'a>(&'a AtomicUsize);
+        impl Drop for LenFixOnPanic<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let fix = LenFixOnPanic(&self.len);
+        let ran = self.store.compute(h, |b| f(b)).is_some();
+        std::mem::forget(fix);
+        ran
+    }
+
+    /// Reclaims a speculative value allocation that was never published.
+    fn undo_value(&self, h: oak_mempool::HeaderRef) {
+        // Marks deleted and frees the payload; the 16-byte header is
+        // retained, consistent with the default memory manager (§3.3).
+        self.store.remove(h);
+    }
+
+    fn allocate_key(&self, key: &[u8]) -> Result<SliceRef, OakError> {
+        let r = self.pool().allocate(key.len())?;
+        // SAFETY: fresh, unpublished allocation.
+        unsafe { self.pool().write_initial(r, key) };
+        Ok(r)
+    }
+
+    /// Triggers a rebalance if the chunk outgrew its sorted prefix
+    /// (the paper's reorganization policy, §5.1).
+    fn maybe_reorg(&self, c: &std::sync::Arc<crate::chunk::Chunk>) {
+        if c.needs_reorg(self.config.rebalance_unsorted_ratio) || c.allocated() >= c.capacity() {
+            self.rebalance(c);
+        }
+    }
+
+    /// Merge policy trigger: when a removal leaves the chunk empty (by the
+    /// live-entry heuristic) and it has a successor, rebalance it — the
+    /// rebalancer will fold it into its neighbour ("merges chunks when they
+    /// are under-used", §4.1).
+    fn maybe_merge(&self, c: &std::sync::Arc<crate::chunk::Chunk>) {
+        if c.note_remove() == 0 && !c.is_frozen() && c.next_chunk().is_some() {
+            self.rebalance(c);
+        }
+    }
+
+    // --- non-insertion operations (Algorithm 3) ----------------------------
+
+    /// Atomically applies `f` to the value mapped to `key`, in place, under
+    /// the value's write lock. Returns whether the value was present.
+    pub fn compute_if_present(&self, key: &[u8], f: impl Fn(&mut OakWBuffer<'_>)) -> bool {
+        self.do_if_present(key, PresentOp::Compute(&f))
+    }
+
+    /// Removes the mapping for `key`; returns whether this call removed it.
+    pub fn remove(&self, key: &[u8]) -> bool {
+        self.do_if_present(key, PresentOp::Remove)
+    }
+
+    /// Algorithm 3's `doIfPresent`.
+    fn do_if_present(&self, key: &[u8], op: PresentOp<'_>) -> bool {
+        loop {
+            let c = self.index.locate(key);
+            let ei = c.lookup(self.pool(), &self.cmp, key);
+            let Some(ei) = ei else {
+                return false; // l.p.: entry not found (line 44)
+            };
+            let Some(h) = c.value_ref(ei) else {
+                return false; // l.p.: valRef = ⊥ (line 44)
+            };
+
+            if !self.store.is_deleted(h) {
+                // Case 1: value exists and is not deleted.
+                match &op {
+                    PresentOp::Compute(f) => {
+                        if self.compute_guarded(h, *f) {
+                            // l.p.: successful nested v.compute (line 46).
+                            return true;
+                        }
+                    }
+                    PresentOp::Remove => {
+                        if self.store.remove(h) {
+                            // l.p.: v.remove set the deleted bit (line 48).
+                            self.len.fetch_sub(1, Ordering::Relaxed);
+                            self.finalize_remove(key, h);
+                            self.maybe_merge(&c);
+                            return true;
+                        }
+                    }
+                }
+            }
+            // Case 2: value deleted — ensure the entry is removed by
+            // CASing its value reference to ⊥ (lines 50–55).
+            if !c.publish() {
+                self.rebalance(&c);
+                continue;
+            }
+            let ok = c.cas_value(ei, h.to_raw(), 0);
+            c.unpublish();
+            if ok {
+                return false; // l.p.: successful CAS to ⊥ (line 52)
+            }
+            // CAS failed: the entry changed under us; retry (line 54).
+        }
+    }
+
+    /// Removal that atomically returns a copy of the removed value — the
+    /// legacy `ConcurrentNavigableMap.remove` shape. Same structure as
+    /// `do_if_present(Remove)` with a copying `v.remove`.
+    pub(crate) fn remove_with_copy(&self, key: &[u8]) -> Option<Vec<u8>> {
+        loop {
+            let c = self.index.locate(key);
+            let ei = c.lookup(self.pool(), &self.cmp, key)?;
+            let h = c.value_ref(ei)?;
+            if !self.store.is_deleted(h) {
+                if let Some(old) = self.store.remove_returning(h) {
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    self.finalize_remove(key, h);
+                    self.maybe_merge(&c);
+                    return Some(old);
+                }
+            }
+            // Value deleted: ensure the entry is cleaned, as in case 2.
+            if !c.publish() {
+                self.rebalance(&c);
+                continue;
+            }
+            let ok = c.cas_value(ei, h.to_raw(), 0);
+            c.unpublish();
+            if ok {
+                return None;
+            }
+        }
+    }
+
+    /// Algorithm 3's `finalizeRemove`: best-effort CAS of the entry's value
+    /// reference to ⊥ after a successful remove. Headers are never reused,
+    /// so comparing against `prev` is ABA-free (§4.4).
+    fn finalize_remove(&self, key: &[u8], prev: oak_mempool::HeaderRef) {
+        loop {
+            let c = self.index.locate(key);
+            let Some(ei) = c.lookup(self.pool(), &self.cmp, key) else {
+                return;
+            };
+            let v = c.value_raw(ei);
+            if v != prev.to_raw() {
+                return; // key removed or replaced already (line 65)
+            }
+            if !c.publish() {
+                self.rebalance(&c);
+                continue;
+            }
+            // Success or failure both fine: remove already linearized.
+            c.cas_value(ei, v, 0);
+            c.unpublish();
+            return;
+        }
+    }
+}

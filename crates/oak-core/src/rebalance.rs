@@ -32,7 +32,7 @@ use std::sync::Arc;
 use oak_mempool::SliceRef;
 
 use crate::chunk::Chunk;
-use crate::cmp::{KeyComparator, MinKey};
+use crate::cmp::KeyComparator;
 use crate::map::OakMap;
 
 impl<C: KeyComparator> OakMap<C> {
@@ -128,18 +128,14 @@ impl<C: KeyComparator> OakMap<C> {
 
         // Lazy index maintenance: publish new minKeys, drop stale ones.
         for nc in &new_chunks {
-            if !nc.min_key.is_empty() {
-                self.index
-                    .put(MinKey::new(&nc.min_key, self.cmp.clone()), nc.clone());
-            }
+            self.index.publish(nc);
         }
         if let Some(n) = merged_next {
             let still_a_boundary = new_chunks
                 .iter()
                 .any(|nc| self.cmp.compare(&nc.min_key, &n.min_key) == std::cmp::Ordering::Equal);
             if !still_a_boundary {
-                self.index
-                    .remove(&MinKey::new(&n.min_key, self.cmp.clone()));
+                self.index.retire(&n.min_key);
             }
         }
 
@@ -151,17 +147,16 @@ impl<C: KeyComparator> OakMap<C> {
     /// reachable from the live chain.
     fn splice(&self, old: &Arc<Chunk>, new_head: Arc<Chunk>) {
         if old.min_key.is_empty() {
-            // `old` is the first chunk; `self.first` necessarily points at
-            // it (each first-replacement updates the pointer under the
-            // old first's rebalance lock, which we hold transitively).
-            let mut g = self.first.write();
-            debug_assert!(Arc::ptr_eq(&g, old), "first pointer out of sync");
-            *g = new_head;
+            // `old` is the first chunk; the index's first pointer
+            // necessarily points at it (each first-replacement updates the
+            // pointer under the old first's rebalance lock, which we hold
+            // transitively).
+            self.index.replace_first(old, new_head);
             return;
         }
         let mut spins = 0u64;
         'outer: loop {
-            let mut cur = self.first.read().clone();
+            let mut cur = self.index.first_raw();
             loop {
                 while let Some(r) = cur.replacement() {
                     cur = r.clone();

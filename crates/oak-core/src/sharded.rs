@@ -1,0 +1,398 @@
+//! [`ShardedOakMap`]: N independent [`OakMap`] shards behind one ordered
+//! map.
+//!
+//! The paper scales a single Oak instance by rebalancing chunks; real
+//! deployments (e.g. Druid's incremental ingestion, §2.1) also shard at a
+//! coarser grain so rebalance and GC contention stay local to a fraction
+//! of the key space. `ShardedOakMap` provides that layer: point operations
+//! route to one shard via a [`ShardSplitter`]; scans k-way–merge the
+//! per-shard chunk iterators so global key order is preserved under either
+//! splitter; statistics aggregate per shard and across the map.
+//!
+//! Memory: with [`OakMapConfig::shared_arenas`] set, every shard draws its
+//! arenas from the same pre-allocated reservoir, so the global off-heap
+//! budget is enforced by the reservoir no matter how writes skew. Without
+//! it, each shard gets a private pool whose arena budget is the
+//! configured `max_arenas` divided (rounded up) across shards, keeping the
+//! aggregate ceiling comparable to an unsharded map.
+
+use std::sync::Arc;
+
+use oak_mempool::{ArenaPool, HeaderRef};
+
+use crate::buffer::{OakRBuffer, OakWBuffer};
+use crate::cmp::{KeyComparator, Lexicographic};
+use crate::config::OakMapConfig;
+use crate::error::OakError;
+use crate::map::{OakMap, OakStats};
+
+/// How keys are partitioned across shards.
+#[derive(Debug, Clone)]
+pub enum ShardSplitter {
+    /// Route by an FNV-1a hash of the first `prefix_len` key bytes
+    /// (the whole key when shorter). Spreads load uniformly; shards hold
+    /// interleaved slices of the key space, so scans always merge.
+    HashPrefix {
+        /// Number of leading key bytes hashed for routing.
+        prefix_len: usize,
+    },
+    /// Route by explicit range boundaries: `boundaries[i]` is the minimal
+    /// key of shard `i + 1` (so `N` shards take `N - 1` strictly
+    /// ascending boundaries). Keeps each shard a contiguous key range —
+    /// scans touch only the shards a range overlaps (they still merge,
+    /// but non-overlapping shards drain instantly).
+    KeyRanges(Vec<Vec<u8>>),
+}
+
+impl ShardSplitter {
+    /// The default routing: hash of the first 8 key bytes.
+    pub fn hash_prefix() -> Self {
+        ShardSplitter::HashPrefix { prefix_len: 8 }
+    }
+}
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A sharded front-end over `N` independent [`OakMap`]s.
+///
+/// Implements the same [`OrderedKvMap`](crate::OrderedKvMap) interface as
+/// a single map: point operations are linearizable per key (they execute
+/// on exactly one shard), and scans are non-atomic exactly as a single
+/// map's are (§1.1), merging per-shard iterators in comparator order.
+pub struct ShardedOakMap<C: KeyComparator = Lexicographic> {
+    shards: Vec<OakMap<C>>,
+    splitter: ShardSplitter,
+    cmp: C,
+    /// The shared arena reservoir, when the shards draw from one.
+    reservoir: Option<Arc<ArenaPool>>,
+}
+
+impl ShardedOakMap<Lexicographic> {
+    /// Creates `shards` lexicographic shards with default configuration
+    /// and hash-prefix routing.
+    pub fn new(shards: usize) -> Self {
+        Self::with_config(shards, OakMapConfig::default())
+    }
+
+    /// Creates `shards` lexicographic shards with hash-prefix routing.
+    pub fn with_config(shards: usize, config: OakMapConfig) -> Self {
+        Self::with_splitter(shards, ShardSplitter::hash_prefix(), config)
+    }
+
+    /// Creates `shards` lexicographic shards with an explicit splitter.
+    pub fn with_splitter(shards: usize, splitter: ShardSplitter, config: OakMapConfig) -> Self {
+        Self::with_comparator(shards, splitter, config, Lexicographic)
+    }
+}
+
+impl Default for ShardedOakMap<Lexicographic> {
+    /// Four default-configured shards with hash-prefix routing.
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+impl<C: KeyComparator> ShardedOakMap<C> {
+    /// Creates `shards` shards ordered by `cmp`.
+    ///
+    /// # Panics
+    ///
+    /// If `shards == 0`, or a [`ShardSplitter::KeyRanges`] splitter does
+    /// not carry exactly `shards - 1` strictly ascending boundaries
+    /// (under `cmp`).
+    pub fn with_comparator(
+        shards: usize,
+        splitter: ShardSplitter,
+        config: OakMapConfig,
+        cmp: C,
+    ) -> Self {
+        assert!(shards >= 1, "a sharded map needs at least one shard");
+        match &splitter {
+            ShardSplitter::HashPrefix { prefix_len } => {
+                assert!(*prefix_len >= 1, "hash prefix must cover at least one byte");
+            }
+            ShardSplitter::KeyRanges(bounds) => {
+                assert_eq!(
+                    bounds.len(),
+                    shards - 1,
+                    "{} shards need exactly {} range boundaries",
+                    shards,
+                    shards - 1
+                );
+                for w in bounds.windows(2) {
+                    assert!(
+                        cmp.compare(&w[0], &w[1]) == std::cmp::Ordering::Less,
+                        "range boundaries must be strictly ascending"
+                    );
+                }
+            }
+        }
+        let reservoir = config.shared_arenas.clone();
+        let shard_config = match &reservoir {
+            Some(_) => config,
+            None => {
+                // Private pools: split the arena budget so the aggregate
+                // off-heap ceiling matches the unsharded configuration.
+                let mut c = config;
+                c.pool.max_arenas = c.pool.max_arenas.div_ceil(shards).max(1);
+                c
+            }
+        };
+        let maps = (0..shards)
+            .map(|_| OakMap::with_comparator(shard_config.clone(), cmp.clone()))
+            .collect();
+        ShardedOakMap {
+            shards: maps,
+            splitter,
+            cmp,
+            reservoir,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing splitter.
+    pub fn splitter(&self) -> &ShardSplitter {
+        &self.splitter
+    }
+
+    /// The shared arena reservoir, when configured with one.
+    pub fn reservoir(&self) -> Option<&Arc<ArenaPool>> {
+        self.reservoir.as_ref()
+    }
+
+    /// The shard responsible for `key`.
+    fn shard_of(&self, key: &[u8]) -> &OakMap<C> {
+        let i = match &self.splitter {
+            ShardSplitter::HashPrefix { prefix_len } => {
+                let p = &key[..key.len().min(*prefix_len)];
+                (fnv1a(p) % self.shards.len() as u64) as usize
+            }
+            ShardSplitter::KeyRanges(bounds) => {
+                bounds.partition_point(|b| self.cmp.compare(b, key) != std::cmp::Ordering::Greater)
+            }
+        };
+        &self.shards[i]
+    }
+
+    // --- point operations (route to one shard) ----------------------------
+
+    /// Zero-copy get: applies `f` to the value bytes of `key`.
+    pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        self.shard_of(key).get_with(key, f)
+    }
+
+    /// Zero-copy get returning an [`OakRBuffer`] view.
+    pub fn get(&self, key: &[u8]) -> Option<OakRBuffer> {
+        self.shard_of(key).get(key)
+    }
+
+    /// Copying get.
+    pub fn get_copy(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.shard_of(key).get_copy(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.shard_of(key).contains_key(key)
+    }
+
+    /// Inserts or replaces `key → value`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), OakError> {
+        self.shard_of(key).put(key, value)
+    }
+
+    /// Inserts `key → value` if absent; returns whether this call
+    /// inserted.
+    pub fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool, OakError> {
+        self.shard_of(key).put_if_absent(key, value)
+    }
+
+    /// Atomically applies `f` to the value mapped to `key`, in place.
+    pub fn compute_if_present(&self, key: &[u8], f: impl Fn(&mut OakWBuffer<'_>)) -> bool {
+        self.shard_of(key).compute_if_present(key, f)
+    }
+
+    /// If `key` is absent, inserts `value`; otherwise atomically applies
+    /// `f` to the present value in place. Returns `true` if this call
+    /// inserted.
+    pub fn put_if_absent_compute_if_present(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        f: impl Fn(&mut OakWBuffer<'_>),
+    ) -> Result<bool, OakError> {
+        self.shard_of(key)
+            .put_if_absent_compute_if_present(key, value, f)
+    }
+
+    /// Removes the mapping for `key`; returns whether this call removed
+    /// it.
+    pub fn remove(&self, key: &[u8]) -> bool {
+        self.shard_of(key).remove(key)
+    }
+
+    // --- merged scans -----------------------------------------------------
+
+    /// Ascending zero-copy scan over `[lo, hi)` across all shards, in
+    /// global comparator order (k-way merge of the per-shard chunk
+    /// iterators). Returns entries visited; stops early when `f` returns
+    /// `false`.
+    pub fn for_each_in(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> usize {
+        let mut iters: Vec<_> = self.shards.iter().map(|s| s.iter_range(lo, hi)).collect();
+        let mut heads: Vec<Option<(Vec<u8>, HeaderRef)>> = Vec::with_capacity(iters.len());
+        for (i, it) in iters.iter_mut().enumerate() {
+            heads.push(Self::pull(&self.shards[i], it.next_raw()));
+        }
+        let mut count = 0;
+        loop {
+            // Argmin over shard heads: keys are unique across shards
+            // (routing is deterministic), so no tie-breaking is needed.
+            let Some(best) = self.pick(&heads, std::cmp::Ordering::Less) else {
+                return count;
+            };
+            let (kb, h) = heads[best].take().expect("picked head is live");
+            // An Err means the entry was deleted under the scan: skip it
+            // without counting.
+            if let Ok(keep) = self.shards[best].value_store().read(h, |v| f(&kb, v)) {
+                count += 1;
+                if !keep {
+                    return count;
+                }
+            }
+            heads[best] = Self::pull(&self.shards[best], iters[best].next_raw());
+        }
+    }
+
+    /// Descending zero-copy scan from `from` (inclusive; `None` = from
+    /// the global last key) down to `lo` (inclusive), in global
+    /// comparator order across shards. Returns entries visited.
+    pub fn for_each_descending(
+        &self,
+        from: Option<&[u8]>,
+        lo: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> usize {
+        let mut iters: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.iter_descending(from, lo))
+            .collect();
+        let mut heads: Vec<Option<(Vec<u8>, HeaderRef)>> = Vec::with_capacity(iters.len());
+        for (i, it) in iters.iter_mut().enumerate() {
+            heads.push(Self::pull(&self.shards[i], it.next_raw()));
+        }
+        let mut count = 0;
+        loop {
+            let Some(best) = self.pick(&heads, std::cmp::Ordering::Greater) else {
+                return count;
+            };
+            let (kb, h) = heads[best].take().expect("picked head is live");
+            if let Ok(keep) = self.shards[best].value_store().read(h, |v| f(&kb, v)) {
+                count += 1;
+                if !keep {
+                    return count;
+                }
+            }
+            heads[best] = Self::pull(&self.shards[best], iters[best].next_raw());
+        }
+    }
+
+    /// Materializes a raw iterator item into a merge head (key bytes are
+    /// copied out so heads from different pools can be compared).
+    fn pull(
+        shard: &OakMap<C>,
+        item: Option<(oak_mempool::SliceRef, HeaderRef)>,
+    ) -> Option<(Vec<u8>, HeaderRef)> {
+        item.map(|(kref, h)| {
+            let kb = unsafe { shard.pool().slice(kref) }.to_vec();
+            (kb, h)
+        })
+    }
+
+    /// Index of the head whose key wins under `want` (Less = argmin for
+    /// ascending, Greater = argmax for descending); `None` when all
+    /// iterators are drained.
+    fn pick(
+        &self,
+        heads: &[Option<(Vec<u8>, HeaderRef)>],
+        want: std::cmp::Ordering,
+    ) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            let Some((kb, _)) = head else { continue };
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let bk = &heads[b].as_ref().expect("best head is live").0;
+                    if self.cmp.compare(kb, bk) == want {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    // --- aggregate queries ------------------------------------------------
+
+    /// Total live key-value pairs across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(OakMap::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(OakMap::is_empty)
+    }
+
+    /// Aggregated statistics: field-wise sum over shards (shards draw
+    /// disjoint arenas, so pool footprints add exactly).
+    pub fn stats(&self) -> OakStats {
+        let mut it = self.shards.iter().map(OakMap::stats);
+        let first = it.next().expect("at least one shard");
+        it.fold(first, |acc, s| acc.merged(&s))
+    }
+
+    /// Per-shard statistics, in shard order.
+    pub fn shard_stats(&self) -> Vec<OakStats> {
+        self.shards.iter().map(OakMap::stats).collect()
+    }
+
+    /// Validates every shard's chunk-list invariants (test support).
+    ///
+    /// # Panics
+    ///
+    /// If any shard's invariants are violated.
+    pub fn validate(&self) {
+        for s in &self.shards {
+            s.validate();
+        }
+    }
+}
+
+impl<C: KeyComparator> std::fmt::Debug for ShardedOakMap<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedOakMap")
+            .field("shards", &self.shards.len())
+            .field("splitter", &self.splitter)
+            .field("len", &self.len())
+            .finish()
+    }
+}

@@ -22,7 +22,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use oak_core::{all_failpoint_sites, OakMap, OakMapConfig};
+use oak_core::{all_failpoint_sites, OakMap, OakMapConfig, OrderedKvMap};
 use oak_failpoints::{configure, scenario, Action, FirePolicy, Schedule, SplitMix64};
 use oak_mempool::{PoolConfig, ReclamationPolicy};
 
@@ -186,6 +186,77 @@ fn seeded_schedules_match_model() {
         seeds_with_injections > SEEDS / 2,
         "only {seeds_with_injections}/{SEEDS} schedules injected anything"
     );
+}
+
+/// The fail-before-mutation contract must also hold when the map is
+/// driven through the workspace-wide [`OrderedKvMap`] trait object — the
+/// path the generic bench adapter and conformance harness use.
+#[test]
+fn schedule_through_trait_object_matches_model() {
+    let _s = scenario();
+    Schedule::generate(0xDA7A, &all_failpoint_sites()).install();
+
+    let oak = OakMap::with_config(cramped_config(false));
+    let map: &dyn OrderedKvMap = &oak;
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut rng = SplitMix64::new(0xDA7A);
+
+    for i in 0..OPS_PER_SEED {
+        let k = rng.below(KEYS);
+        let kb = key_bytes(k);
+        match rng.below(5) {
+            0 => {
+                let v = gen_value(&mut rng);
+                if map.put(&kb, &v).is_ok() {
+                    model.insert(k, v);
+                }
+            }
+            1 => {
+                assert_eq!(
+                    map.remove(&kb),
+                    model.remove(&k).is_some(),
+                    "op {i}: trait remove disagrees with model"
+                );
+            }
+            2 => {
+                let ran = map.compute_if_present(&kb, &|b: &mut [u8]| b[0] = COMPUTE_MARK);
+                assert_eq!(
+                    ran,
+                    model.contains_key(&k),
+                    "op {i}: trait computeIfPresent disagrees with model"
+                );
+                if ran {
+                    model.get_mut(&k).unwrap()[0] = COMPUTE_MARK;
+                }
+            }
+            3 => {
+                let v = gen_value(&mut rng);
+                if let Ok(inserted) = map.put_if_absent(&kb, &v) {
+                    assert_eq!(
+                        inserted,
+                        !model.contains_key(&k),
+                        "op {i}: trait putIfAbsent disagrees with model"
+                    );
+                    if inserted {
+                        model.insert(k, v);
+                    }
+                }
+            }
+            _ => {
+                assert_eq!(
+                    map.get_copy(&kb),
+                    model.get(&k).cloned(),
+                    "op {i}: trait get disagrees with model"
+                );
+            }
+        }
+    }
+
+    oak.validate();
+    assert_eq!(map.len(), model.len());
+    for k in 0..KEYS {
+        assert_eq!(map.get_copy(&key_bytes(k)), model.get(&k).cloned());
+    }
 }
 
 /// Final observable state of a replay: map length plus per-key contents.

@@ -1,0 +1,163 @@
+//! Concurrency and aggregation smoke tests for [`ShardedOakMap`].
+
+use std::sync::Arc;
+
+use oak_core::{OakMapConfig, ShardSplitter, ShardedOakMap};
+use oak_mempool::{ArenaPool, PoolConfig};
+
+// The varying digits sit inside the default 8-byte hash prefix, so the
+// hash splitter sees many distinct prefixes and spreads keys over shards.
+fn key(t: usize, i: u64) -> Vec<u8> {
+    format!("{t:02}-{i:06}").into_bytes()
+}
+
+#[test]
+fn concurrent_put_get_remove_keeps_invariants() {
+    const THREADS: usize = 4;
+    const OPS: u64 = 3_000;
+
+    let map = Arc::new(ShardedOakMap::with_config(4, OakMapConfig::small()));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let map = map.clone();
+            std::thread::spawn(move || {
+                // Each thread owns a disjoint key range: the final state is
+                // deterministic even though shards interleave internally.
+                for i in 0..OPS {
+                    let k = key(t, i);
+                    map.put(&k, &i.to_le_bytes()).unwrap();
+                    assert_eq!(map.get_copy(&k).as_deref(), Some(&i.to_le_bytes()[..]));
+                    if i % 3 == 0 {
+                        assert!(map.remove(&k));
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Every shard still satisfies the chunk-list invariants, and the
+    // aggregated len matches both the surviving keys and the per-shard sum.
+    map.validate();
+    let expect = THREADS as u64 * (OPS - OPS.div_ceil(3));
+    assert_eq!(map.len() as u64, expect);
+    let shard_sum: usize = map.shard_stats().iter().map(|s| s.len).sum();
+    assert_eq!(shard_sum, map.len());
+    assert_eq!(map.stats().len, map.len());
+
+    // The hash splitter actually spread the load: no shard is empty at
+    // this population, and no shard holds everything.
+    let lens: Vec<usize> = map.shard_stats().iter().map(|s| s.len).collect();
+    assert!(
+        lens.iter().all(|&l| l > 0),
+        "a shard stayed empty: {lens:?}"
+    );
+    assert!(
+        lens.iter().all(|&l| l < map.len()),
+        "one shard holds everything: {lens:?}"
+    );
+}
+
+#[test]
+fn concurrent_merged_scans_observe_settled_keys() {
+    let map = Arc::new(ShardedOakMap::with_config(4, OakMapConfig::small()));
+    // Settled prefix: inserted before any scanner starts, never removed —
+    // the non-atomic scan contract (§1.1) guarantees these are returned.
+    for i in 0..500u64 {
+        map.put(&key(0, i), &i.to_le_bytes()).unwrap();
+    }
+
+    let writer = {
+        let map = map.clone();
+        std::thread::spawn(move || {
+            for i in 0..2_000u64 {
+                map.put(&key(1, i), &i.to_le_bytes()).unwrap();
+                if i % 2 == 0 {
+                    map.remove(&key(1, i));
+                }
+            }
+        })
+    };
+    let scanner = {
+        let map = map.clone();
+        std::thread::spawn(move || {
+            for _ in 0..20 {
+                let mut prev: Option<Vec<u8>> = None;
+                let mut settled = 0;
+                map.for_each_in(None, None, |k, _| {
+                    if let Some(p) = &prev {
+                        assert!(k > p.as_slice(), "merged ascend out of order");
+                    }
+                    prev = Some(k.to_vec());
+                    if k.starts_with(b"00-") {
+                        settled += 1;
+                    }
+                    true
+                });
+                assert_eq!(settled, 500, "a settled key vanished from the scan");
+            }
+        })
+    };
+    writer.join().unwrap();
+    scanner.join().unwrap();
+    map.validate();
+}
+
+#[test]
+fn shards_draw_from_a_shared_reservoir() {
+    let reservoir = Arc::new(ArenaPool::new(64 << 10, 16));
+    let config = OakMapConfig::small()
+        .pool(PoolConfig {
+            arena_size: 64 << 10,
+            max_arenas: 16,
+        })
+        .shared_arenas(reservoir.clone());
+    let map = ShardedOakMap::with_config(4, config);
+    assert!(map.reservoir().is_some());
+
+    for i in 0..2_000u64 {
+        map.put(&key(0, i), &[0u8; 64]).unwrap();
+    }
+    let stats = reservoir.stats();
+    assert!(
+        stats.outstanding >= 4,
+        "each shard should hold at least one reservoir arena: {stats:?}"
+    );
+    // Dropping the sharded map returns every arena to the reservoir.
+    drop(map);
+    assert_eq!(reservoir.stats().outstanding, 0);
+}
+
+#[test]
+fn key_range_splitter_routes_contiguously() {
+    let bounds = vec![b"g".to_vec(), b"n".to_vec(), b"t".to_vec()];
+    let map =
+        ShardedOakMap::with_splitter(4, ShardSplitter::KeyRanges(bounds), OakMapConfig::small());
+    for w in ["alpha", "golf", "mike", "november", "tango", "zulu"] {
+        map.put(w.as_bytes(), b"x").unwrap();
+    }
+    // alpha → shard 0; golf, mike → shard 1; november → shard 2;
+    // tango, zulu → shard 3.
+    let lens: Vec<usize> = map.shard_stats().iter().map(|s| s.len).collect();
+    assert_eq!(lens, vec![1, 2, 1, 2]);
+
+    // Ascending merge yields global lexicographic order regardless.
+    let mut seen = Vec::new();
+    map.for_each_in(None, None, |k, _| {
+        seen.push(String::from_utf8(k.to_vec()).unwrap());
+        true
+    });
+    assert_eq!(seen, ["alpha", "golf", "mike", "november", "tango", "zulu"]);
+}
+
+#[test]
+#[should_panic(expected = "range boundaries")]
+fn misordered_range_boundaries_are_rejected() {
+    let _ = ShardedOakMap::with_splitter(
+        3,
+        ShardSplitter::KeyRanges(vec![b"m".to_vec(), b"a".to_vec()]),
+        OakMapConfig::small(),
+    );
+}

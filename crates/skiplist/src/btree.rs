@@ -73,25 +73,29 @@ impl LockedBTreeMap {
         unsafe { self.store.pool().slice(r) }
     }
 
-    /// Zero-copy get under the shared lock.
-    pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Option<R> {
-        let root = self.root.read();
-        let mut node = &*root;
-        loop {
-            match node {
-                Node::Internal { keys, children } => {
-                    let idx = keys.partition_point(|k| k.as_ref() <= key);
-                    node = &children[idx];
-                }
-                Node::Leaf { keys, vals } => {
-                    let idx = keys.partition_point(|&k| self.key_bytes(k) < key);
-                    if idx < keys.len() && self.key_bytes(keys[idx]) == key {
-                        return self.store.read(vals[idx], f).ok();
-                    }
-                    return None;
+    /// Header lookup inside a node already guarded by either lock mode.
+    fn find_header(&self, node: &Node, key: &[u8]) -> Option<HeaderRef> {
+        match node {
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k.as_ref() <= key);
+                self.find_header(&children[idx], key)
+            }
+            Node::Leaf { keys, vals } => {
+                let idx = keys.partition_point(|&k| self.key_bytes(k) < key);
+                if idx < keys.len() && self.key_bytes(keys[idx]) == key {
+                    Some(vals[idx])
+                } else {
+                    None
                 }
             }
         }
+    }
+
+    /// Zero-copy get under the shared lock.
+    pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let root = self.root.read();
+        let h = self.find_header(&root, key)?;
+        self.store.read(h, f).ok()
     }
 
     /// Copying get.
@@ -99,32 +103,96 @@ impl LockedBTreeMap {
         self.get_with(key, |b| b.to_vec())
     }
 
-    /// Inserts or replaces `key → value` under the exclusive lock.
-    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), AllocError> {
-        let mut root = self.root.write();
-        // Pre-split a full root so the recursive insert never splits upward
-        // past its parent.
-        if node_full(&root) {
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.get_with(key, |_| ()).is_some()
+    }
+
+    /// Pre-splits a full root so the recursive insert never splits upward
+    /// past its parent.
+    fn pre_split_root(&self, root: &mut Node) {
+        if node_full(root) {
             let old_root = std::mem::replace(
-                &mut *root,
+                root,
                 Node::Internal {
                     keys: Vec::new(),
                     children: Vec::new(),
                 },
             );
             let (sep, (left, right)) = self.split(old_root);
-            let Node::Internal { keys, children } = &mut *root else {
+            let Node::Internal { keys, children } = root else {
                 unreachable!()
             };
             keys.push(sep);
             children.push(left);
             children.push(right);
         }
+    }
+
+    /// Inserts or replaces `key → value` under the exclusive lock.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), AllocError> {
+        let mut root = self.root.write();
+        self.pre_split_root(&mut root);
         let inserted = self.insert_non_full(&mut root, key, value)?;
         if inserted {
             *self.len.write() += 1;
         }
         Ok(())
+    }
+
+    /// Inserts `key → value` if absent; returns `true` if this call
+    /// inserted. Atomic: the check and the insert share one exclusive lock
+    /// acquisition.
+    pub fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool, AllocError> {
+        let mut root = self.root.write();
+        if self.find_header(&root, key).is_some() {
+            return Ok(false);
+        }
+        self.pre_split_root(&mut root);
+        let inserted = self.insert_non_full(&mut root, key, value)?;
+        if inserted {
+            *self.len.write() += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Atomically updates the value in place under the shared lock plus
+    /// the value header's write lock. Returns whether the value was
+    /// present.
+    pub fn compute_if_present(
+        &self,
+        key: &[u8],
+        f: impl FnOnce(&mut oak_mempool::ValueBytesMut<'_>),
+    ) -> bool {
+        let root = self.root.read();
+        match self.find_header(&root, key) {
+            Some(h) => self.store.compute(h, f).is_some(),
+            None => false,
+        }
+    }
+
+    /// `putIfAbsentComputeIfPresent`: insert if absent, else atomic
+    /// in-place update. Returns `true` if this call inserted.
+    pub fn put_if_absent_compute_if_present(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        f: impl Fn(&mut oak_mempool::ValueBytesMut<'_>),
+    ) -> Result<bool, AllocError> {
+        let mut root = self.root.write();
+        if let Some(h) = self.find_header(&root, key) {
+            if self.store.compute(h, &f).is_some() {
+                return Ok(false);
+            }
+            // Deleted header: cannot persist under the write lock (remove
+            // also drops the slot), but recover by overwriting via insert.
+        }
+        self.pre_split_root(&mut root);
+        let inserted = self.insert_non_full(&mut root, key, value)?;
+        if inserted {
+            *self.len.write() += 1;
+        }
+        Ok(inserted)
     }
 
     fn insert_non_full(
@@ -267,6 +335,65 @@ impl LockedBTreeMap {
         let mut count = 0;
         self.scan_rec(&root, lo, hi, &mut f, &mut count);
         count
+    }
+
+    /// Descending scan from `from` (inclusive; `None` = from the last key)
+    /// down to `lo` (inclusive; `None` = unbounded) under the shared lock.
+    pub fn for_each_descending(
+        &self,
+        from: Option<&[u8]>,
+        lo: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> usize {
+        let root = self.root.read();
+        let mut count = 0;
+        self.scan_desc_rec(&root, from, lo, &mut f, &mut count);
+        count
+    }
+
+    fn scan_desc_rec(
+        &self,
+        node: &Node,
+        from: Option<&[u8]>,
+        lo: Option<&[u8]>,
+        f: &mut impl FnMut(&[u8], &[u8]) -> bool,
+        count: &mut usize,
+    ) -> bool {
+        match node {
+            Node::Internal { keys, children } => {
+                let start = match from {
+                    Some(b) => keys.partition_point(|k| k.as_ref() <= b),
+                    None => children.len() - 1,
+                };
+                for child in children.iter().take(start + 1).rev() {
+                    if !self.scan_desc_rec(child, from, lo, f, count) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Node::Leaf { keys, vals } => {
+                for i in (0..keys.len()).rev() {
+                    let kb = self.key_bytes(keys[i]);
+                    if let Some(b) = from {
+                        if kb > b {
+                            continue;
+                        }
+                    }
+                    if let Some(l) = lo {
+                        if kb < l {
+                            return false; // descending: below lo = done
+                        }
+                    }
+                    let keep = self.store.read(vals[i], |v| f(kb, v)).unwrap_or(true);
+                    *count += 1;
+                    if !keep {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
     }
 
     fn scan_rec(

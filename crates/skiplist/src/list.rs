@@ -853,6 +853,21 @@ where
         });
         out
     }
+
+    /// Last live key in the map. O(n) bottom-level walk — the list keeps no
+    /// backward pointers, matching `ConcurrentSkipListMap`'s node layout;
+    /// used as the anchor for unbounded descending scans.
+    pub fn last_key(&self) -> Option<K>
+    where
+        K: Clone,
+    {
+        let mut out = None;
+        self.for_each_range(None, None, |k, _| {
+            out = Some(k.clone());
+            true
+        });
+        out
+    }
 }
 
 impl<K, V> Default for SkipListMap<K, V>
@@ -866,6 +881,9 @@ where
 }
 
 impl<K, V> Drop for SkipListMap<K, V> {
+    // drop_non_drop: whether `Owned` frees on drop depends on the epoch
+    // backend; the drop calls are the point of this destructor.
+    #[allow(clippy::drop_non_drop)]
     fn drop(&mut self) {
         // Exclusive access: collect every reachable node once (a node
         // unlinked at the bottom may still be linked at an upper level),

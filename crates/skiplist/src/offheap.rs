@@ -223,13 +223,13 @@ impl OffHeapSkipListMap {
     }
 
     /// `putIfAbsentComputeIfPresent`: insert if absent, else atomic
-    /// in-place update.
+    /// in-place update. Returns `true` if this call inserted.
     pub fn put_if_absent_compute_if_present(
         &self,
         key: &[u8],
         value: &[u8],
         f: impl Fn(&mut oak_mempool::ValueBytesMut<'_>),
-    ) -> Result<(), AllocError> {
+    ) -> Result<bool, AllocError> {
         loop {
             let lookup = OffKey::inline(key);
             let computed = self
@@ -237,14 +237,19 @@ impl OffHeapSkipListMap {
                 .get_with(&lookup, |h| self.store.compute(*h, &f).is_some())
                 .unwrap_or(false);
             if computed {
-                return Ok(());
+                return Ok(false);
             }
             let (k, h) = self.new_cell(key, value)?;
             if self.list.put_if_absent(k, h) {
-                return Ok(());
+                return Ok(true);
             }
             self.store.remove(h);
         }
+    }
+
+    /// Last live key (anchor for unbounded descending scans); O(n).
+    pub fn last_key(&self) -> Option<Vec<u8>> {
+        self.list.last_key().map(|k| k.bytes().to_vec())
     }
 
     /// Removes the mapping; returns `true` if this call removed it.

@@ -9,6 +9,10 @@
 //! of all per-key counts must equal the number of events — the invariant
 //! a non-atomic merge would violate under contention.
 //!
+//! The whole workload is written once against the [`OrderedKvMap`] trait
+//! and run twice: on a single `OakMap` and on a 4-shard `ShardedOakMap`,
+//! which spreads rebalance contention across shards.
+//!
 //! ```sh
 //! cargo run --release --example concurrent_aggregation
 //! ```
@@ -16,7 +20,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use oak_kv::{OakMap, OakMapConfig};
+use oak_kv::{OakMap, OakMapConfig, OakStatsSource, OrderedKvMap, ShardedOakMap};
 
 const WORKERS: u64 = 8;
 const EVENTS_PER_WORKER: u64 = 50_000;
@@ -25,8 +29,10 @@ fn key(minute: u64, page: u64) -> Vec<u8> {
     format!("m{minute:06}/p{page:04}").into_bytes()
 }
 
-fn main() {
-    let map = Arc::new(OakMap::with_config(OakMapConfig::default()));
+fn ingest_and_check<M>(label: &str, map: Arc<M>)
+where
+    M: OrderedKvMap + OakStatsSource + 'static,
+{
     let produced = Arc::new(AtomicU64::new(0));
 
     let start = std::time::Instant::now();
@@ -45,12 +51,12 @@ fn main() {
                 init[..8].copy_from_slice(&1u64.to_le_bytes());
                 init[8..].copy_from_slice(&revenue_cents.to_le_bytes());
 
-                map.put_if_absent_compute_if_present(&key(minute, page), &init, |buf| {
+                map.put_if_absent_compute_if_present(&key(minute, page), &init, &|buf| {
                     // Atomic: the whole lambda runs under the value lock.
-                    let count = u64::from_le_bytes(buf.as_slice()[..8].try_into().unwrap());
-                    let rev = u64::from_le_bytes(buf.as_slice()[8..].try_into().unwrap());
-                    buf.as_mut_slice()[..8].copy_from_slice(&(count + 1).to_le_bytes());
-                    buf.as_mut_slice()[8..].copy_from_slice(&(rev + revenue_cents).to_le_bytes());
+                    let count = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                    let rev = u64::from_le_bytes(buf[8..].try_into().unwrap());
+                    buf[..8].copy_from_slice(&(count + 1).to_le_bytes());
+                    buf[8..].copy_from_slice(&(rev + revenue_cents).to_le_bytes());
                 })
                 .expect("ingest");
                 produced.fetch_add(1, Ordering::Relaxed);
@@ -66,7 +72,7 @@ fn main() {
             let mut last = 0u64;
             while produced.load(Ordering::Relaxed) < WORKERS * EVENTS_PER_WORKER {
                 let mut counted = 0u64;
-                map.for_each_in(None, None, |_, v| {
+                map.ascend(None, None, &mut |_, v| {
                     counted += u64::from_le_bytes(v[..8].try_into().unwrap());
                     true
                 });
@@ -91,29 +97,42 @@ fn main() {
     // The atomicity check: no update may be lost.
     let mut total_count = 0u64;
     let mut total_revenue = 0u64;
-    map.for_each_in(None, None, |_, v| {
+    map.ascend(None, None, &mut |_, v| {
         total_count += u64::from_le_bytes(v[..8].try_into().unwrap());
         total_revenue += u64::from_le_bytes(v[8..].try_into().unwrap());
         true
     });
     let expected = WORKERS * EVENTS_PER_WORKER;
     println!(
-        "\ningested {expected} events from {WORKERS} threads in {elapsed:?} \
+        "\n[{label}] ingested {expected} events from {WORKERS} threads in {elapsed:?} \
          ({:.0} Kops/s aggregate)",
         expected as f64 / elapsed.as_secs_f64() / 1_000.0
     );
     println!(
-        "aggregated into {} keys; total count {total_count}, revenue {:.2}",
+        "[{label}] aggregated into {} keys; total count {total_count}, revenue {:.2}",
         map.len(),
         total_revenue as f64 / 100.0
     );
     assert_eq!(total_count, expected, "lost updates!");
-    println!("atomicity check passed: zero lost updates");
-    let stats = map.stats();
-    println!(
-        "map: {} chunks, {} rebalances, {:.1} MB off-heap live",
-        stats.chunks,
-        stats.rebalances,
-        stats.pool.live_bytes as f64 / 1e6
+    println!("[{label}] atomicity check passed: zero lost updates");
+    for (i, stats) in map.shard_stats().iter().enumerate() {
+        println!(
+            "[{label}]   shard {i}: {} keys, {} chunks, {} rebalances, {:.1} MB off-heap live",
+            stats.len,
+            stats.chunks,
+            stats.rebalances,
+            stats.pool.live_bytes as f64 / 1e6
+        );
+    }
+}
+
+fn main() {
+    ingest_and_check(
+        "OakMap",
+        Arc::new(OakMap::with_config(OakMapConfig::default())),
+    );
+    ingest_and_check(
+        "ShardedOak-4",
+        Arc::new(ShardedOakMap::with_config(4, OakMapConfig::default())),
     );
 }

@@ -1,7 +1,9 @@
 //! Quickstart: the Oak map in five minutes.
 //!
 //! Demonstrates both API surfaces of Table 1 — the zero-copy API
-//! (`map.zc()`) and the legacy copying API — plus the footprint query.
+//! (`map.zc()`) and the legacy copying API — plus the footprint query and
+//! the workspace-wide [`OrderedKvMap`] trait that lets the same code run
+//! against a plain map, a sharded map, or any of the baselines.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -9,7 +11,13 @@
 
 use oak_kv::legacy::TypedOakMap;
 use oak_kv::serde_api::{StringSerializer, U64Serializer};
-use oak_kv::{OakMap, OakMapConfig};
+use oak_kv::{OakMap, OakMapConfig, OrderedKvMap, ShardedOakMap};
+
+/// Runs against anything that implements the trait — `OakMap`,
+/// `ShardedOakMap`, or the skiplist/B-tree baselines.
+fn count_between(map: &dyn OrderedKvMap, lo: &[u8], hi: &[u8]) -> usize {
+    map.ascend(Some(lo), Some(hi), &mut |_, _| true)
+}
 
 fn main() {
     // ---- Zero-copy API ----------------------------------------------------
@@ -69,6 +77,19 @@ fn main() {
         "footprint: {} bytes reserved, {} live, {} chunks, {} rebalances",
         stats.pool.reserved_bytes, stats.pool.live_bytes, stats.chunks, stats.rebalances
     );
+
+    // ---- One interface, many maps -----------------------------------------
+    // The same helper runs on the plain map and on a 4-shard front-end.
+    let sharded = ShardedOakMap::with_config(4, OakMapConfig::small());
+    for fruit in ["apple", "banana", "cherry", "damson", "elderberry"] {
+        sharded.put(fruit.as_bytes(), b"fruit").unwrap();
+    }
+    println!(
+        "trait scan: plain map has {} keys in [b, d), sharded map has {}",
+        count_between(&map, b"b", b"d"),
+        count_between(&sharded, b"b", b"d"),
+    );
+    assert_eq!(count_between(&sharded, b"b", b"d"), 2); // banana, cherry
 
     // ---- Legacy (typed, copying) API ---------------------------------------
     let typed = TypedOakMap::new(

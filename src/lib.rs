@@ -9,6 +9,9 @@
 //!
 //! * [`OakMap`] and the zero-copy / legacy APIs — the paper's contribution
 //!   ([`oak_core`]);
+//! * the unified [`OrderedKvMap`] trait implemented by every ordered map in
+//!   the workspace, and [`ShardedOakMap`] — N independent shards behind the
+//!   same interface, routed by a [`ShardSplitter`];
 //! * the self-managed memory pool ([`mempool`] = [`oak_mempool`]);
 //! * the managed-heap (JVM) simulator used by the memory experiments
 //!   ([`gcheap`] = [`oak_gcheap`]);
@@ -37,7 +40,8 @@
 
 pub use oak_core::{
     legacy, serde_api, DescendIter, EntryIter, KeyComparator, Lexicographic, OakError, OakMap,
-    OakMapConfig, OakRBuffer, OakStats, OakWBuffer, U64BeComparator, ZeroCopyView,
+    OakMapConfig, OakRBuffer, OakStats, OakStatsSource, OakWBuffer, OnHeapSkipListMap,
+    OrderedKvMap, ShardSplitter, ShardedOakMap, U64BeComparator, ZeroCopyRead, ZeroCopyView,
 };
 
 /// The self-managed off-heap memory substrate (arenas, free lists, value

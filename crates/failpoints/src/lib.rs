@@ -103,6 +103,30 @@ macro_rules! fail_point {
     };
 }
 
+/// Evaluates the named sync point (see [`sync_point!`]).
+///
+/// Inactive implementation: compiled when the `failpoints` feature is off,
+/// so instrumented call sites fold to nothing.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn eval_sync(_name: &str) {}
+
+/// Declares a named *sync point* — a decision site a deterministic
+/// interleaving schedule can gate on.
+///
+/// A thread reaching a sync point blocks until the installed
+/// `SyncSchedule` (exported under the `failpoints` feature) permits it
+/// to proceed; threads
+/// with no registered role, and sites not mentioned in the remainder of
+/// the schedule, pass through immediately. Compiles to a true no-op when
+/// the `failpoints` feature is disabled.
+#[macro_export]
+macro_rules! sync_point {
+    ($name:expr) => {
+        $crate::eval_sync($name);
+    };
+}
+
 #[cfg(feature = "failpoints")]
 mod active {
     use std::collections::HashMap;
@@ -382,14 +406,282 @@ mod active {
 }
 
 #[cfg(feature = "failpoints")]
+mod sync {
+    //! Deterministic interleaving engine: named sync points + an explicit
+    //! thread schedule.
+    //!
+    //! A [`SyncSchedule`] is an ordered list of `(role, site)` steps. Each
+    //! participating thread registers a *role* (an arbitrary short name)
+    //! via [`sync_role`]; when it reaches a `sync_point!`, it blocks until
+    //! its `(role, site)` pair is at the head of the remaining schedule,
+    //! then consumes that step and proceeds. Pairs that do not appear in
+    //! the remaining schedule — and threads with no role — pass through
+    //! without blocking, so a schedule only needs to name the hits it
+    //! cares about.
+    //!
+    //! Deadlock safety: a waiter that times out marks the whole schedule
+    //! *abandoned*; every sync point then becomes a no-op and the test can
+    //! fail loudly via [`SyncSession::completed`].
+
+    use std::cell::RefCell;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+    use std::time::Duration;
+
+    /// One step of a [`SyncSchedule`]: the named `role` must be the thread
+    /// that performs the next hit of `site`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SyncStep {
+        /// Thread role (registered with [`sync_role`]).
+        pub role: String,
+        /// Sync-point site name, e.g. `"iter/descend-step"`.
+        pub site: String,
+    }
+
+    /// An explicit thread interleaving: the ordered `(role, site)` steps
+    /// that scheduled threads must perform one at a time.
+    #[derive(Debug, Clone, Default)]
+    pub struct SyncSchedule {
+        /// Ordered steps.
+        pub steps: Vec<SyncStep>,
+    }
+
+    impl SyncSchedule {
+        /// An empty schedule (every sync point passes through).
+        pub fn new() -> Self {
+            SyncSchedule::default()
+        }
+
+        /// Appends one step (builder style).
+        pub fn step(mut self, role: &str, site: &str) -> Self {
+            self.steps.push(SyncStep {
+                role: role.to_string(),
+                site: site.to_string(),
+            });
+            self
+        }
+
+        /// Parses the schedule DSL: steps separated by `->`, `;` or
+        /// newlines, each `role@site` with an optional `*N` repetition.
+        /// `#` starts a comment running to the end of the line.
+        ///
+        /// ```
+        /// # use oak_failpoints::SyncSchedule;
+        /// let s = SyncSchedule::parse(
+        ///     "scan@iter/descend-step*2 -> main@test/go ; scan@iter/descend-step",
+        /// )
+        /// .unwrap();
+        /// assert_eq!(s.steps.len(), 4);
+        /// ```
+        pub fn parse(dsl: &str) -> Result<SyncSchedule, String> {
+            let mut steps = Vec::new();
+            for line in dsl.lines() {
+                let line = line.split('#').next().unwrap_or("");
+                for tok in line.split(';').flat_map(|s| s.split("->")) {
+                    let tok = tok.trim();
+                    if tok.is_empty() {
+                        continue;
+                    }
+                    let (pair, reps) = match tok.rsplit_once('*') {
+                        Some((p, n)) => {
+                            let reps: usize = n
+                                .trim()
+                                .parse()
+                                .map_err(|_| format!("bad repetition in step '{tok}'"))?;
+                            (p.trim(), reps)
+                        }
+                        None => (tok, 1),
+                    };
+                    let (role, site) = pair
+                        .split_once('@')
+                        .ok_or_else(|| format!("step '{tok}' is not 'role@site'"))?;
+                    let (role, site) = (role.trim(), site.trim());
+                    if role.is_empty() || site.is_empty() {
+                        return Err(format!("step '{tok}' has an empty role or site"));
+                    }
+                    for _ in 0..reps {
+                        steps.push(SyncStep {
+                            role: role.to_string(),
+                            site: site.to_string(),
+                        });
+                    }
+                }
+            }
+            Ok(SyncSchedule { steps })
+        }
+    }
+
+    struct EngineState {
+        steps: VecDeque<SyncStep>,
+        abandoned: bool,
+        timeout: Duration,
+    }
+
+    struct Controller {
+        state: Mutex<Option<EngineState>>,
+        cv: Condvar,
+    }
+
+    fn controller() -> &'static Controller {
+        static CTL: OnceLock<Controller> = OnceLock::new();
+        CTL.get_or_init(|| Controller {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Fast-path gate: a single relaxed load when no schedule is installed.
+    static SYNC_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+    thread_local! {
+        static ROLE: RefCell<Option<String>> = const { RefCell::new(None) };
+    }
+
+    /// RAII guard for a thread's schedule role; restores the previous role
+    /// (usually none) on drop.
+    pub struct SyncRole {
+        prev: Option<String>,
+    }
+
+    /// Registers the calling thread under `role` for the installed
+    /// [`SyncSchedule`]. Threads without a role never block at sync points.
+    pub fn sync_role(role: &str) -> SyncRole {
+        let prev = ROLE.with(|r| r.replace(Some(role.to_string())));
+        SyncRole { prev }
+    }
+
+    impl Drop for SyncRole {
+        fn drop(&mut self) {
+            let prev = self.prev.take();
+            ROLE.with(|r| *r.borrow_mut() = prev);
+        }
+    }
+
+    fn lock_state() -> MutexGuard<'static, Option<EngineState>> {
+        controller()
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// See [`sync_point!`]; this is the active implementation.
+    pub fn eval_sync(name: &str) {
+        if !SYNC_ACTIVE.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(role) = ROLE.with(|r| r.borrow().clone()) else {
+            return;
+        };
+        let c = controller();
+        let mut g = lock_state();
+        loop {
+            let Some(st) = g.as_mut() else { return };
+            if st.abandoned {
+                return;
+            }
+            if !st.steps.iter().any(|s| s.role == role && s.site == name) {
+                return;
+            }
+            let head = st.steps.front().expect("non-empty: contains our step");
+            if head.role == role && head.site == name {
+                st.steps.pop_front();
+                c.cv.notify_all();
+                return;
+            }
+            let timeout = st.timeout;
+            let (ng, res) =
+                c.cv.wait_timeout(g, timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
+            g = ng;
+            if res.timed_out() {
+                if let Some(st) = g.as_mut() {
+                    st.abandoned = true;
+                }
+                c.cv.notify_all();
+                return;
+            }
+        }
+    }
+
+    /// RAII session for one installed [`SyncSchedule`]. Sessions serialize
+    /// process-wide (the engine is global); dropping the session clears the
+    /// schedule and releases any stragglers.
+    pub struct SyncSession {
+        _guard: MutexGuard<'static, ()>,
+    }
+
+    /// Installs `schedule` with the default 5-second waiter timeout.
+    pub fn sync_scenario(schedule: SyncSchedule) -> SyncSession {
+        sync_scenario_with_timeout(schedule, Duration::from_secs(5))
+    }
+
+    /// Installs `schedule`; a thread blocked at a sync point for longer
+    /// than `timeout` abandons the whole schedule (deadlock safety — the
+    /// test should then fail via [`SyncSession::completed`]).
+    pub fn sync_scenario_with_timeout(schedule: SyncSchedule, timeout: Duration) -> SyncSession {
+        static SESSION: Mutex<()> = Mutex::new(());
+        let guard = SESSION.lock().unwrap_or_else(PoisonError::into_inner);
+        {
+            let mut g = lock_state();
+            *g = Some(EngineState {
+                steps: schedule.steps.into(),
+                abandoned: false,
+                timeout,
+            });
+        }
+        SYNC_ACTIVE.store(true, Ordering::Release);
+        SyncSession { _guard: guard }
+    }
+
+    impl SyncSession {
+        /// Steps not yet consumed.
+        pub fn remaining(&self) -> Vec<SyncStep> {
+            lock_state()
+                .as_ref()
+                .map(|st| st.steps.iter().cloned().collect())
+                .unwrap_or_default()
+        }
+
+        /// Whether a waiter timed out and abandoned the schedule.
+        pub fn abandoned(&self) -> bool {
+            lock_state().as_ref().is_some_and(|st| st.abandoned)
+        }
+
+        /// Whether every step was consumed (and nothing timed out).
+        pub fn completed(&self) -> bool {
+            lock_state()
+                .as_ref()
+                .is_some_and(|st| st.steps.is_empty() && !st.abandoned)
+        }
+    }
+
+    impl Drop for SyncSession {
+        fn drop(&mut self) {
+            SYNC_ACTIVE.store(false, Ordering::Release);
+            let mut g = lock_state();
+            *g = None;
+            controller().cv.notify_all();
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
 pub use active::{
     clear, configure, deconfigure, eval, fired, hits, scenario, total_fired, Action, FirePolicy,
     Scenario, Schedule, ScheduleEntry, SplitMix64,
 };
 
+#[cfg(feature = "failpoints")]
+pub use sync::{
+    eval_sync, sync_role, sync_scenario, sync_scenario_with_timeout, SyncRole, SyncSchedule,
+    SyncSession, SyncStep,
+};
+
 #[cfg(all(test, feature = "failpoints"))]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn unconfigured_site_never_fires() {
@@ -471,5 +763,96 @@ mod tests {
         }
         let _s = scenario();
         assert!(!eval("t/tmp"));
+    }
+
+    #[test]
+    fn sync_dsl_parses_steps_reps_and_comments() {
+        let s = SyncSchedule::parse(
+            "a@x/one*2 -> b@y/two # trailing comment\n # whole-line comment\n a@x/one ; b@y/two",
+        )
+        .unwrap();
+        let got: Vec<(&str, &str)> = s
+            .steps
+            .iter()
+            .map(|st| (st.role.as_str(), st.site.as_str()))
+            .collect();
+        assert_eq!(
+            got,
+            [
+                ("a", "x/one"),
+                ("a", "x/one"),
+                ("b", "y/two"),
+                ("a", "x/one"),
+                ("b", "y/two")
+            ]
+        );
+        assert!(SyncSchedule::parse("nosite").is_err());
+        assert!(SyncSchedule::parse("a@s*zz").is_err());
+        assert!(SyncSchedule::parse("@s").is_err());
+    }
+
+    #[test]
+    fn sync_points_pass_through_without_role_or_schedule() {
+        // No schedule installed: free pass.
+        eval_sync("t/free");
+        let session = sync_scenario(SyncSchedule::parse("w@t/gated").unwrap());
+        // Roleless thread: free pass even at a scheduled site.
+        eval_sync("t/gated");
+        assert_eq!(session.remaining().len(), 1);
+        // Role whose (role, site) is not in the schedule: free pass.
+        let _r = sync_role("other");
+        eval_sync("t/gated");
+        eval_sync("t/unrelated");
+        assert_eq!(session.remaining().len(), 1);
+    }
+
+    #[test]
+    fn sync_schedule_orders_two_threads() {
+        // An action is ordered by bracketing it between two gates of the
+        // same role: the thread holds the turn from consuming its `enter`
+        // step until it consumes its `exit` step.
+        let session = sync_scenario(
+            SyncSchedule::parse(
+                "a@t/enter -> a@t/exit -> b@t/enter -> b@t/exit -> \
+             a@t/enter -> a@t/exit -> b@t/enter -> b@t/exit",
+            )
+            .unwrap(),
+        );
+        let log = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let mk = |role: &'static str, log: std::sync::Arc<Mutex<Vec<&'static str>>>| {
+            std::thread::spawn(move || {
+                let _r = sync_role(role);
+                for _ in 0..2 {
+                    eval_sync("t/enter");
+                    log.lock().unwrap().push(role);
+                    eval_sync("t/exit");
+                }
+            })
+        };
+        // Start b first to prove the schedule (not spawn order) decides.
+        let tb = mk("b", log.clone());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let ta = mk("a", log.clone());
+        ta.join().unwrap();
+        tb.join().unwrap();
+        assert!(session.completed(), "remaining: {:?}", session.remaining());
+        assert_eq!(*log.lock().unwrap(), ["a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn sync_timeout_abandons_instead_of_deadlocking() {
+        let session = sync_scenario_with_timeout(
+            // Head step never happens: role "ghost" does not exist.
+            SyncSchedule::parse("ghost@t/never -> w@t/wait").unwrap(),
+            std::time::Duration::from_millis(50),
+        );
+        let t = std::thread::spawn(|| {
+            let _r = sync_role("w");
+            eval_sync("t/wait"); // blocks, times out, abandons
+            eval_sync("t/wait"); // abandoned: passes straight through
+        });
+        t.join().unwrap();
+        assert!(session.abandoned());
+        assert!(!session.completed());
     }
 }

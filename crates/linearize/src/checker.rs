@@ -1,0 +1,391 @@
+//! Linearizability checker for point-operation histories.
+//!
+//! The checker validates a recorded [`History`] against the sequential
+//! specification of an ordered map (a `BTreeMap<Vec<u8>, Vec<u8>>`, in
+//! effect). It exploits *compositionality* (Herlihy & Wing, Thm. 1):
+//! point operations on distinct keys act on independent sub-objects, so a
+//! history is linearizable iff its per-key sub-histories each are. Each
+//! per-key sub-history runs through three stages:
+//!
+//! 1. **Sequential fast path** — if no two operations on the key overlap
+//!    in real time, the only admissible order is invocation order; replay
+//!    it once.
+//! 2. **Greedy response-order pass** — replaying in response order always
+//!    respects real-time precedence; if it validates, we have a witness
+//!    without searching.
+//! 3. **Memoized Wing & Gong search** — exhaustive DFS over admissible
+//!    next-operations, memoized on (linearized-set, key state) so each
+//!    reachable configuration is expanded once.
+//!
+//! Scans do not take part here; they are checked against the §1.1
+//! non-atomic scan contract by [`crate::scan`], using the per-key
+//! linearization witnesses this module produces.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use crate::history::{transform, History, Op, OpRecord, Ret};
+
+/// Per-key model state: the key is absent, or present with these bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KState {
+    /// No mapping.
+    Absent,
+    /// Mapped to the given value bytes.
+    Present(Vec<u8>),
+}
+
+impl KState {
+    fn value(&self) -> Option<&[u8]> {
+        match self {
+            KState::Absent => None,
+            KState::Present(v) => Some(v),
+        }
+    }
+}
+
+/// A linearizability (or scan-contract) violation, with enough context to
+/// reproduce and debug it.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// No valid linearization exists for the operations on one key.
+    Key {
+        /// The key whose sub-history is unexplainable.
+        key: Vec<u8>,
+        /// Human-readable diagnosis.
+        reason: String,
+        /// The offending sub-history (global history indices + records).
+        ops: Vec<(usize, OpRecord)>,
+    },
+    /// A sub-history was too dense for the bounded search.
+    SearchCap {
+        /// The key that exceeded the cap.
+        key: Vec<u8>,
+        /// Number of operations recorded on it.
+        count: usize,
+    },
+    /// A scan violated the §1.1 contract.
+    Scan {
+        /// Human-readable diagnosis.
+        reason: String,
+        /// The scan record (global history index + record).
+        scan: (usize, OpRecord),
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Key { key, reason, ops } => {
+                writeln!(
+                    f,
+                    "non-linearizable sub-history for key {:?}: {}",
+                    String::from_utf8_lossy(key),
+                    reason
+                )?;
+                for (i, op) in ops {
+                    writeln!(
+                        f,
+                        "  [{i:>4}] t{} inv={} res={} {:?} -> {:?}",
+                        op.thread, op.inv, op.res, op.op, op.ret
+                    )?;
+                }
+                Ok(())
+            }
+            Violation::SearchCap { key, count } => write!(
+                f,
+                "sub-history for key {:?} has {count} operations, over the search cap",
+                String::from_utf8_lossy(key)
+            ),
+            Violation::Scan { reason, scan } => {
+                writeln!(f, "scan contract violation: {reason}")?;
+                let (i, op) = scan;
+                write!(
+                    f,
+                    "  [{i:>4}] t{} inv={} res={} {:?} -> {} entries",
+                    op.thread,
+                    op.inv,
+                    op.res,
+                    op.op,
+                    match &op.ret {
+                        Ret::Scan(v) => v.len(),
+                        _ => 0,
+                    }
+                )
+            }
+        }
+    }
+}
+
+/// Counters describing how a history was validated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckStats {
+    /// Point operations checked.
+    pub point_ops: usize,
+    /// Scan operations checked.
+    pub scans: usize,
+    /// Distinct keys.
+    pub keys: usize,
+    /// Keys discharged by the no-overlap sequential fast path.
+    pub sequential_keys: usize,
+    /// Keys discharged by the greedy response-order pass.
+    pub greedy_keys: usize,
+    /// Keys that needed the full Wing & Gong search.
+    pub searched_keys: usize,
+    /// DFS states expanded across all searched keys.
+    pub states_expanded: usize,
+    /// DFS states skipped via the memo table.
+    pub memo_hits: usize,
+}
+
+/// The per-key linearization witness handed to the scan checker.
+#[derive(Debug, Clone, Default)]
+pub struct KeyWitness {
+    /// Global history indices of this key's point ops, in linearized order.
+    pub order: Vec<usize>,
+    /// Key state after each prefix of `order` (same length).
+    pub states: Vec<KState>,
+    /// Every value the key held at some point in the witness (including
+    /// values observable mid-history but overwritten later).
+    pub values: HashSet<Vec<u8>>,
+}
+
+impl KeyWitness {
+    /// Key state after the whole sub-history.
+    pub fn final_state(&self) -> KState {
+        self.states.last().cloned().unwrap_or(KState::Absent)
+    }
+}
+
+/// Largest per-key sub-history the bounded search accepts. The u128
+/// linearized-set bitmask requires this; seeded workloads stay far below.
+pub const SEARCH_CAP: usize = 128;
+
+/// Applies one operation to a key state, validating its observed return
+/// value. `None` means the (state, op, ret) combination is impossible in
+/// the sequential spec.
+///
+/// `Ret::Err` is an injected failure; under the fail-before-mutation
+/// contract (PR 1) it must be a no-op at every state.
+fn apply(st: &KState, op: &Op, ret: &Ret) -> Option<KState> {
+    if matches!(ret, Ret::Err) {
+        return Some(st.clone());
+    }
+    match (op, ret) {
+        (Op::Put { value, .. }, Ret::Unit) => Some(KState::Present(value.clone())),
+        (Op::PutIfAbsent { value, .. }, Ret::Bool(inserted)) => {
+            let absent = matches!(st, KState::Absent);
+            if *inserted != absent {
+                return None;
+            }
+            if absent {
+                Some(KState::Present(value.clone()))
+            } else {
+                Some(st.clone())
+            }
+        }
+        (Op::ComputeIfPresent { .. }, Ret::Bool(computed)) => match st {
+            KState::Present(cur) if *computed => {
+                let mut nv = cur.clone();
+                transform(&mut nv);
+                Some(KState::Present(nv))
+            }
+            KState::Absent if !*computed => Some(KState::Absent),
+            _ => None,
+        },
+        (Op::PutOrCompute { value, .. }, Ret::Bool(inserted)) => match st {
+            KState::Absent if *inserted => Some(KState::Present(value.clone())),
+            KState::Present(cur) if !*inserted => {
+                let mut nv = cur.clone();
+                transform(&mut nv);
+                Some(KState::Present(nv))
+            }
+            _ => None,
+        },
+        (Op::Remove { .. }, Ret::Bool(removed)) => match st {
+            KState::Present(_) if *removed => Some(KState::Absent),
+            KState::Absent if !*removed => Some(KState::Absent),
+            _ => None,
+        },
+        (Op::Get { .. }, Ret::Val(got)) => {
+            if got.as_deref() == st.value() {
+                Some(st.clone())
+            } else {
+                None
+            }
+        }
+        _ => None, // malformed (op, ret) pairing
+    }
+}
+
+/// Replays `order` (indices into `ops`) from `Absent`, validating every
+/// return. On success returns the state after each step.
+fn replay(ops: &[&OpRecord], order: &[usize]) -> Option<Vec<KState>> {
+    let mut st = KState::Absent;
+    let mut states = Vec::with_capacity(order.len());
+    for &i in order {
+        st = apply(&st, &ops[i].op, &ops[i].ret)?;
+        states.push(st.clone());
+    }
+    Some(states)
+}
+
+/// Memoized Wing & Gong DFS. `ops` is the key's sub-history; returns a
+/// valid linearization (local indices) or `None`.
+fn search(ops: &[&OpRecord], stats: &mut CheckStats) -> Option<Vec<usize>> {
+    let n = ops.len();
+    debug_assert!(n <= SEARCH_CAP);
+    let full: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
+    let mut memo: HashSet<(u128, KState)> = HashSet::new();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    fn dfs(
+        ops: &[&OpRecord],
+        mask: u128,
+        st: &KState,
+        full: u128,
+        order: &mut Vec<usize>,
+        memo: &mut HashSet<(u128, KState)>,
+        stats: &mut CheckStats,
+    ) -> bool {
+        if mask == full {
+            return true;
+        }
+        if !memo.insert((mask, st.clone())) {
+            stats.memo_hits += 1;
+            return false;
+        }
+        stats.states_expanded += 1;
+        // An op `i` may linearize next iff no *pending* op responded
+        // before `i` was invoked (real-time order). With unique clock
+        // ticks that is: inv_i < min(res of pending ops), or `i` itself
+        // holds that minimum.
+        let mut min_res = u64::MAX;
+        let mut min_idx = usize::MAX;
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1u128 << i) == 0 && op.res < min_res {
+                min_res = op.res;
+                min_idx = i;
+            }
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1u128 << i) != 0 {
+                continue;
+            }
+            if i != min_idx && op.inv > min_res {
+                continue; // a pending op responded before `i` began
+            }
+            if let Some(next) = apply(st, &op.op, &op.ret) {
+                order.push(i);
+                if dfs(ops, mask | (1u128 << i), &next, full, order, memo, stats) {
+                    return true;
+                }
+                order.pop();
+            }
+        }
+        false
+    }
+
+    if dfs(ops, 0, &KState::Absent, full, &mut order, &mut memo, stats) {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Linearizes one key's sub-history. Returns the witness order (local
+/// indices) or a diagnosis string.
+fn linearize_key(ops: &[&OpRecord], stats: &mut CheckStats) -> Result<Vec<usize>, String> {
+    let n = ops.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Sub-histories arrive sorted by invocation tick (History::merge).
+    // Fast path 1: no two ops overlap — invocation order is the only
+    // real-time-admissible order, so its replay verdict is final.
+    let sequential = ops.windows(2).all(|w| w[0].res < w[1].inv);
+    let inv_order: Vec<usize> = (0..n).collect();
+    if sequential {
+        stats.sequential_keys += 1;
+        return match replay(ops, &inv_order) {
+            Some(_) => Ok(inv_order),
+            None => Err("sequential (non-overlapping) replay failed".into()),
+        };
+    }
+
+    // Fast path 2: response order always respects real-time precedence
+    // (res_i < res_j implies NOT res_j < inv_i); if it replays, done.
+    let mut res_order = inv_order;
+    res_order.sort_by_key(|&i| ops[i].res);
+    if replay(ops, &res_order).is_some() {
+        stats.greedy_keys += 1;
+        return Ok(res_order);
+    }
+
+    // Full search.
+    stats.searched_keys += 1;
+    search(ops, stats).ok_or_else(|| "Wing & Gong search exhausted every admissible order".into())
+}
+
+/// Checks a complete history: per-key linearizability for point
+/// operations, then the §1.1 scan contract for every recorded scan.
+///
+/// On success returns [`CheckStats`]; on failure, the first violation
+/// found (with the offending sub-history attached).
+pub fn check_history(h: &History) -> Result<CheckStats, Box<Violation>> {
+    let mut stats = CheckStats::default();
+
+    // Per-key decomposition. Indices are global positions in `h.ops`.
+    let mut by_key: BTreeMap<&[u8], Vec<usize>> = BTreeMap::new();
+    for (i, rec) in h.ops.iter().enumerate() {
+        match rec.op.key() {
+            Some(k) => {
+                stats.point_ops += 1;
+                by_key.entry(k).or_default().push(i);
+            }
+            None => stats.scans += 1,
+        }
+    }
+    stats.keys = by_key.len();
+
+    let mut witnesses: BTreeMap<Vec<u8>, KeyWitness> = BTreeMap::new();
+    for (key, idxs) in &by_key {
+        if idxs.len() > SEARCH_CAP {
+            return Err(Box::new(Violation::SearchCap {
+                key: key.to_vec(),
+                count: idxs.len(),
+            }));
+        }
+        let sub: Vec<&OpRecord> = idxs.iter().map(|&i| &h.ops[i]).collect();
+        let local = linearize_key(&sub, &mut stats).map_err(|reason| {
+            Box::new(Violation::Key {
+                key: key.to_vec(),
+                reason,
+                ops: idxs.iter().map(|&i| (i, h.ops[i].clone())).collect(),
+            })
+        })?;
+        let states = replay(&sub, &local).expect("witness must replay");
+        let mut values = HashSet::new();
+        for st in &states {
+            if let KState::Present(v) = st {
+                values.insert(v.clone());
+            }
+        }
+        witnesses.insert(
+            key.to_vec(),
+            KeyWitness {
+                order: local.iter().map(|&l| idxs[l]).collect(),
+                states,
+                values,
+            },
+        );
+    }
+
+    crate::scan::check_scans(h, &witnesses)?;
+    Ok(stats)
+}

@@ -1,0 +1,311 @@
+//! Operation histories: invocation/response records for map operations.
+//!
+//! Each operation is stamped with two ticks of a shared logical clock —
+//! one at invocation, one at response. Two operations are *concurrent*
+//! when their `[inv, res]` windows overlap; the checker may only reorder
+//! concurrent operations (real-time order, per Herlihy & Wing).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use oak_core::OrderedKvMap;
+
+/// The deterministic in-place transform every recorded
+/// `compute_if_present` applies. The checker replays the same function, so
+/// chained computes validate the *number and order* of applications.
+pub fn transform(buf: &mut [u8]) {
+    if !buf.is_empty() {
+        buf[0] = buf[0].wrapping_add(1);
+    }
+}
+
+/// An operation as invoked (arguments included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Unconditional insert-or-overwrite.
+    Put {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Insert only if absent.
+    PutIfAbsent {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// In-place [`transform`] if present.
+    ComputeIfPresent {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Atomic insert-or-[`transform`] (the paper's
+    /// `putIfAbsentComputeIfPresent`).
+    PutOrCompute {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value inserted when the key is absent.
+        value: Vec<u8>,
+    },
+    /// Remove if present.
+    Remove {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Point read.
+    Get {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Ascending scan over `[lo, hi)`.
+    Ascend {
+        /// Inclusive lower bound (`None` = start).
+        lo: Option<Vec<u8>>,
+        /// Exclusive upper bound (`None` = end).
+        hi: Option<Vec<u8>>,
+        /// Whether the Set-entries API was used (vs the stream API).
+        entries: bool,
+    },
+    /// Descending scan from `from` (inclusive) down to `lo` (inclusive).
+    Descend {
+        /// Inclusive upper start bound (`None` = end of map).
+        from: Option<Vec<u8>>,
+        /// Inclusive lower bound (`None` = start of map).
+        lo: Option<Vec<u8>>,
+        /// Whether the Set-entries API was used (vs the stream API).
+        entries: bool,
+    },
+}
+
+impl Op {
+    /// The point-operation key, `None` for scans.
+    pub fn key(&self) -> Option<&[u8]> {
+        match self {
+            Op::Put { key, .. }
+            | Op::PutIfAbsent { key, .. }
+            | Op::ComputeIfPresent { key }
+            | Op::PutOrCompute { key, .. }
+            | Op::Remove { key }
+            | Op::Get { key } => Some(key),
+            Op::Ascend { .. } | Op::Descend { .. } => None,
+        }
+    }
+}
+
+/// An operation's observed return value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ret {
+    /// `put` succeeded.
+    Unit,
+    /// Boolean result (`put_if_absent`, `compute_if_present`,
+    /// `put_if_absent_compute_if_present`'s "inserted", `remove`).
+    Bool(bool),
+    /// `get` result.
+    Val(Option<Vec<u8>>),
+    /// Scan result in yield order.
+    Scan(Vec<(Vec<u8>, Vec<u8>)>),
+    /// The operation returned an injected error. Under the
+    /// fail-before-mutation contract (PR 1) this is a no-op.
+    Err,
+}
+
+/// One completed operation.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Recording thread.
+    pub thread: usize,
+    /// The operation and its arguments.
+    pub op: Op,
+    /// Observed result.
+    pub ret: Ret,
+    /// Invocation tick.
+    pub inv: u64,
+    /// Response tick (`inv < res`).
+    pub res: u64,
+}
+
+/// A complete multi-threaded history.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// All records, in no particular order.
+    pub ops: Vec<OpRecord>,
+}
+
+impl History {
+    /// Merges per-thread logs into one history.
+    pub fn merge(logs: Vec<Vec<OpRecord>>) -> History {
+        let mut ops: Vec<OpRecord> = logs.into_iter().flatten().collect();
+        ops.sort_by_key(|o| o.inv);
+        History { ops }
+    }
+}
+
+/// Per-thread recorder driving a map through [`OrderedKvMap`] while
+/// logging invocation/response events against a shared logical clock.
+pub struct Recorder<'a> {
+    map: &'a dyn OrderedKvMap,
+    clock: &'a AtomicU64,
+    thread: usize,
+    log: Vec<OpRecord>,
+}
+
+impl<'a> Recorder<'a> {
+    /// Creates a recorder for one thread.
+    pub fn new(map: &'a dyn OrderedKvMap, clock: &'a AtomicU64, thread: usize) -> Self {
+        Recorder {
+            map,
+            clock,
+            thread,
+            log: Vec::new(),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn record(&mut self, op: Op, inv: u64, ret: Ret) {
+        let res = self.tick();
+        self.log.push(OpRecord {
+            thread: self.thread,
+            op,
+            ret,
+            inv,
+            res,
+        });
+    }
+
+    /// Records a `put`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        let inv = self.tick();
+        let ret = match self.map.put(key, value) {
+            Ok(()) => Ret::Unit,
+            Err(_) => Ret::Err,
+        };
+        self.record(
+            Op::Put {
+                key: key.to_vec(),
+                value: value.to_vec(),
+            },
+            inv,
+            ret,
+        );
+    }
+
+    /// Records a `put_if_absent`.
+    pub fn put_if_absent(&mut self, key: &[u8], value: &[u8]) {
+        let inv = self.tick();
+        let ret = match self.map.put_if_absent(key, value) {
+            Ok(b) => Ret::Bool(b),
+            Err(_) => Ret::Err,
+        };
+        self.record(
+            Op::PutIfAbsent {
+                key: key.to_vec(),
+                value: value.to_vec(),
+            },
+            inv,
+            ret,
+        );
+    }
+
+    /// Records a `compute_if_present` applying [`transform`].
+    pub fn compute_if_present(&mut self, key: &[u8]) {
+        let inv = self.tick();
+        let b = self.map.compute_if_present(key, &|buf| transform(buf));
+        self.record(
+            Op::ComputeIfPresent { key: key.to_vec() },
+            inv,
+            Ret::Bool(b),
+        );
+    }
+
+    /// Records a `put_if_absent_compute_if_present` applying
+    /// [`transform`] in the present case.
+    pub fn put_or_compute(&mut self, key: &[u8], value: &[u8]) {
+        let inv = self.tick();
+        let ret = match self
+            .map
+            .put_if_absent_compute_if_present(key, value, &|buf| transform(buf))
+        {
+            Ok(inserted) => Ret::Bool(inserted),
+            Err(_) => Ret::Err,
+        };
+        self.record(
+            Op::PutOrCompute {
+                key: key.to_vec(),
+                value: value.to_vec(),
+            },
+            inv,
+            ret,
+        );
+    }
+
+    /// Records a `remove`.
+    pub fn remove(&mut self, key: &[u8]) {
+        let inv = self.tick();
+        let b = self.map.remove(key);
+        self.record(Op::Remove { key: key.to_vec() }, inv, Ret::Bool(b));
+    }
+
+    /// Records a `get`.
+    pub fn get(&mut self, key: &[u8]) {
+        let inv = self.tick();
+        let v = self.map.get_copy(key);
+        self.record(Op::Get { key: key.to_vec() }, inv, Ret::Val(v));
+    }
+
+    /// Records an ascending scan (stream or entries API).
+    pub fn ascend(&mut self, lo: Option<&[u8]>, hi: Option<&[u8]>, entries: bool) {
+        let inv = self.tick();
+        let mut out = Vec::new();
+        let mut f = |k: &[u8], v: &[u8]| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        };
+        if entries {
+            self.map.ascend_entries(lo, hi, &mut f);
+        } else {
+            self.map.ascend(lo, hi, &mut f);
+        }
+        self.record(
+            Op::Ascend {
+                lo: lo.map(|b| b.to_vec()),
+                hi: hi.map(|b| b.to_vec()),
+                entries,
+            },
+            inv,
+            Ret::Scan(out),
+        );
+    }
+
+    /// Records a descending scan (stream or entries API).
+    pub fn descend(&mut self, from: Option<&[u8]>, lo: Option<&[u8]>, entries: bool) {
+        let inv = self.tick();
+        let mut out = Vec::new();
+        let mut f = |k: &[u8], v: &[u8]| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        };
+        if entries {
+            self.map.descend_entries(from, lo, &mut f);
+        } else {
+            self.map.descend(from, lo, &mut f);
+        }
+        self.record(
+            Op::Descend {
+                from: from.map(|b| b.to_vec()),
+                lo: lo.map(|b| b.to_vec()),
+                entries,
+            },
+            inv,
+            Ret::Scan(out),
+        );
+    }
+
+    /// Finishes recording, returning this thread's log.
+    pub fn finish(self) -> Vec<OpRecord> {
+        self.log
+    }
+}

@@ -1,0 +1,377 @@
+//! Scan-validity checking for the §1.1 non-atomic scan contract.
+//!
+//! Oak's scans are *not* linearizable with respect to concurrent updates
+//! (the paper deliberately trades scan atomicity for scalability, §1.1).
+//! They do promise:
+//!
+//! 1. **No phantom keys** — a returned key was inserted by some operation
+//!    invoked before the scan responded, and was not conclusively removed
+//!    before the scan began.
+//! 2. **No missed stable keys** — a key provably present before the scan
+//!    began, with no remove invoked before the scan finished, appears.
+//! 3. **No duplicates, correct order, bound discipline** — ascending
+//!    scans yield strictly increasing keys in `[lo, hi)`; descending
+//!    scans strictly decreasing keys in `[lo, from]`.
+//! 4. **Value sanity** — the value returned for a key is one the key
+//!    actually held: exact when every operation on the key settled before
+//!    the scan began, otherwise within the transform-closure of values
+//!    the key could have held.
+//!
+//! Rules 1, 2 and 4's unsettled case are deliberately conservative
+//! (over-approximating what a correct implementation may return) so the
+//! checker never reports a false positive on a legal non-atomic scan.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::checker::{KState, KeyWitness, Violation};
+use crate::history::{transform, History, Op, OpRecord, Ret};
+
+/// What one key's point-op sub-history tells a particular scan.
+struct KeyView {
+    /// The key's pre-scan state is *uniquely determined*: every op either
+    /// responded before the scan was invoked or was invoked after it
+    /// responded (settled), and the pre-scan ops are pairwise
+    /// non-overlapping (so their order — hence the resulting state — is
+    /// forced). Only then may the checker demand an exact match; with
+    /// overlap, a different valid linearization of the same sub-history
+    /// could justify what the scan saw.
+    settled_exact: bool,
+    /// Model state after the pre-scan prefix (exact only when
+    /// `settled_exact`).
+    settled_state: KState,
+    /// Latest-invoked presence-evidence op completing before scan start:
+    /// its invocation tick. The key was provably present from before the
+    /// scan began.
+    evidence_inv: Option<u64>,
+    /// Whether a successful remove could explain the key being absent
+    /// after that evidence (remove not completed before the evidence was
+    /// invoked, and invoked before the scan responded).
+    removable_after_evidence: bool,
+    /// Whether any insert-capable op was invoked before the scan
+    /// responded (otherwise the key can never legally appear).
+    insertable: bool,
+    /// Whether the key was conclusively removed before the scan began:
+    /// some successful remove responded before scan start and every
+    /// insert-capable op responded before that remove was invoked.
+    removed_before_start: bool,
+    /// Transform-closure of every value the key could have held while the
+    /// scan ran (used only when not settled).
+    value_closure: HashSet<Vec<u8>>,
+}
+
+fn is_insert_capable(rec: &OpRecord) -> bool {
+    // Fail-before-mutation: an Err op never published a value.
+    if matches!(rec.ret, Ret::Err) {
+        return false;
+    }
+    matches!(
+        rec.op,
+        Op::Put { .. } | Op::PutIfAbsent { .. } | Op::PutOrCompute { .. }
+    )
+}
+
+/// Whether the op's return value proves the key Present at the op's
+/// linearization point (which lies within `[inv, res]`).
+fn is_presence_evidence(rec: &OpRecord) -> bool {
+    match (&rec.op, &rec.ret) {
+        (Op::Put { .. }, Ret::Unit) => true,
+        // `false` here means "already present" — evidence either way.
+        (Op::PutIfAbsent { .. }, Ret::Bool(_)) => true,
+        (Op::ComputeIfPresent { .. }, Ret::Bool(b)) => *b,
+        (Op::PutOrCompute { .. }, Ret::Bool(_)) => true,
+        (Op::Get { .. }, Ret::Val(v)) => v.is_some(),
+        _ => false,
+    }
+}
+
+fn is_successful_remove(rec: &OpRecord) -> bool {
+    matches!((&rec.op, &rec.ret), (Op::Remove { .. }, Ret::Bool(true)))
+}
+
+fn build_view(recs: &[(usize, &OpRecord)], witness: &KeyWitness, scan: &OpRecord) -> KeyView {
+    let pre: Vec<&OpRecord> = recs
+        .iter()
+        .map(|&(_, r)| r)
+        .filter(|r| r.res < scan.inv)
+        .collect();
+    let settled = recs
+        .iter()
+        .all(|&(_, r)| r.res < scan.inv || r.inv > scan.res);
+    // `recs` is in invocation order (History::merge sorts by inv), so
+    // `pre` is too; pairwise-sequential means the pre-scan order is forced.
+    let pre_sequential = pre.windows(2).all(|w| w[0].res < w[1].inv);
+
+    // The witness respects real-time order, so ops completing before the
+    // scan began occupy the first `pre.len()` positions; the state there
+    // is the settled pre-scan state.
+    let settled_state = if pre.is_empty() {
+        KState::Absent
+    } else {
+        witness.states[pre.len() - 1].clone()
+    };
+
+    let evidence_inv = recs
+        .iter()
+        .map(|&(_, r)| r)
+        .filter(|r| r.res < scan.inv && is_presence_evidence(r))
+        .map(|r| r.inv)
+        .max();
+    let removable_after_evidence = evidence_inv.is_some_and(|e| {
+        recs.iter()
+            .any(|&(_, r)| is_successful_remove(r) && r.res > e && r.inv < scan.res)
+    });
+
+    let inserts: Vec<&OpRecord> = recs
+        .iter()
+        .map(|&(_, r)| r)
+        .filter(|r| is_insert_capable(r))
+        .collect();
+    let insertable = inserts.iter().any(|r| r.inv < scan.res);
+    let removed_before_start = recs.iter().any(|&(_, r)| {
+        is_successful_remove(r) && r.res < scan.inv && inserts.iter().all(|i| i.res < r.inv)
+    });
+
+    // Over-approximate the values the key could have held: every literal
+    // ever offered for insertion, advanced through up to `computes`
+    // chained transforms, plus every value the witness saw.
+    let mut value_closure: HashSet<Vec<u8>> = witness.values.clone();
+    let computes = recs
+        .iter()
+        .filter(|&&(_, r)| {
+            !matches!(r.ret, Ret::Err)
+                && matches!(r.op, Op::ComputeIfPresent { .. } | Op::PutOrCompute { .. })
+        })
+        .count();
+    let literals = recs.iter().filter_map(|&(_, r)| match (&r.op, &r.ret) {
+        (_, Ret::Err) => None,
+        (Op::Put { value, .. }, _)
+        | (Op::PutIfAbsent { value, .. }, _)
+        | (Op::PutOrCompute { value, .. }, _) => Some(value.clone()),
+        _ => None,
+    });
+    for lit in literals {
+        let mut v = lit;
+        value_closure.insert(v.clone());
+        for _ in 0..computes {
+            transform(&mut v);
+            value_closure.insert(v.clone());
+        }
+    }
+
+    KeyView {
+        settled_exact: settled && pre_sequential,
+        settled_state,
+        evidence_inv,
+        removable_after_evidence,
+        insertable,
+        removed_before_start,
+        value_closure,
+    }
+}
+
+/// The scan's key interval, normalized to inclusive/exclusive bounds.
+struct Bounds<'a> {
+    lo: Option<&'a [u8]>,
+    /// Exclusive for ascending scans, inclusive for descending.
+    hi: Option<&'a [u8]>,
+    descending: bool,
+}
+
+impl Bounds<'_> {
+    fn contains(&self, k: &[u8]) -> bool {
+        if let Some(lo) = self.lo {
+            if k < lo {
+                return false;
+            }
+        }
+        if let Some(hi) = self.hi {
+            if self.descending {
+                if k > hi {
+                    return false;
+                }
+            } else if k >= hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn violation(reason: String, idx: usize, scan: &OpRecord) -> Box<Violation> {
+    Box::new(Violation::Scan {
+        reason,
+        scan: (idx, scan.clone()),
+    })
+}
+
+/// Checks every scan in the history against the §1.1 contract, given the
+/// per-key linearization witnesses from the point-op checker.
+pub fn check_scans(
+    h: &History,
+    witnesses: &BTreeMap<Vec<u8>, KeyWitness>,
+) -> Result<(), Box<Violation>> {
+    // Per-key point-op records (global index + record), in inv order.
+    let mut by_key: BTreeMap<&[u8], Vec<(usize, &OpRecord)>> = BTreeMap::new();
+    for (i, rec) in h.ops.iter().enumerate() {
+        if let Some(k) = rec.op.key() {
+            by_key.entry(k).or_default().push((i, rec));
+        }
+    }
+
+    for (si, scan) in h.ops.iter().enumerate() {
+        let (bounds, pairs) = match (&scan.op, &scan.ret) {
+            (Op::Ascend { lo, hi, .. }, Ret::Scan(pairs)) => (
+                Bounds {
+                    lo: lo.as_deref(),
+                    hi: hi.as_deref(),
+                    descending: false,
+                },
+                pairs,
+            ),
+            (Op::Descend { from, lo, .. }, Ret::Scan(pairs)) => (
+                Bounds {
+                    lo: lo.as_deref(),
+                    hi: from.as_deref(),
+                    descending: true,
+                },
+                pairs,
+            ),
+            _ => continue,
+        };
+
+        // Rule 3: order, duplicates, bounds.
+        for w in pairs.windows(2) {
+            let ok = if bounds.descending {
+                w[0].0 > w[1].0
+            } else {
+                w[0].0 < w[1].0
+            };
+            if !ok {
+                return Err(violation(
+                    format!(
+                        "out-of-order or duplicate keys {:?}, {:?}",
+                        String::from_utf8_lossy(&w[0].0),
+                        String::from_utf8_lossy(&w[1].0)
+                    ),
+                    si,
+                    scan,
+                ));
+            }
+        }
+        for (k, _) in pairs {
+            if !bounds.contains(k) {
+                return Err(violation(
+                    format!("key {:?} outside scan bounds", String::from_utf8_lossy(k)),
+                    si,
+                    scan,
+                ));
+            }
+        }
+
+        // Rules 1 and 4: every returned key must be explainable.
+        let returned: HashSet<&[u8]> = pairs.iter().map(|(k, _)| k.as_slice()).collect();
+        for (k, v) in pairs {
+            let Some(recs) = by_key.get(k.as_slice()) else {
+                return Err(violation(
+                    format!(
+                        "phantom key {:?}: no operation ever touched it",
+                        String::from_utf8_lossy(k)
+                    ),
+                    si,
+                    scan,
+                ));
+            };
+            let view = build_view(recs, &witnesses[k.as_slice()], scan);
+            if !view.insertable {
+                return Err(violation(
+                    format!(
+                        "phantom key {:?}: no insert invoked before the scan responded",
+                        String::from_utf8_lossy(k)
+                    ),
+                    si,
+                    scan,
+                ));
+            }
+            if view.removed_before_start {
+                return Err(violation(
+                    format!(
+                        "key {:?} was conclusively removed before the scan began",
+                        String::from_utf8_lossy(k)
+                    ),
+                    si,
+                    scan,
+                ));
+            }
+            if view.settled_exact {
+                match &view.settled_state {
+                    KState::Absent => {
+                        return Err(violation(
+                            format!(
+                                "key {:?} returned but settled absent",
+                                String::from_utf8_lossy(k)
+                            ),
+                            si,
+                            scan,
+                        ));
+                    }
+                    KState::Present(expect) => {
+                        if v != expect {
+                            return Err(violation(
+                                format!(
+                                    "key {:?}: settled value {:?} but scan saw {:?}",
+                                    String::from_utf8_lossy(k),
+                                    expect,
+                                    v
+                                ),
+                                si,
+                                scan,
+                            ));
+                        }
+                    }
+                }
+            } else if !view.value_closure.contains(v) {
+                return Err(violation(
+                    format!(
+                        "key {:?}: value {:?} outside everything the key could have held",
+                        String::from_utf8_lossy(k),
+                        v
+                    ),
+                    si,
+                    scan,
+                ));
+            }
+        }
+
+        // Rule 2: no missed stable keys.
+        for (k, recs) in &by_key {
+            if returned.contains(k) || !bounds.contains(k) {
+                continue;
+            }
+            let view = build_view(recs, &witnesses[*k], scan);
+            if view.settled_exact {
+                if let KState::Present(val) = &view.settled_state {
+                    return Err(violation(
+                        format!(
+                            "missed stable key {:?} (settled present = {:?})",
+                            String::from_utf8_lossy(k),
+                            val
+                        ),
+                        si,
+                        scan,
+                    ));
+                }
+            } else if view.evidence_inv.is_some() && !view.removable_after_evidence {
+                return Err(violation(
+                    format!(
+                        "missed key {:?}: present before the scan began and no \
+                         concurrent remove can explain its absence",
+                        String::from_utf8_lossy(k)
+                    ),
+                    si,
+                    scan,
+                ));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,376 @@
+//! The checker checked: hand-crafted histories with known verdicts.
+//!
+//! Accepting tests pin down that legal concurrency (including the legal
+//! non-atomic scan behaviours of §1.1) is not flagged; rejecting tests
+//! pin down that the checker actually catches lost updates, stale reads,
+//! phantom keys, duplicates and missed stable keys.
+
+use oak_linearize::{check_history, History, Op, OpRecord, Ret, Violation};
+
+fn rec(thread: usize, op: Op, ret: Ret, inv: u64, res: u64) -> OpRecord {
+    assert!(inv < res);
+    OpRecord {
+        thread,
+        op,
+        ret,
+        inv,
+        res,
+    }
+}
+
+fn put(k: &str, v: &[u8]) -> Op {
+    Op::Put {
+        key: k.into(),
+        value: v.to_vec(),
+    }
+}
+
+fn pia(k: &str, v: &[u8]) -> Op {
+    Op::PutIfAbsent {
+        key: k.into(),
+        value: v.to_vec(),
+    }
+}
+
+fn get(k: &str) -> Op {
+    Op::Get { key: k.into() }
+}
+
+fn remove(k: &str) -> Op {
+    Op::Remove { key: k.into() }
+}
+
+fn ascend_all() -> Op {
+    Op::Ascend {
+        lo: None,
+        hi: None,
+        entries: false,
+    }
+}
+
+fn history(mut ops: Vec<OpRecord>) -> History {
+    ops.sort_by_key(|o| o.inv);
+    History { ops }
+}
+
+#[test]
+fn accepts_sequential_story() {
+    let h = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(0, get("a"), Ret::Val(Some(b"1".to_vec())), 2, 3),
+        rec(0, remove("a"), Ret::Bool(true), 4, 5),
+        rec(0, get("a"), Ret::Val(None), 6, 7),
+        rec(0, remove("a"), Ret::Bool(false), 8, 9),
+    ]);
+    let stats = check_history(&h).unwrap();
+    assert_eq!(stats.sequential_keys, 1);
+    assert_eq!(stats.point_ops, 5);
+}
+
+#[test]
+fn rejects_stale_read() {
+    // Sequential: get must see the put's value.
+    let h = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(0, put("a", b"2"), Ret::Unit, 2, 3),
+        rec(1, get("a"), Ret::Val(Some(b"1".to_vec())), 4, 5),
+    ]);
+    match *check_history(&h).unwrap_err() {
+        Violation::Key { ref key, .. } => assert_eq!(key, b"a"),
+        v => panic!("wrong violation: {v}"),
+    }
+}
+
+#[test]
+fn rejects_double_insert() {
+    // Two concurrent put_if_absent on one key cannot both insert.
+    let h = history(vec![
+        rec(0, pia("a", b"1"), Ret::Bool(true), 0, 10),
+        rec(1, pia("a", b"2"), Ret::Bool(true), 1, 9),
+    ]);
+    assert!(check_history(&h).is_err());
+}
+
+#[test]
+fn accepts_racing_put_if_absent() {
+    // One wins, one loses: fine in either order.
+    let h = history(vec![
+        rec(0, pia("a", b"1"), Ret::Bool(true), 0, 10),
+        rec(1, pia("a", b"2"), Ret::Bool(false), 1, 9),
+        rec(0, get("a"), Ret::Val(Some(b"1".to_vec())), 11, 12),
+    ]);
+    let stats = check_history(&h).unwrap();
+    assert_eq!(stats.keys, 1);
+}
+
+#[test]
+fn rejects_lost_update() {
+    // Both computes claim to have run, but the final read shows only one
+    // application of the transform (b"1" -> b"2" -> b"3").
+    let h = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(
+            1,
+            Op::ComputeIfPresent { key: b"a".to_vec() },
+            Ret::Bool(true),
+            2,
+            10,
+        ),
+        rec(
+            2,
+            Op::ComputeIfPresent { key: b"a".to_vec() },
+            Ret::Bool(true),
+            3,
+            9,
+        ),
+        rec(0, get("a"), Ret::Val(Some(b"2".to_vec())), 11, 12),
+    ]);
+    assert!(check_history(&h).is_err());
+}
+
+#[test]
+fn accepts_chained_computes() {
+    let h = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(
+            1,
+            Op::ComputeIfPresent { key: b"a".to_vec() },
+            Ret::Bool(true),
+            2,
+            10,
+        ),
+        rec(
+            2,
+            Op::ComputeIfPresent { key: b"a".to_vec() },
+            Ret::Bool(true),
+            3,
+            9,
+        ),
+        rec(0, get("a"), Ret::Val(Some(b"3".to_vec())), 11, 12),
+    ]);
+    check_history(&h).unwrap();
+}
+
+#[test]
+fn full_search_finds_non_greedy_order() {
+    // Response order replays get(2) first (state Absent) and fails; the
+    // only valid order linearizes put(2) before its response. Exercises
+    // the Wing & Gong stage.
+    let h = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 9),
+        rec(1, put("a", b"2"), Ret::Unit, 1, 8),
+        rec(2, get("a"), Ret::Val(Some(b"2".to_vec())), 2, 3),
+        rec(3, get("a"), Ret::Val(Some(b"1".to_vec())), 4, 5),
+    ]);
+    let stats = check_history(&h).unwrap();
+    assert_eq!(stats.searched_keys, 1);
+}
+
+#[test]
+fn injected_errors_are_no_ops() {
+    // A failed put must not be visible; a later get seeing its value is a
+    // violation, a get seeing nothing is fine.
+    let ok = history(vec![
+        rec(0, put("a", b"1"), Ret::Err, 0, 1),
+        rec(0, get("a"), Ret::Val(None), 2, 3),
+    ]);
+    check_history(&ok).unwrap();
+
+    let bad = history(vec![
+        rec(0, put("a", b"1"), Ret::Err, 0, 1),
+        rec(0, get("a"), Ret::Val(Some(b"1".to_vec())), 2, 3),
+    ]);
+    assert!(check_history(&bad).is_err());
+}
+
+#[test]
+fn rejects_phantom_scan_key() {
+    let h = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(
+            1,
+            ascend_all(),
+            Ret::Scan(vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"z".to_vec(), b"9".to_vec()),
+            ]),
+            2,
+            3,
+        ),
+    ]);
+    match *check_history(&h).unwrap_err() {
+        Violation::Scan { ref reason, .. } => assert!(reason.contains("phantom"), "{reason}"),
+        v => panic!("wrong violation: {v}"),
+    }
+}
+
+#[test]
+fn rejects_missed_stable_key() {
+    // "b" settled present before the scan began and nothing removed it.
+    let h = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(0, put("b", b"2"), Ret::Unit, 2, 3),
+        rec(
+            1,
+            ascend_all(),
+            Ret::Scan(vec![(b"a".to_vec(), b"1".to_vec())]),
+            4,
+            5,
+        ),
+    ]);
+    match *check_history(&h).unwrap_err() {
+        Violation::Scan { ref reason, .. } => assert!(reason.contains("missed"), "{reason}"),
+        v => panic!("wrong violation: {v}"),
+    }
+}
+
+#[test]
+fn rejects_duplicate_and_unordered_scans() {
+    let dup = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(
+            1,
+            ascend_all(),
+            Ret::Scan(vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"a".to_vec(), b"1".to_vec()),
+            ]),
+            2,
+            3,
+        ),
+    ]);
+    assert!(check_history(&dup).is_err());
+
+    let unordered = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(0, put("b", b"2"), Ret::Unit, 2, 3),
+        rec(
+            1,
+            ascend_all(),
+            Ret::Scan(vec![
+                (b"b".to_vec(), b"2".to_vec()),
+                (b"a".to_vec(), b"1".to_vec()),
+            ]),
+            4,
+            5,
+        ),
+    ]);
+    assert!(check_history(&unordered).is_err());
+}
+
+#[test]
+fn rejects_resurrected_scan_key() {
+    // Removed conclusively before the scan began, never re-inserted.
+    let h = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(0, remove("a"), Ret::Bool(true), 2, 3),
+        rec(
+            1,
+            ascend_all(),
+            Ret::Scan(vec![(b"a".to_vec(), b"1".to_vec())]),
+            4,
+            5,
+        ),
+    ]);
+    match *check_history(&h).unwrap_err() {
+        Violation::Scan { ref reason, .. } => assert!(reason.contains("removed"), "{reason}"),
+        v => panic!("wrong violation: {v}"),
+    }
+}
+
+#[test]
+fn accepts_legal_nonatomic_scan() {
+    // Removes and an insert race the scan; §1.1 allows the scan to see
+    // "b" or not, and to see "c" (inserted concurrently) or not.
+    let with_b = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(0, put("b", b"2"), Ret::Unit, 2, 3),
+        rec(1, remove("b"), Ret::Bool(true), 4, 20),
+        rec(2, put("c", b"3"), Ret::Unit, 5, 19),
+        rec(
+            3,
+            ascend_all(),
+            Ret::Scan(vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"2".to_vec()),
+                (b"c".to_vec(), b"3".to_vec()),
+            ]),
+            6,
+            18,
+        ),
+    ]);
+    check_history(&with_b).unwrap();
+
+    let without = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(0, put("b", b"2"), Ret::Unit, 2, 3),
+        rec(1, remove("b"), Ret::Bool(true), 4, 20),
+        rec(
+            3,
+            ascend_all(),
+            Ret::Scan(vec![(b"a".to_vec(), b"1".to_vec())]),
+            6,
+            18,
+        ),
+    ]);
+    check_history(&without).unwrap();
+}
+
+#[test]
+fn rejects_settled_scan_value_mismatch() {
+    let h = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(
+            1,
+            ascend_all(),
+            Ret::Scan(vec![(b"a".to_vec(), b"7".to_vec())]),
+            2,
+            3,
+        ),
+    ]);
+    match *check_history(&h).unwrap_err() {
+        Violation::Scan { ref reason, .. } => assert!(reason.contains("value"), "{reason}"),
+        v => panic!("wrong violation: {v}"),
+    }
+}
+
+#[test]
+fn respects_descending_bounds() {
+    // Descending scan over [lo, from] — inclusive both ends.
+    let h = history(vec![
+        rec(0, put("a", b"1"), Ret::Unit, 0, 1),
+        rec(0, put("b", b"2"), Ret::Unit, 2, 3),
+        rec(0, put("c", b"3"), Ret::Unit, 4, 5),
+        rec(
+            1,
+            Op::Descend {
+                from: Some(b"b".to_vec()),
+                lo: Some(b"a".to_vec()),
+                entries: false,
+            },
+            Ret::Scan(vec![
+                (b"b".to_vec(), b"2".to_vec()),
+                (b"a".to_vec(), b"1".to_vec()),
+            ]),
+            6,
+            7,
+        ),
+    ]);
+    check_history(&h).unwrap();
+
+    let out_of_bounds = history(vec![
+        rec(0, put("c", b"3"), Ret::Unit, 0, 1),
+        rec(
+            1,
+            Op::Descend {
+                from: Some(b"b".to_vec()),
+                lo: None,
+                entries: false,
+            },
+            Ret::Scan(vec![(b"c".to_vec(), b"3".to_vec())]),
+            2,
+            3,
+        ),
+    ]);
+    assert!(check_history(&out_of_bounds).is_err());
+}

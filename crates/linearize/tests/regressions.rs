@@ -1,0 +1,359 @@
+//! Deterministic regression schedules for the scan/rebalance races fixed
+//! in oak-core, replayed through the `oak_failpoints` sync-point engine.
+//!
+//! Each test pins an exact thread interleaving with a `SyncSchedule`:
+//! the scanner parks at an iterator decision site mid-scan, the writer
+//! drives a rebalance (split or head-merge) under it, and the scanner
+//! resumes on a now-frozen chunk. Before the fixes, a scanner kept
+//! walking the frozen snapshot: it missed keys removed-then-reinserted
+//! around the pause (stale values held forever) and never re-entered the
+//! live chunk list. The fixed iterators detect `replacement()` and
+//! re-resolve from the last-yielded key — the schedules below *require*
+//! the `iter/stale-reenter` site to fire (`session.completed()`), so
+//! they fail loudly on any regression to the old behaviour.
+//!
+//! Chunk math making the rebalances deterministic: `chunk_capacity(8)`
+//! with a sky-high `rebalance_unsorted_ratio` means a rebalance fires
+//! exactly when an insert fills the 8th entry slot, and only then.
+
+use oak_core::{OakMap, OakMapConfig, OrderedKvMap};
+use oak_failpoints::{sync_point, sync_role, sync_scenario, SyncSchedule};
+
+fn key(i: usize) -> Vec<u8> {
+    format!("k{i:02}").into_bytes()
+}
+
+/// Capacity-8 chunks; rebalance only on chunk-full.
+fn config() -> OakMapConfig {
+    let mut cfg = OakMapConfig::small().chunk_capacity(8);
+    cfg.rebalance_unsorted_ratio = 10.0;
+    cfg
+}
+
+// The collect closures announce each delivered pair through a
+// `test/yielded` gate. Schedules alternate `iter/*-step` (the cursor's
+// loop-top decision site, popped *before* the staleness check) with
+// `test/yielded` (popped after the pair reached the caller), so the
+// writer is released only once the last pre-pause yield has fully
+// completed — by which point the scanner's next stop is parked at the
+// loop top, *ahead* of its staleness check. Without the yielded gates
+// the step pop itself releases the writer, and whether the scanner's
+// in-flight loop body sees the chunk frozen is a coin flip.
+
+fn collect_descend(map: &OakMap) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let _role = sync_role("scan");
+    let mut out = Vec::new();
+    map.descend(None, None, &mut |k: &[u8], v: &[u8]| {
+        out.push((k.to_vec(), v.to_vec()));
+        sync_point!("test/yielded");
+        true
+    });
+    out
+}
+
+fn collect_ascend(map: &OakMap, entries: bool) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let _role = sync_role("scan");
+    let mut out = Vec::new();
+    let mut f = |k: &[u8], v: &[u8]| {
+        out.push((k.to_vec(), v.to_vec()));
+        sync_point!("test/yielded");
+        true
+    };
+    if entries {
+        map.ascend_entries(None, None, &mut f);
+    } else {
+        map.ascend(None, None, &mut f);
+    }
+    out
+}
+
+/// R1 — descending scan across a remove + split + reinsert.
+///
+/// The scanner yields k5, k4 and parks. The writer removes k2, inserts
+/// k6 and k7 (the 8th entry triggers a split; the original chunk is
+/// frozen with a replacement), then re-inserts k2 with a new value into
+/// the live chunk. A scanner stuck on the frozen snapshot would skip k2
+/// entirely (its value header is deleted there); the fixed iterator
+/// re-enters at the live chunk below k4 and reports k2's fresh value.
+#[test]
+fn descend_reenters_live_chunk_after_split() {
+    let map = OakMap::with_config(config());
+    for i in 0..6 {
+        map.put(&key(i), b"old").unwrap();
+    }
+
+    let schedule = SyncSchedule::parse(
+        "scan@iter/descend-step    # decision for k5
+         scan@test/yielded         # k5 delivered
+         scan@iter/descend-step    # decision for k4
+         scan@test/yielded         # k4 delivered -> releases the writer
+         mut@test/go               # writer: remove k2, fill chunk, re-put k2
+         mut@test/done
+         scan@iter/descend-step    # scanner parked here during the rebalance
+         scan@iter/stale-reenter   # ... and must detect the replacement",
+    )
+    .unwrap();
+    let session = sync_scenario(schedule);
+
+    let collected = std::thread::scope(|s| {
+        let scanner = s.spawn(|| collect_descend(&map));
+
+        let _role = sync_role("mut");
+        sync_point!("test/go");
+        map.remove(&key(2));
+        map.put(&key(6), b"old").unwrap(); // 7th entry
+        map.put(&key(7), b"old").unwrap(); // 8th entry -> split
+        map.put(&key(2), b"new").unwrap(); // lands in a live chunk
+        sync_point!("test/done");
+
+        scanner.join().unwrap()
+    });
+
+    assert!(
+        session.completed(),
+        "schedule abandoned — the scanner never took the stale re-entry \
+         path; remaining steps: {:?}",
+        session.remaining()
+    );
+    let expect: Vec<(Vec<u8>, Vec<u8>)> = [5, 4, 3, 2, 1, 0]
+        .iter()
+        .map(|&i| {
+            let v = if i == 2 {
+                b"new".to_vec()
+            } else {
+                b"old".to_vec()
+            };
+            (key(i), v)
+        })
+        .collect();
+    assert_eq!(
+        collected, expect,
+        "descending scan missed the reinserted key"
+    );
+}
+
+/// R2 — head merge under a paused ascending scan, plus the
+/// `replace_first` verify-and-swing post-conditions.
+///
+/// Eight inserts split the list into [k0..k3] and [k4..k7]. The scanner
+/// yields k0 and parks; the writer removes k0..k3, emptying the head
+/// chunk and triggering a merge that swings the list head through
+/// `Index::replace_first` (the verify-and-swing fixed in oak-core — the
+/// old unchecked swing could clobber a concurrently-installed head).
+/// The resumed scanner must re-enter at the merged live head.
+#[test]
+fn head_merge_under_paused_scan() {
+    let map = OakMap::with_config(config());
+    for i in 0..8 {
+        map.put(&key(i), b"old").unwrap(); // 8th insert -> split
+    }
+
+    let schedule = SyncSchedule::parse(
+        "scan@iter/ascend-step     # decision for k0
+         scan@test/yielded         # k0 delivered -> releases the writer
+         mut@test/go               # writer: remove k0..k3 -> head merge
+         mut@test/done
+         scan@iter/ascend-step     # scanner parked here during the merge
+         scan@iter/stale-reenter",
+    )
+    .unwrap();
+    let session = sync_scenario(schedule);
+
+    let collected = std::thread::scope(|s| {
+        let scanner = s.spawn(|| collect_ascend(&map, false));
+
+        let _role = sync_role("mut");
+        sync_point!("test/go");
+        for i in 0..4 {
+            assert!(map.remove(&key(i)));
+        }
+        sync_point!("test/done");
+
+        scanner.join().unwrap()
+    });
+
+    assert!(
+        session.completed(),
+        "schedule abandoned; remaining steps: {:?}",
+        session.remaining()
+    );
+    // k0 was yielded before its removal (legal §1.1); the rest must come
+    // from the merged live head.
+    let expect: Vec<(Vec<u8>, Vec<u8>)> = [0, 4, 5, 6, 7]
+        .iter()
+        .map(|&i| (key(i), b"old".to_vec()))
+        .collect();
+    assert_eq!(collected, expect);
+
+    // Post-merge map state: the head swing lost nothing.
+    assert_eq!(map.len(), 4);
+    for i in 0..4 {
+        assert_eq!(map.get_copy(&key(i)), None);
+    }
+    for i in 4..8 {
+        assert_eq!(map.get_copy(&key(i)).as_deref(), Some(&b"old"[..]));
+    }
+    let after: Vec<Vec<u8>> = {
+        let mut ks = Vec::new();
+        map.ascend(None, None, &mut |k: &[u8], _: &[u8]| {
+            ks.push(k.to_vec());
+            true
+        });
+        ks
+    };
+    assert_eq!(after, (4..8).map(key).collect::<Vec<_>>());
+}
+
+/// R4 — the resurrected-chunk splice race, found by the seeded corpus
+/// (it fired the "splice could not find engaged chunk" backstop).
+///
+/// A rebalancer captures its tail pointer *before* building replacement
+/// chunks. If a concurrent rebalance splices that tail chunk out of the
+/// list in the window before the first rebalancer's own splice, the
+/// first splice re-links the replaced tail into the next-chain. Reads
+/// still converge through replacement pointers, but the tail's live
+/// replacement is no longer the successor of anything — so a later
+/// rebalance of *it* can never find a predecessor and its splice walk
+/// spun forever. The fixed walk heals the chain: on meeting a replaced
+/// successor it physically swings `next` to the resolved live chunk.
+///
+/// Roles: r1 merge-rebalances the emptied head (parked at its splice
+/// with the stale tail captured), r2 splits the tail chunk out from
+/// under it, r3 then merge-rebalances the detached live replacement.
+#[test]
+fn splice_heals_resurrected_tail_chunk() {
+    let map = OakMap::with_config(config());
+    for i in 0..12 {
+        map.put(&key(i), b"old").unwrap();
+    }
+    // Chain now: [k00..k03] -> [k04..k07] -> [k08..k11].
+
+    let schedule = SyncSchedule::parse(
+        "r1@rebalance/start        # merge-rebalance of the emptied head begins
+         r2@test/go2               # ... r1 is parked at splice, tail captured
+         r2@test/done2             # r2 split the tail chunk out of the chain
+         r1@rebalance/splice       # r1 splices, resurrecting the replaced tail
+         r1@test/done1
+         r3@test/go3               # r3's merge must find the detached live chunk
+         r3@test/done3",
+    )
+    .unwrap();
+    let session = sync_scenario(schedule);
+
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let _role = sync_role("r1");
+            // Emptying [k00..k03] triggers a rebalance that merges in
+            // [k04..k07] and captures tail = the [k08..k11] chunk.
+            for i in [3, 2, 1, 0] {
+                assert!(map.remove(&key(i)));
+            }
+            sync_point!("test/done1");
+        });
+        s.spawn(|| {
+            let _role = sync_role("r2");
+            sync_point!("test/go2");
+            // Fill [k08..k11] to capacity: it splits, and its predecessor's
+            // next pointer is swung past it — invalidating r1's tail.
+            for i in 12..16 {
+                map.put(&key(i), b"new").unwrap();
+            }
+            sync_point!("test/done2");
+        });
+        s.spawn(|| {
+            let _role = sync_role("r3");
+            sync_point!("test/go3");
+            // Emptying the live [k08..k11] replacement triggers the merge
+            // whose splice walk needs a predecessor that, before the fix,
+            // no longer existed in the next-chain.
+            for i in 8..12 {
+                assert!(map.remove(&key(i)));
+            }
+            sync_point!("test/done3");
+        });
+    });
+
+    assert!(
+        session.completed(),
+        "schedule abandoned; remaining steps: {:?}",
+        session.remaining()
+    );
+    assert_eq!(map.len(), 8);
+    let expect: Vec<(Vec<u8>, Vec<u8>)> = (4..16)
+        .filter(|i| !(8..12).contains(i))
+        .map(|i| {
+            let v = if i >= 12 {
+                b"new".to_vec()
+            } else {
+                b"old".to_vec()
+            };
+            (key(i), v)
+        })
+        .collect();
+    let mut seen = Vec::new();
+    map.ascend(None, None, &mut |k: &[u8], v: &[u8]| {
+        seen.push((k.to_vec(), v.to_vec()));
+        true
+    });
+    assert_eq!(seen, expect, "post-race map contents diverged");
+}
+
+/// R3 — ascending freshness across a remove + split + reinsert, on both
+/// ascending APIs (the stream scan and the Set-entries scan now share
+/// one cursor; the same schedule must drive both identically).
+#[test]
+fn ascend_reenters_live_chunk_after_split() {
+    for entries in [false, true] {
+        let map = OakMap::with_config(config());
+        for i in 0..6 {
+            map.put(&key(i), b"old").unwrap();
+        }
+
+        let schedule = SyncSchedule::parse(
+            "scan@iter/ascend-step     # decision for k0
+             scan@test/yielded         # k0 delivered
+             scan@iter/ascend-step     # decision for k1
+             scan@test/yielded         # k1 delivered -> releases the writer
+             mut@test/go               # writer: remove k4, fill chunk, re-put k4
+             mut@test/done
+             scan@iter/ascend-step     # scanner parked here during the split
+             scan@iter/stale-reenter   # then must re-enter live",
+        )
+        .unwrap();
+        let session = sync_scenario(schedule);
+
+        let collected = std::thread::scope(|s| {
+            let scanner = s.spawn(|| collect_ascend(&map, entries));
+
+            let _role = sync_role("mut");
+            sync_point!("test/go");
+            map.remove(&key(4));
+            map.put(&key(6), b"old").unwrap(); // 7th entry
+            map.put(&key(7), b"old").unwrap(); // 8th entry -> split
+            map.put(&key(4), b"new").unwrap(); // lands in a live chunk
+            sync_point!("test/done");
+
+            scanner.join().unwrap()
+        });
+
+        assert!(
+            session.completed(),
+            "entries={entries}: schedule abandoned; remaining: {:?}",
+            session.remaining()
+        );
+        let expect: Vec<(Vec<u8>, Vec<u8>)> = (0..8)
+            .map(|i| {
+                let v = if i == 4 {
+                    b"new".to_vec()
+                } else {
+                    b"old".to_vec()
+                };
+                (key(i), v)
+            })
+            .collect();
+        assert_eq!(
+            collected, expect,
+            "entries={entries}: ascending scan missed the reinserted key"
+        );
+    }
+}

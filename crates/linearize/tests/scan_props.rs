@@ -1,0 +1,195 @@
+//! Property-style scan tests: seeded random scans with random bounds,
+//! racing seeded churn writers, validated against the §1.1 scan
+//! contract directly (no recorded history — the properties are checked
+//! in-line, so thousands of scans stay cheap).
+//!
+//! The keyspace interleaves *stable* keys (written once, never touched
+//! again) with *volatile* runs (constantly removed/reinserted by the
+//! churn threads). Capacity-8 chunks over a 96-key universe put every
+//! scan across many chunk boundaries, and emptying a volatile run
+//! triggers merges while refilling it triggers splits — so scans
+//! constantly cross chunks that are being frozen, split, merged and
+//! replaced under them.
+//!
+//! Checked properties, for every scan:
+//!   - keys strictly monotonic in scan direction (no duplicates, no
+//!     reordering across chunk re-entry);
+//!   - all keys within the requested bounds and from the universe;
+//!   - every stable key inside the bounds is present, exactly once,
+//!     with its immutable value (§1.1: keys untouched for the whole
+//!     scan must be reported);
+//!   - volatile values are always from the writers' literal set (no
+//!     torn or stale-freed bytes).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use oak_core::{OakMap, OakMapConfig, OrderedKvMap, ShardedOakMap};
+use oak_linearize::SplitMix64;
+
+const UNIVERSE: usize = 96;
+
+fn key(i: usize) -> Vec<u8> {
+    format!("k{i:03}").into_bytes()
+}
+
+/// Two stable keys lead every run of eight; the six volatile keys after
+/// them form contiguous runs that can empty a whole chunk (merge) or
+/// refill one (split).
+fn is_stable(i: usize) -> bool {
+    i % 8 < 2
+}
+
+fn stable_value(i: usize) -> Vec<u8> {
+    format!("s{i:03}").into_bytes()
+}
+
+fn volatile_value(draw: u64) -> Vec<u8> {
+    vec![b'v', (draw % 4) as u8 * 10]
+}
+
+fn cramped() -> OakMapConfig {
+    OakMapConfig::small().chunk_capacity(8)
+}
+
+fn seed_map(map: &dyn OrderedKvMap) {
+    for i in 0..UNIVERSE {
+        let v = if is_stable(i) {
+            stable_value(i)
+        } else {
+            volatile_value(0)
+        };
+        map.put(&key(i), &v).unwrap();
+    }
+}
+
+fn churn(map: &dyn OrderedKvMap, seed: u64, stop: &AtomicBool) {
+    let mut rng = SplitMix64(seed);
+    while !stop.load(Ordering::Relaxed) {
+        let i = rng.below(UNIVERSE as u64) as usize;
+        if is_stable(i) {
+            continue;
+        }
+        match rng.below(4) {
+            0 => {
+                map.remove(&key(i));
+            }
+            1 => {
+                // Empty a whole volatile run: the chunk covering it can
+                // drop to zero live entries and merge away.
+                let base = i - i % 8 + 2;
+                for j in base..base + 6 {
+                    map.remove(&key(j));
+                }
+            }
+            2 => {
+                let base = i - i % 8 + 2;
+                for j in base..base + 6 {
+                    map.put(&key(j), &volatile_value(rng.below(4))).unwrap();
+                }
+            }
+            _ => {
+                map.put(&key(i), &volatile_value(rng.below(4))).unwrap();
+            }
+        }
+    }
+}
+
+/// Validates one collected scan against the §1.1 contract.
+/// `lo..=hi` are the inclusive index bounds the scan covered.
+fn validate(scan: &[(Vec<u8>, Vec<u8>)], lo: usize, hi: usize, descending: bool, ctx: &str) {
+    for w in scan.windows(2) {
+        if descending {
+            assert!(w[0].0 > w[1].0, "{ctx}: not strictly descending: {w:?}");
+        } else {
+            assert!(w[0].0 < w[1].0, "{ctx}: not strictly ascending: {w:?}");
+        }
+    }
+    let universe: Vec<Vec<u8>> = (0..UNIVERSE).map(key).collect();
+    let mut stable_seen = 0usize;
+    for (k, v) in scan {
+        let i = universe
+            .binary_search(k)
+            .unwrap_or_else(|_| panic!("{ctx}: phantom key {:?}", String::from_utf8_lossy(k)));
+        assert!(
+            (lo..=hi).contains(&i),
+            "{ctx}: key {i} out of bounds [{lo}, {hi}]"
+        );
+        if is_stable(i) {
+            assert_eq!(
+                v,
+                &stable_value(i),
+                "{ctx}: stable key {i} has a foreign value"
+            );
+            stable_seen += 1;
+        } else {
+            assert_eq!(v[0], b'v', "{ctx}: volatile key {i} has a torn value {v:?}");
+            assert!(v.len() == 2 && v[1] % 10 == 0 && v[1] <= 30, "{ctx}: {v:?}");
+        }
+    }
+    let stable_expected = (lo..=hi).filter(|&i| is_stable(i)).count();
+    assert_eq!(
+        stable_seen, stable_expected,
+        "{ctx}: scan over [{lo}, {hi}] missed a stable key"
+    );
+}
+
+fn run_props(map: &dyn OrderedKvMap, scans_per_thread: usize, seed: u64) {
+    seed_map(map);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let stop = &stop;
+        for t in 0..2u64 {
+            s.spawn(move || churn(map, seed ^ (0x9e37 + t), stop));
+        }
+        let scanners: Vec<_> = (0..2u64)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut rng = SplitMix64(seed ^ (0xace5 + t));
+                    for round in 0..scans_per_thread {
+                        let a = rng.below(UNIVERSE as u64) as usize;
+                        let b = rng.below(UNIVERSE as u64) as usize;
+                        let (lo, hi) = (a.min(b), a.max(b));
+                        let descending = rng.below(2) == 0;
+                        let entries = rng.below(2) == 0;
+                        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+                        let mut f = |k: &[u8], v: &[u8]| {
+                            out.push((k.to_vec(), v.to_vec()));
+                            true
+                        };
+                        let (lk, hk) = (key(lo), key(hi));
+                        let hk_excl = key(hi + 1); // ascend's hi is exclusive
+                        match (descending, entries) {
+                            (false, false) => map.ascend(Some(&lk), Some(&hk_excl), &mut f),
+                            (false, true) => map.ascend_entries(Some(&lk), Some(&hk_excl), &mut f),
+                            (true, false) => map.descend(Some(&hk), Some(&lk), &mut f),
+                            (true, true) => map.descend_entries(Some(&hk), Some(&lk), &mut f),
+                        };
+                        let ctx = format!(
+                            "seed {seed:#x} scanner {t} round {round} desc={descending} entries={entries}"
+                        );
+                        validate(&out, lo, hi, descending, &ctx);
+                    }
+                })
+            })
+            .collect();
+        for h in scanners {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+#[test]
+fn scan_properties_oak_map() {
+    let map = OakMap::with_config(cramped());
+    run_props(&map, 60, 0x5ca9);
+}
+
+/// The sharded front-end k-way-merges per-shard cursors; the merge must
+/// preserve every property (global order across shard boundaries is
+/// where a merge bug would show).
+#[test]
+fn scan_properties_sharded_map() {
+    let map = ShardedOakMap::with_config(4, cramped());
+    run_props(&map, 60, 0xd15c);
+}

@@ -205,6 +205,7 @@ impl ValueStore {
     /// `v.put`). Returns `Ok(false)` if the value is deleted or the header
     /// lock budget was exhausted (see [`AccessError::Contended`]).
     pub fn put(&self, h: HeaderRef, data: &[u8]) -> Result<bool, AllocError> {
+        oak_failpoints::sync_point!("value/put");
         oak_failpoints::fail_point!("value/put", Err(AllocError::Injected));
         let Ok(header) = self.write_locked(h) else {
             return Ok(false);
@@ -296,6 +297,7 @@ impl ValueStore {
         h: HeaderRef,
         f: impl FnOnce(&mut ValueBytesMut<'_>) -> R,
     ) -> Option<R> {
+        oak_failpoints::sync_point!("value/compute");
         oak_failpoints::fail_point!("value/compute");
         let Ok(header) = self.write_locked(h) else {
             return None;
@@ -321,6 +323,7 @@ impl ValueStore {
     /// Like [`remove`](Self::remove), but atomically returns a copy of the
     /// removed contents (legacy `ConcurrentNavigableMap.remove` shape).
     pub fn remove_returning(&self, h: HeaderRef) -> Option<Vec<u8>> {
+        oak_failpoints::sync_point!("value/remove");
         oak_failpoints::fail_point!("value/remove");
         let Ok(header) = self.write_locked(h) else {
             return None;
@@ -361,6 +364,7 @@ impl ValueStore {
     /// paper's `v.remove`). Returns `false` if already deleted — exactly one
     /// caller succeeds.
     pub fn remove(&self, h: HeaderRef) -> bool {
+        oak_failpoints::sync_point!("value/remove");
         oak_failpoints::fail_point!("value/remove");
         let Ok(header) = self.write_locked(h) else {
             return false;

@@ -197,6 +197,7 @@ impl Chunk {
     pub(crate) fn publish(&self) -> bool {
         // Injected refusal: callers treat it exactly like publishing against
         // a frozen chunk (help rebalance, retry).
+        oak_failpoints::sync_point!("chunk/publish");
         oak_failpoints::fail_point!("chunk/publish", false);
         let mut cur = self.sync.load(Ordering::Acquire);
         loop {
@@ -225,6 +226,7 @@ impl Chunk {
     /// Freezes the chunk and waits for in-flight publications to drain.
     /// After this returns, entry values are stable for copying.
     pub(crate) fn freeze(&self) {
+        oak_failpoints::sync_point!("chunk/freeze");
         self.sync.fetch_or(FROZEN, Ordering::AcqRel);
         let mut spins = 0u32;
         while self.sync.load(Ordering::Acquire) & !FROZEN != 0 {
@@ -298,6 +300,7 @@ impl Chunk {
     /// CAS on an entry's value reference (Algorithms 2–3). The caller must
     /// have published.
     pub(crate) fn cas_value(&self, idx: u32, expect: u64, new: u64) -> bool {
+        oak_failpoints::sync_point!("chunk/cas-value");
         oak_failpoints::fail_point!("chunk/cas-value");
         self.entries[idx as usize]
             .value

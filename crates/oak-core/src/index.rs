@@ -113,6 +113,8 @@ impl<C: KeyComparator> ChunkIndex<C> {
     /// Publishes a rebalance-produced chunk boundary. No-op for the
     /// infimum key (the first chunk is tracked by the first pointer).
     pub(crate) fn publish(&self, chunk: &Arc<Chunk>) {
+        oak_failpoints::sync_point!("index/publish");
+        oak_failpoints::fail_point!("index/publish");
         if !chunk.min_key.is_empty() {
             self.minkeys
                 .put(MinKey::new(&chunk.min_key, self.cmp.clone()), chunk.clone());
@@ -121,14 +123,87 @@ impl<C: KeyComparator> ChunkIndex<C> {
 
     /// Retires a boundary that no longer starts a chunk (merge case).
     pub(crate) fn retire(&self, min_key: &[u8]) {
+        oak_failpoints::sync_point!("index/retire");
+        oak_failpoints::fail_point!("index/retire");
         self.minkeys.remove(&MinKey::new(min_key, self.cmp.clone()));
     }
 
-    /// Swings the first pointer from `old` to `new_head`. The caller holds
-    /// `old`'s rebalance lock, so the pointer cannot move concurrently.
-    pub(crate) fn replace_first(&self, old: &Arc<Chunk>, new_head: Arc<Chunk>) {
+    /// Swings the first pointer from `old` to `new_head`, CAS-like: the
+    /// swing happens only if the pointer still leads to `old` — either
+    /// directly, or through the replacement chain of a stale first pointer
+    /// (in which case swinging to `new_head` also helps the lazy pointer
+    /// catch up). Returns whether the pointer now leads to `new_head`; a
+    /// `false` return means the pointer is out of sync with the caller's
+    /// view and **must not** be clobbered.
+    ///
+    /// The caller holds `old`'s rebalance lock, so under correct engage
+    /// discipline this never fails — but a silent mismatched swing would
+    /// detach an entire chunk chain, so the verify is kept in release
+    /// builds too.
+    #[must_use]
+    pub(crate) fn replace_first(&self, old: &Arc<Chunk>, new_head: Arc<Chunk>) -> bool {
+        oak_failpoints::sync_point!("index/replace-first");
+        oak_failpoints::fail_point!("index/replace-first");
         let mut g = self.first.write();
-        debug_assert!(Arc::ptr_eq(&g, old), "first pointer out of sync");
-        *g = new_head;
+        let mut cur = g.clone();
+        loop {
+            if Arc::ptr_eq(&cur, old) {
+                *g = new_head;
+                return true;
+            }
+            match cur.replacement() {
+                Some(r) => cur = r.clone(),
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmp::Lexicographic;
+
+    fn chunk(min_key: &[u8]) -> Arc<Chunk> {
+        Arc::new(Chunk::new_empty(8, min_key.to_vec().into_boxed_slice()))
+    }
+
+    #[test]
+    fn replace_first_swings_on_match() {
+        let a = chunk(b"");
+        let idx = ChunkIndex::new(Lexicographic, a.clone());
+        let n = chunk(b"");
+        assert!(idx.replace_first(&a, n.clone()));
+        assert!(Arc::ptr_eq(&idx.first_raw(), &n));
+    }
+
+    #[test]
+    fn replace_first_refuses_mismatched_swing() {
+        // Regression (release-mode first-pointer clobber): before the
+        // CAS-like verify this silently set `first` to the unrelated
+        // chunk, detaching the live chain; the old code only
+        // `debug_assert!`ed the match.
+        let a = chunk(b"");
+        let idx = ChunkIndex::new(Lexicographic, a.clone());
+        let stranger = chunk(b"");
+        let n = chunk(b"");
+        assert!(!idx.replace_first(&stranger, n));
+        assert!(
+            Arc::ptr_eq(&idx.first_raw(), &a),
+            "mismatched swing clobbered the first pointer"
+        );
+    }
+
+    #[test]
+    fn replace_first_helps_through_replacement_chain() {
+        // A lazy first pointer still at a replaced chunk: swinging from
+        // the chain's live end is correct and repairs the pointer.
+        let a = chunk(b"");
+        let idx = ChunkIndex::new(Lexicographic, a.clone());
+        let a1 = chunk(b"");
+        a.set_replacement(a1.clone());
+        let n = chunk(b"");
+        assert!(idx.replace_first(&a1, n.clone()));
+        assert!(Arc::ptr_eq(&idx.first_raw(), &n));
     }
 }

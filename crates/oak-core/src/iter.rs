@@ -4,6 +4,13 @@
 //! not removed before it ends are returned; keys never present (or removed
 //! before the start and not re-inserted) are not; no key is returned twice.
 //! Concurrent insertions/removals may or may not be observed.
+//!
+//! Both directions tolerate concurrent rebalances: when the chunk under a
+//! scan is frozen and replaced, the walker chases the replacement chain and
+//! re-enters the live chunk covering its position, bounded by the last
+//! yielded key so no key is skipped or returned twice. Sync points
+//! (`iter/*`) let the deterministic interleaving harness pause a scan at
+//! every decision site.
 
 use std::sync::Arc;
 
@@ -14,18 +21,21 @@ use crate::chunk::{Chunk, NONE};
 use crate::cmp::KeyComparator;
 use crate::map::OakMap;
 
-/// Ascending Set-API iterator: yields an ephemeral `(key, value)` buffer
-/// pair per entry. The stream API ([`OakMap::for_each_in`]) avoids these
-/// per-entry objects — the distinction Figure 4e measures.
-pub struct EntryIter<'a, C: KeyComparator> {
+/// Shared ascending walker over live entries.
+///
+/// One copy of the hop / dedup / hi-bound / replacement-chase logic, used
+/// by both the Set-API [`EntryIter`] and the zero-copy stream scan
+/// ([`OakMap::for_each_in`]) so scan fixes land once.
+pub(crate) struct AscendCursor<'a, C: KeyComparator> {
     map: &'a OakMap<C>,
     chunk: Option<Arc<Chunk>>,
     entry: u32,
+    lo: Option<Box<[u8]>>,
     hi: Option<Box<[u8]>>,
     last_key: Option<SliceRef>,
 }
 
-impl<'a, C: KeyComparator> EntryIter<'a, C> {
+impl<'a, C: KeyComparator> AscendCursor<'a, C> {
     pub(crate) fn new(map: &'a OakMap<C>, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Self {
         let chunk = match lo {
             Some(k) => map.locate_chunk(k),
@@ -35,69 +45,129 @@ impl<'a, C: KeyComparator> EntryIter<'a, C> {
             Some(k) => chunk.lower_bound(map.pool(), &map.cmp, k),
             None => chunk.head_entry(),
         };
-        EntryIter {
+        AscendCursor {
             map,
             chunk: Some(chunk),
             entry,
+            lo: lo.map(|l| l.into()),
             hi: hi.map(|h| h.into()),
             last_key: None,
         }
     }
 
-    /// Advances to the next live entry, returning raw references.
-    pub(crate) fn next_raw(&mut self) -> Option<(SliceRef, HeaderRef)> {
-        loop {
-            let chunk = self.chunk.as_ref()?;
-            while self.entry != NONE {
-                let idx = self.entry;
-                self.entry = chunk.entry_next(idx);
-                let kb = chunk.key_bytes(self.map.pool(), idx);
-                if let Some(h) = &self.hi {
-                    if self.map.cmp.compare(kb, h) != std::cmp::Ordering::Less {
-                        self.chunk = None;
-                        return None;
-                    }
-                }
-                if let Some(lk) = self.last_key {
-                    let lb = unsafe { self.map.pool().slice(lk) };
-                    if self.map.cmp.compare(kb, lb) != std::cmp::Ordering::Greater {
-                        continue; // already covered before a chunk hop
-                    }
-                }
-                let Some(h) = chunk.value_ref(idx) else {
-                    continue;
-                };
-                if self.map.value_store().is_deleted(h) {
-                    continue;
-                }
-                self.last_key = Some(chunk.key_ref(idx));
-                return Some((chunk.key_ref(idx), h));
+    /// The chunk under us was frozen and replaced by a concurrent
+    /// rebalance: re-locate the live chunk covering the resume point and
+    /// re-position there (the `last_key` dedup keeps already-yielded keys
+    /// from repeating when the replacement's range overlaps what we
+    /// covered).
+    fn reposition(&mut self) {
+        let map = self.map;
+        let (chunk, entry) = match self.last_key {
+            Some(lk) => {
+                // SAFETY: key buffers are immutable and never freed.
+                let lb = unsafe { map.pool().slice(lk) };
+                let c = map.locate_chunk(lb);
+                let e = c.lower_bound(map.pool(), &map.cmp, lb);
+                (c, e)
             }
-            // Hop to the next chunk, resolving replacement chains.
-            let mut n = chunk.next_chunk();
-            while let Some(c) = &n {
-                match c.replacement() {
-                    Some(r) => n = Some(r.clone()),
-                    None => break,
-                }
-            }
-            match n {
-                Some(c) => {
-                    self.entry = match self.last_key {
-                        Some(lk) => {
-                            let lb = unsafe { self.map.pool().slice(lk) };
-                            c.lower_bound(self.map.pool(), &self.map.cmp, lb)
-                        }
-                        None => c.head_entry(),
-                    };
-                    self.chunk = Some(c);
+            None => match &self.lo {
+                Some(l) => {
+                    let c = map.locate_chunk(l);
+                    let e = c.lower_bound(map.pool(), &map.cmp, l);
+                    (c, e)
                 }
                 None => {
+                    let c = map.first_chunk();
+                    let e = c.head_entry();
+                    (c, e)
+                }
+            },
+        };
+        self.entry = entry;
+        self.chunk = Some(chunk);
+    }
+
+    /// Advances to the next live entry, returning raw references.
+    pub(crate) fn next(&mut self) -> Option<(SliceRef, HeaderRef)> {
+        loop {
+            // Unconditional per-iteration decision site, *before* the
+            // staleness check — so an interleaving schedule can park the
+            // cursor here regardless of whether a concurrent rebalance
+            // has already frozen the chunk (mirrors "iter/descend-step").
+            oak_failpoints::sync_point!("iter/ascend-step");
+            let chunk = self.chunk.clone()?;
+            if chunk.replacement().is_some() {
+                oak_failpoints::sync_point!("iter/stale-reenter");
+                oak_failpoints::fail_point!("iter/stale-reenter");
+                self.reposition();
+                continue;
+            }
+            if self.entry == NONE {
+                // Hop to the next chunk, resolving replacement chains.
+                oak_failpoints::sync_point!("iter/ascend-hop");
+                oak_failpoints::fail_point!("iter/ascend-hop");
+                let Some(mut n) = chunk.next_chunk() else {
+                    self.chunk = None;
+                    return None;
+                };
+                while let Some(r) = n.replacement() {
+                    n = r.clone();
+                }
+                self.entry = match self.last_key {
+                    Some(lk) => {
+                        let lb = unsafe { self.map.pool().slice(lk) };
+                        n.lower_bound(self.map.pool(), &self.map.cmp, lb)
+                    }
+                    None => n.head_entry(),
+                };
+                self.chunk = Some(n);
+                continue;
+            }
+            let idx = self.entry;
+            self.entry = chunk.entry_next(idx);
+            let kb = chunk.key_bytes(self.map.pool(), idx);
+            if let Some(h) = &self.hi {
+                if self.map.cmp.compare(kb, h) != std::cmp::Ordering::Less {
                     self.chunk = None;
                     return None;
                 }
             }
+            if let Some(lk) = self.last_key {
+                let lb = unsafe { self.map.pool().slice(lk) };
+                if self.map.cmp.compare(kb, lb) != std::cmp::Ordering::Greater {
+                    continue; // already covered before a hop / re-entry
+                }
+            }
+            let Some(h) = chunk.value_ref(idx) else {
+                continue;
+            };
+            if self.map.value_store().is_deleted(h) {
+                continue;
+            }
+            self.last_key = Some(chunk.key_ref(idx));
+            return Some((chunk.key_ref(idx), h));
         }
+    }
+}
+
+/// Ascending Set-API iterator: yields an ephemeral `(key, value)` buffer
+/// pair per entry. The stream API ([`OakMap::for_each_in`]) avoids these
+/// per-entry objects — the distinction Figure 4e measures. Both are thin
+/// wrappers over the same `AscendCursor` walker.
+pub struct EntryIter<'a, C: KeyComparator> {
+    cursor: AscendCursor<'a, C>,
+}
+
+impl<'a, C: KeyComparator> EntryIter<'a, C> {
+    pub(crate) fn new(map: &'a OakMap<C>, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Self {
+        EntryIter {
+            cursor: AscendCursor::new(map, lo, hi),
+        }
+    }
+
+    /// Advances to the next live entry, returning raw references.
+    pub(crate) fn next_raw(&mut self) -> Option<(SliceRef, HeaderRef)> {
+        self.cursor.next()
     }
 }
 
@@ -107,8 +177,8 @@ impl<C: KeyComparator> Iterator for EntryIter<'_, C> {
     fn next(&mut self) -> Option<Self::Item> {
         let (kref, h) = self.next_raw()?;
         Some((
-            OakRBuffer::key(self.map.pool().clone(), kref),
-            OakRBuffer::value(self.map.value_store().clone(), h),
+            OakRBuffer::key(self.cursor.map.pool().clone(), kref),
+            OakRBuffer::value(self.cursor.map.value_store().clone(), h),
         ))
     }
 }
@@ -119,8 +189,10 @@ impl<C: KeyComparator> Iterator for EntryIter<'_, C> {
 /// walk each bypass run while pushing entries on a stack, pop to yield,
 /// step one prefix cell back when the stack drains. On chunk exhaustion,
 /// query the index for the chunk with the greatest `minKey` strictly
-/// smaller than the current chunk's. Complexity for a scan of S keys over
-/// N: O(S/B · log N + S) instead of the skiplist's O(S log N).
+/// smaller than the current chunk's. When the chunk is frozen and replaced
+/// mid-scan, drop the (stale) stack and re-enter the live replacement
+/// bounded strictly below the last yielded key. Complexity for a scan of S
+/// keys over N: O(S/B · log N + S) instead of the skiplist's O(S log N).
 pub struct DescendIter<'a, C: KeyComparator> {
     map: &'a OakMap<C>,
     chunk: Option<Arc<Chunk>>,
@@ -129,8 +201,13 @@ pub struct DescendIter<'a, C: KeyComparator> {
     /// Next prefix cell to refill from; -1 = the pre-prefix head run,
     /// -2 = chunk exhausted.
     next_prefix: i64,
+    /// Inclusive upper bound the scan started from (`None` = the end).
+    from: Option<Box<[u8]>>,
     /// Inclusive lower bound of the scan.
     lo: Option<Box<[u8]>>,
+    /// Last key yielded: the strict re-entry bound after a concurrent
+    /// rebalance replaces the chunk under the scan.
+    last_yielded: Option<SliceRef>,
     /// One-item lookahead (set by [`skip_exact`](Self::skip_exact)).
     pending: Option<(SliceRef, HeaderRef)>,
     done: bool,
@@ -143,15 +220,23 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
             chunk: None,
             stack: Vec::new(),
             next_prefix: -2,
+            from: from.map(|f| f.into()),
             lo: lo.map(|l| l.into()),
+            last_yielded: None,
             pending: None,
             done: false,
         };
-        // Start at the chunk containing `from`, or the last chunk.
-        let chunk = match from {
-            Some(k) => map.locate_chunk(k),
+        let chunk = it.start_chunk(from);
+        it.enter_chunk(chunk, from, true);
+        it
+    }
+
+    /// The chunk containing `from`, or the last chunk when unbounded.
+    fn start_chunk(&self, from: Option<&[u8]>) -> Arc<Chunk> {
+        match from {
+            Some(k) => self.map.locate_chunk(k),
             None => {
-                let mut c = map.first_chunk();
+                let mut c = self.map.first_chunk();
                 loop {
                     while let Some(r) = c.replacement() {
                         c = r.clone();
@@ -163,9 +248,7 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
                 }
                 c
             }
-        };
-        it.enter_chunk(chunk, from, true);
-        it
+        }
     }
 
     /// Initializes the stack for `chunk`: pushes every entry with key ≤
@@ -239,9 +322,34 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
         self.chunk = Some(chunk);
     }
 
+    /// The chunk under us was frozen and replaced by a concurrent
+    /// rebalance (the stack and bypass links are a stale snapshot): chase
+    /// to the live chunk covering the resume point and rebuild the stack,
+    /// bounded strictly below the last yielded key so no key repeats.
+    fn reposition(&mut self) {
+        self.chunk = None;
+        match self.last_yielded {
+            Some(lk) => {
+                let map = self.map;
+                // SAFETY: key buffers are immutable and never freed.
+                let lb = unsafe { map.pool().slice(lk) };
+                let live = map.locate_chunk(lb);
+                self.enter_chunk(live, Some(lb), false);
+            }
+            None => {
+                // Nothing yielded yet: redo the initial positioning.
+                let from = self.from.clone();
+                let chunk = self.start_chunk(from.as_deref());
+                self.enter_chunk(chunk, from.as_deref(), true);
+            }
+        }
+    }
+
     /// Refills the stack from the next prefix cell back (Figure 2's
     /// "move one entry back in the prefix and traverse the bypass").
     fn refill(&mut self) -> bool {
+        oak_failpoints::sync_point!("iter/descend-refill");
+        oak_failpoints::fail_point!("iter/descend-refill");
         let Some(chunk) = self.chunk.clone() else {
             return false;
         };
@@ -285,6 +393,8 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
     /// Moves to the chunk preceding the current one (index query for the
     /// greatest `minKey` strictly smaller — §4.2).
     fn prev_chunk(&mut self) -> bool {
+        oak_failpoints::sync_point!("iter/descend-prev");
+        oak_failpoints::fail_point!("iter/descend-prev");
         let Some(chunk) = self.chunk.take() else {
             return false;
         };
@@ -318,6 +428,16 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
             return None;
         }
         loop {
+            oak_failpoints::sync_point!("iter/descend-step");
+            let stale = self
+                .chunk
+                .as_ref()
+                .is_some_and(|c| c.replacement().is_some());
+            if stale {
+                oak_failpoints::sync_point!("iter/stale-reenter");
+                oak_failpoints::fail_point!("iter/stale-reenter");
+                self.reposition();
+            }
             if self.stack.is_empty() && !self.refill() && !self.prev_chunk() {
                 self.done = true;
                 return None;
@@ -339,6 +459,7 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
             if self.map.value_store().is_deleted(h) {
                 continue;
             }
+            self.last_yielded = Some(chunk.key_ref(idx));
             return Some((chunk.key_ref(idx), h));
         }
     }
@@ -409,67 +530,19 @@ impl<C: KeyComparator> OakMap<C> {
     }
 
     /// Internal ascending walk yielding raw `(key_ref, header_ref)` pairs
-    /// of live entries. Shared by the stream API and the Set iterator.
+    /// of live entries. Shared by the stream API and the Set iterator —
+    /// both delegate to [`AscendCursor`].
     pub(crate) fn stream_ascend(
         &self,
         lo: Option<&[u8]>,
         hi: Option<&[u8]>,
         mut f: impl FnMut(SliceRef, HeaderRef) -> bool,
     ) {
-        let mut chunk = match lo {
-            Some(k) => self.locate_chunk(k),
-            None => self.first_chunk(),
-        };
-        let mut entry = match lo {
-            Some(k) => chunk.lower_bound(self.pool(), &self.cmp, k),
-            None => chunk.head_entry(),
-        };
-        // Last key yielded: used to avoid re-yielding keys after hopping
-        // into a replacement chunk whose range overlaps what we already
-        // covered (merge case).
-        let mut last_key: Option<SliceRef> = None;
-        loop {
-            while entry != NONE {
-                let idx = entry;
-                entry = chunk.entry_next(idx);
-                let kb = chunk.key_bytes(self.pool(), idx);
-                if let Some(h) = hi {
-                    if self.cmp.compare(kb, h) != std::cmp::Ordering::Less {
-                        return;
-                    }
-                }
-                if let Some(lk) = last_key {
-                    let lb = unsafe { self.pool().slice(lk) };
-                    if self.cmp.compare(kb, lb) != std::cmp::Ordering::Greater {
-                        continue;
-                    }
-                }
-                let Some(h) = chunk.value_ref(idx) else {
-                    continue;
-                };
-                if self.value_store().is_deleted(h) {
-                    continue;
-                }
-                last_key = Some(chunk.key_ref(idx));
-                if !f(chunk.key_ref(idx), h) {
-                    return;
-                }
-            }
-            // Hop to the next chunk, resolving replacements.
-            let Some(mut n) = chunk.next_chunk() else {
+        let mut cursor = AscendCursor::new(self, lo, hi);
+        while let Some((kref, h)) = cursor.next() {
+            if !f(kref, h) {
                 return;
-            };
-            while let Some(r) = n.replacement() {
-                n = r.clone();
             }
-            entry = match last_key {
-                Some(lk) => {
-                    let lb = unsafe { self.pool().slice(lk) };
-                    n.lower_bound(self.pool(), &self.cmp, lb)
-                }
-                None => n.head_entry(),
-            };
-            chunk = n;
         }
     }
 }

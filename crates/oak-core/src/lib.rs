@@ -78,6 +78,52 @@ pub const FAILPOINT_SITES: &[oak_failpoints::SiteSpec] = &[
     oak_failpoints::SiteSpec::errorable("chunk/allocate-entry"),
     oak_failpoints::SiteSpec::passive("rebalance/start"),
     oak_failpoints::SiteSpec::passive("rebalance/freeze"),
+    oak_failpoints::SiteSpec::passive("rebalance/splice"),
+    oak_failpoints::SiteSpec::passive("rebalance/publish-replacement"),
+    oak_failpoints::SiteSpec::passive("index/publish"),
+    oak_failpoints::SiteSpec::passive("index/retire"),
+    oak_failpoints::SiteSpec::passive("index/replace-first"),
+    oak_failpoints::SiteSpec::passive("iter/ascend-hop"),
+    oak_failpoints::SiteSpec::passive("iter/descend-refill"),
+    oak_failpoints::SiteSpec::passive("iter/descend-prev"),
+    oak_failpoints::SiteSpec::passive("iter/stale-reenter"),
+    oak_failpoints::SiteSpec::passive("ops/remove-marked"),
+];
+
+/// Named *sync points* instrumented across this crate and
+/// [`oak_mempool`] — the decision sites (§4.5 linearization points and the
+/// scan/rebalance hand-off sites) that a deterministic
+/// [`oak_failpoints::SyncSchedule`](oak_failpoints) interleaving can gate
+/// on. See DESIGN.md "Linearization points and the interleaving harness"
+/// for the mapping from the paper's linearization points to these names.
+pub const SYNC_SITES: &[&str] = &[
+    // Entry value-reference CAS (Algorithms 2–3) and the publish/freeze
+    // protocol around it.
+    "chunk/publish",
+    "chunk/cas-value",
+    "chunk/freeze",
+    // Value-header state transitions (v.put / v.compute / v.remove).
+    "value/put",
+    "value/compute",
+    "value/remove",
+    // Remove marked deleted but not yet finalized (Algorithm 3 line 48→).
+    "ops/remove-marked",
+    // Rebalance: engage, freeze, list splice, replacement publication.
+    "rebalance/start",
+    "rebalance/freeze",
+    "rebalance/splice",
+    "rebalance/publish-replacement",
+    // Lazy index maintenance and the first-pointer swing.
+    "index/publish",
+    "index/retire",
+    "index/replace-first",
+    // Scan decision sites (per-step, chunk hops, refills, stale re-entry).
+    "iter/ascend-step",
+    "iter/ascend-hop",
+    "iter/descend-step",
+    "iter/descend-refill",
+    "iter/descend-prev",
+    "iter/stale-reenter",
 ];
 
 /// All failpoint sites reachable through an [`OakMap`]: this crate's plus

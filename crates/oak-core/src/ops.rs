@@ -283,6 +283,8 @@ impl<C: KeyComparator> OakMap<C> {
                         if self.store.remove(h) {
                             // l.p.: v.remove set the deleted bit (line 48).
                             self.len.fetch_sub(1, Ordering::Relaxed);
+                            oak_failpoints::sync_point!("ops/remove-marked");
+                            oak_failpoints::fail_point!("ops/remove-marked");
                             self.finalize_remove(key, h);
                             self.maybe_merge(&c);
                             return true;
@@ -316,6 +318,8 @@ impl<C: KeyComparator> OakMap<C> {
             if !self.store.is_deleted(h) {
                 if let Some(old) = self.store.remove_returning(h) {
                     self.len.fetch_sub(1, Ordering::Relaxed);
+                    oak_failpoints::sync_point!("ops/remove-marked");
+                    oak_failpoints::fail_point!("ops/remove-marked");
                     self.finalize_remove(key, h);
                     self.maybe_merge(&c);
                     return Some(old);

@@ -39,6 +39,7 @@ impl<C: KeyComparator> OakMap<C> {
     /// Rebalances `chunk` (idempotent: returns immediately if it was
     /// already replaced). Blocks while another thread rebalances it.
     pub(crate) fn rebalance(&self, chunk: &Arc<Chunk>) {
+        oak_failpoints::sync_point!("rebalance/start");
         oak_failpoints::fail_point!("rebalance/start");
         let _engaged = chunk.rebalance_lock.lock();
         if chunk.replacement().is_some() {
@@ -46,6 +47,7 @@ impl<C: KeyComparator> OakMap<C> {
         }
         // Perturbation between engage and freeze widens the window in which
         // writers race the freeze drain.
+        oak_failpoints::sync_point!("rebalance/freeze");
         oak_failpoints::fail_point!("rebalance/freeze");
         chunk.freeze();
 
@@ -112,7 +114,11 @@ impl<C: KeyComparator> OakMap<C> {
         // Splice into the chunk list, then record replacements so stale
         // readers (and the lazy index) converge on the new chunks.
         let new_head = new_chunks[0].clone();
+        oak_failpoints::sync_point!("rebalance/splice");
+        oak_failpoints::fail_point!("rebalance/splice");
         self.splice(chunk, new_head.clone());
+        oak_failpoints::sync_point!("rebalance/publish-replacement");
+        oak_failpoints::fail_point!("rebalance/publish-replacement");
         chunk.set_replacement(new_head.clone());
         if let Some(n) = merged_next {
             // The chunk now covering n's range start: the last new chunk
@@ -150,8 +156,10 @@ impl<C: KeyComparator> OakMap<C> {
             // `old` is the first chunk; the index's first pointer
             // necessarily points at it (each first-replacement updates the
             // pointer under the old first's rebalance lock, which we hold
-            // transitively).
-            self.index.replace_first(old, new_head);
+            // transitively). A failed verify-and-swing here means that
+            // invariant broke — fail loudly rather than detach the chain.
+            let swung = self.index.replace_first(old, new_head);
+            assert!(swung, "first pointer out of sync during head splice");
             return;
         }
         let mut spins = 0u64;
@@ -171,6 +179,26 @@ impl<C: KeyComparator> OakMap<C> {
                         return;
                     }
                     continue 'outer;
+                }
+                if let Some(r) = n.replacement() {
+                    // Resurrected-chunk race: a rebalancer captures its
+                    // tail pointer before building replacements, so a
+                    // concurrent splice of that tail chunk leaves the
+                    // rebalancer re-linking the replaced tail into the
+                    // next-chain. The tail's live replacement is then
+                    // reachable only through replacement pointers — no
+                    // predecessor's `next` leads to it, and a later
+                    // rebalance of it would walk here forever. Heal the
+                    // chain by physically unlinking the replaced chunk
+                    // before walking on.
+                    let mut live = r.clone();
+                    while let Some(r2) = live.replacement() {
+                        live = r2.clone();
+                    }
+                    if !cur.swing_next(&n, live) {
+                        continue 'outer; // chain changed under us; re-walk
+                    }
+                    continue; // re-examine `cur`'s healed successor
                 }
                 cur = n;
             }

@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use oak_bench::report::Summary;
-use oak_bench::scenarios::{run_scenario, SCENARIOS};
+use oak_bench::scenarios::{run_memory_pressure, run_scenario, MEM_PRESSURE_LABEL, SCENARIOS};
 use oak_bench::workload::WorkloadConfig;
 use oak_mempool::PoolConfig;
 
@@ -61,6 +61,15 @@ fn main() {
     let scan_len = if quick { 1_000 } else { 10_000 };
 
     let mut summary = Summary::new();
+    // The memory-pressure scenario is opt-in (or part of `--scenario mem`):
+    // it deliberately under-provisions the pool and reports OOM / reclaim /
+    // fragmentation columns instead of throughput under a sane budget.
+    if only
+        .as_deref()
+        .is_some_and(|o| MEM_PRESSURE_LABEL.starts_with(o))
+    {
+        run_memory_pressure(&threads, &workload, 4096, duration, &mut summary, true);
+    }
     for scenario in SCENARIOS {
         if let Some(o) = &only {
             if !scenario.label.starts_with(o.as_str()) {

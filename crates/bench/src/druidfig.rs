@@ -82,7 +82,7 @@ pub fn ingest_oak(rows: &[InputRow], ram_budget: u64) -> (IngestOutcome, OakInde
     for (i, row) in rows.iter().enumerate() {
         match idx.insert(row) {
             Ok(()) => {}
-            Err(OakError::Alloc(AllocError::PoolExhausted)) => {
+            Err(OakError::OutOfMemory | OakError::Alloc(AllocError::PoolExhausted)) => {
                 return (IngestOutcome::Oom { ingested: i as u64 }, idx);
             }
             Err(e) => panic!("unexpected: {e}"),

@@ -103,7 +103,10 @@ pub fn ingest_oak_stats(
         let i = i as u64;
         match map.put_if_absent(&config.key(id), &config.value(id)) {
             Ok(_) => {}
-            Err(oak_core::OakError::Alloc(AllocError::PoolExhausted)) => {
+            Err(
+                oak_core::OakError::OutOfMemory
+                | oak_core::OakError::Alloc(AllocError::PoolExhausted),
+            ) => {
                 let stats = RobustnessStats::from(map.pool().stats());
                 return (IngestOutcome::Oom { ingested: i }, Some(stats));
             }

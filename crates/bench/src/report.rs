@@ -45,6 +45,14 @@ pub struct RobustnessStats {
     pub failed_allocs: u64,
     /// Values poisoned by the compute panic guard.
     pub poisoned_values: u64,
+    /// Operations that surfaced out-of-memory after emergency reclamation.
+    pub oom_failures: u64,
+    /// Emergency reclamation passes triggered by pool exhaustion.
+    pub emergency_reclaims: u64,
+    /// External fragmentation of free pool space at snapshot time, as a
+    /// rounded percentage (fraction of free bytes outside the largest
+    /// free segment; kept integral so the struct stays `Eq`).
+    pub fragmentation_pct: u64,
 }
 
 impl From<oak_mempool::PoolStats> for RobustnessStats {
@@ -54,6 +62,9 @@ impl From<oak_mempool::PoolStats> for RobustnessStats {
             contended_aborts: s.contended_aborts,
             failed_allocs: s.failed_allocs,
             poisoned_values: s.poisoned_values,
+            oom_failures: s.oom_failures,
+            emergency_reclaims: s.emergency_reclaims,
+            fragmentation_pct: (s.fragmentation() * 100.0).round() as u64,
         }
     }
 }
@@ -85,15 +96,21 @@ impl Summary {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "Scenario,Bench,Heap size,Direct Mem,#Threads,Shards,Final Size,Throughput,Note,\
-             LockRetries,ContendedAborts,FailedAllocs,PoisonedValues\n",
+             LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct\n",
         );
         for r in &self.rows {
             let rb = match &r.robustness {
                 Some(rb) => format!(
-                    "{},{},{},{}",
-                    rb.lock_retries, rb.contended_aborts, rb.failed_allocs, rb.poisoned_values
+                    "{},{},{},{},{},{},{}",
+                    rb.lock_retries,
+                    rb.contended_aborts,
+                    rb.failed_allocs,
+                    rb.poisoned_values,
+                    rb.oom_failures,
+                    rb.emergency_reclaims,
+                    rb.fragmentation_pct
                 ),
-                None => ",,,".to_string(),
+                None => ",,,,,,".to_string(),
             };
             let _ = writeln!(
                 out,
@@ -138,8 +155,14 @@ impl Summary {
                     }
                     let _ = write!(
                         note,
-                        "[retries={} aborts={} failed-allocs={} poisoned={}]",
-                        rb.lock_retries, rb.contended_aborts, rb.failed_allocs, rb.poisoned_values
+                        "[retries={} aborts={} failed-allocs={} poisoned={} oom={} reclaims={} frag={}%]",
+                        rb.lock_retries,
+                        rb.contended_aborts,
+                        rb.failed_allocs,
+                        rb.poisoned_values,
+                        rb.oom_failures,
+                        rb.emergency_reclaims,
+                        rb.fragmentation_pct
                     );
                 }
             }
@@ -218,13 +241,19 @@ mod tests {
                 contended_aborts: 1,
                 failed_allocs: 2,
                 poisoned_values: 3,
+                oom_failures: 4,
+                emergency_reclaims: 5,
+                fragmentation_pct: 6,
             }),
         });
         let csv = s.to_csv();
-        assert!(csv.contains("LockRetries,ContendedAborts,FailedAllocs,PoisonedValues"));
-        assert!(csv.contains(",7,1,2,3\n"));
+        assert!(csv.contains(
+            "LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct"
+        ));
+        assert!(csv.contains(",7,1,2,3,4,5,6\n"));
         let table = s.to_table();
-        assert!(table.contains("[retries=7 aborts=1 failed-allocs=2 poisoned=3]"));
+        assert!(table
+            .contains("[retries=7 aborts=1 failed-allocs=2 poisoned=3 oom=4 reclaims=5 frag=6%]"));
     }
 
     #[test]

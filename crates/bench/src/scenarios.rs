@@ -1,9 +1,10 @@
 //! Figure 4 scenario definitions, named like the artifact's `run.sh`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use oak_core::{OakMapConfig, ShardedOakMap};
+use oak_core::{OakError, OakMap, OakMapConfig, ShardedOakMap};
 use oak_mempool::PoolConfig;
 use oak_skiplist::btree::LockedBTreeMap;
 use oak_skiplist::offheap::OffHeapSkipListMap;
@@ -162,6 +163,103 @@ pub fn run_scenario(
     }
 }
 
+/// Label of the memory-pressure scenario (not part of the Figure 4 table:
+/// run it with `--scenario mem-pressure`).
+pub const MEM_PRESSURE_LABEL: &str = "mem-pressure";
+
+/// Memory-pressure scenario: writers churn a working set against a pool
+/// deliberately sized below it, so puts exhaust the pool, trigger emergency
+/// reclamation, and — once reclamation cannot help — surface
+/// [`OakError::OutOfMemory`]. The standard driver panics on any put error,
+/// so this scenario runs its own loop that tolerates out-of-memory and
+/// reports the OOM / reclaim counts and free-space fragmentation in the
+/// robustness columns.
+pub fn run_memory_pressure(
+    threads: &[usize],
+    workload: &WorkloadConfig,
+    chunk_capacity: u32,
+    duration: Duration,
+    summary: &mut Summary,
+    verbose: bool,
+) {
+    // ~55% of the raw working-set footprint: exhaustion is guaranteed once
+    // the key range fills, and removals keep reclamation productive.
+    let raw = workload.key_range * (workload.key_size + workload.value_size + 24) as u64;
+    let budget = ((raw / 2) as usize).max(256 << 10);
+    let pool = PoolConfig::with_budget((budget / 4).next_power_of_two().max(64 << 10), budget);
+    for &t in threads {
+        let map = Arc::new(OakMap::with_config(
+            OakMapConfig::default()
+                .chunk_capacity(chunk_capacity)
+                .pool(pool.clone()),
+        ));
+        let ops = AtomicU64::new(0);
+        let ooms = AtomicU64::new(0);
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for tid in 0..t {
+                let map = &map;
+                let ops = &ops;
+                let ooms = &ooms;
+                s.spawn(move || {
+                    let mut id = workload.seed.wrapping_mul(tid as u64 + 1);
+                    let mut n = 0u64;
+                    let mut oom = 0u64;
+                    while start.elapsed() < duration {
+                        // xorshift over the key range; 1-in-4 ops removes,
+                        // so exhausted space keeps becoming reclaimable.
+                        id ^= id << 13;
+                        id ^= id >> 7;
+                        id ^= id << 17;
+                        let key_id = id % workload.key_range;
+                        let key = workload.key(key_id);
+                        if id.is_multiple_of(4) {
+                            map.remove(&key);
+                        } else {
+                            match map.put(&key, &workload.value(key_id)) {
+                                Ok(()) => {}
+                                Err(OakError::OutOfMemory | OakError::Alloc(_)) => oom += 1,
+                                Err(e) => panic!("unexpected: {e}"),
+                            }
+                        }
+                        n += 1;
+                    }
+                    ops.fetch_add(n, Ordering::Relaxed);
+                    ooms.fetch_add(oom, Ordering::Relaxed);
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        map.drain_quarantine();
+        let stats = RobustnessStats::from(map.pool().stats());
+        let total = ops.load(Ordering::Relaxed);
+        let oom_seen = ooms.load(Ordering::Relaxed);
+        if verbose {
+            eprintln!(
+                "{MEM_PRESSURE_LABEL} / OakMap / {t} threads: {total} ops, {oom_seen} OOM, \
+                 {} reclaims, frag {}%",
+                stats.emergency_reclaims, stats.fragmentation_pct
+            );
+        }
+        summary.push(Row {
+            scenario: MEM_PRESSURE_LABEL.to_string(),
+            bench: "OakMap".to_string(),
+            heap_bytes: 0,
+            direct_bytes: (pool.arena_size * pool.max_arenas) as u64,
+            threads: t,
+            shards: 1,
+            final_size: map.len(),
+            mops: total as f64 / elapsed / 1e6,
+            note: if oom_seen > 0 {
+                format!("OOM x{oom_seen}")
+            } else {
+                String::new()
+            },
+            robustness: Some(stats),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +305,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mem_pressure_reports_robustness_columns() {
+        let wl = WorkloadConfig {
+            key_range: 2_000,
+            key_size: 32,
+            value_size: 256,
+            seed: 9,
+            distribution: crate::workload::KeyDistribution::Uniform,
+        };
+        let mut summary = Summary::new();
+        run_memory_pressure(
+            &[2],
+            &wl,
+            64,
+            Duration::from_millis(200),
+            &mut summary,
+            false,
+        );
+        assert_eq!(summary.rows().len(), 1);
+        let row = &summary.rows()[0];
+        assert_eq!(row.scenario, MEM_PRESSURE_LABEL);
+        let rb = row.robustness.expect("pool-backed scenario reports stats");
+        // The pool is sized below the working set: exhaustion must have been
+        // hit, and every exhaustion first goes through emergency reclamation.
+        assert!(rb.failed_allocs > 0, "pool never exhausted: {rb:?}");
+        assert!(rb.emergency_reclaims > 0, "no reclamation pass: {rb:?}");
+        // The CSV row carries the new columns.
+        assert!(summary.to_csv().contains("mem-pressure,OakMap,"));
     }
 
     #[test]

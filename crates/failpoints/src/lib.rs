@@ -362,10 +362,21 @@ mod active {
         /// Each site is independently configured with probability ~1/2.
         /// Errorable sites draw from {return-error, yield, delay}; passive
         /// sites from {yield, delay}. Fire points are a small set of exact
-        /// hit counts in `[1, 64]`, or an every-N cadence — both exactly
-        /// reproducible for a given seed. `Action::Panic` is deliberately
-        /// never scheduled: random internal panics are not recoverable in
-        /// general and are exercised by dedicated tests instead.
+        /// hit counts in `[1, 64]`, or — for perturbations only — an
+        /// every-N cadence; both exactly reproducible for a given seed.
+        /// `Action::Panic` is deliberately never scheduled: random internal
+        /// panics are not recoverable in general and are exercised by
+        /// dedicated tests instead.
+        ///
+        /// Error injections are always *finite* (bounded hit sets, never
+        /// `EveryN`): the map's retry loops are lock-free only under the
+        /// assumption that a failed publish/CAS implies another thread made
+        /// progress, and an unbounded refusal stream voids it. Concretely,
+        /// `doPut` hits `chunk/publish` twice per retry (link + value
+        /// publish), so `ReturnErr` with `EveryN(2)` phase-locks onto the
+        /// value publish and the operation livelocks forever. Delays and
+        /// yields may recur indefinitely — they perturb timing but cannot
+        /// block progress.
         pub fn generate(seed: u64, sites: &[SiteSpec]) -> Schedule {
             let mut rng = SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F);
             let mut entries = Vec::new();
@@ -378,7 +389,7 @@ mod active {
                     (_, 4..=6) => Action::DelayMicros(rng.range(1, 100)),
                     _ => Action::Yield(rng.range(1, 4) as u32),
                 };
-                let policy = if rng.below(3) == 0 {
+                let policy = if action != Action::ReturnErr && rng.below(3) == 0 {
                     FirePolicy::EveryN(rng.range(2, 8))
                 } else {
                     let n = rng.range(1, 3) as usize;
@@ -752,6 +763,35 @@ mod tests {
         uniq.sort();
         uniq.dedup();
         assert!(uniq.len() > 25, "schedules barely vary across seeds");
+    }
+
+    #[test]
+    fn generated_error_injections_are_finite() {
+        // Regression (corpus livelock): `doPut` hits `chunk/publish` twice
+        // per retry, so a `ReturnErr` entry with `EveryN(2)` phase-locks
+        // onto the same publish call every iteration and the operation
+        // never terminates. Generated schedules must keep every error
+        // injection on a bounded hit set; unbounded cadences are reserved
+        // for progress-neutral perturbations (yield/delay).
+        let sites = [
+            SiteSpec::errorable("a"),
+            SiteSpec::passive("b"),
+            SiteSpec::errorable("c"),
+            SiteSpec::passive("d"),
+            SiteSpec::errorable("e"),
+        ];
+        for seed in 0..500u64 {
+            for e in &Schedule::generate(seed, &sites).entries {
+                if e.action == Action::ReturnErr {
+                    assert!(
+                        matches!(e.policy, FirePolicy::OnHits(_)),
+                        "seed {seed}: unbounded error injection at {}: {:?}",
+                        e.site,
+                        e.policy
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -120,6 +120,13 @@ impl FreeList {
         self.free.len()
     }
 
+    /// Length of the largest free segment. With `free_bytes`, this bounds
+    /// external fragmentation: the biggest allocation this arena can still
+    /// satisfy, regardless of how many bytes are free in total.
+    pub fn largest_segment(&self) -> u32 {
+        self.free.values().copied().max().unwrap_or(0)
+    }
+
     /// Checks structural invariants; used by tests and debug assertions.
     #[doc(hidden)]
     pub fn check_invariants(&self) {

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod audit;
 mod error;
 mod freelist;
 mod header;
@@ -38,6 +39,9 @@ mod stats;
 mod value;
 
 pub use arena::{Arena, ARENA_ALIGN};
+pub use audit::AllocClass;
+#[cfg(feature = "audit")]
+pub use audit::{AuditReport, AuditViolation, LiveAlloc, ViolationKind};
 pub use error::{AccessError, AllocError};
 pub use freelist::FreeList;
 pub use header::{HeaderRef, LockState, HEADER_SIZE};
@@ -55,6 +59,7 @@ pub const FAILPOINT_SITES: &[oak_failpoints::SiteSpec] = &[
     oak_failpoints::SiteSpec::errorable("pool/alloc"),
     oak_failpoints::SiteSpec::errorable("pool/grow"),
     oak_failpoints::SiteSpec::errorable("freelist/pop"),
+    oak_failpoints::SiteSpec::passive("pool/free"),
     oak_failpoints::SiteSpec::errorable("value/alloc"),
     oak_failpoints::SiteSpec::errorable("value/put"),
     oak_failpoints::SiteSpec::errorable("value/replace"),

@@ -15,11 +15,12 @@ use std::sync::OnceLock;
 use parking_lot::Mutex;
 
 use crate::arena::Arena;
+use crate::audit::AllocClass;
 use crate::error::AllocError;
 use crate::freelist::{round_up, FreeList};
 use crate::refs::{SliceRef, MAX_BLOCKS, MAX_SLICE_LEN};
 use crate::shared::ArenaPool;
-use crate::stats::{Counters, PoolStats};
+use crate::stats::{Counters, FreeListStats, PoolStats};
 
 /// Configuration for a [`MemoryPool`].
 #[derive(Debug, Clone)]
@@ -75,6 +76,9 @@ pub struct MemoryPool {
     /// When set, arenas come from (and return to) a shared reservoir
     /// instead of the system allocator (§3.2).
     shared: Option<std::sync::Arc<ArenaPool>>,
+    /// Allocation ledger for lifecycle auditing (feature `audit`).
+    #[cfg(feature = "audit")]
+    ledger: crate::audit::Ledger,
 }
 
 impl MemoryPool {
@@ -104,6 +108,8 @@ impl MemoryPool {
             grow_lock: Mutex::new(()),
             counters: Counters::default(),
             shared: None,
+            #[cfg(feature = "audit")]
+            ledger: crate::audit::Ledger::default(),
         }
     }
 
@@ -141,9 +147,32 @@ impl MemoryPool {
     /// but may contain stale data from previously freed slices; callers
     /// always overwrite before publishing.
     pub fn allocate(&self, len: usize) -> Result<SliceRef, AllocError> {
+        self.allocate_tagged(len, AllocClass::Other)
+    }
+
+    /// Like [`allocate`](Self::allocate), but declares what the slice will
+    /// hold so the auditor (feature `audit`) can attribute live bytes and
+    /// leaks to a slice class. Without the feature the tag is free.
+    pub fn allocate_tagged(&self, len: usize, class: AllocClass) -> Result<SliceRef, AllocError> {
         let result = self.allocate_inner(len);
-        if result.is_err() {
-            self.counters.failed_allocs.fetch_add(1, Ordering::Relaxed);
+        match &result {
+            Ok(r) => {
+                #[cfg(feature = "audit")]
+                self.ledger.record_alloc(*r, round_up(r.len()), class);
+                #[cfg(not(feature = "audit"))]
+                let _ = (r, class);
+                let live = self
+                    .counters
+                    .allocated_bytes
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(self.counters.freed_bytes.load(Ordering::Relaxed));
+                self.counters
+                    .peak_live_bytes
+                    .fetch_max(live, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counters.failed_allocs.fetch_add(1, Ordering::Relaxed);
+            }
         }
         result
     }
@@ -211,9 +240,18 @@ impl MemoryPool {
     /// The caller must guarantee `r` came from [`allocate`](Self::allocate)
     /// on this pool, is freed at most once, and that no live view of the
     /// bytes remains (enforced upstream by header locks / epoch deferral).
+    ///
+    /// Under the `audit` feature the contract is *checked*: a double free
+    /// or a free of a reference this pool never handed out is recorded as
+    /// a violation and skipped instead of corrupting the free list.
     pub fn free(&self, r: SliceRef) {
         assert!(!r.is_null(), "freeing the null reference");
+        oak_failpoints::fail_point!("pool/free");
         let padded = round_up(r.len());
+        #[cfg(feature = "audit")]
+        if !self.ledger.check_free(r, padded) {
+            return;
+        }
         let block = self.block(r.block());
         block.free.lock().free(r.offset(), padded);
         self.counters
@@ -238,6 +276,8 @@ impl MemoryPool {
     /// (immutable key bytes, or value bytes under the header read lock).
     #[inline]
     pub unsafe fn slice(&self, r: SliceRef) -> &[u8] {
+        #[cfg(feature = "audit")]
+        self.ledger.check_access(r, round_up(r.len()));
         self.block(r.block()).arena.slice(r.offset(), r.len())
     }
 
@@ -249,6 +289,8 @@ impl MemoryPool {
     #[allow(clippy::mut_from_ref)]
     #[inline]
     pub unsafe fn slice_mut(&self, r: SliceRef) -> &mut [u8] {
+        #[cfg(feature = "audit")]
+        self.ledger.check_access(r, round_up(r.len()));
         self.block(r.block()).arena.slice_mut(r.offset(), r.len())
     }
 
@@ -290,16 +332,83 @@ impl MemoryPool {
         self.slice(r).to_vec()
     }
 
-    /// Point-in-time footprint statistics.
+    /// Point-in-time footprint statistics. Walks the per-arena free lists
+    /// (briefly locking each) to report exact free-space fragmentation.
     pub fn stats(&self) -> PoolStats {
-        self.counters.snapshot(
-            self.nblocks.load(Ordering::Acquire) as u64,
-            self.config.arena_size as u64,
-        )
+        let n = self.nblocks.load(Ordering::Acquire);
+        let mut fl = FreeListStats::default();
+        for i in 0..n {
+            let block = self.blocks[i].get().expect("block < nblocks initialized");
+            let free = block.free.lock();
+            fl.free_bytes += free.free_bytes();
+            fl.free_segments += free.segment_count() as u64;
+            fl.largest_free_segment = fl.largest_free_segment.max(free.largest_segment() as u64);
+        }
+        self.counters
+            .snapshot(n as u64, self.config.arena_size as u64, fl)
+    }
+
+    /// Records that an owner of this pool ran an emergency reclamation
+    /// pass after hitting [`AllocError::PoolExhausted`].
+    pub fn note_emergency_reclaim(&self) {
+        self.counters
+            .emergency_reclaims
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that an operation surfaced an out-of-memory failure to the
+    /// caller even after emergency reclamation.
+    pub fn note_oom_failure(&self) {
+        self.counters.oom_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Every allocation currently live according to the auditor's ledger,
+    /// with its class and allocation sequence number.
+    #[cfg(feature = "audit")]
+    pub fn live_allocations(&self) -> Vec<(SliceRef, crate::audit::LiveAlloc)> {
+        self.ledger.live_allocations()
+    }
+
+    /// All lifecycle violations (double free, foreign free, use after
+    /// free) recorded since pool creation.
+    #[cfg(feature = "audit")]
+    pub fn audit_violations(&self) -> Vec<crate::audit::AuditViolation> {
+        self.ledger.violations()
+    }
+
+    /// Total number of recorded lifecycle violations.
+    #[cfg(feature = "audit")]
+    pub fn audit_violation_count(&self) -> u64 {
+        self.ledger.violation_count()
+    }
+
+    /// Cross-checks the auditor's ledger against the free lists: ledger
+    /// live bytes plus free-list bytes must equal the managed capacity.
+    /// Meaningful at any time — the ledger and the free lists are updated
+    /// under the same call, so transient concurrent drift is bounded by
+    /// in-flight operations; call at a quiescent point for exact results.
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> crate::audit::AuditReport {
+        let (live_bytes, live_by_class) = self.ledger.live_summary();
+        let n = self.nblocks.load(Ordering::Acquire);
+        let mut free_bytes = 0u64;
+        for i in 0..n {
+            let block = self.blocks[i].get().expect("block < nblocks initialized");
+            free_bytes += block.free.lock().free_bytes();
+        }
+        let capacity_bytes = n as u64 * self.config.arena_size as u64;
+        crate::audit::AuditReport {
+            live_bytes,
+            free_bytes,
+            capacity_bytes,
+            balanced: live_bytes + free_bytes == capacity_bytes,
+            live_by_class,
+            violations: self.ledger.violations(),
+        }
     }
 }
 

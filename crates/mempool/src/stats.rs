@@ -3,7 +3,9 @@
 //! Oak "supports fast estimation of its RAM footprint – a common application
 //! requirement" (§1.1). The pool keeps exact atomic counters so footprint
 //! queries are O(1) reads, and Figure 5c-style memory-overhead reports can be
-//! produced without walking the data structure.
+//! produced without walking the data structure. Free-space fragmentation
+//! figures are gathered by briefly walking the per-arena free lists in
+//! [`MemoryPool::stats`](crate::MemoryPool::stats).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,10 +21,21 @@ pub(crate) struct Counters {
     pub(crate) contended_aborts: AtomicU64,
     pub(crate) failed_allocs: AtomicU64,
     pub(crate) poisoned_values: AtomicU64,
+    pub(crate) peak_live_bytes: AtomicU64,
+    pub(crate) emergency_reclaims: AtomicU64,
+    pub(crate) oom_failures: AtomicU64,
+}
+
+/// Free-list aggregates gathered by walking the arenas.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FreeListStats {
+    pub(crate) free_bytes: u64,
+    pub(crate) free_segments: u64,
+    pub(crate) largest_free_segment: u64,
 }
 
 impl Counters {
-    pub(crate) fn snapshot(&self, arenas: u64, arena_size: u64) -> PoolStats {
+    pub(crate) fn snapshot(&self, arenas: u64, arena_size: u64, fl: FreeListStats) -> PoolStats {
         let allocated = self.allocated_bytes.load(Ordering::Relaxed);
         let freed = self.freed_bytes.load(Ordering::Relaxed);
         PoolStats {
@@ -38,12 +51,18 @@ impl Counters {
             contended_aborts: self.contended_aborts.load(Ordering::Relaxed),
             failed_allocs: self.failed_allocs.load(Ordering::Relaxed),
             poisoned_values: self.poisoned_values.load(Ordering::Relaxed),
+            free_bytes: fl.free_bytes,
+            free_segments: fl.free_segments,
+            largest_free_segment: fl.largest_free_segment,
+            peak_live_bytes: self.peak_live_bytes.load(Ordering::Relaxed),
+            emergency_reclaims: self.emergency_reclaims.load(Ordering::Relaxed),
+            oom_failures: self.oom_failures.load(Ordering::Relaxed),
         }
     }
 }
 
 /// A point-in-time snapshot of pool memory usage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
     /// Number of arenas currently reserved.
     pub arenas: u64,
@@ -75,6 +94,21 @@ pub struct PoolStats {
     /// Values logically deleted by the panic-safety guard because a user
     /// closure panicked inside `compute` while holding the write lock.
     pub poisoned_values: u64,
+    /// Bytes currently on the free lists across all reserved arenas.
+    pub free_bytes: u64,
+    /// Number of free segments across all arenas (external-fragmentation
+    /// indicator: more segments for the same `free_bytes` is worse).
+    pub free_segments: u64,
+    /// Largest single free segment in any arena — the biggest allocation
+    /// the pool can satisfy without reserving a new arena.
+    pub largest_free_segment: u64,
+    /// High-water mark of `live_bytes` (low-watermark of available space).
+    pub peak_live_bytes: u64,
+    /// Emergency reclamation passes run in response to pool exhaustion.
+    pub emergency_reclaims: u64,
+    /// Operations that surfaced out-of-memory to the caller even after
+    /// emergency reclamation.
+    pub oom_failures: u64,
 }
 
 impl PoolStats {
@@ -82,6 +116,8 @@ impl PoolStats {
     /// several pools (e.g. the shards of a sharded map). Note that pools
     /// drawing arenas from one shared [`ArenaPool`](crate::ArenaPool)
     /// reserve disjoint arenas, so summing `reserved_bytes` stays exact.
+    /// `largest_free_segment` takes the max (it answers "what is the
+    /// biggest allocation any pool can satisfy").
     #[must_use]
     pub fn merged(mut self, other: &PoolStats) -> PoolStats {
         self.arenas += other.arenas;
@@ -96,6 +132,12 @@ impl PoolStats {
         self.contended_aborts += other.contended_aborts;
         self.failed_allocs += other.failed_allocs;
         self.poisoned_values += other.poisoned_values;
+        self.free_bytes += other.free_bytes;
+        self.free_segments += other.free_segments;
+        self.largest_free_segment = self.largest_free_segment.max(other.largest_free_segment);
+        self.peak_live_bytes += other.peak_live_bytes;
+        self.emergency_reclaims += other.emergency_reclaims;
+        self.oom_failures += other.oom_failures;
         self
     }
 
@@ -105,6 +147,18 @@ impl PoolStats {
             0.0
         } else {
             self.live_bytes as f64 / self.reserved_bytes as f64
+        }
+    }
+
+    /// External fragmentation of the free space in `[0, 1]`: the fraction
+    /// of free bytes *not* in the largest free segment. 0 when all free
+    /// space is one contiguous run (or there is none); approaching 1 when
+    /// free space is shattered into many small holes.
+    pub fn fragmentation(&self) -> f64 {
+        if self.free_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_free_segment as f64 / self.free_bytes as f64
         }
     }
 }

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::audit::AllocClass;
 use crate::error::{AccessError, AllocError};
 use crate::header::{Header, HeaderRef, LockState, HEADER_SIZE};
 use crate::pool::MemoryPool;
@@ -138,7 +139,9 @@ impl ValueStore {
         let payload = if data.is_empty() {
             SliceRef::NULL
         } else {
-            let p = self.pool.allocate(data.len())?;
+            let p = self
+                .pool
+                .allocate_tagged(data.len(), AllocClass::ValuePayload)?;
             // SAFETY: freshly allocated, unpublished.
             unsafe { self.pool.write_initial(p, data) };
             p
@@ -160,7 +163,17 @@ impl ValueStore {
             header.reset_state();
             return Ok(SliceRef::new(slot.block(), slot.offset(), generation));
         }
-        let href = self.pool.allocate(HEADER_SIZE)?;
+        let href = match self.pool.allocate_tagged(HEADER_SIZE, AllocClass::Header) {
+            Ok(href) => href,
+            Err(e) => {
+                // The payload was already carved out; hand it back before
+                // surfacing the failure or those bytes leak for good.
+                if !payload.is_null() {
+                    self.pool.free(payload);
+                }
+                return Err(e);
+            }
+        };
         self.pool
             .counters()
             .header_bytes
@@ -237,7 +250,9 @@ impl ValueStore {
         let new = if data.is_empty() {
             SliceRef::NULL
         } else {
-            let p = self.pool.allocate(data.len())?;
+            let p = self
+                .pool
+                .allocate_tagged(data.len(), AllocClass::ValuePayload)?;
             unsafe { self.pool.write_initial(p, data) };
             p
         };
@@ -402,6 +417,19 @@ impl ValueStore {
     pub fn lock_state(&self, h: HeaderRef) -> LockState {
         unsafe { Header::at(&self.pool, h) }.lock_state()
     }
+
+    /// The payload slice currently referenced by `h`'s header, or `None`
+    /// when the value is empty or deleted. Lock-free diagnostic read used
+    /// by the memory auditor's reachability walk — only meaningful at a
+    /// quiescent point (a concurrent resize or remove can swap the
+    /// payload out from under the snapshot).
+    #[doc(hidden)]
+    pub fn payload_of(&self, h: HeaderRef) -> Option<SliceRef> {
+        // SAFETY: h designates a header slot from allocate_value.
+        let header = unsafe { Header::at(&self.pool, h) };
+        let payload = header.payload();
+        (!payload.is_null()).then_some(payload)
+    }
 }
 
 /// Releases a read lock on unwind as well as on the normal path.
@@ -500,7 +528,10 @@ impl ValueBytesMut<'_> {
         let new = if new_len == 0 {
             SliceRef::NULL
         } else {
-            let p = self.store.pool.allocate(new_len)?;
+            let p = self
+                .store
+                .pool
+                .allocate_tagged(new_len, AllocClass::ValuePayload)?;
             let keep = new_len.min(self.len());
             // SAFETY: p is fresh and unpublished; old payload exclusive.
             unsafe {

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use oak_mempool::{HeaderRef, MemoryPool, SliceRef, ValueStore};
 
 use crate::error::OakError;
+use crate::reclaim::EpochPin;
 
 /// Read-only zero-copy view of a key or value in Oak's off-heap memory.
 pub struct OakRBuffer {
@@ -21,16 +22,22 @@ pub struct OakRBuffer {
 }
 
 enum Kind {
-    /// Keys are immutable; direct slice access is always safe.
-    Key { pool: Arc<MemoryPool>, r: SliceRef },
+    /// Keys are immutable while reachable; the epoch pin keeps the slice
+    /// from being reclaimed (after a concurrent remove + rebalance) for as
+    /// long as the buffer lives.
+    Key {
+        pool: Arc<MemoryPool>,
+        r: SliceRef,
+        _pin: Arc<EpochPin>,
+    },
     /// Values are read under the header read lock and fail once deleted.
     Value { store: ValueStore, h: HeaderRef },
 }
 
 impl OakRBuffer {
-    pub(crate) fn key(pool: Arc<MemoryPool>, r: SliceRef) -> Self {
+    pub(crate) fn key(pool: Arc<MemoryPool>, r: SliceRef, pin: Arc<EpochPin>) -> Self {
         OakRBuffer {
-            inner: Kind::Key { pool, r },
+            inner: Kind::Key { pool, r, _pin: pin },
         }
     }
 
@@ -43,9 +50,10 @@ impl OakRBuffer {
     /// Applies `f` to the buffer contents atomically.
     pub fn read<R>(&self, f: impl FnOnce(&[u8]) -> R) -> Result<R, OakError> {
         match &self.inner {
-            Kind::Key { pool, r } => {
-                // SAFETY: key buffers are immutable and never reclaimed
-                // while the map (and hence the pool) is alive.
+            Kind::Key { pool, r, .. } => {
+                // SAFETY: key buffers are immutable while reachable, and
+                // the held epoch pin blocks quarantine reclamation of this
+                // slice for the buffer's lifetime.
                 Ok(f(unsafe { pool.slice(*r) }))
             }
             Kind::Value { store, h } => Ok(store.read(*h, f)?),

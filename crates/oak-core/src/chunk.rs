@@ -524,6 +524,46 @@ impl Chunk {
         out
     }
 
+    /// Iterates the linked list once, splitting entries into live
+    /// `(key_ref, value_raw)` pairs (key order) and the key refs of dead
+    /// entries (⊥ value or `keep` says deleted). Called by the rebalancer
+    /// after freeze so the live/dead partition comes from a *single* walk:
+    /// post-freeze an entry can still flip live→deleted (remove needs no
+    /// publish), and two separate walks could then classify one key as
+    /// both copied-live and dead — double ownership of its slice.
+    pub(crate) fn partition_entries(
+        &self,
+        keep: impl Fn(u64) -> bool,
+    ) -> (Vec<(SliceRef, u64)>, Vec<SliceRef>) {
+        let mut live = Vec::with_capacity(self.allocated() as usize);
+        let mut dead = Vec::new();
+        let mut cur = self.head_entry();
+        while cur != NONE {
+            let v = self.value_raw(cur);
+            if keep(v) {
+                live.push((self.key_ref(cur), v));
+            } else {
+                dead.push(self.key_ref(cur));
+            }
+            cur = self.entry_next(cur);
+        }
+        (live, dead)
+    }
+
+    /// Whether any linked entry is dead per `is_dead` — i.e. compacting
+    /// this chunk would return key bytes to the pool. Used by the
+    /// emergency-reclamation sweep to pick rebalance targets.
+    pub(crate) fn has_dead(&self, is_dead: impl Fn(u64) -> bool) -> bool {
+        let mut cur = self.head_entry();
+        while cur != NONE {
+            if is_dead(self.value_raw(cur)) {
+                return true;
+            }
+            cur = self.entry_next(cur);
+        }
+        false
+    }
+
     /// Number of linked entries with non-⊥ values (diagnostic).
     pub(crate) fn live_count(&self) -> usize {
         self.collect_live(|v| v != 0).len()

@@ -16,6 +16,11 @@ pub enum OakError {
     /// spin/yield/sleep budget — evidence of a stuck or pathologically slow
     /// lock holder. The operation had no effect and may be retried.
     Contended,
+    /// The off-heap pool was exhausted and stayed exhausted after emergency
+    /// reclamation (quarantine drain + compacting rebalance of chunks with
+    /// dead entries). The operation had no effect: the map remains fully
+    /// consistent and readable/scannable/writable within remaining memory.
+    OutOfMemory,
 }
 
 impl fmt::Display for OakError {
@@ -27,6 +32,9 @@ impl fmt::Display for OakError {
             }
             OakError::Contended => {
                 write!(f, "value lock acquisition budget exhausted")
+            }
+            OakError::OutOfMemory => {
+                write!(f, "off-heap pool exhausted after emergency reclamation")
             }
         }
     }

@@ -20,6 +20,7 @@ use crate::buffer::OakRBuffer;
 use crate::chunk::{Chunk, NONE};
 use crate::cmp::KeyComparator;
 use crate::map::OakMap;
+use crate::reclaim::EpochPin;
 
 /// Shared ascending walker over live entries.
 ///
@@ -33,10 +34,18 @@ pub(crate) struct AscendCursor<'a, C: KeyComparator> {
     lo: Option<Box<[u8]>>,
     hi: Option<Box<[u8]>>,
     last_key: Option<SliceRef>,
+    /// Epoch pin held for the cursor's whole lifetime: every chunk the
+    /// walk enters was observed unreplaced under this pin, so its key
+    /// slices (including `last_key`) cannot be quarantine-freed while the
+    /// cursor lives. Shared into yielded key buffers.
+    pin: Arc<EpochPin>,
 }
 
 impl<'a, C: KeyComparator> AscendCursor<'a, C> {
     pub(crate) fn new(map: &'a OakMap<C>, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Self {
+        // Pin *before* locating: the safety argument needs the
+        // unreplaced-observation of every entered chunk to happen pinned.
+        let pin = Arc::new(map.reclaim.pin());
         let chunk = match lo {
             Some(k) => map.locate_chunk(k),
             None => map.first_chunk(),
@@ -52,6 +61,7 @@ impl<'a, C: KeyComparator> AscendCursor<'a, C> {
             lo: lo.map(|l| l.into()),
             hi: hi.map(|h| h.into()),
             last_key: None,
+            pin,
         }
     }
 
@@ -177,7 +187,11 @@ impl<C: KeyComparator> Iterator for EntryIter<'_, C> {
     fn next(&mut self) -> Option<Self::Item> {
         let (kref, h) = self.next_raw()?;
         Some((
-            OakRBuffer::key(self.cursor.map.pool().clone(), kref),
+            OakRBuffer::key(
+                self.cursor.map.pool().clone(),
+                kref,
+                self.cursor.pin.clone(),
+            ),
             OakRBuffer::value(self.cursor.map.value_store().clone(), h),
         ))
     }
@@ -211,10 +225,13 @@ pub struct DescendIter<'a, C: KeyComparator> {
     /// One-item lookahead (set by [`skip_exact`](Self::skip_exact)).
     pending: Option<(SliceRef, HeaderRef)>,
     done: bool,
+    /// Lifetime epoch pin (see [`AscendCursor::pin`]).
+    pin: Arc<EpochPin>,
 }
 
 impl<'a, C: KeyComparator> DescendIter<'a, C> {
     pub(crate) fn new(map: &'a OakMap<C>, from: Option<&[u8]>, lo: Option<&[u8]>) -> Self {
+        let pin = Arc::new(map.reclaim.pin());
         let mut it = DescendIter {
             map,
             chunk: None,
@@ -225,6 +242,7 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
             last_yielded: None,
             pending: None,
             done: false,
+            pin,
         };
         let chunk = it.start_chunk(from);
         it.enter_chunk(chunk, from, true);
@@ -471,7 +489,7 @@ impl<C: KeyComparator> Iterator for DescendIter<'_, C> {
     fn next(&mut self) -> Option<Self::Item> {
         let (kref, h) = self.next_raw()?;
         Some((
-            OakRBuffer::key(self.map.pool().clone(), kref),
+            OakRBuffer::key(self.map.pool().clone(), kref, self.pin.clone()),
             OakRBuffer::value(self.map.value_store().clone(), h),
         ))
     }

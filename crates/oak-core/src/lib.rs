@@ -55,6 +55,7 @@ mod iter;
 mod map;
 mod ops;
 mod rebalance;
+mod reclaim;
 mod sharded;
 mod traits;
 mod zc;
@@ -64,6 +65,8 @@ pub use cmp::{KeyComparator, Lexicographic, U64BeComparator};
 pub use config::OakMapConfig;
 pub use error::OakError;
 pub use iter::{DescendIter, EntryIter};
+#[cfg(feature = "audit")]
+pub use map::MapAuditReport;
 pub use map::{OakMap, OakStats};
 pub use sharded::{ShardSplitter, ShardedOakMap};
 pub use traits::{OakStatsSource, OnHeapSkipListMap, OrderedKvMap, ZeroCopyRead};
@@ -88,6 +91,7 @@ pub const FAILPOINT_SITES: &[oak_failpoints::SiteSpec] = &[
     oak_failpoints::SiteSpec::passive("iter/descend-prev"),
     oak_failpoints::SiteSpec::passive("iter/stale-reenter"),
     oak_failpoints::SiteSpec::passive("ops/remove-marked"),
+    oak_failpoints::SiteSpec::passive("reclaim/drain"),
 ];
 
 /// Named *sync points* instrumented across this crate and

@@ -17,6 +17,7 @@ use crate::cmp::{KeyComparator, Lexicographic};
 use crate::config::OakMapConfig;
 use crate::index::ChunkIndex;
 use crate::iter::{DescendIter, EntryIter};
+use crate::reclaim::Quarantine;
 use crate::zc::ZeroCopyView;
 
 /// A concurrent ordered map from byte keys to byte values, allocated in
@@ -30,6 +31,9 @@ pub struct OakMap<C: KeyComparator = Lexicographic> {
     pub(crate) index: ChunkIndex<C>,
     pub(crate) len: AtomicUsize,
     pub(crate) rebalances: AtomicU64,
+    /// Epoch-based quarantine for dead key slices of replaced chunks (see
+    /// [`crate::reclaim`]): rebalance retires into it, readers pin it.
+    pub(crate) reclaim: Arc<Quarantine>,
 }
 
 /// Point-in-time statistics about an [`OakMap`].
@@ -41,6 +45,13 @@ pub struct OakStats {
     pub chunks: usize,
     /// Rebalances performed since creation.
     pub rebalances: u64,
+    /// Key bytes currently quarantined: retired by rebalance, awaiting the
+    /// epoch grace period before returning to the pool.
+    pub quarantine_pending_bytes: u64,
+    /// Dead key slices ever retired into the quarantine.
+    pub keys_retired: u64,
+    /// Quarantined bytes already drained back to the pool.
+    pub reclaimed_bytes: u64,
     /// Off-heap pool footprint.
     pub pool: PoolStats,
 }
@@ -51,6 +62,9 @@ impl OakStats {
         self.len += other.len;
         self.chunks += other.chunks;
         self.rebalances += other.rebalances;
+        self.quarantine_pending_bytes += other.quarantine_pending_bytes;
+        self.keys_retired += other.keys_retired;
+        self.reclaimed_bytes += other.reclaimed_bytes;
         self.pool = self.pool.merged(&other.pool);
         self
     }
@@ -97,6 +111,7 @@ impl<C: KeyComparator> OakMap<C> {
             None => MemoryPool::new(config.pool.clone()),
         });
         let first = Arc::new(Chunk::new_empty(config.chunk_capacity, Box::new([])));
+        let reclaim = Arc::new(Quarantine::new(pool.clone()));
         OakMap {
             store: ValueStore::with_policy(pool, config.reclamation),
             cmp: cmp.clone(),
@@ -104,6 +119,7 @@ impl<C: KeyComparator> OakMap<C> {
             index: ChunkIndex::new(cmp, first),
             len: AtomicUsize::new(0),
             rebalances: AtomicU64::new(0),
+            reclaim,
         }
     }
 
@@ -144,8 +160,20 @@ impl<C: KeyComparator> OakMap<C> {
             len: self.len(),
             chunks,
             rebalances: self.rebalances.load(Ordering::Relaxed),
+            quarantine_pending_bytes: self.reclaim.pending_bytes(),
+            keys_retired: self.reclaim.retired_count(),
+            reclaimed_bytes: self.reclaim.drained_bytes(),
             pool: self.pool().stats(),
         }
+    }
+
+    /// Drains the dead-key quarantine as far as the current reader
+    /// population allows, returning the bytes released to the pool. Tests
+    /// and memory-pressure tooling call this to settle the footprint;
+    /// normal operation drains opportunistically.
+    #[doc(hidden)]
+    pub fn drain_quarantine(&self) -> u64 {
+        self.reclaim.drain_now()
     }
 
     /// Validates internal invariants: the chunk list covers disjoint,
@@ -205,6 +233,63 @@ impl<C: KeyComparator> OakMap<C> {
         assert_eq!(live_total, self.len(), "live entries disagree with len()");
     }
 
+    /// Cross-checks the pool's allocation ledger against the map: every
+    /// ledger-live key or value-payload slice must be reachable from the
+    /// live chunk chain (linked entries, their headers' payloads) or be
+    /// quarantined awaiting reclamation. Anything else is a leak,
+    /// attributed to its allocation site class. Quiescent-state checker —
+    /// call with no concurrent writers.
+    ///
+    /// Reachability deliberately walks the *linked lists* only: a slice
+    /// sitting in a chunk's entry array but never linked is owned by
+    /// nobody (its allocator must free it on the failure path), and
+    /// counting it as reachable would mask exactly the leaks this auditor
+    /// exists to find.
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> MapAuditReport {
+        use std::collections::HashSet;
+        let addr = |r: SliceRef| ((r.block() as u64) << 32) | r.offset() as u64;
+        let mut reachable: HashSet<u64> = HashSet::new();
+        let mut c = self.first_chunk();
+        loop {
+            for (kref, raw) in c.collect_live(|_| true) {
+                reachable.insert(addr(kref));
+                if raw != 0 {
+                    let h: oak_mempool::HeaderRef = SliceRef::from_raw(raw);
+                    reachable.insert(addr(h));
+                    if let Some(p) = self.store.payload_of(h) {
+                        reachable.insert(addr(p));
+                    }
+                }
+            }
+            match c.next_chunk() {
+                Some(n) => c = n,
+                None => break,
+            }
+        }
+        for r in self.reclaim.pending_refs() {
+            reachable.insert(addr(r));
+        }
+        let mut leaked = Vec::new();
+        let mut leaked_bytes = 0u64;
+        for (r, info) in self.pool().live_allocations() {
+            let tracked = matches!(
+                info.class,
+                oak_mempool::AllocClass::Key | oak_mempool::AllocClass::ValuePayload
+            );
+            if tracked && !reachable.contains(&addr(r)) {
+                leaked_bytes += info.padded_len as u64;
+                leaked.push((r, info));
+            }
+        }
+        MapAuditReport {
+            pool: self.pool().audit(),
+            leaked,
+            leaked_bytes,
+            quarantined_bytes: self.reclaim.pending_bytes(),
+        }
+    }
+
     /// The current first chunk, with replacement chains resolved.
     pub(crate) fn first_chunk(&self) -> Arc<Chunk> {
         self.index.first_resolved()
@@ -229,6 +314,22 @@ impl<C: KeyComparator> OakMap<C> {
     pub fn iter_descending(&self, from: Option<&[u8]>, lo: Option<&[u8]>) -> DescendIter<'_, C> {
         DescendIter::new(self, from, lo)
     }
+}
+
+/// Result of a quiescent [`OakMap::audit`] walk (`audit` feature).
+#[cfg(feature = "audit")]
+#[derive(Debug)]
+pub struct MapAuditReport {
+    /// The pool-side ledger report (balance check, violations, per-class
+    /// live bytes).
+    pub pool: oak_mempool::AuditReport,
+    /// Ledger-live key/value-payload slices unreachable from the map and
+    /// not quarantined — leaks, attributed by allocation-site class.
+    pub leaked: Vec<(SliceRef, oak_mempool::LiveAlloc)>,
+    /// Total padded bytes held by `leaked`.
+    pub leaked_bytes: u64,
+    /// Bytes quarantined at audit time (owned, not leaked).
+    pub quarantined_bytes: u64,
 }
 
 impl<C: KeyComparator> std::fmt::Debug for OakMap<C> {

@@ -14,6 +14,11 @@ use crate::chunk::LinkOutcome;
 use crate::cmp::KeyComparator;
 use crate::error::OakError;
 use crate::map::OakMap;
+use crate::reclaim::EpochPin;
+
+/// Emergency-reclamation retries per operation: one allocation failure may
+/// be recovered per allocation site an operation has (key + value).
+const OOM_RECOVER_BUDGET: u32 = 2;
 
 /// Which insertion operation `do_put` is executing (Algorithm 2).
 enum PutOp<'f> {
@@ -35,6 +40,7 @@ impl<C: KeyComparator> OakMap<C> {
     /// Zero-copy get through a closure: applies `f` to the value bytes
     /// under the header read lock. Returns `None` if absent.
     pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let _pin = self.reclaim.pin();
         let c = self.index.locate(key);
         let ei = c.lookup(self.pool(), &self.cmp, key)?;
         let h = c.value_ref(ei)?;
@@ -45,6 +51,7 @@ impl<C: KeyComparator> OakMap<C> {
     /// `get`). The buffer stays valid indefinitely; reads fail with
     /// [`OakError::ConcurrentModification`] after a concurrent remove.
     pub fn get(&self, key: &[u8]) -> Option<OakRBuffer> {
+        let _pin = self.reclaim.pin();
         let c = self.index.locate(key);
         let ei = c.lookup(self.pool(), &self.cmp, key)?;
         let h = c.value_ref(ei)?;
@@ -96,7 +103,11 @@ impl<C: KeyComparator> OakMap<C> {
         if key.is_empty() {
             return Err(OakError::Alloc(AllocError::ZeroSized));
         }
+        let mut oom_budget = OOM_RECOVER_BUDGET;
         loop {
+            // Per-iteration epoch pin: quarantined keys of chunks this
+            // iteration may walk stay mapped and stable until it ends.
+            let pin = self.reclaim.pin();
             let c = self.index.locate(key);
             let ei = c.lookup(self.pool(), &self.cmp, key);
 
@@ -107,11 +118,17 @@ impl<C: KeyComparator> OakMap<C> {
                         match &op {
                             PutOp::PutIfAbsent => return Ok(false),
                             PutOp::Put => {
-                                if self.store.put(h, value)? {
-                                    // l.p.: the nested v.put (§4.5).
-                                    return Ok(false);
+                                match self.store.put(h, value) {
+                                    Ok(true) => {
+                                        // l.p.: the nested v.put (§4.5).
+                                        return Ok(false);
+                                    }
+                                    Ok(false) => continue, // deleted under us
+                                    Err(e) => {
+                                        self.recover_or_err(e.into(), &mut oom_budget, pin)?;
+                                        continue;
+                                    }
                                 }
-                                continue; // deleted under us → retry
                             }
                             PutOp::Compute(f) => {
                                 if self.compute_guarded(h, *f) {
@@ -144,7 +161,13 @@ impl<C: KeyComparator> OakMap<C> {
                         self.rebalance(&c);
                         continue;
                     }
-                    let kref = self.allocate_key(key)?;
+                    let kref = match self.allocate_key(key) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            self.recover_or_err(e, &mut oom_budget, pin)?;
+                            continue;
+                        }
+                    };
                     let Some(new_ei) = c.allocate_entry(kref) else {
                         // Chunk full: free the speculative key, rebalance,
                         // retry (Algorithm 2 line 31).
@@ -170,8 +193,17 @@ impl<C: KeyComparator> OakMap<C> {
             };
 
             // Allocate and write the value off-heap (line 30), publish,
-            // and CAS it in (line 35).
-            let newh = self.store.allocate_value(value)?;
+            // and CAS it in (line 35). On pool exhaustion the key slice
+            // just linked (if any) stays owned by its entry — a retry
+            // reuses the ⊥-valued entry rather than re-allocating (§4.3),
+            // and a rebalance quarantines it, so nothing leaks.
+            let newh = match self.store.allocate_value(value) {
+                Ok(h) => h,
+                Err(e) => {
+                    self.recover_or_err(e.into(), &mut oom_budget, pin)?;
+                    continue;
+                }
+            };
             if !c.publish() {
                 self.undo_value(newh);
                 self.rebalance(&c);
@@ -221,10 +253,61 @@ impl<C: KeyComparator> OakMap<C> {
     }
 
     fn allocate_key(&self, key: &[u8]) -> Result<SliceRef, OakError> {
-        let r = self.pool().allocate(key.len())?;
+        let r = self
+            .pool()
+            .allocate_tagged(key.len(), oak_mempool::AllocClass::Key)?;
         // SAFETY: fresh, unpublished allocation.
         unsafe { self.pool().write_initial(r, key) };
         Ok(r)
+    }
+
+    /// Decides what to do with an allocation failure mid-operation: for
+    /// pool exhaustion, spend one unit of `budget` on an emergency
+    /// reclamation pass and tell the caller to retry (`Ok(())`); once the
+    /// budget is gone, surface a clean [`OakError::OutOfMemory`] — the
+    /// operation has had no effect and the map stays fully consistent.
+    /// Any other error propagates unchanged. Consumes the caller's epoch
+    /// pin: reclamation must run unpinned or it could not drain slices
+    /// retired during this very operation.
+    fn recover_or_err(&self, e: OakError, budget: &mut u32, pin: EpochPin) -> Result<(), OakError> {
+        if !matches!(e, OakError::Alloc(AllocError::PoolExhausted)) {
+            return Err(e);
+        }
+        drop(pin);
+        if *budget == 0 {
+            self.pool().note_oom_failure();
+            return Err(OakError::OutOfMemory);
+        }
+        *budget -= 1;
+        self.emergency_reclaim();
+        Ok(())
+    }
+
+    /// Emergency reclamation: drain the dead-key quarantine as far as
+    /// concurrent pins allow, compact every chunk holding dead entries
+    /// (rebalance drops ⊥/deleted entries and quarantines their keys;
+    /// under-used chunks merge), then drain again so the just-retired
+    /// slices can return to the pool once their grace period passes.
+    /// Called with no epoch pin held. Never allocates from the pool —
+    /// replacement chunks are heap objects — so it cannot recurse into
+    /// the OOM path it serves.
+    fn emergency_reclaim(&self) {
+        self.pool().note_emergency_reclaim();
+        self.reclaim.drain_now();
+        let is_dead = |raw: u64| raw == 0 || self.store.is_deleted(SliceRef::from_raw(raw));
+        let mut c = self.first_chunk();
+        loop {
+            // Snapshot the successor before a rebalance replaces `c`.
+            let next = c.next_chunk();
+            if c.replacement().is_none() && c.has_dead(is_dead) {
+                self.rebalance(&c);
+            }
+            match next {
+                Some(n) => c = n,
+                None => break,
+            }
+        }
+        self.reclaim.drain_now();
     }
 
     /// Triggers a rebalance if the chunk outgrew its sorted prefix
@@ -261,6 +344,7 @@ impl<C: KeyComparator> OakMap<C> {
     /// Algorithm 3's `doIfPresent`.
     fn do_if_present(&self, key: &[u8], op: PresentOp<'_>) -> bool {
         loop {
+            let _pin = self.reclaim.pin();
             let c = self.index.locate(key);
             let ei = c.lookup(self.pool(), &self.cmp, key);
             let Some(ei) = ei else {
@@ -312,6 +396,7 @@ impl<C: KeyComparator> OakMap<C> {
     /// `do_if_present(Remove)` with a copying `v.remove`.
     pub(crate) fn remove_with_copy(&self, key: &[u8]) -> Option<Vec<u8>> {
         loop {
+            let _pin = self.reclaim.pin();
             let c = self.index.locate(key);
             let ei = c.lookup(self.pool(), &self.cmp, key)?;
             let h = c.value_ref(ei)?;
@@ -343,6 +428,7 @@ impl<C: KeyComparator> OakMap<C> {
     /// so comparing against `prev` is ABA-free (§4.4).
     fn finalize_remove(&self, key: &[u8], prev: oak_mempool::HeaderRef) {
         loop {
+            let _pin = self.reclaim.pin();
             let c = self.index.locate(key);
             let Some(ei) = c.lookup(self.pool(), &self.cmp, key) else {
                 return;

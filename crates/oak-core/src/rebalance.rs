@@ -51,8 +51,11 @@ impl<C: KeyComparator> OakMap<C> {
         oak_failpoints::fail_point!("rebalance/freeze");
         chunk.freeze();
 
+        // Live/dead split must come from one walk per chunk (see
+        // `partition_entries`): dead keys are quarantined below, after the
+        // replacement pointers publish.
         let keep = |raw: u64| raw != 0 && !self.store.is_deleted(SliceRef::from_raw(raw));
-        let mut items = chunk.collect_live(keep);
+        let (mut items, mut dead_keys) = chunk.partition_entries(keep);
 
         // Merge policy: engage the successor when we are under-used.
         let merge_threshold =
@@ -70,7 +73,9 @@ impl<C: KeyComparator> OakMap<C> {
             if let Some(g) = n.rebalance_lock.try_lock() {
                 if n.replacement().is_none() {
                     n.freeze();
-                    items.extend(n.collect_live(keep));
+                    let (live_n, dead_n) = n.partition_entries(keep);
+                    items.extend(live_n);
+                    dead_keys.extend(dead_n);
                     merged_next = Some(n);
                     _next_guard = Some(g);
                 }
@@ -146,6 +151,20 @@ impl<C: KeyComparator> OakMap<C> {
         }
 
         self.rebalances.fetch_add(1, Ordering::Relaxed);
+
+        // Quarantine the replaced chunks' dead key slices. This must come
+        // after `set_replacement` on every engaged chunk: the epoch safety
+        // argument (reclaim.rs module docs) needs any walker that can still
+        // enter these chunks' linked lists to have pinned before the
+        // retirement stamp. Exactly-once ownership holds because only the
+        // rebalancer that installs the replacement reaches this point for a
+        // given chunk (engage + replaced-check above). Then drain
+        // opportunistically — grace-expired slices from *earlier*
+        // rebalances go back to the pool; our own batch waits two epochs.
+        for k in dead_keys {
+            self.reclaim.retire(k);
+        }
+        self.reclaim.try_drain();
     }
 
     /// Replaces `old` with `new_head` in the chunk list. `old` is engaged

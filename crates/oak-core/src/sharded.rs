@@ -375,6 +375,21 @@ impl<C: KeyComparator> ShardedOakMap<C> {
         self.shards.iter().map(OakMap::stats).collect()
     }
 
+    /// Drains every shard's dead-key quarantine as far as current readers
+    /// allow; returns the total bytes released to the pools (test and
+    /// memory-pressure tooling support).
+    #[doc(hidden)]
+    pub fn drain_quarantine(&self) -> u64 {
+        self.shards.iter().map(OakMap::drain_quarantine).sum()
+    }
+
+    /// Runs the quiescent memory audit on every shard, in shard order
+    /// (see [`OakMap::audit`]; `audit` feature).
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> Vec<crate::map::MapAuditReport> {
+        self.shards.iter().map(OakMap::audit).collect()
+    }
+
     /// Validates every shard's chunk-list invariants (test support).
     ///
     /// # Panics

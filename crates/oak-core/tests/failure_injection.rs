@@ -35,7 +35,10 @@ fn pool_exhaustion_is_an_error_not_corruption() {
     for i in 0..2_000u64 {
         match m.put(&k(i), &[7u8; 256]) {
             Ok(()) => inserted.push(i),
-            Err(OakError::Alloc(AllocError::PoolExhausted)) => {
+            // Exhaustion surfaces as `OutOfMemory` once the emergency
+            // reclamation budget is spent (raw `PoolExhausted` only if
+            // recovery was impossible to attempt).
+            Err(OakError::OutOfMemory | OakError::Alloc(AllocError::PoolExhausted)) => {
                 hit_oom = true;
                 break;
             }
@@ -60,7 +63,7 @@ fn map_recovers_after_frees_make_room() {
         let i = inserted.len() as u64;
         match m.put(&k(i), &[1u8; 256]) {
             Ok(()) => inserted.push(i),
-            Err(OakError::Alloc(_)) => break,
+            Err(OakError::OutOfMemory | OakError::Alloc(_)) => break,
             Err(e) => panic!("{e}"),
         }
     }
@@ -74,7 +77,7 @@ fn map_recovers_after_frees_make_room() {
         let key = format!("new{j:05}");
         match m.put(key.as_bytes(), &[2u8; 200]) {
             Ok(()) => recovered += 1,
-            Err(OakError::Alloc(_)) => break,
+            Err(OakError::OutOfMemory | OakError::Alloc(_)) => break,
             Err(e) => panic!("{e}"),
         }
     }
@@ -115,7 +118,7 @@ fn upsert_alloc_failure_does_not_install_partial_state() {
     // An upsert of a new key that cannot allocate must fail without
     // creating a phantom mapping.
     let r = m.put_if_absent_compute_if_present(b"zz-newkey", &[4u8; 4096], |_| {});
-    assert!(matches!(r, Err(OakError::Alloc(_))));
+    assert!(matches!(r, Err(OakError::OutOfMemory | OakError::Alloc(_))));
     assert!(m.get(b"zz-newkey").is_none());
     assert_eq!(m.len(), len_before);
     m.validate();
@@ -132,7 +135,7 @@ fn concurrent_writers_share_exhaustion_gracefully() {
             for i in 0..500u64 {
                 match m.put(&k(t * 1_000 + i), &[5u8; 128]) {
                     Ok(()) => ok += 1,
-                    Err(OakError::Alloc(_)) => {}
+                    Err(OakError::OutOfMemory | OakError::Alloc(_)) => {}
                     Err(e) => panic!("{e}"),
                 }
             }

@@ -81,7 +81,7 @@ fn reservoir_exhaustion_caps_growth() {
     for i in 0..10_000u32 {
         match m.put(format!("k{i:05}").as_bytes(), &[3u8; 256]) {
             Ok(()) => ok += 1,
-            Err(oak_kv::OakError::Alloc(_)) => break,
+            Err(oak_kv::OakError::OutOfMemory | oak_kv::OakError::Alloc(_)) => break,
             Err(e) => panic!("{e}"),
         }
     }

@@ -25,6 +25,7 @@ pub fn pool() -> PoolConfig {
     PoolConfig {
         arena_size: 8 << 20,
         max_arenas: 48,
+        magazines: false,
     }
 }
 

@@ -1,0 +1,142 @@
+//! Hot-path accelerator microbenches: the on-heap key-prefix cache
+//! (in-chunk search with/without it, across corpora that love and hate
+//! it) and the allocation magazines (alloc/free churn at 1–8 threads
+//! with/without them). Companion to the `offheap_key_derefs` /
+//! `freelist_lock_acquires` counters in the synchrobench JSON report:
+//! Criterion shows the time, the counters show the mechanism.
+
+mod common;
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oak_core::{OakMap, OakMapConfig};
+
+/// Lookup corpora: how much work the cached prefix can do.
+#[derive(Clone, Copy)]
+enum Corpus {
+    /// Keys diverge within the first 8 bytes: prefixes decide nearly
+    /// every probe (the cache's best case).
+    Distinct,
+    /// All keys share a 12-byte stem: every prefix ties and search falls
+    /// back to full compares (the cache's worst case — this curve shows
+    /// the overhead bound of the prefix check itself).
+    SharedLong,
+}
+
+fn corpus_key(corpus: Corpus, id: u32) -> Vec<u8> {
+    let scattered = id.wrapping_mul(2_654_435_761);
+    match corpus {
+        Corpus::Distinct => {
+            let mut k = b"stem".to_vec();
+            k.extend_from_slice(&scattered.to_be_bytes());
+            k
+        }
+        Corpus::SharedLong => {
+            let mut k = b"common-stem-".to_vec();
+            k.extend_from_slice(&scattered.to_be_bytes());
+            k
+        }
+    }
+}
+
+fn prefilled(corpus: Corpus, prefix_cache: bool, n: u32) -> OakMap {
+    let map = OakMap::with_config(
+        OakMapConfig::default()
+            .chunk_capacity(1024)
+            .prefix_cache(prefix_cache)
+            .pool(common::pool()),
+    );
+    for id in 0..n {
+        map.put(&corpus_key(corpus, id), b"payload").unwrap();
+    }
+    map
+}
+
+fn bench_prefix_lookup(c: &mut Criterion) {
+    const N: u32 = 64 * 1024;
+    let mut g = c.benchmark_group("hotpath_prefix_lookup");
+    common::tune(&mut g);
+    g.throughput(Throughput::Elements(1));
+    for (corpus, corpus_name) in [
+        (Corpus::Distinct, "distinct8"),
+        (Corpus::SharedLong, "shared12"),
+    ] {
+        for prefix_cache in [true, false] {
+            let map = prefilled(corpus, prefix_cache, N);
+            let label = if prefix_cache {
+                "cache-on"
+            } else {
+                "cache-off"
+            };
+            // Present keys: the deepest search (binary search + exact hit).
+            g.bench_function(BenchmarkId::new(format!("hit/{corpus_name}"), label), |b| {
+                let mut id = 0u32;
+                b.iter(|| {
+                    id = (id + 1) % N;
+                    std::hint::black_box(map.get_with(&corpus_key(corpus, id), |v| v.len()))
+                })
+            });
+            // Absent keys from the same distribution: full floor search
+            // plus a failed walk, no exact-hit shortcut.
+            g.bench_function(
+                BenchmarkId::new(format!("miss/{corpus_name}"), label),
+                |b| {
+                    let mut id = 0u32;
+                    b.iter(|| {
+                        id = (id + 1) % N;
+                        std::hint::black_box(map.get_with(&corpus_key(corpus, N + id), |v| v.len()))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_magazine_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_magazine_churn");
+    common::tune(&mut g);
+    for threads in [1usize, 2, 4, 8] {
+        for magazines in [true, false] {
+            let label = if magazines {
+                "magazines-on"
+            } else {
+                "magazines-off"
+            };
+            g.throughput(Throughput::Elements(2 * threads as u64)); // put + remove per thread
+            g.bench_function(BenchmarkId::new(format!("threads-{threads}"), label), |b| {
+                let map = Arc::new(OakMap::with_config(
+                    OakMapConfig::default()
+                        .chunk_capacity(512)
+                        .pool(common::pool().magazines(magazines)),
+                ));
+                b.iter_custom(|iters| {
+                    let start = std::time::Instant::now();
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let map = Arc::clone(&map);
+                            s.spawn(move || {
+                                // Private key stripe: measures allocator
+                                // traffic, not map-level contention.
+                                let mut k = *b"churn-00-00000000";
+                                k[6] = b'0' + (t / 10) as u8;
+                                k[7] = b'0' + (t % 10) as u8;
+                                for i in 0..iters {
+                                    k[9..].copy_from_slice(&(i % 512).to_be_bytes());
+                                    map.put(&k, &[0u8; 128]).unwrap();
+                                    map.remove(&k);
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_prefix_lookup, bench_magazine_churn);
+criterion_main!(benches);

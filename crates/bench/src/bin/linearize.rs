@@ -67,6 +67,7 @@ fn main() {
         OakMapConfig::small()
             .chunk_capacity(8)
             .pool(oak_mempool::PoolConfig {
+                magazines: false,
                 arena_size: 16 << 10,
                 max_arenas: 16,
             })

@@ -4,13 +4,22 @@
 //! ```text
 //! synchrobench [--threads 1,2,4] [--size 100000] [--key-size 100]
 //!              [--value-size 1024] [--duration-ms 3000] [--scenario 4a-put]
-//!              [--csv out.csv] [--quick]
+//!              [--csv out.csv] [--json out.json] [--quick]
+//!              [--no-magazines] [--no-prefix-cache]
 //! ```
+//!
+//! Hot-path accelerators are on by default (the Oak pool runs with
+//! allocation magazines, Oak maps with the key-prefix cache); the `--no-*`
+//! flags turn each off for A/B runs. `--json` writes the same rows as the
+//! CSV in a machine-readable report that also records the exact command.
 
 use std::time::Duration;
 
 use oak_bench::report::Summary;
-use oak_bench::scenarios::{run_memory_pressure, run_scenario, MEM_PRESSURE_LABEL, SCENARIOS};
+use oak_bench::scenarios::{
+    run_alloc_churn, run_memory_pressure, run_scenario_configured, ALLOC_CHURN_LABEL,
+    MEM_PRESSURE_LABEL, SCENARIOS,
+};
 use oak_bench::workload::WorkloadConfig;
 use oak_mempool::PoolConfig;
 
@@ -23,6 +32,8 @@ fn parse_flag(args: &[String], flag: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let magazines = !args.iter().any(|a| a == "--no-magazines");
+    let prefix_cache = !args.iter().any(|a| a == "--no-prefix-cache");
 
     let threads: Vec<usize> = parse_flag(&args, "--threads")
         .unwrap_or_else(|| if quick { "1".into() } else { "1,2,4".into() })
@@ -57,18 +68,26 @@ fn main() {
 
     // Enough off-heap budget for the dataset plus put churn.
     let raw = size as u64 * (workload.key_size + workload.value_size + 24) as u64;
-    let pool = PoolConfig::with_budget(8 << 20, (raw as usize * 3).max(64 << 20));
+    let pool =
+        PoolConfig::with_budget(8 << 20, (raw as usize * 3).max(64 << 20)).magazines(magazines);
     let scan_len = if quick { 1_000 } else { 10_000 };
 
     let mut summary = Summary::new();
-    // The memory-pressure scenario is opt-in (or part of `--scenario mem`):
-    // it deliberately under-provisions the pool and reports OOM / reclaim /
-    // fragmentation columns instead of throughput under a sane budget.
+    // The memory-pressure and alloc-churn scenarios are opt-in (via
+    // `--scenario mem` / `--scenario alloc`): the former deliberately
+    // under-provisions the pool and reports OOM / reclaim / fragmentation
+    // columns, the latter runs its own magazines-on/off A/B pair.
     if only
         .as_deref()
         .is_some_and(|o| MEM_PRESSURE_LABEL.starts_with(o))
     {
         run_memory_pressure(&threads, &workload, 4096, duration, &mut summary, true);
+    }
+    if only
+        .as_deref()
+        .is_some_and(|o| ALLOC_CHURN_LABEL.starts_with(o))
+    {
+        run_alloc_churn(&threads, &workload, 4096, duration, &mut summary, true);
     }
     for scenario in SCENARIOS {
         if let Some(o) = &only {
@@ -93,7 +112,7 @@ fn main() {
             }
             m => m,
         };
-        run_scenario(
+        run_scenario_configured(
             &sc,
             &threads,
             &workload,
@@ -102,10 +121,20 @@ fn main() {
             duration,
             &mut summary,
             true,
+            prefix_cache,
         );
     }
 
     println!("{}", summary.to_table());
+    if let Some(path) = parse_flag(&args, "--json") {
+        // argv[0] is a build-local path; record a stable invocation line.
+        let command = std::iter::once("synchrobench")
+            .chain(args.iter().skip(1).map(String::as_str))
+            .collect::<Vec<_>>()
+            .join(" ");
+        std::fs::write(&path, summary.to_json(&command)).expect("write json");
+        eprintln!("wrote {path}");
+    }
     if let Some(path) = parse_flag(&args, "--csv") {
         std::fs::write(&path, summary.to_csv()).expect("write csv");
         eprintln!("wrote {path}");

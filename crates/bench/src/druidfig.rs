@@ -71,6 +71,7 @@ pub fn ingest_oak(rows: &[InputRow], ram_budget: u64) -> (IngestOutcome, OakInde
     let need = ((raw_bytes(&schema, rows.len() as u64) as f64) * 1.2) as usize + (1 << 20);
     let arena = 1 << 20;
     let pool = PoolConfig {
+        magazines: false,
         arena_size: arena,
         max_arenas: need.div_ceil(arena).max(2),
     };

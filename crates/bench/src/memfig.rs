@@ -58,6 +58,7 @@ fn pool_for(config: &WorkloadConfig, n: u64) -> PoolConfig {
     let need = (raw_bytes(config, n) as f64 * 1.15) as usize + (1 << 20);
     let arena = 1 << 20; // scaled-down arenas (paper: 100 MB)
     PoolConfig {
+        magazines: false,
         arena_size: arena,
         max_arenas: need.div_ceil(arena).max(2),
     }

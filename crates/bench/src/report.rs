@@ -53,6 +53,31 @@ pub struct RobustnessStats {
     /// rounded percentage (fraction of free bytes outside the largest
     /// free segment; kept integral so the struct stays `Eq`).
     pub fragmentation_pct: u64,
+    /// Off-heap key-byte dereferences (hot-path counter: the prefix cache
+    /// exists to shrink this).
+    pub offheap_key_derefs: u64,
+    /// Free-list mutex acquisitions (hot-path counter: allocation
+    /// magazines exist to shrink this).
+    pub freelist_lock_acquires: u64,
+    /// Allocations served from a thread-affine magazine without touching
+    /// a free-list lock.
+    pub magazine_hits: u64,
+}
+
+impl RobustnessStats {
+    /// Whether any contention/failure counter fired. The hot-path traffic
+    /// counters (`offheap_key_derefs`, `freelist_lock_acquires`,
+    /// `magazine_hits`) are excluded: they are non-zero on every healthy
+    /// run and belong in the CSV/JSON, not the incident note.
+    fn has_incidents(&self) -> bool {
+        self.lock_retries != 0
+            || self.contended_aborts != 0
+            || self.failed_allocs != 0
+            || self.poisoned_values != 0
+            || self.oom_failures != 0
+            || self.emergency_reclaims != 0
+            || self.fragmentation_pct != 0
+    }
 }
 
 impl From<oak_mempool::PoolStats> for RobustnessStats {
@@ -65,6 +90,9 @@ impl From<oak_mempool::PoolStats> for RobustnessStats {
             oom_failures: s.oom_failures,
             emergency_reclaims: s.emergency_reclaims,
             fragmentation_pct: (s.fragmentation() * 100.0).round() as u64,
+            offheap_key_derefs: s.offheap_key_derefs,
+            freelist_lock_acquires: s.freelist_lock_acquires,
+            magazine_hits: s.magazine_hits,
         }
     }
 }
@@ -96,21 +124,25 @@ impl Summary {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "Scenario,Bench,Heap size,Direct Mem,#Threads,Shards,Final Size,Throughput,Note,\
-             LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct\n",
+             LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct,\
+             KeyDerefs,FreelistLocks,MagazineHits\n",
         );
         for r in &self.rows {
             let rb = match &r.robustness {
                 Some(rb) => format!(
-                    "{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{}",
                     rb.lock_retries,
                     rb.contended_aborts,
                     rb.failed_allocs,
                     rb.poisoned_values,
                     rb.oom_failures,
                     rb.emergency_reclaims,
-                    rb.fragmentation_pct
+                    rb.fragmentation_pct,
+                    rb.offheap_key_derefs,
+                    rb.freelist_lock_acquires,
+                    rb.magazine_hits
                 ),
-                None => ",,,,,,".to_string(),
+                None => ",,,,,,,,,".to_string(),
             };
             let _ = writeln!(
                 out,
@@ -127,6 +159,65 @@ impl Summary {
                 rb
             );
         }
+        out
+    }
+
+    /// Renders the machine-readable JSON report: one object per row with
+    /// scenario → throughput plus the full robustness and hot-path counter
+    /// sets, and the exact command that produced the run (so a checked-in
+    /// baseline documents how to regenerate it). Hand-rolled — the
+    /// workspace deliberately has no serde dependency.
+    pub fn to_json(&self, command: &str) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"command\": \"{}\",", json_escape(command));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(
+                out,
+                "\"scenario\": \"{}\", \"bench\": \"{}\", \"heap_bytes\": {}, \
+                 \"direct_bytes\": {}, \"threads\": {}, \"shards\": {}, \
+                 \"final_size\": {}, \"mops\": {:.6}, \"note\": \"{}\"",
+                json_escape(&r.scenario),
+                json_escape(&r.bench),
+                r.heap_bytes,
+                r.direct_bytes,
+                r.threads,
+                r.shards,
+                r.final_size,
+                r.mops,
+                json_escape(&r.note)
+            );
+            match &r.robustness {
+                Some(rb) => {
+                    let _ = write!(
+                        out,
+                        ", \"robustness\": {{\"lock_retries\": {}, \"contended_aborts\": {}, \
+                         \"failed_allocs\": {}, \"poisoned_values\": {}, \"oom_failures\": {}, \
+                         \"emergency_reclaims\": {}, \"fragmentation_pct\": {}, \
+                         \"offheap_key_derefs\": {}, \"freelist_lock_acquires\": {}, \
+                         \"magazine_hits\": {}}}",
+                        rb.lock_retries,
+                        rb.contended_aborts,
+                        rb.failed_allocs,
+                        rb.poisoned_values,
+                        rb.oom_failures,
+                        rb.emergency_reclaims,
+                        rb.fragmentation_pct,
+                        rb.offheap_key_derefs,
+                        rb.freelist_lock_acquires,
+                        rb.magazine_hits
+                    );
+                }
+                None => out.push_str(", \"robustness\": null"),
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
         out
     }
 
@@ -149,7 +240,7 @@ impl Summary {
             // the common all-zero case stays quiet.
             let mut note = r.note.clone();
             if let Some(rb) = &r.robustness {
-                if *rb != RobustnessStats::default() {
+                if rb.has_incidents() {
                     if !note.is_empty() {
                         note.push(' ');
                     }
@@ -182,6 +273,26 @@ impl Summary {
         }
         out
     }
+}
+
+/// Minimal JSON string escaping for the report's controlled label/note
+/// strings (quotes, backslashes, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Formats a byte count the way the artifact's config does (`12g`, `100m`).
@@ -244,16 +355,102 @@ mod tests {
                 oom_failures: 4,
                 emergency_reclaims: 5,
                 fragmentation_pct: 6,
+                offheap_key_derefs: 100,
+                freelist_lock_acquires: 200,
+                magazine_hits: 300,
             }),
         });
         let csv = s.to_csv();
         assert!(csv.contains(
-            "LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct"
+            "LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct,\
+             KeyDerefs,FreelistLocks,MagazineHits"
         ));
-        assert!(csv.contains(",7,1,2,3,4,5,6\n"));
+        assert!(csv.contains(",7,1,2,3,4,5,6,100,200,300\n"));
         let table = s.to_table();
         assert!(table
             .contains("[retries=7 aborts=1 failed-allocs=2 poisoned=3 oom=4 reclaims=5 frag=6%]"));
+    }
+
+    #[test]
+    fn hot_path_counters_alone_stay_out_of_the_table_note() {
+        let mut s = Summary::new();
+        s.push(Row {
+            scenario: "4c-get-zc".into(),
+            bench: "OakMap".into(),
+            heap_bytes: 0,
+            direct_bytes: 1 << 30,
+            threads: 1,
+            shards: 1,
+            final_size: 10,
+            mops: 1.0,
+            note: String::new(),
+            robustness: Some(RobustnessStats {
+                offheap_key_derefs: 12345,
+                freelist_lock_acquires: 678,
+                magazine_hits: 91011,
+                ..RobustnessStats::default()
+            }),
+        });
+        // A healthy run (only traffic counters non-zero) prints no
+        // incident bracket, but the counters are in the CSV.
+        assert!(!s.to_table().contains("[retries="));
+        assert!(s.to_csv().contains(",12345,678,91011\n"));
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut s = Summary::new();
+        s.push(Row {
+            scenario: "4a-put".into(),
+            bench: "OakMap".into(),
+            heap_bytes: 0,
+            direct_bytes: 1 << 20,
+            threads: 2,
+            shards: 1,
+            final_size: 99,
+            mops: 0.25,
+            note: "OOM x1".into(),
+            robustness: Some(RobustnessStats {
+                oom_failures: 1,
+                offheap_key_derefs: 5,
+                freelist_lock_acquires: 6,
+                magazine_hits: 7,
+                ..RobustnessStats::default()
+            }),
+        });
+        s.push(Row {
+            scenario: "4a-put".into(),
+            bench: "JavaSkipListMap".into(),
+            heap_bytes: 0,
+            direct_bytes: 0,
+            threads: 2,
+            shards: 1,
+            final_size: 99,
+            mops: 0.5,
+            note: String::new(),
+            robustness: None,
+        });
+        let json = s.to_json("synchrobench --quick --json out.json");
+        assert!(json.contains("\"command\": \"synchrobench --quick --json out.json\""));
+        assert!(json.contains("\"scenario\": \"4a-put\""));
+        assert!(json.contains("\"mops\": 0.250000"));
+        assert!(json.contains("\"offheap_key_derefs\": 5"));
+        assert!(json.contains("\"freelist_lock_acquires\": 6"));
+        assert!(json.contains("\"magazine_hits\": 7"));
+        assert!(json.contains("\"robustness\": null"));
+        // Balanced braces/brackets: crude but effective shape check for a
+        // hand-rolled encoder.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

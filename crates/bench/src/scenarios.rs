@@ -93,8 +93,21 @@ pub fn competitors_for(label: &str) -> Vec<&'static str> {
 /// Builds an adapter by artifact name. `ShardedOak-N` builds an N-shard
 /// [`ShardedOakMap`] with hash-prefix routing.
 pub fn build(name: &str, pool: PoolConfig, chunk_capacity: u32) -> Arc<dyn MapAdapter> {
+    build_configured(name, pool, chunk_capacity, true)
+}
+
+/// [`build`] with the Oak prefix cache toggled explicitly (A/B runs;
+/// magazines ride in on `pool.magazines`). Non-Oak competitors ignore the
+/// flag.
+pub fn build_configured(
+    name: &str,
+    pool: PoolConfig,
+    chunk_capacity: u32,
+    prefix_cache: bool,
+) -> Arc<dyn MapAdapter> {
     let oak_cfg = OakMapConfig::default()
         .chunk_capacity(chunk_capacity)
+        .prefix_cache(prefix_cache)
         .pool(pool.clone());
     if let Some(n) = name.strip_prefix("ShardedOak-") {
         let shards: usize = n.parse().expect("shard count in ShardedOak-N");
@@ -133,9 +146,35 @@ pub fn run_scenario(
     summary: &mut Summary,
     verbose: bool,
 ) {
+    run_scenario_configured(
+        scenario,
+        threads,
+        workload,
+        pool,
+        chunk_capacity,
+        duration,
+        summary,
+        verbose,
+        true,
+    )
+}
+
+/// [`run_scenario`] with the Oak prefix cache toggled explicitly.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_configured(
+    scenario: &Scenario,
+    threads: &[usize],
+    workload: &WorkloadConfig,
+    pool: PoolConfig,
+    chunk_capacity: u32,
+    duration: Duration,
+    summary: &mut Summary,
+    verbose: bool,
+    prefix_cache: bool,
+) {
     for name in competitors_for(scenario.label) {
         for &t in threads {
-            let map = build(name, pool.clone(), chunk_capacity);
+            let map = build_configured(name, pool.clone(), chunk_capacity, prefix_cache);
             ingest(map.as_ref(), workload);
             let r = sustained(&map, workload, scenario.mix, t, duration);
             if verbose {
@@ -158,6 +197,90 @@ pub fn run_scenario(
                 mops: r.mops_per_sec(),
                 note: String::new(),
                 robustness: map.pool_stats().map(RobustnessStats::from),
+            });
+        }
+    }
+}
+
+/// Label of the allocation-churn scenario (opt-in: run it with
+/// `--scenario alloc-churn`).
+pub const ALLOC_CHURN_LABEL: &str = "alloc-churn";
+
+/// Allocation-churn scenario: every thread alternates put and remove over
+/// a private key stripe, so each operation pair allocates and frees one
+/// fixed-size value payload. This is the free-list lock's worst case —
+/// and the allocation magazines' best — so the scenario runs the map
+/// twice, magazines off then on, and reports both rows; compare the
+/// `FreelistLocks` / `MagazineHits` columns.
+pub fn run_alloc_churn(
+    threads: &[usize],
+    workload: &WorkloadConfig,
+    chunk_capacity: u32,
+    duration: Duration,
+    summary: &mut Summary,
+    verbose: bool,
+) {
+    let raw = workload.key_range * (workload.key_size + workload.value_size + 24) as u64;
+    let pool = PoolConfig::with_budget(8 << 20, (raw as usize * 3).max(16 << 20));
+    for magazines in [false, true] {
+        let pool = pool.clone().magazines(magazines);
+        for &t in threads {
+            let map = Arc::new(OakMap::with_config(
+                OakMapConfig::default()
+                    .chunk_capacity(chunk_capacity)
+                    .pool(pool.clone()),
+            ));
+            let ops = AtomicU64::new(0);
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for tid in 0..t {
+                    let map = &map;
+                    let ops = &ops;
+                    s.spawn(move || {
+                        // Private stripe: churn stresses the allocator, not
+                        // map-level key contention.
+                        let stripe = workload.key_range / t.max(1) as u64;
+                        let base = stripe * tid as u64;
+                        let mut i = 0u64;
+                        let mut n = 0u64;
+                        while start.elapsed() < duration {
+                            let key = workload.key(base + (i % stripe.max(1)));
+                            map.put(&key, &workload.value(i)).expect("churn put");
+                            map.remove(&key);
+                            i += 1;
+                            n += 2;
+                        }
+                        ops.fetch_add(n, Ordering::Relaxed);
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let stats = RobustnessStats::from(map.pool().stats());
+            let total = ops.load(Ordering::Relaxed);
+            if verbose {
+                eprintln!(
+                    "{ALLOC_CHURN_LABEL} / magazines={} / {t} threads: {total} ops, \
+                     {} freelist locks, {} magazine hits",
+                    if magazines { "on" } else { "off" },
+                    stats.freelist_lock_acquires,
+                    stats.magazine_hits
+                );
+            }
+            summary.push(Row {
+                scenario: ALLOC_CHURN_LABEL.to_string(),
+                bench: if magazines {
+                    "OakMap+magazines".to_string()
+                } else {
+                    "OakMap".to_string()
+                },
+                heap_bytes: 0,
+                direct_bytes: (pool.arena_size * pool.max_arenas) as u64,
+                threads: t,
+                shards: 1,
+                final_size: map.len(),
+                mops: total as f64 / elapsed / 1e6,
+                note: String::new(),
+                robustness: Some(stats),
             });
         }
     }
@@ -335,6 +458,47 @@ mod tests {
         assert!(rb.emergency_reclaims > 0, "no reclamation pass: {rb:?}");
         // The CSV row carries the new columns.
         assert!(summary.to_csv().contains("mem-pressure,OakMap,"));
+    }
+
+    #[test]
+    fn magazines_cut_freelist_locks_10x() {
+        // The allocation-churn acceptance criterion: steady alternating
+        // alloc/free traffic must take the arena free-list lock at least
+        // 10x less often with magazines on than off, because magazines
+        // recycle thread-side and only touch the lock on refill/flush.
+        let wl = WorkloadConfig {
+            key_range: 4_000,
+            key_size: 24,
+            value_size: 128,
+            seed: 5,
+            distribution: crate::workload::KeyDistribution::Uniform,
+        };
+        let mut summary = Summary::new();
+        run_alloc_churn(
+            &[2],
+            &wl,
+            64,
+            Duration::from_millis(400),
+            &mut summary,
+            false,
+        );
+        assert_eq!(summary.rows().len(), 2);
+        let off = summary.rows()[0].robustness.expect("stats off");
+        let on = summary.rows()[1].robustness.expect("stats on");
+        assert_eq!(summary.rows()[0].bench, "OakMap");
+        assert_eq!(summary.rows()[1].bench, "OakMap+magazines");
+        assert!(on.magazine_hits > 0, "magazines never engaged: {on:?}");
+        // Normalize per operation: the two runs execute different op counts.
+        let ops_off = summary.rows()[0].mops.max(f64::MIN_POSITIVE);
+        let ops_on = summary.rows()[1].mops.max(f64::MIN_POSITIVE);
+        let locks_off = off.freelist_lock_acquires as f64 / ops_off;
+        let locks_on = on.freelist_lock_acquires as f64 / ops_on;
+        assert!(
+            locks_on * 10.0 <= locks_off,
+            "magazines saved too little: {} locks/Mop on vs {} off",
+            locks_on,
+            locks_off
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn cramped_config(reclaim: bool) -> OakMapConfig {
     OakMapConfig::small()
         .chunk_capacity(8)
         .pool(PoolConfig {
+            magazines: false,
             arena_size: 16 << 10,
             max_arenas: 16,
         })

@@ -32,6 +32,7 @@ mod audit;
 mod error;
 mod freelist;
 mod header;
+mod magazine;
 mod pool;
 mod refs;
 mod shared;

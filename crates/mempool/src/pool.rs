@@ -18,6 +18,7 @@ use crate::arena::Arena;
 use crate::audit::AllocClass;
 use crate::error::AllocError;
 use crate::freelist::{round_up, FreeList};
+use crate::magazine::{thread_slot, CachedSlice, MagazineRack, MAG_MAX_PADDED, REFILL_BATCH};
 use crate::refs::{SliceRef, MAX_BLOCKS, MAX_SLICE_LEN};
 use crate::shared::ArenaPool;
 use crate::stats::{Counters, FreeListStats, PoolStats};
@@ -31,6 +32,13 @@ pub struct PoolConfig {
     /// Maximum number of arenas the pool may reserve. Reaching this budget
     /// makes further allocations fail with [`AllocError::PoolExhausted`].
     pub max_arenas: usize,
+    /// Route small allocations (≤ 2 KiB padded) through thread-affine
+    /// allocation magazines that batch-refill from and batch-flush to the
+    /// per-arena free lists, taking the free-list lock once per batch
+    /// instead of once per operation. Off by default so the direct path's
+    /// deterministic first-fit behaviour is preserved for tests; the
+    /// benchmarks enable it.
+    pub magazines: bool,
 }
 
 impl Default for PoolConfig {
@@ -38,6 +46,7 @@ impl Default for PoolConfig {
         PoolConfig {
             arena_size: 100 << 20, // 100 MB, as in the paper
             max_arenas: 256,
+            magazines: false,
         }
     }
 }
@@ -48,6 +57,7 @@ impl PoolConfig {
         PoolConfig {
             arena_size: 1 << 20, // 1 MB
             max_arenas: 64,
+            magazines: false,
         }
     }
 
@@ -56,7 +66,15 @@ impl PoolConfig {
         PoolConfig {
             arena_size,
             max_arenas: (budget_bytes / arena_size).max(1),
+            magazines: false,
         }
+    }
+
+    /// Enables or disables the magazine layer.
+    #[must_use]
+    pub fn magazines(mut self, on: bool) -> Self {
+        self.magazines = on;
+        self
     }
 }
 
@@ -76,6 +94,8 @@ pub struct MemoryPool {
     /// When set, arenas come from (and return to) a shared reservoir
     /// instead of the system allocator (§3.2).
     shared: Option<std::sync::Arc<ArenaPool>>,
+    /// Thread-affine allocation magazines (`config.magazines`).
+    rack: Option<MagazineRack>,
     /// Allocation ledger for lifecycle auditing (feature `audit`).
     #[cfg(feature = "audit")]
     ledger: crate::audit::Ledger,
@@ -98,6 +118,7 @@ impl MemoryPool {
             .map(|_| OnceLock::new())
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let rack = config.magazines.then(MagazineRack::new);
         MemoryPool {
             config: PoolConfig {
                 max_arenas,
@@ -108,6 +129,7 @@ impl MemoryPool {
             grow_lock: Mutex::new(()),
             counters: Counters::default(),
             shared: None,
+            rack,
             #[cfg(feature = "audit")]
             ledger: crate::audit::Ledger::default(),
         }
@@ -126,6 +148,7 @@ impl MemoryPool {
         let mut pool = Self::new(PoolConfig {
             arena_size: shared.arena_size(),
             max_arenas,
+            magazines: false,
         });
         pool.shared = Some(shared);
         pool
@@ -190,47 +213,179 @@ impl MemoryPool {
         oak_failpoints::fail_point!("pool/alloc", Err(AllocError::Injected));
         let padded = round_up(len as u32);
 
+        if let Some(rack) = &self.rack {
+            if padded <= MAG_MAX_PADDED {
+                // Magazine fast path: one uncontended slot lock, no
+                // free-list traffic.
+                if let Some((block, offset)) = rack.try_pop(padded) {
+                    self.counters.magazine_hits.fetch_add(1, Ordering::Relaxed);
+                    self.note_allocated(padded);
+                    return Ok(SliceRef::new(block as usize, offset, len as u32));
+                }
+                return self.allocate_from_arenas(len as u32, padded, REFILL_BATCH);
+            }
+        }
+        self.allocate_from_arenas(len as u32, padded, 1)
+    }
+
+    /// Slow path: probe arena free lists for `batch` slices of `padded`
+    /// bytes, growing the pool when every initialized arena is full. With
+    /// `batch > 1` (magazines enabled) the surplus slices are banked into
+    /// the calling thread's magazine and probing starts at a slot-affine
+    /// arena so concurrent refills spread over different free-list locks.
+    /// On exhaustion, parked magazine slices are flushed back to the free
+    /// lists and the probe retried once before reporting `PoolExhausted`.
+    fn allocate_from_arenas(
+        &self,
+        len: u32,
+        padded: u32,
+        batch: usize,
+    ) -> Result<SliceRef, AllocError> {
+        let start = if batch > 1 { thread_slot() } else { 0 };
+        let mut flushed = false;
         loop {
             let n = self.nblocks.load(Ordering::Acquire);
-            for i in 0..n {
+            for j in 0..n {
+                let i = (start + j) % n;
                 let block = self.blocks[i].get().expect("block < nblocks initialized");
-                if let Some(offset) = block.free.lock().allocate(padded) {
+                let mut grabbed: Vec<u32> = Vec::new();
+                {
+                    let mut free = block.free.lock();
                     self.counters
-                        .allocated_bytes
-                        .fetch_add(padded as u64, Ordering::Relaxed);
-                    self.counters.alloc_count.fetch_add(1, Ordering::Relaxed);
-                    return Ok(SliceRef::new(i, offset, len as u32));
+                        .freelist_lock_acquires
+                        .fetch_add(1, Ordering::Relaxed);
+                    while grabbed.len() < batch {
+                        match free.allocate(padded) {
+                            Some(offset) => grabbed.push(offset),
+                            None => break,
+                        }
+                    }
+                }
+                if let Some((&first, rest)) = grabbed.split_first() {
+                    if !rest.is_empty() {
+                        let rack = self.rack.as_ref().expect("batch > 1 implies rack");
+                        let banked: Vec<CachedSlice> =
+                            rest.iter().map(|&off| (i as u32, off)).collect();
+                        rack.bank(padded, &banked);
+                        self.counters
+                            .magazine_refills
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.note_allocated(padded);
+                    return Ok(SliceRef::new(i, first, len));
                 }
             }
             // All initialized arenas are full: reserve another one.
-            let _g = self.grow_lock.lock();
-            // Another thread may have grown the pool while we waited.
-            if self.nblocks.load(Ordering::Acquire) != n {
-                continue;
-            }
-            if n >= self.config.max_arenas {
-                return Err(AllocError::PoolExhausted);
-            }
-            oak_failpoints::fail_point!("pool/grow", Err(AllocError::Injected));
-            let arena = match &self.shared {
-                Some(reservoir) => reservoir.take().ok_or(AllocError::PoolExhausted)?,
-                None => Arena::new(self.config.arena_size),
-            };
-            let block = Block {
-                arena,
-                free: Mutex::new(FreeList::new(self.config.arena_size as u32)),
-            };
-            if let Err(block) = self.blocks[n].set(block) {
-                // Unreachable as long as nblocks only advances under the
-                // grow lock; if the invariant is ever broken, fail this one
-                // allocation instead of poisoning the whole process, and
-                // don't leak the arena.
-                if let Some(reservoir) = &self.shared {
-                    reservoir.give_back(block.arena);
+            {
+                let _g = self.grow_lock.lock();
+                // Another thread may have grown the pool while we waited.
+                if self.nblocks.load(Ordering::Acquire) != n {
+                    continue;
                 }
-                return Err(AllocError::Internal("arena slot double-initialized"));
+                if n < self.config.max_arenas {
+                    oak_failpoints::fail_point!("pool/grow", Err(AllocError::Injected));
+                    let arena = match &self.shared {
+                        Some(reservoir) => reservoir.take(),
+                        None => Some(Arena::new(self.config.arena_size)),
+                    };
+                    if let Some(arena) = arena {
+                        let block = Block {
+                            arena,
+                            free: Mutex::new(FreeList::new(self.config.arena_size as u32)),
+                        };
+                        if let Err(block) = self.blocks[n].set(block) {
+                            // Unreachable as long as nblocks only advances
+                            // under the grow lock; if the invariant is ever
+                            // broken, fail this one allocation instead of
+                            // poisoning the whole process, and don't leak
+                            // the arena.
+                            if let Some(reservoir) = &self.shared {
+                                reservoir.give_back(block.arena);
+                            }
+                            return Err(AllocError::Internal("arena slot double-initialized"));
+                        }
+                        self.nblocks.store(n + 1, Ordering::Release);
+                        continue;
+                    }
+                    // Shared reservoir empty: fall through to the flush
+                    // rung below before giving up.
+                }
             }
-            self.nblocks.store(n + 1, Ordering::Release);
+            // Cannot grow. Before declaring exhaustion, return any slices
+            // parked in magazines to the free lists (they are free memory
+            // this request's size class may be starving for) and retry.
+            if !flushed {
+                flushed = true;
+                if self.flush_magazines() > 0 {
+                    continue;
+                }
+            }
+            return Err(AllocError::PoolExhausted);
+        }
+    }
+
+    #[inline]
+    fn note_allocated(&self, padded: u32) {
+        self.counters
+            .allocated_bytes
+            .fetch_add(padded as u64, Ordering::Relaxed);
+        self.counters.alloc_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns magazine-held slices to their arena free lists, grouping by
+    /// arena so each free list is locked once. Returns the bytes released.
+    ///
+    /// This is the "flush all magazines" rung of the emergency-reclamation
+    /// ladder: allocation paths call it on exhaustion, and map-level
+    /// `recover_or_err` calls it before surfacing `OutOfMemory`.
+    pub fn flush_magazines(&self) -> u64 {
+        let Some(rack) = &self.rack else { return 0 };
+        let drained = rack.drain_all();
+        if drained.is_empty() {
+            return 0;
+        }
+        self.counters
+            .magazine_flushes
+            .fetch_add(1, Ordering::Relaxed);
+        let mut released = 0u64;
+        let mut by_block: std::collections::HashMap<u32, Vec<(u32, u32)>> =
+            std::collections::HashMap::new();
+        for (padded, (block, offset)) in drained {
+            released += padded as u64;
+            by_block.entry(block).or_default().push((offset, padded));
+        }
+        for (block_idx, slices) in by_block {
+            let block = self.block(block_idx as usize);
+            let mut free = block.free.lock();
+            self.counters
+                .freelist_lock_acquires
+                .fetch_add(1, Ordering::Relaxed);
+            for (offset, padded) in slices {
+                free.free(offset, padded);
+            }
+        }
+        released
+    }
+
+    /// Returns overflow slices trimmed from a magazine to the free lists.
+    fn return_surplus(&self, padded: u32, surplus: Vec<CachedSlice>) {
+        self.counters
+            .magazine_flushes
+            .fetch_add(1, Ordering::Relaxed);
+        let mut by_block: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
+        for (block, offset) in surplus {
+            by_block.entry(block).or_default().push(offset);
+        }
+        for (block_idx, offsets) in by_block {
+            let block = self.block(block_idx as usize);
+            let mut free = block.free.lock();
+            self.counters
+                .freelist_lock_acquires
+                .fetch_add(1, Ordering::Relaxed);
+            for offset in offsets {
+                free.free(offset, padded);
+            }
         }
     }
 
@@ -252,12 +407,26 @@ impl MemoryPool {
         if !self.ledger.check_free(r, padded) {
             return;
         }
-        let block = self.block(r.block());
-        block.free.lock().free(r.offset(), padded);
         self.counters
             .freed_bytes
             .fetch_add(padded as u64, Ordering::Relaxed);
         self.counters.free_count.fetch_add(1, Ordering::Relaxed);
+        if let Some(rack) = &self.rack {
+            if padded <= MAG_MAX_PADDED {
+                // Park the slice in this thread's magazine instead of
+                // taking the free-list lock; overflow trims go back to the
+                // free lists in one batch per arena.
+                if let Some(surplus) = rack.push(padded, (r.block() as u32, r.offset())) {
+                    self.return_surplus(padded, surplus);
+                }
+                return;
+            }
+        }
+        let block = self.block(r.block());
+        block.free.lock().free(r.offset(), padded);
+        self.counters
+            .freelist_lock_acquires
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
@@ -344,8 +513,19 @@ impl MemoryPool {
             fl.free_segments += free.segment_count() as u64;
             fl.largest_free_segment = fl.largest_free_segment.max(free.largest_segment() as u64);
         }
+        let magazine_bytes = self.rack.as_ref().map_or(0, |r| r.held_bytes());
         self.counters
-            .snapshot(n as u64, self.config.arena_size as u64, fl)
+            .snapshot(n as u64, self.config.arena_size as u64, fl, magazine_bytes)
+    }
+
+    /// Records an off-heap key-byte dereference performed by chunk search.
+    /// Called by the map layer; kept here so the counter travels with the
+    /// rest of the pool's hot-path statistics.
+    #[inline]
+    pub fn note_key_deref(&self) {
+        self.counters
+            .offheap_key_derefs
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records that an owner of this pool ran an emergency reclamation
@@ -400,6 +580,10 @@ impl MemoryPool {
             let block = self.blocks[i].get().expect("block < nblocks initialized");
             free_bytes += block.free.lock().free_bytes();
         }
+        // Slices parked in allocation magazines are free, not leaked: they
+        // left the free lists in a refill batch but are ready to hand out,
+        // so they sit on the free side of the balance sheet.
+        free_bytes += self.rack.as_ref().map_or(0, |r| r.held_bytes());
         let capacity_bytes = n as u64 * self.config.arena_size as u64;
         crate::audit::AuditReport {
             live_bytes,
@@ -444,6 +628,7 @@ mod tests {
 
     fn tiny_pool() -> MemoryPool {
         MemoryPool::new(PoolConfig {
+            magazines: false,
             arena_size: 4096,
             max_arenas: 4,
         })
@@ -495,6 +680,7 @@ mod tests {
     #[test]
     fn free_allows_reuse() {
         let pool = MemoryPool::new(PoolConfig {
+            magazines: false,
             arena_size: 1024,
             max_arenas: 1,
         });
@@ -520,6 +706,7 @@ mod tests {
     #[test]
     fn concurrent_allocation_yields_disjoint_slices() {
         let pool = Arc::new(MemoryPool::new(PoolConfig {
+            magazines: false,
             arena_size: 1 << 16,
             max_arenas: 8,
         }));
@@ -547,5 +734,117 @@ mod tests {
         let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 800);
         assert_eq!(pool.stats().alloc_count, 800);
+    }
+
+    fn magazine_pool() -> MemoryPool {
+        MemoryPool::new(PoolConfig {
+            arena_size: 1 << 16,
+            max_arenas: 4,
+            magazines: true,
+        })
+    }
+
+    #[test]
+    fn magazines_amortize_freelist_locks() {
+        let pool = magazine_pool();
+        // Churn one size class: after the first refill, allocs hit the
+        // magazine and frees park in it, with no free-list traffic.
+        let mut refs = Vec::new();
+        for _ in 0..1000 {
+            for _ in 0..8 {
+                refs.push(pool.allocate(64).unwrap());
+            }
+            for r in refs.drain(..) {
+                pool.free(r);
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.alloc_count, 8000);
+        assert_eq!(stats.free_count, 8000);
+        assert!(
+            stats.magazine_hits >= 7900,
+            "hits = {}",
+            stats.magazine_hits
+        );
+        assert!(
+            stats.freelist_lock_acquires * 10 <= stats.alloc_count + stats.free_count,
+            "locks = {} for {} ops",
+            stats.freelist_lock_acquires,
+            stats.alloc_count + stats.free_count
+        );
+        // Accounting: everything freed, residue parked in magazines.
+        assert_eq!(stats.live_bytes, 0);
+        assert_eq!(
+            stats.magazine_bytes + stats.free_bytes,
+            stats.reserved_bytes
+        );
+    }
+
+    #[test]
+    fn magazine_exhaustion_flushes_and_reuses() {
+        // One 1 KiB arena: alloc + free a 512-byte slice (parks it in a
+        // magazine), then demand a full-arena slice. The free lists alone
+        // cannot satisfy it; the exhaustion path must flush magazines and
+        // retry rather than reporting OOM.
+        let pool = MemoryPool::new(PoolConfig {
+            arena_size: 1024,
+            max_arenas: 1,
+            magazines: true,
+        });
+        let r = pool.allocate(512).unwrap();
+        pool.free(r);
+        assert!(pool.stats().magazine_bytes > 0);
+        let big = pool
+            .allocate(1024)
+            .expect("flush rung must reclaim magazine bytes");
+        pool.free(big);
+        // True exhaustion is still reported once magazines are empty.
+        let a = pool.allocate(1024).unwrap();
+        assert!(matches!(pool.allocate(8), Err(AllocError::PoolExhausted)));
+        pool.free(a);
+    }
+
+    #[test]
+    fn magazine_cross_thread_slices_stay_disjoint() {
+        let pool = Arc::new(magazine_pool());
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut refs = Vec::new();
+                for i in 0..300usize {
+                    let r = pool.allocate(48).unwrap();
+                    unsafe { pool.slice_mut(r) }.fill(t ^ (i as u8));
+                    refs.push((r, t ^ (i as u8)));
+                    if i % 3 == 0 {
+                        let (r, _) = refs.swap_remove(i % refs.len());
+                        pool.free(r);
+                    }
+                }
+                for (r, fill) in &refs {
+                    let s = unsafe { pool.slice(*r) };
+                    assert!(s.iter().all(|b| b == fill), "clobbered slice");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn flush_magazines_returns_parked_bytes() {
+        let pool = magazine_pool();
+        let refs: Vec<_> = (0..32).map(|_| pool.allocate(128).unwrap()).collect();
+        for r in refs {
+            pool.free(r);
+        }
+        let parked = pool.stats().magazine_bytes;
+        assert!(parked > 0);
+        assert_eq!(pool.flush_magazines(), parked);
+        let stats = pool.stats();
+        assert_eq!(stats.magazine_bytes, 0);
+        assert_eq!(stats.free_bytes, stats.reserved_bytes);
+        assert_eq!(pool.flush_magazines(), 0);
     }
 }

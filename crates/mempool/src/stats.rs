@@ -24,6 +24,11 @@ pub(crate) struct Counters {
     pub(crate) peak_live_bytes: AtomicU64,
     pub(crate) emergency_reclaims: AtomicU64,
     pub(crate) oom_failures: AtomicU64,
+    pub(crate) offheap_key_derefs: AtomicU64,
+    pub(crate) freelist_lock_acquires: AtomicU64,
+    pub(crate) magazine_hits: AtomicU64,
+    pub(crate) magazine_refills: AtomicU64,
+    pub(crate) magazine_flushes: AtomicU64,
 }
 
 /// Free-list aggregates gathered by walking the arenas.
@@ -35,7 +40,13 @@ pub(crate) struct FreeListStats {
 }
 
 impl Counters {
-    pub(crate) fn snapshot(&self, arenas: u64, arena_size: u64, fl: FreeListStats) -> PoolStats {
+    pub(crate) fn snapshot(
+        &self,
+        arenas: u64,
+        arena_size: u64,
+        fl: FreeListStats,
+        magazine_bytes: u64,
+    ) -> PoolStats {
         let allocated = self.allocated_bytes.load(Ordering::Relaxed);
         let freed = self.freed_bytes.load(Ordering::Relaxed);
         PoolStats {
@@ -57,6 +68,12 @@ impl Counters {
             peak_live_bytes: self.peak_live_bytes.load(Ordering::Relaxed),
             emergency_reclaims: self.emergency_reclaims.load(Ordering::Relaxed),
             oom_failures: self.oom_failures.load(Ordering::Relaxed),
+            offheap_key_derefs: self.offheap_key_derefs.load(Ordering::Relaxed),
+            freelist_lock_acquires: self.freelist_lock_acquires.load(Ordering::Relaxed),
+            magazine_hits: self.magazine_hits.load(Ordering::Relaxed),
+            magazine_refills: self.magazine_refills.load(Ordering::Relaxed),
+            magazine_flushes: self.magazine_flushes.load(Ordering::Relaxed),
+            magazine_bytes,
         }
     }
 }
@@ -109,6 +126,24 @@ pub struct PoolStats {
     /// Operations that surfaced out-of-memory to the caller even after
     /// emergency reclamation.
     pub oom_failures: u64,
+    /// Off-heap key-byte dereferences performed by chunk search
+    /// (`pool.slice()` on a key). The key-prefix cache exists to shrink
+    /// this number; it is the primary hot-path proof counter.
+    pub offheap_key_derefs: u64,
+    /// Times an allocation or free path locked a per-arena free list.
+    /// With magazines enabled, refills/flushes amortize many slices per
+    /// acquisition, so this falls far below `alloc_count + free_count`.
+    pub freelist_lock_acquires: u64,
+    /// Allocations served from a thread-affine magazine without touching
+    /// any free-list lock.
+    pub magazine_hits: u64,
+    /// Magazine refills (each grabs a batch of slices under one lock).
+    pub magazine_refills: u64,
+    /// Magazine flushes (overflow trims plus full emergency flushes).
+    pub magazine_flushes: u64,
+    /// Bytes currently parked in magazines at snapshot time: free capacity
+    /// that is not on any free list (counted as free, not leaked).
+    pub magazine_bytes: u64,
 }
 
 impl PoolStats {
@@ -138,6 +173,12 @@ impl PoolStats {
         self.peak_live_bytes += other.peak_live_bytes;
         self.emergency_reclaims += other.emergency_reclaims;
         self.oom_failures += other.oom_failures;
+        self.offheap_key_derefs += other.offheap_key_derefs;
+        self.freelist_lock_acquires += other.freelist_lock_acquires;
+        self.magazine_hits += other.magazine_hits;
+        self.magazine_refills += other.magazine_refills;
+        self.magazine_flushes += other.magazine_flushes;
+        self.magazine_bytes += other.magazine_bytes;
         self
     }
 

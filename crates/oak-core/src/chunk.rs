@@ -20,6 +20,28 @@
 //! `freeze` sets the bit and waits for the counter to drain. After `freeze`
 //! returns, no published mutation is in flight and none can start — exactly
 //! the invariant the rebalancer needs before copying entries.
+//!
+//! ## Memory-ordering table
+//!
+//! Every atomic in the hot path carries the weakest ordering that still
+//! upholds its role. Two distinct roles exist:
+//!
+//! | atomic              | ordering           | role |
+//! |---------------------|--------------------|------|
+//! | `Entry::key`        | Release / Acquire  | publication: the Release store (and the Release link CAS on `next`) makes the off-heap key bytes and the cached `prefix` visible to any searcher that Acquire-loads the entry |
+//! | `Entry::value`      | Release / Acquire, AcqRel CAS | same publication role, plus the value-CAS linearization points of Algorithms 2–3 |
+//! | `Entry::next`       | Release-CAS / Acquire | list splice = publication of the entry |
+//! | `Entry::prefix`     | Relaxed            | written before the publishing Release store of `key`, read only after an Acquire load reached the entry — the neighbouring Release/Acquire pair orders it, so the field itself needs no ordering; a reader that races ahead sees `0` = "no info" and falls back to a full compare (slow, never wrong) |
+//! | `sync` (pub/freeze) | AcqRel / Acquire   | handshake: `unpublish`'s AcqRel decrement synchronizes every completed mutation with the freezer's Acquire drain loop — this is what makes frozen entries stable for copying, NOT the cursor below |
+//! | `alloc_cursor`      | Relaxed            | pure index reservation / monotone accounting: the fetch-add precedes the entry-field writes, so no ordering on it could ever publish them; readers of `allocated()` only gate heuristics (`needs_reorg`) or scan entries whose own `key` loads synchronize |
+//! | `live_hint`         | Relaxed            | monotone merge heuristic, tolerates drift by design |
+//!
+//! Pool statistics (`oak_mempool::stats::Counters`) and the reclamation
+//! byte/count gauges are likewise Relaxed: they are monotone accounting
+//! read only by observers. The one deliberate exception is the epoch
+//! quarantine (`reclaim.rs`), which keeps `SeqCst` on its epoch/bin
+//! operations — its grace-period proof needs the store-load fences of a
+//! total order, and must not be weakened.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -37,10 +59,19 @@ const FROZEN: u32 = 1 << 31;
 
 /// One slot of the entries array. `key` is written once before the entry is
 /// published (linked); `value` is the CAS target of Algorithms 2–3.
+///
+/// `prefix` caches an order-preserving 64-bit prefix of the key
+/// ([`KeyComparator::prefix`]) *on-heap*, so searches can usually decide an
+/// inequality without dereferencing the off-heap key bytes (KiWi-style
+/// cache-resident in-chunk search). It is written once, before the entry is
+/// published, exactly like `key`; `0` means "no prefix information" and
+/// forces a full compare. See `compare_entry_key` for the ordering
+/// argument.
 pub(crate) struct Entry {
     key: AtomicU64,
     value: AtomicU64,
     next: AtomicU32,
+    prefix: AtomicU64,
 }
 
 impl Entry {
@@ -49,6 +80,7 @@ impl Entry {
             key: AtomicU64::new(0),
             value: AtomicU64::new(0),
             next: AtomicU32::new(NONE),
+            prefix: AtomicU64::new(0),
         }
     }
 }
@@ -113,14 +145,22 @@ impl Chunk {
         }
     }
 
-    /// Creates a chunk pre-filled with a sorted prefix of `(key, value)`
-    /// reference pairs (used by rebalance).
-    pub(crate) fn new_sorted(capacity: u32, min_key: Box<[u8]>, items: &[(SliceRef, u64)]) -> Self {
+    /// Creates a chunk pre-filled with a sorted prefix of
+    /// `(key, value, key_prefix)` triples (used by rebalance, which carries
+    /// the cached key prefixes of the old chunk's entries forward so the
+    /// new chunk's searches stay prefix-accelerated without re-reading any
+    /// off-heap key).
+    pub(crate) fn new_sorted(
+        capacity: u32,
+        min_key: Box<[u8]>,
+        items: &[(SliceRef, u64, u64)],
+    ) -> Self {
         assert!(items.len() as u32 <= capacity);
         let entries: Box<[Entry]> = (0..capacity).map(|_| Entry::empty()).collect();
-        for (i, &(k, v)) in items.iter().enumerate() {
+        for (i, &(k, v, p)) in items.iter().enumerate() {
             entries[i].key.store(k.to_raw(), Ordering::Relaxed);
             entries[i].value.store(v, Ordering::Relaxed);
+            entries[i].prefix.store(p, Ordering::Relaxed);
             let nxt = if i + 1 < items.len() {
                 (i + 1) as u32
             } else {
@@ -151,10 +191,12 @@ impl Chunk {
         self.sorted_count
     }
 
-    /// Entries allocated so far (sorted prefix + bypass suffix).
+    /// Entries allocated so far (sorted prefix + bypass suffix). Relaxed:
+    /// the cursor is reservation accounting; entry visibility comes from
+    /// per-entry `key` publication (see the ordering table).
     pub(crate) fn allocated(&self) -> u32 {
         self.alloc_cursor
-            .load(Ordering::Acquire)
+            .load(Ordering::Relaxed)
             .min(self.capacity())
     }
 
@@ -316,7 +358,8 @@ impl Chunk {
         self.head.load(Ordering::Acquire)
     }
 
-    /// Reads an entry's key bytes.
+    /// Reads an entry's key bytes, counting the off-heap dereference in
+    /// the pool's hot-path statistics.
     ///
     /// # Safety-adjacent contract
     /// Key buffers are immutable and live for the map's lifetime under the
@@ -324,24 +367,89 @@ impl Chunk {
     pub(crate) fn key_bytes<'a>(&self, pool: &'a MemoryPool, idx: u32) -> &'a [u8] {
         let r = self.key_ref(idx);
         debug_assert!(!r.is_null(), "reading key of unallocated entry");
+        pool.note_key_deref();
         unsafe { pool.slice(r) }
     }
 
+    /// The entry's cached key prefix (0 = no information).
+    ///
+    /// Relaxed suffices: the prefix is written before the entry is
+    /// published (linked via a Release CAS, or part of a sorted prefix
+    /// published with the chunk itself), and searches only reach entries
+    /// through an Acquire load of `head`/`next`/the chunk pointer, so a
+    /// visible entry's prefix store happens-before this load. An entry
+    /// observed mid-publication would read the initial `0`, which is the
+    /// "no information" value and merely costs a full compare.
+    #[inline]
+    pub(crate) fn entry_prefix(&self, idx: u32) -> u64 {
+        self.entries[idx as usize].prefix.load(Ordering::Relaxed)
+    }
+
+    /// Compares entry `idx`'s key against a search `key` whose cached
+    /// prefix is `kp` (`0` = unknown), touching off-heap key bytes only on
+    /// a prefix tie.
+    ///
+    /// Correctness: [`KeyComparator::prefix`] guarantees that *strict*
+    /// prefix inequality implies the same strict key order, so the early
+    /// return is exact. Equal, zero, or missing prefixes decide nothing
+    /// and fall back to the full comparator — a stale or unwritten (zero)
+    /// prefix can therefore only cost a slow full compare, never a wrong
+    /// verdict.
+    #[inline]
+    pub(crate) fn compare_entry_key<C: KeyComparator>(
+        &self,
+        pool: &MemoryPool,
+        cmp: &C,
+        idx: u32,
+        key: &[u8],
+        kp: u64,
+    ) -> std::cmp::Ordering {
+        if kp != 0 {
+            let ep = self.entry_prefix(idx);
+            if ep != 0 && ep != kp {
+                return ep.cmp(&kp);
+            }
+        }
+        cmp.compare(self.key_bytes(pool, idx), key)
+    }
+
+    /// Compares the keys of two entries via their cached prefixes,
+    /// dereferencing off-heap bytes only on a tie.
+    #[inline]
+    fn compare_entries<C: KeyComparator>(
+        &self,
+        pool: &MemoryPool,
+        cmp: &C,
+        a: u32,
+        b: u32,
+    ) -> std::cmp::Ordering {
+        let (pa, pb) = (self.entry_prefix(a), self.entry_prefix(b));
+        if pa != 0 && pb != 0 && pa != pb {
+            return pa.cmp(&pb);
+        }
+        cmp.compare(self.key_bytes(pool, a), self.key_bytes(pool, b))
+    }
+
     /// Allocates a fresh entry referring to `key_ref` (Algorithm 2 line
-    /// 28). Returns `None` when the chunk is full — the caller triggers a
-    /// rebalance and retries.
-    pub(crate) fn allocate_entry(&self, key_ref: SliceRef) -> Option<u32> {
+    /// 28), caching `prefix` (`0` = none) alongside it. Returns `None`
+    /// when the chunk is full — the caller triggers a rebalance and
+    /// retries.
+    pub(crate) fn allocate_entry(&self, key_ref: SliceRef, prefix: u64) -> Option<u32> {
         // Injected exhaustion: the caller frees its speculative key and
         // rebalances, as if the chunk were full.
         oak_failpoints::fail_point!("chunk/allocate-entry", None);
-        let idx = self.alloc_cursor.fetch_add(1, Ordering::AcqRel);
+        // Relaxed: the fetch-add only reserves a unique cell; it happens
+        // *before* the cell's fields are written, so no ordering here could
+        // publish them (the `key` Release store below does).
+        let idx = self.alloc_cursor.fetch_add(1, Ordering::Relaxed);
         if idx >= self.capacity() {
             // Saturate the cursor so it cannot wrap on pathological retry
             // storms.
-            self.alloc_cursor.store(self.capacity(), Ordering::Release);
+            self.alloc_cursor.store(self.capacity(), Ordering::Relaxed);
             return None;
         }
         let e = &self.entries[idx as usize];
+        e.prefix.store(prefix, Ordering::Relaxed);
         e.key.store(key_ref.to_raw(), Ordering::Release);
         e.value.store(0, Ordering::Release);
         e.next.store(NONE, Ordering::Release);
@@ -350,29 +458,41 @@ impl Chunk {
 
     /// Binary search on the sorted prefix: the largest prefix index whose
     /// key is ≤ `key`, or `None` if the prefix is empty / all keys > `key`.
+    /// The flag reports whether the floor's key *equals* `key` — sorted
+    /// keys are unique, so an `Equal` probe is necessarily the floor, and
+    /// callers use the flag to skip a redundant re-compare of the floor
+    /// entry (one off-heap dereference per hit). `kp` is the search key's
+    /// cached prefix (`0` = unknown); probes consult the entries' cached
+    /// prefixes first and dereference off-heap key bytes only on prefix
+    /// ties.
     fn prefix_floor<C: KeyComparator>(
         &self,
         pool: &MemoryPool,
         cmp: &C,
         key: &[u8],
-    ) -> Option<u32> {
+        kp: u64,
+    ) -> Option<(u32, bool)> {
         let n = self.sorted_count;
         if n == 0 {
             return None;
         }
         let (mut lo, mut hi) = (0u32, n); // invariant: keys[lo-1] <= key < keys[hi]
+        let mut exact = false;
         while lo < hi {
             let mid = (lo + hi) / 2;
-            let mk = self.key_bytes(pool, mid);
-            match cmp.compare(mk, key) {
+            match self.compare_entry_key(pool, cmp, mid, key, kp) {
                 std::cmp::Ordering::Greater => hi = mid,
-                _ => lo = mid + 1,
+                std::cmp::Ordering::Equal => {
+                    exact = true;
+                    lo = mid + 1;
+                }
+                std::cmp::Ordering::Less => lo = mid + 1,
             }
         }
         if lo == 0 {
             None
         } else {
-            Some(lo - 1)
+            Some((lo - 1, exact))
         }
     }
 
@@ -384,8 +504,19 @@ impl Chunk {
         cmp: &C,
         key: &[u8],
     ) -> Option<u32> {
-        let mut cur = match self.prefix_floor(pool, cmp, key) {
-            Some(i) => i,
+        let kp = cmp.prefix(key).unwrap_or(0);
+        let mut cur = match self.prefix_floor(pool, cmp, key, kp) {
+            // The floor itself matched during the binary search.
+            Some((i, true)) => return Some(i),
+            // The floor compared strictly less: resume from its successor
+            // (re-comparing the floor would be a wasted dereference).
+            Some((i, false)) => {
+                let nxt = self.entry_next(i);
+                if nxt == NONE {
+                    return None;
+                }
+                nxt
+            }
             None => {
                 let h = self.head_entry();
                 if h == NONE {
@@ -395,8 +526,7 @@ impl Chunk {
             }
         };
         loop {
-            let kb = self.key_bytes(pool, cur);
-            match cmp.compare(kb, key) {
+            match self.compare_entry_key(pool, cmp, cur, key, kp) {
                 std::cmp::Ordering::Equal => return Some(cur),
                 std::cmp::Ordering::Greater => return None,
                 std::cmp::Ordering::Less => {
@@ -417,13 +547,17 @@ impl Chunk {
         cmp: &C,
         key: &[u8],
     ) -> u32 {
-        let mut cur = match self.prefix_floor(pool, cmp, key) {
-            Some(i) => i,
+        let kp = cmp.prefix(key).unwrap_or(0);
+        let mut cur = match self.prefix_floor(pool, cmp, key, kp) {
+            // Exact floor: it is itself the first entry ≥ `key`.
+            Some((i, true)) => return i,
+            // Floor compared strictly less: start the walk at its
+            // successor instead of re-comparing it.
+            Some((i, false)) => self.entry_next(i),
             None => self.head_entry(),
         };
         while cur != NONE {
-            let kb = self.key_bytes(pool, cur);
-            if cmp.compare(kb, key) != std::cmp::Ordering::Less {
+            if self.compare_entry_key(pool, cmp, cur, key, kp) != std::cmp::Ordering::Less {
                 return cur;
             }
             cur = self.entry_next(cur);
@@ -441,13 +575,20 @@ impl Chunk {
         new_idx: u32,
     ) -> LinkOutcome {
         let new_key = self.key_bytes(pool, new_idx);
+        // The new entry's prefix was cached by `allocate_entry`; reuse it
+        // for the splice-position walk so prefix mismatches skip the
+        // off-heap compare.
+        let kp = self.entry_prefix(new_idx);
         loop {
             // Find (pred, succ) bracketing the new key; pred == NONE means
             // the head pointer is the predecessor link.
             let mut pred = NONE;
-            let mut succ = match self.prefix_floor(pool, cmp, new_key) {
-                Some(i) => {
-                    // The prefix floor has key ≤ new_key; walk from it.
+            let mut succ = match self.prefix_floor(pool, cmp, new_key, kp) {
+                // The floor equals the new key: the key is already linked.
+                Some((i, true)) => return LinkOutcome::Found(i),
+                // The floor is strictly less; walk from it. (Equality is
+                // fully handled above, so no floor re-compare is needed.)
+                Some((i, false)) => {
                     pred = i;
                     self.entry_next(i)
                 }
@@ -457,23 +598,17 @@ impl Chunk {
             // hint when it lies strictly between pred and the new key.
             let hint = self.link_hint.load(Ordering::Acquire);
             if hint != NONE {
-                let hb = self.key_bytes(pool, hint);
-                let hint_usable = cmp.compare(hb, new_key) == std::cmp::Ordering::Less
+                let hint_usable = self.compare_entry_key(pool, cmp, hint, new_key, kp)
+                    == std::cmp::Ordering::Less
                     && (pred == NONE
-                        || cmp.compare(self.key_bytes(pool, pred), hb) == std::cmp::Ordering::Less);
+                        || self.compare_entries(pool, cmp, pred, hint) == std::cmp::Ordering::Less);
                 if hint_usable {
                     pred = hint;
                     succ = self.entry_next(hint);
                 }
             }
-            // If the floor itself equals the key, report it.
-            if pred != NONE
-                && cmp.compare(self.key_bytes(pool, pred), new_key) == std::cmp::Ordering::Equal
-            {
-                return LinkOutcome::Found(pred);
-            }
             while succ != NONE {
-                match cmp.compare(self.key_bytes(pool, succ), new_key) {
+                match self.compare_entry_key(pool, cmp, succ, new_key, kp) {
                     std::cmp::Ordering::Less => {
                         pred = succ;
                         succ = self.entry_next(succ);
@@ -525,7 +660,9 @@ impl Chunk {
     }
 
     /// Iterates the linked list once, splitting entries into live
-    /// `(key_ref, value_raw)` pairs (key order) and the key refs of dead
+    /// `(key_ref, value_raw, key_prefix)` triples (key order, prefix
+    /// carried from the entry's on-heap cache so the successor chunk needs
+    /// no off-heap reads to stay accelerated) and the key refs of dead
     /// entries (⊥ value or `keep` says deleted). Called by the rebalancer
     /// after freeze so the live/dead partition comes from a *single* walk:
     /// post-freeze an entry can still flip live→deleted (remove needs no
@@ -534,14 +671,14 @@ impl Chunk {
     pub(crate) fn partition_entries(
         &self,
         keep: impl Fn(u64) -> bool,
-    ) -> (Vec<(SliceRef, u64)>, Vec<SliceRef>) {
+    ) -> (Vec<(SliceRef, u64, u64)>, Vec<SliceRef>) {
         let mut live = Vec::with_capacity(self.allocated() as usize);
         let mut dead = Vec::new();
         let mut cur = self.head_entry();
         while cur != NONE {
             let v = self.value_raw(cur);
             if keep(v) {
-                live.push((self.key_ref(cur), v));
+                live.push((self.key_ref(cur), v, self.entry_prefix(cur)));
             } else {
                 dead.push(self.key_ref(cur));
             }
@@ -600,7 +737,8 @@ mod tests {
     /// Inserts a key with a dummy value reference and returns its index.
     fn insert(chunk: &Chunk, pool: &MemoryPool, key: &[u8], val: u64) -> u32 {
         let kr = alloc_key(pool, key);
-        let idx = chunk.allocate_entry(kr).expect("chunk not full");
+        let prefix = Lexicographic.prefix(key).unwrap_or(0);
+        let idx = chunk.allocate_entry(kr, prefix).expect("chunk not full");
         match chunk.ll_put_if_absent(pool, &Lexicographic, idx) {
             LinkOutcome::Linked => {
                 assert!(chunk.cas_value(idx, 0, val));
@@ -643,7 +781,9 @@ mod tests {
         let c = Chunk::new_empty(16, Box::new([]));
         let first = insert(&c, &p, b"dup", 1);
         let kr = alloc_key(&p, b"dup");
-        let idx = c.allocate_entry(kr).unwrap();
+        let idx = c
+            .allocate_entry(kr, Lexicographic.prefix(b"dup").unwrap())
+            .unwrap();
         match c.ll_put_if_absent(&p, &Lexicographic, idx) {
             LinkOutcome::Found(i) => assert_eq!(i, first),
             _ => panic!("expected Found"),
@@ -653,8 +793,12 @@ mod tests {
     #[test]
     fn sorted_chunk_binary_search() {
         let p = pool();
-        let items: Vec<(SliceRef, u64)> = (0..50u32)
-            .map(|i| (alloc_key(&p, format!("k{i:03}").as_bytes()), i as u64 + 1))
+        let items: Vec<(SliceRef, u64, u64)> = (0..50u32)
+            .map(|i| {
+                let key = format!("k{i:03}");
+                let pre = Lexicographic.prefix(key.as_bytes()).unwrap();
+                (alloc_key(&p, key.as_bytes()), i as u64 + 1, pre)
+            })
             .collect();
         let c = Chunk::new_sorted(64, Box::new([]), &items);
         assert_eq!(c.sorted_count(), 50);
@@ -679,7 +823,7 @@ mod tests {
             insert(&c, &p, format!("{i}").as_bytes(), 1);
         }
         let kr = alloc_key(&p, b"overflow");
-        assert!(c.allocate_entry(kr).is_none());
+        assert!(c.allocate_entry(kr, 0).is_none());
     }
 
     #[test]
@@ -691,7 +835,7 @@ mod tests {
         assert!(c.is_frozen());
         assert!(!c.publish());
         let kr = alloc_key(&p, b"post");
-        let idx = c.allocate_entry(kr).unwrap();
+        let idx = c.allocate_entry(kr, 0).unwrap();
         assert!(matches!(
             c.ll_put_if_absent(&p, &Lexicographic, idx),
             LinkOutcome::Frozen
@@ -721,8 +865,8 @@ mod tests {
     #[test]
     fn needs_reorg_tracks_unsorted_ratio() {
         let p = pool();
-        let items: Vec<(SliceRef, u64)> = (0..20u32)
-            .map(|i| (alloc_key(&p, format!("s{i:03}").as_bytes()), 1))
+        let items: Vec<(SliceRef, u64, u64)> = (0..20u32)
+            .map(|i| (alloc_key(&p, format!("s{i:03}").as_bytes()), 1, 0))
             .collect();
         let c = Chunk::new_sorted(64, Box::new([]), &items);
         assert!(!c.needs_reorg(0.5));
@@ -744,7 +888,9 @@ mod tests {
                 for i in 0..200u32 {
                     let key = format!("{:04}", t * 200 + i);
                     let kr = alloc_key(&p, key.as_bytes());
-                    let idx = c.allocate_entry(kr).unwrap();
+                    let idx = c
+                        .allocate_entry(kr, Lexicographic.prefix(key.as_bytes()).unwrap())
+                        .unwrap();
                     match c.ll_put_if_absent(&p, &Lexicographic, idx) {
                         LinkOutcome::Linked => assert!(c.cas_value(idx, 0, 1)),
                         _ => panic!("distinct keys cannot collide"),

@@ -14,6 +14,47 @@ use std::cmp::Ordering;
 pub trait KeyComparator: Send + Sync + Clone + 'static {
     /// Compares two serialized keys.
     fn compare(&self, a: &[u8], b: &[u8]) -> Ordering;
+
+    /// An order-preserving 64-bit prefix of `key`, used by chunks to
+    /// short-circuit comparisons against cached on-heap prefixes without
+    /// dereferencing off-heap key bytes.
+    ///
+    /// # Contract
+    ///
+    /// For any two keys `a`, `b` with `prefix(a) = Some(pa)`,
+    /// `prefix(b) = Some(pb)`:
+    ///
+    /// - `pa < pb` implies `compare(a, b) == Less`, and symmetrically for
+    ///   `Greater` (equivalently: `compare(a, b) == Less` implies
+    ///   `pa <= pb`). Equal prefixes imply nothing — the caller falls back
+    ///   to [`compare`](Self::compare) on a tie.
+    /// - A prefix of `0` is reserved as "no information": the chunk layer
+    ///   stores `None` as `0` and always falls back to a full compare when
+    ///   either side's stored prefix is `0`. Implementations may return
+    ///   `Some(0)` freely — it is treated exactly like `None` and can only
+    ///   cost a full compare, never a wrong verdict.
+    ///
+    /// Returning `None` for every key (the default) opts the comparator
+    /// out of prefix acceleration entirely.
+    #[inline]
+    fn prefix(&self, key: &[u8]) -> Option<u64> {
+        let _ = key;
+        None
+    }
+}
+
+/// The canonical order-preserving prefix for lexicographic byte order:
+/// the first eight bytes, big-endian, zero-padded on the right. Strict
+/// inequality of padded prefixes implies strict lexicographic order of the
+/// keys (the first differing padded byte is either a real byte difference
+/// or a zero pad against a real byte, and a zero pad means the shorter key
+/// is a proper prefix of the longer, hence lexicographically smaller).
+#[inline]
+pub fn lexicographic_prefix(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(buf)
 }
 
 /// Plain lexicographic byte order; correct for big-endian-encoded integers
@@ -25,6 +66,11 @@ impl KeyComparator for Lexicographic {
     #[inline]
     fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
         a.cmp(b)
+    }
+
+    #[inline]
+    fn prefix(&self, key: &[u8]) -> Option<u64> {
+        Some(lexicographic_prefix(key))
     }
 }
 
@@ -45,6 +91,19 @@ impl KeyComparator for U64BeComparator {
             }
             // Shorter keys (notably the empty −∞ minKey) sort first.
             _ => a.len().cmp(&b.len()).then_with(|| a.cmp(b)),
+        }
+    }
+
+    /// Only 8-byte keys get a prefix: this comparator sorts non-8-byte
+    /// keys by length first, which zero-padded byte prefixes do not
+    /// preserve (e.g. `[1]` sorts before `[0, 2]` here but its padded
+    /// prefix is larger). Odd-length keys fall back to full compares.
+    #[inline]
+    fn prefix(&self, key: &[u8]) -> Option<u64> {
+        if key.len() == 8 {
+            Some(u64::from_be_bytes(key.try_into().unwrap()))
+        } else {
+            None
         }
     }
 }
@@ -106,6 +165,55 @@ mod tests {
             );
         }
         assert_eq!(c.compare(b"", &0u64.to_be_bytes()), Ordering::Less);
+    }
+
+    /// Exhaustive-ish check of the prefix contract: strict prefix
+    /// inequality must imply the same strict compare verdict.
+    #[test]
+    fn prefix_order_preservation() {
+        let keys: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0],
+            vec![0, 0],
+            vec![0, 1],
+            vec![1],
+            vec![1, 0],
+            vec![1, 0, 0, 0, 0, 0, 0, 0],
+            vec![1, 0, 0, 0, 0, 0, 0, 0, 0],
+            vec![1, 0, 0, 0, 0, 0, 0, 0, 1],
+            vec![2],
+            b"abcdefg".to_vec(),
+            b"abcdefgh".to_vec(),
+            b"abcdefghi".to_vec(),
+            b"abcdefgi".to_vec(),
+            vec![255; 7],
+            vec![255; 8],
+            vec![255; 9],
+        ];
+        let c = Lexicographic;
+        for a in &keys {
+            for b in &keys {
+                let (pa, pb) = (c.prefix(a).unwrap(), c.prefix(b).unwrap());
+                if pa < pb {
+                    assert_eq!(c.compare(a, b), Ordering::Less, "{a:?} vs {b:?}");
+                } else if pa > pb {
+                    assert_eq!(c.compare(a, b), Ordering::Greater, "{a:?} vs {b:?}");
+                }
+            }
+        }
+        let c = U64BeComparator;
+        for a in &keys {
+            for b in &keys {
+                let (Some(pa), Some(pb)) = (c.prefix(a), c.prefix(b)) else {
+                    continue;
+                };
+                if pa < pb {
+                    assert_eq!(c.compare(a, b), Ordering::Less, "{a:?} vs {b:?}");
+                } else if pa > pb {
+                    assert_eq!(c.compare(a, b), Ordering::Greater, "{a:?} vs {b:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,15 @@ pub struct OakMapConfig {
     /// forever; [`ReclamationPolicy::ReclaimHeaders`] recycles them through
     /// generation-checked references (§3.3's epoch-based extension).
     pub reclamation: ReclamationPolicy,
+    /// Cache an order-preserving 64-bit key prefix on-heap in each entry
+    /// and compare prefixes before dereferencing off-heap key bytes
+    /// (search touches the pool only on prefix ties). Disabling stores a
+    /// `0` ("no information") prefix everywhere, making every comparison
+    /// a full off-heap compare — the pre-cache behaviour, kept for A/B
+    /// benchmarking. Comparators without an order-preserving prefix
+    /// ([`KeyComparator::prefix`](crate::KeyComparator::prefix) returning
+    /// `None`) get full compares regardless of this flag.
+    pub prefix_cache: bool,
 }
 
 impl Default for OakMapConfig {
@@ -41,6 +50,7 @@ impl Default for OakMapConfig {
             pool: PoolConfig::default(),
             shared_arenas: None,
             reclamation: ReclamationPolicy::RetainHeaders,
+            prefix_cache: true,
         }
     }
 }
@@ -56,6 +66,7 @@ impl OakMapConfig {
             pool: PoolConfig::small(),
             shared_arenas: None,
             reclamation: ReclamationPolicy::RetainHeaders,
+            prefix_cache: true,
         }
     }
 
@@ -81,6 +92,12 @@ impl OakMapConfig {
     /// Sets the pool configuration.
     pub fn pool(mut self, pool: PoolConfig) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Enables or disables the on-heap key-prefix cache.
+    pub fn prefix_cache(mut self, on: bool) -> Self {
+        self.prefix_cache = on;
         self
     }
 }

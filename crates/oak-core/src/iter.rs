@@ -33,7 +33,14 @@ pub(crate) struct AscendCursor<'a, C: KeyComparator> {
     entry: u32,
     lo: Option<Box<[u8]>>,
     hi: Option<Box<[u8]>>,
+    /// Cached order-preserving prefix of `hi` (0 = no information), so the
+    /// per-entry bound check compares on-heap prefixes first and touches
+    /// off-heap key bytes only on prefix ties.
+    hi_prefix: u64,
     last_key: Option<SliceRef>,
+    /// Cached prefix of `last_key` (0 = no information), for the dedup
+    /// check after hops and re-entries.
+    last_prefix: u64,
     /// Epoch pin held for the cursor's whole lifetime: every chunk the
     /// walk enters was observed unreplaced under this pin, so its key
     /// slices (including `last_key`) cannot be quarantine-freed while the
@@ -60,7 +67,9 @@ impl<'a, C: KeyComparator> AscendCursor<'a, C> {
             entry,
             lo: lo.map(|l| l.into()),
             hi: hi.map(|h| h.into()),
+            hi_prefix: hi.map_or(0, |h| map.key_prefix(h)),
             last_key: None,
+            last_prefix: 0,
             pin,
         }
     }
@@ -135,16 +144,28 @@ impl<'a, C: KeyComparator> AscendCursor<'a, C> {
             }
             let idx = self.entry;
             self.entry = chunk.entry_next(idx);
-            let kb = chunk.key_bytes(self.map.pool(), idx);
+            // Bound and dedup checks go through the entries' cached
+            // prefixes; off-heap key bytes are dereferenced only on ties.
             if let Some(h) = &self.hi {
-                if self.map.cmp.compare(kb, h) != std::cmp::Ordering::Less {
+                let ord =
+                    chunk.compare_entry_key(self.map.pool(), &self.map.cmp, idx, h, self.hi_prefix);
+                if ord != std::cmp::Ordering::Less {
                     self.chunk = None;
                     return None;
                 }
             }
             if let Some(lk) = self.last_key {
-                let lb = unsafe { self.map.pool().slice(lk) };
-                if self.map.cmp.compare(kb, lb) != std::cmp::Ordering::Greater {
+                let ep = chunk.entry_prefix(idx);
+                let ord = if ep != 0 && self.last_prefix != 0 && ep != self.last_prefix {
+                    ep.cmp(&self.last_prefix)
+                } else {
+                    // SAFETY: key buffers are immutable; `lk` is pinned.
+                    let lb = unsafe { self.map.pool().slice(lk) };
+                    self.map
+                        .cmp
+                        .compare(chunk.key_bytes(self.map.pool(), idx), lb)
+                };
+                if ord != std::cmp::Ordering::Greater {
                     continue; // already covered before a hop / re-entry
                 }
             }
@@ -155,6 +176,7 @@ impl<'a, C: KeyComparator> AscendCursor<'a, C> {
                 continue;
             }
             self.last_key = Some(chunk.key_ref(idx));
+            self.last_prefix = chunk.entry_prefix(idx);
             return Some((chunk.key_ref(idx), h));
         }
     }
@@ -219,6 +241,8 @@ pub struct DescendIter<'a, C: KeyComparator> {
     from: Option<Box<[u8]>>,
     /// Inclusive lower bound of the scan.
     lo: Option<Box<[u8]>>,
+    /// Cached order-preserving prefix of `lo` (0 = no information).
+    lo_prefix: u64,
     /// Last key yielded: the strict re-entry bound after a concurrent
     /// rebalance replaces the chunk under the scan.
     last_yielded: Option<SliceRef>,
@@ -239,6 +263,7 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
             next_prefix: -2,
             from: from.map(|f| f.into()),
             lo: lo.map(|l| l.into()),
+            lo_prefix: lo.map_or(0, |l| map.key_prefix(l)),
             last_yielded: None,
             pending: None,
             done: false,
@@ -275,10 +300,14 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
         let pool = self.map.pool();
         let cmp = &self.map.cmp;
         self.stack.clear();
+        // Bound prefix, computed once per chunk entry: probes and the
+        // in-bound walk compare cached prefixes first, dereferencing
+        // off-heap key bytes only on ties.
+        let bp = bound.map_or(0, |b| self.map.key_prefix(b));
 
-        let in_bound = |kb: &[u8]| match bound {
+        let in_bound = |idx: u32| match bound {
             None => true,
-            Some(b) => match cmp.compare(kb, b) {
+            Some(b) => match chunk.compare_entry_key(pool, cmp, idx, b, bp) {
                 std::cmp::Ordering::Less => true,
                 std::cmp::Ordering::Equal => inclusive,
                 std::cmp::Ordering::Greater => false,
@@ -296,8 +325,9 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
                 let (mut a, mut z) = (0i64, n);
                 while a < z {
                     let mid = (a + z) / 2;
-                    let mk = chunk.key_bytes(pool, mid as u32);
-                    if cmp.compare(mk, b) == std::cmp::Ordering::Greater {
+                    if chunk.compare_entry_key(pool, cmp, mid as u32, b, bp)
+                        == std::cmp::Ordering::Greater
+                    {
                         z = mid;
                     } else {
                         a = mid + 1;
@@ -328,8 +358,7 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
                 // all > bound here (start < 0), so stop.
                 break;
             }
-            let kb = chunk.key_bytes(pool, cur);
-            if !in_bound(kb) {
+            if !in_bound(cur) {
                 break;
             }
             self.stack.push(cur);
@@ -464,9 +493,10 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
                 continue;
             };
             let chunk = self.chunk.as_ref()?;
-            let kb = chunk.key_bytes(self.map.pool(), idx);
             if let Some(l) = &self.lo {
-                if self.map.cmp.compare(kb, l) == std::cmp::Ordering::Less {
+                let ord =
+                    chunk.compare_entry_key(self.map.pool(), &self.map.cmp, idx, l, self.lo_prefix);
+                if ord == std::cmp::Ordering::Less {
                     self.done = true; // descending: below lo means finished
                     return None;
                 }

@@ -290,6 +290,20 @@ impl<C: KeyComparator> OakMap<C> {
         }
     }
 
+    /// The order-preserving 64-bit prefix stored alongside `key`'s entry
+    /// and compared before touching off-heap key bytes. `0` means "no
+    /// information" — returned when the comparator opts out or the
+    /// prefix cache is disabled — and always forces a full compare, so a
+    /// disabled cache degrades to exactly the unaccelerated search.
+    #[inline]
+    pub(crate) fn key_prefix(&self, key: &[u8]) -> u64 {
+        if self.config.prefix_cache {
+            self.cmp.prefix(key).unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
     /// The current first chunk, with replacement chains resolved.
     pub(crate) fn first_chunk(&self) -> Arc<Chunk> {
         self.index.first_resolved()

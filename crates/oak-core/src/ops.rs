@@ -168,7 +168,7 @@ impl<C: KeyComparator> OakMap<C> {
                             continue;
                         }
                     };
-                    let Some(new_ei) = c.allocate_entry(kref) else {
+                    let Some(new_ei) = c.allocate_entry(kref, self.key_prefix(key)) else {
                         // Chunk full: free the speculative key, rebalance,
                         // retry (Algorithm 2 line 31).
                         self.pool().free(kref);
@@ -293,6 +293,11 @@ impl<C: KeyComparator> OakMap<C> {
     /// the OOM path it serves.
     fn emergency_reclaim(&self) {
         self.pool().note_emergency_reclaim();
+        // First rung: slices parked in allocation magazines are free memory
+        // the free lists cannot see; hand them back before paying for a
+        // compaction pass (and before `recover_or_err` can ever conclude
+        // OutOfMemory with free bytes still parked thread-side).
+        self.pool().flush_magazines();
         self.reclaim.drain_now();
         let is_dead = |raw: u64| raw == 0 || self.store.is_deleted(SliceRef::from_raw(raw));
         let mut c = self.first_chunk();

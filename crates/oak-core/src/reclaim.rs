@@ -291,6 +291,7 @@ mod tests {
 
     fn pool() -> Arc<MemoryPool> {
         Arc::new(MemoryPool::new(PoolConfig {
+            magazines: false,
             arena_size: 64 * 1024,
             max_arenas: 1,
         }))

@@ -15,11 +15,13 @@ fn cramped() -> OakMap {
         rebalance_unsorted_ratio: 0.5,
         merge_ratio: 0.125,
         pool: PoolConfig {
+            magazines: false,
             arena_size: 64 << 10, // 64 KB
             max_arenas: 2,        // 128 KB total
         },
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,
+        prefix_cache: true,
     })
 }
 

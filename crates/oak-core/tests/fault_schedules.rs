@@ -41,6 +41,7 @@ fn cramped_config(reclaim: bool) -> OakMapConfig {
     OakMapConfig::small()
         .chunk_capacity(16)
         .pool(PoolConfig {
+            magazines: false,
             arena_size: 8 << 10,
             max_arenas: 8,
         })

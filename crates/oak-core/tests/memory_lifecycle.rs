@@ -25,6 +25,7 @@ fn soak_config() -> OakMapConfig {
     OakMapConfig::small()
         .chunk_capacity(64)
         .pool(PoolConfig {
+            magazines: false,
             arena_size: 32 << 10,
             max_arenas: 8,
         })
@@ -140,6 +141,32 @@ fn soak_at_95_percent_budget_leaks_nothing() {
 }
 
 #[test]
+fn soak_at_95_percent_budget_with_magazines_leaks_nothing() {
+    // Same ~95%-budget soak with the allocation magazines enabled: slices
+    // parked thread-side must stay visible to the auditor as *free* bytes
+    // (not leaks), and the emergency ladder's flush rung must return them
+    // before any put concludes OutOfMemory with free memory parked.
+    let map = Arc::new(OakMap::with_config(soak_config().pool(PoolConfig {
+        magazines: true,
+        arena_size: 32 << 10,
+        max_arenas: 8,
+    })));
+    let ooms = churn(&map);
+    eprintln!("magazine soak: {ooms} tolerated OOMs");
+    let stats = map.pool().stats();
+    assert!(
+        stats.magazine_hits > 0,
+        "magazines never engaged during the soak: {stats:?}"
+    );
+    remove_all(&map);
+    // Flush before the verdict so the "no live value payloads" class check
+    // sees the parked slices back on the free lists (the auditor counts
+    // them as free either way; this also exercises the flush path).
+    map.pool().flush_magazines();
+    assert_no_leaks(&map);
+}
+
+#[test]
 fn soak_with_injected_faults_leaks_nothing() {
     // Same soak with a fault schedule firing on roughly half the
     // failpoint sites: injected allocation and publish failures must not
@@ -168,11 +195,13 @@ fn emergency_reclamation_recovers_dead_key_space() {
         rebalance_unsorted_ratio: 0.5,
         merge_ratio: 0.0, // never merge: removes alone reclaim nothing
         pool: PoolConfig {
+            magazines: false,
             arena_size: 64 << 10,
             max_arenas: 2,
         },
         shared_arenas: None,
         reclamation: ReclamationPolicy::RetainHeaders,
+        prefix_cache: true,
     });
     let big_key = |i: u64| {
         let mut k = format!("{i:08}").into_bytes();
@@ -218,12 +247,54 @@ fn emergency_reclamation_recovers_dead_key_space() {
     assert_no_leaks(&map);
 }
 
+/// With magazines on, the emergency ladder gains a "flush all magazines"
+/// rung. Exhaustion must still terminate in a clean `OutOfMemory` (no
+/// retry livelock), and no put may fail while free bytes sit parked in a
+/// magazine — after removals free room via the magazines, fresh puts
+/// succeed.
+#[test]
+fn oom_ladder_terminates_with_magazines() {
+    let map = OakMap::with_config(OakMapConfig::small().chunk_capacity(32).pool(PoolConfig {
+        magazines: true,
+        arena_size: 64 << 10,
+        max_arenas: 2,
+    }));
+    let key = |i: u64| format!("key{i:06}").into_bytes();
+    let mut inserted = 0u64;
+    loop {
+        match map.put(&key(inserted), &[7u8; 256]) {
+            Ok(()) => inserted += 1,
+            Err(OakError::OutOfMemory) => break, // terminated, did not spin
+            Err(e) => panic!("{e}"),
+        }
+    }
+    assert!(inserted > 0);
+    let stats = map.pool().stats();
+    assert!(stats.emergency_reclaims > 0, "ladder never ran: {stats:?}");
+    assert!(
+        stats.magazine_flushes > 0,
+        "ladder skipped the magazine-flush rung: {stats:?}"
+    );
+    // Free half the keys: their slices land in magazines. The next put
+    // must find that memory (magazine pop or flush), not report OOM.
+    for i in (0..inserted).step_by(2) {
+        assert!(map.remove(&key(i)));
+    }
+    map.put(b"after-oom-mag", &[8u8; 256])
+        .expect("parked magazine memory must satisfy the retry");
+    map.validate();
+    remove_all(&map);
+    map.pool().flush_magazines();
+    assert_no_leaks(&map);
+}
+
 /// A put that hits `OutOfMemory` even after emergency reclamation must
 /// leave the map fully consistent: readable, scannable, and writable once
 /// room is made.
 #[test]
 fn out_of_memory_leaves_map_usable() {
     let map = OakMap::with_config(OakMapConfig::small().chunk_capacity(32).pool(PoolConfig {
+        magazines: false,
         arena_size: 64 << 10,
         max_arenas: 2,
     }));

@@ -52,11 +52,13 @@ fn tiny_config() -> OakMapConfig {
         rebalance_unsorted_ratio: 0.5,
         merge_ratio: 0.25,
         pool: PoolConfig {
+            magazines: false,
             arena_size: 1 << 20,
             max_arenas: 64,
         },
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,
+        prefix_cache: true,
     }
 }
 

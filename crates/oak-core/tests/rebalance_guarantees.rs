@@ -20,11 +20,13 @@ fn tiny() -> Arc<OakMap> {
         rebalance_unsorted_ratio: 0.25, // rebalance aggressively
         merge_ratio: 0.5,               // merge aggressively
         pool: PoolConfig {
+            magazines: false,
             arena_size: 1 << 20,
             max_arenas: 64,
         },
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,
+        prefix_cache: true,
     }))
 }
 

@@ -110,6 +110,7 @@ fn shards_draw_from_a_shared_reservoir() {
     let reservoir = Arc::new(ArenaPool::new(64 << 10, 16));
     let config = OakMapConfig::small()
         .pool(PoolConfig {
+            magazines: false,
             arena_size: 64 << 10,
             max_arenas: 16,
         })

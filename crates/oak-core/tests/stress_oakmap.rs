@@ -15,11 +15,13 @@ fn stress_map() -> Arc<OakMap> {
         rebalance_unsorted_ratio: 0.5,
         merge_ratio: 0.25,
         pool: PoolConfig {
+            magazines: false,
             arena_size: 4 << 20,
             max_arenas: 64,
         },
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,
+        prefix_cache: true,
     }))
 }
 

@@ -9,9 +9,21 @@ use std::collections::BTreeMap;
 use oak_kv::baselines::{LockedBTreeMap, OffHeapSkipListMap};
 use oak_kv::mempool::PoolConfig;
 use oak_kv::{
-    OakMap, OakMapConfig, OnHeapSkipListMap, OrderedKvMap, ShardSplitter, ShardedOakMap,
-    ZeroCopyRead,
+    KeyComparator, OakMap, OakMapConfig, OnHeapSkipListMap, OrderedKvMap, ShardSplitter,
+    ShardedOakMap, ZeroCopyRead,
 };
+
+/// Lexicographic order whose `prefix()` keeps the trait default (`None`),
+/// opting the map out of prefix acceleration: every comparison takes the
+/// full off-heap compare path, which must be observationally identical.
+#[derive(Debug, Clone, Copy, Default)]
+struct PrefixlessLex;
+
+impl KeyComparator for PrefixlessLex {
+    fn compare(&self, a: &[u8], b: &[u8]) -> std::cmp::Ordering {
+        a.cmp(b)
+    }
+}
 
 /// Deterministic xorshift64* so the script needs no external RNG.
 struct Rng(u64);
@@ -47,6 +59,13 @@ fn all_maps() -> Vec<(&'static str, Box<dyn ZeroCopyRead>)> {
         (
             "OakMap",
             Box::new(OakMap::with_config(OakMapConfig::small())) as Box<dyn ZeroCopyRead>,
+        ),
+        (
+            "OakMap-prefixless",
+            Box::new(OakMap::with_comparator(
+                OakMapConfig::small(),
+                PrefixlessLex,
+            )),
         ),
         (
             "ShardedOak-hash",

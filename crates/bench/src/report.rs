@@ -62,6 +62,15 @@ pub struct RobustnessStats {
     /// Allocations served from a thread-affine magazine without touching
     /// a free-list lock.
     pub magazine_hits: u64,
+    /// Budgeted operation retries taken under the retry/backoff policy.
+    pub op_retries: u64,
+    /// Operations that surfaced `DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Writes rejected early with `Overloaded` by the degraded-mode
+    /// controller.
+    pub write_sheds: u64,
+    /// Scans truncated with `Overloaded` by the degraded-mode controller.
+    pub scan_sheds: u64,
 }
 
 impl RobustnessStats {
@@ -77,6 +86,9 @@ impl RobustnessStats {
             || self.oom_failures != 0
             || self.emergency_reclaims != 0
             || self.fragmentation_pct != 0
+            || self.deadline_exceeded != 0
+            || self.write_sheds != 0
+            || self.scan_sheds != 0
     }
 }
 
@@ -93,6 +105,10 @@ impl From<oak_mempool::PoolStats> for RobustnessStats {
             offheap_key_derefs: s.offheap_key_derefs,
             freelist_lock_acquires: s.freelist_lock_acquires,
             magazine_hits: s.magazine_hits,
+            op_retries: s.op_retries,
+            deadline_exceeded: s.deadline_exceeded,
+            write_sheds: s.overload_sheds,
+            scan_sheds: s.scan_sheds,
         }
     }
 }
@@ -125,12 +141,12 @@ impl Summary {
         let mut out = String::from(
             "Scenario,Bench,Heap size,Direct Mem,#Threads,Shards,Final Size,Throughput,Note,\
              LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct,\
-             KeyDerefs,FreelistLocks,MagazineHits\n",
+             KeyDerefs,FreelistLocks,MagazineHits,OpRetries,Deadlines,WriteSheds,ScanSheds\n",
         );
         for r in &self.rows {
             let rb = match &r.robustness {
                 Some(rb) => format!(
-                    "{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     rb.lock_retries,
                     rb.contended_aborts,
                     rb.failed_allocs,
@@ -140,9 +156,13 @@ impl Summary {
                     rb.fragmentation_pct,
                     rb.offheap_key_derefs,
                     rb.freelist_lock_acquires,
-                    rb.magazine_hits
+                    rb.magazine_hits,
+                    rb.op_retries,
+                    rb.deadline_exceeded,
+                    rb.write_sheds,
+                    rb.scan_sheds
                 ),
-                None => ",,,,,,,,,".to_string(),
+                None => ",,,,,,,,,,,,,".to_string(),
             };
             let _ = writeln!(
                 out,
@@ -196,7 +216,8 @@ impl Summary {
                          \"failed_allocs\": {}, \"poisoned_values\": {}, \"oom_failures\": {}, \
                          \"emergency_reclaims\": {}, \"fragmentation_pct\": {}, \
                          \"offheap_key_derefs\": {}, \"freelist_lock_acquires\": {}, \
-                         \"magazine_hits\": {}}}",
+                         \"magazine_hits\": {}, \"op_retries\": {}, \"deadline_exceeded\": {}, \
+                         \"write_sheds\": {}, \"scan_sheds\": {}}}",
                         rb.lock_retries,
                         rb.contended_aborts,
                         rb.failed_allocs,
@@ -206,7 +227,11 @@ impl Summary {
                         rb.fragmentation_pct,
                         rb.offheap_key_derefs,
                         rb.freelist_lock_acquires,
-                        rb.magazine_hits
+                        rb.magazine_hits,
+                        rb.op_retries,
+                        rb.deadline_exceeded,
+                        rb.write_sheds,
+                        rb.scan_sheds
                     );
                 }
                 None => out.push_str(", \"robustness\": null"),
@@ -246,7 +271,7 @@ impl Summary {
                     }
                     let _ = write!(
                         note,
-                        "[retries={} aborts={} failed-allocs={} poisoned={} oom={} reclaims={} frag={}%]",
+                        "[retries={} aborts={} failed-allocs={} poisoned={} oom={} reclaims={} frag={}%",
                         rb.lock_retries,
                         rb.contended_aborts,
                         rb.failed_allocs,
@@ -255,6 +280,14 @@ impl Summary {
                         rb.emergency_reclaims,
                         rb.fragmentation_pct
                     );
+                    if rb.deadline_exceeded != 0 || rb.write_sheds != 0 || rb.scan_sheds != 0 {
+                        let _ = write!(
+                            note,
+                            " deadlines={} write-sheds={} scan-sheds={}",
+                            rb.deadline_exceeded, rb.write_sheds, rb.scan_sheds
+                        );
+                    }
+                    note.push(']');
                 }
             }
             let _ = writeln!(
@@ -358,14 +391,15 @@ mod tests {
                 offheap_key_derefs: 100,
                 freelist_lock_acquires: 200,
                 magazine_hits: 300,
+                ..RobustnessStats::default()
             }),
         });
         let csv = s.to_csv();
         assert!(csv.contains(
             "LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct,\
-             KeyDerefs,FreelistLocks,MagazineHits"
+             KeyDerefs,FreelistLocks,MagazineHits,OpRetries,Deadlines,WriteSheds,ScanSheds"
         ));
-        assert!(csv.contains(",7,1,2,3,4,5,6,100,200,300\n"));
+        assert!(csv.contains(",7,1,2,3,4,5,6,100,200,300,0,0,0,0\n"));
         let table = s.to_table();
         assert!(table
             .contains("[retries=7 aborts=1 failed-allocs=2 poisoned=3 oom=4 reclaims=5 frag=6%]"));
@@ -394,7 +428,7 @@ mod tests {
         // A healthy run (only traffic counters non-zero) prints no
         // incident bracket, but the counters are in the CSV.
         assert!(!s.to_table().contains("[retries="));
-        assert!(s.to_csv().contains(",12345,678,91011\n"));
+        assert!(s.to_csv().contains(",12345,678,91011,0,0,0,0\n"));
     }
 
     #[test]
@@ -446,6 +480,39 @@ mod tests {
             "unbalanced braces:\n{json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn budget_counters_flow_through_reports() {
+        let mut s = Summary::new();
+        s.push(Row {
+            scenario: "chaos".into(),
+            bench: "OakMap".into(),
+            heap_bytes: 0,
+            direct_bytes: 1 << 20,
+            threads: 4,
+            shards: 1,
+            final_size: 10,
+            mops: 0.1,
+            note: String::new(),
+            robustness: Some(RobustnessStats {
+                op_retries: 11,
+                deadline_exceeded: 12,
+                write_sheds: 13,
+                scan_sheds: 14,
+                ..RobustnessStats::default()
+            }),
+        });
+        let csv = s.to_csv();
+        assert!(csv.contains(",11,12,13,14\n"));
+        let json = s.to_json("chaos --seed 1");
+        assert!(json.contains("\"op_retries\": 11"));
+        assert!(json.contains("\"deadline_exceeded\": 12"));
+        assert!(json.contains("\"write_sheds\": 13"));
+        assert!(json.contains("\"scan_sheds\": 14"));
+        assert!(s
+            .to_table()
+            .contains("deadlines=12 write-sheds=13 scan-sheds=14]"));
     }
 
     #[test]

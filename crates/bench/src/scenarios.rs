@@ -357,6 +357,23 @@ pub fn run_memory_pressure(
         let stats = RobustnessStats::from(map.pool().stats());
         let total = ops.load(Ordering::Relaxed);
         let oom_seen = ooms.load(Ordering::Relaxed);
+        // Post-churn usability: a map that rode the exhaustion edge must
+        // still serve clean traffic. One OOM retry is allowed — the probe
+        // may land while the pool is legitimately full — but a second
+        // failure after draining the quarantine means reclamation broke.
+        let probe_key = b"mem-pressure-probe";
+        if let Err(first) = map.put(probe_key, b"alive") {
+            map.drain_quarantine();
+            map.put(probe_key, b"alive").unwrap_or_else(|second| {
+                panic!("map unusable after churn: {first}, then {second}")
+            });
+        }
+        assert_eq!(
+            map.get_copy(probe_key),
+            Some(b"alive".to_vec()),
+            "post-churn round-trip failed"
+        );
+        map.remove(probe_key);
         if verbose {
             eprintln!(
                 "{MEM_PRESSURE_LABEL} / OakMap / {t} threads: {total} ops, {oom_seen} OOM, \

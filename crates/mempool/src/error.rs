@@ -47,6 +47,50 @@ impl fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
+/// Which lock-acquisition site abandoned its wait (carried by
+/// [`ContendedInfo`] so `Contended` errors name where they arose instead of
+/// being opaque).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockSite {
+    /// A value-header *read* lock (`v.read` and the zero-copy read path).
+    ValueRead,
+    /// A value-header *write* lock (`v.put`, `v.compute`, `v.remove`).
+    ValueWrite,
+}
+
+impl fmt::Display for LockSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockSite::ValueRead => write!(f, "value read lock"),
+            LockSite::ValueWrite => write!(f, "value write lock"),
+        }
+    }
+}
+
+/// Diagnostics attached to a [`AccessError::Contended`] abort: where the
+/// wait happened, how long the waiter actually slept, and how many backoff
+/// rounds it burned before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContendedInfo {
+    /// The lock-acquisition site that gave up.
+    pub site: LockSite,
+    /// Microseconds spent sleeping in the escalation phase before the
+    /// abort (spin/yield rounds are not timed; they are sub-millisecond).
+    pub waited_micros: u64,
+    /// Total backoff rounds (spins + yields + sleeps) consumed.
+    pub rounds: u32,
+}
+
+impl fmt::Display for ContendedInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lost after {} rounds (~{} µs slept)",
+            self.site, self.rounds, self.waited_micros
+        )
+    }
+}
+
 /// Errors returned when accessing a value through its header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessError {
@@ -54,21 +98,63 @@ pub enum AccessError {
     /// `ConcurrentModificationException` thrown by Java Oak's buffers.
     Deleted,
     /// The header lock could not be acquired within the bounded
-    /// spin/yield/sleep budget (several seconds of escalating backoff).
+    /// spin/yield/sleep budget (configurable via
+    /// [`LockLimit`](crate::LockLimit); ~2 s of escalating backoff by
+    /// default, clamped by the caller's deadline when one is active).
     /// Indicates a stuck or extremely slow lock holder; the value itself
     /// is untouched and the operation may be retried.
-    Contended,
+    Contended(ContendedInfo),
 }
 
 impl fmt::Display for AccessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AccessError::Deleted => write!(f, "value was concurrently deleted"),
-            AccessError::Contended => {
-                write!(f, "header lock acquisition budget exhausted")
+            AccessError::Contended(info) => {
+                write!(
+                    f,
+                    "{} acquisition budget exhausted after {} rounds (~{} µs slept)",
+                    info.site, info.rounds, info.waited_micros
+                )
             }
         }
     }
 }
 
 impl std::error::Error for AccessError {}
+
+/// Combined error for value operations that both take the header lock and
+/// allocate (deadline-aware `put`/`replace`): either the allocation failed
+/// or the lock wait was abandoned. The legacy (non-deadline) entry points
+/// fold `Access` losses into their boolean results for compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueOpError {
+    /// The payload (re)allocation failed.
+    Alloc(AllocError),
+    /// The header lock wait was abandoned (`Contended`) or the reference
+    /// was stale (`Deleted`).
+    Access(AccessError),
+}
+
+impl fmt::Display for ValueOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueOpError::Alloc(e) => write!(f, "{e}"),
+            ValueOpError::Access(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValueOpError {}
+
+impl From<AllocError> for ValueOpError {
+    fn from(e: AllocError) -> Self {
+        ValueOpError::Alloc(e)
+    }
+}
+
+impl From<AccessError> for ValueOpError {
+    fn from(e: AccessError) -> Self {
+        ValueOpError::Access(e)
+    }
+}

@@ -22,8 +22,9 @@
 //! §4.4 ABA-free.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
-use crate::error::AccessError;
+use crate::error::{AccessError, ContendedInfo, LockSite};
 use crate::pool::MemoryPool;
 use crate::refs::SliceRef;
 use crate::stats::Counters;
@@ -43,17 +44,57 @@ const SPIN_LIMIT: u32 = 64;
 /// Backoff rounds (including the spins) before escalating from
 /// `yield_now` to sleeping.
 const YIELD_LIMIT: u32 = SPIN_LIMIT + 256;
-/// Total backoff rounds before lock acquisition is abandoned with
-/// [`AccessError::Contended`]. The sleep phase escalates from
-/// [`SLEEP_BASE_MICROS`] up to [`SLEEP_CAP_MICROS`] per round, so the
-/// overall budget is on the order of a couple of seconds — far beyond any
-/// legitimate hold time (writers only copy/compute bounded payloads), yet
-/// bounded, so a stuck or killed lock holder cannot hang its peers forever.
-const BUDGET_ROUNDS: u32 = YIELD_LIMIT + 2_000;
 /// First sleep duration once yielding has not helped.
 const SLEEP_BASE_MICROS: u64 = 10;
 /// Per-round sleep cap during the escalation phase.
 const SLEEP_CAP_MICROS: u64 = 1_000;
+/// Default total sleep budget before lock acquisition is abandoned with
+/// [`AccessError::Contended`] — far beyond any legitimate hold time
+/// (writers only copy/compute bounded payloads), yet bounded, so a stuck
+/// or killed lock holder cannot hang its peers forever.
+pub const DEFAULT_LOCK_WAIT: Duration = Duration::from_secs(2);
+
+/// Bounds one header-lock acquisition: how long the waiter may sleep in
+/// total, clamped by the caller's operation deadline when one is active.
+///
+/// The spin and yield phases (a few hundred sub-microsecond rounds) are
+/// always run in full; only the sleep escalation consults the limit, so
+/// the uncontended and lightly contended fast paths never touch the clock.
+#[derive(Debug, Clone, Copy)]
+pub struct LockLimit {
+    /// Maximum cumulative sleep before abandoning with `Contended`.
+    pub max_wait: Duration,
+    /// Absolute deadline clamping the wait (an operation budget): the
+    /// waiter aborts as soon as it notices the deadline passed, even with
+    /// `max_wait` budget remaining.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for LockLimit {
+    fn default() -> Self {
+        LockLimit {
+            max_wait: DEFAULT_LOCK_WAIT,
+            deadline: None,
+        }
+    }
+}
+
+impl LockLimit {
+    /// A limit with an explicit sleep budget and no deadline.
+    pub fn with_max_wait(max_wait: Duration) -> Self {
+        LockLimit {
+            max_wait,
+            deadline: None,
+        }
+    }
+
+    /// The same sleep budget clamped by `deadline`.
+    #[must_use]
+    pub fn clamped_by(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
 
 /// Decoded view of a header lock word, mainly for diagnostics and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,12 +155,13 @@ impl<'a> Header<'a> {
     ///
     /// Readers spin briefly while a writer is active, then yield, then sleep
     /// with escalating backoff; writers hold the lock only for bounded
-    /// copy/compute work, so the wait budget is generous. If it is
-    /// nevertheless exhausted (a stuck writer), acquisition fails with
-    /// [`AccessError::Contended`] instead of hanging forever. The
-    /// uncontended fast path is a single load + CAS, unchanged.
-    pub(crate) fn read_lock(&self) -> Result<(), AccessError> {
+    /// copy/compute work, so the wait budget is generous. If `limit` is
+    /// nevertheless exhausted (a stuck writer) — or its deadline passes —
+    /// acquisition fails with [`AccessError::Contended`] instead of hanging
+    /// forever. The uncontended fast path is a single load + CAS, unchanged.
+    pub(crate) fn read_lock(&self, limit: &LockLimit) -> Result<(), AccessError> {
         let mut rounds = 0u32;
+        let mut slept = 0u64;
         loop {
             let cur = self.state.load(Ordering::Acquire);
             if cur & DELETED != 0 {
@@ -127,8 +169,8 @@ impl<'a> Header<'a> {
                 return Err(AccessError::Deleted);
             }
             if cur & WRITER != 0 {
-                if !backoff(&mut rounds) {
-                    return self.abort_contended(rounds);
+                if !backoff(&mut rounds, &mut slept, limit) {
+                    return self.abort_contended(LockSite::ValueRead, rounds, slept);
                 }
                 continue;
             }
@@ -153,8 +195,9 @@ impl<'a> Header<'a> {
 
     /// Acquires the write lock, failing if the value is deleted. Waits are
     /// bounded exactly as in [`read_lock`](Self::read_lock).
-    pub(crate) fn write_lock(&self) -> Result<(), AccessError> {
+    pub(crate) fn write_lock(&self, limit: &LockLimit) -> Result<(), AccessError> {
         let mut rounds = 0u32;
+        let mut slept = 0u64;
         loop {
             let cur = self.state.load(Ordering::Acquire);
             if cur & DELETED != 0 {
@@ -163,8 +206,8 @@ impl<'a> Header<'a> {
             }
             if cur != 0 {
                 // Readers or another writer active.
-                if !backoff(&mut rounds) {
-                    return self.abort_contended(rounds);
+                if !backoff(&mut rounds, &mut slept, limit) {
+                    return self.abort_contended(LockSite::ValueWrite, rounds, slept);
                 }
                 continue;
             }
@@ -256,30 +299,49 @@ impl<'a> Header<'a> {
     }
 
     #[cold]
-    fn abort_contended(&self, rounds: u32) -> Result<(), AccessError> {
+    fn abort_contended(
+        &self,
+        site: LockSite,
+        rounds: u32,
+        waited_micros: u64,
+    ) -> Result<(), AccessError> {
         self.note_retries(rounds);
         self.counters
             .contended_aborts
             .fetch_add(1, Ordering::Relaxed);
-        Err(AccessError::Contended)
+        Err(AccessError::Contended(ContendedInfo {
+            site,
+            waited_micros,
+            rounds,
+        }))
     }
 }
 
 /// One backoff round: spin, then yield, then escalating bounded sleeps.
-/// Returns `false` once the total budget is exhausted.
+/// `slept` accumulates sleep time; the round fails (returns `false`) once
+/// it reaches `limit.max_wait` or the clamping deadline has passed. The
+/// clock is consulted only in the sleep phase, keeping the spin/yield fast
+/// path free of timer syscalls.
 #[inline]
-fn backoff(rounds: &mut u32) -> bool {
+fn backoff(rounds: &mut u32, slept: &mut u64, limit: &LockLimit) -> bool {
     *rounds += 1;
     if *rounds <= SPIN_LIMIT {
         std::hint::spin_loop();
     } else if *rounds <= YIELD_LIMIT {
         std::thread::yield_now();
-    } else if *rounds <= BUDGET_ROUNDS {
+    } else {
+        if *slept >= limit.max_wait.as_micros() as u64 {
+            return false;
+        }
+        if let Some(d) = limit.deadline {
+            if Instant::now() >= d {
+                return false;
+            }
+        }
         let over = (*rounds - YIELD_LIMIT) as u64;
         let micros = (SLEEP_BASE_MICROS * over).min(SLEEP_CAP_MICROS);
-        std::thread::sleep(std::time::Duration::from_micros(micros));
-    } else {
-        return false;
+        std::thread::sleep(Duration::from_micros(micros));
+        *slept += micros;
     }
     true
 }
@@ -310,8 +372,9 @@ mod tests {
         let vs = store();
         let h = vs.allocate_value(b"abc").unwrap();
         let hd = unsafe { Header::at(vs.pool(), h) };
-        hd.read_lock().unwrap();
-        hd.read_lock().unwrap();
+        let limit = LockLimit::default();
+        hd.read_lock(&limit).unwrap();
+        hd.read_lock(&limit).unwrap();
         assert_eq!(hd.lock_state().readers, 2);
         hd.read_unlock();
         hd.read_unlock();
@@ -324,8 +387,9 @@ mod tests {
         let h = vs.allocate_value(b"abc").unwrap();
         assert!(vs.remove(h));
         let hd = unsafe { Header::at(vs.pool(), h) };
-        assert_eq!(hd.read_lock(), Err(AccessError::Deleted));
-        assert_eq!(hd.write_lock(), Err(AccessError::Deleted));
+        let limit = LockLimit::default();
+        assert_eq!(hd.read_lock(&limit), Err(AccessError::Deleted));
+        assert_eq!(hd.write_lock(&limit), Err(AccessError::Deleted));
         assert!(hd.is_deleted());
     }
 

@@ -43,9 +43,9 @@ pub use arena::{Arena, ARENA_ALIGN};
 pub use audit::AllocClass;
 #[cfg(feature = "audit")]
 pub use audit::{AuditReport, AuditViolation, LiveAlloc, ViolationKind};
-pub use error::{AccessError, AllocError};
+pub use error::{AccessError, AllocError, ContendedInfo, LockSite, ValueOpError};
 pub use freelist::FreeList;
-pub use header::{HeaderRef, LockState, HEADER_SIZE};
+pub use header::{HeaderRef, LockLimit, LockState, DEFAULT_LOCK_WAIT, HEADER_SIZE};
 pub use pool::{MemoryPool, PoolConfig};
 pub use refs::{SliceRef, MAX_ARENA_SIZE, MAX_BLOCKS, MAX_SLICE_LEN};
 pub use shared::{ArenaPool, ArenaPoolStats};

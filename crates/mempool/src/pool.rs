@@ -542,6 +542,31 @@ impl MemoryPool {
         self.counters.oom_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one budgeted retry (a backoff sleep followed by a fresh
+    /// attempt) taken by an owner of this pool under its retry policy.
+    #[inline]
+    pub fn note_op_retry(&self) {
+        self.counters.op_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that an operation surfaced `DeadlineExceeded` to its caller.
+    pub fn note_deadline_exceeded(&self) {
+        self.counters
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a write rejected early (`Overloaded`) by the degraded-mode
+    /// controller.
+    pub fn note_overload_shed(&self) {
+        self.counters.overload_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a scan shed (`Overloaded`) by the degraded-mode controller.
+    pub fn note_scan_shed(&self) {
+        self.counters.scan_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn counters(&self) -> &Counters {
         &self.counters
     }

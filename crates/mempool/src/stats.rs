@@ -29,6 +29,10 @@ pub(crate) struct Counters {
     pub(crate) magazine_hits: AtomicU64,
     pub(crate) magazine_refills: AtomicU64,
     pub(crate) magazine_flushes: AtomicU64,
+    pub(crate) op_retries: AtomicU64,
+    pub(crate) deadline_exceeded: AtomicU64,
+    pub(crate) overload_sheds: AtomicU64,
+    pub(crate) scan_sheds: AtomicU64,
 }
 
 /// Free-list aggregates gathered by walking the arenas.
@@ -74,6 +78,10 @@ impl Counters {
             magazine_refills: self.magazine_refills.load(Ordering::Relaxed),
             magazine_flushes: self.magazine_flushes.load(Ordering::Relaxed),
             magazine_bytes,
+            op_retries: self.op_retries.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            overload_sheds: self.overload_sheds.load(Ordering::Relaxed),
+            scan_sheds: self.scan_sheds.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,6 +152,18 @@ pub struct PoolStats {
     /// Bytes currently parked in magazines at snapshot time: free capacity
     /// that is not on any free list (counted as free, not leaked).
     pub magazine_bytes: u64,
+    /// Budgeted operation retries taken under the jittered-backoff policy
+    /// (each is one backoff sleep followed by a fresh attempt).
+    pub op_retries: u64,
+    /// Operations that surfaced `DeadlineExceeded`: their budget expired
+    /// before the retry discipline converged.
+    pub deadline_exceeded: u64,
+    /// Writes rejected early with `Overloaded` by the degraded-mode
+    /// controller (load shed before the OOM ladder could engage).
+    pub overload_sheds: u64,
+    /// Scans shed by the degraded-mode controller (`Overloaded` surfaced
+    /// to a budgeted scan).
+    pub scan_sheds: u64,
 }
 
 impl PoolStats {
@@ -179,6 +199,10 @@ impl PoolStats {
         self.magazine_refills += other.magazine_refills;
         self.magazine_flushes += other.magazine_flushes;
         self.magazine_bytes += other.magazine_bytes;
+        self.op_retries += other.op_retries;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.overload_sheds += other.overload_sheds;
+        self.scan_sheds += other.scan_sheds;
         self
     }
 

@@ -11,12 +11,13 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use crate::audit::AllocClass;
-use crate::error::{AccessError, AllocError};
-use crate::header::{Header, HeaderRef, LockState, HEADER_SIZE};
+use crate::error::{AccessError, AllocError, ContendedInfo, ValueOpError};
+use crate::header::{Header, HeaderRef, LockLimit, LockState, HEADER_SIZE};
 use crate::pool::MemoryPool;
 use crate::refs::SliceRef;
 
@@ -64,6 +65,9 @@ pub struct ValueStore {
     policy: ReclamationPolicy,
     /// Retired header slots awaiting reuse (reclaiming policy only).
     recycled: Arc<Mutex<Vec<SliceRef>>>,
+    /// Total sleep budget for one header-lock acquisition before it is
+    /// abandoned with [`AccessError::Contended`].
+    lock_wait: Duration,
 }
 
 impl ValueStore {
@@ -79,6 +83,29 @@ impl ValueStore {
             pool,
             policy,
             recycled: Arc::new(Mutex::new(Vec::new())),
+            lock_wait: crate::header::DEFAULT_LOCK_WAIT,
+        }
+    }
+
+    /// Sets the per-acquisition header-lock sleep budget (builder form).
+    /// The default is [`DEFAULT_LOCK_WAIT`](crate::DEFAULT_LOCK_WAIT).
+    #[must_use]
+    pub fn lock_wait(mut self, max_wait: Duration) -> Self {
+        self.lock_wait = max_wait;
+        self
+    }
+
+    /// The configured per-acquisition lock sleep budget.
+    pub fn lock_wait_budget(&self) -> Duration {
+        self.lock_wait
+    }
+
+    /// The lock limit for one acquisition, clamped by `deadline`.
+    #[inline]
+    fn limit(&self, deadline: Option<Instant>) -> LockLimit {
+        LockLimit {
+            max_wait: self.lock_wait,
+            deadline,
         }
     }
 
@@ -107,10 +134,10 @@ impl ValueStore {
     }
 
     /// Acquires the read lock and validates the reference generation.
-    fn read_locked(&self, h: HeaderRef) -> Result<Header<'_>, AccessError> {
+    fn read_locked(&self, h: HeaderRef, deadline: Option<Instant>) -> Result<Header<'_>, AccessError> {
         // SAFETY: h designates a header slot from allocate_value.
         let header = unsafe { Header::at(&self.pool, h) };
-        header.read_lock()?;
+        header.read_lock(&self.limit(deadline))?;
         if !self.gen_matches(&header, h) {
             header.read_unlock();
             return Err(AccessError::Deleted);
@@ -119,10 +146,10 @@ impl ValueStore {
     }
 
     /// Acquires the write lock and validates the reference generation.
-    fn write_locked(&self, h: HeaderRef) -> Result<Header<'_>, AccessError> {
+    fn write_locked(&self, h: HeaderRef, deadline: Option<Instant>) -> Result<Header<'_>, AccessError> {
         // SAFETY: h designates a header slot from allocate_value.
         let header = unsafe { Header::at(&self.pool, h) };
-        header.write_lock()?;
+        header.write_lock(&self.limit(deadline))?;
         if !self.gen_matches(&header, h) {
             header.write_unlock();
             return Err(AccessError::Deleted);
@@ -200,8 +227,19 @@ impl ValueStore {
     /// read lock is released even if `f` panics (readers don't mutate, so
     /// unlocking — not poisoning — is the correct unwind behaviour).
     pub fn read<R>(&self, h: HeaderRef, f: impl FnOnce(&[u8]) -> R) -> Result<R, AccessError> {
+        self.read_at(h, None, f)
+    }
+
+    /// [`read`](Self::read) with the lock wait clamped by `deadline`
+    /// (the budgeted-operation variant).
+    pub fn read_at<R>(
+        &self,
+        h: HeaderRef,
+        deadline: Option<Instant>,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, AccessError> {
         oak_failpoints::fail_point!("value/read");
-        let header = self.read_locked(h)?;
+        let header = self.read_locked(h, deadline)?;
         let unlock = ReadUnlockOnDrop { header: &header };
         let payload = header.payload();
         let result = if payload.is_null() {
@@ -216,12 +254,35 @@ impl ValueStore {
 
     /// Atomically replaces the value's contents with `data` (the paper's
     /// `v.put`). Returns `Ok(false)` if the value is deleted or the header
-    /// lock budget was exhausted (see [`AccessError::Contended`]).
+    /// lock budget was exhausted (see [`AccessError::Contended`]) — callers
+    /// needing to distinguish those use [`put_at`](Self::put_at).
     pub fn put(&self, h: HeaderRef, data: &[u8]) -> Result<bool, AllocError> {
+        match self.put_at(h, data, None) {
+            Ok(written) => Ok(written),
+            // Legacy conflation: a lost lock wait reads as "not written",
+            // exactly like a deletion (the caller re-walks and retries).
+            Err(ValueOpError::Access(_)) => Ok(false),
+            Err(ValueOpError::Alloc(e)) => Err(e),
+        }
+    }
+
+    /// [`put`](Self::put) with the lock wait clamped by `deadline`, and
+    /// with lock-wait abandonment surfaced as a typed error instead of
+    /// being folded into the boolean: `Ok(true)` wrote, `Ok(false)` found
+    /// the value deleted (retry the full operation),
+    /// `Err(Access(Contended))` lost the bounded lock wait.
+    pub fn put_at(
+        &self,
+        h: HeaderRef,
+        data: &[u8],
+        deadline: Option<Instant>,
+    ) -> Result<bool, ValueOpError> {
         oak_failpoints::sync_point!("value/put");
-        oak_failpoints::fail_point!("value/put", Err(AllocError::Injected));
-        let Ok(header) = self.write_locked(h) else {
-            return Ok(false);
+        oak_failpoints::fail_point!("value/put", Err(AllocError::Injected.into()));
+        let header = match self.write_locked(h, deadline) {
+            Ok(header) => header,
+            Err(AccessError::Deleted) => return Ok(false),
+            Err(e @ AccessError::Contended(_)) => return Err(e.into()),
         };
         let old = header.payload();
         let result = if old.len() as usize == data.len() {
@@ -234,7 +295,7 @@ impl ValueStore {
             // Resize: allocate-copy-swap-free, all under the write lock.
             match self.replace_payload(&header, old, data) {
                 Ok(()) => Ok(true),
-                Err(e) => Err(e),
+                Err(e) => Err(e.into()),
             }
         };
         header.write_unlock();
@@ -268,7 +329,7 @@ impl ValueStore {
     /// return the previous value). Returns `Ok(None)` if deleted.
     pub fn replace(&self, h: HeaderRef, data: &[u8]) -> Result<Option<Vec<u8>>, AllocError> {
         oak_failpoints::fail_point!("value/replace", Err(AllocError::Injected));
-        let Ok(header) = self.write_locked(h) else {
+        let Ok(header) = self.write_locked(h, None) else {
             return Ok(None);
         };
         let old = header.payload();
@@ -312,10 +373,25 @@ impl ValueStore {
         h: HeaderRef,
         f: impl FnOnce(&mut ValueBytesMut<'_>) -> R,
     ) -> Option<R> {
+        // Legacy conflation: a lost lock wait reads as "value gone".
+        self.compute_at(h, None, f).unwrap_or(None)
+    }
+
+    /// [`compute`](Self::compute) with the lock wait clamped by `deadline`
+    /// and lock-wait abandonment surfaced distinctly: `Ok(None)` means the
+    /// value is deleted, `Err` carries the contention diagnostics.
+    pub fn compute_at<R>(
+        &self,
+        h: HeaderRef,
+        deadline: Option<Instant>,
+        f: impl FnOnce(&mut ValueBytesMut<'_>) -> R,
+    ) -> Result<Option<R>, ContendedInfo> {
         oak_failpoints::sync_point!("value/compute");
         oak_failpoints::fail_point!("value/compute");
-        let Ok(header) = self.write_locked(h) else {
-            return None;
+        let header = match self.write_locked(h, deadline) {
+            Ok(header) => header,
+            Err(AccessError::Deleted) => return Ok(None),
+            Err(AccessError::Contended(info)) => return Err(info),
         };
         let payload = header.payload();
         let poison = PoisonOnPanic {
@@ -332,16 +408,29 @@ impl ValueStore {
         let result = f(&mut guard);
         poison.armed.set(false);
         header.write_unlock();
-        Some(result)
+        Ok(Some(result))
     }
 
     /// Like [`remove`](Self::remove), but atomically returns a copy of the
     /// removed contents (legacy `ConcurrentNavigableMap.remove` shape).
     pub fn remove_returning(&self, h: HeaderRef) -> Option<Vec<u8>> {
+        self.remove_returning_at(h, None).unwrap_or(None)
+    }
+
+    /// [`remove_returning`](Self::remove_returning) with the lock wait
+    /// clamped by `deadline`; `Ok(None)` means already deleted, `Err`
+    /// carries the contention diagnostics.
+    pub fn remove_returning_at(
+        &self,
+        h: HeaderRef,
+        deadline: Option<Instant>,
+    ) -> Result<Option<Vec<u8>>, ContendedInfo> {
         oak_failpoints::sync_point!("value/remove");
         oak_failpoints::fail_point!("value/remove");
-        let Ok(header) = self.write_locked(h) else {
-            return None;
+        let header = match self.write_locked(h, deadline) {
+            Ok(header) => header,
+            Err(AccessError::Deleted) => return Ok(None),
+            Err(AccessError::Contended(info)) => return Err(info),
         };
         let payload = header.payload();
         let copy = if payload.is_null() {
@@ -355,7 +444,7 @@ impl ValueStore {
         if !payload.is_null() {
             self.pool.free(payload);
         }
-        Some(copy)
+        Ok(Some(copy))
     }
 
     /// Marks the value deleted and, under the reclaiming policy, bumps the
@@ -379,10 +468,23 @@ impl ValueStore {
     /// paper's `v.remove`). Returns `false` if already deleted — exactly one
     /// caller succeeds.
     pub fn remove(&self, h: HeaderRef) -> bool {
+        self.remove_at(h, None).unwrap_or(false)
+    }
+
+    /// [`remove`](Self::remove) with the lock wait clamped by `deadline`;
+    /// `Ok(false)` means already deleted, `Err` carries the contention
+    /// diagnostics (the value is *not* removed in that case).
+    pub fn remove_at(
+        &self,
+        h: HeaderRef,
+        deadline: Option<Instant>,
+    ) -> Result<bool, ContendedInfo> {
         oak_failpoints::sync_point!("value/remove");
         oak_failpoints::fail_point!("value/remove");
-        let Ok(header) = self.write_locked(h) else {
-            return false;
+        let header = match self.write_locked(h, deadline) {
+            Ok(header) => header,
+            Err(AccessError::Deleted) => return Ok(false),
+            Err(AccessError::Contended(info)) => return Err(info),
         };
         let payload = header.payload();
         header.set_payload(SliceRef::NULL);
@@ -394,7 +496,7 @@ impl ValueStore {
             // before we acquired the write lock have already released it.
             self.pool.free(payload);
         }
-        true
+        Ok(true)
     }
 
     /// Whether the value's deleted bit is set.
@@ -862,7 +964,7 @@ mod reclaim_tests {
                     match store.read(h0, |b| u64::from_le_bytes(b.try_into().unwrap())) {
                         Ok(v) => assert_eq!(v, 0, "stale ref observed a newer value"),
                         Err(AccessError::Deleted) => {}
-                        Err(AccessError::Contended) => panic!("budget exhausted in test"),
+                        Err(AccessError::Contended(_)) => panic!("budget exhausted in test"),
                     }
                 }
             }));

@@ -1,0 +1,278 @@
+//! Operation budgets: deadlines and retry/backoff discipline.
+//!
+//! Every Oak operation runs under an [`OpBudget`]: an optional wall-clock
+//! deadline plus a [`RetryPolicy`] governing how internal retry loops behave
+//! when they hit transient failures (header-lock contention, injected
+//! faults). The default budget reproduces the map's historical semantics —
+//! no deadline, unlimited immediate retries on contention, injected faults
+//! surfaced to the caller — so existing callers observe no change.
+//!
+//! Budgets make cancellation *cooperative*: the deadline is consulted at the
+//! top of each retry loop and inside the header-lock sleep ladder (via
+//! [`LockLimit::clamped_by`](oak_mempool::LockLimit)), never mid-mutation.
+//! An operation that gives up therefore either never linearized (clean
+//! [`OakError::DeadlineExceeded`], nothing allocated or leaked) or had
+//! already linearized before the expiry check (success is reported). The
+//! chaos soak and the cancellation property tests hold the map to exactly
+//! that contract, auditor-verified.
+
+use std::time::{Duration, Instant};
+
+use oak_mempool::MemoryPool;
+
+use crate::error::OakError;
+
+/// How budgeted operations respond to transient failures.
+///
+/// The default is the map's legacy discipline: retry contention immediately
+/// and forever (the header-lock backoff ladder already paces the loop), and
+/// surface injected/transient allocation faults to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum budgeted retries per operation; `None` means unlimited.
+    pub max_retries: Option<u32>,
+    /// First backoff sleep in microseconds; `0` disables sleeping between
+    /// retries (immediate retry, legacy behavior).
+    pub base_micros: u64,
+    /// Ceiling for the exponential backoff sleep, in microseconds.
+    pub cap_micros: u64,
+    /// When true, transient injected faults
+    /// ([`AllocError::Injected`](oak_mempool::AllocError)) are retried under
+    /// this policy instead of being surfaced. Chaos testing runs with this
+    /// enabled so seeded fault schedules exercise the retry discipline.
+    pub retry_transient_faults: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: None,
+            base_micros: 0,
+            cap_micros: 0,
+            retry_transient_faults: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Bound the number of budgeted retries.
+    #[must_use]
+    pub fn bounded(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries: Some(max_retries),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sleep a jittered exponential backoff between retries, starting at
+    /// `base_micros` and capped at `cap_micros`.
+    #[must_use]
+    pub fn with_backoff(mut self, base_micros: u64, cap_micros: u64) -> Self {
+        self.base_micros = base_micros;
+        self.cap_micros = cap_micros.max(base_micros);
+        self
+    }
+
+    /// Retry transient injected faults instead of surfacing them.
+    #[must_use]
+    pub fn with_transient_fault_retry(mut self, yes: bool) -> Self {
+        self.retry_transient_faults = yes;
+        self
+    }
+}
+
+/// Per-operation budget: an optional deadline plus the retry policy.
+///
+/// Cheap to copy; construct one per call (or once and reuse — budgets with a
+/// deadline are anchored to an absolute [`Instant`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpBudget {
+    /// Absolute expiry; `None` means the operation may run forever.
+    pub deadline: Option<Instant>,
+    /// Retry discipline for transient failures within the deadline.
+    pub policy: RetryPolicy,
+}
+
+impl OpBudget {
+    /// No deadline, legacy retry policy — the behavior of the unbudgeted
+    /// public API.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        OpBudget::default()
+    }
+
+    /// Budget expiring `timeout` from now.
+    #[must_use]
+    pub fn with_deadline(timeout: Duration) -> Self {
+        OpBudget {
+            deadline: Some(Instant::now() + timeout),
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Budget expiring at an absolute instant.
+    #[must_use]
+    pub fn until(deadline: Instant) -> Self {
+        OpBudget {
+            deadline: Some(deadline),
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Replace the retry policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Time left before expiry (`None` = unbounded).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Cooperative cancellation point: called at the top of retry loops,
+    /// before any allocation or publication for the coming attempt, so
+    /// giving up here can never leak.
+    pub(crate) fn check(&self, pool: &MemoryPool) -> Result<(), OakError> {
+        if self.expired() {
+            pool.note_deadline_exceeded();
+            Err(OakError::DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mutable retry bookkeeping for one operation attempt loop.
+pub(crate) struct RetryState {
+    attempts: u32,
+    jitter: u64,
+}
+
+impl RetryState {
+    /// `seed` decorrelates the jitter streams of concurrent operations;
+    /// callers pass something thread-distinct (e.g. a stack address).
+    pub(crate) fn new(seed: u64) -> Self {
+        RetryState {
+            attempts: 0,
+            jitter: seed | 1,
+        }
+    }
+
+    /// Decide whether the operation may retry after the transient failure
+    /// `err`. On `Ok(())` the caller loops (a jittered, deadline-clamped
+    /// backoff sleep has already been taken); on `Err` the caller must
+    /// surface the returned error. Expiry always wins over the retry count
+    /// so an op never overruns its deadline by more than one backoff step.
+    pub(crate) fn backoff_or(
+        &mut self,
+        budget: &OpBudget,
+        pool: &MemoryPool,
+        err: OakError,
+    ) -> Result<(), OakError> {
+        if budget.expired() {
+            pool.note_deadline_exceeded();
+            return Err(OakError::DeadlineExceeded);
+        }
+        if let Some(max) = budget.policy.max_retries {
+            if self.attempts >= max {
+                return Err(err);
+            }
+        }
+        self.attempts += 1;
+        pool.note_op_retry();
+        let base = budget.policy.base_micros;
+        if base > 0 {
+            let exp = self.attempts.min(16) - 1;
+            let cap = budget.policy.cap_micros.max(base);
+            let raw = base.saturating_mul(1u64 << exp).min(cap);
+            // Decorrelated jitter in [raw/2, raw].
+            let half = raw / 2;
+            let jittered = half + splitmix64(&mut self.jitter) % (raw - half + 1);
+            let mut sleep = Duration::from_micros(jittered);
+            if let Some(d) = budget.deadline {
+                sleep = sleep.min(d.saturating_duration_since(Instant::now()));
+            }
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oak_mempool::PoolConfig;
+
+    fn pool() -> MemoryPool {
+        MemoryPool::new(PoolConfig::small())
+    }
+
+    #[test]
+    fn default_budget_never_expires() {
+        let b = OpBudget::unbounded();
+        assert!(!b.expired());
+        assert_eq!(b.remaining(), None);
+        assert!(b.check(&pool()).is_ok());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let b = OpBudget::with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.expired());
+        let p = pool();
+        assert_eq!(b.check(&p), Err(OakError::DeadlineExceeded));
+        assert_eq!(p.stats().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn retry_count_bounds() {
+        let p = pool();
+        let budget = OpBudget::unbounded().with_policy(RetryPolicy::bounded(2));
+        let mut rs = RetryState::new(7);
+        let err = OakError::Overloaded;
+        assert!(rs.backoff_or(&budget, &p, err).is_ok());
+        assert!(rs.backoff_or(&budget, &p, err).is_ok());
+        assert_eq!(rs.backoff_or(&budget, &p, err), Err(err));
+        assert_eq!(p.stats().op_retries, 2);
+    }
+
+    #[test]
+    fn expiry_beats_retry_budget() {
+        let p = pool();
+        let budget = OpBudget::with_deadline(Duration::from_millis(1))
+            .with_policy(RetryPolicy::bounded(1_000_000).with_backoff(100, 1_000));
+        let mut rs = RetryState::new(7);
+        let start = Instant::now();
+        let mut last = Ok(());
+        for _ in 0..1_000_000 {
+            last = rs.backoff_or(&budget, &p, OakError::Overloaded);
+            if last.is_err() {
+                break;
+            }
+        }
+        assert_eq!(last, Err(OakError::DeadlineExceeded));
+        // One bounded backoff step of slack at most (cap 1ms) plus scheduling.
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+}

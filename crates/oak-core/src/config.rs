@@ -1,8 +1,12 @@
 //! Map configuration.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use oak_mempool::{ArenaPool, PoolConfig, ReclamationPolicy};
+use oak_mempool::{ArenaPool, PoolConfig, ReclamationPolicy, DEFAULT_LOCK_WAIT};
+
+use crate::budget::RetryPolicy;
+use crate::overload::OverloadConfig;
 
 /// Configuration for an [`OakMap`](crate::OakMap).
 ///
@@ -39,6 +43,24 @@ pub struct OakMapConfig {
     /// ([`KeyComparator::prefix`](crate::KeyComparator::prefix) returning
     /// `None`) get full compares regardless of this flag.
     pub prefix_cache: bool,
+    /// Default deadline applied to every operation issued through the
+    /// unbudgeted public API (`put`, `get`, scans, …). `None` (the
+    /// default) preserves the historical contract: operations run to
+    /// completion however long that takes. The `*_budgeted` API variants
+    /// override this per call.
+    pub op_deadline: Option<Duration>,
+    /// Retry/backoff discipline for transient failures (header-lock
+    /// contention, injected faults) inside budgeted operations. The
+    /// default is the legacy discipline: unlimited immediate retries on
+    /// contention, injected faults surfaced.
+    pub retry: RetryPolicy,
+    /// Bounded wall-clock budget for a single value-header lock
+    /// acquisition before the map gives up with
+    /// [`OakError::Contended`](crate::OakError). Clamped further by the
+    /// active operation deadline.
+    pub lock_wait: Duration,
+    /// Degraded-mode controller thresholds; disabled by default.
+    pub overload: OverloadConfig,
 }
 
 impl Default for OakMapConfig {
@@ -51,6 +73,10 @@ impl Default for OakMapConfig {
             shared_arenas: None,
             reclamation: ReclamationPolicy::RetainHeaders,
             prefix_cache: true,
+            op_deadline: None,
+            retry: RetryPolicy::default(),
+            lock_wait: DEFAULT_LOCK_WAIT,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -61,12 +87,8 @@ impl OakMapConfig {
     pub fn small() -> Self {
         OakMapConfig {
             chunk_capacity: 64,
-            rebalance_unsorted_ratio: 0.5,
-            merge_ratio: 0.125,
             pool: PoolConfig::small(),
-            shared_arenas: None,
-            reclamation: ReclamationPolicy::RetainHeaders,
-            prefix_cache: true,
+            ..OakMapConfig::default()
         }
     }
 
@@ -98,6 +120,30 @@ impl OakMapConfig {
     /// Enables or disables the on-heap key-prefix cache.
     pub fn prefix_cache(mut self, on: bool) -> Self {
         self.prefix_cache = on;
+        self
+    }
+
+    /// Default per-operation deadline for the unbudgeted public API.
+    pub fn op_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.op_deadline = deadline;
+        self
+    }
+
+    /// Retry/backoff policy for transient failures inside operations.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Bounded wall-clock budget for one value-header lock acquisition.
+    pub fn lock_wait(mut self, max_wait: Duration) -> Self {
+        self.lock_wait = max_wait;
+        self
+    }
+
+    /// Degraded-mode controller configuration.
+    pub fn overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
         self
     }
 }

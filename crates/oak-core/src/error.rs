@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use oak_mempool::AllocError;
+use oak_mempool::{AllocError, ContendedInfo, ValueOpError};
 
 /// Errors surfaced by Oak operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,13 +14,37 @@ pub enum OakError {
     ConcurrentModification,
     /// A value-header lock could not be acquired within its bounded
     /// spin/yield/sleep budget — evidence of a stuck or pathologically slow
-    /// lock holder. The operation had no effect and may be retried.
-    Contended,
+    /// lock holder. The payload records which lock-site lost and how long it
+    /// waited. The operation had no effect and may be retried.
+    Contended(ContendedInfo),
+    /// The operation's deadline (see `OpBudget`) expired before its retry
+    /// discipline converged. The operation had no effect beyond already
+    /// linearized sub-steps — cancellation is leak-free and the map stays
+    /// fully usable.
+    DeadlineExceeded,
+    /// The degraded-mode controller rejected the operation up front because
+    /// the map is critically overloaded (memory headroom exhausted, reclaim
+    /// backlogged). Distinct from [`OakError::OutOfMemory`]: the rejection
+    /// happens *before* the allocation ladder engages, shedding load while
+    /// reclamation catches up.
+    Overloaded,
     /// The off-heap pool was exhausted and stayed exhausted after emergency
     /// reclamation (quarantine drain + compacting rebalance of chunks with
     /// dead entries). The operation had no effect: the map remains fully
     /// consistent and readable/scannable/writable within remaining memory.
     OutOfMemory,
+}
+
+impl OakError {
+    /// True for errors that a caller may meaningfully retry after backing
+    /// off: contention and overload are transient by construction; deadline
+    /// expiry is retryable with a fresh budget.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            OakError::Contended(_) | OakError::Overloaded | OakError::DeadlineExceeded
+        )
+    }
 }
 
 impl fmt::Display for OakError {
@@ -30,8 +54,14 @@ impl fmt::Display for OakError {
             OakError::ConcurrentModification => {
                 write!(f, "buffer access raced with concurrent deletion")
             }
-            OakError::Contended => {
-                write!(f, "value lock acquisition budget exhausted")
+            OakError::Contended(info) => {
+                write!(f, "value lock acquisition budget exhausted: {info}")
+            }
+            OakError::DeadlineExceeded => {
+                write!(f, "operation deadline expired before completion")
+            }
+            OakError::Overloaded => {
+                write!(f, "operation shed by the overload controller")
             }
             OakError::OutOfMemory => {
                 write!(f, "off-heap pool exhausted after emergency reclamation")
@@ -52,7 +82,22 @@ impl From<oak_mempool::AccessError> for OakError {
     fn from(e: oak_mempool::AccessError) -> Self {
         match e {
             oak_mempool::AccessError::Deleted => OakError::ConcurrentModification,
-            oak_mempool::AccessError::Contended => OakError::Contended,
+            oak_mempool::AccessError::Contended(info) => OakError::Contended(info),
+        }
+    }
+}
+
+impl From<ContendedInfo> for OakError {
+    fn from(info: ContendedInfo) -> Self {
+        OakError::Contended(info)
+    }
+}
+
+impl From<ValueOpError> for OakError {
+    fn from(e: ValueOpError) -> Self {
+        match e {
+            ValueOpError::Alloc(a) => OakError::Alloc(a),
+            ValueOpError::Access(a) => a.into(),
         }
     }
 }

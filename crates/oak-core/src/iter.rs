@@ -552,6 +552,76 @@ impl<C: KeyComparator> OakMap<C> {
         count
     }
 
+    /// Budgeted ascending stream scan: like
+    /// [`for_each_in`](OakMap::for_each_in) but cooperative — the deadline
+    /// is checked periodically, header-lock waits are clamped by it, and
+    /// the degraded-mode controller may shed the scan once it has visited
+    /// [`OverloadConfig::degraded_scan_limit`](crate::OverloadConfig)
+    /// entries. Returns the entries visited, or the typed budget error
+    /// ([`OakError::DeadlineExceeded`](crate::OakError), `Overloaded`, or
+    /// `Contended`). Entries already handed to `f` stay handed — shedding
+    /// is a truncation, never a rollback.
+    pub fn for_each_in_budgeted(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        budget: &crate::OpBudget,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<u64, crate::OakError> {
+        use crate::overload::OverloadState;
+        /// Entries between deadline checks: cheap enough to keep overrun
+        /// small, coarse enough to keep `Instant::now` off the per-entry
+        /// path.
+        const SCAN_CHECK_INTERVAL: u64 = 64;
+        budget.check(self.pool())?;
+        let shed_after = match self.overload.state() {
+            OverloadState::Healthy => u64::MAX,
+            OverloadState::Degraded | OverloadState::Critical => {
+                let limit = self.overload.config().degraded_scan_limit;
+                if limit == 0 {
+                    u64::MAX
+                } else {
+                    limit
+                }
+            }
+        };
+        let mut count: u64 = 0;
+        let mut failure: Option<crate::OakError> = None;
+        self.stream_ascend(lo, hi, |kref, h| {
+            if count >= shed_after {
+                self.pool().note_scan_shed();
+                failure = Some(crate::OakError::Overloaded);
+                return false;
+            }
+            if count > 0 && count % SCAN_CHECK_INTERVAL == 0 && budget.expired() {
+                self.pool().note_deadline_exceeded();
+                failure = Some(crate::OakError::DeadlineExceeded);
+                return false;
+            }
+            let kb = unsafe { self.pool().slice(kref) };
+            match self.value_store().read_at(h, budget.deadline, |v| f(kb, v)) {
+                Ok(keep) => {
+                    count += 1;
+                    keep
+                }
+                Err(oak_mempool::AccessError::Deleted) => true, // skip
+                Err(oak_mempool::AccessError::Contended(info)) => {
+                    if budget.expired() {
+                        self.pool().note_deadline_exceeded();
+                        failure = Some(crate::OakError::DeadlineExceeded);
+                    } else {
+                        failure = Some(crate::OakError::Contended(info));
+                    }
+                    false
+                }
+            }
+        });
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(count),
+        }
+    }
+
     /// Descending stream scan (no per-entry objects). Returns entries
     /// visited; stops early when `f` returns `false`.
     pub fn for_each_descending(

@@ -45,6 +45,7 @@
 pub mod legacy;
 pub mod serde_api;
 
+mod budget;
 mod buffer;
 mod chunk;
 mod cmp;
@@ -54,16 +55,19 @@ mod index;
 mod iter;
 mod map;
 mod ops;
+mod overload;
 mod rebalance;
 mod reclaim;
 mod sharded;
 mod traits;
 mod zc;
 
+pub use budget::{OpBudget, RetryPolicy};
 pub use buffer::{OakRBuffer, OakWBuffer};
 pub use cmp::{KeyComparator, Lexicographic, U64BeComparator};
 pub use config::OakMapConfig;
 pub use error::OakError;
+pub use overload::{OverloadConfig, OverloadState};
 pub use iter::{DescendIter, EntryIter};
 #[cfg(feature = "audit")]
 pub use map::MapAuditReport;

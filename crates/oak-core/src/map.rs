@@ -9,14 +9,17 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use oak_mempool::{MemoryPool, PoolStats, SliceRef, ValueStore};
 
+use crate::budget::OpBudget;
 use crate::chunk::Chunk;
 use crate::cmp::{KeyComparator, Lexicographic};
 use crate::config::OakMapConfig;
 use crate::index::ChunkIndex;
 use crate::iter::{DescendIter, EntryIter};
+use crate::overload::{OverloadController, OverloadState};
 use crate::reclaim::Quarantine;
 use crate::zc::ZeroCopyView;
 
@@ -34,6 +37,9 @@ pub struct OakMap<C: KeyComparator = Lexicographic> {
     /// Epoch-based quarantine for dead key slices of replaced chunks (see
     /// [`crate::reclaim`]): rebalance retires into it, readers pin it.
     pub(crate) reclaim: Arc<Quarantine>,
+    /// Degraded-mode controller (see [`crate::overload`]): samples pool
+    /// health on the write path and sheds load before the OOM ladder.
+    pub(crate) overload: OverloadController,
 }
 
 /// Point-in-time statistics about an [`OakMap`].
@@ -112,15 +118,41 @@ impl<C: KeyComparator> OakMap<C> {
         });
         let first = Arc::new(Chunk::new_empty(config.chunk_capacity, Box::new([])));
         let reclaim = Arc::new(Quarantine::new(pool.clone()));
+        // Hard byte ceiling this map's pool can ever reach — the overload
+        // controller's headroom denominator.
+        let capacity = match &config.shared_arenas {
+            Some(shared) => config.pool.max_arenas as u64 * shared.arena_size() as u64,
+            None => config.pool.max_arenas as u64 * config.pool.arena_size as u64,
+        };
+        let overload = OverloadController::new(config.overload, capacity);
         OakMap {
-            store: ValueStore::with_policy(pool, config.reclamation),
+            store: ValueStore::with_policy(pool, config.reclamation).lock_wait(config.lock_wait),
             cmp: cmp.clone(),
             config,
             index: ChunkIndex::new(cmp, first),
             len: AtomicUsize::new(0),
             rebalances: AtomicU64::new(0),
             reclaim,
+            overload,
         }
+    }
+
+    /// The budget the unbudgeted public API runs under, derived from
+    /// [`OakMapConfig::op_deadline`] and [`OakMapConfig::retry`]. With the
+    /// default configuration this is [`OpBudget::unbounded`] and consults
+    /// no clock.
+    pub(crate) fn default_budget(&self) -> OpBudget {
+        OpBudget {
+            deadline: self.config.op_deadline.map(|d| Instant::now() + d),
+            policy: self.config.retry,
+        }
+    }
+
+    /// The overload controller's current verdict. Always
+    /// [`OverloadState::Healthy`] when the controller is disabled (the
+    /// default).
+    pub fn overload_state(&self) -> OverloadState {
+        self.overload.state()
     }
 
     /// The zero-copy API view (the paper's `map.zc()`, §2.2).

@@ -4,16 +4,27 @@
 //! [`map`](crate::map) holds the public shell and construction;
 //! [`index`](crate::index) resolves keys to chunks; this module owns the
 //! per-operation logic moved verbatim from the original monolithic map.
+//!
+//! Every retry loop here is *budgeted*: operations run under an
+//! [`OpBudget`] whose deadline is consulted at the top of each attempt —
+//! before the attempt allocates or publishes anything — and whose
+//! [`RetryPolicy`](crate::RetryPolicy) paces retries of transient failures
+//! (header-lock contention, injected faults). The unbudgeted public API
+//! derives its budget from [`OakMapConfig`](crate::OakMapConfig), which
+//! defaults to the historical "run forever, retry immediately" discipline.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
-use oak_mempool::{AllocError, SliceRef};
+use oak_mempool::{AllocError, ContendedInfo, SliceRef};
 
+use crate::budget::{OpBudget, RetryState};
 use crate::buffer::{OakRBuffer, OakWBuffer};
 use crate::chunk::LinkOutcome;
 use crate::cmp::KeyComparator;
 use crate::error::OakError;
 use crate::map::OakMap;
+use crate::overload::OverloadState;
 use crate::reclaim::EpochPin;
 
 /// Emergency-reclamation retries per operation: one allocation failure may
@@ -47,6 +58,40 @@ impl<C: KeyComparator> OakMap<C> {
         self.store.read(h, f).ok()
     }
 
+    /// Budgeted zero-copy get: like [`get_with`](OakMap::get_with) but the
+    /// header-lock wait is clamped by the budget's deadline and a losing
+    /// acquisition surfaces as a typed error instead of `None` —
+    /// [`OakError::Contended`] while the budget has time left,
+    /// [`OakError::DeadlineExceeded`] once it expires.
+    pub fn get_with_budgeted<R>(
+        &self,
+        key: &[u8],
+        budget: &OpBudget,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<Option<R>, OakError> {
+        budget.check(self.pool())?;
+        let _pin = self.reclaim.pin();
+        let c = self.index.locate(key);
+        let Some(ei) = c.lookup(self.pool(), &self.cmp, key) else {
+            return Ok(None);
+        };
+        let Some(h) = c.value_ref(ei) else {
+            return Ok(None);
+        };
+        match self.store.read_at(h, budget.deadline, f) {
+            Ok(r) => Ok(Some(r)),
+            Err(oak_mempool::AccessError::Deleted) => Ok(None),
+            Err(oak_mempool::AccessError::Contended(info)) => {
+                if budget.expired() {
+                    self.pool().note_deadline_exceeded();
+                    Err(OakError::DeadlineExceeded)
+                } else {
+                    Err(OakError::Contended(info))
+                }
+            }
+        }
+    }
+
     /// Zero-copy get returning an [`OakRBuffer`] view (the ZC API's
     /// `get`). The buffer stays valid indefinitely; reads fail with
     /// [`OakError::ConcurrentModification`] after a concurrent remove.
@@ -76,13 +121,34 @@ impl<C: KeyComparator> OakMap<C> {
     /// Unconditionally associates `key` with `value` (ZC `put`: does not
     /// return the old value, §2.2).
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), OakError> {
-        self.do_put(key, value, PutOp::Put).map(|_| ())
+        self.do_put(key, value, PutOp::Put, &self.default_budget())
+            .map(|_| ())
+    }
+
+    /// [`put`](OakMap::put) under an explicit per-call budget.
+    pub fn put_budgeted(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        budget: &OpBudget,
+    ) -> Result<(), OakError> {
+        self.do_put(key, value, PutOp::Put, budget).map(|_| ())
     }
 
     /// Associates `key` with `value` if absent; returns whether this call
     /// inserted.
     pub fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool, OakError> {
-        self.do_put(key, value, PutOp::PutIfAbsent)
+        self.do_put(key, value, PutOp::PutIfAbsent, &self.default_budget())
+    }
+
+    /// [`put_if_absent`](OakMap::put_if_absent) under an explicit budget.
+    pub fn put_if_absent_budgeted(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        budget: &OpBudget,
+    ) -> Result<bool, OakError> {
+        self.do_put(key, value, PutOp::PutIfAbsent, budget)
     }
 
     /// If `key` is absent, inserts `value`; otherwise atomically applies
@@ -94,17 +160,48 @@ impl<C: KeyComparator> OakMap<C> {
         value: &[u8],
         f: impl Fn(&mut OakWBuffer<'_>),
     ) -> Result<bool, OakError> {
-        self.do_put(key, value, PutOp::Compute(&f))
+        self.do_put(key, value, PutOp::Compute(&f), &self.default_budget())
     }
 
     /// Algorithm 2's `doPut`, with its `case 1` / `case 2` structure and
     /// retry discipline. Returns whether a *new* mapping was inserted.
-    fn do_put(&self, key: &[u8], value: &[u8], op: PutOp<'_>) -> Result<bool, OakError> {
+    ///
+    /// Budget discipline: the deadline is checked at the top of every
+    /// attempt — before the attempt pins, allocates, or publishes — so
+    /// abandoning here is leak-free: either nothing happened yet, or a
+    /// prior sub-step (a linked ⊥ entry, a quarantined key) is owned by
+    /// the chunk and reclaimed by rebalance exactly as in the OOM path.
+    fn do_put(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        op: PutOp<'_>,
+        budget: &OpBudget,
+    ) -> Result<bool, OakError> {
         if key.is_empty() {
             return Err(OakError::Alloc(AllocError::ZeroSized));
         }
+        // Overload gate: reject the write up front when the controller says
+        // the map is critically short on memory — cheaper for everyone than
+        // letting the write fail through the emergency-reclamation ladder.
+        match self
+            .overload
+            .tick(|| (self.pool().stats(), self.reclaim.pending_bytes()))
+        {
+            OverloadState::Critical => {
+                self.pool().note_overload_shed();
+                return Err(OakError::Overloaded);
+            }
+            OverloadState::Degraded => {
+                // Prioritize draining reclamation backlog on the write path.
+                self.reclaim.try_drain();
+            }
+            OverloadState::Healthy => {}
+        }
         let mut oom_budget = OOM_RECOVER_BUDGET;
+        let mut retry = RetryState::new(key.as_ptr() as u64);
         loop {
+            budget.check(self.pool())?;
             // Per-iteration epoch pin: quarantined keys of chunks this
             // iteration may walk stay mapped and stable until it ends.
             let pin = self.reclaim.pin();
@@ -118,24 +215,42 @@ impl<C: KeyComparator> OakMap<C> {
                         match &op {
                             PutOp::PutIfAbsent => return Ok(false),
                             PutOp::Put => {
-                                match self.store.put(h, value) {
+                                match self.store.put_at(h, value, budget.deadline) {
                                     Ok(true) => {
                                         // l.p.: the nested v.put (§4.5).
                                         return Ok(false);
                                     }
                                     Ok(false) => continue, // deleted under us
                                     Err(e) => {
-                                        self.recover_or_err(e.into(), &mut oom_budget, pin)?;
+                                        self.recover_or_err(
+                                            e.into(),
+                                            &mut oom_budget,
+                                            &mut retry,
+                                            budget,
+                                            pin,
+                                        )?;
                                         continue;
                                     }
                                 }
                             }
                             PutOp::Compute(f) => {
-                                if self.compute_guarded(h, *f) {
-                                    // l.p.: the nested v.compute (§4.5).
-                                    return Ok(false);
+                                match self.compute_guarded(h, *f, budget.deadline) {
+                                    Ok(true) => {
+                                        // l.p.: the nested v.compute (§4.5).
+                                        return Ok(false);
+                                    }
+                                    Ok(false) => continue, // deleted under us
+                                    Err(info) => {
+                                        self.recover_or_err(
+                                            info.into(),
+                                            &mut oom_budget,
+                                            &mut retry,
+                                            budget,
+                                            pin,
+                                        )?;
+                                        continue;
+                                    }
                                 }
-                                continue;
                             }
                         }
                     }
@@ -143,7 +258,7 @@ impl<C: KeyComparator> OakMap<C> {
                     // remover finish (mirrors Algorithm 3 case 2, avoiding
                     // a blocking wait on finalizeRemove) and retry.
                     if !c.publish() {
-                        self.rebalance(&c);
+                        self.rebalance_until(&c, budget.deadline);
                         continue;
                     }
                     c.cas_value(ei, h.to_raw(), 0);
@@ -158,13 +273,13 @@ impl<C: KeyComparator> OakMap<C> {
                 Some(existing) => existing,
                 None => {
                     if c.is_frozen() {
-                        self.rebalance(&c);
+                        self.rebalance_until(&c, budget.deadline);
                         continue;
                     }
                     let kref = match self.allocate_key(key) {
                         Ok(r) => r,
                         Err(e) => {
-                            self.recover_or_err(e, &mut oom_budget, pin)?;
+                            self.recover_or_err(e, &mut oom_budget, &mut retry, budget, pin)?;
                             continue;
                         }
                     };
@@ -172,7 +287,7 @@ impl<C: KeyComparator> OakMap<C> {
                         // Chunk full: free the speculative key, rebalance,
                         // retry (Algorithm 2 line 31).
                         self.pool().free(kref);
-                        self.rebalance(&c);
+                        self.rebalance_until(&c, budget.deadline);
                         continue;
                     };
                     match c.ll_put_if_absent(self.pool(), &self.cmp, new_ei) {
@@ -185,7 +300,7 @@ impl<C: KeyComparator> OakMap<C> {
                         }
                         LinkOutcome::Frozen => {
                             self.pool().free(kref);
-                            self.rebalance(&c);
+                            self.rebalance_until(&c, budget.deadline);
                             continue;
                         }
                     }
@@ -196,17 +311,19 @@ impl<C: KeyComparator> OakMap<C> {
             // and CAS it in (line 35). On pool exhaustion the key slice
             // just linked (if any) stays owned by its entry — a retry
             // reuses the ⊥-valued entry rather than re-allocating (§4.3),
-            // and a rebalance quarantines it, so nothing leaks.
+            // and a rebalance quarantines it, so nothing leaks. The same
+            // argument covers deadline expiry: a ⊥ entry abandoned by a
+            // cancelled operation is chunk-owned garbage, not a leak.
             let newh = match self.store.allocate_value(value) {
                 Ok(h) => h,
                 Err(e) => {
-                    self.recover_or_err(e.into(), &mut oom_budget, pin)?;
+                    self.recover_or_err(e.into(), &mut oom_budget, &mut retry, budget, pin)?;
                     continue;
                 }
             };
             if !c.publish() {
                 self.undo_value(newh);
-                self.rebalance(&c);
+                self.rebalance_until(&c, budget.deadline);
                 continue;
             }
             let ok = c.cas_value(ei, 0, newh.to_raw());
@@ -224,15 +341,20 @@ impl<C: KeyComparator> OakMap<C> {
         }
     }
 
-    /// Runs a user compute closure through [`ValueStore::compute`], keeping
-    /// `len` consistent if the closure panics. The store's panic guard
-    /// poisons the value (logically deleting it), so the pair it belonged
-    /// to is gone from the map; account for that before the panic resumes —
-    /// otherwise `len()` and `validate()` would drift after every poisoning.
-    /// Returns whether the compute ran (value present and not deleted).
-    ///
-    /// [`ValueStore::compute`]: oak_mempool::ValueStore::compute
-    fn compute_guarded(&self, h: oak_mempool::HeaderRef, f: &dyn Fn(&mut OakWBuffer<'_>)) -> bool {
+    /// Runs a user compute closure through
+    /// [`ValueStore::compute_at`](oak_mempool::ValueStore::compute_at),
+    /// keeping `len` consistent if the closure panics. The store's panic
+    /// guard poisons the value (logically deleting it), so the pair it
+    /// belonged to is gone from the map; account for that before the panic
+    /// resumes — otherwise `len()` and `validate()` would drift after every
+    /// poisoning. Returns whether the compute ran (`Ok(false)`: value
+    /// deleted; `Err`: write lock lost within the wait budget).
+    fn compute_guarded(
+        &self,
+        h: oak_mempool::HeaderRef,
+        f: &dyn Fn(&mut OakWBuffer<'_>),
+        deadline: Option<Instant>,
+    ) -> Result<bool, ContendedInfo> {
         struct LenFixOnPanic<'a>(&'a AtomicUsize);
         impl Drop for LenFixOnPanic<'_> {
             fn drop(&mut self) {
@@ -240,15 +362,17 @@ impl<C: KeyComparator> OakMap<C> {
             }
         }
         let fix = LenFixOnPanic(&self.len);
-        let ran = self.store.compute(h, |b| f(b)).is_some();
+        let ran = self.store.compute_at(h, deadline, |b| f(b));
         std::mem::forget(fix);
-        ran
+        ran.map(|r| r.is_some())
     }
 
     /// Reclaims a speculative value allocation that was never published.
     fn undo_value(&self, h: oak_mempool::HeaderRef) {
         // Marks deleted and frees the payload; the 16-byte header is
         // retained, consistent with the default memory manager (§3.3).
+        // The header is unpublished, so the lock is uncontended by
+        // construction and this cannot fail.
         self.store.remove(h);
     }
 
@@ -261,26 +385,54 @@ impl<C: KeyComparator> OakMap<C> {
         Ok(r)
     }
 
-    /// Decides what to do with an allocation failure mid-operation: for
-    /// pool exhaustion, spend one unit of `budget` on an emergency
-    /// reclamation pass and tell the caller to retry (`Ok(())`); once the
-    /// budget is gone, surface a clean [`OakError::OutOfMemory`] — the
-    /// operation has had no effect and the map stays fully consistent.
-    /// Any other error propagates unchanged. Consumes the caller's epoch
-    /// pin: reclamation must run unpinned or it could not drain slices
-    /// retired during this very operation.
-    fn recover_or_err(&self, e: OakError, budget: &mut u32, pin: EpochPin) -> Result<(), OakError> {
-        if !matches!(e, OakError::Alloc(AllocError::PoolExhausted)) {
-            return Err(e);
-        }
+    /// Decides what to do with a transient failure mid-operation — the
+    /// single funnel for the budget/retry discipline:
+    ///
+    /// * **Contention** (and, when the policy opts in, injected transient
+    ///   faults): consult the [`RetryState`] — either a jittered,
+    ///   deadline-clamped backoff is taken and the caller retries
+    ///   (`Ok(())`), or the retry budget is exhausted and the error
+    ///   surfaces.
+    /// * **Pool exhaustion**: spend one unit of `oom_budget` on an
+    ///   emergency reclamation pass and retry; once the budget is gone,
+    ///   surface a clean [`OakError::OutOfMemory`]. An expired deadline
+    ///   short-circuits to [`OakError::DeadlineExceeded`] *before* paying
+    ///   for reclamation.
+    /// * Anything else propagates unchanged.
+    ///
+    /// The operation has had no effect when an error surfaces and the map
+    /// stays fully consistent. Consumes the caller's epoch pin:
+    /// reclamation (and backoff sleeps) must run unpinned or they could
+    /// stall the reclamation of slices retired during this very operation.
+    fn recover_or_err(
+        &self,
+        e: OakError,
+        oom_budget: &mut u32,
+        retry: &mut RetryState,
+        budget: &OpBudget,
+        pin: EpochPin,
+    ) -> Result<(), OakError> {
         drop(pin);
-        if *budget == 0 {
-            self.pool().note_oom_failure();
-            return Err(OakError::OutOfMemory);
+        match e {
+            OakError::Contended(_) => retry.backoff_or(budget, self.pool(), e),
+            OakError::Alloc(AllocError::Injected) if budget.policy.retry_transient_faults => {
+                retry.backoff_or(budget, self.pool(), e)
+            }
+            OakError::Alloc(AllocError::PoolExhausted) => {
+                if budget.expired() {
+                    self.pool().note_deadline_exceeded();
+                    return Err(OakError::DeadlineExceeded);
+                }
+                if *oom_budget == 0 {
+                    self.pool().note_oom_failure();
+                    return Err(OakError::OutOfMemory);
+                }
+                *oom_budget -= 1;
+                self.emergency_reclaim(budget.deadline);
+                Ok(())
+            }
+            _ => Err(e),
         }
-        *budget -= 1;
-        self.emergency_reclaim();
-        Ok(())
     }
 
     /// Emergency reclamation: drain the dead-key quarantine as far as
@@ -290,8 +442,10 @@ impl<C: KeyComparator> OakMap<C> {
     /// slices can return to the pool once their grace period passes.
     /// Called with no epoch pin held. Never allocates from the pool —
     /// replacement chunks are heap objects — so it cannot recurse into
-    /// the OOM path it serves.
-    fn emergency_reclaim(&self) {
+    /// the OOM path it serves. A deadline bounds the chunk walk: an
+    /// expired budget stops compacting early (the operation is about to
+    /// surface `DeadlineExceeded` anyway; whatever was compacted stays).
+    pub(crate) fn emergency_reclaim(&self, deadline: Option<Instant>) {
         self.pool().note_emergency_reclaim();
         // First rung: slices parked in allocation magazines are free memory
         // the free lists cannot see; hand them back before paying for a
@@ -300,12 +454,16 @@ impl<C: KeyComparator> OakMap<C> {
         self.pool().flush_magazines();
         self.reclaim.drain_now();
         let is_dead = |raw: u64| raw == 0 || self.store.is_deleted(SliceRef::from_raw(raw));
+        let expired = || deadline.is_some_and(|d| Instant::now() >= d);
         let mut c = self.first_chunk();
         loop {
             // Snapshot the successor before a rebalance replaces `c`.
             let next = c.next_chunk();
             if c.replacement().is_none() && c.has_dead(is_dead) {
                 self.rebalance(&c);
+            }
+            if expired() {
+                break;
             }
             match next {
                 Some(n) => c = n,
@@ -338,59 +496,114 @@ impl<C: KeyComparator> OakMap<C> {
     /// Atomically applies `f` to the value mapped to `key`, in place, under
     /// the value's write lock. Returns whether the value was present.
     pub fn compute_if_present(&self, key: &[u8], f: impl Fn(&mut OakWBuffer<'_>)) -> bool {
-        self.do_if_present(key, PresentOp::Compute(&f))
+        self.do_if_present(key, PresentOp::Compute(&f), &self.default_budget())
+            .unwrap_or(false)
+    }
+
+    /// [`compute_if_present`](OakMap::compute_if_present) under an explicit
+    /// budget, surfacing budget errors instead of swallowing them.
+    pub fn compute_if_present_budgeted(
+        &self,
+        key: &[u8],
+        budget: &OpBudget,
+        f: impl Fn(&mut OakWBuffer<'_>),
+    ) -> Result<bool, OakError> {
+        self.do_if_present(key, PresentOp::Compute(&f), budget)
     }
 
     /// Removes the mapping for `key`; returns whether this call removed it.
     pub fn remove(&self, key: &[u8]) -> bool {
-        self.do_if_present(key, PresentOp::Remove)
+        self.do_if_present(key, PresentOp::Remove, &self.default_budget())
+            .unwrap_or(false)
+    }
+
+    /// [`remove`](OakMap::remove) under an explicit budget, surfacing
+    /// budget errors instead of swallowing them.
+    pub fn remove_budgeted(&self, key: &[u8], budget: &OpBudget) -> Result<bool, OakError> {
+        self.do_if_present(key, PresentOp::Remove, budget)
     }
 
     /// Algorithm 3's `doIfPresent`.
-    fn do_if_present(&self, key: &[u8], op: PresentOp<'_>) -> bool {
+    fn do_if_present(
+        &self,
+        key: &[u8],
+        op: PresentOp<'_>,
+        budget: &OpBudget,
+    ) -> Result<bool, OakError> {
+        let mut oom_budget = OOM_RECOVER_BUDGET;
+        let mut retry = RetryState::new(key.as_ptr() as u64);
         loop {
-            let _pin = self.reclaim.pin();
+            budget.check(self.pool())?;
+            let pin = self.reclaim.pin();
             let c = self.index.locate(key);
             let ei = c.lookup(self.pool(), &self.cmp, key);
             let Some(ei) = ei else {
-                return false; // l.p.: entry not found (line 44)
+                return Ok(false); // l.p.: entry not found (line 44)
             };
             let Some(h) = c.value_ref(ei) else {
-                return false; // l.p.: valRef = ⊥ (line 44)
+                return Ok(false); // l.p.: valRef = ⊥ (line 44)
             };
 
             if !self.store.is_deleted(h) {
-                // Case 1: value exists and is not deleted.
+                // Case 1: value exists and is not deleted. A lost header
+                // lock is a *transient* failure routed through the retry
+                // funnel — unlike a deleted value, it must never fall
+                // through to the CAS-to-⊥ cleanup below, which would erase
+                // a live entry.
                 match &op {
                     PresentOp::Compute(f) => {
-                        if self.compute_guarded(h, *f) {
-                            // l.p.: successful nested v.compute (line 46).
-                            return true;
+                        match self.compute_guarded(h, *f, budget.deadline) {
+                            Ok(true) => {
+                                // l.p.: successful nested v.compute (line 46).
+                                return Ok(true);
+                            }
+                            Ok(false) => {} // deleted under us: clean below
+                            Err(info) => {
+                                self.recover_or_err(
+                                    info.into(),
+                                    &mut oom_budget,
+                                    &mut retry,
+                                    budget,
+                                    pin,
+                                )?;
+                                continue;
+                            }
                         }
                     }
-                    PresentOp::Remove => {
-                        if self.store.remove(h) {
+                    PresentOp::Remove => match self.store.remove_at(h, budget.deadline) {
+                        Ok(true) => {
                             // l.p.: v.remove set the deleted bit (line 48).
                             self.len.fetch_sub(1, Ordering::Relaxed);
                             oak_failpoints::sync_point!("ops/remove-marked");
                             oak_failpoints::fail_point!("ops/remove-marked");
-                            self.finalize_remove(key, h);
+                            self.finalize_remove(key, h, budget.deadline);
                             self.maybe_merge(&c);
-                            return true;
+                            return Ok(true);
                         }
-                    }
+                        Ok(false) => {} // already deleted: clean below
+                        Err(info) => {
+                            self.recover_or_err(
+                                info.into(),
+                                &mut oom_budget,
+                                &mut retry,
+                                budget,
+                                pin,
+                            )?;
+                            continue;
+                        }
+                    },
                 }
             }
             // Case 2: value deleted — ensure the entry is removed by
             // CASing its value reference to ⊥ (lines 50–55).
             if !c.publish() {
-                self.rebalance(&c);
+                self.rebalance_until(&c, budget.deadline);
                 continue;
             }
             let ok = c.cas_value(ei, h.to_raw(), 0);
             c.unpublish();
             if ok {
-                return false; // l.p.: successful CAS to ⊥ (line 52)
+                return Ok(false); // l.p.: successful CAS to ⊥ (line 52)
             }
             // CAS failed: the entry changed under us; retry (line 54).
         }
@@ -400,24 +613,42 @@ impl<C: KeyComparator> OakMap<C> {
     /// legacy `ConcurrentNavigableMap.remove` shape. Same structure as
     /// `do_if_present(Remove)` with a copying `v.remove`.
     pub(crate) fn remove_with_copy(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let budget = self.default_budget();
+        let mut oom_budget = OOM_RECOVER_BUDGET;
+        let mut retry = RetryState::new(key.as_ptr() as u64);
         loop {
-            let _pin = self.reclaim.pin();
+            if budget.check(self.pool()).is_err() {
+                return None;
+            }
+            let pin = self.reclaim.pin();
             let c = self.index.locate(key);
             let ei = c.lookup(self.pool(), &self.cmp, key)?;
             let h = c.value_ref(ei)?;
             if !self.store.is_deleted(h) {
-                if let Some(old) = self.store.remove_returning(h) {
-                    self.len.fetch_sub(1, Ordering::Relaxed);
-                    oak_failpoints::sync_point!("ops/remove-marked");
-                    oak_failpoints::fail_point!("ops/remove-marked");
-                    self.finalize_remove(key, h);
-                    self.maybe_merge(&c);
-                    return Some(old);
+                match self.store.remove_returning_at(h, budget.deadline) {
+                    Ok(Some(old)) => {
+                        self.len.fetch_sub(1, Ordering::Relaxed);
+                        oak_failpoints::sync_point!("ops/remove-marked");
+                        oak_failpoints::fail_point!("ops/remove-marked");
+                        self.finalize_remove(key, h, budget.deadline);
+                        self.maybe_merge(&c);
+                        return Some(old);
+                    }
+                    Ok(None) => {} // deleted under us: clean below
+                    Err(info) => {
+                        if self
+                            .recover_or_err(info.into(), &mut oom_budget, &mut retry, &budget, pin)
+                            .is_err()
+                        {
+                            return None;
+                        }
+                        continue;
+                    }
                 }
             }
             // Value deleted: ensure the entry is cleaned, as in case 2.
             if !c.publish() {
-                self.rebalance(&c);
+                self.rebalance_until(&c, budget.deadline);
                 continue;
             }
             let ok = c.cas_value(ei, h.to_raw(), 0);
@@ -430,9 +661,19 @@ impl<C: KeyComparator> OakMap<C> {
 
     /// Algorithm 3's `finalizeRemove`: best-effort CAS of the entry's value
     /// reference to ⊥ after a successful remove. Headers are never reused,
-    /// so comparing against `prev` is ABA-free (§4.4).
-    fn finalize_remove(&self, key: &[u8], prev: oak_mempool::HeaderRef) {
+    /// so comparing against `prev` is ABA-free (§4.4). Purely *helping* —
+    /// the remove already linearized — so an expired deadline simply stops
+    /// helping (a later operation on the key finishes the cleanup).
+    fn finalize_remove(
+        &self,
+        key: &[u8],
+        prev: oak_mempool::HeaderRef,
+        deadline: Option<Instant>,
+    ) {
         loop {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return;
+            }
             let _pin = self.reclaim.pin();
             let c = self.index.locate(key);
             let Some(ei) = c.lookup(self.pool(), &self.cmp, key) else {
@@ -443,7 +684,9 @@ impl<C: KeyComparator> OakMap<C> {
                 return; // key removed or replaced already (line 65)
             }
             if !c.publish() {
-                self.rebalance(&c);
+                if !self.rebalance_until(&c, deadline) {
+                    return;
+                }
                 continue;
             }
             // Success or failure both fine: remove already linearized.

@@ -41,7 +41,43 @@ impl<C: KeyComparator> OakMap<C> {
     pub(crate) fn rebalance(&self, chunk: &Arc<Chunk>) {
         oak_failpoints::sync_point!("rebalance/start");
         oak_failpoints::fail_point!("rebalance/start");
-        let _engaged = chunk.rebalance_lock.lock();
+        let engaged = chunk.rebalance_lock.lock();
+        self.rebalance_engaged(chunk, engaged);
+    }
+
+    /// Deadline-aware rebalance: bounds only the wait to *engage* the
+    /// chunk (another thread may hold the rebalance lock through a long
+    /// merge chain). Once engaged, the rebalance runs to completion —
+    /// freeze and splice are irrevocable shared mutations with no safe
+    /// abandon point, so cancellation stops at the engage gate (see
+    /// DESIGN.md "Overload and degradation"). Returns `false` when the
+    /// engage wait timed out; the caller's next budget check then
+    /// surfaces [`DeadlineExceeded`](crate::OakError) cleanly.
+    pub(crate) fn rebalance_until(
+        &self,
+        chunk: &Arc<Chunk>,
+        deadline: Option<std::time::Instant>,
+    ) -> bool {
+        let Some(d) = deadline else {
+            self.rebalance(chunk);
+            return true;
+        };
+        oak_failpoints::sync_point!("rebalance/start");
+        oak_failpoints::fail_point!("rebalance/start");
+        let wait = d.saturating_duration_since(std::time::Instant::now());
+        let Some(engaged) = chunk.rebalance_lock.try_lock_for(wait) else {
+            return false;
+        };
+        self.rebalance_engaged(chunk, engaged);
+        true
+    }
+
+    /// The rebalance body, entered with the chunk engaged.
+    fn rebalance_engaged(
+        &self,
+        chunk: &Arc<Chunk>,
+        _engaged: parking_lot::MutexGuard<'_, ()>,
+    ) {
         if chunk.replacement().is_some() {
             return;
         }

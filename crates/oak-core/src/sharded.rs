@@ -20,11 +20,13 @@ use std::sync::Arc;
 
 use oak_mempool::{ArenaPool, HeaderRef};
 
+use crate::budget::OpBudget;
 use crate::buffer::{OakRBuffer, OakWBuffer};
 use crate::cmp::{KeyComparator, Lexicographic};
 use crate::config::OakMapConfig;
 use crate::error::OakError;
 use crate::map::{OakMap, OakStats};
+use crate::overload::OverloadState;
 
 /// How keys are partitioned across shards.
 #[derive(Debug, Clone)]
@@ -243,6 +245,66 @@ impl<C: KeyComparator> ShardedOakMap<C> {
         self.shard_of(key).remove(key)
     }
 
+    // --- budgeted point operations (route to one shard) -------------------
+    //
+    // Budgets are per *operation*, not per shard: routing is a pure
+    // in-memory hash/partition step, so the full deadline reaches the one
+    // shard that executes the call.
+
+    /// Budgeted zero-copy get (see [`OakMap::get_with_budgeted`]).
+    pub fn get_with_budgeted<R>(
+        &self,
+        key: &[u8],
+        budget: &OpBudget,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<Option<R>, OakError> {
+        self.shard_of(key).get_with_budgeted(key, budget, f)
+    }
+
+    /// Budgeted insert-or-replace (see [`OakMap::put_budgeted`]).
+    pub fn put_budgeted(&self, key: &[u8], value: &[u8], budget: &OpBudget) -> Result<(), OakError> {
+        self.shard_of(key).put_budgeted(key, value, budget)
+    }
+
+    /// Budgeted insert-if-absent (see [`OakMap::put_if_absent_budgeted`]).
+    pub fn put_if_absent_budgeted(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        budget: &OpBudget,
+    ) -> Result<bool, OakError> {
+        self.shard_of(key).put_if_absent_budgeted(key, value, budget)
+    }
+
+    /// Budgeted in-place update (see
+    /// [`OakMap::compute_if_present_budgeted`]).
+    pub fn compute_if_present_budgeted(
+        &self,
+        key: &[u8],
+        budget: &OpBudget,
+        f: impl Fn(&mut OakWBuffer<'_>),
+    ) -> Result<bool, OakError> {
+        self.shard_of(key).compute_if_present_budgeted(key, budget, f)
+    }
+
+    /// Budgeted remove (see [`OakMap::remove_budgeted`]).
+    pub fn remove_budgeted(&self, key: &[u8], budget: &OpBudget) -> Result<bool, OakError> {
+        self.shard_of(key).remove_budgeted(key, budget)
+    }
+
+    /// The worst (most degraded) overload verdict across shards. With a
+    /// shared reservoir every controller samples the same pool, so shards
+    /// normally agree; with private pools a single hot shard is enough to
+    /// degrade the map-wide verdict — back off before that shard starts
+    /// rejecting.
+    pub fn overload_state(&self) -> OverloadState {
+        self.shards
+            .iter()
+            .map(OakMap::overload_state)
+            .max()
+            .unwrap_or(OverloadState::Healthy)
+    }
+
     // --- merged scans -----------------------------------------------------
 
     /// Ascending zero-copy scan over `[lo, hi)` across all shards, in
@@ -274,6 +336,75 @@ impl<C: KeyComparator> ShardedOakMap<C> {
                 count += 1;
                 if !keep {
                     return count;
+                }
+            }
+            heads[best] = Self::pull(&self.shards[best], iters[best].next_raw());
+        }
+    }
+
+    /// Budgeted ascending merged scan: like
+    /// [`for_each_in`](ShardedOakMap::for_each_in) but cooperative — the
+    /// deadline is checked periodically, per-shard header-lock waits are
+    /// clamped by it, and when any shard's controller reports degradation
+    /// the scan is shed after the configured entry limit. Returns entries
+    /// visited or the typed budget error; entries already handed to `f`
+    /// stay handed (shedding truncates, never rolls back).
+    pub fn for_each_in_budgeted(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        budget: &OpBudget,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<u64, OakError> {
+        const SCAN_CHECK_INTERVAL: u64 = 64;
+        budget.check(self.shards[0].pool())?;
+        let shed_after = match self.overload_state() {
+            OverloadState::Healthy => u64::MAX,
+            OverloadState::Degraded | OverloadState::Critical => {
+                let limit = self.shards[0].overload.config().degraded_scan_limit;
+                if limit == 0 {
+                    u64::MAX
+                } else {
+                    limit
+                }
+            }
+        };
+        let mut iters: Vec<_> = self.shards.iter().map(|s| s.iter_range(lo, hi)).collect();
+        let mut heads: Vec<Option<(Vec<u8>, HeaderRef)>> = Vec::with_capacity(iters.len());
+        for (i, it) in iters.iter_mut().enumerate() {
+            heads.push(Self::pull(&self.shards[i], it.next_raw()));
+        }
+        let mut count: u64 = 0;
+        loop {
+            let Some(best) = self.pick(&heads, std::cmp::Ordering::Less) else {
+                return Ok(count);
+            };
+            if count >= shed_after {
+                self.shards[best].pool().note_scan_shed();
+                return Err(OakError::Overloaded);
+            }
+            if count > 0 && count % SCAN_CHECK_INTERVAL == 0 && budget.expired() {
+                self.shards[best].pool().note_deadline_exceeded();
+                return Err(OakError::DeadlineExceeded);
+            }
+            let (kb, h) = heads[best].take().expect("picked head is live");
+            match self.shards[best]
+                .value_store()
+                .read_at(h, budget.deadline, |v| f(&kb, v))
+            {
+                Ok(keep) => {
+                    count += 1;
+                    if !keep {
+                        return Ok(count);
+                    }
+                }
+                Err(oak_mempool::AccessError::Deleted) => {} // skip
+                Err(oak_mempool::AccessError::Contended(info)) => {
+                    if budget.expired() {
+                        self.shards[best].pool().note_deadline_exceeded();
+                        return Err(OakError::DeadlineExceeded);
+                    }
+                    return Err(OakError::Contended(info));
                 }
             }
             heads[best] = Self::pull(&self.shards[best], iters[best].next_raw());

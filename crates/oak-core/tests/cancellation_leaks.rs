@@ -1,0 +1,124 @@
+#![cfg(all(feature = "failpoints", feature = "audit"))]
+//! Cancellation leak-freedom: abandon operations at every failpoint site
+//! under a tight deadline and prove — with the off-heap auditor — that
+//! nothing leaks and the map stays usable.
+//!
+//! This is the deterministic exhaustive variant of a property test: every
+//! registered failpoint site × every write operation class, with
+//! errorable sites forced to fail on *every* hit (so each budgeted retry
+//! re-encounters the fault until the deadline trips) and passive sites
+//! slowed enough that deadlines can expire mid-operation. After each
+//! site, the quarantine is drained and the auditor must report zero
+//! leaked bytes.
+
+use std::time::Duration;
+
+use oak_core::{all_failpoint_sites, OakError, OakMap, OakMapConfig, OpBudget, RetryPolicy};
+use oak_failpoints::{configure, deconfigure, scenario, Action, FirePolicy};
+use oak_mempool::PoolConfig;
+
+fn test_map() -> OakMap {
+    OakMap::with_config(
+        OakMapConfig::small()
+            .chunk_capacity(16) // rebalance under fault pressure
+            .pool(PoolConfig {
+                magazines: false,
+                arena_size: 256 << 10,
+                max_arenas: 4,
+            }),
+    )
+}
+
+fn tight_budget() -> OpBudget {
+    OpBudget::with_deadline(Duration::from_millis(25)).with_policy(
+        RetryPolicy::default()
+            .with_backoff(50, 500)
+            .with_transient_fault_retry(true),
+    )
+}
+
+/// Each write class an abandonment can interrupt: fresh insert, replace,
+/// in-place compute, remove.
+fn run_ops(map: &OakMap, round: u64) -> Vec<Result<(), OakError>> {
+    let budget = tight_budget();
+    let fresh = format!("fresh-{round:04}").into_bytes();
+    let mut results = Vec::new();
+    results.push(map.put_budgeted(&fresh, b"new-value", &budget).map(|_| ()));
+    results.push(
+        map.put_budgeted(b"existing", b"replaced", &budget)
+            .map(|_| ()),
+    );
+    results.push(
+        map.compute_if_present_budgeted(b"existing", &budget, |v| {
+            let s = v.as_mut_slice();
+            if !s.is_empty() {
+                s[0] = b'!';
+            }
+        })
+        .map(|_| ()),
+    );
+    results.push(map.remove_budgeted(&fresh, &budget).map(|_| ()));
+    results
+}
+
+#[test]
+fn abandoned_operations_never_leak() {
+    let _s = scenario();
+    let map = test_map();
+    map.put(b"existing", b"steady-state").unwrap();
+    // Pre-populate so rebalances and removes have material to chew on.
+    for i in 0..64u64 {
+        map.put(format!("seed-{i:04}").as_bytes(), b"seed-value")
+            .unwrap();
+    }
+
+    for (round, site) in all_failpoint_sites().into_iter().enumerate() {
+        let round = round as u64;
+        if site.errorable {
+            // Fail every hit: each budgeted retry re-encounters the fault
+            // until the deadline surfaces DeadlineExceeded.
+            configure(site.name, Action::ReturnErr, FirePolicy::Always);
+        } else {
+            // Slow every hit so the deadline can expire mid-operation at
+            // this site.
+            configure(site.name, Action::DelayMicros(2_000), FirePolicy::Always);
+        }
+
+        for r in run_ops(&map, round) {
+            match r {
+                Ok(()) => {}
+                Err(
+                    OakError::DeadlineExceeded
+                    | OakError::Contended(_)
+                    | OakError::Overloaded
+                    | OakError::OutOfMemory
+                    | OakError::Alloc(_),
+                ) => {} // typed, budgeted failure: fine
+                Err(other) => panic!("site {}: unexpected error {other:?}", site.name),
+            }
+        }
+
+        deconfigure(site.name);
+
+        // Leak check: everything the abandoned attempts allocated must be
+        // reachable, quarantined, or freed.
+        map.drain_quarantine();
+        let report = map.audit();
+        assert_eq!(
+            report.leaked_bytes, 0,
+            "site {} leaked {} bytes: {:?}",
+            site.name, report.leaked_bytes, report.leaked
+        );
+
+        // Usability check: the map serves clean traffic after the faults.
+        let probe = format!("probe-{round:04}").into_bytes();
+        map.put(&probe, b"alive").unwrap();
+        assert_eq!(map.get_copy(&probe), Some(b"alive".to_vec()));
+        assert!(map.remove(&probe));
+        map.put(b"existing", b"steady-state").unwrap();
+    }
+
+    map.validate();
+    let final_report = map.audit();
+    assert_eq!(final_report.leaked_bytes, 0);
+}

@@ -22,6 +22,7 @@ fn cramped() -> OakMap {
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,
         prefix_cache: true,
+        ..OakMapConfig::default()
     })
 }
 

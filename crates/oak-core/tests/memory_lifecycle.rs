@@ -202,6 +202,7 @@ fn emergency_reclamation_recovers_dead_key_space() {
         shared_arenas: None,
         reclamation: ReclamationPolicy::RetainHeaders,
         prefix_cache: true,
+        ..OakMapConfig::default()
     });
     let big_key = |i: u64| {
         let mut k = format!("{i:08}").into_bytes();

@@ -1,0 +1,263 @@
+//! Overload governance: deadlines, bounded lock waits, the degraded-mode
+//! controller, and the budgeted API surface (single map and sharded).
+//!
+//! The acceptance bar these tests pin down:
+//! * no operation overruns its deadline by more than one bounded retry
+//!   step (`deadline_pressure_bounded_overrun`),
+//! * `Overloaded` rejections engage *before* the pool's OOM ladder
+//!   (`overloaded_rejections_precede_oom`),
+//! * the configurable lock-wait budget actually bounds contended waits
+//!   (`configured_lock_wait_bounds_contention`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use oak_core::{
+    OakError, OakMap, OakMapConfig, OpBudget, OverloadConfig, OverloadState, RetryPolicy,
+    ShardedOakMap,
+};
+use oak_mempool::{LockSite, PoolConfig};
+
+fn k(i: u64) -> Vec<u8> {
+    format!("k{i:05}").into_bytes()
+}
+
+/// Holds the value-header write lock of `key` for `hold` by sleeping
+/// inside a compute closure; `entered` flips once the lock is held.
+fn stuck_writer(
+    map: Arc<OakMap>,
+    key: Vec<u8>,
+    hold: Duration,
+    entered: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        map.compute_if_present(&key, |_v| {
+            entered.store(true, Ordering::SeqCst);
+            std::thread::sleep(hold);
+        });
+    })
+}
+
+/// An operation under a deadline must give up within one bounded retry
+/// step of that deadline, not ride out the full (2 s default) lock wait.
+#[test]
+fn deadline_pressure_bounded_overrun() {
+    let map = Arc::new(OakMap::with_config(OakMapConfig::small()));
+    map.put(b"stuck", b"v0").unwrap();
+
+    let entered = Arc::new(AtomicBool::new(false));
+    let writer = stuck_writer(
+        map.clone(),
+        b"stuck".to_vec(),
+        Duration::from_millis(400),
+        entered.clone(),
+    );
+    while !entered.load(Ordering::SeqCst) {
+        std::hint::spin_loop();
+    }
+
+    let deadline = Duration::from_millis(50);
+    let start = Instant::now();
+    let err = map
+        .put_budgeted(b"stuck", b"v1", &OpBudget::with_deadline(deadline))
+        .unwrap_err();
+    let elapsed = start.elapsed();
+    assert_eq!(err, OakError::DeadlineExceeded);
+    // Deadline + one bounded backoff step + scheduling slack — far below
+    // both the 400 ms lock hold and the 2 s default lock-wait budget.
+    assert!(
+        elapsed < Duration::from_millis(350),
+        "overran deadline: {elapsed:?}"
+    );
+
+    writer.join().unwrap();
+    // The map recovers once the holder finishes.
+    map.put(b"stuck", b"v2").unwrap();
+    assert_eq!(map.get_copy(b"stuck"), Some(b"v2".to_vec()));
+}
+
+/// An already-expired budget is rejected up front, before any allocation.
+#[test]
+fn expired_budget_rejected_before_any_work() {
+    let map = OakMap::with_config(OakMapConfig::small());
+    let expired = OpBudget::until(Instant::now());
+    assert_eq!(
+        map.put_budgeted(b"a", b"v", &expired),
+        Err(OakError::DeadlineExceeded)
+    );
+    assert_eq!(
+        map.remove_budgeted(b"a", &expired),
+        Err(OakError::DeadlineExceeded)
+    );
+    assert!(!map.contains_key(b"a"));
+    assert!(map.stats().pool.deadline_exceeded >= 2);
+    // Unbudgeted operations still work.
+    map.put(b"a", b"v").unwrap();
+    assert_eq!(map.get_copy(b"a"), Some(b"v".to_vec()));
+}
+
+/// With the controller enabled, writes are shed with `Overloaded` while
+/// headroom still exists — strictly before the pool's OOM ladder (and
+/// thus before any `OutOfMemory`) engages.
+#[test]
+fn overloaded_rejections_precede_oom() {
+    let map = OakMap::with_config(
+        OakMapConfig::small()
+            .pool(PoolConfig {
+                magazines: false,
+                arena_size: 64 << 10,
+                max_arenas: 2,
+            })
+            .overload(OverloadConfig::standard().sample_every(1)),
+    );
+
+    let value = vec![0xabu8; 200];
+    let mut first_err = None;
+    for i in 0..4096 {
+        match map.put(&k(i), &value) {
+            Ok(()) => {}
+            Err(e) => {
+                first_err = Some(e);
+                break;
+            }
+        }
+    }
+    assert_eq!(first_err, Some(OakError::Overloaded));
+    let stats = map.stats();
+    assert_eq!(stats.pool.oom_failures, 0, "OOM ladder engaged: {stats:?}");
+    assert_eq!(stats.pool.failed_allocs, 0, "allocation failed: {stats:?}");
+    assert!(stats.pool.overload_sheds >= 1);
+    assert_eq!(map.overload_state(), OverloadState::Critical);
+    // Reads still serve under write shedding.
+    assert_eq!(map.get_copy(&k(0)), Some(value));
+}
+
+/// `OakMapConfig::lock_wait` bounds how long a contended header wait
+/// blocks: far sooner than the 2 s default, and the surfaced error names
+/// the losing site with its wait diagnostics.
+#[test]
+fn configured_lock_wait_bounds_contention() {
+    let map = Arc::new(OakMap::with_config(
+        OakMapConfig::small().lock_wait(Duration::from_millis(30)),
+    ));
+    map.put(b"stuck", b"v0").unwrap();
+
+    let entered = Arc::new(AtomicBool::new(false));
+    let writer = stuck_writer(
+        map.clone(),
+        b"stuck".to_vec(),
+        Duration::from_millis(500),
+        entered.clone(),
+    );
+    while !entered.load(Ordering::SeqCst) {
+        std::hint::spin_loop();
+    }
+
+    let start = Instant::now();
+    let err = map
+        .get_with_budgeted(b"stuck", &OpBudget::unbounded(), |v| v.to_vec())
+        .unwrap_err();
+    let elapsed = start.elapsed();
+    match err {
+        OakError::Contended(info) => {
+            assert_eq!(info.site, LockSite::ValueRead);
+            assert!(info.rounds > 0);
+        }
+        other => panic!("expected Contended, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_millis(400),
+        "lock wait not bounded: {elapsed:?}"
+    );
+    writer.join().unwrap();
+}
+
+/// A degraded map sheds long scans after the configured entry limit;
+/// entries already visited stay visited (truncation, not rollback).
+#[test]
+fn degraded_scans_shed_after_limit() {
+    let map = OakMap::with_config(
+        OakMapConfig::small().overload(
+            OverloadConfig::standard()
+                .sample_every(1)
+                // Degraded whenever headroom < 100% — i.e. always once
+                // anything is allocated; never Critical.
+                .headroom(1.0, 0.0)
+                .scan_limit(10),
+        ),
+    );
+    for i in 0..100 {
+        map.put(&k(i), b"v").unwrap();
+    }
+    assert_eq!(map.overload_state(), OverloadState::Degraded);
+
+    let mut seen = 0u64;
+    let err = map
+        .for_each_in_budgeted(None, None, &OpBudget::unbounded(), |_k, _v| {
+            seen += 1;
+            true
+        })
+        .unwrap_err();
+    assert_eq!(err, OakError::Overloaded);
+    assert_eq!(seen, 10);
+    assert!(map.stats().pool.scan_sheds >= 1);
+
+    // An expired budget stops a scan before it visits anything.
+    let err = map
+        .for_each_in_budgeted(None, None, &OpBudget::until(Instant::now()), |_k, _v| true)
+        .unwrap_err();
+    assert_eq!(err, OakError::DeadlineExceeded);
+}
+
+/// The budgeted API routes through shards exactly like the unbudgeted
+/// one, and the merged budgeted scan preserves global order.
+#[test]
+fn sharded_budgeted_surface() {
+    let map = ShardedOakMap::with_config(4, OakMapConfig::small());
+    let budget = OpBudget::with_deadline(Duration::from_secs(10))
+        .with_policy(RetryPolicy::bounded(64).with_backoff(10, 1_000));
+
+    for i in 0..200 {
+        map.put_budgeted(&k(i), format!("v{i}").as_bytes(), &budget)
+            .unwrap();
+    }
+    assert_eq!(map.len(), 200);
+    assert!(!map
+        .put_if_absent_budgeted(&k(7), b"nope", &budget)
+        .unwrap());
+    assert_eq!(
+        map.get_with_budgeted(&k(7), &budget, |v| v.to_vec())
+            .unwrap(),
+        Some(b"v7".to_vec())
+    );
+    assert!(map
+        .compute_if_present_budgeted(&k(7), &budget, |v| {
+            let n = v.len().min(2);
+            v.as_mut_slice()[..n].copy_from_slice(b"V7");
+        })
+        .unwrap());
+    assert_eq!(map.get_copy(&k(7)), Some(b"V7".to_vec()));
+    assert!(map.remove_budgeted(&k(7), &budget).unwrap());
+    assert!(!map.contains_key(&k(7)));
+
+    // Budgeted merged scan: global key order, all entries.
+    let mut keys = Vec::new();
+    let visited = map
+        .for_each_in_budgeted(None, None, &budget, |kb, _v| {
+            keys.push(kb.to_vec());
+            true
+        })
+        .unwrap();
+    assert_eq!(visited, 199);
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+
+    // Expired budgets surface on the sharded path too.
+    assert_eq!(
+        map.put_budgeted(b"x", b"v", &OpBudget::until(Instant::now())),
+        Err(OakError::DeadlineExceeded)
+    );
+    assert_eq!(map.overload_state(), OverloadState::Healthy);
+}

@@ -59,6 +59,7 @@ fn tiny_config() -> OakMapConfig {
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,
         prefix_cache: true,
+        ..OakMapConfig::default()
     }
 }
 

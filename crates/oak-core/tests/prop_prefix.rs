@@ -86,6 +86,7 @@ fn tiny(prefix_cache: bool) -> OakMapConfig {
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,
         prefix_cache,
+        ..OakMapConfig::default()
     }
 }
 

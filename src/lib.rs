@@ -40,8 +40,9 @@
 
 pub use oak_core::{
     legacy, serde_api, DescendIter, EntryIter, KeyComparator, Lexicographic, OakError, OakMap,
-    OakMapConfig, OakRBuffer, OakStats, OakStatsSource, OakWBuffer, OnHeapSkipListMap,
-    OrderedKvMap, ShardSplitter, ShardedOakMap, U64BeComparator, ZeroCopyRead, ZeroCopyView,
+    OakMapConfig, OakRBuffer, OakStats, OakStatsSource, OakWBuffer, OnHeapSkipListMap, OpBudget,
+    OrderedKvMap, OverloadConfig, OverloadState, RetryPolicy, ShardSplitter, ShardedOakMap,
+    U64BeComparator, ZeroCopyRead, ZeroCopyView,
 };
 
 /// The self-managed off-heap memory substrate (arenas, free lists, value

@@ -51,6 +51,10 @@ pub trait MapAdapter: Send + Sync {
     /// Descending scan of up to `len` pairs from `from` downward.
     fn descend(&self, from: &[u8], len: usize, stream: bool) -> usize;
 
+    /// Bounded ascending scan over `[lo, hi)` — the `4g` range-scan
+    /// workload. Returns pairs visited.
+    fn range(&self, lo: &[u8], hi: &[u8], stream: bool) -> usize;
+
     /// Live mappings.
     fn len(&self) -> usize;
 
@@ -185,6 +189,20 @@ impl<M: ZeroCopyRead> MapAdapter for TraitAdapter<M> {
             self.map.descend(Some(from), None, &mut touch)
         } else {
             self.map.descend_entries(Some(from), None, &mut touch)
+        }
+    }
+
+    fn range(&self, lo: &[u8], hi: &[u8], stream: bool) -> usize {
+        let mut n = 0;
+        let mut touch = |k: &[u8], v: &[u8]| {
+            black_box((k.len(), v.len()));
+            n += 1;
+            true
+        };
+        if stream {
+            self.map.ascend(Some(lo), Some(hi), &mut touch)
+        } else {
+            self.map.ascend_entries(Some(lo), Some(hi), &mut touch)
         }
     }
 

@@ -5,13 +5,14 @@
 //! synchrobench [--threads 1,2,4] [--size 100000] [--key-size 100]
 //!              [--value-size 1024] [--duration-ms 3000] [--scenario 4a-put]
 //!              [--csv out.csv] [--json out.json] [--quick]
-//!              [--no-magazines] [--no-prefix-cache]
+//!              [--no-magazines] [--no-prefix-cache] [--no-batch-scan]
 //! ```
 //!
 //! Hot-path accelerators are on by default (the Oak pool runs with
-//! allocation magazines, Oak maps with the key-prefix cache); the `--no-*`
-//! flags turn each off for A/B runs. `--json` writes the same rows as the
-//! CSV in a machine-readable report that also records the exact command.
+//! allocation magazines, Oak maps with the key-prefix cache and the
+//! chunk-batch scan pipeline); the `--no-*` flags turn each off for A/B
+//! runs. `--json` writes the same rows as the CSV in a machine-readable
+//! report that also records the exact command.
 
 use std::time::Duration;
 
@@ -34,6 +35,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let magazines = !args.iter().any(|a| a == "--no-magazines");
     let prefix_cache = !args.iter().any(|a| a == "--no-prefix-cache");
+    let batch_scan = !args.iter().any(|a| a == "--no-batch-scan");
 
     let threads: Vec<usize> = parse_flag(&args, "--threads")
         .unwrap_or_else(|| if quick { "1".into() } else { "1,2,4".into() })
@@ -95,21 +97,25 @@ fn main() {
                 continue;
             }
         }
-        // Scale scan lengths in quick mode.
+        // Scale the full-table scan lengths in quick mode. Only the
+        // figure-4 default (10_000) is rescaled — the bounded `4g` range
+        // scans keep their key spans, which are short by construction.
         let mut sc = *scenario;
         sc.mix = match sc.mix {
-            oak_bench::workload::Mix::AscendScan { stream, .. } => {
-                oak_bench::workload::Mix::AscendScan {
-                    len: scan_len,
-                    stream,
-                }
-            }
-            oak_bench::workload::Mix::DescendScan { stream, .. } => {
-                oak_bench::workload::Mix::DescendScan {
-                    len: scan_len,
-                    stream,
-                }
-            }
+            oak_bench::workload::Mix::AscendScan {
+                len: 10_000,
+                stream,
+            } => oak_bench::workload::Mix::AscendScan {
+                len: scan_len,
+                stream,
+            },
+            oak_bench::workload::Mix::DescendScan {
+                len: 10_000,
+                stream,
+            } => oak_bench::workload::Mix::DescendScan {
+                len: scan_len,
+                stream,
+            },
             m => m,
         };
         run_scenario_configured(
@@ -122,6 +128,7 @@ fn main() {
             &mut summary,
             true,
             prefix_cache,
+            batch_scan,
         );
     }
 

@@ -96,6 +96,12 @@ fn run_op(map: &dyn MapAdapter, config: &WorkloadConfig, mix: Mix, sampler: &mut
             let id = sampler.next_id();
             std::hint::black_box(map.descend(&config.key(id), len, stream));
         }
+        Mix::RangeScan { span, stream } => {
+            // One op = one whole bounded scan (matching the AscendScan
+            // accounting, so Mops/s stays scans-per-second).
+            let id = sampler.next_id();
+            std::hint::black_box(map.range(&config.key(id), &config.key(id + span), stream));
+        }
         Mix::PutRemoveChurn => {
             let id = sampler.next_id();
             if sampler.next_pct() < 50 {
@@ -219,6 +225,14 @@ mod tests {
             },
             Mix::DescendScan {
                 len: 50,
+                stream: false,
+            },
+            Mix::RangeScan {
+                span: 40,
+                stream: true,
+            },
+            Mix::RangeScan {
+                span: 40,
                 stream: false,
             },
         ] {

@@ -71,13 +71,24 @@ pub struct RobustnessStats {
     pub write_sheds: u64,
     /// Scans truncated with `Overloaded` by the degraded-mode controller.
     pub scan_sheds: u64,
+    /// Chunk snapshots taken by the batch scan pipeline (hot-path
+    /// counter: one per chunk-resident batch fill).
+    pub scan_chunk_batches: u64,
+    /// Batch refills that found their chunk stale (replaced or
+    /// revision-bumped) and re-located through the index.
+    pub scan_revalidations: u64,
+    /// Batch fills that reused an already-allocated cursor buffer
+    /// (hot-path counter: the reusable buffer exists to make this the
+    /// common case).
+    pub scan_buffer_reuses: u64,
 }
 
 impl RobustnessStats {
     /// Whether any contention/failure counter fired. The hot-path traffic
     /// counters (`offheap_key_derefs`, `freelist_lock_acquires`,
-    /// `magazine_hits`) are excluded: they are non-zero on every healthy
-    /// run and belong in the CSV/JSON, not the incident note.
+    /// `magazine_hits`, and the `scan_*` batch counters) are excluded:
+    /// they are non-zero on every healthy run and belong in the CSV/JSON,
+    /// not the incident note.
     fn has_incidents(&self) -> bool {
         self.lock_retries != 0
             || self.contended_aborts != 0
@@ -109,6 +120,9 @@ impl From<oak_mempool::PoolStats> for RobustnessStats {
             deadline_exceeded: s.deadline_exceeded,
             write_sheds: s.overload_sheds,
             scan_sheds: s.scan_sheds,
+            scan_chunk_batches: s.scan_chunk_batches,
+            scan_revalidations: s.scan_revalidations,
+            scan_buffer_reuses: s.scan_buffer_reuses,
         }
     }
 }
@@ -141,12 +155,13 @@ impl Summary {
         let mut out = String::from(
             "Scenario,Bench,Heap size,Direct Mem,#Threads,Shards,Final Size,Throughput,Note,\
              LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct,\
-             KeyDerefs,FreelistLocks,MagazineHits,OpRetries,Deadlines,WriteSheds,ScanSheds\n",
+             KeyDerefs,FreelistLocks,MagazineHits,OpRetries,Deadlines,WriteSheds,ScanSheds,\
+             ScanBatches,ScanRevals,ScanBufReuses\n",
         );
         for r in &self.rows {
             let rb = match &r.robustness {
                 Some(rb) => format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     rb.lock_retries,
                     rb.contended_aborts,
                     rb.failed_allocs,
@@ -160,9 +175,12 @@ impl Summary {
                     rb.op_retries,
                     rb.deadline_exceeded,
                     rb.write_sheds,
-                    rb.scan_sheds
+                    rb.scan_sheds,
+                    rb.scan_chunk_batches,
+                    rb.scan_revalidations,
+                    rb.scan_buffer_reuses
                 ),
-                None => ",,,,,,,,,,,,,".to_string(),
+                None => ",,,,,,,,,,,,,,,,".to_string(),
             };
             let _ = writeln!(
                 out,
@@ -217,7 +235,8 @@ impl Summary {
                          \"emergency_reclaims\": {}, \"fragmentation_pct\": {}, \
                          \"offheap_key_derefs\": {}, \"freelist_lock_acquires\": {}, \
                          \"magazine_hits\": {}, \"op_retries\": {}, \"deadline_exceeded\": {}, \
-                         \"write_sheds\": {}, \"scan_sheds\": {}}}",
+                         \"write_sheds\": {}, \"scan_sheds\": {}, \"scan_chunk_batches\": {}, \
+                         \"scan_revalidations\": {}, \"scan_buffer_reuses\": {}}}",
                         rb.lock_retries,
                         rb.contended_aborts,
                         rb.failed_allocs,
@@ -231,7 +250,10 @@ impl Summary {
                         rb.op_retries,
                         rb.deadline_exceeded,
                         rb.write_sheds,
-                        rb.scan_sheds
+                        rb.scan_sheds,
+                        rb.scan_chunk_batches,
+                        rb.scan_revalidations,
+                        rb.scan_buffer_reuses
                     );
                 }
                 None => out.push_str(", \"robustness\": null"),
@@ -397,9 +419,10 @@ mod tests {
         let csv = s.to_csv();
         assert!(csv.contains(
             "LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct,\
-             KeyDerefs,FreelistLocks,MagazineHits,OpRetries,Deadlines,WriteSheds,ScanSheds"
+             KeyDerefs,FreelistLocks,MagazineHits,OpRetries,Deadlines,WriteSheds,ScanSheds,\
+             ScanBatches,ScanRevals,ScanBufReuses"
         ));
-        assert!(csv.contains(",7,1,2,3,4,5,6,100,200,300,0,0,0,0\n"));
+        assert!(csv.contains(",7,1,2,3,4,5,6,100,200,300,0,0,0,0,0,0,0\n"));
         let table = s.to_table();
         assert!(table
             .contains("[retries=7 aborts=1 failed-allocs=2 poisoned=3 oom=4 reclaims=5 frag=6%]"));
@@ -422,13 +445,16 @@ mod tests {
                 offheap_key_derefs: 12345,
                 freelist_lock_acquires: 678,
                 magazine_hits: 91011,
+                scan_chunk_batches: 21,
+                scan_revalidations: 2,
+                scan_buffer_reuses: 19,
                 ..RobustnessStats::default()
             }),
         });
         // A healthy run (only traffic counters non-zero) prints no
         // incident bracket, but the counters are in the CSV.
         assert!(!s.to_table().contains("[retries="));
-        assert!(s.to_csv().contains(",12345,678,91011,0,0,0,0\n"));
+        assert!(s.to_csv().contains(",12345,678,91011,0,0,0,0,21,2,19\n"));
     }
 
     #[test]
@@ -449,6 +475,9 @@ mod tests {
                 offheap_key_derefs: 5,
                 freelist_lock_acquires: 6,
                 magazine_hits: 7,
+                scan_chunk_batches: 8,
+                scan_revalidations: 9,
+                scan_buffer_reuses: 10,
                 ..RobustnessStats::default()
             }),
         });
@@ -471,6 +500,9 @@ mod tests {
         assert!(json.contains("\"offheap_key_derefs\": 5"));
         assert!(json.contains("\"freelist_lock_acquires\": 6"));
         assert!(json.contains("\"magazine_hits\": 7"));
+        assert!(json.contains("\"scan_chunk_batches\": 8"));
+        assert!(json.contains("\"scan_revalidations\": 9"));
+        assert!(json.contains("\"scan_buffer_reuses\": 10"));
         assert!(json.contains("\"robustness\": null"));
         // Balanced braces/brackets: crude but effective shape check for a
         // hand-rolled encoder.
@@ -504,7 +536,7 @@ mod tests {
             }),
         });
         let csv = s.to_csv();
-        assert!(csv.contains(",11,12,13,14\n"));
+        assert!(csv.contains(",11,12,13,14,0,0,0\n"));
         let json = s.to_json("chaos --seed 1");
         assert!(json.contains("\"op_retries\": 11"));
         assert!(json.contains("\"deadline_exceeded\": 12"));

@@ -75,6 +75,24 @@ pub const SCENARIOS: &[Scenario] = &[
             stream: true,
         },
     },
+    // Bounded range scans (not in Figure 4; named after the ~live-entry
+    // count — ingestion populates half the ids, so span 100 ≈ 50 pairs).
+    // Short scans weigh the fixed positioning/snapshot cost, long scans
+    // the per-entry drain cost.
+    Scenario {
+        label: "4g-scan-50",
+        mix: Mix::RangeScan {
+            span: 100,
+            stream: true,
+        },
+    },
+    Scenario {
+        label: "4g-scan-1000",
+        mix: Mix::RangeScan {
+            span: 2_000,
+            stream: true,
+        },
+    },
 ];
 
 /// The default sharded competitor: four hash-routed shards.
@@ -93,21 +111,23 @@ pub fn competitors_for(label: &str) -> Vec<&'static str> {
 /// Builds an adapter by artifact name. `ShardedOak-N` builds an N-shard
 /// [`ShardedOakMap`] with hash-prefix routing.
 pub fn build(name: &str, pool: PoolConfig, chunk_capacity: u32) -> Arc<dyn MapAdapter> {
-    build_configured(name, pool, chunk_capacity, true)
+    build_configured(name, pool, chunk_capacity, true, true)
 }
 
-/// [`build`] with the Oak prefix cache toggled explicitly (A/B runs;
-/// magazines ride in on `pool.magazines`). Non-Oak competitors ignore the
-/// flag.
+/// [`build`] with the Oak prefix cache and chunk-batch scan pipeline
+/// toggled explicitly (A/B runs; magazines ride in on `pool.magazines`).
+/// Non-Oak competitors ignore both flags.
 pub fn build_configured(
     name: &str,
     pool: PoolConfig,
     chunk_capacity: u32,
     prefix_cache: bool,
+    batch_scan: bool,
 ) -> Arc<dyn MapAdapter> {
     let oak_cfg = OakMapConfig::default()
         .chunk_capacity(chunk_capacity)
         .prefix_cache(prefix_cache)
+        .batch_scan(batch_scan)
         .pool(pool.clone());
     if let Some(n) = name.strip_prefix("ShardedOak-") {
         let shards: usize = n.parse().expect("shard count in ShardedOak-N");
@@ -156,10 +176,12 @@ pub fn run_scenario(
         summary,
         verbose,
         true,
+        true,
     )
 }
 
-/// [`run_scenario`] with the Oak prefix cache toggled explicitly.
+/// [`run_scenario`] with the Oak prefix cache and batch-scan pipeline
+/// toggled explicitly.
 #[allow(clippy::too_many_arguments)]
 pub fn run_scenario_configured(
     scenario: &Scenario,
@@ -171,10 +193,12 @@ pub fn run_scenario_configured(
     summary: &mut Summary,
     verbose: bool,
     prefix_cache: bool,
+    batch_scan: bool,
 ) {
     for name in competitors_for(scenario.label) {
         for &t in threads {
-            let map = build_configured(name, pool.clone(), chunk_capacity, prefix_cache);
+            let map =
+                build_configured(name, pool.clone(), chunk_capacity, prefix_cache, batch_scan);
             ingest(map.as_ref(), workload);
             let r = sustained(&map, workload, scenario.mix, t, duration);
             if verbose {
@@ -407,7 +431,7 @@ mod tests {
     #[test]
     fn scenario_table_covers_figure_4() {
         let labels: Vec<&str> = SCENARIOS.iter().map(|s| s.label).collect();
-        for fig in ["4a", "4b", "4c", "4d", "4e", "4f"] {
+        for fig in ["4a", "4b", "4c", "4d", "4e", "4f", "4g"] {
             assert!(
                 labels.iter().any(|l| l.starts_with(fig)),
                 "figure {fig} uncovered"
@@ -437,7 +461,7 @@ mod tests {
     #[test]
     fn sharded_competitor_in_every_scan_scenario() {
         for s in SCENARIOS {
-            if s.label.starts_with("4e") || s.label.starts_with("4f") {
+            if s.label.starts_with("4e") || s.label.starts_with("4f") || s.label.starts_with("4g") {
                 assert!(
                     competitors_for(s.label).contains(&SHARDED_DEFAULT),
                     "{} misses the sharded competitor",
@@ -515,6 +539,64 @@ mod tests {
             "magazines saved too little: {} locks/Mop on vs {} off",
             locks_on,
             locks_off
+        );
+    }
+
+    #[test]
+    fn range_scan_scenario_feeds_batch_counters() {
+        // 4g smoke: batch mode must report chunk-snapshot and buffer-reuse
+        // traffic through the robustness columns; per-entry mode must not
+        // touch the batch counters at all (the A/B toggle really routes).
+        let wl = WorkloadConfig {
+            key_range: 600,
+            key_size: 32,
+            value_size: 64,
+            seed: 11,
+            distribution: crate::workload::KeyDistribution::Uniform,
+        };
+        let sc = SCENARIOS
+            .iter()
+            .find(|s| s.label == "4g-scan-50")
+            .expect("4g scenario registered");
+        let oak_stats = |batch: bool| {
+            let mut summary = Summary::new();
+            run_scenario_configured(
+                sc,
+                &[1],
+                &wl,
+                PoolConfig::small(),
+                64,
+                Duration::from_millis(40),
+                &mut summary,
+                false,
+                true,
+                batch,
+            );
+            summary
+                .rows()
+                .iter()
+                .find(|r| r.bench == "OakMap")
+                .expect("OakMap row")
+                .robustness
+                .expect("oak reports pool stats")
+        };
+        let on = oak_stats(true);
+        assert!(
+            on.scan_chunk_batches > 0,
+            "batch pipeline never engaged: {on:?}"
+        );
+        assert!(
+            on.scan_buffer_reuses > 0,
+            "cursor buffers never reused: {on:?}"
+        );
+        let off = oak_stats(false);
+        assert_eq!(
+            off.scan_chunk_batches, 0,
+            "per-entry mode filled a batch: {off:?}"
+        );
+        assert_eq!(
+            off.scan_buffer_reuses, 0,
+            "per-entry mode reused a batch buffer: {off:?}"
         );
     }
 

@@ -189,6 +189,18 @@ pub enum Mix {
         /// Stream vs Set API.
         stream: bool,
     },
+    /// Bounded range scans (`4g`): ascend over `[key(id), key(id + span))`
+    /// from a sampled start key. Unlike [`Mix::AscendScan`], the scan is
+    /// bounded by a *key*, not an entry count, so short scans measure the
+    /// fixed per-scan cost (positioning + snapshot) and long ones the
+    /// per-entry drain cost.
+    RangeScan {
+        /// Key-id width of the scanned range. Ingestion populates half the
+        /// ids, so a scan visits about `span / 2` live entries.
+        span: u64,
+        /// Stream (object-reusing) vs Set API.
+        stream: bool,
+    },
     /// Delete-heavy churn: 50% put / 50% remove (exercises the memory
     /// managers; used by the reclamation ablation).
     PutRemoveChurn,

@@ -23,9 +23,14 @@ fn key(i: usize) -> Vec<u8> {
     format!("k{i:02}").into_bytes()
 }
 
-/// Capacity-8 chunks; rebalance only on chunk-full.
+/// Capacity-8 chunks; rebalance only on chunk-full. The per-entry walker
+/// is pinned on (`batch_scan(false)`): these schedules gate on its
+/// fine-grained `iter/ascend-step` / `iter/descend-step` /
+/// `iter/stale-reenter` sites, which the batch pipeline replaces with
+/// per-batch sites (see [`batch_refill_revalidates_after_split`] for the
+/// batch-granularity equivalent).
 fn config() -> OakMapConfig {
-    let mut cfg = OakMapConfig::small().chunk_capacity(8);
+    let mut cfg = OakMapConfig::small().chunk_capacity(8).batch_scan(false);
     cfg.rebalance_unsorted_ratio = 10.0;
     cfg
 }
@@ -296,6 +301,97 @@ fn splice_heals_resurrected_tail_chunk() {
         true
     });
     assert_eq!(seen, expect, "post-race map contents diverged");
+}
+
+/// R5 — batch-mode scan crossing a chunk that rebalances mid-scan: the
+/// batch-granularity counterpart of R3.
+///
+/// With `batch_scan` on (the default) the cursor snapshots k0..k5 into
+/// its first batch at construction, drains all six entries, and parks at
+/// the once-per-batch `iter/batch-refill` revalidation site. The writer
+/// then removes k4, splits the chunk (inserts k6, k7), re-inserts k4,
+/// and appends k8 — so the chunk under the drained snapshot is frozen,
+/// replaced, and its revision stamp advanced. The resumed refill must
+/// detect staleness (replacement pointer + revision mismatch), re-locate
+/// through the index bounded by the last drained key (k5), and deliver
+/// the post-split tail exactly once: k6, k7 from the replacement chunk
+/// and the newly appended k8. The already-yielded k0..k5 must not
+/// repeat, and the revalidation must be visible in the pool counters.
+#[test]
+fn batch_refill_revalidates_after_split() {
+    for entries in [false, true] {
+        let mut cfg = OakMapConfig::small().chunk_capacity(8);
+        cfg.rebalance_unsorted_ratio = 10.0;
+        assert!(cfg.batch_scan, "batch mode is the default under test");
+        let map = OakMap::with_config(cfg);
+        for i in 0..6 {
+            map.put(&key(i), b"old").unwrap();
+        }
+
+        let schedule = SyncSchedule::parse(
+            "scan@iter/batch-step      # drain k0 from the snapshot
+             scan@test/yielded
+             scan@iter/batch-step      # k1
+             scan@test/yielded
+             scan@iter/batch-step      # k2
+             scan@test/yielded
+             scan@iter/batch-step      # k3
+             scan@test/yielded
+             scan@iter/batch-step      # k4
+             scan@test/yielded
+             scan@iter/batch-step      # k5
+             scan@test/yielded         # batch drained -> releases the writer
+             mut@test/go               # writer: remove k4, split, re-put k4, put k8
+             mut@test/done
+             scan@iter/batch-refill    # the once-per-batch revalidation fires",
+        )
+        .unwrap();
+        let session = sync_scenario(schedule);
+
+        let collected = std::thread::scope(|s| {
+            let scanner = s.spawn(|| collect_ascend(&map, entries));
+
+            let _role = sync_role("mut");
+            sync_point!("test/go");
+            map.remove(&key(4));
+            map.put(&key(6), b"old").unwrap(); // 7th entry
+            map.put(&key(7), b"old").unwrap(); // 8th entry -> split
+            map.put(&key(4), b"new").unwrap(); // behind the resume key
+            map.put(&key(8), b"new").unwrap(); // ahead of the resume key
+            sync_point!("test/done");
+
+            scanner.join().unwrap()
+        });
+
+        assert!(
+            session.completed(),
+            "entries={entries}: schedule abandoned — the batch refill \
+             never fired; remaining steps: {:?}",
+            session.remaining()
+        );
+        // k0..k5 from the pre-split snapshot (k4 yielded before its
+        // remove — legal §1.1), then the post-split tail. The re-put k4
+        // sits behind the k5 resume bound: delivering it again would be
+        // a duplicate, not freshness.
+        let mut expect: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..8).map(|i| (key(i), b"old".to_vec())).collect();
+        expect.push((key(8), b"new".to_vec()));
+        assert_eq!(
+            collected, expect,
+            "entries={entries}: batch scan lost or repeated keys across \
+             the mid-scan rebalance"
+        );
+        let pool = map.stats().pool;
+        assert!(
+            pool.scan_revalidations >= 1,
+            "entries={entries}: the stale refill was not counted"
+        );
+        assert!(
+            pool.scan_chunk_batches >= 2,
+            "entries={entries}: expected at least the construction \
+             snapshot plus the revalidated one"
+        );
+    }
 }
 
 /// R3 — ascending freshness across a remove + split + reinsert, on both

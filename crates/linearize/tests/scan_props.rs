@@ -193,3 +193,126 @@ fn scan_properties_sharded_map() {
     let map = ShardedOakMap::with_config(4, cramped());
     run_props(&map, 60, 0xd15c);
 }
+
+// --- batch / per-entry A/B ---------------------------------------------
+//
+// `cramped()` runs the default batch pipeline; the tests below pin the
+// per-entry walker (`batch_scan(false)`) on the same properties, and
+// check the two modes agree entry-for-entry against a `BTreeMap` model
+// on a quiescent map. Together with the churn runs above, any §1.1
+// divergence between the modes fails one of these.
+
+/// Per-entry walker under the same concurrent-churn properties.
+#[test]
+fn scan_properties_oak_map_per_entry() {
+    let map = OakMap::with_config(cramped().batch_scan(false));
+    run_props(&map, 40, 0xba7c);
+}
+
+#[test]
+fn scan_properties_sharded_map_per_entry() {
+    let map = ShardedOakMap::with_config(4, cramped().batch_scan(false));
+    run_props(&map, 40, 0x0ff5);
+}
+
+/// Both modes under seeded failpoint schedules over the iterator
+/// decision sites (`iter/*` is all-passive: yields and delays, no
+/// injected errors — the churn writers must keep succeeding). The
+/// perturbation stretches the windows between a batch snapshot and its
+/// revalidation, and between per-entry steps and their staleness
+/// checks.
+#[test]
+fn scan_properties_under_failpoint_schedules() {
+    let _s = oak_failpoints::scenario();
+    let iter_sites: Vec<_> = oak_core::all_failpoint_sites()
+        .into_iter()
+        .filter(|s| s.name.starts_with("iter/"))
+        .collect();
+    for (batch, seed) in [(true, 0x17a6u64), (false, 0x9e11u64)] {
+        oak_failpoints::clear();
+        oak_failpoints::Schedule::generate(seed, &iter_sites).install();
+        let map = OakMap::with_config(cramped().batch_scan(batch));
+        run_props(&map, 20, seed ^ 0xfa11);
+    }
+    oak_failpoints::clear();
+}
+
+/// Quiescent equivalence: after an identical seeded edit history, the
+/// batch pipeline, the per-entry walker and a `BTreeMap` model must
+/// agree *exactly* — ascending and descending, bounded and unbounded,
+/// on both the stream and the Set-entries APIs.
+#[test]
+fn batch_and_per_entry_scans_agree_with_model() {
+    use std::collections::BTreeMap;
+
+    let batch = OakMap::with_config(cramped());
+    let per_entry = OakMap::with_config(cramped().batch_scan(false));
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+    let mut rng = SplitMix64(0xe9a1);
+    for _ in 0..600 {
+        let i = rng.below(UNIVERSE as u64) as usize;
+        match rng.below(3) {
+            0 => {
+                batch.remove(&key(i));
+                per_entry.remove(&key(i));
+                model.remove(&key(i));
+            }
+            _ => {
+                let v = volatile_value(rng.below(4));
+                batch.put(&key(i), &v).unwrap();
+                per_entry.put(&key(i), &v).unwrap();
+                model.insert(key(i), v);
+            }
+        }
+    }
+
+    let collect = |map: &OakMap, desc: bool, entries: bool, a: Option<usize>, b: Option<usize>| {
+        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut f = |k: &[u8], v: &[u8]| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        };
+        let lk = a.map(key);
+        let hk = b.map(key); // ascend's hi bound, exclusive
+                             // descend's `from` is inclusive: key(b - 1) covers the same range
+                             // (the keyspace is exactly the key(i) universe).
+        let fk = b.map(|b| key(b - 1));
+        match (desc, entries) {
+            (false, false) => map.ascend(lk.as_deref(), hk.as_deref(), &mut f),
+            (false, true) => map.ascend_entries(lk.as_deref(), hk.as_deref(), &mut f),
+            (true, false) => map.descend(fk.as_deref(), lk.as_deref(), &mut f),
+            (true, true) => map.descend_entries(fk.as_deref(), lk.as_deref(), &mut f),
+        };
+        out
+    };
+
+    let mut bounds: Vec<(Option<usize>, Option<usize>)> = vec![(None, None)];
+    for _ in 0..20 {
+        let a = rng.below(UNIVERSE as u64) as usize;
+        let b = rng.below(UNIVERSE as u64) as usize;
+        bounds.push((Some(a.min(b)), Some(a.max(b) + 1)));
+    }
+
+    for &(a, b) in &bounds {
+        for desc in [false, true] {
+            for entries in [false, true] {
+                let got_batch = collect(&batch, desc, entries, a, b);
+                let got_legacy = collect(&per_entry, desc, entries, a, b);
+                let mut expect: Vec<(Vec<u8>, Vec<u8>)> = match (a, b) {
+                    (Some(a), Some(b)) => model
+                        .range(key(a)..key(b))
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                    _ => model.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+                };
+                if desc {
+                    expect.reverse();
+                }
+                let ctx = format!("bounds {a:?}..{b:?} desc={desc} entries={entries}");
+                assert_eq!(got_batch, expect, "batch vs model diverged: {ctx}");
+                assert_eq!(got_legacy, expect, "per-entry vs model diverged: {ctx}");
+            }
+        }
+    }
+}

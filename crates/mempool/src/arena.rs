@@ -97,6 +97,15 @@ impl Arena {
         std::slice::from_raw_parts_mut(self.ptr.as_ptr().add(offset as usize), len as usize)
     }
 
+    /// The virtual address of the byte at `offset` — address arithmetic
+    /// only, no access permission implied. Callers that later dereference
+    /// the address must hold whatever synchronization the range requires.
+    #[inline]
+    pub fn addr_of(&self, offset: u32) -> usize {
+        self.check(offset, 0);
+        self.ptr.as_ptr() as usize + offset as usize
+    }
+
     /// Returns a reference to an `AtomicU32` embedded at `offset`.
     ///
     /// # Safety

@@ -118,6 +118,16 @@ impl LockState {
     }
 }
 
+/// Outcome of [`Header::try_read_lock`].
+pub(crate) enum TryReadLock {
+    /// The read lock is held; release with `read_unlock`.
+    Held,
+    /// A writer is active — acquire through the waiting path instead.
+    Busy,
+    /// The value is deleted.
+    Dead,
+}
+
 /// A borrowed view of one header's three words.
 ///
 /// Constructed by [`Header::at`]; all synchronization for the value payload
@@ -143,11 +153,64 @@ impl<'a> Header<'a> {
         // generation in the length field; resolve against the fixed slot
         // extent either way.
         let slot = SliceRef::new(h.block(), h.offset(), HEADER_SIZE as u32);
+        let (state, generation, payload) = pool.header_words(slot);
         Header {
-            state: pool.atomic_u32_at(slot, 0),
-            generation: pool.atomic_u32_at(slot, 4),
-            payload: pool.atomic_u64_at(slot, 8),
+            state,
+            generation,
+            payload,
             counters: pool.counters(),
+        }
+    }
+
+    /// Rebuilds a header view from a base address previously obtained via
+    /// [`base_addr`](Self::base_addr).
+    ///
+    /// # Safety
+    /// `base` must be the base address of a live header slot in the pool
+    /// that owns `counters` (arenas never move, so any address from
+    /// `base_addr` stays valid for the pool's lifetime).
+    #[inline]
+    pub(crate) unsafe fn from_base(base: usize, counters: &'a Counters) -> Self {
+        Header {
+            state: &*(base as *const AtomicU32),
+            generation: &*((base + 4) as *const AtomicU32),
+            payload: &*((base + 8) as *const AtomicU64),
+            counters,
+        }
+    }
+
+    /// The slot's base address (the address of its state word), for
+    /// deferred operations that must not repeat the block translation —
+    /// scan batches release their fill-time read locks through
+    /// [`from_base`](Self::from_base).
+    #[inline]
+    pub(crate) fn base_addr(&self) -> usize {
+        self.state.as_ptr() as usize
+    }
+
+    /// Single-attempt read-lock acquisition for snapshot scans: never
+    /// backs off. Retries the CAS only against reader-count churn; a
+    /// writer or the deleted bit resolves immediately.
+    #[inline]
+    pub(crate) fn try_read_lock(&self) -> TryReadLock {
+        let mut cur = self.state.load(Ordering::Acquire);
+        loop {
+            if cur & DELETED != 0 {
+                return TryReadLock::Dead;
+            }
+            if cur & WRITER != 0 {
+                return TryReadLock::Busy;
+            }
+            debug_assert!(cur & READER_MASK < READER_MASK, "reader count overflow");
+            match self.state.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return TryReadLock::Held,
+                Err(now) => cur = now,
+            }
         }
     }
 

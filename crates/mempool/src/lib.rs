@@ -50,7 +50,7 @@ pub use pool::{MemoryPool, PoolConfig};
 pub use refs::{SliceRef, MAX_ARENA_SIZE, MAX_BLOCKS, MAX_SLICE_LEN};
 pub use shared::{ArenaPool, ArenaPoolStats};
 pub use stats::PoolStats;
-pub use value::{ReclamationPolicy, ValueBytes, ValueBytesMut, ValueStore};
+pub use value::{ReclamationPolicy, ScanLock, ValueBytes, ValueBytesMut, ValueStore};
 
 /// Canonical failpoint sites declared by this crate (see the `failpoints`
 /// feature and DESIGN.md "Failure model & panic safety"). Errorable sites

@@ -493,6 +493,43 @@ impl MemoryPool {
         self.block(r.block()).arena.atomic_u64(r.offset() + delta)
     }
 
+    /// The current virtual address of `r`'s first byte. Address
+    /// translation only — arenas never move, so the result stays valid for
+    /// the pool's lifetime, but dereferencing it requires the same
+    /// synchronization as [`slice`](Self::slice) (and happens at the
+    /// caller's access site, which is where audit checks belong).
+    #[inline]
+    pub fn resolve_addr(&self, r: SliceRef) -> usize {
+        self.block(r.block()).arena.addr_of(r.offset())
+    }
+
+    /// The three words of a 16-byte value header (lock state, generation,
+    /// payload reference), resolved with a single block translation.
+    /// Equivalent to three `atomic_*_at` calls, but the block bounds check
+    /// and `OnceLock` resolution happen once — this sits on every get and
+    /// on every entry a scan yields.
+    ///
+    /// # Safety
+    /// `r` must reference a 16-byte, 8-aligned header slot in this pool
+    /// (every `HeaderRef` the value store hands out satisfies this).
+    #[inline]
+    pub unsafe fn header_words(
+        &self,
+        r: SliceRef,
+    ) -> (
+        &std::sync::atomic::AtomicU32,
+        &std::sync::atomic::AtomicU32,
+        &AtomicU64,
+    ) {
+        let arena = &self.block(r.block()).arena;
+        let off = r.offset();
+        (
+            arena.atomic_u32(off),
+            arena.atomic_u32(off + 4),
+            arena.atomic_u64(off + 8),
+        )
+    }
+
     /// Copies the referenced bytes out into a `Vec`.
     ///
     /// # Safety
@@ -565,6 +602,35 @@ impl MemoryPool {
     /// Records a scan shed (`Overloaded`) by the degraded-mode controller.
     pub fn note_scan_shed(&self) {
         self.counters.scan_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one chunk-batch snapshot taken by the batch scan pipeline.
+    /// Called once per batch, never per entry, so the accounting cost is
+    /// amortized like the staleness check it counts.
+    #[inline]
+    pub fn note_scan_chunk_batch(&self) {
+        self.counters
+            .scan_chunk_batches
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a batch refill that found its chunk changed (revision stamp
+    /// advanced or replacement published) and had to re-locate via the
+    /// index.
+    #[inline]
+    pub fn note_scan_revalidation(&self) {
+        self.counters
+            .scan_revalidations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a batch refill that reused the scan cursor's on-heap buffer
+    /// capacity instead of growing a fresh allocation.
+    #[inline]
+    pub fn note_scan_buffer_reuse(&self) {
+        self.counters
+            .scan_buffer_reuses
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn counters(&self) -> &Counters {

@@ -33,6 +33,9 @@ pub(crate) struct Counters {
     pub(crate) deadline_exceeded: AtomicU64,
     pub(crate) overload_sheds: AtomicU64,
     pub(crate) scan_sheds: AtomicU64,
+    pub(crate) scan_chunk_batches: AtomicU64,
+    pub(crate) scan_revalidations: AtomicU64,
+    pub(crate) scan_buffer_reuses: AtomicU64,
 }
 
 /// Free-list aggregates gathered by walking the arenas.
@@ -82,6 +85,9 @@ impl Counters {
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             overload_sheds: self.overload_sheds.load(Ordering::Relaxed),
             scan_sheds: self.scan_sheds.load(Ordering::Relaxed),
+            scan_chunk_batches: self.scan_chunk_batches.load(Ordering::Relaxed),
+            scan_revalidations: self.scan_revalidations.load(Ordering::Relaxed),
+            scan_buffer_reuses: self.scan_buffer_reuses.load(Ordering::Relaxed),
         }
     }
 }
@@ -164,6 +170,19 @@ pub struct PoolStats {
     /// Scans shed by the degraded-mode controller (`Overloaded` surfaced
     /// to a budgeted scan).
     pub scan_sheds: u64,
+    /// Chunk batches snapshotted by the batch scan pipeline: each is one
+    /// staleness/revision check amortized over every entry it yields (the
+    /// one-check-per-chunk invariant's proof counter).
+    pub scan_chunk_batches: u64,
+    /// Batch refills that found their chunk changed (frozen/replaced,
+    /// revision stamp advanced) and re-located via the index. Low values
+    /// relative to `scan_chunk_batches` show scans revalidate only when a
+    /// chunk actually changed.
+    pub scan_revalidations: u64,
+    /// Batch refills that reused the cursor's on-heap buffer capacity
+    /// instead of allocating a fresh one (per-scan allocation is O(1), not
+    /// O(entries)).
+    pub scan_buffer_reuses: u64,
 }
 
 impl PoolStats {
@@ -203,6 +222,9 @@ impl PoolStats {
         self.deadline_exceeded += other.deadline_exceeded;
         self.overload_sheds += other.overload_sheds;
         self.scan_sheds += other.scan_sheds;
+        self.scan_chunk_batches += other.scan_chunk_batches;
+        self.scan_revalidations += other.scan_revalidations;
+        self.scan_buffer_reuses += other.scan_buffer_reuses;
         self
     }
 

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 
 use crate::audit::AllocClass;
 use crate::error::{AccessError, AllocError, ContendedInfo, ValueOpError};
-use crate::header::{Header, HeaderRef, LockLimit, LockState, HEADER_SIZE};
+use crate::header::{Header, HeaderRef, LockLimit, LockState, TryReadLock, HEADER_SIZE};
 use crate::pool::MemoryPool;
 use crate::refs::SliceRef;
 
@@ -42,6 +42,28 @@ pub enum ReclamationPolicy {
 /// reference's length field).
 const GEN_BITS: u32 = 20;
 const GEN_MASK: u32 = (1 << GEN_BITS) - 1;
+
+/// Outcome of [`ValueStore::scan_lock`] — fill-time value admission for
+/// snapshot scan batches.
+#[derive(Debug, Clone, Copy)]
+pub enum ScanLock {
+    /// The read lock is held and the payload resolved: deliver the bytes
+    /// at `vptr..vptr + vlen` (empty value when `vlen == 0`), then release
+    /// via [`ValueStore::scan_unlock`] with `hbase`.
+    Held {
+        /// The header slot's base address (release token).
+        hbase: usize,
+        /// Resolved payload address (0 for empty values).
+        vptr: usize,
+        /// Payload length in bytes.
+        vlen: u32,
+    },
+    /// Live, but a writer holds the lock: read this entry individually
+    /// through the waiting path ([`ValueStore::read`]).
+    Contended,
+    /// Deleted (or stale generation): skip the entry.
+    Dead,
+}
 
 /// Allocation and atomic access for header-fronted values.
 ///
@@ -134,7 +156,11 @@ impl ValueStore {
     }
 
     /// Acquires the read lock and validates the reference generation.
-    fn read_locked(&self, h: HeaderRef, deadline: Option<Instant>) -> Result<Header<'_>, AccessError> {
+    fn read_locked(
+        &self,
+        h: HeaderRef,
+        deadline: Option<Instant>,
+    ) -> Result<Header<'_>, AccessError> {
         // SAFETY: h designates a header slot from allocate_value.
         let header = unsafe { Header::at(&self.pool, h) };
         header.read_lock(&self.limit(deadline))?;
@@ -146,7 +172,11 @@ impl ValueStore {
     }
 
     /// Acquires the write lock and validates the reference generation.
-    fn write_locked(&self, h: HeaderRef, deadline: Option<Instant>) -> Result<Header<'_>, AccessError> {
+    fn write_locked(
+        &self,
+        h: HeaderRef,
+        deadline: Option<Instant>,
+    ) -> Result<Header<'_>, AccessError> {
         // SAFETY: h designates a header slot from allocate_value.
         let header = unsafe { Header::at(&self.pool, h) };
         header.write_lock(&self.limit(deadline))?;
@@ -219,6 +249,53 @@ impl ValueStore {
             // Fresh slot: generation 0.
             ReclamationPolicy::ReclaimHeaders => Ok(SliceRef::new(href.block(), href.offset(), 0)),
         }
+    }
+
+    /// Admits one entry into a scan snapshot: tries the read lock once
+    /// (no waiting), and on success resolves the payload's address so the
+    /// scan's drain can deliver the bytes without re-translating. The
+    /// returned lock — readers only exclude writers, so holding it across
+    /// a bounded batch drain keeps the delivery torn-read-free without
+    /// blocking other scans — must be released with
+    /// [`scan_unlock`](Self::scan_unlock).
+    ///
+    /// `Contended` (a writer was active) and `Dead` (deleted, or a stale
+    /// generation under the reclaiming policy) leave nothing held.
+    #[inline]
+    pub fn scan_lock(&self, h: HeaderRef) -> ScanLock {
+        // SAFETY: h designates a header slot from allocate_value.
+        let header = unsafe { Header::at(&self.pool, h) };
+        match header.try_read_lock() {
+            TryReadLock::Dead => ScanLock::Dead,
+            TryReadLock::Busy => ScanLock::Contended,
+            TryReadLock::Held => {
+                if !self.gen_matches(&header, h) {
+                    header.read_unlock();
+                    return ScanLock::Dead;
+                }
+                let payload = header.payload();
+                let (vptr, vlen) = if payload.is_null() {
+                    (0, 0)
+                } else {
+                    (self.pool.resolve_addr(payload), payload.len())
+                };
+                ScanLock::Held {
+                    hbase: header.base_addr(),
+                    vptr,
+                    vlen,
+                }
+            }
+        }
+    }
+
+    /// Releases a read lock taken by [`scan_lock`](Self::scan_lock).
+    ///
+    /// # Safety
+    /// `hbase` must come from a `ScanLock::Held` issued by this store's
+    /// pool and be released exactly once.
+    #[inline]
+    pub unsafe fn scan_unlock(&self, hbase: usize) {
+        Header::from_base(hbase, self.pool.counters()).read_unlock();
     }
 
     /// Atomically reads the value, passing the payload bytes to `f`.

@@ -27,7 +27,7 @@ use crate::error::OakError;
 /// The default is the map's legacy discipline: retry contention immediately
 /// and forever (the header-lock backoff ladder already paces the loop), and
 /// surface injected/transient allocation faults to the caller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RetryPolicy {
     /// Maximum budgeted retries per operation; `None` means unlimited.
     pub max_retries: Option<u32>,
@@ -41,17 +41,6 @@ pub struct RetryPolicy {
     /// this policy instead of being surfaced. Chaos testing runs with this
     /// enabled so seeded fault schedules exercise the retry discipline.
     pub retry_transient_faults: bool,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_retries: None,
-            base_micros: 0,
-            cap_micros: 0,
-            retry_transient_faults: false,
-        }
-    }
 }
 
 impl RetryPolicy {
@@ -136,7 +125,8 @@ impl OpBudget {
 
     /// Time left before expiry (`None` = unbounded).
     pub fn remaining(&self) -> Option<Duration> {
-        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
     /// Cooperative cancellation point: called at the top of retry loops,

@@ -35,6 +35,7 @@
 //! | `sync` (pub/freeze) | AcqRel / Acquire   | handshake: `unpublish`'s AcqRel decrement synchronizes every completed mutation with the freezer's Acquire drain loop — this is what makes frozen entries stable for copying, NOT the cursor below |
 //! | `alloc_cursor`      | Relaxed            | pure index reservation / monotone accounting: the fetch-add precedes the entry-field writes, so no ordering on it could ever publish them; readers of `allocated()` only gate heuristics (`needs_reorg`) or scan entries whose own `key` loads synchronize |
 //! | `live_hint`         | Relaxed            | monotone merge heuristic, tolerates drift by design |
+//! | `revision`          | Relaxed            | Jiffy-style change stamp for batch scans: bumped at freeze and replacement publication, compared once per drained batch. A missed bump only delays the scan's index re-location by one hop — hopping through a replaced chunk's `next`/replacement chain is independently §1.1-correct — so the stamp is a staleness *hint* and needs no ordering; the `replacement` `OnceLock` carries its own synchronization |
 //!
 //! Pool statistics (`oak_mempool::stats::Counters`) and the reclamation
 //! byte/count gauges are likewise Relaxed: they are monotone accounting
@@ -95,6 +96,44 @@ pub(crate) enum LinkOutcome {
     Frozen,
 }
 
+/// One snapshot record in a scan batch: the key's slice reference, the
+/// key bytes' address (the pool block translation runs once at fill time
+/// instead of once per yield), the value header, and — for stream drains
+/// — the fill-time scan-lock lease with the payload's resolved address.
+#[derive(Clone, Copy)]
+pub(crate) struct BatchEntry {
+    /// The key's pool reference (revalidation re-locates from this).
+    pub(crate) key: SliceRef,
+    /// `pool.slice(key).as_ptr()`, stored untyped so batch buffers stay
+    /// `Send`. Valid while the filling scan's epoch pin is held: key bytes
+    /// are immutable and pinned slices are never reclaimed.
+    pub(crate) kptr: usize,
+    /// The entry's value header.
+    pub(crate) hdr: HeaderRef,
+    /// Release token of the read lock taken at fill time
+    /// ([`ValueStore::scan_lock`](oak_mempool::ValueStore::scan_lock));
+    /// 0 when this entry holds no lease (Set-API cursors, or the writer
+    /// was active at fill) — such entries are read individually at yield.
+    pub(crate) hbase: usize,
+    /// Resolved payload address (valid only when `hbase != 0`; 0 for
+    /// empty values).
+    pub(crate) vptr: usize,
+    /// Payload length in bytes (valid only when `hbase != 0`).
+    pub(crate) vlen: u32,
+}
+
+impl BatchEntry {
+    /// The key bytes through the fill-time resolved address.
+    ///
+    /// # Safety
+    /// The epoch pin held when the batch was filled must still be held
+    /// (scan cursors hold theirs for their whole lifetime).
+    #[inline]
+    pub(crate) unsafe fn key_bytes(&self) -> &[u8] {
+        std::slice::from_raw_parts(self.kptr as *const u8, self.key.len() as usize)
+    }
+}
+
 /// A chunk of the Oak map.
 pub(crate) struct Chunk {
     /// Lower bound of this chunk's key range (invariant over its lifetime).
@@ -120,6 +159,12 @@ pub(crate) struct Chunk {
     link_hint: AtomicU32,
     /// Next chunk in the chunk list.
     next: RwLock<Option<Arc<Chunk>>>,
+    /// Jiffy-style revision stamp: advanced when the chunk stops being a
+    /// safe resting point for a batch scan (freeze, replacement
+    /// publication). Batch cursors record it once per chunk snapshot and
+    /// compare it once per drained batch — one staleness check per chunk,
+    /// not per entry (see the ordering table).
+    revision: AtomicU64,
     /// Set when this chunk has been replaced by rebalance: the chunks that
     /// now cover its range (first element starts at `min_key`).
     replacement: OnceLock<Arc<Chunk>>,
@@ -139,6 +184,7 @@ impl Chunk {
             sync: AtomicU32::new(0),
             live_hint: AtomicU32::new(0),
             link_hint: AtomicU32::new(NONE),
+            revision: AtomicU64::new(0),
             next: RwLock::new(None),
             replacement: OnceLock::new(),
             rebalance_lock: Mutex::new(()),
@@ -177,6 +223,7 @@ impl Chunk {
             sync: AtomicU32::new(0),
             live_hint: AtomicU32::new(items.len() as u32),
             link_hint: AtomicU32::new(NONE),
+            revision: AtomicU64::new(0),
             next: RwLock::new(None),
             replacement: OnceLock::new(),
             rebalance_lock: Mutex::new(()),
@@ -269,6 +316,11 @@ impl Chunk {
     /// After this returns, entry values are stable for copying.
     pub(crate) fn freeze(&self) {
         oak_failpoints::sync_point!("chunk/freeze");
+        // A frozen chunk is no longer a safe resting point for batch scans
+        // (its replacement is imminent): advance the revision stamp so a
+        // scan draining a pre-freeze snapshot re-locates at its next
+        // refill instead of trusting `next`.
+        self.revision.fetch_add(1, Ordering::Relaxed);
         self.sync.fetch_or(FROZEN, Ordering::AcqRel);
         let mut spins = 0u32;
         while self.sync.load(Ordering::Acquire) & !FROZEN != 0 {
@@ -316,6 +368,16 @@ impl Chunk {
         self.replacement
             .set(r)
             .unwrap_or_else(|_| panic!("chunk replaced twice"));
+        // Stamp after the pointer publishes: a batch refill that reads the
+        // pre-bump revision in the race window still sees the replacement
+        // via its own `replacement()` check (refills test both).
+        self.revision.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The chunk's current revision stamp (see the ordering table).
+    #[inline]
+    pub(crate) fn revision(&self) -> u64 {
+        self.revision.load(Ordering::Relaxed)
     }
 
     // --- entries ----------------------------------------------------------
@@ -641,6 +703,85 @@ impl Chunk {
             }
             // Lost a race; retry the position search.
         }
+    }
+
+    /// Snapshots up to `max` live entries into `out` in one pass over the
+    /// sorted linked list, starting at entry `start` — the batch-scan
+    /// building block. Entries are appended as [`BatchEntry`] records with
+    /// the key bytes' address resolved once at fill time; `admit` judges
+    /// each live candidate's value header — returning the fill-time lease
+    /// `(hbase, vptr, vlen)` to record (all-zero for "read at yield"), or
+    /// `None` to skip a dead entry without leaving the walk.
+    ///
+    /// `strict_after` skips entries ≤ the given `(key, prefix)` — the
+    /// cursor's resume bound after a hop or re-entry; since the list is
+    /// sorted the comparison stops being evaluated after the first entry
+    /// beyond the bound. `hi` is an upper bound `(key, prefix, inclusive)`
+    /// checked per entry through the cached prefixes; callers pass `None`
+    /// when the successor chunk's `min_key` already proves the whole chunk
+    /// in range (the chunk-range fast path — zero per-entry bound checks).
+    ///
+    /// Returns `(resume, bounded)`: `resume` is the entry to continue from
+    /// when `max` stopped the walk (`NONE` when the list or bound ended
+    /// it), `bounded` reports that the upper bound was reached — the scan
+    /// is finished, not just this chunk.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn collect_batch<C: KeyComparator>(
+        &self,
+        pool: &MemoryPool,
+        cmp: &C,
+        start: u32,
+        strict_after: Option<(&[u8], u64)>,
+        hi: Option<(&[u8], u64, bool)>,
+        max: usize,
+        mut admit: impl FnMut(HeaderRef) -> Option<(usize, usize, u32)>,
+        out: &mut Vec<BatchEntry>,
+    ) -> (u32, bool) {
+        let mut cur = start;
+        let mut skipping = strict_after;
+        while cur != NONE {
+            if out.len() >= max {
+                return (cur, false);
+            }
+            if let Some((k, kp)) = skipping {
+                if self.compare_entry_key(pool, cmp, cur, k, kp) != std::cmp::Ordering::Greater {
+                    cur = self.entry_next(cur);
+                    continue;
+                }
+                // Sorted list: every later entry is beyond the bound too.
+                skipping = None;
+            }
+            if let Some((b, bp, inclusive)) = hi {
+                let ord = self.compare_entry_key(pool, cmp, cur, b, bp);
+                let beyond = if inclusive {
+                    ord == std::cmp::Ordering::Greater
+                } else {
+                    ord != std::cmp::Ordering::Less
+                };
+                if beyond {
+                    return (NONE, true);
+                }
+            }
+            if let Some(h) = self.value_ref(cur) {
+                if let Some((hbase, vptr, vlen)) = admit(h) {
+                    let key = self.key_ref(cur);
+                    // SAFETY: key bytes are immutable and the scan's epoch
+                    // pin keeps the slice from being reclaimed, so the
+                    // address stays valid for the batch's lifetime.
+                    let kptr = unsafe { pool.slice(key) }.as_ptr() as usize;
+                    out.push(BatchEntry {
+                        key,
+                        kptr,
+                        hdr: h,
+                        hbase,
+                        vptr,
+                        vlen,
+                    });
+                }
+            }
+            cur = self.entry_next(cur);
+        }
+        (NONE, false)
     }
 
     /// Iterates the linked list collecting live `(key_ref, value_raw)`

@@ -43,6 +43,14 @@ pub struct OakMapConfig {
     /// ([`KeyComparator::prefix`](crate::KeyComparator::prefix) returning
     /// `None`) get full compares regardless of this flag.
     pub prefix_cache: bool,
+    /// Scan in chunk-resident batches: cursors snapshot a chunk's sorted
+    /// live entries in one pass (one staleness/revision check per *chunk*)
+    /// and drain from a reusable on-heap buffer. Disabling falls back to
+    /// per-entry stepping — one staleness check and one linked-list hop
+    /// per yielded entry — kept for A/B benchmarking and as the
+    /// fine-grained interleaving surface the linearize harness drives.
+    /// Both modes honour the same §1.1 scan-validity contract.
+    pub batch_scan: bool,
     /// Default deadline applied to every operation issued through the
     /// unbudgeted public API (`put`, `get`, scans, …). `None` (the
     /// default) preserves the historical contract: operations run to
@@ -73,6 +81,7 @@ impl Default for OakMapConfig {
             shared_arenas: None,
             reclamation: ReclamationPolicy::RetainHeaders,
             prefix_cache: true,
+            batch_scan: true,
             op_deadline: None,
             retry: RetryPolicy::default(),
             lock_wait: DEFAULT_LOCK_WAIT,
@@ -120,6 +129,13 @@ impl OakMapConfig {
     /// Enables or disables the on-heap key-prefix cache.
     pub fn prefix_cache(mut self, on: bool) -> Self {
         self.prefix_cache = on;
+        self
+    }
+
+    /// Enables or disables chunk-batch scanning (per-entry stepping when
+    /// off).
+    pub fn batch_scan(mut self, on: bool) -> Self {
+        self.batch_scan = on;
         self
     }
 

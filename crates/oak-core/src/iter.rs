@@ -11,16 +11,56 @@
 //! yielded key so no key is skipped or returned twice. Sync points
 //! (`iter/*`) let the deterministic interleaving harness pause a scan at
 //! every decision site.
+//!
+//! Two execution modes share each cursor
+//! ([`OakMapConfig::batch_scan`](crate::OakMapConfig)):
+//!
+//! * **Batch mode** (default): the cursor snapshots a chunk's sorted live
+//!   entries into a reusable on-heap buffer in one linked-list pass —
+//!   one staleness check per *chunk-batch* (replacement pointer plus
+//!   Jiffy-style revision stamp), zero per-entry bound checks when the
+//!   successor's `min_key` proves the whole chunk in range — then drains
+//!   the buffer. Refills revalidate: a chunk whose revision moved since
+//!   the fill re-locates through the index, bounded by the last drained
+//!   key. Sync points `iter/batch-step` (per drain) and
+//!   `iter/batch-refill` (per snapshot) give the harness entry- and
+//!   batch-granularity witnesses.
+//! * **Per-entry mode**: the historical walker — one staleness check and
+//!   one linked-list hop per yielded entry. Kept as the A/B baseline and
+//!   the finest-grained interleaving surface.
+//!
+//! Both modes satisfy the same §1.1 contract: every entry in a batch is
+//! read point-in-time during the snapshot walk, which is exactly what the
+//! per-entry walker could observe under some interleaving; liveness is
+//! still judged per yielded entry via the shared value-header state.
 
 use std::sync::Arc;
 
-use oak_mempool::{HeaderRef, SliceRef};
+use oak_mempool::{HeaderRef, ScanLock, SliceRef};
 
 use crate::buffer::OakRBuffer;
-use crate::chunk::{Chunk, NONE};
+use crate::chunk::{BatchEntry, Chunk, NONE};
 use crate::cmp::KeyComparator;
 use crate::map::OakMap;
 use crate::reclaim::EpochPin;
+
+/// Entries snapshotted per ascending batch refill. Bounds the reusable
+/// buffer (and the staleness window of a snapshot) while still amortizing
+/// the per-chunk checks over enough entries that they vanish from the
+/// per-entry cost. Descending scans need the highest keys first, so they
+/// bound their snapshot from the top instead: a *tail window* starting at
+/// most this many prefix cells below the upper bound.
+const SCAN_BATCH: usize = 128;
+
+/// How a batch drain delivers one entry's value to the visit closure.
+pub(crate) enum ValueView<'a> {
+    /// The bytes, delivered under the batch's fill-time read-lock lease:
+    /// no per-entry lock acquisition or address translation remains.
+    Leased(&'a [u8]),
+    /// No lease (Set-API cursor, or a writer was active at fill time):
+    /// read through the value store's waiting path.
+    Read(HeaderRef),
+}
 
 /// Shared ascending walker over live entries.
 ///
@@ -43,13 +83,53 @@ pub(crate) struct AscendCursor<'a, C: KeyComparator> {
     last_prefix: u64,
     /// Epoch pin held for the cursor's whole lifetime: every chunk the
     /// walk enters was observed unreplaced under this pin, so its key
-    /// slices (including `last_key`) cannot be quarantine-freed while the
-    /// cursor lives. Shared into yielded key buffers.
+    /// slices (including `last_key` and everything parked in `batch`)
+    /// cannot be quarantine-freed while the cursor lives. Shared into
+    /// yielded key buffers.
     pin: Arc<EpochPin>,
+    /// Batch mode on (`OakMapConfig::batch_scan`)?
+    batch_mode: bool,
+    /// Stream-drain cursors take each entry's value read lock at fill
+    /// time (a bounded lease, retired as each entry is delivered — an
+    /// early-stopped scan's undrained tail releases at refill/drop), so
+    /// the drain delivers pre-resolved bytes with no lock waits. Off for
+    /// Set-API cursors, whose consumers read values at their own pace.
+    locked_scan: bool,
+    /// Reusable snapshot buffer: live entries of the current chunk-batch
+    /// in ascending order, key addresses resolved at fill time. Capacity
+    /// survives refills, so a whole scan allocates O(1) buffers.
+    batch: Vec<BatchEntry>,
+    /// Next undrained element of `batch`.
+    batch_pos: usize,
+    /// The chunk's revision stamp when `batch` was snapshotted; a refill
+    /// that reads a different stamp revalidates through the index.
+    batch_rev: u64,
+    /// The upper bound was reached inside a batch: the scan is over once
+    /// `batch` drains.
+    tail_done: bool,
 }
 
 impl<'a, C: KeyComparator> AscendCursor<'a, C> {
+    /// Set-API cursor: values are read by the consumer at its own pace,
+    /// so no fill-time leases are taken (an iterator may be held
+    /// indefinitely, and a lease would block writers for that long).
     pub(crate) fn new(map: &'a OakMap<C>, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Self {
+        Self::with_mode(map, lo, hi, false)
+    }
+
+    /// Stream-drain cursor: bounded-lifetime scans
+    /// ([`OakMap::for_each_in`] and friends) take fill-time value leases
+    /// — see [`Self::locked_scan`].
+    pub(crate) fn new_stream(map: &'a OakMap<C>, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Self {
+        Self::with_mode(map, lo, hi, true)
+    }
+
+    fn with_mode(
+        map: &'a OakMap<C>,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        locked_scan: bool,
+    ) -> Self {
         // Pin *before* locating: the safety argument needs the
         // unreplaced-observation of every entered chunk to happen pinned.
         let pin = Arc::new(map.reclaim.pin());
@@ -61,9 +141,9 @@ impl<'a, C: KeyComparator> AscendCursor<'a, C> {
             Some(k) => chunk.lower_bound(map.pool(), &map.cmp, k),
             None => chunk.head_entry(),
         };
-        AscendCursor {
+        let mut cursor = AscendCursor {
             map,
-            chunk: Some(chunk),
+            chunk: Some(chunk.clone()),
             entry,
             lo: lo.map(|l| l.into()),
             hi: hi.map(|h| h.into()),
@@ -71,6 +151,262 @@ impl<'a, C: KeyComparator> AscendCursor<'a, C> {
             last_key: None,
             last_prefix: 0,
             pin,
+            batch_mode: map.config.batch_scan,
+            locked_scan,
+            batch: Vec::new(),
+            batch_pos: 0,
+            batch_rev: 0,
+            tail_done: false,
+        };
+        if cursor.batch_mode {
+            cursor.fill_batch(chunk, entry, None);
+        }
+        cursor
+    }
+
+    /// Releases every fill-time value lease still parked in the batch
+    /// buffer. Tokens are zeroed, so release is exactly-once even though
+    /// both refill and drop call here.
+    fn release_batch_locks(&mut self) {
+        if !self.locked_scan {
+            return;
+        }
+        let store = self.map.value_store();
+        for e in &mut self.batch {
+            if e.hbase != 0 {
+                // SAFETY: the token was minted by `scan_lock` during this
+                // batch's fill and the read lock is still held.
+                unsafe { store.scan_unlock(e.hbase) };
+                e.hbase = 0;
+            }
+        }
+    }
+
+    /// Snapshots up to [`SCAN_BATCH`] live entries of `chunk` into the
+    /// reusable buffer, starting at entry `start` and skipping entries ≤
+    /// `strict_after`. Applies the chunk-range fast path: when the
+    /// successor chunk's `min_key` is ≤ `hi`, the chunk invariant
+    /// (entries < successor `min_key`) already proves every entry in
+    /// range, so the snapshot walk performs zero per-entry bound checks.
+    fn fill_batch(&mut self, chunk: Arc<Chunk>, start: u32, strict_after: Option<(&[u8], u64)>) {
+        self.release_batch_locks();
+        let map = self.map;
+        let pool = map.pool();
+        if self.batch.capacity() > 0 {
+            pool.note_scan_buffer_reuse();
+        }
+        self.batch.clear();
+        self.batch_pos = 0;
+        self.batch_rev = chunk.revision();
+        let hi_opt: Option<(&[u8], u64, bool)> = match &self.hi {
+            None => None,
+            Some(h) => {
+                let covered = chunk.next_chunk().is_some_and(|n| {
+                    !n.min_key.is_empty()
+                        && map.cmp.compare(&n.min_key, h) != std::cmp::Ordering::Greater
+                });
+                if covered {
+                    None // whole chunk < successor minKey ≤ hi
+                } else {
+                    Some((h, self.hi_prefix, false)) // hi is exclusive
+                }
+            }
+        };
+        let store = map.value_store();
+        let locked = self.locked_scan;
+        let (resume, bounded) = chunk.collect_batch(
+            pool,
+            &map.cmp,
+            start,
+            strict_after,
+            hi_opt,
+            SCAN_BATCH,
+            |h| {
+                if locked {
+                    // Fill-time lease: independent CASes pipeline across
+                    // the snapshot walk; the drain then delivers payload
+                    // bytes with no per-entry lock traffic. A header a
+                    // writer holds right now degrades that one entry to
+                    // the waiting read path at drain time.
+                    match store.scan_lock(h) {
+                        ScanLock::Held { hbase, vptr, vlen } => Some((hbase, vptr, vlen)),
+                        ScanLock::Contended => Some((0, 0, 0)),
+                        ScanLock::Dead => None,
+                    }
+                } else if store.is_deleted(h) {
+                    None
+                } else {
+                    Some((0, 0, 0))
+                }
+            },
+            &mut self.batch,
+        );
+        self.entry = resume;
+        if bounded {
+            self.tail_done = true;
+        }
+        pool.note_scan_chunk_batch();
+        self.chunk = Some(chunk);
+    }
+
+    /// Prepares the next batch after the current one drained: revalidate
+    /// the chunk (replacement pointer + revision stamp — the *only*
+    /// staleness check the batch path performs, once per batch), then
+    /// either continue a capped snapshot in the same chunk, or hop to the
+    /// successor.
+    fn refill_batch(&mut self) {
+        oak_failpoints::sync_point!("iter/batch-refill");
+        oak_failpoints::fail_point!("iter/batch-refill");
+        let map = self.map;
+        // The resume/dedup bound: the last key the drained batch yielded.
+        if let Some(&BatchEntry { key: lk, .. }) = self.batch.last() {
+            self.last_key = Some(lk);
+            // SAFETY: key buffers are immutable; `lk` is pinned.
+            let kb = unsafe { map.pool().slice(lk) };
+            self.last_prefix = map.key_prefix(kb);
+        }
+        let Some(chunk) = self.chunk.clone() else {
+            return;
+        };
+        if chunk.replacement().is_some() || chunk.revision() != self.batch_rev {
+            // The chunk changed under the drained snapshot: re-locate the
+            // live chunk covering the resume point. `strict_after` keeps
+            // already-yielded keys from repeating when the replacement's
+            // range overlaps what the batch covered.
+            map.pool().note_scan_revalidation();
+            match self.last_key {
+                Some(lk) => {
+                    // SAFETY: key buffers are immutable; `lk` is pinned.
+                    let lb = unsafe { map.pool().slice(lk) };
+                    let c = map.locate_chunk(lb);
+                    let e = c.lower_bound(map.pool(), &map.cmp, lb);
+                    self.fill_batch(c, e, Some((lb, self.last_prefix)));
+                }
+                None => {
+                    let (c, e) = match self.lo.take() {
+                        Some(l) => {
+                            let c = map.locate_chunk(&l);
+                            let e = c.lower_bound(map.pool(), &map.cmp, &l);
+                            self.lo = Some(l);
+                            (c, e)
+                        }
+                        None => {
+                            let c = map.first_chunk();
+                            let e = c.head_entry();
+                            (c, e)
+                        }
+                    };
+                    self.fill_batch(c, e, None);
+                }
+            }
+            return;
+        }
+        if self.entry != NONE {
+            // Same chunk, next slice of a capped snapshot: the resume
+            // index still names the same immutable key, so no bound
+            // needed.
+            self.fill_batch(chunk, self.entry, None);
+            return;
+        }
+        // Chunk exhausted: hop to the successor, resolving replacement
+        // chains.
+        let Some(mut n) = chunk.next_chunk() else {
+            self.chunk = None;
+            return;
+        };
+        while let Some(r) = n.replacement() {
+            n = r.clone();
+        }
+        match self.last_key {
+            Some(lk) => {
+                // SAFETY: key buffers are immutable; `lk` is pinned.
+                let lb = unsafe { map.pool().slice(lk) };
+                let e = n.lower_bound(map.pool(), &map.cmp, lb);
+                self.fill_batch(n, e, Some((lb, self.last_prefix)));
+            }
+            None => {
+                let e = n.head_entry();
+                self.fill_batch(n, e, None);
+            }
+        }
+    }
+
+    /// Batch-mode advance: drain the buffer, refilling between batches.
+    fn next_batch(&mut self) -> Option<(SliceRef, HeaderRef)> {
+        loop {
+            if self.batch_pos < self.batch.len() {
+                oak_failpoints::sync_point!("iter/batch-step");
+                let item = self.batch[self.batch_pos];
+                self.batch_pos += 1;
+                return Some((item.key, item.hdr));
+            }
+            if self.tail_done || self.chunk.is_none() {
+                self.chunk = None;
+                return None;
+            }
+            self.refill_batch();
+        }
+    }
+
+    /// Bulk drain: feeds every remaining live entry to `f` as resolved
+    /// key bytes plus a [`ValueView`], until `f` returns `false` or the
+    /// scan ends. Equivalent to repeated [`next`](Self::next), but a
+    /// whole batch span is walked inline — no per-entry cursor dispatch,
+    /// no per-entry key translation, and (on a stream cursor) no
+    /// per-entry lock traffic: leased entries hand out the payload bytes
+    /// resolved at fill time, still covered by the fill-time read lock.
+    pub(crate) fn drain(&mut self, mut f: impl FnMut(&[u8], ValueView<'_>) -> bool) {
+        if !self.batch_mode {
+            while let Some((kref, h)) = self.next() {
+                // SAFETY: key buffers are immutable; `kref` is pinned.
+                let kb = unsafe { self.map.pool().slice(kref) };
+                if !f(kb, ValueView::Read(h)) {
+                    return;
+                }
+            }
+            return;
+        }
+        let store = self.map.value_store();
+        loop {
+            while self.batch_pos < self.batch.len() {
+                oak_failpoints::sync_point!("iter/batch-step");
+                let item = self.batch[self.batch_pos];
+                self.batch_pos += 1;
+                // SAFETY: the cursor's epoch pin is held for its lifetime.
+                let kb = unsafe { item.key_bytes() };
+                let keep = if item.hbase != 0 {
+                    oak_failpoints::fail_point!("value/read");
+                    // SAFETY: the fill-time read lock is still held, so the
+                    // payload cannot be torn, resized, or freed under the
+                    // callback.
+                    let vb: &[u8] = if item.vlen == 0 {
+                        &[]
+                    } else {
+                        unsafe {
+                            std::slice::from_raw_parts(item.vptr as *const u8, item.vlen as usize)
+                        }
+                    };
+                    let keep = f(kb, ValueView::Leased(vb));
+                    // Retire the lease the moment the callback returns:
+                    // a writer is blocked for one delivery at most, never
+                    // a whole batch drain (a paused scan must not wedge
+                    // concurrent removes).
+                    // SAFETY: minted by this batch's fill, still held.
+                    unsafe { store.scan_unlock(item.hbase) };
+                    self.batch[self.batch_pos - 1].hbase = 0;
+                    keep
+                } else {
+                    f(kb, ValueView::Read(item.hdr))
+                };
+                if !keep {
+                    return;
+                }
+            }
+            if self.tail_done || self.chunk.is_none() {
+                self.chunk = None;
+                return;
+            }
+            self.refill_batch();
         }
     }
 
@@ -108,6 +444,9 @@ impl<'a, C: KeyComparator> AscendCursor<'a, C> {
 
     /// Advances to the next live entry, returning raw references.
     pub(crate) fn next(&mut self) -> Option<(SliceRef, HeaderRef)> {
+        if self.batch_mode {
+            return self.next_batch();
+        }
         loop {
             // Unconditional per-iteration decision site, *before* the
             // staleness check — so an interleaving schedule can park the
@@ -182,6 +521,14 @@ impl<'a, C: KeyComparator> AscendCursor<'a, C> {
     }
 }
 
+impl<C: KeyComparator> Drop for AscendCursor<'_, C> {
+    fn drop(&mut self) {
+        // An early-stopped scan's undrained tail still holds its
+        // fill-time leases; retire them here.
+        self.release_batch_locks();
+    }
+}
+
 /// Ascending Set-API iterator: yields an ephemeral `(key, value)` buffer
 /// pair per entry. The stream API ([`OakMap::for_each_in`]) avoids these
 /// per-entry objects — the distinction Figure 4e measures. Both are thin
@@ -251,10 +598,51 @@ pub struct DescendIter<'a, C: KeyComparator> {
     done: bool,
     /// Lifetime epoch pin (see [`AscendCursor::pin`]).
     pin: Arc<EpochPin>,
+    /// Batch mode on (`OakMapConfig::batch_scan`)?
+    batch_mode: bool,
+    /// Fill-time value leases on (see [`AscendCursor::locked_scan`]).
+    locked_scan: bool,
+    /// Reusable snapshot buffer: a tail window of the current chunk's
+    /// in-range live entries in *ascending* order, drained from the
+    /// back. Descending scans need the highest keys first, so the
+    /// [`SCAN_BATCH`] cap bounds the window's start *below the upper
+    /// bound* (see [`Self::window_more`]).
+    batch: Vec<BatchEntry>,
+    /// Elements of `batch` not yet drained (drain position counts down).
+    rpos: usize,
+    /// The chunk's revision stamp when `batch` was snapshotted.
+    batch_rev: u64,
+    /// The current batch is a capped *tail window* of the chunk: in-range
+    /// entries below [`Self::window_bound`] were deliberately left
+    /// uncollected, and the refill must re-enter this chunk (bound
+    /// tightened) instead of hopping to the predecessor.
+    window_more: bool,
+    /// The key of the prefix cell the capped snapshot started from
+    /// (pinned, like `last_yielded`): the next window's exclusive upper
+    /// bound. Everything at or above it was already examined.
+    window_bound: Option<SliceRef>,
+    /// This chunk covers the scan's lower end: once `batch` drains the
+    /// scan is over, no predecessor hop needed.
+    tail_done: bool,
 }
 
 impl<'a, C: KeyComparator> DescendIter<'a, C> {
+    /// Set-API iterator: no fill-time leases (see [`AscendCursor::new`]).
     pub(crate) fn new(map: &'a OakMap<C>, from: Option<&[u8]>, lo: Option<&[u8]>) -> Self {
+        Self::with_mode(map, from, lo, false)
+    }
+
+    /// Stream-drain iterator: fill-time value leases on.
+    pub(crate) fn new_stream(map: &'a OakMap<C>, from: Option<&[u8]>, lo: Option<&[u8]>) -> Self {
+        Self::with_mode(map, from, lo, true)
+    }
+
+    fn with_mode(
+        map: &'a OakMap<C>,
+        from: Option<&[u8]>,
+        lo: Option<&[u8]>,
+        locked_scan: bool,
+    ) -> Self {
         let pin = Arc::new(map.reclaim.pin());
         let mut it = DescendIter {
             map,
@@ -268,10 +656,280 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
             pending: None,
             done: false,
             pin,
+            batch_mode: map.config.batch_scan,
+            locked_scan,
+            batch: Vec::new(),
+            rpos: 0,
+            batch_rev: 0,
+            window_more: false,
+            window_bound: None,
+            tail_done: false,
         };
         let chunk = it.start_chunk(from);
-        it.enter_chunk(chunk, from, true);
+        if it.batch_mode {
+            it.enter_chunk_batch(chunk, from.map(|f| (f, true)));
+        } else {
+            it.enter_chunk(chunk, from, true);
+        }
         it
+    }
+
+    /// Releases every fill-time value lease still parked in the batch
+    /// buffer (see [`AscendCursor::release_batch_locks`]).
+    fn release_batch_locks(&mut self) {
+        if !self.locked_scan {
+            return;
+        }
+        let store = self.map.value_store();
+        for e in &mut self.batch {
+            if e.hbase != 0 {
+                // SAFETY: the token was minted by `scan_lock` during this
+                // batch's fill and the read lock is still held.
+                unsafe { store.scan_unlock(e.hbase) };
+                e.hbase = 0;
+            }
+        }
+    }
+
+    /// Snapshots `chunk`'s in-range live entries (ascending) into the
+    /// reusable buffer. `ub` is the batch's upper bound
+    /// `(key, inclusive)` — the scan start, the predecessor hop's
+    /// exclusive old `min_key`, or the strict revalidation bound; the
+    /// lower end is positioned once via `lower_bound(lo)`, so the drain
+    /// needs no per-entry `lo` checks.
+    fn enter_chunk_batch(&mut self, chunk: Arc<Chunk>, ub: Option<(&[u8], bool)>) {
+        self.release_batch_locks();
+        let map = self.map;
+        let pool = map.pool();
+        if self.batch.capacity() > 0 {
+            pool.note_scan_buffer_reuse();
+        }
+        self.batch.clear();
+        self.batch_rev = chunk.revision();
+        let mut start = match &self.lo {
+            Some(l) => chunk.lower_bound(pool, &map.cmp, l),
+            None => chunk.head_entry(),
+        };
+        // Tail-window cap: the drain needs the *highest* in-range keys
+        // first, and a capped stream scan (the common case) may never
+        // reach the low end — snapshotting (and leasing) the whole
+        // in-range chunk would waste collection work on entries the
+        // drain never delivers. Start at most [`SCAN_BATCH`] prefix
+        // cells below the upper bound instead (bypass runs between the
+        // cells only widen the window); a drained window re-enters this
+        // chunk with the bound tightened to its start cell.
+        self.window_more = false;
+        self.window_bound = None;
+        let sc = chunk.sorted_count();
+        if start != NONE && start < sc {
+            let top = match ub {
+                Some((b, inclusive)) => {
+                    // Count of prefix cells within the upper bound.
+                    let bp = map.key_prefix(b);
+                    let (mut a, mut z) = (0i64, sc as i64);
+                    while a < z {
+                        let mid = (a + z) / 2;
+                        let below = match chunk.compare_entry_key(pool, &map.cmp, mid as u32, b, bp)
+                        {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Equal => inclusive,
+                            std::cmp::Ordering::Greater => false,
+                        };
+                        if below {
+                            a = mid + 1;
+                        } else {
+                            z = mid;
+                        }
+                    }
+                    a
+                }
+                None => sc as i64,
+            };
+            let capped = top - SCAN_BATCH as i64;
+            if capped > start as i64 {
+                start = capped as u32;
+                self.window_more = true;
+                self.window_bound = Some(chunk.key_ref(start));
+            }
+        }
+        let ub_opt: Option<(&[u8], u64, bool)> =
+            ub.map(|(b, inclusive)| (b, map.key_prefix(b), inclusive));
+        let store = map.value_store();
+        let locked = self.locked_scan;
+        chunk.collect_batch(
+            pool,
+            &map.cmp,
+            start,
+            None,
+            ub_opt,
+            usize::MAX,
+            |h| {
+                if locked {
+                    // Fill-time lease (see the ascending fill site).
+                    match store.scan_lock(h) {
+                        ScanLock::Held { hbase, vptr, vlen } => Some((hbase, vptr, vlen)),
+                        ScanLock::Contended => Some((0, 0, 0)),
+                        ScanLock::Dead => None,
+                    }
+                } else if store.is_deleted(h) {
+                    None
+                } else {
+                    Some((0, 0, 0))
+                }
+            },
+            &mut self.batch,
+        );
+        self.rpos = self.batch.len();
+        pool.note_scan_chunk_batch();
+        // Predecessor chunks hold keys < minKey; when minKey ≤ lo (or
+        // this is the first chunk) they are all out of range. A capped
+        // window is never the end: lower in-range entries remain here.
+        self.tail_done = !self.window_more
+            && (chunk.min_key.is_empty()
+                || self.lo.as_ref().is_some_and(|l| {
+                    map.cmp.compare(&chunk.min_key, l) != std::cmp::Ordering::Greater
+                }));
+        self.chunk = Some(chunk);
+    }
+
+    /// Prepares the next descending batch: revalidate the drained chunk
+    /// (replacement pointer + revision stamp, once per batch), then
+    /// either re-locate through the index (stale) or hop to the
+    /// predecessor chunk.
+    fn refill_batch(&mut self) {
+        oak_failpoints::sync_point!("iter/batch-refill");
+        oak_failpoints::fail_point!("iter/batch-refill");
+        let map = self.map;
+        let Some(chunk) = self.chunk.take() else {
+            return;
+        };
+        if chunk.replacement().is_some() || chunk.revision() != self.batch_rev {
+            map.pool().note_scan_revalidation();
+            match self.last_yielded {
+                Some(lk) => {
+                    // SAFETY: key buffers are immutable; `lk` is pinned.
+                    let lb = unsafe { map.pool().slice(lk) };
+                    let live = map.locate_chunk(lb);
+                    self.enter_chunk_batch(live, Some((lb, false)));
+                }
+                None => {
+                    // Nothing yielded yet: redo the initial positioning.
+                    let from = self.from.take();
+                    let chunk = self.start_chunk(from.as_deref());
+                    self.enter_chunk_batch(chunk, from.as_deref().map(|f| (f, true)));
+                    self.from = from;
+                }
+            }
+            return;
+        }
+        if self.window_more {
+            // The capped tail window drained; lower in-range entries of
+            // this same chunk remain. Re-enter strictly below the
+            // window's start cell — everything at or above it was
+            // examined (live entries delivered, dead ones skipped; a
+            // concurrent revive of a dead one counts as an insert after
+            // the scan start, which §1.1 lets us miss).
+            let wb = self
+                .window_bound
+                .expect("a capped fill records its start key");
+            // SAFETY: key buffers are immutable; `wb` is pinned.
+            let bb = unsafe { map.pool().slice(wb) };
+            self.enter_chunk_batch(chunk, Some((bb, false)));
+            return;
+        }
+        if chunk.min_key.is_empty() {
+            self.chunk = None; // the first chunk has no predecessor
+            return;
+        }
+        let prev = map.index.floor_before(&chunk.min_key);
+        // Everything ≥ old minKey was already returned: bound strictly.
+        self.enter_chunk_batch(prev, Some((&chunk.min_key, false)));
+    }
+
+    /// Batch-mode advance: drain the buffer back-to-front, refilling
+    /// between chunks.
+    fn next_batch(&mut self) -> Option<(SliceRef, HeaderRef)> {
+        loop {
+            if self.rpos > 0 {
+                oak_failpoints::sync_point!("iter/batch-step");
+                let item = self.batch[self.rpos - 1];
+                self.rpos -= 1;
+                self.last_yielded = Some(item.key);
+                return Some((item.key, item.hdr));
+            }
+            if self.tail_done || self.chunk.is_none() {
+                self.done = true;
+                return None;
+            }
+            self.refill_batch();
+        }
+    }
+
+    /// Bulk drain (descending): see [`AscendCursor::drain`]. Honors a
+    /// parked [`skip_exact`](Self::skip_exact) lookahead first.
+    pub(crate) fn drain(&mut self, mut f: impl FnMut(&[u8], ValueView<'_>) -> bool) {
+        if let Some((kref, h)) = self.pending.take() {
+            // SAFETY: key buffers are immutable; `kref` is pinned.
+            let kb = unsafe { self.map.pool().slice(kref) };
+            if !f(kb, ValueView::Read(h)) {
+                return;
+            }
+        }
+        if self.done {
+            return;
+        }
+        if !self.batch_mode {
+            while let Some((kref, h)) = self.next_raw() {
+                // SAFETY: key buffers are immutable; `kref` is pinned.
+                let kb = unsafe { self.map.pool().slice(kref) };
+                if !f(kb, ValueView::Read(h)) {
+                    return;
+                }
+            }
+            return;
+        }
+        let store = self.map.value_store();
+        loop {
+            while self.rpos > 0 {
+                oak_failpoints::sync_point!("iter/batch-step");
+                let item = self.batch[self.rpos - 1];
+                self.rpos -= 1;
+                self.last_yielded = Some(item.key);
+                // SAFETY: the iterator's epoch pin is held for its
+                // lifetime.
+                let kb = unsafe { item.key_bytes() };
+                let keep = if item.hbase != 0 {
+                    oak_failpoints::fail_point!("value/read");
+                    // SAFETY: the fill-time read lock is still held, so the
+                    // payload cannot be torn, resized, or freed under the
+                    // callback.
+                    let vb: &[u8] = if item.vlen == 0 {
+                        &[]
+                    } else {
+                        unsafe {
+                            std::slice::from_raw_parts(item.vptr as *const u8, item.vlen as usize)
+                        }
+                    };
+                    let keep = f(kb, ValueView::Leased(vb));
+                    // Retire the lease the moment the callback returns
+                    // (see the ascending drain).
+                    // SAFETY: minted by this batch's fill, still held.
+                    unsafe { store.scan_unlock(item.hbase) };
+                    self.batch[self.rpos].hbase = 0;
+                    keep
+                } else {
+                    f(kb, ValueView::Read(item.hdr))
+                };
+                if !keep {
+                    return;
+                }
+            }
+            if self.tail_done || self.chunk.is_none() {
+                self.done = true;
+                return;
+            }
+            self.refill_batch();
+        }
     }
 
     /// The chunk containing `from`, or the last chunk when unbounded.
@@ -474,6 +1132,9 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
         if self.done {
             return None;
         }
+        if self.batch_mode {
+            return self.next_batch();
+        }
         loop {
             oak_failpoints::sync_point!("iter/descend-step");
             let stale = self
@@ -513,6 +1174,14 @@ impl<'a, C: KeyComparator> DescendIter<'a, C> {
     }
 }
 
+impl<C: KeyComparator> Drop for DescendIter<'_, C> {
+    fn drop(&mut self) {
+        // An early-stopped scan's undrained tail still holds its
+        // fill-time leases; retire them here.
+        self.release_batch_locks();
+    }
+}
+
 impl<C: KeyComparator> Iterator for DescendIter<'_, C> {
     type Item = (OakRBuffer, OakRBuffer);
 
@@ -539,15 +1208,20 @@ impl<C: KeyComparator> OakMap<C> {
         mut f: impl FnMut(&[u8], &[u8]) -> bool,
     ) -> usize {
         let mut count = 0;
-        self.stream_ascend(lo, hi, |kref, h| {
-            let kb = unsafe { self.pool().slice(kref) };
-            match self.value_store().read(h, |v| f(kb, v)) {
+        let mut cursor = AscendCursor::new_stream(self, lo, hi);
+        cursor.drain(|kb, v| match v {
+            // Leased bytes are pre-resolved and lock-covered since fill.
+            ValueView::Leased(vb) => {
+                count += 1;
+                f(kb, vb)
+            }
+            ValueView::Read(h) => match self.value_store().read(h, |vb| f(kb, vb)) {
                 Ok(keep) => {
                     count += 1;
                     keep
                 }
                 Err(_) => true, // deleted under the iterator: skip
-            }
+            },
         });
         count
     }
@@ -587,32 +1261,45 @@ impl<C: KeyComparator> OakMap<C> {
         };
         let mut count: u64 = 0;
         let mut failure: Option<crate::OakError> = None;
-        self.stream_ascend(lo, hi, |kref, h| {
+        let mut cursor = AscendCursor::new_stream(self, lo, hi);
+        cursor.drain(|kb, v| {
             if count >= shed_after {
                 self.pool().note_scan_shed();
                 failure = Some(crate::OakError::Overloaded);
                 return false;
             }
-            if count > 0 && count % SCAN_CHECK_INTERVAL == 0 && budget.expired() {
+            if count > 0 && count.is_multiple_of(SCAN_CHECK_INTERVAL) && budget.expired() {
                 self.pool().note_deadline_exceeded();
                 failure = Some(crate::OakError::DeadlineExceeded);
                 return false;
             }
-            let kb = unsafe { self.pool().slice(kref) };
-            match self.value_store().read_at(h, budget.deadline, |v| f(kb, v)) {
-                Ok(keep) => {
+            match v {
+                // Leased bytes involve no waiting, so the deadline cannot
+                // clamp anything — deliver directly.
+                ValueView::Leased(vb) => {
                     count += 1;
-                    keep
+                    f(kb, vb)
                 }
-                Err(oak_mempool::AccessError::Deleted) => true, // skip
-                Err(oak_mempool::AccessError::Contended(info)) => {
-                    if budget.expired() {
-                        self.pool().note_deadline_exceeded();
-                        failure = Some(crate::OakError::DeadlineExceeded);
-                    } else {
-                        failure = Some(crate::OakError::Contended(info));
+                ValueView::Read(h) => {
+                    match self
+                        .value_store()
+                        .read_at(h, budget.deadline, |vb| f(kb, vb))
+                    {
+                        Ok(keep) => {
+                            count += 1;
+                            keep
+                        }
+                        Err(oak_mempool::AccessError::Deleted) => true, // skip
+                        Err(oak_mempool::AccessError::Contended(info)) => {
+                            if budget.expired() {
+                                self.pool().note_deadline_exceeded();
+                                failure = Some(crate::OakError::DeadlineExceeded);
+                            } else {
+                                failure = Some(crate::OakError::Contended(info));
+                            }
+                            false
+                        }
                     }
-                    false
                 }
             }
         });
@@ -631,36 +1318,21 @@ impl<C: KeyComparator> OakMap<C> {
         mut f: impl FnMut(&[u8], &[u8]) -> bool,
     ) -> usize {
         let mut count = 0;
-        let mut it = DescendIter::new(self, from, lo);
-        while let Some((kref, h)) = it.next_raw() {
-            let kb = unsafe { self.pool().slice(kref) };
-            match self.value_store().read(h, |v| f(kb, v)) {
+        let mut it = DescendIter::new_stream(self, from, lo);
+        it.drain(|kb, v| match v {
+            // Leased bytes are pre-resolved and lock-covered since fill.
+            ValueView::Leased(vb) => {
+                count += 1;
+                f(kb, vb)
+            }
+            ValueView::Read(h) => match self.value_store().read(h, |vb| f(kb, vb)) {
                 Ok(keep) => {
                     count += 1;
-                    if !keep {
-                        break;
-                    }
+                    keep
                 }
-                Err(_) => continue,
-            }
-        }
+                Err(_) => true, // deleted under the iterator: skip
+            },
+        });
         count
-    }
-
-    /// Internal ascending walk yielding raw `(key_ref, header_ref)` pairs
-    /// of live entries. Shared by the stream API and the Set iterator —
-    /// both delegate to [`AscendCursor`].
-    pub(crate) fn stream_ascend(
-        &self,
-        lo: Option<&[u8]>,
-        hi: Option<&[u8]>,
-        mut f: impl FnMut(SliceRef, HeaderRef) -> bool,
-    ) {
-        let mut cursor = AscendCursor::new(self, lo, hi);
-        while let Some((kref, h)) = cursor.next() {
-            if !f(kref, h) {
-                return;
-            }
-        }
     }
 }

@@ -67,11 +67,11 @@ pub use buffer::{OakRBuffer, OakWBuffer};
 pub use cmp::{KeyComparator, Lexicographic, U64BeComparator};
 pub use config::OakMapConfig;
 pub use error::OakError;
-pub use overload::{OverloadConfig, OverloadState};
 pub use iter::{DescendIter, EntryIter};
 #[cfg(feature = "audit")]
 pub use map::MapAuditReport;
 pub use map::{OakMap, OakStats};
+pub use overload::{OverloadConfig, OverloadState};
 pub use sharded::{ShardSplitter, ShardedOakMap};
 pub use traits::{OakStatsSource, OnHeapSkipListMap, OrderedKvMap, ZeroCopyRead};
 pub use zc::{SubMapView, ZeroCopyView};
@@ -94,6 +94,7 @@ pub const FAILPOINT_SITES: &[oak_failpoints::SiteSpec] = &[
     oak_failpoints::SiteSpec::passive("iter/descend-refill"),
     oak_failpoints::SiteSpec::passive("iter/descend-prev"),
     oak_failpoints::SiteSpec::passive("iter/stale-reenter"),
+    oak_failpoints::SiteSpec::passive("iter/batch-refill"),
     oak_failpoints::SiteSpec::passive("ops/remove-marked"),
     oak_failpoints::SiteSpec::passive("reclaim/drain"),
 ];
@@ -126,12 +127,19 @@ pub const SYNC_SITES: &[&str] = &[
     "index/retire",
     "index/replace-first",
     // Scan decision sites (per-step, chunk hops, refills, stale re-entry).
+    // The `iter/ascend-*`, `iter/descend-*` and `iter/stale-reenter`
+    // family fires on the per-entry walker (`batch_scan(false)`); the
+    // batch pipeline fires `iter/batch-step` per drained entry and
+    // `iter/batch-refill` per chunk snapshot instead — entry- and
+    // batch-granularity witnesses respectively.
     "iter/ascend-step",
     "iter/ascend-hop",
     "iter/descend-step",
     "iter/descend-refill",
     "iter/descend-prev",
     "iter/stale-reenter",
+    "iter/batch-step",
+    "iter/batch-refill",
 ];
 
 /// All failpoint sites reachable through an [`OakMap`]: this crate's plus

@@ -664,12 +664,7 @@ impl<C: KeyComparator> OakMap<C> {
     /// so comparing against `prev` is ABA-free (§4.4). Purely *helping* —
     /// the remove already linearized — so an expired deadline simply stops
     /// helping (a later operation on the key finishes the cleanup).
-    fn finalize_remove(
-        &self,
-        key: &[u8],
-        prev: oak_mempool::HeaderRef,
-        deadline: Option<Instant>,
-    ) {
+    fn finalize_remove(&self, key: &[u8], prev: oak_mempool::HeaderRef, deadline: Option<Instant>) {
         loop {
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 return;

@@ -157,15 +157,12 @@ impl OverloadController {
     /// Write-path hook: every `sample_every` calls, pull fresh stats from
     /// `sample` (pool snapshot + quarantined bytes) and reclassify. Returns
     /// the state the caller should act on.
-    pub(crate) fn tick(
-        &self,
-        sample: impl FnOnce() -> (PoolStats, u64),
-    ) -> OverloadState {
+    pub(crate) fn tick(&self, sample: impl FnOnce() -> (PoolStats, u64)) -> OverloadState {
         if !self.enabled() {
             return OverloadState::Healthy;
         }
         let t = self.ticks.fetch_add(1, Ordering::Relaxed);
-        if t % self.cfg.sample_every == 0 {
+        if t.is_multiple_of(self.cfg.sample_every) {
             let (stats, quarantined) = sample();
             let next = self.assess(&stats, quarantined);
             self.state.store(next as u8, Ordering::Relaxed);

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use oak_mempool::{ArenaPool, HeaderRef};
+use oak_mempool::{ArenaPool, HeaderRef, SliceRef};
 
 use crate::budget::OpBudget;
 use crate::buffer::{OakRBuffer, OakWBuffer};
@@ -262,7 +262,12 @@ impl<C: KeyComparator> ShardedOakMap<C> {
     }
 
     /// Budgeted insert-or-replace (see [`OakMap::put_budgeted`]).
-    pub fn put_budgeted(&self, key: &[u8], value: &[u8], budget: &OpBudget) -> Result<(), OakError> {
+    pub fn put_budgeted(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        budget: &OpBudget,
+    ) -> Result<(), OakError> {
         self.shard_of(key).put_budgeted(key, value, budget)
     }
 
@@ -273,7 +278,8 @@ impl<C: KeyComparator> ShardedOakMap<C> {
         value: &[u8],
         budget: &OpBudget,
     ) -> Result<bool, OakError> {
-        self.shard_of(key).put_if_absent_budgeted(key, value, budget)
+        self.shard_of(key)
+            .put_if_absent_budgeted(key, value, budget)
     }
 
     /// Budgeted in-place update (see
@@ -284,7 +290,8 @@ impl<C: KeyComparator> ShardedOakMap<C> {
         budget: &OpBudget,
         f: impl Fn(&mut OakWBuffer<'_>),
     ) -> Result<bool, OakError> {
-        self.shard_of(key).compute_if_present_budgeted(key, budget, f)
+        self.shard_of(key)
+            .compute_if_present_budgeted(key, budget, f)
     }
 
     /// Budgeted remove (see [`OakMap::remove_budgeted`]).
@@ -318,10 +325,12 @@ impl<C: KeyComparator> ShardedOakMap<C> {
         mut f: impl FnMut(&[u8], &[u8]) -> bool,
     ) -> usize {
         let mut iters: Vec<_> = self.shards.iter().map(|s| s.iter_range(lo, hi)).collect();
-        let mut heads: Vec<Option<(Vec<u8>, HeaderRef)>> = Vec::with_capacity(iters.len());
-        for (i, it) in iters.iter_mut().enumerate() {
-            heads.push(Self::pull(&self.shards[i], it.next_raw()));
-        }
+        // Zero-copy merge heads: each head keeps the raw key reference its
+        // shard cursor yielded (valid under that cursor's epoch pin, held
+        // by `iters` for the whole merge) — no per-entry key buffer is
+        // materialized.
+        let mut heads: Vec<Option<(SliceRef, HeaderRef)>> =
+            iters.iter_mut().map(|it| it.next_raw()).collect();
         let mut count = 0;
         loop {
             // Argmin over shard heads: keys are unique across shards
@@ -329,16 +338,19 @@ impl<C: KeyComparator> ShardedOakMap<C> {
             let Some(best) = self.pick(&heads, std::cmp::Ordering::Less) else {
                 return count;
             };
-            let (kb, h) = heads[best].take().expect("picked head is live");
+            let (kref, h) = heads[best].take().expect("picked head is live");
+            // SAFETY: key buffers are immutable; `kref` is pinned by the
+            // shard cursor in `iters[best]`, which outlives this use.
+            let kb = unsafe { self.shards[best].pool().slice(kref) };
             // An Err means the entry was deleted under the scan: skip it
             // without counting.
-            if let Ok(keep) = self.shards[best].value_store().read(h, |v| f(&kb, v)) {
+            if let Ok(keep) = self.shards[best].value_store().read(h, |v| f(kb, v)) {
                 count += 1;
                 if !keep {
                     return count;
                 }
             }
-            heads[best] = Self::pull(&self.shards[best], iters[best].next_raw());
+            heads[best] = iters[best].next_raw();
         }
     }
 
@@ -370,10 +382,8 @@ impl<C: KeyComparator> ShardedOakMap<C> {
             }
         };
         let mut iters: Vec<_> = self.shards.iter().map(|s| s.iter_range(lo, hi)).collect();
-        let mut heads: Vec<Option<(Vec<u8>, HeaderRef)>> = Vec::with_capacity(iters.len());
-        for (i, it) in iters.iter_mut().enumerate() {
-            heads.push(Self::pull(&self.shards[i], it.next_raw()));
-        }
+        let mut heads: Vec<Option<(SliceRef, HeaderRef)>> =
+            iters.iter_mut().map(|it| it.next_raw()).collect();
         let mut count: u64 = 0;
         loop {
             let Some(best) = self.pick(&heads, std::cmp::Ordering::Less) else {
@@ -383,14 +393,17 @@ impl<C: KeyComparator> ShardedOakMap<C> {
                 self.shards[best].pool().note_scan_shed();
                 return Err(OakError::Overloaded);
             }
-            if count > 0 && count % SCAN_CHECK_INTERVAL == 0 && budget.expired() {
+            if count > 0 && count.is_multiple_of(SCAN_CHECK_INTERVAL) && budget.expired() {
                 self.shards[best].pool().note_deadline_exceeded();
                 return Err(OakError::DeadlineExceeded);
             }
-            let (kb, h) = heads[best].take().expect("picked head is live");
+            let (kref, h) = heads[best].take().expect("picked head is live");
+            // SAFETY: key buffers are immutable; `kref` is pinned by the
+            // shard cursor in `iters[best]`, which outlives this use.
+            let kb = unsafe { self.shards[best].pool().slice(kref) };
             match self.shards[best]
                 .value_store()
-                .read_at(h, budget.deadline, |v| f(&kb, v))
+                .read_at(h, budget.deadline, |v| f(kb, v))
             {
                 Ok(keep) => {
                     count += 1;
@@ -407,7 +420,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
                     return Err(OakError::Contended(info));
                 }
             }
-            heads[best] = Self::pull(&self.shards[best], iters[best].next_raw());
+            heads[best] = iters[best].next_raw();
         }
     }
 
@@ -425,53 +438,48 @@ impl<C: KeyComparator> ShardedOakMap<C> {
             .iter()
             .map(|s| s.iter_descending(from, lo))
             .collect();
-        let mut heads: Vec<Option<(Vec<u8>, HeaderRef)>> = Vec::with_capacity(iters.len());
-        for (i, it) in iters.iter_mut().enumerate() {
-            heads.push(Self::pull(&self.shards[i], it.next_raw()));
-        }
+        let mut heads: Vec<Option<(SliceRef, HeaderRef)>> =
+            iters.iter_mut().map(|it| it.next_raw()).collect();
         let mut count = 0;
         loop {
             let Some(best) = self.pick(&heads, std::cmp::Ordering::Greater) else {
                 return count;
             };
-            let (kb, h) = heads[best].take().expect("picked head is live");
-            if let Ok(keep) = self.shards[best].value_store().read(h, |v| f(&kb, v)) {
+            let (kref, h) = heads[best].take().expect("picked head is live");
+            // SAFETY: key buffers are immutable; `kref` is pinned by the
+            // shard cursor in `iters[best]`, which outlives this use.
+            let kb = unsafe { self.shards[best].pool().slice(kref) };
+            if let Ok(keep) = self.shards[best].value_store().read(h, |v| f(kb, v)) {
                 count += 1;
                 if !keep {
                     return count;
                 }
             }
-            heads[best] = Self::pull(&self.shards[best], iters[best].next_raw());
+            heads[best] = iters[best].next_raw();
         }
-    }
-
-    /// Materializes a raw iterator item into a merge head (key bytes are
-    /// copied out so heads from different pools can be compared).
-    fn pull(
-        shard: &OakMap<C>,
-        item: Option<(oak_mempool::SliceRef, HeaderRef)>,
-    ) -> Option<(Vec<u8>, HeaderRef)> {
-        item.map(|(kref, h)| {
-            let kb = unsafe { shard.pool().slice(kref) }.to_vec();
-            (kb, h)
-        })
     }
 
     /// Index of the head whose key wins under `want` (Less = argmin for
     /// ascending, Greater = argmax for descending); `None` when all
-    /// iterators are drained.
+    /// iterators are drained. Heads are raw key references into their
+    /// shard's pool (kept valid by the shard cursors' epoch pins);
+    /// comparing derefs the off-heap bytes in place — no copies.
     fn pick(
         &self,
-        heads: &[Option<(Vec<u8>, HeaderRef)>],
+        heads: &[Option<(SliceRef, HeaderRef)>],
         want: std::cmp::Ordering,
     ) -> Option<usize> {
         let mut best: Option<usize> = None;
         for (i, head) in heads.iter().enumerate() {
-            let Some((kb, _)) = head else { continue };
+            let Some((kref, _)) = head else { continue };
             match best {
                 None => best = Some(i),
                 Some(b) => {
-                    let bk = &heads[b].as_ref().expect("best head is live").0;
+                    let bref = heads[b].as_ref().expect("best head is live").0;
+                    // SAFETY: key buffers are immutable; both refs are
+                    // pinned by their live shard cursors.
+                    let kb = unsafe { self.shards[i].pool().slice(*kref) };
+                    let bk = unsafe { self.shards[b].pool().slice(bref) };
                     if self.cmp.compare(kb, bk) == want {
                         best = Some(i);
                     }

@@ -215,25 +215,21 @@ impl<C: KeyComparator> OrderedKvMap for OakMap<C> {
         self.for_each_descending(from, lo, |k, v| f(k, v))
     }
 
+    // Since the chunk-batch scan rebuild, the Set adapter rides the same
+    // batch pipeline as the stream scans: handing the conformance closure
+    // borrowed bytes needs no per-entry buffer objects, so the historical
+    // Set-API penalty (one `OakRBuffer` pair — three `Arc` clone/drop
+    // pairs — per entry) is gone from this path. The object-per-entry
+    // iterators ([`OakMap::iter_range`] / [`OakMap::iter_descending`])
+    // remain the public Set API for callers that hold entries beyond the
+    // visit.
     fn ascend_entries(
         &self,
         lo: Option<&[u8]>,
         hi: Option<&[u8]>,
         f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
     ) -> usize {
-        let mut n = 0;
-        for (k, v) in self.iter_range(lo, hi) {
-            match k.read(|kb| v.read(|vb| f(kb, vb))) {
-                Ok(Ok(keep)) => {
-                    n += 1;
-                    if !keep {
-                        break;
-                    }
-                }
-                _ => continue, // entry deleted under the iterator: skip
-            }
-        }
-        n
+        self.for_each_in(lo, hi, |k, v| f(k, v))
     }
 
     fn descend_entries(
@@ -242,19 +238,7 @@ impl<C: KeyComparator> OrderedKvMap for OakMap<C> {
         lo: Option<&[u8]>,
         f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
     ) -> usize {
-        let mut n = 0;
-        for (k, v) in self.iter_descending(from, lo) {
-            match k.read(|kb| v.read(|vb| f(kb, vb))) {
-                Ok(Ok(keep)) => {
-                    n += 1;
-                    if !keep {
-                        break;
-                    }
-                }
-                _ => continue,
-            }
-        }
-        n
+        self.for_each_descending(from, lo, |k, v| f(k, v))
     }
 
     fn pool_stats(&self) -> Option<PoolStats> {

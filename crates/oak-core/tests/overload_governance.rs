@@ -223,9 +223,7 @@ fn sharded_budgeted_surface() {
             .unwrap();
     }
     assert_eq!(map.len(), 200);
-    assert!(!map
-        .put_if_absent_budgeted(&k(7), b"nope", &budget)
-        .unwrap());
+    assert!(!map.put_if_absent_budgeted(&k(7), b"nope", &budget).unwrap());
     assert_eq!(
         map.get_with_budgeted(&k(7), &budget, |v| v.to_vec())
             .unwrap(),

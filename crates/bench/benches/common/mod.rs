@@ -26,6 +26,7 @@ pub fn pool() -> PoolConfig {
         arena_size: 8 << 20,
         max_arenas: 48,
         magazines: false,
+        lockfree: false,
     }
 }
 

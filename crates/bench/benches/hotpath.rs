@@ -98,18 +98,17 @@ fn bench_magazine_churn(c: &mut Criterion) {
     let mut g = c.benchmark_group("hotpath_magazine_churn");
     common::tune(&mut g);
     for threads in [1usize, 2, 4, 8] {
-        for magazines in [true, false] {
-            let label = if magazines {
-                "magazines-on"
-            } else {
-                "magazines-off"
-            };
+        for (magazines, lockfree, label) in [
+            (false, false, "magazines-off"),
+            (true, false, "magazines-on"),
+            (true, true, "lockfree"),
+        ] {
             g.throughput(Throughput::Elements(2 * threads as u64)); // put + remove per thread
             g.bench_function(BenchmarkId::new(format!("threads-{threads}"), label), |b| {
                 let map = Arc::new(OakMap::with_config(
                     OakMapConfig::default()
                         .chunk_capacity(512)
-                        .pool(common::pool().magazines(magazines)),
+                        .pool(common::pool().magazines(magazines).lockfree(lockfree)),
                 ));
                 b.iter_custom(|iters| {
                     let start = std::time::Instant::now();

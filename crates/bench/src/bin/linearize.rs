@@ -68,6 +68,7 @@ fn main() {
             .chunk_capacity(8)
             .pool(oak_mempool::PoolConfig {
                 magazines: false,
+                lockfree: false,
                 arena_size: 16 << 10,
                 max_arenas: 16,
             })

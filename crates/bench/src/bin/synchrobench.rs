@@ -5,14 +5,16 @@
 //! synchrobench [--threads 1,2,4] [--size 100000] [--key-size 100]
 //!              [--value-size 1024] [--duration-ms 3000] [--scenario 4a-put]
 //!              [--csv out.csv] [--json out.json] [--quick]
-//!              [--no-magazines] [--no-prefix-cache] [--no-batch-scan]
+//!              [--no-magazines] [--no-lockfree] [--no-prefix-cache]
+//!              [--no-batch-scan]
 //! ```
 //!
 //! Hot-path accelerators are on by default (the Oak pool runs with
-//! allocation magazines, Oak maps with the key-prefix cache and the
-//! chunk-batch scan pipeline); the `--no-*` flags turn each off for A/B
-//! runs. `--json` writes the same rows as the CSV in a machine-readable
-//! report that also records the exact command.
+//! allocation magazines backed by the lock-free class stacks, Oak maps
+//! with the key-prefix cache and the chunk-batch scan pipeline); the
+//! `--no-*` flags turn each off for A/B runs. `--json` writes the same
+//! rows as the CSV in a machine-readable report that also records the
+//! exact command.
 
 use std::time::Duration;
 
@@ -34,6 +36,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let magazines = !args.iter().any(|a| a == "--no-magazines");
+    let lockfree = !args.iter().any(|a| a == "--no-lockfree");
     let prefix_cache = !args.iter().any(|a| a == "--no-prefix-cache");
     let batch_scan = !args.iter().any(|a| a == "--no-batch-scan");
 
@@ -70,15 +73,17 @@ fn main() {
 
     // Enough off-heap budget for the dataset plus put churn.
     let raw = size as u64 * (workload.key_size + workload.value_size + 24) as u64;
-    let pool =
-        PoolConfig::with_budget(8 << 20, (raw as usize * 3).max(64 << 20)).magazines(magazines);
+    let pool = PoolConfig::with_budget(8 << 20, (raw as usize * 3).max(64 << 20))
+        .magazines(magazines)
+        .lockfree(lockfree);
     let scan_len = if quick { 1_000 } else { 10_000 };
 
     let mut summary = Summary::new();
     // The memory-pressure and alloc-churn scenarios are opt-in (via
     // `--scenario mem` / `--scenario alloc`): the former deliberately
     // under-provisions the pool and reports OOM / reclaim / fragmentation
-    // columns, the latter runs its own magazines-on/off A/B pair.
+    // columns, the latter runs its own mutex / magazines / lock-free
+    // comparison rows.
     if only
         .as_deref()
         .is_some_and(|o| MEM_PRESSURE_LABEL.starts_with(o))

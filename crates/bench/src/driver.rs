@@ -110,6 +110,20 @@ fn run_op(map: &dyn MapAdapter, config: &WorkloadConfig, mix: Mix, sampler: &mut
                 map.remove(&config.key(id));
             }
         }
+        Mix::ScanChurn { len } => {
+            let id = sampler.next_id();
+            match sampler.next_pct() {
+                0..=9 => {
+                    std::hint::black_box(map.ascend(&config.key(id), len, false));
+                }
+                10..=54 => {
+                    map.put(&config.key(id), &config.value(id));
+                }
+                _ => {
+                    map.remove(&config.key(id));
+                }
+            }
+        }
     }
 }
 
@@ -235,6 +249,7 @@ mod tests {
                 span: 40,
                 stream: false,
             },
+            Mix::ScanChurn { len: 50 },
         ] {
             let r = sustained(&map, &config, mix, 2, Duration::from_millis(30));
             assert!(r.ops > 0, "mix {mix:?} made no progress");

@@ -72,6 +72,7 @@ pub fn ingest_oak(rows: &[InputRow], ram_budget: u64) -> (IngestOutcome, OakInde
     let arena = 1 << 20;
     let pool = PoolConfig {
         magazines: false,
+        lockfree: false,
         arena_size: arena,
         max_arenas: need.div_ceil(arena).max(2),
     };

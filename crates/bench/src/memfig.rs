@@ -59,6 +59,7 @@ fn pool_for(config: &WorkloadConfig, n: u64) -> PoolConfig {
     let arena = 1 << 20; // scaled-down arenas (paper: 100 MB)
     PoolConfig {
         magazines: false,
+        lockfree: false,
         arena_size: arena,
         max_arenas: need.div_ceil(arena).max(2),
     }

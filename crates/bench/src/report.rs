@@ -81,6 +81,18 @@ pub struct RobustnessStats {
     /// (hot-path counter: the reusable buffer exists to make this the
     /// common case).
     pub scan_buffer_reuses: u64,
+    /// Slices parked on a lock-free per-class stack (magazine surplus
+    /// flushes and rack-miss frees that bypassed the mutex).
+    pub class_stack_pushes: u64,
+    /// Slices recycled from a lock-free per-class stack (magazine refills
+    /// and direct pops that bypassed the mutex).
+    pub class_stack_pops: u64,
+    /// CAS retries across all class-stack operations (contention gauge
+    /// for the Treiber stacks).
+    pub cas_retries: u64,
+    /// Magazine refills served whole batches from a class stack instead
+    /// of carving the mutex free list.
+    pub lockfree_refills: u64,
 }
 
 impl RobustnessStats {
@@ -123,6 +135,10 @@ impl From<oak_mempool::PoolStats> for RobustnessStats {
             scan_chunk_batches: s.scan_chunk_batches,
             scan_revalidations: s.scan_revalidations,
             scan_buffer_reuses: s.scan_buffer_reuses,
+            class_stack_pushes: s.class_stack_pushes,
+            class_stack_pops: s.class_stack_pops,
+            cas_retries: s.cas_retries,
+            lockfree_refills: s.lockfree_refills,
         }
     }
 }
@@ -156,12 +172,13 @@ impl Summary {
             "Scenario,Bench,Heap size,Direct Mem,#Threads,Shards,Final Size,Throughput,Note,\
              LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct,\
              KeyDerefs,FreelistLocks,MagazineHits,OpRetries,Deadlines,WriteSheds,ScanSheds,\
-             ScanBatches,ScanRevals,ScanBufReuses\n",
+             ScanBatches,ScanRevals,ScanBufReuses,\
+             ClassStackPushes,ClassStackPops,CasRetries,LockfreeRefills\n",
         );
         for r in &self.rows {
             let rb = match &r.robustness {
                 Some(rb) => format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     rb.lock_retries,
                     rb.contended_aborts,
                     rb.failed_allocs,
@@ -178,9 +195,13 @@ impl Summary {
                     rb.scan_sheds,
                     rb.scan_chunk_batches,
                     rb.scan_revalidations,
-                    rb.scan_buffer_reuses
+                    rb.scan_buffer_reuses,
+                    rb.class_stack_pushes,
+                    rb.class_stack_pops,
+                    rb.cas_retries,
+                    rb.lockfree_refills
                 ),
-                None => ",,,,,,,,,,,,,,,,".to_string(),
+                None => ",,,,,,,,,,,,,,,,,,,,".to_string(),
             };
             let _ = writeln!(
                 out,
@@ -236,7 +257,9 @@ impl Summary {
                          \"offheap_key_derefs\": {}, \"freelist_lock_acquires\": {}, \
                          \"magazine_hits\": {}, \"op_retries\": {}, \"deadline_exceeded\": {}, \
                          \"write_sheds\": {}, \"scan_sheds\": {}, \"scan_chunk_batches\": {}, \
-                         \"scan_revalidations\": {}, \"scan_buffer_reuses\": {}}}",
+                         \"scan_revalidations\": {}, \"scan_buffer_reuses\": {}, \
+                         \"class_stack_pushes\": {}, \"class_stack_pops\": {}, \
+                         \"cas_retries\": {}, \"lockfree_refills\": {}}}",
                         rb.lock_retries,
                         rb.contended_aborts,
                         rb.failed_allocs,
@@ -253,7 +276,11 @@ impl Summary {
                         rb.scan_sheds,
                         rb.scan_chunk_batches,
                         rb.scan_revalidations,
-                        rb.scan_buffer_reuses
+                        rb.scan_buffer_reuses,
+                        rb.class_stack_pushes,
+                        rb.class_stack_pops,
+                        rb.cas_retries,
+                        rb.lockfree_refills
                     );
                 }
                 None => out.push_str(", \"robustness\": null"),
@@ -420,9 +447,10 @@ mod tests {
         assert!(csv.contains(
             "LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct,\
              KeyDerefs,FreelistLocks,MagazineHits,OpRetries,Deadlines,WriteSheds,ScanSheds,\
-             ScanBatches,ScanRevals,ScanBufReuses"
+             ScanBatches,ScanRevals,ScanBufReuses,\
+             ClassStackPushes,ClassStackPops,CasRetries,LockfreeRefills"
         ));
-        assert!(csv.contains(",7,1,2,3,4,5,6,100,200,300,0,0,0,0,0,0,0\n"));
+        assert!(csv.contains(",7,1,2,3,4,5,6,100,200,300,0,0,0,0,0,0,0,0,0,0,0\n"));
         let table = s.to_table();
         assert!(table
             .contains("[retries=7 aborts=1 failed-allocs=2 poisoned=3 oom=4 reclaims=5 frag=6%]"));
@@ -448,13 +476,19 @@ mod tests {
                 scan_chunk_batches: 21,
                 scan_revalidations: 2,
                 scan_buffer_reuses: 19,
+                class_stack_pushes: 31,
+                class_stack_pops: 29,
+                cas_retries: 3,
+                lockfree_refills: 11,
                 ..RobustnessStats::default()
             }),
         });
         // A healthy run (only traffic counters non-zero) prints no
         // incident bracket, but the counters are in the CSV.
         assert!(!s.to_table().contains("[retries="));
-        assert!(s.to_csv().contains(",12345,678,91011,0,0,0,0,21,2,19\n"));
+        assert!(s
+            .to_csv()
+            .contains(",12345,678,91011,0,0,0,0,21,2,19,31,29,3,11\n"));
     }
 
     #[test]
@@ -478,6 +512,10 @@ mod tests {
                 scan_chunk_batches: 8,
                 scan_revalidations: 9,
                 scan_buffer_reuses: 10,
+                class_stack_pushes: 11,
+                class_stack_pops: 12,
+                cas_retries: 13,
+                lockfree_refills: 14,
                 ..RobustnessStats::default()
             }),
         });
@@ -503,6 +541,10 @@ mod tests {
         assert!(json.contains("\"scan_chunk_batches\": 8"));
         assert!(json.contains("\"scan_revalidations\": 9"));
         assert!(json.contains("\"scan_buffer_reuses\": 10"));
+        assert!(json.contains("\"class_stack_pushes\": 11"));
+        assert!(json.contains("\"class_stack_pops\": 12"));
+        assert!(json.contains("\"cas_retries\": 13"));
+        assert!(json.contains("\"lockfree_refills\": 14"));
         assert!(json.contains("\"robustness\": null"));
         // Balanced braces/brackets: crude but effective shape check for a
         // hand-rolled encoder.
@@ -536,7 +578,7 @@ mod tests {
             }),
         });
         let csv = s.to_csv();
-        assert!(csv.contains(",11,12,13,14,0,0,0\n"));
+        assert!(csv.contains(",11,12,13,14,0,0,0,0,0,0,0\n"));
         let json = s.to_json("chaos --seed 1");
         assert!(json.contains("\"op_retries\": 11"));
         assert!(json.contains("\"deadline_exceeded\": 12"));

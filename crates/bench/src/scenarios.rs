@@ -93,6 +93,15 @@ pub const SCENARIOS: &[Scenario] = &[
             stream: true,
         },
     },
+    // Scans racing writers (not in Figure 4): ~10% bounded ascending
+    // scans over 45% put / 45% remove churn. Inserting the un-ingested
+    // half keeps chunks splitting under the scans, so the ScanRevals
+    // column is nonzero here — the read-only 4e/4f scans report 0 by
+    // design (their population is frozen after ingest).
+    Scenario {
+        label: "4h-scan-churn",
+        mix: Mix::ScanChurn { len: 1_000 },
+    },
 ];
 
 /// The default sharded competitor: four hash-routed shards.
@@ -233,9 +242,12 @@ pub const ALLOC_CHURN_LABEL: &str = "alloc-churn";
 /// Allocation-churn scenario: every thread alternates put and remove over
 /// a private key stripe, so each operation pair allocates and frees one
 /// fixed-size value payload. This is the free-list lock's worst case —
-/// and the allocation magazines' best — so the scenario runs the map
-/// twice, magazines off then on, and reports both rows; compare the
-/// `FreelistLocks` / `MagazineHits` columns.
+/// and the lock-free allocator's best — so the scenario runs the map
+/// three times (mutex free list only, thread magazines, magazines backed
+/// by the lock-free class stacks) and reports all rows; compare the
+/// `FreelistLocks` / `MagazineHits` / `ClassStackPushes` columns. The CI
+/// alloc-churn gate asserts the lock-free row's `FreelistLocks` stays
+/// ≈ 0 per operation.
 pub fn run_alloc_churn(
     threads: &[usize],
     workload: &WorkloadConfig,
@@ -246,8 +258,12 @@ pub fn run_alloc_churn(
 ) {
     let raw = workload.key_range * (workload.key_size + workload.value_size + 24) as u64;
     let pool = PoolConfig::with_budget(8 << 20, (raw as usize * 3).max(16 << 20));
-    for magazines in [false, true] {
-        let pool = pool.clone().magazines(magazines);
+    for (magazines, lockfree, bench) in [
+        (false, false, "OakMap"),
+        (true, false, "OakMap+magazines"),
+        (true, true, "OakMap+lockfree"),
+    ] {
+        let pool = pool.clone().magazines(magazines).lockfree(lockfree);
         for &t in threads {
             let map = Arc::new(OakMap::with_config(
                 OakMapConfig::default()
@@ -283,20 +299,14 @@ pub fn run_alloc_churn(
             let total = ops.load(Ordering::Relaxed);
             if verbose {
                 eprintln!(
-                    "{ALLOC_CHURN_LABEL} / magazines={} / {t} threads: {total} ops, \
-                     {} freelist locks, {} magazine hits",
-                    if magazines { "on" } else { "off" },
-                    stats.freelist_lock_acquires,
-                    stats.magazine_hits
+                    "{ALLOC_CHURN_LABEL} / {bench} / {t} threads: {total} ops, \
+                     {} freelist locks, {} magazine hits, {} stack pushes",
+                    stats.freelist_lock_acquires, stats.magazine_hits, stats.class_stack_pushes
                 );
             }
             summary.push(Row {
                 scenario: ALLOC_CHURN_LABEL.to_string(),
-                bench: if magazines {
-                    "OakMap+magazines".to_string()
-                } else {
-                    "OakMap".to_string()
-                },
+                bench: bench.to_string(),
                 heap_bytes: 0,
                 direct_bytes: (pool.arena_size * pool.max_arenas) as u64,
                 threads: t,
@@ -431,7 +441,7 @@ mod tests {
     #[test]
     fn scenario_table_covers_figure_4() {
         let labels: Vec<&str> = SCENARIOS.iter().map(|s| s.label).collect();
-        for fig in ["4a", "4b", "4c", "4d", "4e", "4f", "4g"] {
+        for fig in ["4a", "4b", "4c", "4d", "4e", "4f", "4g", "4h"] {
             assert!(
                 labels.iter().any(|l| l.starts_with(fig)),
                 "figure {fig} uncovered"
@@ -523,22 +533,36 @@ mod tests {
             &mut summary,
             false,
         );
-        assert_eq!(summary.rows().len(), 2);
+        assert_eq!(summary.rows().len(), 3);
         let off = summary.rows()[0].robustness.expect("stats off");
         let on = summary.rows()[1].robustness.expect("stats on");
+        let lf = summary.rows()[2].robustness.expect("stats lockfree");
         assert_eq!(summary.rows()[0].bench, "OakMap");
         assert_eq!(summary.rows()[1].bench, "OakMap+magazines");
+        assert_eq!(summary.rows()[2].bench, "OakMap+lockfree");
         assert!(on.magazine_hits > 0, "magazines never engaged: {on:?}");
-        // Normalize per operation: the two runs execute different op counts.
+        assert!(lf.magazine_hits > 0, "lockfree magazines idle: {lf:?}");
+        // Normalize per operation: the runs execute different op counts.
         let ops_off = summary.rows()[0].mops.max(f64::MIN_POSITIVE);
         let ops_on = summary.rows()[1].mops.max(f64::MIN_POSITIVE);
+        let ops_lf = summary.rows()[2].mops.max(f64::MIN_POSITIVE);
         let locks_off = off.freelist_lock_acquires as f64 / ops_off;
         let locks_on = on.freelist_lock_acquires as f64 / ops_on;
+        let locks_lf = lf.freelist_lock_acquires as f64 / ops_lf;
         assert!(
             locks_on * 10.0 <= locks_off,
             "magazines saved too little: {} locks/Mop on vs {} off",
             locks_on,
             locks_off
+        );
+        // The lock-free row must keep the mutex essentially cold: the
+        // churn payloads all pad under the magazine cutoff, so refills
+        // and surplus flushes route through the class stacks.
+        assert!(
+            locks_lf <= locks_on,
+            "lockfree row hits the mutex more than magazines alone: {} vs {} locks/Mop",
+            locks_lf,
+            locks_on
         );
     }
 
@@ -597,6 +621,63 @@ mod tests {
         assert_eq!(
             off.scan_buffer_reuses, 0,
             "per-entry mode reused a batch buffer: {off:?}"
+        );
+    }
+
+    #[test]
+    fn scan_churn_scenario_records_revalidations() {
+        // The 4h satellite: every checked-in bench row reported
+        // `scan_revalidations == 0` because the read-only 4e/4f scans run
+        // against a frozen population — chunk revisions only move at
+        // freeze/replacement, i.e. during rebalance. 4h interleaves
+        // bounded scans with put/remove churn over the whole range, so
+        // chunks split mid-scan and batch refills must re-locate. The
+        // counter must actually see that traffic.
+        let wl = WorkloadConfig {
+            key_range: 600,
+            key_size: 32,
+            value_size: 64,
+            seed: 13,
+            distribution: crate::workload::KeyDistribution::Uniform,
+        };
+        let sc = SCENARIOS
+            .iter()
+            .find(|s| s.label == "4h-scan-churn")
+            .expect("4h scenario registered");
+        // Splits racing a scan need a writer thread alongside the scanner;
+        // on a loaded host the race can take a few rounds to land, so
+        // retry short runs instead of one long flaky one.
+        let mut revals = 0;
+        for _ in 0..5 {
+            let mut summary = Summary::new();
+            run_scenario_configured(
+                sc,
+                &[2],
+                &wl,
+                PoolConfig::small(),
+                64,
+                Duration::from_millis(150),
+                &mut summary,
+                false,
+                true,
+                true,
+            );
+            let rb = summary
+                .rows()
+                .iter()
+                .find(|r| r.bench == "OakMap")
+                .expect("OakMap row")
+                .robustness
+                .expect("oak reports pool stats");
+            assert!(rb.scan_chunk_batches > 0, "scans never batched: {rb:?}");
+            revals = rb.scan_revalidations;
+            if revals > 0 {
+                break;
+            }
+        }
+        assert!(
+            revals > 0,
+            "churned scans never revalidated a batch: the 4h wiring is dead"
         );
     }
 

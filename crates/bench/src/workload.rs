@@ -204,6 +204,17 @@ pub enum Mix {
     /// Delete-heavy churn: 50% put / 50% remove (exercises the memory
     /// managers; used by the reclamation ablation).
     PutRemoveChurn,
+    /// Scans under write churn (`4h`): ~10% of ops are bounded ascending
+    /// scans, the rest put/remove churn over the whole key range. The
+    /// churn inserts un-ingested keys, so chunks keep splitting while
+    /// scans are mid-flight — the scenario that actually exercises the
+    /// batch pipeline's revision-stamp revalidation (`scan_revalidations`
+    /// is 0 by design in the read-only `4e`/`4f` scans, whose population
+    /// is frozen after ingest).
+    ScanChurn {
+        /// Entries per scan.
+        len: usize,
+    },
 }
 
 #[cfg(test)]

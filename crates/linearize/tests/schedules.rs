@@ -34,6 +34,7 @@ fn cramped_config(reclaim: bool) -> OakMapConfig {
         .chunk_capacity(8)
         .pool(PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 16 << 10,
             max_arenas: 16,
         })

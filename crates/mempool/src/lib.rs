@@ -29,6 +29,7 @@
 
 mod arena;
 mod audit;
+mod classstack;
 mod error;
 mod freelist;
 mod header;

@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 
 use crate::arena::Arena;
 use crate::audit::AllocClass;
+use crate::classstack::ClassStacks;
 use crate::error::AllocError;
 use crate::freelist::{round_up, FreeList};
 use crate::magazine::{thread_slot, CachedSlice, MagazineRack, MAG_MAX_PADDED, REFILL_BATCH};
@@ -39,6 +40,13 @@ pub struct PoolConfig {
     /// deterministic first-fit behaviour is preserved for tests; the
     /// benchmarks enable it.
     pub magazines: bool,
+    /// Recycle small (≤ 2 KiB padded) slices through lock-free per-class
+    /// CAS stacks: frees push and magazine refills pop without taking any
+    /// mutex, leaving the free-list locks to oversized allocations and
+    /// cold carves of fresh space. Off by default for the same
+    /// deterministic-first-fit reason as `magazines`; the benchmarks
+    /// enable both.
+    pub lockfree: bool,
 }
 
 impl Default for PoolConfig {
@@ -47,6 +55,7 @@ impl Default for PoolConfig {
             arena_size: 100 << 20, // 100 MB, as in the paper
             max_arenas: 256,
             magazines: false,
+            lockfree: false,
         }
     }
 }
@@ -58,6 +67,7 @@ impl PoolConfig {
             arena_size: 1 << 20, // 1 MB
             max_arenas: 64,
             magazines: false,
+            lockfree: false,
         }
     }
 
@@ -67,6 +77,7 @@ impl PoolConfig {
             arena_size,
             max_arenas: (budget_bytes / arena_size).max(1),
             magazines: false,
+            lockfree: false,
         }
     }
 
@@ -74,6 +85,13 @@ impl PoolConfig {
     #[must_use]
     pub fn magazines(mut self, on: bool) -> Self {
         self.magazines = on;
+        self
+    }
+
+    /// Enables or disables the lock-free class-stack layer.
+    #[must_use]
+    pub fn lockfree(mut self, on: bool) -> Self {
+        self.lockfree = on;
         self
     }
 }
@@ -87,15 +105,20 @@ struct Block {
 pub struct MemoryPool {
     config: PoolConfig,
     blocks: Box<[OnceLock<Block>]>,
-    /// Number of initialized blocks. Blocks `[0, nblocks)` are initialized.
+    /// Number of *claimed* block slots. Slots `[0, nblocks)` are either
+    /// initialized or mid-publish by a growing thread (their `OnceLock` is
+    /// still empty for the few instructions between the claim CAS and the
+    /// `set`); readers skip pending slots, and no `SliceRef` can point at
+    /// one because references are only handed out after initialization.
     nblocks: AtomicUsize,
-    grow_lock: Mutex<()>,
     counters: Counters,
     /// When set, arenas come from (and return to) a shared reservoir
     /// instead of the system allocator (§3.2).
     shared: Option<std::sync::Arc<ArenaPool>>,
     /// Thread-affine allocation magazines (`config.magazines`).
     rack: Option<MagazineRack>,
+    /// Lock-free per-class slice stacks (`config.lockfree`).
+    stacks: Option<ClassStacks>,
     /// Allocation ledger for lifecycle auditing (feature `audit`).
     #[cfg(feature = "audit")]
     ledger: crate::audit::Ledger,
@@ -119,6 +142,7 @@ impl MemoryPool {
             .collect::<Vec<_>>()
             .into_boxed_slice();
         let rack = config.magazines.then(MagazineRack::new);
+        let stacks = config.lockfree.then(ClassStacks::new);
         MemoryPool {
             config: PoolConfig {
                 max_arenas,
@@ -126,10 +150,10 @@ impl MemoryPool {
             },
             blocks,
             nblocks: AtomicUsize::new(0),
-            grow_lock: Mutex::new(()),
             counters: Counters::default(),
             shared: None,
             rack,
+            stacks,
             #[cfg(feature = "audit")]
             ledger: crate::audit::Ledger::default(),
         }
@@ -149,6 +173,7 @@ impl MemoryPool {
             arena_size: shared.arena_size(),
             max_arenas,
             magazines: false,
+            lockfree: false,
         });
         pool.shared = Some(shared);
         pool
@@ -213,17 +238,39 @@ impl MemoryPool {
         oak_failpoints::fail_point!("pool/alloc", Err(AllocError::Injected));
         let padded = round_up(len as u32);
 
-        if let Some(rack) = &self.rack {
-            if padded <= MAG_MAX_PADDED {
+        if padded <= MAG_MAX_PADDED {
+            if let Some(rack) = &self.rack {
                 // Magazine fast path: one uncontended slot lock, no
                 // free-list traffic.
                 if let Some((block, offset)) = rack.try_pop(padded) {
-                    self.counters.magazine_hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.magazine_hits.incr();
                     self.note_allocated(padded);
                     return Ok(SliceRef::new(block as usize, offset, len as u32));
                 }
-                return self.allocate_from_arenas(len as u32, padded, REFILL_BATCH);
             }
+            // Magazine miss (or magazines off): refill from the lock-free
+            // class stack before touching any free-list mutex. With a rack
+            // present the whole refill batch comes off the stack in one
+            // pass — the first slice serves this allocation, the rest are
+            // banked — so recycled slices circulate entirely mutex-free.
+            let batch = if self.rack.is_some() { REFILL_BATCH } else { 1 };
+            if let Some(stacks) = &self.stacks {
+                let mut got: Vec<CachedSlice> = Vec::with_capacity(batch);
+                if stacks.pop_batch(padded, batch, &mut got, &self.counters) > 0 {
+                    self.counters.lockfree_refills.incr();
+                    let (block, offset) = got[0];
+                    if got.len() > 1 {
+                        let rack = self.rack.as_ref().expect("batch > 1 implies rack");
+                        rack.bank(padded, &got[1..]);
+                        self.counters
+                            .magazine_refills
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.note_allocated(padded);
+                    return Ok(SliceRef::new(block as usize, offset, len as u32));
+                }
+            }
+            return self.allocate_from_arenas(len as u32, padded, batch);
         }
         self.allocate_from_arenas(len as u32, padded, 1)
     }
@@ -233,8 +280,18 @@ impl MemoryPool {
     /// `batch > 1` (magazines enabled) the surplus slices are banked into
     /// the calling thread's magazine and probing starts at a slot-affine
     /// arena so concurrent refills spread over different free-list locks.
-    /// On exhaustion, parked magazine slices are flushed back to the free
-    /// lists and the probe retried once before reporting `PoolExhausted`.
+    /// On exhaustion, parked magazine and class-stack slices are flushed
+    /// back to the free lists and the probe retried once before reporting
+    /// `PoolExhausted`.
+    ///
+    /// Growth is de-amortized: the expensive part (obtaining and zeroing
+    /// an arena) runs with no lock held and the new block is published
+    /// with one claim CAS on `nblocks` followed by the slot `set` — no
+    /// allocating thread ever queues behind another thread's arena
+    /// initialization on a mutex. A thread that loses the claim race
+    /// returns its arena and re-probes; a thread that finds a
+    /// claimed-but-pending slot yields until the (fully free) arena
+    /// appears rather than reserving yet another one.
     fn allocate_from_arenas(
         &self,
         len: u32,
@@ -245,9 +302,14 @@ impl MemoryPool {
         let mut flushed = false;
         loop {
             let n = self.nblocks.load(Ordering::Acquire);
+            let mut pending = false;
             for j in 0..n {
                 let i = (start + j) % n;
-                let block = self.blocks[i].get().expect("block < nblocks initialized");
+                let Some(block) = self.blocks[i].get() else {
+                    // Claimed slot still mid-publish by a growing thread.
+                    pending = true;
+                    continue;
+                };
                 let mut grabbed: Vec<u32> = Vec::new();
                 {
                     let mut free = block.free.lock();
@@ -275,45 +337,62 @@ impl MemoryPool {
                     return Ok(SliceRef::new(i, first, len));
                 }
             }
+            if pending {
+                // Another thread is publishing a fresh, fully free arena;
+                // waiting for its short `set` beats claiming another slot.
+                std::thread::yield_now();
+                continue;
+            }
             // All initialized arenas are full: reserve another one.
-            {
-                let _g = self.grow_lock.lock();
-                // Another thread may have grown the pool while we waited.
-                if self.nblocks.load(Ordering::Acquire) != n {
-                    continue;
-                }
-                if n < self.config.max_arenas {
-                    oak_failpoints::fail_point!("pool/grow", Err(AllocError::Injected));
-                    let arena = match &self.shared {
-                        Some(reservoir) => reservoir.take(),
-                        None => Some(Arena::new(self.config.arena_size)),
-                    };
-                    if let Some(arena) = arena {
-                        let block = Block {
-                            arena,
-                            free: Mutex::new(FreeList::new(self.config.arena_size as u32)),
-                        };
-                        if let Err(block) = self.blocks[n].set(block) {
-                            // Unreachable as long as nblocks only advances
-                            // under the grow lock; if the invariant is ever
-                            // broken, fail this one allocation instead of
-                            // poisoning the whole process, and don't leak
-                            // the arena.
-                            if let Some(reservoir) = &self.shared {
-                                reservoir.give_back(block.arena);
+            if n < self.config.max_arenas {
+                oak_failpoints::fail_point!("pool/grow", Err(AllocError::Injected));
+                let arena = match &self.shared {
+                    Some(reservoir) => reservoir.take(),
+                    None => Some(Arena::new(self.config.arena_size)),
+                };
+                if let Some(arena) = arena {
+                    match self.nblocks.compare_exchange(
+                        n,
+                        n + 1,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            let block = Block {
+                                arena,
+                                free: Mutex::new(FreeList::new(self.config.arena_size as u32)),
+                            };
+                            if let Err(block) = self.blocks[n].set(block) {
+                                // Unreachable: the claim CAS makes each
+                                // slot index a unique winner. If the
+                                // invariant is ever broken, fail this one
+                                // allocation without leaking the arena.
+                                if let Some(reservoir) = &self.shared {
+                                    reservoir.give_back(block.arena);
+                                }
+                                return Err(AllocError::Internal("arena slot double-initialized"));
                             }
-                            return Err(AllocError::Internal("arena slot double-initialized"));
+                            continue;
                         }
-                        self.nblocks.store(n + 1, Ordering::Release);
-                        continue;
+                        Err(_) => {
+                            // Lost the claim race: another thread is
+                            // publishing a fresh arena. Return ours and
+                            // re-probe.
+                            match &self.shared {
+                                Some(reservoir) => reservoir.give_back(arena),
+                                None => drop(arena),
+                            }
+                            continue;
+                        }
                     }
-                    // Shared reservoir empty: fall through to the flush
-                    // rung below before giving up.
                 }
+                // Shared reservoir empty: fall through to the flush rung
+                // below before giving up.
             }
             // Cannot grow. Before declaring exhaustion, return any slices
-            // parked in magazines to the free lists (they are free memory
-            // this request's size class may be starving for) and retry.
+            // parked in magazines or on the class stacks to the free lists
+            // (they are free memory this request's size class may be
+            // starving for) and retry.
             if !flushed {
                 flushed = true;
                 if self.flush_magazines() > 0 {
@@ -332,21 +411,33 @@ impl MemoryPool {
         self.counters.alloc_count.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Returns magazine-held slices to their arena free lists, grouping by
-    /// arena so each free list is locked once. Returns the bytes released.
+    /// Returns magazine-held and class-stack-held slices to their arena
+    /// free lists, grouping by arena so each free list is locked once.
+    /// Returns the bytes released.
     ///
-    /// This is the "flush all magazines" rung of the emergency-reclamation
-    /// ladder: allocation paths call it on exhaustion, and map-level
-    /// `recover_or_err` calls it before surfacing `OutOfMemory`.
+    /// This is the "flush all" rung of the emergency-reclamation ladder:
+    /// allocation paths call it on exhaustion, and map-level
+    /// `recover_or_err` calls it before surfacing `OutOfMemory`. Draining
+    /// the CAS stacks here matters for more than starved size classes —
+    /// stack-parked slices are invisible to the coalescing free lists, so
+    /// only a flush can merge them back into the large contiguous runs an
+    /// oversized allocation needs.
     pub fn flush_magazines(&self) -> u64 {
-        let Some(rack) = &self.rack else { return 0 };
-        let drained = rack.drain_all();
+        let mut drained = match &self.rack {
+            Some(rack) => rack.drain_all(),
+            None => Vec::new(),
+        };
+        if !drained.is_empty() {
+            self.counters
+                .magazine_flushes
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(stacks) = &self.stacks {
+            drained.extend(stacks.drain_all(&self.counters));
+        }
         if drained.is_empty() {
             return 0;
         }
-        self.counters
-            .magazine_flushes
-            .fetch_add(1, Ordering::Relaxed);
         let mut released = 0u64;
         let mut by_block: std::collections::HashMap<u32, Vec<(u32, u32)>> =
             std::collections::HashMap::new();
@@ -367,14 +458,26 @@ impl MemoryPool {
         released
     }
 
-    /// Returns overflow slices trimmed from a magazine to the free lists.
+    /// Returns overflow slices trimmed from a magazine. Eligible classes
+    /// go onto the lock-free class stack; only stack-overflow residue (or
+    /// a pool without the lock-free layer) touches the free-list mutex.
     fn return_surplus(&self, padded: u32, surplus: Vec<CachedSlice>) {
         self.counters
             .magazine_flushes
             .fetch_add(1, Ordering::Relaxed);
+        let overflow: Vec<CachedSlice> = match &self.stacks {
+            Some(stacks) => surplus
+                .into_iter()
+                .filter(|&slice| !stacks.try_push(padded, slice, &self.counters))
+                .collect(),
+            None => surplus,
+        };
+        if overflow.is_empty() {
+            return;
+        }
         let mut by_block: std::collections::HashMap<u32, Vec<u32>> =
             std::collections::HashMap::new();
-        for (block, offset) in surplus {
+        for (block, offset) in overflow {
             by_block.entry(block).or_default().push(offset);
         }
         for (block_idx, offsets) in by_block {
@@ -411,17 +514,27 @@ impl MemoryPool {
             .freed_bytes
             .fetch_add(padded as u64, Ordering::Relaxed);
         self.counters.free_count.fetch_add(1, Ordering::Relaxed);
-        if let Some(rack) = &self.rack {
-            if padded <= MAG_MAX_PADDED {
+        if padded <= MAG_MAX_PADDED {
+            if let Some(rack) = &self.rack {
                 // Park the slice in this thread's magazine instead of
-                // taking the free-list lock; overflow trims go back to the
-                // free lists in one batch per arena.
+                // taking the free-list lock; overflow trims cascade to the
+                // class stacks (then, only on stack overflow, to the free
+                // lists in one batch per arena).
                 if let Some(surplus) = rack.push(padded, (r.block() as u32, r.offset())) {
                     self.return_surplus(padded, surplus);
                 }
                 return;
             }
+            if let Some(stacks) = &self.stacks {
+                // No magazines: the CAS stack is the fast free path for
+                // eligible classes; a full stack falls back to the mutex.
+                if stacks.try_push(padded, (r.block() as u32, r.offset()), &self.counters) {
+                    return;
+                }
+            }
         }
+        // Oversized class, or every lock-free layer declined: the mutex
+        // free list is the cold fallback.
         let block = self.block(r.block());
         block.free.lock().free(r.offset(), padded);
         self.counters
@@ -435,6 +548,8 @@ impl MemoryPool {
             idx < self.nblocks.load(Ordering::Acquire),
             "block index {idx} out of range"
         );
+        // A `SliceRef` is only handed out after its block's `set`, so a
+        // pending (claimed, mid-publish) slot can never be dereferenced.
         self.blocks[idx].get().expect("initialized block")
     }
 
@@ -543,16 +658,27 @@ impl MemoryPool {
     pub fn stats(&self) -> PoolStats {
         let n = self.nblocks.load(Ordering::Acquire);
         let mut fl = FreeListStats::default();
+        let mut initialized = 0u64;
         for i in 0..n {
-            let block = self.blocks[i].get().expect("block < nblocks initialized");
+            // Skip a claimed slot still mid-publish by a growing thread.
+            let Some(block) = self.blocks[i].get() else {
+                continue;
+            };
+            initialized += 1;
             let free = block.free.lock();
             fl.free_bytes += free.free_bytes();
             fl.free_segments += free.segment_count() as u64;
             fl.largest_free_segment = fl.largest_free_segment.max(free.largest_segment() as u64);
         }
         let magazine_bytes = self.rack.as_ref().map_or(0, |r| r.held_bytes());
-        self.counters
-            .snapshot(n as u64, self.config.arena_size as u64, fl, magazine_bytes)
+        let class_stack_bytes = self.stacks.as_ref().map_or(0, |s| s.held_bytes());
+        self.counters.snapshot(
+            initialized,
+            self.config.arena_size as u64,
+            fl,
+            magazine_bytes,
+            class_stack_bytes,
+        )
     }
 
     /// Records an off-heap key-byte dereference performed by chunk search.
@@ -560,9 +686,7 @@ impl MemoryPool {
     /// rest of the pool's hot-path statistics.
     #[inline]
     pub fn note_key_deref(&self) {
-        self.counters
-            .offheap_key_derefs
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters.offheap_key_derefs.incr();
     }
 
     /// Records that an owner of this pool ran an emergency reclamation
@@ -667,15 +791,21 @@ impl MemoryPool {
         let (live_bytes, live_by_class) = self.ledger.live_summary();
         let n = self.nblocks.load(Ordering::Acquire);
         let mut free_bytes = 0u64;
+        let mut initialized = 0u64;
         for i in 0..n {
-            let block = self.blocks[i].get().expect("block < nblocks initialized");
+            let Some(block) = self.blocks[i].get() else {
+                continue;
+            };
+            initialized += 1;
             free_bytes += block.free.lock().free_bytes();
         }
-        // Slices parked in allocation magazines are free, not leaked: they
-        // left the free lists in a refill batch but are ready to hand out,
-        // so they sit on the free side of the balance sheet.
+        // Slices parked in allocation magazines or on the lock-free class
+        // stacks are free, not leaked: they left the free lists in a
+        // refill batch (or were pushed there by a free) but are ready to
+        // hand out, so they sit on the free side of the balance sheet.
         free_bytes += self.rack.as_ref().map_or(0, |r| r.held_bytes());
-        let capacity_bytes = n as u64 * self.config.arena_size as u64;
+        free_bytes += self.stacks.as_ref().map_or(0, |s| s.held_bytes());
+        let capacity_bytes = initialized * self.config.arena_size as u64;
         crate::audit::AuditReport {
             live_bytes,
             free_bytes,
@@ -720,6 +850,7 @@ mod tests {
     fn tiny_pool() -> MemoryPool {
         MemoryPool::new(PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 4096,
             max_arenas: 4,
         })
@@ -772,6 +903,7 @@ mod tests {
     fn free_allows_reuse() {
         let pool = MemoryPool::new(PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 1024,
             max_arenas: 1,
         });
@@ -798,6 +930,7 @@ mod tests {
     fn concurrent_allocation_yields_disjoint_slices() {
         let pool = Arc::new(MemoryPool::new(PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 1 << 16,
             max_arenas: 8,
         }));
@@ -832,6 +965,7 @@ mod tests {
             arena_size: 1 << 16,
             max_arenas: 4,
             magazines: true,
+            lockfree: false,
         })
     }
 
@@ -881,6 +1015,7 @@ mod tests {
             arena_size: 1024,
             max_arenas: 1,
             magazines: true,
+            lockfree: false,
         });
         let r = pool.allocate(512).unwrap();
         pool.free(r);
@@ -937,5 +1072,182 @@ mod tests {
         assert_eq!(stats.magazine_bytes, 0);
         assert_eq!(stats.free_bytes, stats.reserved_bytes);
         assert_eq!(pool.flush_magazines(), 0);
+    }
+
+    fn lockfree_pool() -> MemoryPool {
+        MemoryPool::new(PoolConfig {
+            arena_size: 1 << 16,
+            max_arenas: 4,
+            magazines: true,
+            lockfree: true,
+        })
+    }
+
+    #[test]
+    fn lockfree_churn_keeps_freelist_cold() {
+        let pool = lockfree_pool();
+        let rounds: u64 = if cfg!(miri) { 6 } else { 400 };
+        let mut refs = Vec::new();
+        for _ in 0..rounds {
+            // 96 live slices overflow the magazine (cap 64) on the free
+            // side, so trims cascade onto the class stack and the next
+            // round's refills come back off it mutex-free.
+            for _ in 0..96 {
+                refs.push(pool.allocate(64).unwrap());
+            }
+            for r in refs.drain(..) {
+                pool.free(r);
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.alloc_count, rounds * 96);
+        assert_eq!(stats.free_count, rounds * 96);
+        assert!(stats.class_stack_pushes > 0, "stacks never fed: {stats:?}");
+        assert!(
+            stats.class_stack_pops > 0,
+            "stacks never drained: {stats:?}"
+        );
+        assert!(stats.lockfree_refills > 0, "refills bypassed: {stats:?}");
+        // Steady-state recycling is mutex-free; the only free-list lock
+        // traffic is the warmup carving of brand-new slices.
+        let ops = stats.alloc_count + stats.free_count;
+        assert!(
+            stats.freelist_lock_acquires * 20 <= ops,
+            "locks = {} for {} ops",
+            stats.freelist_lock_acquires,
+            ops
+        );
+        // Accounting: nothing live, every byte is free-list, magazine, or
+        // stack-held.
+        assert_eq!(stats.live_bytes, 0);
+        assert_eq!(
+            stats.magazine_bytes + stats.class_stack_bytes + stats.free_bytes,
+            stats.reserved_bytes
+        );
+    }
+
+    #[test]
+    fn flush_magazines_drains_class_stacks() {
+        let pool = lockfree_pool();
+        let refs: Vec<_> = (0..100).map(|_| pool.allocate(128).unwrap()).collect();
+        for r in refs {
+            pool.free(r);
+        }
+        let stats = pool.stats();
+        assert!(
+            stats.class_stack_bytes > 0,
+            "magazine overflow never reached the stacks: {stats:?}"
+        );
+        let parked = stats.magazine_bytes + stats.class_stack_bytes;
+        assert_eq!(pool.flush_magazines(), parked);
+        let stats = pool.stats();
+        assert_eq!(stats.magazine_bytes, 0);
+        assert_eq!(stats.class_stack_bytes, 0);
+        assert_eq!(stats.free_bytes, stats.reserved_bytes);
+        assert_eq!(pool.flush_magazines(), 0);
+    }
+
+    #[test]
+    fn exhaustion_flush_rung_drains_stacks() {
+        // Stack-parked slices are invisible to the coalescing free list;
+        // an oversized request must trigger the flush rung to reassemble
+        // the contiguous run (the magazine-less variant isolates the
+        // stack's contribution).
+        let pool = MemoryPool::new(PoolConfig {
+            arena_size: 1024,
+            max_arenas: 1,
+            magazines: false,
+            lockfree: true,
+        });
+        let r = pool.allocate(512).unwrap();
+        pool.free(r);
+        assert!(pool.stats().class_stack_bytes > 0);
+        let big = pool
+            .allocate(1024)
+            .expect("flush rung must drain the class stacks");
+        pool.free(big);
+        // True exhaustion still terminates cleanly once nothing is parked.
+        let a = pool.allocate(1024).unwrap();
+        assert!(matches!(pool.allocate(8), Err(AllocError::PoolExhausted)));
+        pool.free(a);
+    }
+
+    #[test]
+    fn lockfree_cross_thread_slices_stay_disjoint() {
+        let pool = Arc::new(lockfree_pool());
+        let iters: usize = if cfg!(miri) { 40 } else { 400 };
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut refs = Vec::new();
+                for i in 0..iters {
+                    let r = pool.allocate(48).unwrap();
+                    unsafe { pool.slice_mut(r) }.fill(t ^ (i as u8));
+                    refs.push((r, t ^ (i as u8)));
+                    if i % 3 == 0 {
+                        let (r, _) = refs.swap_remove(i % refs.len());
+                        pool.free(r);
+                    }
+                }
+                for (r, fill) in &refs {
+                    let s = unsafe { pool.slice(*r) };
+                    assert!(s.iter().all(|b| b == fill), "clobbered slice");
+                }
+                for (r, _) in refs {
+                    pool.free(r);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.live_bytes, 0);
+        assert_eq!(
+            stats.magazine_bytes + stats.class_stack_bytes + stats.free_bytes,
+            stats.reserved_bytes
+        );
+    }
+
+    #[test]
+    fn growth_claim_race_loses_cleanly() {
+        // Hammer a growing pool from several threads: every growth slot
+        // must end up initialized exactly once, losers must re-probe, and
+        // the byte accounting must balance over initialized arenas only.
+        let pool = Arc::new(MemoryPool::new(PoolConfig {
+            arena_size: 4096,
+            max_arenas: 8,
+            magazines: false,
+            lockfree: true,
+        }));
+        let iters: usize = if cfg!(miri) { 8 } else { 64 };
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut refs = Vec::new();
+                for _ in 0..iters {
+                    match pool.allocate(1024) {
+                        Ok(r) => refs.push(r),
+                        Err(AllocError::PoolExhausted) => break,
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+                for r in refs {
+                    pool.free(r);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = pool.stats();
+        assert!(stats.arenas >= 2, "pool never grew: {stats:?}");
+        assert_eq!(stats.live_bytes, 0);
+        assert_eq!(
+            stats.magazine_bytes + stats.class_stack_bytes + stats.free_bytes,
+            stats.reserved_bytes
+        );
     }
 }

@@ -7,7 +7,51 @@
 //! figures are gathered by briefly walking the per-arena free lists in
 //! [`MemoryPool::stats`](crate::MemoryPool::stats).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of lanes in a [`Striped`] counter. A power of two so the lane
+/// pick is a mask; 8 lanes × 64 B padding = 512 B per striped counter.
+const LANES: usize = 8;
+
+/// Process-wide thread counter used to stripe threads across lanes.
+static NEXT_LANE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static LANE: usize = NEXT_LANE.fetch_add(1, Ordering::Relaxed) % LANES;
+}
+
+/// One cache-line-padded counter lane, so two threads bumping different
+/// lanes never write the same line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Lane(AtomicU64);
+
+/// A thread-striped monotonic counter: increments go to a thread-affine
+/// cache-line-padded lane, reads sum the lanes. Used for the hot-path
+/// traffic counters (key dereferences, magazine hits, class-stack ops)
+/// where a single shared `fetch_add` line becomes the scaling bottleneck
+/// it is supposed to measure.
+#[derive(Debug, Default)]
+pub(crate) struct Striped {
+    lanes: [Lane; LANES],
+}
+
+impl Striped {
+    #[inline]
+    pub(crate) fn add(&self, n: u64) {
+        let lane = LANE.with(|l| *l);
+        self.lanes[lane].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn incr(&self) {
+        self.add(1);
+    }
+
+    pub(crate) fn sum(&self) -> u64 {
+        self.lanes.iter().map(|l| l.0.load(Ordering::Relaxed)).sum()
+    }
+}
 
 /// Internal atomic counters owned by the pool.
 #[derive(Debug, Default)]
@@ -24,11 +68,15 @@ pub(crate) struct Counters {
     pub(crate) peak_live_bytes: AtomicU64,
     pub(crate) emergency_reclaims: AtomicU64,
     pub(crate) oom_failures: AtomicU64,
-    pub(crate) offheap_key_derefs: AtomicU64,
+    pub(crate) offheap_key_derefs: Striped,
     pub(crate) freelist_lock_acquires: AtomicU64,
-    pub(crate) magazine_hits: AtomicU64,
+    pub(crate) magazine_hits: Striped,
     pub(crate) magazine_refills: AtomicU64,
     pub(crate) magazine_flushes: AtomicU64,
+    pub(crate) class_stack_pushes: Striped,
+    pub(crate) class_stack_pops: Striped,
+    pub(crate) cas_retries: Striped,
+    pub(crate) lockfree_refills: Striped,
     pub(crate) op_retries: AtomicU64,
     pub(crate) deadline_exceeded: AtomicU64,
     pub(crate) overload_sheds: AtomicU64,
@@ -53,6 +101,7 @@ impl Counters {
         arena_size: u64,
         fl: FreeListStats,
         magazine_bytes: u64,
+        class_stack_bytes: u64,
     ) -> PoolStats {
         let allocated = self.allocated_bytes.load(Ordering::Relaxed);
         let freed = self.freed_bytes.load(Ordering::Relaxed);
@@ -75,12 +124,17 @@ impl Counters {
             peak_live_bytes: self.peak_live_bytes.load(Ordering::Relaxed),
             emergency_reclaims: self.emergency_reclaims.load(Ordering::Relaxed),
             oom_failures: self.oom_failures.load(Ordering::Relaxed),
-            offheap_key_derefs: self.offheap_key_derefs.load(Ordering::Relaxed),
+            offheap_key_derefs: self.offheap_key_derefs.sum(),
             freelist_lock_acquires: self.freelist_lock_acquires.load(Ordering::Relaxed),
-            magazine_hits: self.magazine_hits.load(Ordering::Relaxed),
+            magazine_hits: self.magazine_hits.sum(),
             magazine_refills: self.magazine_refills.load(Ordering::Relaxed),
             magazine_flushes: self.magazine_flushes.load(Ordering::Relaxed),
             magazine_bytes,
+            class_stack_pushes: self.class_stack_pushes.sum(),
+            class_stack_pops: self.class_stack_pops.sum(),
+            cas_retries: self.cas_retries.sum(),
+            lockfree_refills: self.lockfree_refills.sum(),
+            class_stack_bytes,
             op_retries: self.op_retries.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             overload_sheds: self.overload_sheds.load(Ordering::Relaxed),
@@ -158,6 +212,22 @@ pub struct PoolStats {
     /// Bytes currently parked in magazines at snapshot time: free capacity
     /// that is not on any free list (counted as free, not leaked).
     pub magazine_bytes: u64,
+    /// Slices pushed onto the lock-free per-class CAS stacks (frees and
+    /// magazine overflow trims that avoided the free-list mutex).
+    pub class_stack_pushes: u64,
+    /// Slices popped from the lock-free per-class CAS stacks (allocations
+    /// and magazine refills that avoided the free-list mutex).
+    pub class_stack_pops: u64,
+    /// Failed head CASes retried by the class-stack push/pop loops: the
+    /// lock-free path's contention indicator (compare with
+    /// `freelist_lock_acquires`, the mutex path's).
+    pub cas_retries: u64,
+    /// Magazine refills served from a class stack instead of a free-list
+    /// lock (each banks up to a refill batch of slices without a mutex).
+    pub lockfree_refills: u64,
+    /// Bytes currently parked on the class stacks at snapshot time: free
+    /// capacity not on any free list (counted as free, not leaked).
+    pub class_stack_bytes: u64,
     /// Budgeted operation retries taken under the jittered-backoff policy
     /// (each is one backoff sleep followed by a fresh attempt).
     pub op_retries: u64,
@@ -218,6 +288,11 @@ impl PoolStats {
         self.magazine_refills += other.magazine_refills;
         self.magazine_flushes += other.magazine_flushes;
         self.magazine_bytes += other.magazine_bytes;
+        self.class_stack_pushes += other.class_stack_pushes;
+        self.class_stack_pops += other.class_stack_pops;
+        self.cas_retries += other.cas_retries;
+        self.lockfree_refills += other.lockfree_refills;
+        self.class_stack_bytes += other.class_stack_bytes;
         self.op_retries += other.op_retries;
         self.deadline_exceeded += other.deadline_exceeded;
         self.overload_sheds += other.overload_sheds;

@@ -11,9 +11,10 @@
 //! below; no other code touches the underlying skiplist or the first
 //! pointer directly.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crossbeam_epoch::{self as epoch, Atomic, Owned};
 
 use oak_skiplist::SkipListMap;
 
@@ -27,7 +28,14 @@ pub(crate) struct ChunkIndex<C: KeyComparator> {
     /// Lazy index: non-infimum `minKey` → chunk (§3.1).
     minkeys: SkipListMap<MinKey<C>, Arc<Chunk>>,
     /// The first chunk (`minKey` = −∞, encoded as the empty key).
-    first: RwLock<Arc<Chunk>>,
+    ///
+    /// Epoch-protected atomic box rather than a lock: a map whose keys all
+    /// fit in one chunk (small shards especially) funnels *every* lookup
+    /// through this pointer, and even a read-mostly `RwLock` bounces its
+    /// lock word between reader cores. Readers pin, load, and bump the
+    /// `Arc` — no shared write other than the refcount. Swings CAS the box
+    /// and defer freeing it past all current pins.
+    first: Atomic<Arc<Chunk>>,
 }
 
 impl<C: KeyComparator> ChunkIndex<C> {
@@ -35,14 +43,19 @@ impl<C: KeyComparator> ChunkIndex<C> {
         ChunkIndex {
             cmp,
             minkeys: SkipListMap::new(),
-            first: RwLock::new(first),
+            first: Atomic::new(first),
         }
     }
 
     /// The current first chunk, *without* resolving replacement chains.
     /// Used as the fallback starting point for list walks.
     pub(crate) fn first_raw(&self) -> Arc<Chunk> {
-        self.first.read().clone()
+        let guard = epoch::pin();
+        let shared = self.first.load(Ordering::Acquire, &guard);
+        // SAFETY: `first` is non-null from construction to drop, and a
+        // swung-out box is only destroyed after every pin that could have
+        // observed it is released.
+        unsafe { shared.deref() }.clone()
     }
 
     /// The current first chunk, with replacement chains resolved.
@@ -144,16 +157,57 @@ impl<C: KeyComparator> ChunkIndex<C> {
     pub(crate) fn replace_first(&self, old: &Arc<Chunk>, new_head: Arc<Chunk>) -> bool {
         oak_failpoints::sync_point!("index/replace-first");
         oak_failpoints::fail_point!("index/replace-first");
-        let mut g = self.first.write();
-        let mut cur = g.clone();
+        let guard = epoch::pin();
+        let mut new_box = Owned::new(new_head);
         loop {
-            if Arc::ptr_eq(&cur, old) {
-                *g = new_head;
-                return true;
+            let shared = self.first.load(Ordering::Acquire, &guard);
+            // SAFETY: see `first_raw`.
+            let mut cur = unsafe { shared.deref() }.clone();
+            let leads_to_old = loop {
+                if Arc::ptr_eq(&cur, old) {
+                    break true;
+                }
+                match cur.replacement() {
+                    Some(r) => cur = r.clone(),
+                    None => break false,
+                }
+            };
+            if !leads_to_old {
+                return false;
             }
-            match cur.replacement() {
-                Some(r) => cur = r.clone(),
-                None => return false,
+            match self.first.compare_exchange(
+                shared,
+                new_box,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(_) => {
+                    // SAFETY: `shared` was just unlinked by this CAS; no
+                    // new reader can reach it, and existing pins keep the
+                    // box alive until they drop.
+                    unsafe { guard.defer_destroy(shared) };
+                    return true;
+                }
+                Err(e) => {
+                    // Raced with a concurrent swing (different rebalance
+                    // lock holder): re-verify the chain from the new box.
+                    new_box = e.new;
+                }
+            }
+        }
+    }
+}
+
+impl<C: KeyComparator> Drop for ChunkIndex<C> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access (`&mut self`); no concurrent readers can
+        // hold a pin into this index anymore, so the current box can be
+        // reclaimed immediately.
+        unsafe {
+            let shared = self.first.load(Ordering::Relaxed, epoch::unprotected());
+            if !shared.is_null() {
+                drop(shared.into_owned());
             }
         }
     }

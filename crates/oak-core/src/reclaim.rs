@@ -292,6 +292,7 @@ mod tests {
     fn pool() -> Arc<MemoryPool> {
         Arc::new(MemoryPool::new(PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 64 * 1024,
             max_arenas: 1,
         }))

@@ -63,6 +63,14 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// One shard, padded to its own pair of cache lines. The shards sit in a
+/// contiguous `Vec`, and each `OakMap` header carries hot atomics (length,
+/// overload sampling state); without the padding, two shards can share a
+/// line and read-only traffic on one shard pays for writes on its
+/// neighbor (the ShardedOak 1→2-thread read regression).
+#[repr(align(128))]
+struct Shard<C: KeyComparator>(OakMap<C>);
+
 /// A sharded front-end over `N` independent [`OakMap`]s.
 ///
 /// Implements the same [`OrderedKvMap`](crate::OrderedKvMap) interface as
@@ -70,7 +78,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// on exactly one shard), and scans are non-atomic exactly as a single
 /// map's are (§1.1), merging per-shard iterators in comparator order.
 pub struct ShardedOakMap<C: KeyComparator = Lexicographic> {
-    shards: Vec<OakMap<C>>,
+    shards: Vec<Shard<C>>,
     splitter: ShardSplitter,
     cmp: C,
     /// The shared arena reservoir, when the shards draw from one.
@@ -149,7 +157,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
             }
         };
         let maps = (0..shards)
-            .map(|_| OakMap::with_comparator(shard_config.clone(), cmp.clone()))
+            .map(|_| Shard(OakMap::with_comparator(shard_config.clone(), cmp.clone())))
             .collect();
         ShardedOakMap {
             shards: maps,
@@ -185,7 +193,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
                 bounds.partition_point(|b| self.cmp.compare(b, key) != std::cmp::Ordering::Greater)
             }
         };
-        &self.shards[i]
+        &self.shards[i].0
     }
 
     // --- point operations (route to one shard) ----------------------------
@@ -307,7 +315,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
     pub fn overload_state(&self) -> OverloadState {
         self.shards
             .iter()
-            .map(OakMap::overload_state)
+            .map(|s| s.0.overload_state())
             .max()
             .unwrap_or(OverloadState::Healthy)
     }
@@ -324,7 +332,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
         hi: Option<&[u8]>,
         mut f: impl FnMut(&[u8], &[u8]) -> bool,
     ) -> usize {
-        let mut iters: Vec<_> = self.shards.iter().map(|s| s.iter_range(lo, hi)).collect();
+        let mut iters: Vec<_> = self.shards.iter().map(|s| s.0.iter_range(lo, hi)).collect();
         // Zero-copy merge heads: each head keeps the raw key reference its
         // shard cursor yielded (valid under that cursor's epoch pin, held
         // by `iters` for the whole merge) — no per-entry key buffer is
@@ -341,10 +349,10 @@ impl<C: KeyComparator> ShardedOakMap<C> {
             let (kref, h) = heads[best].take().expect("picked head is live");
             // SAFETY: key buffers are immutable; `kref` is pinned by the
             // shard cursor in `iters[best]`, which outlives this use.
-            let kb = unsafe { self.shards[best].pool().slice(kref) };
+            let kb = unsafe { self.shards[best].0.pool().slice(kref) };
             // An Err means the entry was deleted under the scan: skip it
             // without counting.
-            if let Ok(keep) = self.shards[best].value_store().read(h, |v| f(kb, v)) {
+            if let Ok(keep) = self.shards[best].0.value_store().read(h, |v| f(kb, v)) {
                 count += 1;
                 if !keep {
                     return count;
@@ -369,11 +377,11 @@ impl<C: KeyComparator> ShardedOakMap<C> {
         mut f: impl FnMut(&[u8], &[u8]) -> bool,
     ) -> Result<u64, OakError> {
         const SCAN_CHECK_INTERVAL: u64 = 64;
-        budget.check(self.shards[0].pool())?;
+        budget.check(self.shards[0].0.pool())?;
         let shed_after = match self.overload_state() {
             OverloadState::Healthy => u64::MAX,
             OverloadState::Degraded | OverloadState::Critical => {
-                let limit = self.shards[0].overload.config().degraded_scan_limit;
+                let limit = self.shards[0].0.overload.config().degraded_scan_limit;
                 if limit == 0 {
                     u64::MAX
                 } else {
@@ -381,7 +389,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
                 }
             }
         };
-        let mut iters: Vec<_> = self.shards.iter().map(|s| s.iter_range(lo, hi)).collect();
+        let mut iters: Vec<_> = self.shards.iter().map(|s| s.0.iter_range(lo, hi)).collect();
         let mut heads: Vec<Option<(SliceRef, HeaderRef)>> =
             iters.iter_mut().map(|it| it.next_raw()).collect();
         let mut count: u64 = 0;
@@ -390,18 +398,19 @@ impl<C: KeyComparator> ShardedOakMap<C> {
                 return Ok(count);
             };
             if count >= shed_after {
-                self.shards[best].pool().note_scan_shed();
+                self.shards[best].0.pool().note_scan_shed();
                 return Err(OakError::Overloaded);
             }
             if count > 0 && count.is_multiple_of(SCAN_CHECK_INTERVAL) && budget.expired() {
-                self.shards[best].pool().note_deadline_exceeded();
+                self.shards[best].0.pool().note_deadline_exceeded();
                 return Err(OakError::DeadlineExceeded);
             }
             let (kref, h) = heads[best].take().expect("picked head is live");
             // SAFETY: key buffers are immutable; `kref` is pinned by the
             // shard cursor in `iters[best]`, which outlives this use.
-            let kb = unsafe { self.shards[best].pool().slice(kref) };
+            let kb = unsafe { self.shards[best].0.pool().slice(kref) };
             match self.shards[best]
+                .0
                 .value_store()
                 .read_at(h, budget.deadline, |v| f(kb, v))
             {
@@ -414,7 +423,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
                 Err(oak_mempool::AccessError::Deleted) => {} // skip
                 Err(oak_mempool::AccessError::Contended(info)) => {
                     if budget.expired() {
-                        self.shards[best].pool().note_deadline_exceeded();
+                        self.shards[best].0.pool().note_deadline_exceeded();
                         return Err(OakError::DeadlineExceeded);
                     }
                     return Err(OakError::Contended(info));
@@ -436,7 +445,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
         let mut iters: Vec<_> = self
             .shards
             .iter()
-            .map(|s| s.iter_descending(from, lo))
+            .map(|s| s.0.iter_descending(from, lo))
             .collect();
         let mut heads: Vec<Option<(SliceRef, HeaderRef)>> =
             iters.iter_mut().map(|it| it.next_raw()).collect();
@@ -448,8 +457,8 @@ impl<C: KeyComparator> ShardedOakMap<C> {
             let (kref, h) = heads[best].take().expect("picked head is live");
             // SAFETY: key buffers are immutable; `kref` is pinned by the
             // shard cursor in `iters[best]`, which outlives this use.
-            let kb = unsafe { self.shards[best].pool().slice(kref) };
-            if let Ok(keep) = self.shards[best].value_store().read(h, |v| f(kb, v)) {
+            let kb = unsafe { self.shards[best].0.pool().slice(kref) };
+            if let Ok(keep) = self.shards[best].0.value_store().read(h, |v| f(kb, v)) {
                 count += 1;
                 if !keep {
                     return count;
@@ -478,8 +487,8 @@ impl<C: KeyComparator> ShardedOakMap<C> {
                     let bref = heads[b].as_ref().expect("best head is live").0;
                     // SAFETY: key buffers are immutable; both refs are
                     // pinned by their live shard cursors.
-                    let kb = unsafe { self.shards[i].pool().slice(*kref) };
-                    let bk = unsafe { self.shards[b].pool().slice(bref) };
+                    let kb = unsafe { self.shards[i].0.pool().slice(*kref) };
+                    let bk = unsafe { self.shards[b].0.pool().slice(bref) };
                     if self.cmp.compare(kb, bk) == want {
                         best = Some(i);
                     }
@@ -493,25 +502,25 @@ impl<C: KeyComparator> ShardedOakMap<C> {
 
     /// Total live key-value pairs across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(OakMap::len).sum()
+        self.shards.iter().map(|s| s.0.len()).sum()
     }
 
     /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(OakMap::is_empty)
+        self.shards.iter().all(|s| s.0.is_empty())
     }
 
     /// Aggregated statistics: field-wise sum over shards (shards draw
     /// disjoint arenas, so pool footprints add exactly).
     pub fn stats(&self) -> OakStats {
-        let mut it = self.shards.iter().map(OakMap::stats);
+        let mut it = self.shards.iter().map(|s| s.0.stats());
         let first = it.next().expect("at least one shard");
         it.fold(first, |acc, s| acc.merged(&s))
     }
 
     /// Per-shard statistics, in shard order.
     pub fn shard_stats(&self) -> Vec<OakStats> {
-        self.shards.iter().map(OakMap::stats).collect()
+        self.shards.iter().map(|s| s.0.stats()).collect()
     }
 
     /// Drains every shard's dead-key quarantine as far as current readers
@@ -519,14 +528,14 @@ impl<C: KeyComparator> ShardedOakMap<C> {
     /// memory-pressure tooling support).
     #[doc(hidden)]
     pub fn drain_quarantine(&self) -> u64 {
-        self.shards.iter().map(OakMap::drain_quarantine).sum()
+        self.shards.iter().map(|s| s.0.drain_quarantine()).sum()
     }
 
     /// Runs the quiescent memory audit on every shard, in shard order
     /// (see [`OakMap::audit`]; `audit` feature).
     #[cfg(feature = "audit")]
     pub fn audit(&self) -> Vec<crate::map::MapAuditReport> {
-        self.shards.iter().map(OakMap::audit).collect()
+        self.shards.iter().map(|s| s.0.audit()).collect()
     }
 
     /// Validates every shard's chunk-list invariants (test support).
@@ -536,7 +545,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
     /// If any shard's invariants are violated.
     pub fn validate(&self) {
         for s in &self.shards {
-            s.validate();
+            s.0.validate();
         }
     }
 }

@@ -23,6 +23,7 @@ fn test_map() -> OakMap {
             .chunk_capacity(16) // rebalance under fault pressure
             .pool(PoolConfig {
                 magazines: false,
+                lockfree: false,
                 arena_size: 256 << 10,
                 max_arenas: 4,
             }),

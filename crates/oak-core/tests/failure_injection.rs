@@ -16,6 +16,7 @@ fn cramped() -> OakMap {
         merge_ratio: 0.125,
         pool: PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 64 << 10, // 64 KB
             max_arenas: 2,        // 128 KB total
         },

@@ -42,6 +42,7 @@ fn cramped_config(reclaim: bool) -> OakMapConfig {
         .chunk_capacity(16)
         .pool(PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 8 << 10,
             max_arenas: 8,
         })

@@ -26,6 +26,7 @@ fn soak_config() -> OakMapConfig {
         .chunk_capacity(64)
         .pool(PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 32 << 10,
             max_arenas: 8,
         })
@@ -148,6 +149,7 @@ fn soak_at_95_percent_budget_with_magazines_leaks_nothing() {
     // before any put concludes OutOfMemory with free memory parked.
     let map = Arc::new(OakMap::with_config(soak_config().pool(PoolConfig {
         magazines: true,
+        lockfree: false,
         arena_size: 32 << 10,
         max_arenas: 8,
     })));
@@ -163,6 +165,40 @@ fn soak_at_95_percent_budget_with_magazines_leaks_nothing() {
     // sees the parked slices back on the free lists (the auditor counts
     // them as free either way; this also exercises the flush path).
     map.pool().flush_magazines();
+    assert_no_leaks(&map);
+}
+
+#[test]
+fn soak_at_95_percent_budget_with_lockfree_alloc_leaks_nothing() {
+    // The full lock-free stack: magazines backed by per-class CAS stacks
+    // and de-amortized arena growth. Slices parked on the stacks must stay
+    // visible to the auditor as free bytes, the flush-all rung must drain
+    // them before any put concludes OutOfMemory, and steady-state churn
+    // must recycle through the stacks rather than the free-list mutex.
+    let map = Arc::new(OakMap::with_config(soak_config().pool(PoolConfig {
+        magazines: true,
+        lockfree: true,
+        arena_size: 32 << 10,
+        max_arenas: 8,
+    })));
+    let ooms = churn(&map);
+    eprintln!("lockfree soak: {ooms} tolerated OOMs");
+    let stats = map.pool().stats();
+    assert!(
+        stats.class_stack_pushes > 0,
+        "class stacks never engaged during the soak: {stats:?}"
+    );
+    assert!(
+        stats.class_stack_pops > 0,
+        "stack-parked slices were never recycled: {stats:?}"
+    );
+    remove_all(&map);
+    map.pool().flush_magazines();
+    let stats = map.pool().stats();
+    assert_eq!(
+        stats.class_stack_bytes, 0,
+        "flush left bytes parked on the class stacks: {stats:?}"
+    );
     assert_no_leaks(&map);
 }
 
@@ -196,6 +232,7 @@ fn emergency_reclamation_recovers_dead_key_space() {
         merge_ratio: 0.0, // never merge: removes alone reclaim nothing
         pool: PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 64 << 10,
             max_arenas: 2,
         },
@@ -257,6 +294,7 @@ fn emergency_reclamation_recovers_dead_key_space() {
 fn oom_ladder_terminates_with_magazines() {
     let map = OakMap::with_config(OakMapConfig::small().chunk_capacity(32).pool(PoolConfig {
         magazines: true,
+        lockfree: false,
         arena_size: 64 << 10,
         max_arenas: 2,
     }));
@@ -296,6 +334,7 @@ fn oom_ladder_terminates_with_magazines() {
 fn out_of_memory_leaves_map_usable() {
     let map = OakMap::with_config(OakMapConfig::small().chunk_capacity(32).pool(PoolConfig {
         magazines: false,
+        lockfree: false,
         arena_size: 64 << 10,
         max_arenas: 2,
     }));

@@ -106,6 +106,7 @@ fn overloaded_rejections_precede_oom() {
         OakMapConfig::small()
             .pool(PoolConfig {
                 magazines: false,
+                lockfree: false,
                 arena_size: 64 << 10,
                 max_arenas: 2,
             })

@@ -53,6 +53,7 @@ fn tiny_config() -> OakMapConfig {
         merge_ratio: 0.25,
         pool: PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 1 << 20,
             max_arenas: 64,
         },

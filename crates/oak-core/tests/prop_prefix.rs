@@ -82,6 +82,7 @@ fn tiny(prefix_cache: bool) -> OakMapConfig {
             arena_size: 1 << 20,
             max_arenas: 16,
             magazines: false,
+            lockfree: false,
         },
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,

@@ -21,6 +21,7 @@ fn tiny() -> Arc<OakMap> {
         merge_ratio: 0.5,               // merge aggressively
         pool: PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 1 << 20,
             max_arenas: 64,
         },

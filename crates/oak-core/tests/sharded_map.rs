@@ -111,6 +111,7 @@ fn shards_draw_from_a_shared_reservoir() {
     let config = OakMapConfig::small()
         .pool(PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 64 << 10,
             max_arenas: 16,
         })

@@ -16,6 +16,7 @@ fn stress_map() -> Arc<OakMap> {
         merge_ratio: 0.25,
         pool: PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 4 << 20,
             max_arenas: 64,
         },

@@ -20,6 +20,7 @@ fn cfg(shared: &Arc<ArenaPool>) -> OakMapConfig {
         chunk_capacity: 64,
         pool: PoolConfig {
             magazines: false,
+            lockfree: false,
             arena_size: 1 << 20, // overridden by the reservoir's size anyway
             max_arenas: 8,
         },

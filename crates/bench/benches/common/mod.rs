@@ -27,6 +27,7 @@ pub fn pool() -> PoolConfig {
         max_arenas: 48,
         magazines: false,
         lockfree: false,
+        ..Default::default()
     }
 }
 

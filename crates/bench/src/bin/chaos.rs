@@ -5,8 +5,14 @@
 //! ```text
 //! chaos [--seed 42] [--threads 4] [--rounds 8] [--round-ms 500]
 //!       [--size 20000] [--deadline-ms 100] [--stall-ms 5000]
-//!       [--json out.json] [--quick]
+//!       [--json out.json] [--quick] [--no-lockfree]
 //! ```
+//!
+//! The pool runs with the lock-free magazine + class-stack layers enabled
+//! by default — the soak is exactly the adversarial traffic (fault storms,
+//! exhaustion-edge churn, emergency flushes) the lock-free path must
+//! survive; `--no-lockfree` reverts to the plain mutex free lists for A/B
+//! comparison under identical schedules.
 //!
 //! Every round installs a fresh failpoint schedule derived from
 //! `seed ^ round` over every registered site, so the whole run is
@@ -59,7 +65,9 @@ impl ErrorCounts {
             OakError::Overloaded => &self.overloaded,
             OakError::OutOfMemory => &self.oom,
             OakError::Alloc(_) => &self.alloc,
-            OakError::ConcurrentModification => &self.unexpected,
+            OakError::ConcurrentModification
+            | OakError::Corrupted(_)
+            | OakError::RecoveryFailed(_) => &self.unexpected,
         }
         .fetch_add(1, Ordering::Relaxed);
     }
@@ -90,6 +98,7 @@ fn main() {
         .map(|s| s.parse().expect("stall-ms"))
         .unwrap_or(5_000);
     let json_path = parse_flag(&args, "--json");
+    let lockfree = !args.iter().any(|a| a == "--no-lockfree");
 
     let workload = WorkloadConfig {
         key_range: size,
@@ -107,7 +116,9 @@ fn main() {
     let pool = PoolConfig::with_budget(
         (budget_bytes / 8).next_power_of_two().max(64 << 10),
         budget_bytes,
-    );
+    )
+    .magazines(lockfree)
+    .lockfree(lockfree);
     let direct_bytes = (pool.arena_size * pool.max_arenas) as u64;
 
     let policy = RetryPolicy::default()
@@ -316,6 +327,7 @@ fn main() {
         let json = format!(
             "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"rounds\": {rounds},\n  \
              \"round_ms\": {round_ms},\n  \"size\": {size},\n  \"deadline_ms\": {deadline_ms},\n  \
+             \"lockfree\": {lockfree},\n  \
              \"direct_bytes\": {direct_bytes},\n  \"elapsed_ms\": {},\n  \"total_ops\": {total_ops},\n  \
              \"mops\": {mops:.6},\n  \"faults_fired\": {},\n  \"errors\": {{\"deadline\": {}, \
              \"contended\": {}, \"overloaded\": {}, \"oom\": {}, \"alloc\": {}, \

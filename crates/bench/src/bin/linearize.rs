@@ -71,6 +71,7 @@ fn main() {
                 lockfree: false,
                 arena_size: 16 << 10,
                 max_arenas: 16,
+                ..Default::default()
             })
     };
     let cfg_desc = if shards == 0 {

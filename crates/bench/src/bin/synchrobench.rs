@@ -20,8 +20,8 @@ use std::time::Duration;
 
 use oak_bench::report::Summary;
 use oak_bench::scenarios::{
-    run_alloc_churn, run_memory_pressure, run_scenario_configured, ALLOC_CHURN_LABEL,
-    MEM_PRESSURE_LABEL, SCENARIOS,
+    run_alloc_churn, run_memory_pressure, run_recovery, run_scenario_configured, ALLOC_CHURN_LABEL,
+    MEM_PRESSURE_LABEL, RECOVERY_LABEL, SCENARIOS,
 };
 use oak_bench::workload::WorkloadConfig;
 use oak_mempool::PoolConfig;
@@ -95,6 +95,15 @@ fn main() {
         .is_some_and(|o| ALLOC_CHURN_LABEL.starts_with(o))
     {
         run_alloc_churn(&threads, &workload, 4096, duration, &mut summary, true);
+    }
+    // Checkpoint + recovery latency runs by default (it is quick — one
+    // scan out, one rebuild in — and reports durability numbers alongside
+    // the throughput table).
+    if only
+        .as_deref()
+        .is_none_or(|o| RECOVERY_LABEL.starts_with(o))
+    {
+        run_recovery(&workload, pool.clone(), 4096, &mut summary, true);
     }
     for scenario in SCENARIOS {
         if let Some(o) = &only {

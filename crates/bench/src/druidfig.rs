@@ -75,6 +75,7 @@ pub fn ingest_oak(rows: &[InputRow], ram_budget: u64) -> (IngestOutcome, OakInde
         lockfree: false,
         arena_size: arena,
         max_arenas: need.div_ceil(arena).max(2),
+        ..Default::default()
     };
     let idx = OakIndex::new(schema, OakMapConfig::default().pool(pool.clone()));
     if (pool.arena_size * pool.max_arenas) as u64 > ram_budget {

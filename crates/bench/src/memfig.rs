@@ -62,6 +62,7 @@ fn pool_for(config: &WorkloadConfig, n: u64) -> PoolConfig {
         lockfree: false,
         arena_size: arena,
         max_arenas: need.div_ceil(arena).max(2),
+        ..Default::default()
     }
 }
 

@@ -434,6 +434,74 @@ pub fn run_memory_pressure(
     }
 }
 
+/// Label of the checkpoint/recovery scenario.
+pub const RECOVERY_LABEL: &str = "recovery";
+
+/// Checkpoint/recovery latency: builds a map of `workload.key_range`
+/// entries, streams a durable checkpoint image to a temporary directory
+/// (`oak_durable::checkpoint`), then recovers it into a fresh map
+/// (`oak_durable::open`). Two rows are reported — `checkpoint` and
+/// `open` — with entries/second in the Mops column and the image shape
+/// (chunks, bytes, wall time) in the note. Single-threaded by nature:
+/// checkpoint is one consistent scan, recovery one sequential rebuild.
+pub fn run_recovery(
+    workload: &WorkloadConfig,
+    pool: PoolConfig,
+    chunk_capacity: u32,
+    summary: &mut Summary,
+    verbose: bool,
+) {
+    let dir = std::env::temp_dir().join(format!("oak-bench-recovery-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = OakMapConfig::default().chunk_capacity(chunk_capacity);
+    let map = OakMap::with_config(config.clone().pool(pool));
+    for i in 0..workload.key_range {
+        map.put(&workload.key(i), &workload.value(i))
+            .expect("recovery scenario fill");
+    }
+    let entries = map.len();
+
+    let start = Instant::now();
+    let stats = oak_durable::checkpoint(&map, &dir).expect("checkpoint");
+    let ckpt = start.elapsed();
+    let start = Instant::now();
+    let recovered = oak_durable::open(&dir, config).expect("open");
+    let open = start.elapsed();
+    assert_eq!(recovered.len(), entries, "recovery lost entries");
+
+    let mib = stats.bytes as f64 / (1 << 20) as f64;
+    for (bench, secs) in [
+        ("checkpoint", ckpt.as_secs_f64()),
+        ("open", open.as_secs_f64()),
+    ] {
+        if verbose {
+            eprintln!(
+                "{RECOVERY_LABEL} / {bench}: {entries} entries, {} chunks, {mib:.1} MiB, \
+                 {:.1} ms",
+                stats.chunks,
+                secs * 1e3
+            );
+        }
+        summary.push(Row {
+            scenario: RECOVERY_LABEL.to_string(),
+            bench: bench.to_string(),
+            heap_bytes: 0,
+            direct_bytes: stats.bytes,
+            threads: 1,
+            shards: 1,
+            final_size: entries,
+            mops: entries as f64 / secs / 1e6,
+            note: format!(
+                "{} chunks, {mib:.1} MiB, {:.1} ms",
+                stats.chunks,
+                secs * 1e3
+            ),
+            robustness: None,
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,60 @@
+//! # oak-durable — crash-durable checkpoint/recovery for Oak maps
+//!
+//! Oak's off-heap arenas make the map's footprint exactly accountable;
+//! this crate makes it *survivable*. A [`checkpoint`] streams a consistent
+//! image of a live [`OakMap`](oak_core::OakMap) through the zero-copy scan
+//! pipeline into an on-disk image — a CRC32C-framed segment file plus a
+//! generation-stamped manifest, published with LevelDB-style two-phase
+//! atomicity (manifest rename, then `CURRENT` rename) so a torn write at
+//! any instant is detectable and never destroys the previous image. An
+//! [`open`] walks the image back, validating every checksum and structural
+//! invariant, and rebuilds the map through its normal insertion path so
+//! the chunk index, prefix cache, and allocation ledger come back exactly
+//! as a freshly built map would have them.
+//!
+//! The failure contract is typed: bytes that cannot be trusted surface as
+//! [`OakError::Corrupted`](oak_core::OakError) (with a
+//! [`CorruptionKind`](oak_core::CorruptionKind) payload localising the
+//! damage) and a structurally valid image that cannot be rebuilt surfaces
+//! as [`OakError::RecoveryFailed`](oak_core::OakError). Pair this with
+//! [`oak_mempool::ArenaBacking::File`] to keep the *live* arenas in
+//! file-backed mappings as well — checkpoints are then a consistent-cut
+//! export while the backing files are the larger-than-RAM working set.
+//!
+//! ```
+//! use oak_core::{OakMap, OakMapConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("oak-doc-{}", std::process::id()));
+//! let map = OakMap::with_config(OakMapConfig::small());
+//! map.put(b"k", b"v").unwrap();
+//!
+//! let stats = oak_durable::checkpoint(&map, &dir).unwrap();
+//! assert_eq!(stats.entries, 1);
+//!
+//! let recovered = oak_durable::open(&dir, OakMapConfig::small()).unwrap();
+//! assert_eq!(recovered.get(b"k").unwrap().to_vec().unwrap(), b"v");
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+
+mod checkpoint;
+pub mod crc32c;
+mod manifest;
+mod recover;
+mod segment;
+
+pub use checkpoint::{checkpoint, CheckpointStats};
+pub use manifest::Manifest;
+pub use recover::{open, open_or_empty, open_with_comparator};
+pub use segment::ChunkDesc;
+
+/// Canonical failpoint sites declared by this crate. All three are
+/// *errorable* and double as crash instants for the crash-injection
+/// harness: killing a writer at any of them must leave the directory
+/// resolving to the previous complete image.
+pub const FAILPOINT_SITES: &[oak_failpoints::SiteSpec] = &[
+    oak_failpoints::SiteSpec::errorable("durable/seg-write"),
+    oak_failpoints::SiteSpec::errorable("durable/manifest-write"),
+    oak_failpoints::SiteSpec::errorable("durable/current-swap"),
+];

@@ -1,0 +1,315 @@
+//! Manifests and the two-phase `CURRENT` swap.
+//!
+//! A checkpoint becomes *the* checkpoint in two atomic steps, mirroring
+//! LevelDB's MANIFEST/CURRENT protocol:
+//!
+//! 1. The manifest for generation *g* is written to a temporary name,
+//!    fsynced, and renamed to `MANIFEST-<g>`. A crash before the rename
+//!    leaves at most a stray temporary — the previous generation is
+//!    untouched.
+//! 2. `CURRENT` (a one-line file naming the live manifest) is replaced the
+//!    same way: temporary, fsync, rename. POSIX `rename` is atomic, so a
+//!    reader at any crash instant sees either the old pointer or the new
+//!    one — never a torn mix.
+//!
+//! The manifest itself carries a generation stamp, the writing map's
+//! configuration fingerprint, the total entry count, the per-chunk
+//! `{offset, len, count, crc}` table, and finally a CRC32C over its own
+//! bytes, so a torn manifest write is detected even if it somehow got
+//! renamed into place.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! manifest := magic="OAKMAN1\0" (8) generation:u64 fingerprint:u64
+//!             entries:u64 chunk_count:u32 chunk* crc32c:u32
+//! chunk    := offset:u64 len:u32 count:u32 crc:u32
+//! ```
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+use oak_core::{CorruptionKind, OakError};
+
+use crate::crc32c::crc32c;
+use crate::segment::ChunkDesc;
+
+const MAN_MAGIC: [u8; 8] = *b"OAKMAN1\0";
+/// Bytes before the chunk table: magic, generation, fingerprint, entry
+/// total, chunk count.
+const MAN_FIXED_LEN: usize = 8 + 8 + 8 + 8 + 4;
+const CHUNK_ENTRY_LEN: usize = 8 + 4 + 4 + 4;
+/// Trailing CRC32C length.
+const MAN_CRC_LEN: usize = 4;
+
+/// Decoded manifest contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Checkpoint generation this manifest describes.
+    pub generation: u64,
+    /// [`OakMapConfig::fingerprint`](oak_core::OakMapConfig::fingerprint)
+    /// of the map that wrote the image.
+    pub fingerprint: u64,
+    /// Total records across all chunks.
+    pub entries: u64,
+    /// Chunk table, in key order.
+    pub chunks: Vec<ChunkDesc>,
+}
+
+/// `MANIFEST-<gen>` file name for a generation.
+pub(crate) fn manifest_name(generation: u64) -> String {
+    format!("MANIFEST-{generation:06}")
+}
+
+/// `segment-<gen>.oakseg` file name for a generation.
+pub(crate) fn segment_name(generation: u64) -> String {
+    format!("segment-{generation:06}.oakseg")
+}
+
+impl Manifest {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MAN_FIXED_LEN + self.chunks.len() * CHUNK_ENTRY_LEN);
+        out.extend_from_slice(&MAN_MAGIC);
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.entries.to_le_bytes());
+        out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        for c in &self.chunks {
+            out.extend_from_slice(&c.offset.to_le_bytes());
+            out.extend_from_slice(&c.len.to_le_bytes());
+            out.extend_from_slice(&c.count.to_le_bytes());
+            out.extend_from_slice(&c.crc.to_le_bytes());
+        }
+        let crc = crc32c(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Manifest, OakError> {
+        let bad = OakError::Corrupted(CorruptionKind::BadManifest);
+        if bytes.len() < MAN_FIXED_LEN + MAN_CRC_LEN || bytes[..8] != MAN_MAGIC {
+            return Err(bad);
+        }
+        let body_len = bytes.len() - MAN_CRC_LEN;
+        let stored = u32::from_le_bytes(bytes[body_len..].try_into().unwrap());
+        if crc32c(&bytes[..body_len]) != stored {
+            return Err(bad);
+        }
+        let generation = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let fingerprint = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let entries = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        let chunk_count = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
+        if body_len != MAN_FIXED_LEN + chunk_count * CHUNK_ENTRY_LEN {
+            return Err(bad);
+        }
+        let mut chunks = Vec::with_capacity(chunk_count);
+        let mut at = 36;
+        let mut sum = 0u64;
+        for _ in 0..chunk_count {
+            let offset = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+            let len = u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap());
+            let count = u32::from_le_bytes(bytes[at + 12..at + 16].try_into().unwrap());
+            let crc = u32::from_le_bytes(bytes[at + 16..at + 20].try_into().unwrap());
+            sum += count as u64;
+            chunks.push(ChunkDesc {
+                offset,
+                len,
+                count,
+                crc,
+            });
+            at += CHUNK_ENTRY_LEN;
+        }
+        if sum != entries {
+            return Err(bad);
+        }
+        Ok(Manifest {
+            generation,
+            fingerprint,
+            entries,
+            chunks,
+        })
+    }
+}
+
+/// Writes `bytes` to `dir/name` via temporary + fsync + atomic rename.
+fn write_atomically(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let target = dir.join(name);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &target)?;
+    sync_dir(dir);
+    Ok(())
+}
+
+/// Best-effort directory fsync: makes the rename itself durable. On Linux
+/// a directory opens read-only as a `File` and `sync_all` fsyncs it;
+/// elsewhere (or on filesystems refusing it) the failure is ignored — the
+/// rename is still atomic, just not yet guaranteed on stable storage.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Publishes the manifest for its generation: `MANIFEST-<gen>` appears
+/// atomically, fully written or not at all.
+pub(crate) fn publish_manifest(dir: &Path, manifest: &Manifest) -> io::Result<()> {
+    // Injected failure / crash instant between data fsync and manifest
+    // publication: the previous generation must stay recoverable.
+    oak_failpoints::fail_point!(
+        "durable/manifest-write",
+        Err(io::Error::other("injected manifest write failure"))
+    );
+    write_atomically(dir, &manifest_name(manifest.generation), &manifest.encode())
+}
+
+/// Swings `CURRENT` to the given generation's manifest.
+pub(crate) fn swap_current(dir: &Path, generation: u64) -> io::Result<()> {
+    // Injected failure / crash instant between manifest publication and
+    // the pointer swap: recovery must still resolve the *old* CURRENT.
+    oak_failpoints::fail_point!(
+        "durable/current-swap",
+        Err(io::Error::other("injected CURRENT swap failure"))
+    );
+    let line = format!("{}\n", manifest_name(generation));
+    write_atomically(dir, "CURRENT", line.as_bytes())
+}
+
+/// Resolves `CURRENT` to a decoded manifest. `Ok(None)` when no `CURRENT`
+/// exists at all (a fresh directory — never checkpointed); typed
+/// corruption errors when it exists but cannot be honoured.
+pub(crate) fn read_current(dir: &Path) -> Result<Option<Manifest>, OakError> {
+    let current = dir.join("CURRENT");
+    let name = match fs::read_to_string(&current) {
+        Ok(s) => s.trim().to_string(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(_) => return Err(OakError::Corrupted(CorruptionKind::MissingManifest)),
+    };
+    if name.is_empty() || name.contains(['/', '\\']) {
+        return Err(OakError::Corrupted(CorruptionKind::MissingManifest));
+    }
+    let bytes = fs::read(dir.join(&name))
+        .map_err(|_| OakError::Corrupted(CorruptionKind::MissingManifest))?;
+    let manifest = Manifest::decode(&bytes)?;
+    if manifest_name(manifest.generation) != name {
+        return Err(OakError::Corrupted(CorruptionKind::BadManifest));
+    }
+    Ok(Some(manifest))
+}
+
+/// Deletes manifests and segments of generations older than `keep_from`.
+/// Crash-safe: `CURRENT` already points past everything removed, and a
+/// partial sweep just leaves some stale files for the next sweep.
+pub(crate) fn prune_older(dir: &Path, keep_from: u64) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let gen_of = |s: &str| s.parse::<u64>().ok();
+        let stale = name
+            .strip_prefix("MANIFEST-")
+            .and_then(gen_of)
+            .or_else(|| {
+                name.strip_prefix("segment-")
+                    .and_then(|s| s.strip_suffix(".oakseg"))
+                    .and_then(gen_of)
+            })
+            .is_some_and(|g| g < keep_from);
+        if stale || name.ends_with(".tmp") {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            generation: 7,
+            fingerprint: 0xDEAD_BEEF_0BAD_F00D,
+            entries: 300,
+            chunks: vec![
+                ChunkDesc {
+                    offset: 16,
+                    len: 4096,
+                    count: 100,
+                    crc: 0x1234_5678,
+                },
+                ChunkDesc {
+                    offset: 4128,
+                    len: 8192,
+                    count: 200,
+                    crc: 0x9ABC_DEF0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_detected() {
+        let m = sample();
+        let good = m.encode();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x5A;
+            assert!(
+                Manifest::decode(&bad).is_err(),
+                "byte {i} corruption slipped through"
+            );
+        }
+        // Truncations too.
+        for cut in 1..good.len() {
+            assert!(Manifest::decode(&good[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn current_swap_and_prune() {
+        let dir = std::env::temp_dir().join(format!("oak-man-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_current(&dir).unwrap(), None);
+
+        let mut m = sample();
+        m.generation = 1;
+        publish_manifest(&dir, &m).unwrap();
+        swap_current(&dir, 1).unwrap();
+        assert_eq!(read_current(&dir).unwrap().unwrap().generation, 1);
+
+        m.generation = 2;
+        publish_manifest(&dir, &m).unwrap();
+        swap_current(&dir, 2).unwrap();
+        assert_eq!(read_current(&dir).unwrap().unwrap().generation, 2);
+
+        prune_older(&dir, 2);
+        assert!(!dir.join("MANIFEST-000001").exists());
+        assert!(dir.join("MANIFEST-000002").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dangling_current_is_missing_manifest() {
+        let dir = std::env::temp_dir().join(format!("oak-man-dangle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("CURRENT"), "MANIFEST-000099\n").unwrap();
+        assert_eq!(
+            read_current(&dir).unwrap_err(),
+            OakError::Corrupted(CorruptionKind::MissingManifest)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

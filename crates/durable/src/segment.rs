@@ -1,0 +1,325 @@
+//! Segment files: the bulk key/value payload of a checkpoint image.
+//!
+//! One segment file per checkpoint generation
+//! (`segment-<gen>.oakseg`) holds the map's entries in comparator order,
+//! framed into *chunks* of a few hundred entries each. Every chunk carries
+//! its own CRC32C so recovery localises corruption to one chunk instead of
+//! distrusting the whole image, and the manifest independently records
+//! each chunk's `{offset, len, count, crc}` — a chunk is only believed if
+//! the bytes on disk agree with *both* the chunk's self-describing header
+//! and the manifest that was atomically published after the data was
+//! fsynced.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! file   := header chunk*
+//! header := magic="OAKSEG1\0" (8) generation:u64
+//! chunk  := cmagic:u32 ("OKCH") count:u32 payload_len:u32 crc32c:u32 payload
+//! payload:= record*            // `count` records, `payload_len` bytes
+//! record := key_len:u32 val_len:u32 key val
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use oak_core::{CorruptionKind, OakError, RecoveryFailure};
+
+use crate::crc32c::crc32c;
+
+/// Segment file header magic.
+pub(crate) const SEG_MAGIC: [u8; 8] = *b"OAKSEG1\0";
+/// Per-chunk header magic ("OKCH", little-endian).
+pub(crate) const CHUNK_MAGIC: u32 = u32::from_le_bytes(*b"OKCH");
+/// Segment header length in bytes.
+pub(crate) const SEG_HEADER_LEN: u64 = 16;
+/// Chunk header length in bytes.
+pub(crate) const CHUNK_HEADER_LEN: usize = 16;
+
+/// Target payload bytes per chunk. Chunks close at the first record
+/// boundary past this, so a chunk holds at most one record *more* than
+/// fits — oversized single records still get a chunk of their own.
+pub(crate) const CHUNK_TARGET_BYTES: usize = 64 << 10;
+/// Hard cap on records per chunk (keeps recovery allocations bounded even
+/// for tiny-record workloads).
+pub(crate) const CHUNK_TARGET_RECORDS: u32 = 1024;
+
+/// Location and checksum of one chunk, as recorded in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkDesc {
+    /// Byte offset of the chunk header within the segment file.
+    pub offset: u64,
+    /// Payload length in bytes (excluding the 16-byte chunk header).
+    pub len: u32,
+    /// Number of records in the payload.
+    pub count: u32,
+    /// CRC32C of the payload bytes.
+    pub crc: u32,
+}
+
+/// Streaming segment writer: `push` records in comparator order, then
+/// `finish` to flush, fsync, and collect the chunk table for the manifest.
+pub(crate) struct SegmentWriter {
+    out: BufWriter<File>,
+    offset: u64,
+    payload: Vec<u8>,
+    count: u32,
+    chunks: Vec<ChunkDesc>,
+}
+
+impl SegmentWriter {
+    pub(crate) fn create(path: &Path, generation: u64) -> io::Result<Self> {
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(&SEG_MAGIC)?;
+        out.write_all(&generation.to_le_bytes())?;
+        Ok(SegmentWriter {
+            out,
+            offset: SEG_HEADER_LEN,
+            payload: Vec::with_capacity(CHUNK_TARGET_BYTES + 256),
+            count: 0,
+            chunks: Vec::new(),
+        })
+    }
+
+    /// Appends one record; closes the current chunk when it reaches its
+    /// target size.
+    pub(crate) fn push(&mut self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        self.payload
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.payload
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.payload.extend_from_slice(key);
+        self.payload.extend_from_slice(value);
+        self.count += 1;
+        if self.payload.len() >= CHUNK_TARGET_BYTES || self.count >= CHUNK_TARGET_RECORDS {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.count == 0 {
+            return Ok(());
+        }
+        // Injected write failure / crash instant: the chunk about to hit
+        // the disk is the crash harness's favourite kill point.
+        oak_failpoints::fail_point!(
+            "durable/seg-write",
+            Err(io::Error::other("injected segment write failure"))
+        );
+        let crc = crc32c(&self.payload);
+        let desc = ChunkDesc {
+            offset: self.offset,
+            len: self.payload.len() as u32,
+            count: self.count,
+            crc,
+        };
+        self.out.write_all(&CHUNK_MAGIC.to_le_bytes())?;
+        self.out.write_all(&desc.count.to_le_bytes())?;
+        self.out.write_all(&desc.len.to_le_bytes())?;
+        self.out.write_all(&desc.crc.to_le_bytes())?;
+        self.out.write_all(&self.payload)?;
+        self.offset += (CHUNK_HEADER_LEN + self.payload.len()) as u64;
+        self.chunks.push(desc);
+        self.payload.clear();
+        self.count = 0;
+        Ok(())
+    }
+
+    /// Flushes the trailing partial chunk, fsyncs the file, and returns
+    /// the chunk table plus total bytes written.
+    pub(crate) fn finish(mut self) -> io::Result<(Vec<ChunkDesc>, u64)> {
+        self.flush_chunk()?;
+        self.out.flush()?;
+        // The manifest must only ever point at bytes that are durable:
+        // fsync the data before the caller publishes any reference to it.
+        self.out.get_ref().sync_all()?;
+        Ok((self.chunks, self.offset))
+    }
+}
+
+/// Read-side view of a segment file, validating chunks against manifest
+/// descriptors.
+pub(crate) struct SegmentReader {
+    file: File,
+}
+
+fn io_to_oak(e: &io::Error) -> OakError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        OakError::Corrupted(CorruptionKind::TruncatedChunk)
+    } else {
+        OakError::RecoveryFailed(RecoveryFailure::Io)
+    }
+}
+
+impl SegmentReader {
+    /// Opens the segment and validates its header against the manifest's
+    /// generation.
+    pub(crate) fn open(path: &Path, generation: u64) -> Result<Self, OakError> {
+        let mut file =
+            File::open(path).map_err(|_| OakError::Corrupted(CorruptionKind::MissingManifest))?;
+        let mut header = [0u8; SEG_HEADER_LEN as usize];
+        file.read_exact(&mut header).map_err(|e| io_to_oak(&e))?;
+        if header[..8] != SEG_MAGIC {
+            return Err(OakError::Corrupted(CorruptionKind::TruncatedChunk));
+        }
+        let gen_on_disk = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        if gen_on_disk != generation {
+            return Err(OakError::Corrupted(CorruptionKind::BadManifest));
+        }
+        Ok(SegmentReader { file })
+    }
+
+    /// Reads and fully validates one chunk: header fields must match the
+    /// manifest descriptor, and the payload must match the recorded
+    /// CRC32C. Returns the raw payload bytes.
+    pub(crate) fn read_chunk(&mut self, desc: &ChunkDesc) -> Result<Vec<u8>, OakError> {
+        self.file
+            .seek(SeekFrom::Start(desc.offset))
+            .map_err(|e| io_to_oak(&e))?;
+        let mut header = [0u8; CHUNK_HEADER_LEN];
+        self.file
+            .read_exact(&mut header)
+            .map_err(|e| io_to_oak(&e))?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let count = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let len = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        if magic != CHUNK_MAGIC || count != desc.count || len != desc.len {
+            return Err(OakError::Corrupted(CorruptionKind::TruncatedChunk));
+        }
+        if crc != desc.crc {
+            return Err(OakError::Corrupted(CorruptionKind::ChunkChecksum));
+        }
+        let mut payload = vec![0u8; desc.len as usize];
+        self.file
+            .read_exact(&mut payload)
+            .map_err(|e| io_to_oak(&e))?;
+        if crc32c(&payload) != desc.crc {
+            return Err(OakError::Corrupted(CorruptionKind::ChunkChecksum));
+        }
+        Ok(payload)
+    }
+}
+
+/// Iterates `(key, value)` record slices out of a validated chunk payload.
+/// Structural errors (lengths running past the payload, record count
+/// disagreeing) surface as [`CorruptionKind::TruncatedChunk`].
+pub(crate) fn parse_records(
+    payload: &[u8],
+    count: u32,
+    mut f: impl FnMut(&[u8], &[u8]) -> Result<(), OakError>,
+) -> Result<(), OakError> {
+    let mut at = 0usize;
+    let truncated = OakError::Corrupted(CorruptionKind::TruncatedChunk);
+    for _ in 0..count {
+        if at + 8 > payload.len() {
+            return Err(truncated);
+        }
+        let key_len = u32::from_le_bytes(payload[at..at + 4].try_into().unwrap()) as usize;
+        let val_len = u32::from_le_bytes(payload[at + 4..at + 8].try_into().unwrap()) as usize;
+        at += 8;
+        let end = at
+            .checked_add(key_len)
+            .and_then(|k| k.checked_add(val_len))
+            .ok_or(truncated)?;
+        if end > payload.len() {
+            return Err(truncated);
+        }
+        f(&payload[at..at + key_len], &payload[at + key_len..end])?;
+        at = end;
+    }
+    if at != payload.len() {
+        return Err(truncated);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("oak-seg-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_and_crc_rejection() {
+        let dir = tmp_dir("rt");
+        let path = dir.join("segment-000001.oakseg");
+        let mut w = SegmentWriter::create(&path, 1).unwrap();
+        for i in 0u32..100 {
+            w.push(&i.to_be_bytes(), format!("value-{i}").as_bytes())
+                .unwrap();
+        }
+        let (chunks, bytes) = w.finish().unwrap();
+        assert_eq!(chunks.iter().map(|c| c.count as u64).sum::<u64>(), 100);
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+
+        let mut r = SegmentReader::open(&path, 1).unwrap();
+        let mut got = 0u32;
+        for c in &chunks {
+            let payload = r.read_chunk(c).unwrap();
+            parse_records(&payload, c.count, |k, v| {
+                assert_eq!(
+                    v,
+                    format!("value-{}", u32::from_be_bytes(k.try_into().unwrap())).as_bytes()
+                );
+                got += 1;
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(got, 100);
+
+        // Flip one payload byte: the chunk containing it must now fail
+        // its checksum; others stay valid.
+        let mut raw = std::fs::read(&path).unwrap();
+        let victim = chunks[0];
+        raw[victim.offset as usize + CHUNK_HEADER_LEN + 3] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+        let mut r = SegmentReader::open(&path, 1).unwrap();
+        assert_eq!(
+            r.read_chunk(&victim).unwrap_err(),
+            OakError::Corrupted(CorruptionKind::ChunkChecksum)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let dir = tmp_dir("trunc");
+        let path = dir.join("segment-000002.oakseg");
+        let mut w = SegmentWriter::create(&path, 2).unwrap();
+        for i in 0u32..50 {
+            w.push(&i.to_le_bytes(), &[0xAB; 100]).unwrap();
+        }
+        let (chunks, bytes) = w.finish().unwrap();
+        // Chop the tail: the last chunk must fail as truncated.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(bytes - 37).unwrap();
+        drop(f);
+        let mut r = SegmentReader::open(&path, 2).unwrap();
+        let last = chunks.last().unwrap();
+        assert_eq!(
+            r.read_chunk(last).unwrap_err(),
+            OakError::Corrupted(CorruptionKind::TruncatedChunk)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_rejects_overflowing_lengths() {
+        // A record claiming more bytes than the payload holds.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1000u32.to_le_bytes());
+        payload.extend_from_slice(&1000u32.to_le_bytes());
+        payload.extend_from_slice(b"short");
+        let err = parse_records(&payload, 1, |_, _| Ok(())).unwrap_err();
+        assert_eq!(err, OakError::Corrupted(CorruptionKind::TruncatedChunk));
+    }
+}

@@ -17,6 +17,9 @@
 //!   order/bound discipline, and value sanity.
 //! * [`runner`] — seeded deterministic concurrent workloads mixing
 //!   put/get/remove/compute/scan, plus the whole-history check.
+//! * [`recovery`] — crash-recovery verdicts for the crash-injection
+//!   harness: order-sensitive state digests, the acknowledgement-log
+//!   model, and prefix-consistency classification of a recovered image.
 //!
 //! Deterministic *interleavings* (as opposed to seeded perturbation) come
 //! from `oak_failpoints`' sync-point engine: oak-core publishes its
@@ -30,9 +33,11 @@
 
 pub mod checker;
 pub mod history;
+pub mod recovery;
 pub mod runner;
 pub mod scan;
 
 pub use checker::{check_history, CheckStats, Violation};
 pub use history::{transform, History, Op, OpRecord, Recorder, Ret};
+pub use recovery::{check_recovery, state_digest, AckRecord, RecoveryVerdict, StateDigest};
 pub use runner::{run_and_check, run_recorded, SplitMix64, WorkloadCfg};

@@ -1,0 +1,309 @@
+//! Crash-recovery consistency checking.
+//!
+//! The crash-injection harness records an *acknowledgement log* while a
+//! writer process runs: before each checkpoint it appends an **intent**
+//! record (the state digest it is about to persist), and after
+//! [`checkpoint`](../../oak_durable/fn.checkpoint.html) returns it
+//! appends an **acked** record for the same state. Both appends are
+//! fsynced, so the log survives the very crash it documents.
+//!
+//! After the writer is killed and the image recovered, the surviving
+//! state must be a *prefix-consistent* cut of that history:
+//!
+//! * it must byte-for-byte match **some** state the writer attempted to
+//!   checkpoint (same entry count, same [`state_digest`]), and
+//! * it must be **at least as new** as the last *acked* checkpoint — an
+//!   acknowledged durability promise is never allowed to roll back.
+//!
+//! [`check_recovery`] classifies a recovered `(entries, digest)` pair
+//! against the log into a [`RecoveryVerdict`].
+
+/// Order-sensitive digest of a map state, fed entries in ascending key
+/// order. Both the writer (over its shadow model) and the verifier (over
+/// the recovered map's scan) compute it the same way, so equal digests
+/// mean equal contents up to 64-bit collision odds.
+#[derive(Debug, Clone)]
+pub struct StateDigest {
+    hash: u64,
+    entries: u64,
+}
+
+impl Default for StateDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateDigest {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Digest of the empty state.
+    pub fn new() -> Self {
+        StateDigest {
+            hash: Self::FNV_OFFSET,
+            entries: 0,
+        }
+    }
+
+    fn mix(&mut self, bytes: &[u8]) {
+        // Length-prefixed FNV-1a, so ("ab","c") never collides with
+        // ("a","bc").
+        for b in (bytes.len() as u64)
+            .to_le_bytes()
+            .iter()
+            .chain(bytes.iter())
+        {
+            self.hash ^= u64::from(*b);
+            self.hash = self.hash.wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+
+    /// Folds in one key/value pair. Pairs must arrive in ascending key
+    /// order for digests to be comparable.
+    pub fn push(&mut self, key: &[u8], value: &[u8]) {
+        self.mix(key);
+        self.mix(value);
+        self.entries += 1;
+    }
+
+    /// Finishes the digest: `(entry count, hash)`.
+    pub fn finish(&self) -> (u64, u64) {
+        (self.entries, self.hash)
+    }
+}
+
+/// Digest of a full state given as an iterator of `(key, value)` pairs in
+/// ascending key order.
+pub fn state_digest<'a>(entries: impl IntoIterator<Item = (&'a [u8], &'a [u8])>) -> (u64, u64) {
+    let mut d = StateDigest::new();
+    for (k, v) in entries {
+        d.push(k, v);
+    }
+    d.finish()
+}
+
+/// One line of the acknowledgement log: a checkpoint the writer attempted
+/// (`acked == false`, written before the checkpoint call) or completed
+/// (`acked == true`, written after it returned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckRecord {
+    /// Monotone attempt number assigned by the writer (its position in
+    /// the checkpoint sequence, not the on-disk generation).
+    pub attempt: u64,
+    /// Entry count of the state being checkpointed.
+    pub entries: u64,
+    /// [`state_digest`] hash of the state being checkpointed.
+    pub digest: u64,
+    /// Whether the checkpoint call returned success before this record
+    /// was written.
+    pub acked: bool,
+}
+
+/// Outcome of matching a recovered state against the acknowledgement log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryVerdict {
+    /// Nothing was ever acknowledged and the recovered state is empty: a
+    /// crash before the first durable checkpoint legitimately yields a
+    /// fresh map.
+    FreshStart,
+    /// The recovered state matches attempt `attempt` in the log, and that
+    /// attempt is no older than the last acknowledged one.
+    ConsistentWith {
+        /// The matched attempt number.
+        attempt: u64,
+        /// Whether that attempt had been acknowledged (`false` means the
+        /// crash landed between checkpoint completion and the ack
+        /// append — still a valid, even fresher-than-promised image).
+        acked: bool,
+    },
+    /// The recovered state matches an attempt *older* than one that was
+    /// acknowledged: an acked durability promise rolled back. Always a
+    /// failure.
+    LostAcknowledged {
+        /// The (stale) attempt the recovered state matches.
+        recovered: u64,
+        /// The newest acknowledged attempt, which recovery was required
+        /// to reach.
+        required: u64,
+    },
+    /// The recovered state matches no attempt in the log at all: the
+    /// image holds contents the writer never tried to persist. Always a
+    /// failure.
+    Unrecognized {
+        /// Recovered entry count.
+        entries: u64,
+        /// Recovered state digest.
+        digest: u64,
+    },
+}
+
+impl RecoveryVerdict {
+    /// `true` for the verdicts that mean recovery honoured the crash
+    /// contract.
+    pub fn is_clean(&self) -> bool {
+        matches!(
+            self,
+            RecoveryVerdict::FreshStart | RecoveryVerdict::ConsistentWith { .. }
+        )
+    }
+}
+
+/// Classifies a recovered `(entries, digest)` state against the writer's
+/// acknowledgement log. See the module docs for the contract.
+pub fn check_recovery(log: &[AckRecord], entries: u64, digest: u64) -> RecoveryVerdict {
+    let last_acked = log.iter().filter(|r| r.acked).map(|r| r.attempt).max();
+    // Newest matching attempt wins if the same state was checkpointed
+    // more than once (e.g. an idle writer re-checkpointing).
+    let matched = log
+        .iter()
+        .filter(|r| r.entries == entries && r.digest == digest)
+        .max_by_key(|r| (r.attempt, r.acked));
+    match (matched, last_acked) {
+        (Some(m), Some(required)) if m.attempt < required => RecoveryVerdict::LostAcknowledged {
+            recovered: m.attempt,
+            required,
+        },
+        (Some(m), _) => RecoveryVerdict::ConsistentWith {
+            attempt: m.attempt,
+            acked: m.acked,
+        },
+        (None, None) if (entries, digest) == StateDigest::new().finish() => {
+            RecoveryVerdict::FreshStart
+        }
+        (None, _) => RecoveryVerdict::Unrecognized { entries, digest },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(attempt: u64, entries: u64, digest: u64, acked: bool) -> AckRecord {
+        AckRecord {
+            attempt,
+            entries,
+            digest,
+            acked,
+        }
+    }
+
+    fn digest_of(pairs: &[(&[u8], &[u8])]) -> (u64, u64) {
+        state_digest(pairs.iter().copied())
+    }
+
+    #[test]
+    fn digest_distinguishes_contents() {
+        let a = digest_of(&[(b"a", b"1"), (b"b", b"2")]);
+        let b = digest_of(&[(b"a", b"2"), (b"b", b"1")]);
+        let c = digest_of(&[(b"ab", b""), (b"b", b"2")]);
+        let d = digest_of(&[(b"a", b"1")]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        // Deterministic across invocations.
+        assert_eq!(a, digest_of(&[(b"a", b"1"), (b"b", b"2")]));
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let mut d = StateDigest::new();
+        d.push(b"k1", b"v1");
+        d.push(b"k2", b"v2");
+        assert_eq!(d.finish(), digest_of(&[(b"k1", b"v1"), (b"k2", b"v2")]));
+    }
+
+    #[test]
+    fn fresh_start_only_when_truly_fresh() {
+        let (e, h) = StateDigest::new().finish();
+        assert_eq!(check_recovery(&[], e, h), RecoveryVerdict::FreshStart);
+        // Empty recovered state but an acked checkpoint exists: that is a
+        // rollback, not a fresh start.
+        let log = [rec(1, 10, 0xAB, true)];
+        assert_eq!(
+            check_recovery(&log, e, h),
+            RecoveryVerdict::Unrecognized {
+                entries: e,
+                digest: h
+            }
+        );
+    }
+
+    #[test]
+    fn matches_latest_acked() {
+        let log = [
+            rec(1, 10, 0x11, false),
+            rec(1, 10, 0x11, true),
+            rec(2, 20, 0x22, false),
+            rec(2, 20, 0x22, true),
+        ];
+        assert_eq!(
+            check_recovery(&log, 20, 0x22),
+            RecoveryVerdict::ConsistentWith {
+                attempt: 2,
+                acked: true
+            }
+        );
+    }
+
+    #[test]
+    fn intent_only_match_is_clean() {
+        // Crash landed between checkpoint completion and the ack append:
+        // the image is newer than the last promise — allowed.
+        let log = [
+            rec(1, 10, 0x11, false),
+            rec(1, 10, 0x11, true),
+            rec(2, 20, 0x22, false),
+        ];
+        assert_eq!(
+            check_recovery(&log, 20, 0x22),
+            RecoveryVerdict::ConsistentWith {
+                attempt: 2,
+                acked: false
+            }
+        );
+    }
+
+    #[test]
+    fn rollback_of_acked_state_is_flagged() {
+        let log = [
+            rec(1, 10, 0x11, false),
+            rec(1, 10, 0x11, true),
+            rec(2, 20, 0x22, false),
+            rec(2, 20, 0x22, true),
+        ];
+        assert_eq!(
+            check_recovery(&log, 10, 0x11),
+            RecoveryVerdict::LostAcknowledged {
+                recovered: 1,
+                required: 2
+            }
+        );
+        assert!(!check_recovery(&log, 10, 0x11).is_clean());
+    }
+
+    #[test]
+    fn unrecognized_state_is_flagged() {
+        let log = [rec(1, 10, 0x11, true)];
+        assert_eq!(
+            check_recovery(&log, 10, 0x99),
+            RecoveryVerdict::Unrecognized {
+                entries: 10,
+                digest: 0x99
+            }
+        );
+    }
+
+    #[test]
+    fn unacked_older_match_is_clean() {
+        // Attempt 1 matched and nothing newer was ever acked.
+        let log = [rec(1, 10, 0x11, false), rec(2, 20, 0x22, false)];
+        assert_eq!(
+            check_recovery(&log, 10, 0x11),
+            RecoveryVerdict::ConsistentWith {
+                attempt: 1,
+                acked: false
+            }
+        );
+    }
+}

@@ -394,6 +394,99 @@ fn batch_refill_revalidates_after_split() {
     }
 }
 
+/// R6 — readers `locate` through the frozen head while the swing
+/// (`ChunkIndex::replace_first`) is parked mid-splice.
+///
+/// Eight inserts split the list into [k0..k3] and [k4..k7]. The mutator
+/// removes k0..k3; the resulting head merge freezes both chunks, builds
+/// the merged replacement, and is then *parked at the entry of
+/// `replace_first`* — inside `splice`, before the first-pointer swing
+/// and before `set_replacement` makes the merged chunk reachable. In
+/// that window the index's first pointer still names the frozen old
+/// head, so every `locate` lands on a frozen chunk mid-rebalance.
+/// Before the verify-and-swing fix in `replace_first`, a mismatched
+/// swing here could silently detach the live chain out from under such
+/// readers. The reader must see the post-remove state (k0..k3 gone,
+/// k4..k7 live) both inside the frozen-head window and after the swing
+/// completes.
+#[test]
+fn locate_resolves_through_stale_head_during_parked_swing() {
+    let map = OakMap::with_config(config());
+    for i in 0..8 {
+        map.put(&key(i), b"old").unwrap(); // 8th insert -> split
+    }
+
+    let schedule = SyncSchedule::parse(
+        "mut@test/go                # mutator: remove k0..k3 -> head merge
+         mut@rebalance/start
+         mut@rebalance/splice       # merged chunk built; splice imminent
+         rdr@test/begin             # reader probes the frozen-head window
+         rdr@test/probed
+         mut@index/replace-first    # only now may the swing proceed
+         mut@test/done
+         rdr@test/final",
+    )
+    .unwrap();
+    let session = sync_scenario(schedule);
+
+    let probe = |map: &OakMap| -> (Vec<Option<Vec<u8>>>, Vec<Vec<u8>>) {
+        let gets: Vec<Option<Vec<u8>>> = (0..8).map(|i| map.get_copy(&key(i))).collect();
+        let mut keys = Vec::new();
+        map.ascend(None, None, &mut |k: &[u8], _: &[u8]| {
+            keys.push(k.to_vec());
+            true
+        });
+        (gets, keys)
+    };
+
+    std::thread::scope(|s| {
+        let reader = s.spawn(|| {
+            let _role = sync_role("rdr");
+            sync_point!("test/begin");
+            // The swing is gated behind test/probed: every lookup here
+            // lands on the frozen pre-merge chunks via the old first
+            // pointer.
+            let (gets, keys) = probe(&map);
+            sync_point!("test/probed");
+            // And once more after the swing has landed.
+            sync_point!("test/final");
+            let after = probe(&map);
+            ((gets, keys), after)
+        });
+
+        let _role = sync_role("mut");
+        sync_point!("test/go");
+        for i in 0..4 {
+            assert!(map.remove(&key(i))); // 4th remove -> head merge
+        }
+        sync_point!("test/done");
+
+        let ((mid_gets, mid_keys), (after_gets, after_keys)) = reader.join().unwrap();
+        let expect_gets: Vec<Option<Vec<u8>>> =
+            (0..8).map(|i| (i >= 4).then(|| b"old".to_vec())).collect();
+        let expect_keys: Vec<Vec<u8>> = (4..8).map(key).collect();
+        assert_eq!(
+            (mid_gets, mid_keys),
+            (expect_gets.clone(), expect_keys.clone()),
+            "reads through the stale first pointer diverged"
+        );
+        assert_eq!(
+            (after_gets, after_keys),
+            (expect_gets, expect_keys),
+            "reads after the completed swing diverged"
+        );
+    });
+
+    assert!(
+        session.completed(),
+        "schedule abandoned — the head merge never reached replace_first; \
+         remaining steps: {:?}",
+        session.remaining()
+    );
+    assert_eq!(map.len(), 4);
+    map.validate();
+}
+
 /// R3 — ascending freshness across a remove + split + reinsert, on both
 /// ascending APIs (the stream scan and the Set-entries scan now share
 /// one cursor; the same schedule must drive both identically).

@@ -37,6 +37,7 @@ fn cramped_config(reclaim: bool) -> OakMapConfig {
             lockfree: false,
             arena_size: 16 << 10,
             max_arenas: 16,
+            ..Default::default()
         })
         .reclamation(policy)
 }

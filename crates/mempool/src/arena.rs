@@ -6,6 +6,11 @@
 //! layout, zero-initialized, and never resized or handed back until drop.
 
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::fs::OpenOptions;
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+use std::io::Read;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU32, AtomicU64};
 
@@ -14,14 +19,34 @@ use std::sync::atomic::{AtomicU32, AtomicU64};
 /// 8-byte alignment lets value headers embed `AtomicU32`/`AtomicU64` words.
 pub const ARENA_ALIGN: usize = 8;
 
+/// How the arena's byte region is obtained and released.
+enum Region {
+    /// Anonymous heap memory from the system allocator.
+    Heap,
+    /// A `MAP_SHARED` mapping of `file`: pages are backed by the file and
+    /// demand-paged by the kernel. The handle is retained for `sync_all`
+    /// after `msync` on flush.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Mapped { file: std::fs::File },
+    /// Portable fallback for targets without the raw mmap syscalls: a heap
+    /// region loaded from `file` at creation and written back on flush.
+    #[allow(dead_code)]
+    Buffered { file: std::fs::File },
+}
+
 /// A fixed-size raw memory region with interior-mutable byte access.
 ///
 /// `Arena` hands out raw views into its region. It performs **no** access
 /// synchronization itself: callers (the pool / value store) guarantee
 /// exclusion, e.g. through value-header locks or publication protocols.
+///
+/// An arena is either *anonymous* ([`Arena::new`]) or *file-backed*
+/// ([`Arena::file_backed`]); the access API is identical, only creation,
+/// [`flush`](Arena::flush), and teardown differ.
 pub struct Arena {
     ptr: NonNull<u8>,
     len: usize,
+    region: Region,
 }
 
 // SAFETY: the arena is a plain byte region; synchronization of contents is
@@ -36,6 +61,15 @@ impl Arena {
     /// Panics if `len` is zero or not a multiple of [`ARENA_ALIGN`]; aborts
     /// on allocation failure (consistent with `std` collection behaviour).
     pub fn new(len: usize) -> Self {
+        let ptr = Self::heap_region(len);
+        Arena {
+            ptr,
+            len,
+            region: Region::Heap,
+        }
+    }
+
+    fn heap_region(len: usize) -> NonNull<u8> {
         assert!(len > 0, "arena must be non-empty");
         assert!(
             len.is_multiple_of(ARENA_ALIGN),
@@ -44,10 +78,97 @@ impl Arena {
         let layout = Layout::from_size_align(len, ARENA_ALIGN).expect("valid arena layout");
         // SAFETY: layout has non-zero size as asserted above.
         let raw = unsafe { alloc_zeroed(layout) };
-        let Some(ptr) = NonNull::new(raw) else {
-            handle_alloc_error(layout)
-        };
-        Arena { ptr, len }
+        match NonNull::new(raw) {
+            Some(ptr) => ptr,
+            None => handle_alloc_error(layout),
+        }
+    }
+
+    /// Opens (creating if absent) `path`, sizes it to `len` bytes, and maps
+    /// it as this arena's region. Bytes already in the file are visible in
+    /// the region — that is what recovery reads — and a fresh file reads as
+    /// zeros (`set_len` extends with zero bytes), matching [`Arena::new`].
+    ///
+    /// On `x86_64-unknown-linux-gnu` the region is a real `MAP_SHARED`
+    /// mapping (demand-paged; the dataset may exceed RAM). Elsewhere a
+    /// buffered fallback loads the file into heap memory and
+    /// [`flush`](Arena::flush) writes it back.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero or not a multiple of [`ARENA_ALIGN`].
+    pub fn file_backed(path: &Path, len: usize) -> std::io::Result<Self> {
+        assert!(len > 0, "arena must be non-empty");
+        assert!(
+            len.is_multiple_of(ARENA_ALIGN),
+            "arena length must be a multiple of {ARENA_ALIGN}"
+        );
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(len as u64)?;
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            use std::os::fd::AsRawFd;
+            // SAFETY: the fd is open and the file was just sized to `len`.
+            let raw = unsafe { crate::backing::sys::map_shared(file.as_raw_fd(), len)? };
+            let ptr = NonNull::new(raw).expect("mmap never returns null on success");
+            Ok(Arena {
+                ptr,
+                len,
+                region: Region::Mapped { file },
+            })
+        }
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        {
+            let ptr = Self::heap_region(len);
+            // SAFETY: the region was just allocated and is exclusively ours.
+            let buf = unsafe { std::slice::from_raw_parts_mut(ptr.as_ptr(), len) };
+            let mut file = file;
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(buf)?;
+            Ok(Arena {
+                ptr,
+                len,
+                region: Region::Buffered { file },
+            })
+        }
+    }
+
+    /// `true` when this arena's bytes are backed by a file.
+    pub fn is_file_backed(&self) -> bool {
+        !matches!(self.region, Region::Heap)
+    }
+
+    /// Synchronously writes the region's contents through to its backing
+    /// file (`msync` + `fsync` for mapped arenas, a full write-back for the
+    /// buffered fallback). A no-op `Ok(())` for anonymous arenas.
+    ///
+    /// Races with concurrent writers are benign: `msync` flushes whatever
+    /// bytes are in the pages at the instant it runs. Callers wanting a
+    /// *consistent* image quiesce writes first (the durable checkpoint
+    /// does).
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.region {
+            Region::Heap => Ok(()),
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Region::Mapped { file } => {
+                // SAFETY: (ptr, len) is exactly our live mapping.
+                unsafe { crate::backing::sys::sync(self.ptr.as_ptr(), self.len)? };
+                file.sync_all()
+            }
+            Region::Buffered { file } => {
+                // SAFETY: the region is live for self's lifetime; flush
+                // tolerates concurrent writes (see doc comment).
+                let buf = unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) };
+                let mut f = file;
+                f.seek(SeekFrom::Start(0))?;
+                f.write_all(buf)?;
+                file.sync_all()
+            }
+        }
     }
 
     /// Size of the region in bytes.
@@ -132,9 +253,20 @@ impl Arena {
 
 impl Drop for Arena {
     fn drop(&mut self) {
-        let layout = Layout::from_size_align(self.len, ARENA_ALIGN).expect("valid arena layout");
-        // SAFETY: ptr was produced by alloc_zeroed with the identical layout.
-        unsafe { dealloc(self.ptr.as_ptr(), layout) };
+        match &self.region {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Region::Mapped { .. } => {
+                // SAFETY: (ptr, len) is exactly the live mapping created in
+                // `file_backed`; nothing references it after drop.
+                let _ = unsafe { crate::backing::sys::unmap(self.ptr.as_ptr(), self.len) };
+            }
+            _ => {
+                let layout =
+                    Layout::from_size_align(self.len, ARENA_ALIGN).expect("valid arena layout");
+                // SAFETY: ptr was produced by alloc_zeroed with this layout.
+                unsafe { dealloc(self.ptr.as_ptr(), layout) };
+            }
+        }
     }
 }
 
@@ -186,6 +318,34 @@ mod tests {
     fn out_of_bounds_access_panics() {
         let a = Arena::new(64);
         let _ = unsafe { a.slice(60, 8) };
+    }
+
+    #[test]
+    fn file_backed_roundtrip_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("oak-arena-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.oakmem");
+        {
+            let a = Arena::file_backed(&path, 4096).unwrap();
+            assert!(a.is_file_backed());
+            // Fresh file: zeroed, like an anonymous arena.
+            assert!(unsafe { a.slice(0, 4096) }.iter().all(|&b| b == 0));
+            unsafe { a.slice_mut(128, 5) }.copy_from_slice(b"durab");
+            a.flush().unwrap();
+        }
+        // Reopen: the written bytes are visible in a fresh mapping.
+        let b = Arena::file_backed(&path, 4096).unwrap();
+        assert_eq!(unsafe { b.slice(128, 5) }, b"durab");
+        assert_eq!(unsafe { b.slice(127, 1) }, &[0]);
+        drop(b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn anon_flush_is_a_noop() {
+        let a = Arena::new(64);
+        assert!(!a.is_file_backed());
+        a.flush().unwrap();
     }
 
     #[test]

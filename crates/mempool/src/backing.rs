@@ -1,0 +1,179 @@
+//! Pluggable arena backing: anonymous heap memory or file-backed mmap.
+//!
+//! ROADMAP item 5 asks for a paged arena backend so datasets can exceed
+//! RAM (cf. the page-store abstraction in `obliviouslabs/ordb`'s
+//! `pagefile.rs`). [`ArenaBacking`] is that seam: the pool's growth path
+//! asks the backing for each new [`Arena`](crate::Arena), and the
+//! file-backed variant maps a per-arena file `MAP_SHARED` so the kernel
+//! pages arena bytes in and out on demand — and so the bytes survive the
+//! process, which is what the `oak-durable` checkpoint/recovery layer
+//! builds on.
+//!
+//! The crate has no `libc` dependency, so on `x86_64-unknown-linux-gnu`
+//! the mapping syscalls (`mmap`/`munmap`/`msync`) are issued directly via
+//! inline assembly. Other targets fall back to a *buffered* file backing:
+//! a heap region loaded from the file at creation and written back on
+//! [`Arena::flush`](crate::Arena::flush) — the same durability contract,
+//! without demand paging.
+
+use std::path::PathBuf;
+
+use crate::arena::Arena;
+use crate::error::AllocError;
+
+/// Where a pool's arenas live.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ArenaBacking {
+    /// Anonymous heap memory (the default): arenas come from the system
+    /// allocator and vanish with the process.
+    #[default]
+    Anon,
+    /// File-backed arenas: arena `i` maps `dir/arena-NNNN.oakmem` with
+    /// `MAP_SHARED`, so the region is demand-paged (datasets may exceed
+    /// RAM) and [`MemoryPool::sync_backing`](crate::MemoryPool) can make
+    /// its bytes durable. The directory is created on first growth.
+    File {
+        /// Directory holding one backing file per arena.
+        dir: PathBuf,
+    },
+}
+
+impl ArenaBacking {
+    /// File-backed arenas rooted at `dir`.
+    pub fn file(dir: impl Into<PathBuf>) -> Self {
+        ArenaBacking::File { dir: dir.into() }
+    }
+
+    /// `true` when arenas are file-backed.
+    pub fn is_file(&self) -> bool {
+        matches!(self, ArenaBacking::File { .. })
+    }
+
+    /// The backing file path for arena slot `index`, if file-backed.
+    pub fn arena_path(&self, index: usize) -> Option<PathBuf> {
+        match self {
+            ArenaBacking::Anon => None,
+            ArenaBacking::File { dir } => Some(dir.join(format!("arena-{index:04}.oakmem"))),
+        }
+    }
+
+    /// Obtains the arena for slot `index`. Heap allocation failure aborts
+    /// (as for any `std` collection); file-backing failure is reported as
+    /// a typed allocation error so one operation fails instead of the
+    /// process.
+    pub(crate) fn create_arena(&self, index: usize, len: usize) -> Result<Arena, AllocError> {
+        match self {
+            ArenaBacking::Anon => Ok(Arena::new(len)),
+            ArenaBacking::File { dir } => {
+                if std::fs::create_dir_all(dir).is_err() {
+                    return Err(AllocError::Internal("backing directory creation failed"));
+                }
+                let path = self.arena_path(index).expect("file backing has a path");
+                Arena::file_backed(&path, len)
+                    .map_err(|_| AllocError::Internal("file-backed arena mapping failed"))
+            }
+        }
+    }
+}
+
+/// Raw Linux mapping syscalls (x86_64). The crate deliberately has no
+/// `libc` dependency; these three calls are the entire surface it would
+/// need from it.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub(crate) mod sys {
+    use std::arch::asm;
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+    const SYS_MSYNC: usize = 26;
+
+    const PROT_READ: usize = 0x1;
+    const PROT_WRITE: usize = 0x2;
+    const MAP_SHARED: usize = 0x01;
+    const MS_SYNC: usize = 0x4;
+
+    /// One raw syscall. Returns the kernel's raw result: `-errno` on
+    /// failure, encoded in the usual `[-4095, -1]` window.
+    ///
+    /// # Safety
+    /// The caller is responsible for the syscall's own contract.
+    unsafe fn syscall6(n: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+        let ret: isize;
+        asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> std::io::Result<usize> {
+        if (-4095..0).contains(&ret) {
+            Err(std::io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// Maps `len` bytes of `fd` (from offset 0) shared and read-write.
+    ///
+    /// # Safety
+    /// `fd` must be a valid open file descriptor of at least `len` bytes.
+    pub(crate) unsafe fn map_shared(fd: i32, len: usize) -> std::io::Result<*mut u8> {
+        let ret = syscall6(
+            SYS_MMAP,
+            0,
+            len,
+            PROT_READ | PROT_WRITE,
+            MAP_SHARED,
+            fd as usize,
+        );
+        check(ret).map(|addr| addr as *mut u8)
+    }
+
+    /// Unmaps a region previously returned by [`map_shared`].
+    ///
+    /// # Safety
+    /// `(ptr, len)` must be exactly a live mapping from [`map_shared`].
+    pub(crate) unsafe fn unmap(ptr: *mut u8, len: usize) -> std::io::Result<()> {
+        check(syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0)).map(|_| ())
+    }
+
+    /// Synchronously writes a mapped region's dirty pages to its file.
+    ///
+    /// # Safety
+    /// `(ptr, len)` must lie within a live mapping from [`map_shared`].
+    pub(crate) unsafe fn sync(ptr: *mut u8, len: usize) -> std::io::Result<()> {
+        check(syscall6(SYS_MSYNC, ptr as usize, len, MS_SYNC, 0, 0)).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_anon() {
+        assert_eq!(ArenaBacking::default(), ArenaBacking::Anon);
+        assert!(!ArenaBacking::Anon.is_file());
+        assert_eq!(ArenaBacking::Anon.arena_path(3), None);
+    }
+
+    #[test]
+    fn file_backing_names_arenas() {
+        let b = ArenaBacking::file("/tmp/oak-test");
+        assert!(b.is_file());
+        assert_eq!(
+            b.arena_path(7).unwrap(),
+            PathBuf::from("/tmp/oak-test/arena-0007.oakmem")
+        );
+    }
+}

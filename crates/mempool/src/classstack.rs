@@ -41,7 +41,7 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
-use crate::freelist::GRANULARITY;
+use crate::freelist::{GRANULARITY, LARGE_GRANULARITY};
 use crate::magazine::{CachedSlice, MAG_MAX_PADDED};
 use crate::stats::Counters;
 
@@ -56,6 +56,23 @@ pub(crate) const STACK_CAP: usize = 1024;
 
 /// Number of size classes served lock-free: `8, 16, …, 2048` padded bytes.
 pub(crate) const NUM_CLASSES: usize = (MAG_MAX_PADDED / GRANULARITY) as usize;
+
+/// Largest padded size the oversized class-stack tier recycles lock-free.
+/// Frees above this take the per-arena mutex free list — they are rare
+/// (multi-chunk-entry arrays and jumbo values) and coalescing them eagerly
+/// matters more than lock traffic.
+pub const LARGE_MAX_PADDED: u32 = 32 * 1024;
+
+/// Oversized size classes: `2048+256, 2048+512, …, 32768` padded bytes —
+/// one exact-size stack per [`LARGE_GRANULARITY`] step above the small
+/// cutoff (padded sizes over the cutoff are rounded to that granularity,
+/// so every oversized padded size names exactly one class).
+pub(crate) const NUM_LARGE_CLASSES: usize =
+    ((LARGE_MAX_PADDED - MAG_MAX_PADDED) / LARGE_GRANULARITY) as usize;
+
+/// Nodes per oversized class stack: a smaller retention cap because each
+/// parked slice is big (128 × 32 KiB = 4 MiB worst case per class).
+pub(crate) const LARGE_STACK_CAP: usize = 128;
 
 #[inline]
 fn pack(tag: u32, idx: u32) -> u64 {
@@ -219,9 +236,13 @@ impl ClassStack {
     }
 }
 
-/// The pool-facing rack: one lazily-built stack per ≤ 2 KiB size class.
+/// The pool-facing rack: one lazily-built stack per size class — the
+/// fine-grained ≤ 2 KiB tier plus the coarse oversized tier up to
+/// [`LARGE_MAX_PADDED`].
 pub(crate) struct ClassStacks {
     stacks: Box<[OnceLock<ClassStack>]>,
+    /// Oversized tier: exact-size stacks for `(2 KiB, 32 KiB]` classes.
+    large: Box<[OnceLock<ClassStack>]>,
     /// Bytes parked across all class stacks: free capacity off the free
     /// lists, counted on the free side by `stats()`/`audit()`. Updated
     /// once per (batched) push/pop call, not per CAS.
@@ -234,10 +255,27 @@ fn class_index(padded: u32) -> usize {
     (padded / GRANULARITY) as usize - 1
 }
 
+#[inline]
+fn large_index(padded: u32) -> usize {
+    debug_assert!(padded > MAG_MAX_PADDED && padded <= LARGE_MAX_PADDED);
+    debug_assert!(padded.is_multiple_of(LARGE_GRANULARITY));
+    ((padded - MAG_MAX_PADDED) / LARGE_GRANULARITY) as usize - 1
+}
+
+/// `true` when `padded` belongs to a lock-free size class (either tier).
+#[inline]
+pub(crate) fn serves(padded: u32) -> bool {
+    padded <= LARGE_MAX_PADDED
+}
+
 impl ClassStacks {
     pub(crate) fn new() -> Self {
         ClassStacks {
             stacks: (0..NUM_CLASSES)
+                .map(|_| OnceLock::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            large: (0..NUM_LARGE_CLASSES)
                 .map(|_| OnceLock::new())
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
@@ -246,8 +284,22 @@ impl ClassStacks {
     }
 
     #[inline]
+    fn slot(&self, padded: u32) -> &OnceLock<ClassStack> {
+        if padded <= MAG_MAX_PADDED {
+            &self.stacks[class_index(padded)]
+        } else {
+            &self.large[large_index(padded)]
+        }
+    }
+
+    #[inline]
     fn stack(&self, padded: u32) -> &ClassStack {
-        self.stacks[class_index(padded)].get_or_init(|| ClassStack::new(STACK_CAP))
+        let cap = if padded <= MAG_MAX_PADDED {
+            STACK_CAP
+        } else {
+            LARGE_STACK_CAP
+        };
+        self.slot(padded).get_or_init(|| ClassStack::new(cap))
     }
 
     /// Bytes currently parked on the class stacks.
@@ -282,7 +334,7 @@ impl ClassStacks {
         counters: &Counters,
     ) -> usize {
         // Don't materialize a stack just to find it empty.
-        let Some(stack) = self.stacks[class_index(padded)].get() else {
+        let Some(stack) = self.slot(padded).get() else {
             return 0;
         };
         let mut got = 0usize;
@@ -315,9 +367,18 @@ impl ClassStacks {
     /// concurrently with pushes (it pops until empty, not until a count).
     pub(crate) fn drain_all(&self, counters: &Counters) -> Vec<(u32, CachedSlice)> {
         let mut out = Vec::new();
-        for (idx, slot) in self.stacks.iter().enumerate() {
+        let small = self
+            .stacks
+            .iter()
+            .enumerate()
+            .map(|(idx, slot)| ((idx as u32 + 1) * GRANULARITY, slot));
+        let large = self
+            .large
+            .iter()
+            .enumerate()
+            .map(|(idx, slot)| (MAG_MAX_PADDED + (idx as u32 + 1) * LARGE_GRANULARITY, slot));
+        for (padded, slot) in small.chain(large) {
             let Some(stack) = slot.get() else { continue };
-            let padded = (idx as u32 + 1) * GRANULARITY;
             let mut drained = 0u64;
             let mut retries = 0u64;
             loop {
@@ -433,6 +494,26 @@ mod tests {
         all.sort_unstable();
         let expected: Vec<u64> = (1..=threads * iters).collect();
         assert_eq!(all, expected, "lost or duplicated values");
+    }
+
+    #[test]
+    fn oversized_tier_recycles_and_accounts() {
+        let counters = Counters::default();
+        let rack = ClassStacks::new();
+        // 2304 is the first oversized class, 32768 the last.
+        assert!(rack.try_push(2304, (0, 0), &counters));
+        assert!(rack.try_push(LARGE_MAX_PADDED, (1, 4096), &counters));
+        assert_eq!(rack.held_bytes(), 2304 + LARGE_MAX_PADDED as u64);
+        let mut out = Vec::new();
+        assert_eq!(rack.pop_batch(2304, 4, &mut out, &counters), 1);
+        assert_eq!(out, vec![(0, 0)]);
+        assert_eq!(rack.held_bytes(), LARGE_MAX_PADDED as u64);
+        let drained = rack.drain_all(&counters);
+        assert_eq!(drained, vec![(LARGE_MAX_PADDED, (1, 4096))]);
+        assert_eq!(rack.held_bytes(), 0);
+        let snap = counters.snapshot(0, 0, Default::default(), 0, 0);
+        assert_eq!(snap.class_stack_pushes, 2);
+        assert_eq!(snap.class_stack_pops, 2);
     }
 
     #[test]

@@ -14,10 +14,28 @@ use std::collections::BTreeMap;
 /// multiple of this, which keeps embedded atomics aligned.
 pub const GRANULARITY: u32 = 8;
 
-/// Rounds `len` up to the allocation granularity.
+/// Largest padded size still rounded at the fine [`GRANULARITY`]; the
+/// magazine and small class-stack tiers serve exactly these sizes.
+pub(crate) const SMALL_MAX_PADDED: u32 = 2048;
+
+/// Granularity for oversized (padded > [`SMALL_MAX_PADDED`]) allocations.
+/// Coarser rounding keeps the number of oversized size classes small
+/// enough that each gets its own exact-size lock-free stack; the cost is
+/// at most `LARGE_GRANULARITY - 1` bytes of padding per oversized slice
+/// (≤ 11% at the cutoff, shrinking with size).
+pub(crate) const LARGE_GRANULARITY: u32 = 256;
+
+/// Rounds `len` up to its allocation granularity: fine-grained up to
+/// [`SMALL_MAX_PADDED`], coarse above so every oversized padded size names
+/// one of a bounded set of exact-size classes.
 #[inline]
 pub fn round_up(len: u32) -> u32 {
-    (len + GRANULARITY - 1) & !(GRANULARITY - 1)
+    let small = (len + GRANULARITY - 1) & !(GRANULARITY - 1);
+    if small <= SMALL_MAX_PADDED {
+        small
+    } else {
+        (len + LARGE_GRANULARITY - 1) & !(LARGE_GRANULARITY - 1)
+    }
 }
 
 /// A first-fit free list managing `[0, capacity)` of one arena.

@@ -29,6 +29,7 @@
 
 mod arena;
 mod audit;
+mod backing;
 mod classstack;
 mod error;
 mod freelist;
@@ -44,6 +45,8 @@ pub use arena::{Arena, ARENA_ALIGN};
 pub use audit::AllocClass;
 #[cfg(feature = "audit")]
 pub use audit::{AuditReport, AuditViolation, LiveAlloc, ViolationKind};
+pub use backing::ArenaBacking;
+pub use classstack::LARGE_MAX_PADDED;
 pub use error::{AccessError, AllocError, ContendedInfo, LockSite, ValueOpError};
 pub use freelist::FreeList;
 pub use header::{HeaderRef, LockLimit, LockState, DEFAULT_LOCK_WAIT, HEADER_SIZE};

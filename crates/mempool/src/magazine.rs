@@ -40,9 +40,10 @@ use parking_lot::Mutex;
 use crate::freelist::GRANULARITY;
 
 /// Largest padded slice size served from magazines. Covers keys, value
-/// headers, and the benchmark's default 1 KiB values; larger slices go
-/// straight to the free lists where batching would retain too much memory.
-pub(crate) const MAG_MAX_PADDED: u32 = 2048;
+/// headers, and the benchmark's default 1 KiB values; larger slices skip
+/// the magazine batching (which would retain too much memory) and recycle
+/// through the oversized class stacks or the free lists.
+pub(crate) const MAG_MAX_PADDED: u32 = crate::freelist::SMALL_MAX_PADDED;
 
 /// Number of slot magazines per rack. Threads are striped across slots, so
 /// up to this many threads allocate with zero slot sharing.

@@ -16,7 +16,8 @@ use parking_lot::Mutex;
 
 use crate::arena::Arena;
 use crate::audit::AllocClass;
-use crate::classstack::ClassStacks;
+use crate::backing::ArenaBacking;
+use crate::classstack::{self, ClassStacks};
 use crate::error::AllocError;
 use crate::freelist::{round_up, FreeList};
 use crate::magazine::{thread_slot, CachedSlice, MagazineRack, MAG_MAX_PADDED, REFILL_BATCH};
@@ -40,13 +41,19 @@ pub struct PoolConfig {
     /// deterministic first-fit behaviour is preserved for tests; the
     /// benchmarks enable it.
     pub magazines: bool,
-    /// Recycle small (≤ 2 KiB padded) slices through lock-free per-class
-    /// CAS stacks: frees push and magazine refills pop without taking any
-    /// mutex, leaving the free-list locks to oversized allocations and
-    /// cold carves of fresh space. Off by default for the same
+    /// Recycle freed slices through lock-free per-class CAS stacks: frees
+    /// push and refills pop without taking any mutex, leaving the
+    /// free-list locks to cold carves of fresh space. Small classes
+    /// (≤ 2 KiB padded) feed the magazine layer in batches; larger classes
+    /// up to [the oversized cutoff](crate::LARGE_MAX_PADDED) recycle
+    /// through their own exact-size stacks. Off by default for the same
     /// deterministic-first-fit reason as `magazines`; the benchmarks
     /// enable both.
     pub lockfree: bool,
+    /// Where arenas live: anonymous heap memory (the default) or
+    /// file-backed mmap regions that are demand-paged and survive the
+    /// process (see [`ArenaBacking`]).
+    pub backing: ArenaBacking,
 }
 
 impl Default for PoolConfig {
@@ -56,6 +63,7 @@ impl Default for PoolConfig {
             max_arenas: 256,
             magazines: false,
             lockfree: false,
+            backing: ArenaBacking::Anon,
         }
     }
 }
@@ -66,8 +74,7 @@ impl PoolConfig {
         PoolConfig {
             arena_size: 1 << 20, // 1 MB
             max_arenas: 64,
-            magazines: false,
-            lockfree: false,
+            ..PoolConfig::default()
         }
     }
 
@@ -76,8 +83,7 @@ impl PoolConfig {
         PoolConfig {
             arena_size,
             max_arenas: (budget_bytes / arena_size).max(1),
-            magazines: false,
-            lockfree: false,
+            ..PoolConfig::default()
         }
     }
 
@@ -93,6 +99,19 @@ impl PoolConfig {
     pub fn lockfree(mut self, on: bool) -> Self {
         self.lockfree = on;
         self
+    }
+
+    /// Sets the arena backing.
+    #[must_use]
+    pub fn backing(mut self, backing: ArenaBacking) -> Self {
+        self.backing = backing;
+        self
+    }
+
+    /// Convenience: file-backed arenas rooted at `dir`.
+    #[must_use]
+    pub fn file_backed(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.backing(ArenaBacking::file(dir))
     }
 }
 
@@ -172,8 +191,7 @@ impl MemoryPool {
         let mut pool = Self::new(PoolConfig {
             arena_size: shared.arena_size(),
             max_arenas,
-            magazines: false,
-            lockfree: false,
+            ..PoolConfig::default()
         });
         pool.shared = Some(shared);
         pool
@@ -237,6 +255,14 @@ impl MemoryPool {
         }
         oak_failpoints::fail_point!("pool/alloc", Err(AllocError::Injected));
         let padded = round_up(len as u32);
+        if padded as usize > self.config.arena_size {
+            // Coarse oversized rounding can push a near-arena-size request
+            // past the arena; no free list could ever satisfy it.
+            return Err(AllocError::TooLarge {
+                requested: len,
+                max: MAX_SLICE_LEN.min(self.config.arena_size),
+            });
+        }
 
         if padded <= MAG_MAX_PADDED {
             if let Some(rack) = &self.rack {
@@ -271,6 +297,20 @@ impl MemoryPool {
                 }
             }
             return self.allocate_from_arenas(len as u32, padded, batch);
+        }
+        // Oversized classes (≤ 32 KiB padded) recycle through their own
+        // exact-size lock-free stacks; no magazine batching, so a hit
+        // serves exactly this allocation.
+        if classstack::serves(padded) {
+            if let Some(stacks) = &self.stacks {
+                let mut got: Vec<CachedSlice> = Vec::with_capacity(1);
+                if stacks.pop_batch(padded, 1, &mut got, &self.counters) > 0 {
+                    self.counters.lockfree_refills.incr();
+                    let (block, offset) = got[0];
+                    self.note_allocated(padded);
+                    return Ok(SliceRef::new(block as usize, offset, len as u32));
+                }
+            }
         }
         self.allocate_from_arenas(len as u32, padded, 1)
     }
@@ -348,7 +388,15 @@ impl MemoryPool {
                 oak_failpoints::fail_point!("pool/grow", Err(AllocError::Injected));
                 let arena = match &self.shared {
                     Some(reservoir) => reservoir.take(),
-                    None => Some(Arena::new(self.config.arena_size)),
+                    // Slot `n` names the backing file; a claim-race loser
+                    // mapped the same file, which is benign — its mapping
+                    // is simply unmapped again and the file is reused by
+                    // the next growth into that slot.
+                    None => Some(
+                        self.config
+                            .backing
+                            .create_arena(n, self.config.arena_size)?,
+                    ),
                 };
                 if let Some(arena) = arena {
                     match self.nblocks.compare_exchange(
@@ -532,9 +580,17 @@ impl MemoryPool {
                     return;
                 }
             }
+        } else if classstack::serves(padded) {
+            // Oversized (≤ 32 KiB padded) classes skip the magazines but
+            // still recycle lock-free through their exact-size stacks.
+            if let Some(stacks) = &self.stacks {
+                if stacks.try_push(padded, (r.block() as u32, r.offset()), &self.counters) {
+                    return;
+                }
+            }
         }
-        // Oversized class, or every lock-free layer declined: the mutex
-        // free list is the cold fallback.
+        // Beyond the lock-free cutoff, or every lock-free layer declined:
+        // the mutex free list is the cold fallback.
         let block = self.block(r.block());
         block.free.lock().free(r.offset(), padded);
         self.counters
@@ -651,6 +707,25 @@ impl MemoryPool {
     /// Same contract as [`slice`](Self::slice).
     pub unsafe fn copy_out(&self, r: SliceRef) -> Vec<u8> {
         self.slice(r).to_vec()
+    }
+
+    /// `true` when this pool's arenas are file-backed.
+    pub fn is_file_backed(&self) -> bool {
+        self.config.backing.is_file()
+    }
+
+    /// Synchronously writes every initialized arena through to its backing
+    /// file (a no-op `Ok(())` for anonymous pools). Callers wanting a
+    /// consistent on-disk image quiesce writers first — the durable
+    /// checkpoint layer does.
+    pub fn sync_backing(&self) -> std::io::Result<()> {
+        let n = self.nblocks.load(Ordering::Acquire);
+        for i in 0..n {
+            if let Some(block) = self.blocks[i].get() {
+                block.arena.flush()?;
+            }
+        }
+        Ok(())
     }
 
     /// Point-in-time footprint statistics. Walks the per-arena free lists
@@ -853,6 +928,7 @@ mod tests {
             lockfree: false,
             arena_size: 4096,
             max_arenas: 4,
+            ..Default::default()
         })
     }
 
@@ -906,6 +982,7 @@ mod tests {
             lockfree: false,
             arena_size: 1024,
             max_arenas: 1,
+            ..Default::default()
         });
         let r = pool.allocate(1024).unwrap();
         assert!(matches!(pool.allocate(8), Err(AllocError::PoolExhausted)));
@@ -933,6 +1010,7 @@ mod tests {
             lockfree: false,
             arena_size: 1 << 16,
             max_arenas: 8,
+            ..Default::default()
         }));
         let mut handles = Vec::new();
         for t in 0..4u8 {
@@ -966,6 +1044,7 @@ mod tests {
             max_arenas: 4,
             magazines: true,
             lockfree: false,
+            ..Default::default()
         })
     }
 
@@ -1016,6 +1095,7 @@ mod tests {
             max_arenas: 1,
             magazines: true,
             lockfree: false,
+            ..Default::default()
         });
         let r = pool.allocate(512).unwrap();
         pool.free(r);
@@ -1080,6 +1160,7 @@ mod tests {
             max_arenas: 4,
             magazines: true,
             lockfree: true,
+            ..Default::default()
         })
     }
 
@@ -1158,6 +1239,7 @@ mod tests {
             max_arenas: 1,
             magazines: false,
             lockfree: true,
+            ..Default::default()
         });
         let r = pool.allocate(512).unwrap();
         pool.free(r);
@@ -1211,6 +1293,116 @@ mod tests {
     }
 
     #[test]
+    fn oversized_frees_recycle_lock_free() {
+        // > 2 KiB padded classes must circulate through the oversized CAS
+        // stacks: after warmup, free-list lock traffic stays flat while
+        // 8 KiB slices churn.
+        let pool = MemoryPool::new(PoolConfig {
+            arena_size: 1 << 20,
+            max_arenas: 4,
+            magazines: false,
+            lockfree: true,
+            ..Default::default()
+        });
+        let rounds: u64 = if cfg!(miri) { 6 } else { 200 };
+        let mut refs = Vec::new();
+        for _ in 0..rounds {
+            for _ in 0..8 {
+                refs.push(pool.allocate(8192).unwrap());
+            }
+            for r in refs.drain(..) {
+                pool.free(r);
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.alloc_count, rounds * 8);
+        assert_eq!(stats.free_count, rounds * 8);
+        assert!(stats.class_stack_pushes > 0, "stacks never fed: {stats:?}");
+        assert!(stats.lockfree_refills > 0, "refills bypassed: {stats:?}");
+        let ops = stats.alloc_count + stats.free_count;
+        assert!(
+            stats.freelist_lock_acquires * 20 <= ops,
+            "oversized freelist stayed hot: {} locks for {} ops",
+            stats.freelist_lock_acquires,
+            ops
+        );
+        assert_eq!(stats.live_bytes, 0);
+        assert_eq!(
+            stats.class_stack_bytes + stats.free_bytes,
+            stats.reserved_bytes
+        );
+    }
+
+    #[test]
+    fn beyond_lockfree_cutoff_takes_the_mutex() {
+        // > 32 KiB padded slices still coalesce eagerly through the mutex
+        // free list; the stacks must not capture them.
+        let pool = MemoryPool::new(PoolConfig {
+            arena_size: 1 << 20,
+            max_arenas: 2,
+            magazines: false,
+            lockfree: true,
+            ..Default::default()
+        });
+        let r = pool.allocate(64 * 1024).unwrap();
+        pool.free(r);
+        let stats = pool.stats();
+        assert_eq!(stats.class_stack_bytes, 0);
+        assert_eq!(stats.free_bytes, stats.reserved_bytes);
+    }
+
+    #[test]
+    fn oversized_rounding_near_arena_size_is_rejected() {
+        // An arena size that is 8-aligned but not 256-aligned, so coarse
+        // rounding can overshoot it.
+        let pool = MemoryPool::new(PoolConfig {
+            arena_size: 4104,
+            max_arenas: 1,
+            ..Default::default()
+        });
+        // 4100 ≤ arena but rounds to 4352 > arena: a typed error, not an
+        // endless grow-and-probe loop.
+        assert!(matches!(
+            pool.allocate(4100),
+            Err(AllocError::TooLarge { .. })
+        ));
+        // A request whose padding still fits works.
+        assert!(pool.allocate(4096).is_ok());
+    }
+
+    #[test]
+    fn file_backed_pool_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("oak-pool-backing-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = PoolConfig {
+            arena_size: 1 << 16,
+            max_arenas: 4,
+            backing: ArenaBacking::file(&dir),
+            ..Default::default()
+        };
+        let written: Vec<u8> = (0..=255).collect();
+        {
+            let pool = MemoryPool::new(config.clone());
+            assert!(pool.is_file_backed());
+            let r = pool.allocate(256).unwrap();
+            unsafe { pool.write_initial(r, &written) };
+            pool.sync_backing().unwrap();
+            // The backing file for arena 0 exists and holds the bytes.
+            assert_eq!(r.block(), 0);
+            let file = std::fs::read(config.backing.arena_path(0).unwrap()).unwrap();
+            let off = r.offset() as usize;
+            assert_eq!(&file[off..off + 256], &written[..]);
+        }
+        // A new pool over the same directory sees the persisted bytes at
+        // the same offsets (recovery-style reopen).
+        let pool = MemoryPool::new(config);
+        let r = pool.allocate(256).unwrap();
+        assert_eq!(unsafe { pool.slice(r) }, &written[..]);
+        drop(pool);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn growth_claim_race_loses_cleanly() {
         // Hammer a growing pool from several threads: every growth slot
         // must end up initialized exactly once, losers must re-probe, and
@@ -1220,6 +1412,7 @@ mod tests {
             max_arenas: 8,
             magazines: false,
             lockfree: true,
+            ..Default::default()
         }));
         let iters: usize = if cfg!(miri) { 8 } else { 64 };
         let mut handles = Vec::new();

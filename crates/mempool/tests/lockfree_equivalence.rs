@@ -123,6 +123,7 @@ fn config(lockfree: bool) -> PoolConfig {
         max_arenas: 4,
         magazines: lockfree,
         lockfree,
+        ..Default::default()
     }
 }
 

@@ -81,7 +81,7 @@ proptest! {
     #[test]
     fn pool_preserves_live_contents(sizes in prop::collection::vec(1usize..2048, 1..100),
                                     free_mask in prop::collection::vec(any::<bool>(), 1..100)) {
-        let pool = MemoryPool::new(PoolConfig { magazines: false, lockfree: false, arena_size: 1 << 16, max_arenas: 64 });
+        let pool = MemoryPool::new(PoolConfig { magazines: false, lockfree: false, arena_size: 1 << 16, max_arenas: 64, ..Default::default() });
         let mut live: HashMap<u64, u8> = HashMap::new();
         for (i, &sz) in sizes.iter().enumerate() {
             let r = pool.allocate(sz).unwrap();
@@ -170,6 +170,7 @@ fn budget_exhaustion_is_clean() {
         lockfree: false,
         arena_size: 4096,
         max_arenas: 2,
+        ..Default::default()
     });
     let mut got = 0;
     loop {

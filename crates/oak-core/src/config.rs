@@ -162,4 +162,38 @@ impl OakMapConfig {
         self.overload = overload;
         self
     }
+
+    /// Stable 64-bit fingerprint of the *image-affecting* configuration.
+    ///
+    /// A durable checkpoint stores this value in its manifest; `open`
+    /// refuses images whose fingerprint disagrees with the opening map's
+    /// (surfacing [`CorruptionKind::ConfigMismatch`](crate::CorruptionKind)).
+    /// Only fields that change how recovered bytes are interpreted
+    /// participate — tuning knobs (deadlines, overload thresholds,
+    /// magazine/lock-free toggles, arena sizing) deliberately do not, so an
+    /// image checkpointed on one machine opens under different resource
+    /// limits on another.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a fixed field encoding; stable across processes and
+        // platforms (unlike `DefaultHasher`, which is randomly seeded).
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        // Format version for the fingerprint itself: bump if the encoding
+        // below ever changes meaning.
+        eat(&1u32.to_le_bytes());
+        eat(&self.chunk_capacity.to_le_bytes());
+        eat(&[u8::from(self.prefix_cache)]);
+        eat(&[match self.reclamation {
+            ReclamationPolicy::RetainHeaders => 0u8,
+            ReclamationPolicy::ReclaimHeaders => 1u8,
+        }]);
+        h
+    }
 }

@@ -33,6 +33,74 @@ pub enum OakError {
     /// dead entries). The operation had no effect: the map remains fully
     /// consistent and readable/scannable/writable within remaining memory.
     OutOfMemory,
+    /// A durable image (checkpoint segments or manifest) failed validation:
+    /// a checksum mismatch, a truncated or malformed structure, or a
+    /// configuration fingerprint that does not match the opening map. The
+    /// on-disk bytes cannot be trusted; the caller should fall back to an
+    /// older generation or discard the image.
+    Corrupted(CorruptionKind),
+    /// Recovery read a structurally valid image but could not rebuild a
+    /// consistent in-memory map from it (for example, a re-insertion failed
+    /// or the rebuilt map failed its post-open audit). The partially built
+    /// map was discarded.
+    RecoveryFailed(RecoveryFailure),
+}
+
+/// What exactly failed validation in a durable image (payload of
+/// [`OakError::Corrupted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// No manifest could be resolved: the `CURRENT` pointer or the manifest
+    /// file it names is missing or unreadable.
+    MissingManifest,
+    /// The manifest's own checksum or structure is invalid.
+    BadManifest,
+    /// A segment chunk's CRC32C did not match its recorded checksum.
+    ChunkChecksum,
+    /// A segment chunk was truncated or structurally malformed (bad magic,
+    /// impossible lengths, short read).
+    TruncatedChunk,
+    /// The image was written by a map with an incompatible configuration
+    /// (different comparator/layout fingerprint).
+    ConfigMismatch,
+}
+
+impl fmt::Display for CorruptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            CorruptionKind::MissingManifest => "no resolvable manifest",
+            CorruptionKind::BadManifest => "manifest checksum or structure invalid",
+            CorruptionKind::ChunkChecksum => "segment chunk checksum mismatch",
+            CorruptionKind::TruncatedChunk => "segment chunk truncated or malformed",
+            CorruptionKind::ConfigMismatch => "configuration fingerprint mismatch",
+        };
+        f.write_str(what)
+    }
+}
+
+/// Why recovery from a structurally valid image failed (payload of
+/// [`OakError::RecoveryFailed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryFailure {
+    /// Re-inserting a recovered entry into the fresh map failed (allocation
+    /// exhaustion or an internal error during rebuild).
+    Reinsert,
+    /// The rebuilt map failed its post-open verification (entry count or
+    /// audit-ledger balance did not match the manifest's claims).
+    Verification,
+    /// An I/O error interrupted recovery after validation began.
+    Io,
+}
+
+impl fmt::Display for RecoveryFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            RecoveryFailure::Reinsert => "re-insertion of a recovered entry failed",
+            RecoveryFailure::Verification => "post-open verification failed",
+            RecoveryFailure::Io => "I/O error during recovery",
+        };
+        f.write_str(what)
+    }
 }
 
 impl OakError {
@@ -65,6 +133,12 @@ impl fmt::Display for OakError {
             }
             OakError::OutOfMemory => {
                 write!(f, "off-heap pool exhausted after emergency reclamation")
+            }
+            OakError::Corrupted(kind) => {
+                write!(f, "durable image corrupted: {kind}")
+            }
+            OakError::RecoveryFailed(why) => {
+                write!(f, "recovery from durable image failed: {why}")
             }
         }
     }

@@ -66,7 +66,7 @@ pub use budget::{OpBudget, RetryPolicy};
 pub use buffer::{OakRBuffer, OakWBuffer};
 pub use cmp::{KeyComparator, Lexicographic, U64BeComparator};
 pub use config::OakMapConfig;
-pub use error::OakError;
+pub use error::{CorruptionKind, OakError, RecoveryFailure};
 pub use iter::{DescendIter, EntryIter};
 #[cfg(feature = "audit")]
 pub use map::MapAuditReport;

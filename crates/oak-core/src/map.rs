@@ -175,6 +175,13 @@ impl<C: KeyComparator> OakMap<C> {
         self.store.pool()
     }
 
+    /// The configuration this map was created with. Durable checkpoints
+    /// stamp [`OakMapConfig::fingerprint`] into their manifest through
+    /// this accessor.
+    pub fn config(&self) -> &OakMapConfig {
+        &self.config
+    }
+
     pub(crate) fn value_store(&self) -> &ValueStore {
         &self.store
     }

@@ -295,6 +295,7 @@ mod tests {
             lockfree: false,
             arena_size: 64 * 1024,
             max_arenas: 1,
+            ..Default::default()
         }))
     }
 

@@ -26,6 +26,7 @@ fn test_map() -> OakMap {
                 lockfree: false,
                 arena_size: 256 << 10,
                 max_arenas: 4,
+                ..Default::default()
             }),
     )
 }

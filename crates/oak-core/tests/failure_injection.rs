@@ -18,7 +18,8 @@ fn cramped() -> OakMap {
             magazines: false,
             lockfree: false,
             arena_size: 64 << 10, // 64 KB
-            max_arenas: 2,        // 128 KB total
+            max_arenas: 2,        // 128 KB total,
+            ..Default::default()
         },
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,

@@ -45,6 +45,7 @@ fn cramped_config(reclaim: bool) -> OakMapConfig {
             lockfree: false,
             arena_size: 8 << 10,
             max_arenas: 8,
+            ..Default::default()
         })
         .reclamation(policy)
 }

@@ -29,6 +29,7 @@ fn soak_config() -> OakMapConfig {
             lockfree: false,
             arena_size: 32 << 10,
             max_arenas: 8,
+            ..Default::default()
         })
         .reclamation(ReclamationPolicy::ReclaimHeaders)
 }
@@ -152,6 +153,7 @@ fn soak_at_95_percent_budget_with_magazines_leaks_nothing() {
         lockfree: false,
         arena_size: 32 << 10,
         max_arenas: 8,
+        ..Default::default()
     })));
     let ooms = churn(&map);
     eprintln!("magazine soak: {ooms} tolerated OOMs");
@@ -180,6 +182,7 @@ fn soak_at_95_percent_budget_with_lockfree_alloc_leaks_nothing() {
         lockfree: true,
         arena_size: 32 << 10,
         max_arenas: 8,
+        ..Default::default()
     })));
     let ooms = churn(&map);
     eprintln!("lockfree soak: {ooms} tolerated OOMs");
@@ -235,6 +238,7 @@ fn emergency_reclamation_recovers_dead_key_space() {
             lockfree: false,
             arena_size: 64 << 10,
             max_arenas: 2,
+            ..Default::default()
         },
         shared_arenas: None,
         reclamation: ReclamationPolicy::RetainHeaders,
@@ -297,6 +301,7 @@ fn oom_ladder_terminates_with_magazines() {
         lockfree: false,
         arena_size: 64 << 10,
         max_arenas: 2,
+        ..Default::default()
     }));
     let key = |i: u64| format!("key{i:06}").into_bytes();
     let mut inserted = 0u64;
@@ -337,6 +342,7 @@ fn out_of_memory_leaves_map_usable() {
         lockfree: false,
         arena_size: 64 << 10,
         max_arenas: 2,
+        ..Default::default()
     }));
     let key = |i: u64| format!("key{i:06}").into_bytes();
     let mut inserted = Vec::new();

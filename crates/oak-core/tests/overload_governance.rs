@@ -109,6 +109,7 @@ fn overloaded_rejections_precede_oom() {
                 lockfree: false,
                 arena_size: 64 << 10,
                 max_arenas: 2,
+                ..Default::default()
             })
             .overload(OverloadConfig::standard().sample_every(1)),
     );

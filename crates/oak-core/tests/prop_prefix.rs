@@ -83,6 +83,7 @@ fn tiny(prefix_cache: bool) -> OakMapConfig {
             max_arenas: 16,
             magazines: false,
             lockfree: false,
+            ..Default::default()
         },
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,

@@ -24,6 +24,7 @@ fn tiny() -> Arc<OakMap> {
             lockfree: false,
             arena_size: 1 << 20,
             max_arenas: 64,
+            ..Default::default()
         },
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,

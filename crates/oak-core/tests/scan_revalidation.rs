@@ -23,6 +23,7 @@ fn tiny_chunks() -> OakMap {
                 max_arenas: 16,
                 magazines: false,
                 lockfree: false,
+                ..Default::default()
             }),
     )
 }

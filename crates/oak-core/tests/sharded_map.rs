@@ -114,6 +114,7 @@ fn shards_draw_from_a_shared_reservoir() {
             lockfree: false,
             arena_size: 64 << 10,
             max_arenas: 16,
+            ..Default::default()
         })
         .shared_arenas(reservoir.clone());
     let map = ShardedOakMap::with_config(4, config);

@@ -19,6 +19,7 @@ fn stress_map() -> Arc<OakMap> {
             lockfree: false,
             arena_size: 4 << 20,
             max_arenas: 64,
+            ..Default::default()
         },
         shared_arenas: None,
         reclamation: oak_mempool::ReclamationPolicy::RetainHeaders,

@@ -39,11 +39,18 @@
 #![warn(missing_docs)]
 
 pub use oak_core::{
-    legacy, serde_api, DescendIter, EntryIter, KeyComparator, Lexicographic, OakError, OakMap,
-    OakMapConfig, OakRBuffer, OakStats, OakStatsSource, OakWBuffer, OnHeapSkipListMap, OpBudget,
-    OrderedKvMap, OverloadConfig, OverloadState, RetryPolicy, ShardSplitter, ShardedOakMap,
-    U64BeComparator, ZeroCopyRead, ZeroCopyView,
+    legacy, serde_api, CorruptionKind, DescendIter, EntryIter, KeyComparator, Lexicographic,
+    OakError, OakMap, OakMapConfig, OakRBuffer, OakStats, OakStatsSource, OakWBuffer,
+    OnHeapSkipListMap, OpBudget, OrderedKvMap, OverloadConfig, OverloadState, RecoveryFailure,
+    RetryPolicy, ShardSplitter, ShardedOakMap, U64BeComparator, ZeroCopyRead, ZeroCopyView,
 };
+
+/// Crash-durable checkpoint/recovery (`durable` feature): stream a live
+/// map into a CRC-protected on-disk image and rebuild it after a crash.
+#[cfg(feature = "durable")]
+pub mod durable {
+    pub use oak_durable::*;
+}
 
 /// The self-managed off-heap memory substrate (arenas, free lists, value
 /// headers).

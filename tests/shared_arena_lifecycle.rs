@@ -23,6 +23,7 @@ fn cfg(shared: &Arc<ArenaPool>) -> OakMapConfig {
             lockfree: false,
             arena_size: 1 << 20, // overridden by the reservoir's size anyway
             max_arenas: 8,
+            ..Default::default()
         },
         ..OakMapConfig::default()
     }

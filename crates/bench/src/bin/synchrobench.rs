@@ -4,7 +4,7 @@
 //! ```text
 //! synchrobench [--threads 1,2,4] [--size 100000] [--key-size 100]
 //!              [--value-size 1024] [--duration-ms 3000] [--scenario 4a-put]
-//!              [--csv out.csv] [--json out.json] [--quick]
+//!              [--csv out.csv] [--json out.json] [--quick] [--grid]
 //!              [--no-magazines] [--no-lockfree] [--no-prefix-cache]
 //!              [--no-batch-scan]
 //! ```
@@ -15,13 +15,21 @@
 //! `--no-*` flags turn each off for A/B runs. `--json` writes the same
 //! rows as the CSV in a machine-readable report that also records the
 //! exact command.
+//!
+//! `--threads` accepts comma lists plus two range forms: `1-4` expands to
+//! every count in the span (`1,2,3,4`) and `1..32` to the doubling
+//! sequence (`1,2,4,8,16,32`) — the paper's Figure-4 x-axis. `--grid`
+//! additionally sweeps the point-op scenarios over OakMap, three
+//! ShardedOak widths, and the skiplist baselines, one
+//! throughput-vs-threads row per point (defaulting to the 1..32 sweep
+//! when `--threads` is not given).
 
 use std::time::Duration;
 
 use oak_bench::report::Summary;
 use oak_bench::scenarios::{
-    run_alloc_churn, run_memory_pressure, run_recovery, run_scenario_configured, ALLOC_CHURN_LABEL,
-    MEM_PRESSURE_LABEL, RECOVERY_LABEL, SCENARIOS,
+    run_alloc_churn, run_grid, run_memory_pressure, run_recovery, run_scenario_configured,
+    ALLOC_CHURN_LABEL, GRID_THREADS, MEM_PRESSURE_LABEL, RECOVERY_LABEL, SCENARIOS,
 };
 use oak_bench::workload::WorkloadConfig;
 use oak_mempool::PoolConfig;
@@ -32,6 +40,39 @@ fn parse_flag(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Expands a `--threads` spec: comma-separated terms, each either a plain
+/// count (`8`), an inclusive step-by-one range (`1-4` → 1,2,3,4), or a
+/// doubling range (`1..32` → 1,2,4,8,16,32; the upper bound is included
+/// even off the doubling lattice, so `1..24` → 1,2,4,8,16,24).
+fn parse_threads(spec: &str) -> Vec<usize> {
+    let int = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("thread count {s:?}"))
+    };
+    let mut out = Vec::new();
+    for term in spec.split(',').filter(|t| !t.trim().is_empty()) {
+        if let Some((lo, hi)) = term.split_once("..") {
+            let (lo, hi) = (int(lo), int(hi));
+            assert!(lo >= 1 && lo <= hi, "bad thread range {term:?}");
+            let mut t = lo;
+            while t < hi {
+                out.push(t);
+                t *= 2;
+            }
+            out.push(hi);
+        } else if let Some((lo, hi)) = term.split_once('-') {
+            let (lo, hi) = (int(lo), int(hi));
+            assert!(lo >= 1 && lo <= hi, "bad thread range {term:?}");
+            out.extend(lo..=hi);
+        } else {
+            out.push(int(term));
+        }
+    }
+    assert!(!out.is_empty(), "empty --threads spec {spec:?}");
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -40,11 +81,15 @@ fn main() {
     let prefix_cache = !args.iter().any(|a| a == "--no-prefix-cache");
     let batch_scan = !args.iter().any(|a| a == "--no-batch-scan");
 
-    let threads: Vec<usize> = parse_flag(&args, "--threads")
-        .unwrap_or_else(|| if quick { "1".into() } else { "1,2,4".into() })
-        .split(',')
-        .map(|t| t.parse().expect("thread count"))
-        .collect();
+    let grid = args.iter().any(|a| a == "--grid");
+    let threads: Vec<usize> = match parse_flag(&args, "--threads") {
+        Some(spec) => parse_threads(&spec),
+        // Grid mode defaults to the Figure-4 doubling sweep; flat runs
+        // keep their short defaults.
+        None if grid => GRID_THREADS.to_vec(),
+        None if quick => vec![1],
+        None => vec![1, 2, 4],
+    };
     let size: u64 = parse_flag(&args, "--size")
         .map(|s| s.parse().expect("size"))
         .unwrap_or(if quick { 10_000 } else { 100_000 });
@@ -145,6 +190,19 @@ fn main() {
             batch_scan,
         );
     }
+    // The Figure-4 thread-scaling curves ride after the flat table so the
+    // per-scenario gate rows keep their positions.
+    if grid {
+        run_grid(
+            &threads,
+            &workload,
+            pool.clone(),
+            4096,
+            duration,
+            &mut summary,
+            true,
+        );
+    }
 
     println!("{}", summary.to_table());
     if let Some(path) = parse_flag(&args, "--json") {
@@ -161,5 +219,49 @@ fn main() {
         eprintln!("wrote {path}");
     } else {
         println!("{}", summary.to_csv());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_threads;
+
+    #[test]
+    fn plain_comma_lists_still_parse() {
+        assert_eq!(parse_threads("1"), vec![1]);
+        assert_eq!(parse_threads("1,2,4"), vec![1, 2, 4]);
+        assert_eq!(parse_threads(" 2 , 8 "), vec![2, 8]);
+    }
+
+    #[test]
+    fn dash_ranges_step_by_one() {
+        assert_eq!(parse_threads("1-4"), vec![1, 2, 3, 4]);
+        assert_eq!(parse_threads("3-3"), vec![3]);
+        assert_eq!(parse_threads("1-32").len(), 32);
+    }
+
+    #[test]
+    fn dotdot_ranges_double_and_keep_the_bound() {
+        assert_eq!(parse_threads("1..32"), vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(parse_threads("1..24"), vec![1, 2, 4, 8, 16, 24]);
+        assert_eq!(parse_threads("4..4"), vec![4]);
+    }
+
+    #[test]
+    fn terms_mix_freely() {
+        assert_eq!(parse_threads("1,2,4..32"), vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(parse_threads("1-3,8"), vec![1, 2, 3, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad thread range")]
+    fn inverted_ranges_are_rejected() {
+        parse_threads("8-2");
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn garbage_is_rejected() {
+        parse_threads("two");
     }
 }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::adapter::MapAdapter;
-use crate::workload::{KeySampler, Mix, WorkloadConfig};
+use crate::workload::{KeyDistribution, KeySampler, Mix, WorkloadConfig};
 
 /// Result of one experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -38,7 +38,17 @@ impl RunResult {
 /// count and elapsed time.
 pub fn ingest(map: &dyn MapAdapter, config: &WorkloadConfig) -> (u64, Duration) {
     let start = Instant::now();
-    let mut sampler = KeySampler::new(config, u64::MAX);
+    // Populate with uniform ids regardless of the measured distribution
+    // (YCSB convention: skew shapes the access phase, not the load). A
+    // Zipfian sampler revisits its hot head almost exclusively — and its
+    // rank scramble is not injective mod `key_range`, so it cannot even
+    // *reach* `target` distinct keys: sampling it here would never
+    // terminate.
+    let uniform = WorkloadConfig {
+        distribution: KeyDistribution::Uniform,
+        ..config.clone()
+    };
+    let mut sampler = KeySampler::new(&uniform, u64::MAX);
     let target = config.key_range / 2;
     let mut inserted = 0u64;
     while inserted < target {
@@ -205,6 +215,20 @@ mod tests {
     #[test]
     fn ingest_fills_half_the_range() {
         let config = tiny();
+        let map = TraitAdapter::new("OakMap", OakMap::with_config(OakMapConfig::small()));
+        let (inserted, _) = ingest(&map, &config);
+        assert_eq!(inserted, 250);
+        assert_eq!(map.len(), 250);
+    }
+
+    #[test]
+    fn ingest_terminates_under_a_zipfian_workload() {
+        // Regression: ingestion used to sample the *configured*
+        // distribution, and a Zipfian sampler cannot reach key_range/2
+        // distinct ids (its rank scramble is lossy mod key_range) — the
+        // fill spun forever. Ingestion must populate uniformly and still
+        // hit the exact target.
+        let config = tiny().zipfian(0.99);
         let map = TraitAdapter::new("OakMap", OakMap::with_config(OakMapConfig::small()));
         let (inserted, _) = ingest(&map, &config);
         assert_eq!(inserted, 250);

@@ -93,6 +93,17 @@ pub struct RobustnessStats {
     /// Magazine refills served whole batches from a class stack instead
     /// of carving the mutex free list.
     pub lockfree_refills: u64,
+    /// Arenas taken from the shared lock-free reservoir (zero for pools
+    /// with private arena reservations).
+    pub reservoir_takes: u64,
+    /// Arenas returned to the shared reservoir.
+    pub reservoir_returns: u64,
+    /// Failed head CASes across reservoir take/give-back calls — the
+    /// mutex-free reservoir's only contention gauge, expected ≈ 0 when
+    /// shards keep to their own lanes.
+    pub reservoir_cas_retries: u64,
+    /// Reservoir takes that had to drain another pool's lane.
+    pub reservoir_steals: u64,
 }
 
 impl RobustnessStats {
@@ -139,6 +150,10 @@ impl From<oak_mempool::PoolStats> for RobustnessStats {
             class_stack_pops: s.class_stack_pops,
             cas_retries: s.cas_retries,
             lockfree_refills: s.lockfree_refills,
+            reservoir_takes: s.reservoir_takes,
+            reservoir_returns: s.reservoir_returns,
+            reservoir_cas_retries: s.reservoir_cas_retries,
+            reservoir_steals: s.reservoir_steals,
         }
     }
 }
@@ -173,12 +188,13 @@ impl Summary {
              LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct,\
              KeyDerefs,FreelistLocks,MagazineHits,OpRetries,Deadlines,WriteSheds,ScanSheds,\
              ScanBatches,ScanRevals,ScanBufReuses,\
-             ClassStackPushes,ClassStackPops,CasRetries,LockfreeRefills\n",
+             ClassStackPushes,ClassStackPops,CasRetries,LockfreeRefills,\
+             ReservoirTakes,ReservoirReturns,ReservoirCasRetries,ReservoirSteals\n",
         );
         for r in &self.rows {
             let rb = match &r.robustness {
                 Some(rb) => format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     rb.lock_retries,
                     rb.contended_aborts,
                     rb.failed_allocs,
@@ -199,9 +215,13 @@ impl Summary {
                     rb.class_stack_pushes,
                     rb.class_stack_pops,
                     rb.cas_retries,
-                    rb.lockfree_refills
+                    rb.lockfree_refills,
+                    rb.reservoir_takes,
+                    rb.reservoir_returns,
+                    rb.reservoir_cas_retries,
+                    rb.reservoir_steals
                 ),
-                None => ",,,,,,,,,,,,,,,,,,,,".to_string(),
+                None => ",,,,,,,,,,,,,,,,,,,,,,,,".to_string(),
             };
             let _ = writeln!(
                 out,
@@ -259,7 +279,9 @@ impl Summary {
                          \"write_sheds\": {}, \"scan_sheds\": {}, \"scan_chunk_batches\": {}, \
                          \"scan_revalidations\": {}, \"scan_buffer_reuses\": {}, \
                          \"class_stack_pushes\": {}, \"class_stack_pops\": {}, \
-                         \"cas_retries\": {}, \"lockfree_refills\": {}}}",
+                         \"cas_retries\": {}, \"lockfree_refills\": {}, \
+                         \"reservoir_takes\": {}, \"reservoir_returns\": {}, \
+                         \"reservoir_cas_retries\": {}, \"reservoir_steals\": {}}}",
                         rb.lock_retries,
                         rb.contended_aborts,
                         rb.failed_allocs,
@@ -280,7 +302,11 @@ impl Summary {
                         rb.class_stack_pushes,
                         rb.class_stack_pops,
                         rb.cas_retries,
-                        rb.lockfree_refills
+                        rb.lockfree_refills,
+                        rb.reservoir_takes,
+                        rb.reservoir_returns,
+                        rb.reservoir_cas_retries,
+                        rb.reservoir_steals
                     );
                 }
                 None => out.push_str(", \"robustness\": null"),
@@ -448,9 +474,10 @@ mod tests {
             "LockRetries,ContendedAborts,FailedAllocs,PoisonedValues,OOMs,Reclaims,FragPct,\
              KeyDerefs,FreelistLocks,MagazineHits,OpRetries,Deadlines,WriteSheds,ScanSheds,\
              ScanBatches,ScanRevals,ScanBufReuses,\
-             ClassStackPushes,ClassStackPops,CasRetries,LockfreeRefills"
+             ClassStackPushes,ClassStackPops,CasRetries,LockfreeRefills,\
+             ReservoirTakes,ReservoirReturns,ReservoirCasRetries,ReservoirSteals"
         ));
-        assert!(csv.contains(",7,1,2,3,4,5,6,100,200,300,0,0,0,0,0,0,0,0,0,0,0\n"));
+        assert!(csv.contains(",7,1,2,3,4,5,6,100,200,300,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n"));
         let table = s.to_table();
         assert!(table
             .contains("[retries=7 aborts=1 failed-allocs=2 poisoned=3 oom=4 reclaims=5 frag=6%]"));
@@ -480,6 +507,10 @@ mod tests {
                 class_stack_pops: 29,
                 cas_retries: 3,
                 lockfree_refills: 11,
+                reservoir_takes: 4,
+                reservoir_returns: 4,
+                reservoir_cas_retries: 0,
+                reservoir_steals: 1,
                 ..RobustnessStats::default()
             }),
         });
@@ -488,7 +519,7 @@ mod tests {
         assert!(!s.to_table().contains("[retries="));
         assert!(s
             .to_csv()
-            .contains(",12345,678,91011,0,0,0,0,21,2,19,31,29,3,11\n"));
+            .contains(",12345,678,91011,0,0,0,0,21,2,19,31,29,3,11,4,4,0,1\n"));
     }
 
     #[test]
@@ -516,6 +547,10 @@ mod tests {
                 class_stack_pops: 12,
                 cas_retries: 13,
                 lockfree_refills: 14,
+                reservoir_takes: 15,
+                reservoir_returns: 16,
+                reservoir_cas_retries: 17,
+                reservoir_steals: 18,
                 ..RobustnessStats::default()
             }),
         });
@@ -545,6 +580,10 @@ mod tests {
         assert!(json.contains("\"class_stack_pops\": 12"));
         assert!(json.contains("\"cas_retries\": 13"));
         assert!(json.contains("\"lockfree_refills\": 14"));
+        assert!(json.contains("\"reservoir_takes\": 15"));
+        assert!(json.contains("\"reservoir_returns\": 16"));
+        assert!(json.contains("\"reservoir_cas_retries\": 17"));
+        assert!(json.contains("\"reservoir_steals\": 18"));
         assert!(json.contains("\"robustness\": null"));
         // Balanced braces/brackets: crude but effective shape check for a
         // hand-rolled encoder.
@@ -578,7 +617,7 @@ mod tests {
             }),
         });
         let csv = s.to_csv();
-        assert!(csv.contains(",11,12,13,14,0,0,0,0,0,0,0\n"));
+        assert!(csv.contains(",11,12,13,14,0,0,0,0,0,0,0,0,0,0,0\n"));
         let json = s.to_json("chaos --seed 1");
         assert!(json.contains("\"op_retries\": 11"));
         assert!(json.contains("\"deadline_exceeded\": 12"));

@@ -14,7 +14,7 @@ use parking_lot::Mutex;
 use crate::adapter::{MapAdapter, TraitAdapter};
 use crate::driver::{ingest, sustained};
 use crate::report::{RobustnessStats, Row, Summary};
-use crate::workload::{Mix, WorkloadConfig};
+use crate::workload::{KeyDistribution, Mix, WorkloadConfig};
 
 /// A named Figure-4 scenario.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +23,21 @@ pub struct Scenario {
     pub label: &'static str,
     /// Operation mix.
     pub mix: Mix,
+    /// Key-distribution override: `Some` pins this scenario to a specific
+    /// distribution (e.g. the Zipfian hotspot scenario) regardless of the
+    /// run's global `--zipf` flag; `None` inherits the run's workload.
+    pub dist: Option<KeyDistribution>,
+}
+
+impl Scenario {
+    /// The run's workload with this scenario's distribution pin applied.
+    pub fn workload(&self, base: &WorkloadConfig) -> WorkloadConfig {
+        let mut wl = base.clone();
+        if let Some(dist) = self.dist {
+            wl.distribution = dist;
+        }
+        wl
+    }
 }
 
 /// The scenario table from the artifact appendix (§A.7).
@@ -30,22 +45,27 @@ pub const SCENARIOS: &[Scenario] = &[
     Scenario {
         label: "4a-put",
         mix: Mix::PutOnly,
+        dist: None,
     },
     Scenario {
         label: "4b-putIfAbsentComputeIfPresent",
         mix: Mix::ComputeOnly,
+        dist: None,
     },
     Scenario {
         label: "4c-get-zc",
         mix: Mix::GetZeroCopy,
+        dist: None,
     },
     Scenario {
         label: "4c-get-copy",
         mix: Mix::GetCopy,
+        dist: None,
     },
     Scenario {
         label: "4d-95Get5Put",
         mix: Mix::Mixed95,
+        dist: None,
     },
     Scenario {
         label: "4e-entrySet-ascend",
@@ -53,6 +73,7 @@ pub const SCENARIOS: &[Scenario] = &[
             len: 10_000,
             stream: false,
         },
+        dist: None,
     },
     Scenario {
         label: "4e-entryStreamSet-ascend",
@@ -60,6 +81,7 @@ pub const SCENARIOS: &[Scenario] = &[
             len: 10_000,
             stream: true,
         },
+        dist: None,
     },
     Scenario {
         label: "4f-entrySet-descend",
@@ -67,6 +89,7 @@ pub const SCENARIOS: &[Scenario] = &[
             len: 10_000,
             stream: false,
         },
+        dist: None,
     },
     Scenario {
         label: "4f-entryStreamSet-descend",
@@ -74,6 +97,7 @@ pub const SCENARIOS: &[Scenario] = &[
             len: 10_000,
             stream: true,
         },
+        dist: None,
     },
     // Bounded range scans (not in Figure 4; named after the ~live-entry
     // count — ingestion populates half the ids, so span 100 ≈ 50 pairs).
@@ -85,6 +109,7 @@ pub const SCENARIOS: &[Scenario] = &[
             span: 100,
             stream: true,
         },
+        dist: None,
     },
     Scenario {
         label: "4g-scan-1000",
@@ -92,6 +117,7 @@ pub const SCENARIOS: &[Scenario] = &[
             span: 2_000,
             stream: true,
         },
+        dist: None,
     },
     // Scans racing writers (not in Figure 4): ~10% bounded ascending
     // scans over 45% put / 45% remove churn. Inserting the un-ingested
@@ -101,6 +127,17 @@ pub const SCENARIOS: &[Scenario] = &[
     Scenario {
         label: "4h-scan-churn",
         mix: Mix::ScanChurn { len: 1_000 },
+        dist: None,
+    },
+    // Skewed point access (not in Figure 4): the 95/5 mix under a
+    // Zipfian hotspot (θ = 0.99, the YCSB default). Hash-prefix routing
+    // still spreads the hot head across shards, but per-key contention
+    // concentrates — this is where chunk-level locking and the shared
+    // reservoir earn their keep relative to uniform keys.
+    Scenario {
+        label: "4i-zipf-95Get5Put",
+        mix: Mix::Mixed95,
+        dist: Some(KeyDistribution::Zipfian { theta: 0.99 }),
     },
 ];
 
@@ -204,6 +241,9 @@ pub fn run_scenario_configured(
     prefix_cache: bool,
     batch_scan: bool,
 ) {
+    // Scenario-pinned distributions (e.g. the 4i Zipfian hotspot) override
+    // whatever the run's global flags selected.
+    let workload = &scenario.workload(workload);
     for name in competitors_for(scenario.label) {
         for &t in threads {
             let map =
@@ -231,6 +271,80 @@ pub fn run_scenario_configured(
                 note: String::new(),
                 robustness: map.pool_stats().map(RobustnessStats::from),
             });
+        }
+    }
+}
+
+/// Point-op scenarios swept by `--grid`: the three Figure-4 curves the
+/// thread-scaling acceptance gate reads (insert-only, zero-copy read,
+/// and the 95/5 mix).
+pub const GRID_SCENARIOS: &[&str] = &["4a-put", "4c-get-zc", "4d-95Get5Put"];
+
+/// Competitors swept by `--grid`: the single-map baseline, three shard
+/// widths (so the curve shape vs shard count is visible), and the two
+/// skiplist baselines.
+pub const GRID_COMPETITORS: &[&str] = &[
+    "OakMap",
+    "ShardedOak-4",
+    "ShardedOak-8",
+    "ShardedOak-16",
+    "JavaSkipListMap",
+    "OffHeapList",
+];
+
+/// Thread counts `--grid` sweeps when `--threads` is not given: the
+/// paper's Figure-4 x-axis.
+pub const GRID_THREADS: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+/// Figure-4 grid mode: throughput-vs-threads curves for the point-op
+/// scenarios over [`GRID_COMPETITORS`]. Every grid point gets a freshly
+/// built and ingested map, exactly like the flat scenario runs — reusing
+/// one map across the sweep looked cheaper but lets put churn outrun the
+/// quarantine across runs until the pool reports `OutOfMemory` mid-curve.
+/// Rows carry `note == "grid"` so downstream tables and CI gates can
+/// select the curves without disturbing the flat scenario rows.
+pub fn run_grid(
+    threads: &[usize],
+    workload: &WorkloadConfig,
+    pool: PoolConfig,
+    chunk_capacity: u32,
+    duration: Duration,
+    summary: &mut Summary,
+    verbose: bool,
+) {
+    for label in GRID_SCENARIOS {
+        let scenario = SCENARIOS
+            .iter()
+            .find(|s| s.label == *label)
+            .expect("grid scenario registered");
+        let workload = scenario.workload(workload);
+        for name in GRID_COMPETITORS {
+            for &t in threads {
+                let map = build(name, pool.clone(), chunk_capacity);
+                ingest(map.as_ref(), &workload);
+                let r = sustained(&map, &workload, scenario.mix, t, duration);
+                if verbose {
+                    eprintln!(
+                        "grid {} / {} / {} threads: {:.1} Kops/s",
+                        scenario.label,
+                        name,
+                        t,
+                        r.kops_per_sec()
+                    );
+                }
+                summary.push(Row {
+                    scenario: scenario.label.to_string(),
+                    bench: name.to_string(),
+                    heap_bytes: 0,
+                    direct_bytes: (pool.arena_size * pool.max_arenas) as u64,
+                    threads: t,
+                    shards: map.shards(),
+                    final_size: r.final_size,
+                    mops: r.mops_per_sec(),
+                    note: "grid".to_string(),
+                    robustness: map.pool_stats().map(RobustnessStats::from),
+                });
+            }
         }
     }
 }
@@ -317,6 +431,98 @@ pub fn run_alloc_churn(
                 robustness: Some(stats),
             });
         }
+    }
+
+    // Fourth row: instance churn over the shared lock-free reservoir.
+    // Each thread repeatedly builds a small map wired to one [`ArenaPool`],
+    // pushes a burst of puts through it (growing the pool via reservoir
+    // takes), and drops it (parking every arena back) — the arena hand-off
+    // itself is the hot path here, not the byte allocator. The
+    // `ReservoirTakes` / `ReservoirReturns` / `ReservoirCasRetries`
+    // columns carry the traffic: takes == returns proves the ledger
+    // balances, and cas_retries ≈ 0 per take is the evidence that the
+    // Treiber-stack reservoir runs mutex-free under churn.
+    let arena_size = 64 << 10;
+    for &t in threads {
+        // Fresh reservoir per row: its cumulative take/return/CAS ledger
+        // is the row's contention evidence.
+        let reservoir = Arc::new(oak_mempool::ArenaPool::new(arena_size, 256));
+        let merged = Mutex::new(oak_mempool::PoolStats::default());
+        let ops = AtomicU64::new(0);
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for tid in 0..t {
+                let reservoir = &reservoir;
+                let merged = &merged;
+                let ops = &ops;
+                s.spawn(move || {
+                    let mut acc = oak_mempool::PoolStats::default();
+                    let mut n = 0u64;
+                    let mut round = 0u64;
+                    while start.elapsed() < duration {
+                        let map = OakMap::with_config(
+                            OakMapConfig::default()
+                                .chunk_capacity(chunk_capacity)
+                                .pool(PoolConfig {
+                                    arena_size,
+                                    max_arenas: 8,
+                                    ..PoolConfig::default()
+                                })
+                                .shared_arenas(reservoir.clone()),
+                        );
+                        for i in 0..256u64 {
+                            let key = workload.key(tid as u64 * 1_000_003 + round * 257 + i);
+                            match map.put(&key, &workload.value(i)) {
+                                Ok(()) => n += 1,
+                                // A saturated reservoir is a legitimate
+                                // outcome at high thread counts.
+                                Err(OakError::OutOfMemory | OakError::Alloc(_)) => {}
+                                Err(e) => panic!("reservoir churn put: {e}"),
+                            }
+                        }
+                        acc = acc.merged(&map.pool().stats());
+                        round += 1;
+                    }
+                    let mut g = merged.lock();
+                    *g = g.merged(&acc);
+                    ops.fetch_add(n, Ordering::Relaxed);
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let ledger = reservoir.stats();
+        assert_eq!(ledger.outstanding, 0, "reservoir churn leaked arenas");
+        // Pool-side snapshots are taken while each map is still alive, so
+        // the returns (which happen at drop) only show on the reservoir's
+        // own ledger — report that, it is also exact across all instances.
+        let mut stats = RobustnessStats::from(merged.into_inner());
+        stats.reservoir_takes = ledger.taken;
+        stats.reservoir_returns = ledger.returned;
+        stats.reservoir_cas_retries = ledger.cas_retries;
+        stats.reservoir_steals = ledger.lane_steals;
+        let total = ops.load(Ordering::Relaxed);
+        if verbose {
+            eprintln!(
+                "{ALLOC_CHURN_LABEL} / OakMap+reservoir / {t} threads: {total} ops, \
+                 {} takes, {} returns, {} cas retries, {} steals",
+                stats.reservoir_takes,
+                stats.reservoir_returns,
+                stats.reservoir_cas_retries,
+                stats.reservoir_steals
+            );
+        }
+        summary.push(Row {
+            scenario: ALLOC_CHURN_LABEL.to_string(),
+            bench: "OakMap+reservoir".to_string(),
+            heap_bytes: 0,
+            direct_bytes: (arena_size * 256) as u64,
+            threads: t,
+            shards: 1,
+            final_size: 0,
+            mops: total as f64 / elapsed / 1e6,
+            note: String::new(),
+            robustness: Some(stats),
+        });
     }
 }
 
@@ -601,13 +807,31 @@ mod tests {
             &mut summary,
             false,
         );
-        assert_eq!(summary.rows().len(), 3);
+        assert_eq!(summary.rows().len(), 4);
         let off = summary.rows()[0].robustness.expect("stats off");
         let on = summary.rows()[1].robustness.expect("stats on");
         let lf = summary.rows()[2].robustness.expect("stats lockfree");
         assert_eq!(summary.rows()[0].bench, "OakMap");
         assert_eq!(summary.rows()[1].bench, "OakMap+magazines");
         assert_eq!(summary.rows()[2].bench, "OakMap+lockfree");
+        // The fourth row churns map instances over a shared lock-free
+        // reservoir: arenas must actually flow through it, the ledger
+        // must balance exactly, and — the acceptance criterion for the
+        // mutex-free reservoir — CAS retries must stay far below one
+        // per hand-off (the old mutex serialized every single one).
+        assert_eq!(summary.rows()[3].bench, "OakMap+reservoir");
+        let rv = summary.rows()[3].robustness.expect("stats reservoir");
+        assert!(rv.reservoir_takes > 0, "reservoir never tapped: {rv:?}");
+        assert_eq!(
+            rv.reservoir_takes, rv.reservoir_returns,
+            "reservoir ledger out of balance: {rv:?}"
+        );
+        assert!(
+            rv.reservoir_cas_retries <= rv.reservoir_takes / 2,
+            "lock-free reservoir contended: {} retries over {} takes",
+            rv.reservoir_cas_retries,
+            rv.reservoir_takes
+        );
         assert!(on.magazine_hits > 0, "magazines never engaged: {on:?}");
         assert!(lf.magazine_hits > 0, "lockfree magazines idle: {lf:?}");
         // Normalize per operation: the runs execute different op counts.
@@ -747,6 +971,81 @@ mod tests {
             revals > 0,
             "churned scans never revalidated a batch: the 4h wiring is dead"
         );
+    }
+
+    #[test]
+    fn grid_mode_sweeps_every_competitor_and_tags_rows() {
+        let wl = WorkloadConfig {
+            key_range: 200,
+            key_size: 24,
+            value_size: 64,
+            seed: 7,
+            distribution: crate::workload::KeyDistribution::Uniform,
+        };
+        let mut summary = Summary::new();
+        run_grid(
+            &[1, 2],
+            &wl,
+            PoolConfig::small(),
+            64,
+            Duration::from_millis(10),
+            &mut summary,
+            false,
+        );
+        // 3 scenarios x 6 competitors x 2 thread counts.
+        assert_eq!(
+            summary.rows().len(),
+            GRID_SCENARIOS.len() * GRID_COMPETITORS.len() * 2
+        );
+        assert!(summary.rows().iter().all(|r| r.note == "grid"));
+        assert!(summary.rows().iter().all(|r| r.mops > 0.0));
+        for label in GRID_SCENARIOS {
+            for name in GRID_COMPETITORS {
+                for t in [1usize, 2] {
+                    assert!(
+                        summary
+                            .rows()
+                            .iter()
+                            .any(|r| r.scenario == *label && r.bench == *name && r.threads == t),
+                        "missing grid row {label}/{name}/{t}"
+                    );
+                }
+            }
+        }
+        // Shard widths really differ across the ShardedOak competitors.
+        for n in [4usize, 8, 16] {
+            assert!(
+                summary
+                    .rows()
+                    .iter()
+                    .any(|r| r.bench == format!("ShardedOak-{n}") && r.shards == n),
+                "ShardedOak-{n} rows missing or mis-sharded"
+            );
+        }
+    }
+
+    #[test]
+    fn zipfian_scenario_pins_its_distribution() {
+        let sc = SCENARIOS
+            .iter()
+            .find(|s| s.label == "4i-zipf-95Get5Put")
+            .expect("4i scenario registered");
+        let base = WorkloadConfig {
+            key_range: 100,
+            key_size: 16,
+            value_size: 32,
+            seed: 1,
+            distribution: crate::workload::KeyDistribution::Uniform,
+        };
+        let wl = sc.workload(&base);
+        assert_eq!(
+            wl.distribution,
+            KeyDistribution::Zipfian { theta: 0.99 },
+            "4i must override the run's uniform default"
+        );
+        // Scenarios without a pin inherit the base distribution.
+        let plain = SCENARIOS.iter().find(|s| s.label == "4a-put").unwrap();
+        assert_eq!(plain.workload(&base).distribution, KeyDistribution::Uniform);
     }
 
     #[test]

@@ -355,9 +355,7 @@ impl<'a> Header<'a> {
     #[inline]
     fn note_retries(&self, rounds: u32) {
         if rounds > 0 {
-            self.counters
-                .lock_retries
-                .fetch_add(rounds as u64, Ordering::Relaxed);
+            self.counters.lock_retries.add(rounds as u64);
         }
     }
 

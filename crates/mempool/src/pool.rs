@@ -25,6 +25,10 @@ use crate::refs::{SliceRef, MAX_BLOCKS, MAX_SLICE_LEN};
 use crate::shared::ArenaPool;
 use crate::stats::{Counters, FreeListStats, PoolStats};
 
+/// Deals each new pool onto a reservoir lane round-robin, so the shards of
+/// a sharded map (constructed back to back) land on distinct lanes.
+static NEXT_POOL_LANE: AtomicUsize = AtomicUsize::new(0);
+
 /// Configuration for a [`MemoryPool`].
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
@@ -134,6 +138,10 @@ pub struct MemoryPool {
     /// When set, arenas come from (and return to) a shared reservoir
     /// instead of the system allocator (§3.2).
     shared: Option<std::sync::Arc<ArenaPool>>,
+    /// This pool's reservoir lane. Pools (e.g. the shards of a sharded
+    /// map) are dealt onto distinct lanes at construction so their
+    /// steady-state arena traffic never contends on one Treiber head.
+    lane: usize,
     /// Thread-affine allocation magazines (`config.magazines`).
     rack: Option<MagazineRack>,
     /// Lock-free per-class slice stacks (`config.lockfree`).
@@ -171,6 +179,7 @@ impl MemoryPool {
             nblocks: AtomicUsize::new(0),
             counters: Counters::default(),
             shared: None,
+            lane: NEXT_POOL_LANE.fetch_add(1, Ordering::Relaxed) % crate::shared::RESERVOIR_LANES,
             rack,
             stacks,
             #[cfg(feature = "audit")]
@@ -227,14 +236,10 @@ impl MemoryPool {
                 self.ledger.record_alloc(*r, round_up(r.len()), class);
                 #[cfg(not(feature = "audit"))]
                 let _ = (r, class);
-                let live = self
-                    .counters
-                    .allocated_bytes
-                    .load(Ordering::Relaxed)
-                    .saturating_sub(self.counters.freed_bytes.load(Ordering::Relaxed));
-                self.counters
-                    .peak_live_bytes
-                    .fetch_max(live, Ordering::Relaxed);
+                // `peak_live_bytes` is maintained at snapshot time: the
+                // byte counters are thread-striped, so summing them here on
+                // every allocation would reintroduce the shared-line walk
+                // striping removed.
             }
             Err(_) => {
                 self.counters.failed_allocs.fetch_add(1, Ordering::Relaxed);
@@ -288,9 +293,7 @@ impl MemoryPool {
                     if got.len() > 1 {
                         let rack = self.rack.as_ref().expect("batch > 1 implies rack");
                         rack.bank(padded, &got[1..]);
-                        self.counters
-                            .magazine_refills
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.counters.magazine_refills.incr();
                     }
                     self.note_allocated(padded);
                     return Ok(SliceRef::new(block as usize, offset, len as u32));
@@ -353,9 +356,7 @@ impl MemoryPool {
                 let mut grabbed: Vec<u32> = Vec::new();
                 {
                     let mut free = block.free.lock();
-                    self.counters
-                        .freelist_lock_acquires
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.counters.freelist_lock_acquires.incr();
                     while grabbed.len() < batch {
                         match free.allocate(padded) {
                             Some(offset) => grabbed.push(offset),
@@ -369,9 +370,7 @@ impl MemoryPool {
                         let banked: Vec<CachedSlice> =
                             rest.iter().map(|&off| (i as u32, off)).collect();
                         rack.bank(padded, &banked);
-                        self.counters
-                            .magazine_refills
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.counters.magazine_refills.incr();
                     }
                     self.note_allocated(padded);
                     return Ok(SliceRef::new(i, first, len));
@@ -387,7 +386,21 @@ impl MemoryPool {
             if n < self.config.max_arenas {
                 oak_failpoints::fail_point!("pool/grow", Err(AllocError::Injected));
                 let arena = match &self.shared {
-                    Some(reservoir) => reservoir.take(),
+                    Some(reservoir) => {
+                        let out = reservoir.take(self.lane);
+                        self.counters
+                            .reservoir_cas_retries
+                            .fetch_add(out.cas_retries, Ordering::Relaxed);
+                        self.counters
+                            .reservoir_steals
+                            .fetch_add(out.steals, Ordering::Relaxed);
+                        if out.arena.is_some() {
+                            self.counters
+                                .reservoir_takes
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        out.arena
+                    }
                     // Slot `n` names the backing file; a claim-race loser
                     // mapped the same file, which is benign — its mapping
                     // is simply unmapped again and the file is reused by
@@ -416,7 +429,8 @@ impl MemoryPool {
                                 // invariant is ever broken, fail this one
                                 // allocation without leaking the arena.
                                 if let Some(reservoir) = &self.shared {
-                                    reservoir.give_back(block.arena);
+                                    let r = reservoir.give_back(self.lane, block.arena);
+                                    self.note_reservoir_return(r);
                                 }
                                 return Err(AllocError::Internal("arena slot double-initialized"));
                             }
@@ -427,7 +441,10 @@ impl MemoryPool {
                             // publishing a fresh arena. Return ours and
                             // re-probe.
                             match &self.shared {
-                                Some(reservoir) => reservoir.give_back(arena),
+                                Some(reservoir) => {
+                                    let r = reservoir.give_back(self.lane, arena);
+                                    self.note_reservoir_return(r);
+                                }
                                 None => drop(arena),
                             }
                             continue;
@@ -453,10 +470,18 @@ impl MemoryPool {
 
     #[inline]
     fn note_allocated(&self, padded: u32) {
+        self.counters.allocated_bytes.add(padded as u64);
+        self.counters.alloc_count.incr();
+    }
+
+    #[inline]
+    fn note_reservoir_return(&self, cas_retries: u64) {
         self.counters
-            .allocated_bytes
-            .fetch_add(padded as u64, Ordering::Relaxed);
-        self.counters.alloc_count.fetch_add(1, Ordering::Relaxed);
+            .reservoir_returns
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .reservoir_cas_retries
+            .fetch_add(cas_retries, Ordering::Relaxed);
     }
 
     /// Returns magazine-held and class-stack-held slices to their arena
@@ -476,9 +501,7 @@ impl MemoryPool {
             None => Vec::new(),
         };
         if !drained.is_empty() {
-            self.counters
-                .magazine_flushes
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.magazine_flushes.incr();
         }
         if let Some(stacks) = &self.stacks {
             drained.extend(stacks.drain_all(&self.counters));
@@ -496,9 +519,7 @@ impl MemoryPool {
         for (block_idx, slices) in by_block {
             let block = self.block(block_idx as usize);
             let mut free = block.free.lock();
-            self.counters
-                .freelist_lock_acquires
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.freelist_lock_acquires.incr();
             for (offset, padded) in slices {
                 free.free(offset, padded);
             }
@@ -510,9 +531,7 @@ impl MemoryPool {
     /// go onto the lock-free class stack; only stack-overflow residue (or
     /// a pool without the lock-free layer) touches the free-list mutex.
     fn return_surplus(&self, padded: u32, surplus: Vec<CachedSlice>) {
-        self.counters
-            .magazine_flushes
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters.magazine_flushes.incr();
         let overflow: Vec<CachedSlice> = match &self.stacks {
             Some(stacks) => surplus
                 .into_iter()
@@ -531,9 +550,7 @@ impl MemoryPool {
         for (block_idx, offsets) in by_block {
             let block = self.block(block_idx as usize);
             let mut free = block.free.lock();
-            self.counters
-                .freelist_lock_acquires
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.freelist_lock_acquires.incr();
             for offset in offsets {
                 free.free(offset, padded);
             }
@@ -558,10 +575,8 @@ impl MemoryPool {
         if !self.ledger.check_free(r, padded) {
             return;
         }
-        self.counters
-            .freed_bytes
-            .fetch_add(padded as u64, Ordering::Relaxed);
-        self.counters.free_count.fetch_add(1, Ordering::Relaxed);
+        self.counters.freed_bytes.add(padded as u64);
+        self.counters.free_count.incr();
         if padded <= MAG_MAX_PADDED {
             if let Some(rack) = &self.rack {
                 // Park the slice in this thread's magazine instead of
@@ -593,9 +608,7 @@ impl MemoryPool {
         // the mutex free list is the cold fallback.
         let block = self.block(r.block());
         block.free.lock().free(r.offset(), padded);
-        self.counters
-            .freelist_lock_acquires
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters.freelist_lock_acquires.incr();
     }
 
     #[inline]
@@ -808,9 +821,7 @@ impl MemoryPool {
     /// amortized like the staleness check it counts.
     #[inline]
     pub fn note_scan_chunk_batch(&self) {
-        self.counters
-            .scan_chunk_batches
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters.scan_chunk_batches.incr();
     }
 
     /// Records a batch refill that found its chunk changed (revision stamp
@@ -827,9 +838,7 @@ impl MemoryPool {
     /// capacity instead of growing a fresh allocation.
     #[inline]
     pub fn note_scan_buffer_reuse(&self) {
-        self.counters
-            .scan_buffer_reuses
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters.scan_buffer_reuses.incr();
     }
 
     pub(crate) fn counters(&self) -> &Counters {
@@ -902,7 +911,7 @@ impl Drop for MemoryPool {
         let blocks = std::mem::take(&mut self.blocks);
         for slot in Vec::from(blocks) {
             if let Some(block) = slot.into_inner() {
-                reservoir.give_back(block.arena);
+                reservoir.give_back(self.lane, block.arena);
             }
         }
     }

@@ -12,25 +12,244 @@
 //! [`MemoryPool::with_shared`](crate::MemoryPool::with_shared) draws arenas
 //! from here and hands them back from its destructor.
 //!
+//! ## Lock-free, lane-striped reservoir
+//!
+//! The reservoir used to be a mutex-guarded `Vec<Arena>` — one lock that
+//! every shard's growth path serialized on, and one cache line that every
+//! shard's growth path bounced. It is now an array of [`RESERVOIR_LANES`]
+//! Treiber stacks using the same tagged-head protocol as the lock-free
+//! size-class stacks (`classstack.rs`): each lane owns a preallocated node
+//! slab threaded through two tagged intrusive lists (parked arenas + spare
+//! nodes), every head CAS bumps a 32-bit tag (ABA defense), and a node's
+//! `Arena` payload is only touched by the thread that exclusively owns the
+//! node — between winning a pop from one list and pushing onto the other.
+//!
+//! Each [`MemoryPool`](crate::MemoryPool) is pinned to one lane at
+//! construction (shards of a sharded map land on distinct lanes), so
+//! steady-state take/give-back traffic from different shards never writes
+//! the same cache line: a shard's arenas cycle through its own lane. A
+//! take only *steals* from other lanes when its own lane is empty, and a
+//! give-back only overflows to another lane in the (transient) case that
+//! every spare node of its own lane is mid-pop elsewhere. Both events are
+//! counted ([`TakeOutcome::steals`], CAS retries) so the
+//! "reservoir is contention-free" claim is checkable from `PoolStats`.
+//!
 //! Returned arenas are **not** re-zeroed (zeroing 100 MB on every index
 //! disposal would defeat the purpose); all pool allocations are fully
 //! overwritten before publication, so recycled contents are never
 //! observable through the API.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use crate::arena::Arena;
 
+/// Number of independent Treiber lanes in the reservoir. A power of two so
+/// lane selection is a mask; 8 lanes comfortably separate the shard counts
+/// the sharded front-end runs with (4/8/16 — at 16 shards pairs share a
+/// lane but the arenas-per-shard traffic is already halved).
+pub(crate) const RESERVOIR_LANES: usize = 8;
+
+/// Sentinel node index for an empty list.
+const NIL: u32 = u32::MAX;
+
+#[inline]
+fn pack(tag: u32, idx: u32) -> u64 {
+    ((tag as u64) << 32) | idx as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// A preallocated lane node. `next` is atomic because a stalled contender
+/// may read it after the node was recycled (the tagged head CAS discards
+/// such reads); `slot` is only ever accessed by the node's exclusive
+/// owner — the thread that popped it off one list and has not yet pushed
+/// it onto the other.
+struct Node {
+    next: AtomicU32,
+    slot: UnsafeCell<Option<Arena>>,
+}
+
+/// Outcome of one tagged-CAS pop loop.
+struct PopOutcome {
+    idx: Option<u32>,
+    retries: u64,
+}
+
+/// One reservoir lane: a slab of `capacity` nodes threaded through two
+/// tagged Treiber lists. Padded so neighboring lanes' heads never share a
+/// cache line (the whole point of striping).
+#[repr(align(128))]
+struct ReservoirLane {
+    nodes: Box<[Node]>,
+    /// Tagged head of the parked-arena list.
+    live: AtomicU64,
+    /// Tagged head of the spare-node list.
+    free: AtomicU64,
+}
+
+// SAFETY: `slot` is only dereferenced by a node's exclusive owner. A node
+// is owned from winning the pop CAS on one list until the push CAS that
+// publishes it on the other; the pop's Acquire on a head RMW
+// synchronizes-with the previous owner's Release push (RMWs extend the
+// release sequence), so the owner's `slot` write happens-before the next
+// owner's read. `Arena` itself is `Send`.
+unsafe impl Send for ReservoirLane {}
+unsafe impl Sync for ReservoirLane {}
+
+impl ReservoirLane {
+    /// Builds a lane whose first `parked` nodes hold the arenas of `seed`
+    /// (threaded as the live list); the remaining nodes form the spare
+    /// list.
+    fn new(capacity: usize, seed: Vec<Arena>) -> Self {
+        assert!(capacity < NIL as usize && seed.len() <= capacity);
+        let parked = seed.len();
+        let mut seed = seed.into_iter();
+        let nodes: Box<[Node]> = (0..capacity)
+            .map(|i| {
+                let (next, arena) = if i < parked {
+                    // Live chain: 0 → 1 → … → parked-1 → NIL.
+                    let next = if i + 1 < parked { i as u32 + 1 } else { NIL };
+                    (next, seed.next())
+                } else {
+                    // Spare chain: parked → parked+1 → … → NIL.
+                    let next = if i + 1 < capacity { i as u32 + 1 } else { NIL };
+                    (next, None)
+                };
+                Node {
+                    next: AtomicU32::new(next),
+                    slot: UnsafeCell::new(arena),
+                }
+            })
+            .collect();
+        ReservoirLane {
+            nodes,
+            live: AtomicU64::new(pack(0, if parked > 0 { 0 } else { NIL })),
+            free: AtomicU64::new(pack(
+                0,
+                if parked < capacity {
+                    parked as u32
+                } else {
+                    NIL
+                },
+            )),
+        }
+    }
+
+    /// Treiber pop from `list`; the `next` read under a stale head may be
+    /// garbage, the tagged CAS rejects it.
+    fn list_pop(&self, list: &AtomicU64) -> PopOutcome {
+        let mut retries = 0u64;
+        let mut cur = list.load(Ordering::Acquire);
+        loop {
+            let (tag, idx) = unpack(cur);
+            if idx == NIL {
+                return PopOutcome { idx: None, retries };
+            }
+            let next = self.nodes[idx as usize].next.load(Ordering::Relaxed);
+            match list.compare_exchange_weak(
+                cur,
+                pack(tag.wrapping_add(1), next),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return PopOutcome {
+                        idx: Some(idx),
+                        retries,
+                    }
+                }
+                Err(seen) => {
+                    retries += 1;
+                    cur = seen;
+                }
+            }
+        }
+    }
+
+    /// Treiber push of owned node `idx` onto `list`.
+    fn list_push(&self, list: &AtomicU64, idx: u32) -> u64 {
+        let mut retries = 0u64;
+        let mut cur = list.load(Ordering::Relaxed);
+        loop {
+            let (tag, head_idx) = unpack(cur);
+            self.nodes[idx as usize]
+                .next
+                .store(head_idx, Ordering::Relaxed);
+            match list.compare_exchange_weak(
+                cur,
+                pack(tag.wrapping_add(1), idx),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return retries,
+                Err(seen) => {
+                    retries += 1;
+                    cur = seen;
+                }
+            }
+        }
+    }
+
+    /// Pops a parked arena, or `None` when the lane is empty.
+    fn take(&self) -> (Option<Arena>, u64) {
+        let PopOutcome { idx, retries } = self.list_pop(&self.live);
+        let Some(idx) = idx else {
+            return (None, retries);
+        };
+        // SAFETY: winning the pop made this node exclusively ours; the
+        // parker's slot write happens-before via the Acquire head RMW.
+        let arena = unsafe { (*self.nodes[idx as usize].slot.get()).take() };
+        let free_retries = self.list_push(&self.free, idx);
+        (
+            Some(arena.expect("live reservoir node holds an arena")),
+            retries + free_retries,
+        )
+    }
+
+    /// Parks `arena` on this lane. `Err(arena)` means no spare node was
+    /// available (every node is live or mid-pop elsewhere); the caller
+    /// tries another lane.
+    fn park(&self, arena: Arena) -> Result<u64, Arena> {
+        let PopOutcome { idx, retries } = self.list_pop(&self.free);
+        let Some(idx) = idx else {
+            return Err(arena);
+        };
+        // SAFETY: winning the pop made this node exclusively ours.
+        unsafe { *self.nodes[idx as usize].slot.get() = Some(arena) };
+        let push_retries = self.list_push(&self.live, idx);
+        Ok(retries + push_retries)
+    }
+}
+
+/// Result of [`ArenaPool::take`]: the arena (if any) plus the contention
+/// evidence the caller banks into its own `PoolStats` counters.
+pub(crate) struct TakeOutcome {
+    pub(crate) arena: Option<Arena>,
+    /// Failed head CASes across all list operations of this call.
+    pub(crate) cas_retries: u64,
+    /// 1 when the arena came from another pool's lane (the caller's own
+    /// lane was empty), 0 otherwise.
+    pub(crate) steals: u64,
+}
+
 /// A pre-allocated reservoir of equally sized arenas shared by multiple
-/// map instances.
+/// map instances. Entirely lock-free: see the module docs for the lane
+/// protocol.
 pub struct ArenaPool {
     arena_size: usize,
     capacity: usize,
-    free: Mutex<Vec<Arena>>,
+    lanes: Box<[ReservoirLane]>,
+    /// Arenas currently parked (capacity − outstanding). Arena-granularity
+    /// traffic, so a shared counter line is not a scaling concern.
+    available: AtomicUsize,
     taken: AtomicU64,
     returned: AtomicU64,
+    cas_retries: AtomicU64,
+    lane_steals: AtomicU64,
 }
 
 /// Point-in-time statistics for an [`ArenaPool`].
@@ -46,20 +265,41 @@ pub struct ArenaPoolStats {
     pub taken: u64,
     /// Cumulative returns.
     pub returned: u64,
+    /// Failed head CASes across all reservoir operations — the lock-free
+    /// path's contention gauge (there is no lock to count).
+    pub cas_retries: u64,
+    /// Takes that had to drain another pool's lane because their own was
+    /// empty (cross-shard traffic the per-lane caching exists to avoid).
+    pub lane_steals: u64,
 }
 
 impl ArenaPool {
-    /// Pre-allocates `capacity` arenas of `arena_size` bytes each.
+    /// Pre-allocates `capacity` arenas of `arena_size` bytes each,
+    /// distributed round-robin over the lanes.
     pub fn new(arena_size: usize, capacity: usize) -> Self {
         assert!(arena_size >= 64 && arena_size.is_multiple_of(8));
         assert!(capacity >= 1);
-        let free = (0..capacity).map(|_| Arena::new(arena_size)).collect();
+        // Deal arenas round-robin: lane L seeds ceil/floor(capacity/LANES).
+        let mut seeds: Vec<Vec<Arena>> = (0..RESERVOIR_LANES).map(|_| Vec::new()).collect();
+        for i in 0..capacity {
+            seeds[i % RESERVOIR_LANES].push(Arena::new(arena_size));
+        }
+        // Every lane gets a full `capacity` node slab so any skew of
+        // returns (all arenas parked on one shard's lane) still finds
+        // spare nodes; at 16 bytes a node the slack is trivial.
+        let lanes: Box<[ReservoirLane]> = seeds
+            .into_iter()
+            .map(|seed| ReservoirLane::new(capacity, seed))
+            .collect();
         ArenaPool {
             arena_size,
             capacity,
-            free: Mutex::new(free),
+            lanes,
+            available: AtomicUsize::new(capacity),
             taken: AtomicU64::new(0),
             returned: AtomicU64::new(0),
+            cas_retries: AtomicU64::new(0),
+            lane_steals: AtomicU64::new(0),
         }
     }
 
@@ -68,21 +308,64 @@ impl ArenaPool {
         self.arena_size
     }
 
-    /// Takes an arena for a map instance; `None` when the reservoir is
-    /// exhausted (the caller surfaces `PoolExhausted`).
-    pub(crate) fn take(&self) -> Option<Arena> {
-        let a = self.free.lock().pop();
-        if a.is_some() {
-            self.taken.fetch_add(1, Ordering::Relaxed);
+    /// Takes an arena for a map instance, preferring `lane` (the caller's
+    /// pinned lane) and stealing round-robin from the others only when it
+    /// is empty. `arena: None` means the reservoir is exhausted (the
+    /// caller surfaces `PoolExhausted`).
+    pub(crate) fn take(&self, lane: usize) -> TakeOutcome {
+        let mut retries = 0u64;
+        for k in 0..RESERVOIR_LANES {
+            let (arena, r) = self.lanes[(lane + k) % RESERVOIR_LANES].take();
+            retries += r;
+            if let Some(arena) = arena {
+                let steals = u64::from(k > 0);
+                self.taken.fetch_add(1, Ordering::Relaxed);
+                self.available.fetch_sub(1, Ordering::Relaxed);
+                self.cas_retries.fetch_add(retries, Ordering::Relaxed);
+                self.lane_steals.fetch_add(steals, Ordering::Relaxed);
+                return TakeOutcome {
+                    arena: Some(arena),
+                    cas_retries: retries,
+                    steals,
+                };
+            }
         }
-        a
+        self.cas_retries.fetch_add(retries, Ordering::Relaxed);
+        TakeOutcome {
+            arena: None,
+            cas_retries: retries,
+            steals: 0,
+        }
     }
 
-    /// Returns an arena after its instance is disposed.
-    pub(crate) fn give_back(&self, arena: Arena) {
+    /// Returns an arena after its instance is disposed, parking it on
+    /// `lane` (so the next take from the same shard finds it without
+    /// crossing lanes). Returns the CAS retries spent.
+    ///
+    /// A lane can transiently have no spare node (each of its `capacity`
+    /// nodes is live or owned by an in-flight take); conservation
+    /// guarantees a spare surfaces somewhere — this thread holds an arena,
+    /// so at most `capacity − 1` nodes are live across the reservoir —
+    /// hence the yield-retry loop terminates.
+    pub(crate) fn give_back(&self, lane: usize, arena: Arena) -> u64 {
         debug_assert_eq!(arena.len(), self.arena_size);
-        self.returned.fetch_add(1, Ordering::Relaxed);
-        self.free.lock().push(arena);
+        let mut retries = 0u64;
+        let mut arena = arena;
+        loop {
+            for k in 0..RESERVOIR_LANES {
+                match self.lanes[(lane + k) % RESERVOIR_LANES].park(arena) {
+                    Ok(r) => {
+                        retries += r;
+                        self.returned.fetch_add(1, Ordering::Relaxed);
+                        self.available.fetch_add(1, Ordering::Relaxed);
+                        self.cas_retries.fetch_add(retries, Ordering::Relaxed);
+                        return retries;
+                    }
+                    Err(a) => arena = a,
+                }
+            }
+            std::thread::yield_now();
+        }
     }
 
     /// Current statistics.
@@ -90,9 +373,11 @@ impl ArenaPool {
         ArenaPoolStats {
             arena_size: self.arena_size,
             capacity: self.capacity,
-            outstanding: self.capacity - self.free.lock().len(),
+            outstanding: self.capacity - self.available.load(Ordering::Relaxed),
             taken: self.taken.load(Ordering::Relaxed),
             returned: self.returned.load(Ordering::Relaxed),
+            cas_retries: self.cas_retries.load(Ordering::Relaxed),
+            lane_steals: self.lane_steals.load(Ordering::Relaxed),
         }
     }
 }
@@ -108,25 +393,109 @@ impl std::fmt::Debug for ArenaPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn take_and_return_cycle() {
         let pool = ArenaPool::new(4096, 3);
         assert_eq!(pool.stats().outstanding, 0);
-        let a = pool.take().unwrap();
-        let b = pool.take().unwrap();
+        let a = pool.take(0).arena.unwrap();
+        let b = pool.take(0).arena.unwrap();
         assert_eq!(pool.stats().outstanding, 2);
-        pool.give_back(a);
+        pool.give_back(0, a);
         assert_eq!(pool.stats().outstanding, 1);
-        let c = pool.take().unwrap();
-        let d = pool.take().unwrap();
-        assert!(pool.take().is_none(), "reservoir of 3 exhausted");
-        pool.give_back(b);
-        pool.give_back(c);
-        pool.give_back(d);
+        let c = pool.take(0).arena.unwrap();
+        let d = pool.take(0).arena.unwrap();
+        assert!(pool.take(0).arena.is_none(), "reservoir of 3 exhausted");
+        pool.give_back(0, b);
+        pool.give_back(0, c);
+        pool.give_back(0, d);
         let s = pool.stats();
         assert_eq!(s.outstanding, 0);
         assert_eq!(s.taken, 4);
         assert_eq!(s.returned, 4);
+    }
+
+    #[test]
+    fn own_lane_is_preferred_and_steals_are_counted() {
+        // 2 arenas land on lanes 0 and 1 at construction.
+        let pool = ArenaPool::new(4096, 2);
+        // Taking on lane 1 drains lane 1 without stealing.
+        let a = pool.take(1);
+        assert!(a.arena.is_some());
+        assert_eq!(pool.stats().lane_steals, 0);
+        // Taking on lane 1 again must steal (only lane 0 still holds one).
+        let b = pool.take(1);
+        assert!(b.arena.is_some());
+        assert_eq!(b.steals, 1);
+        assert_eq!(pool.stats().lane_steals, 1);
+        // Give both back on lane 5: the next lane-5 take is steal-free.
+        pool.give_back(5, a.arena.unwrap());
+        pool.give_back(5, b.arena.unwrap());
+        let c = pool.take(5);
+        assert_eq!(c.steals, 0);
+        pool.give_back(5, c.arena.unwrap());
+    }
+
+    #[test]
+    fn concurrent_take_give_back_conserves_arenas() {
+        // N threads churn take/give-back on distinct lanes; afterwards
+        // every arena is parked exactly once and the balance sheet is
+        // exact. This is the mutex-free replacement for what the old
+        // Mutex<Vec> gave for free — conservation under contention.
+        let threads = 4usize;
+        let iters = if cfg!(miri) { 50 } else { 5_000 };
+        let pool = Arc::new(ArenaPool::new(256, 8));
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let mut held: Vec<Arena> = Vec::new();
+                for i in 0..iters {
+                    if i % 3 == 2 {
+                        if let Some(a) = held.pop() {
+                            pool.give_back(t, a);
+                        }
+                    } else if let Some(a) = pool.take(t).arena {
+                        held.push(a);
+                    }
+                }
+                for a in held {
+                    pool.give_back(t, a);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.outstanding, 0, "arenas lost or duplicated: {s:?}");
+        assert_eq!(s.taken, s.returned, "take/return ledger unbalanced: {s:?}");
+        // Every parked arena is still takeable.
+        let all: Vec<Arena> = (0..8).map(|_| pool.take(0).arena.unwrap()).collect();
+        assert!(pool.take(0).arena.is_none());
+        for a in all {
+            pool.give_back(0, a);
+        }
+    }
+
+    #[test]
+    fn skewed_returns_all_fit_on_one_lane() {
+        // Every arena returned to a single lane must find a spare node
+        // (each lane's slab is sized at full capacity).
+        let pool = ArenaPool::new(4096, 5);
+        let arenas: Vec<Arena> = (0..5).map(|l| pool.take(l).arena.unwrap()).collect();
+        for a in arenas {
+            pool.give_back(3, a);
+        }
+        let s = pool.stats();
+        assert_eq!(s.outstanding, 0);
+        // And all five drain from that lane without stealing.
+        let before = s.lane_steals;
+        let drained: Vec<Arena> = (0..5).map(|_| pool.take(3).arena.unwrap()).collect();
+        assert_eq!(pool.stats().lane_steals, before);
+        for a in drained {
+            pool.give_back(3, a);
+        }
     }
 }

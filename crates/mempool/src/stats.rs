@@ -54,36 +54,48 @@ impl Striped {
 }
 
 /// Internal atomic counters owned by the pool.
+/// Hot per-operation counters (every alloc/free bumps several) are
+/// [`Striped`] so the accounting itself never becomes the shared cache
+/// line that serializes the threads it measures; rare-event counters
+/// (aborts, failures, sheds) stay single `AtomicU64`s.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
-    pub(crate) allocated_bytes: AtomicU64,
-    pub(crate) freed_bytes: AtomicU64,
-    pub(crate) alloc_count: AtomicU64,
-    pub(crate) free_count: AtomicU64,
-    pub(crate) header_bytes: AtomicU64,
-    pub(crate) lock_retries: AtomicU64,
+    pub(crate) allocated_bytes: Striped,
+    pub(crate) freed_bytes: Striped,
+    pub(crate) alloc_count: Striped,
+    pub(crate) free_count: Striped,
+    pub(crate) header_bytes: Striped,
+    pub(crate) lock_retries: Striped,
     pub(crate) contended_aborts: AtomicU64,
     pub(crate) failed_allocs: AtomicU64,
     pub(crate) poisoned_values: AtomicU64,
+    /// Maintained at snapshot time from the striped allocated/freed sums
+    /// (a per-alloc `fetch_max` would re-sum eight lanes on every call).
+    /// The reported peak is therefore the highest live footprint *seen by
+    /// any snapshot*, which is what footprint reporting reads.
     pub(crate) peak_live_bytes: AtomicU64,
     pub(crate) emergency_reclaims: AtomicU64,
     pub(crate) oom_failures: AtomicU64,
     pub(crate) offheap_key_derefs: Striped,
-    pub(crate) freelist_lock_acquires: AtomicU64,
+    pub(crate) freelist_lock_acquires: Striped,
     pub(crate) magazine_hits: Striped,
-    pub(crate) magazine_refills: AtomicU64,
-    pub(crate) magazine_flushes: AtomicU64,
+    pub(crate) magazine_refills: Striped,
+    pub(crate) magazine_flushes: Striped,
     pub(crate) class_stack_pushes: Striped,
     pub(crate) class_stack_pops: Striped,
     pub(crate) cas_retries: Striped,
     pub(crate) lockfree_refills: Striped,
+    pub(crate) reservoir_takes: AtomicU64,
+    pub(crate) reservoir_returns: AtomicU64,
+    pub(crate) reservoir_cas_retries: AtomicU64,
+    pub(crate) reservoir_steals: AtomicU64,
     pub(crate) op_retries: AtomicU64,
     pub(crate) deadline_exceeded: AtomicU64,
     pub(crate) overload_sheds: AtomicU64,
     pub(crate) scan_sheds: AtomicU64,
-    pub(crate) scan_chunk_batches: AtomicU64,
+    pub(crate) scan_chunk_batches: Striped,
     pub(crate) scan_revalidations: AtomicU64,
-    pub(crate) scan_buffer_reuses: AtomicU64,
+    pub(crate) scan_buffer_reuses: Striped,
 }
 
 /// Free-list aggregates gathered by walking the arenas.
@@ -103,45 +115,55 @@ impl Counters {
         magazine_bytes: u64,
         class_stack_bytes: u64,
     ) -> PoolStats {
-        let allocated = self.allocated_bytes.load(Ordering::Relaxed);
-        let freed = self.freed_bytes.load(Ordering::Relaxed);
+        let allocated = self.allocated_bytes.sum();
+        let freed = self.freed_bytes.sum();
+        let live = allocated.saturating_sub(freed);
+        // Snapshot-time high-water mark (see the field comment).
+        let peak = self
+            .peak_live_bytes
+            .fetch_max(live, Ordering::Relaxed)
+            .max(live);
         PoolStats {
             arenas,
             reserved_bytes: arenas * arena_size,
-            live_bytes: allocated.saturating_sub(freed),
+            live_bytes: live,
             allocated_bytes: allocated,
             freed_bytes: freed,
-            alloc_count: self.alloc_count.load(Ordering::Relaxed),
-            free_count: self.free_count.load(Ordering::Relaxed),
-            header_bytes: self.header_bytes.load(Ordering::Relaxed),
-            lock_retries: self.lock_retries.load(Ordering::Relaxed),
+            alloc_count: self.alloc_count.sum(),
+            free_count: self.free_count.sum(),
+            header_bytes: self.header_bytes.sum(),
+            lock_retries: self.lock_retries.sum(),
             contended_aborts: self.contended_aborts.load(Ordering::Relaxed),
             failed_allocs: self.failed_allocs.load(Ordering::Relaxed),
             poisoned_values: self.poisoned_values.load(Ordering::Relaxed),
             free_bytes: fl.free_bytes,
             free_segments: fl.free_segments,
             largest_free_segment: fl.largest_free_segment,
-            peak_live_bytes: self.peak_live_bytes.load(Ordering::Relaxed),
+            peak_live_bytes: peak,
             emergency_reclaims: self.emergency_reclaims.load(Ordering::Relaxed),
             oom_failures: self.oom_failures.load(Ordering::Relaxed),
             offheap_key_derefs: self.offheap_key_derefs.sum(),
-            freelist_lock_acquires: self.freelist_lock_acquires.load(Ordering::Relaxed),
+            freelist_lock_acquires: self.freelist_lock_acquires.sum(),
             magazine_hits: self.magazine_hits.sum(),
-            magazine_refills: self.magazine_refills.load(Ordering::Relaxed),
-            magazine_flushes: self.magazine_flushes.load(Ordering::Relaxed),
+            magazine_refills: self.magazine_refills.sum(),
+            magazine_flushes: self.magazine_flushes.sum(),
             magazine_bytes,
             class_stack_pushes: self.class_stack_pushes.sum(),
             class_stack_pops: self.class_stack_pops.sum(),
             cas_retries: self.cas_retries.sum(),
             lockfree_refills: self.lockfree_refills.sum(),
+            reservoir_takes: self.reservoir_takes.load(Ordering::Relaxed),
+            reservoir_returns: self.reservoir_returns.load(Ordering::Relaxed),
+            reservoir_cas_retries: self.reservoir_cas_retries.load(Ordering::Relaxed),
+            reservoir_steals: self.reservoir_steals.load(Ordering::Relaxed),
             class_stack_bytes,
             op_retries: self.op_retries.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             overload_sheds: self.overload_sheds.load(Ordering::Relaxed),
             scan_sheds: self.scan_sheds.load(Ordering::Relaxed),
-            scan_chunk_batches: self.scan_chunk_batches.load(Ordering::Relaxed),
+            scan_chunk_batches: self.scan_chunk_batches.sum(),
             scan_revalidations: self.scan_revalidations.load(Ordering::Relaxed),
-            scan_buffer_reuses: self.scan_buffer_reuses.load(Ordering::Relaxed),
+            scan_buffer_reuses: self.scan_buffer_reuses.sum(),
         }
     }
 }
@@ -225,6 +247,20 @@ pub struct PoolStats {
     /// Magazine refills served from a class stack instead of a free-list
     /// lock (each banks up to a refill batch of slices without a mutex).
     pub lockfree_refills: u64,
+    /// Arenas this pool took from the shared lock-free reservoir
+    /// ([`ArenaPool`](crate::ArenaPool)). Zero for private-reservation
+    /// pools.
+    pub reservoir_takes: u64,
+    /// Arenas this pool returned to the shared reservoir (all of them, at
+    /// drop, plus growth-race losers).
+    pub reservoir_returns: u64,
+    /// Failed head CASes retried by this pool's reservoir take/give-back
+    /// calls. The reservoir has no mutex; this is its only contention
+    /// counter, and it stays ≈ 0 when shards keep to their own lanes.
+    pub reservoir_cas_retries: u64,
+    /// Reservoir takes that drained another pool's lane because this
+    /// pool's own lane was empty (cross-shard arena traffic).
+    pub reservoir_steals: u64,
     /// Bytes currently parked on the class stacks at snapshot time: free
     /// capacity not on any free list (counted as free, not leaked).
     pub class_stack_bytes: u64,
@@ -292,6 +328,10 @@ impl PoolStats {
         self.class_stack_pops += other.class_stack_pops;
         self.cas_retries += other.cas_retries;
         self.lockfree_refills += other.lockfree_refills;
+        self.reservoir_takes += other.reservoir_takes;
+        self.reservoir_returns += other.reservoir_returns;
+        self.reservoir_cas_retries += other.reservoir_cas_retries;
+        self.reservoir_steals += other.reservoir_steals;
         self.class_stack_bytes += other.class_stack_bytes;
         self.op_retries += other.op_retries;
         self.deadline_exceeded += other.deadline_exceeded;

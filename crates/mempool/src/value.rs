@@ -231,10 +231,7 @@ impl ValueStore {
                 return Err(e);
             }
         };
-        self.pool
-            .counters()
-            .header_bytes
-            .fetch_add(HEADER_SIZE as u64, Ordering::Relaxed);
+        self.pool.counters().header_bytes.add(HEADER_SIZE as u64);
         // SAFETY: href is a fresh 16-byte 8-aligned slot. It may be
         // recycled arena memory (frees of *payloads* can hand the same
         // region back); reset all three words before publication.

@@ -31,8 +31,8 @@ use crate::overload::OverloadState;
 /// How keys are partitioned across shards.
 #[derive(Debug, Clone)]
 pub enum ShardSplitter {
-    /// Route by an FNV-1a hash of the first `prefix_len` key bytes
-    /// (the whole key when shorter). Spreads load uniformly; shards hold
+    /// Route by a hash of the first `prefix_len` key bytes (the whole
+    /// key when shorter). Spreads load uniformly; shards hold
     /// interleaved slices of the key space, so scans always merge.
     HashPrefix {
         /// Number of leading key bytes hashed for routing.
@@ -47,20 +47,54 @@ pub enum ShardSplitter {
 }
 
 impl ShardSplitter {
-    /// The default routing: hash of the first 8 key bytes.
+    /// The default routing: hash of the whole key.
+    ///
+    /// Earlier revisions hashed only the first 8 bytes; any key family
+    /// sharing a fixed header — zero-padded decimal keys, a common table
+    /// prefix — then collapsed onto a single shard, which silently turned
+    /// the sharded map into one hot shard with 1/N of the arena budget.
+    /// Use an explicit [`ShardSplitter::HashPrefix`] `prefix_len` only to
+    /// deliberately colocate keys that share a routing prefix.
     pub fn hash_prefix() -> Self {
-        ShardSplitter::HashPrefix { prefix_len: 8 }
+        ShardSplitter::HashPrefix {
+            prefix_len: usize::MAX,
+        }
     }
 }
 
-/// 64-bit FNV-1a.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
+/// 64-bit finalizer (murmur-style xor-shift/multiply avalanche): spreads
+/// every input bit over the whole word so the high bits are usable for a
+/// multiply-shift range reduction.
+#[inline]
+fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
     h
+}
+
+/// 64-bit routing hash, folded 8 bytes at a time (rotate-xor-multiply, an
+/// FxHash-style word mixer). Byte-at-a-time FNV-1a costs one multiply per
+/// byte — ~10% of a whole point op on 100-byte keys once the router hashes
+/// the full key — while this does one multiply per word. Word mixing is
+/// weaker per step than FNV, so the caller must finalize with [`fmix64`];
+/// the trailing length fold keeps a short key and its zero-padded
+/// extension from colliding.
+fn route_hash(bytes: &[u8]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(K);
+    }
+    h ^ bytes.len() as u64
 }
 
 /// One shard, padded to its own pair of cache lines. The shards sit in a
@@ -151,8 +185,21 @@ impl<C: KeyComparator> ShardedOakMap<C> {
             None => {
                 // Private pools: split the arena budget so the aggregate
                 // off-heap ceiling matches the unsharded configuration.
+                // When the plain division would leave a shard fewer than
+                // MIN_SHARD_ARENAS arenas, shrink the arena instead of
+                // starving the shard of granularity: a single-arena shard
+                // has no headroom for quarantine lag under put churn and
+                // tips into OutOfMemory long before its byte budget is
+                // actually exhausted.
+                const MIN_SHARD_ARENAS: usize = 4;
+                const MIN_ARENA: usize = 64 << 10;
                 let mut c = config;
+                let shard_budget = (c.pool.arena_size * c.pool.max_arenas) / shards;
                 c.pool.max_arenas = c.pool.max_arenas.div_ceil(shards).max(1);
+                if c.pool.max_arenas < MIN_SHARD_ARENAS && c.pool.arena_size > MIN_ARENA {
+                    c.pool.arena_size = (shard_budget / MIN_SHARD_ARENAS).max(MIN_ARENA) & !7;
+                    c.pool.max_arenas = (shard_budget / c.pool.arena_size).max(1);
+                }
                 c
             }
         };
@@ -182,18 +229,35 @@ impl<C: KeyComparator> ShardedOakMap<C> {
         self.reservoir.as_ref()
     }
 
-    /// The shard responsible for `key`.
-    fn shard_of(&self, key: &[u8]) -> &OakMap<C> {
-        let i = match &self.splitter {
+    /// Index of the shard responsible for `key`. The hash is computed
+    /// exactly once per operation and the index passed through; the range
+    /// reduction is a multiply-shift on the high hash bits instead of a
+    /// 64-bit modulo (a ~20-cycle divide on the point-op fast path).
+    #[inline]
+    fn shard_index(&self, key: &[u8]) -> usize {
+        match &self.splitter {
             ShardSplitter::HashPrefix { prefix_len } => {
                 let p = &key[..key.len().min(*prefix_len)];
-                (fnv1a(p) % self.shards.len() as u64) as usize
+                // Fixed-point map of h/2^32 onto [0, shards): unbiased for
+                // shard counts far below 2^32 and division-free (a 64-bit
+                // modulo is a ~20-cycle divide on the point-op fast path).
+                // The word mixer leaves trailing-input differences poorly
+                // spread, so the hash runs through an avalanche step first
+                // — a multiply-shift reduction is driven entirely by the
+                // high bits.
+                let h = fmix64(route_hash(p));
+                (((h >> 32) * self.shards.len() as u64) >> 32) as usize
             }
             ShardSplitter::KeyRanges(bounds) => {
                 bounds.partition_point(|b| self.cmp.compare(b, key) != std::cmp::Ordering::Greater)
             }
-        };
-        &self.shards[i].0
+        }
+    }
+
+    /// The shard responsible for `key`.
+    #[inline]
+    fn shard_of(&self, key: &[u8]) -> &OakMap<C> {
+        &self.shards[self.shard_index(key)].0
     }
 
     // --- point operations (route to one shard) ----------------------------
@@ -333,23 +397,25 @@ impl<C: KeyComparator> ShardedOakMap<C> {
         mut f: impl FnMut(&[u8], &[u8]) -> bool,
     ) -> usize {
         let mut iters: Vec<_> = self.shards.iter().map(|s| s.0.iter_range(lo, hi)).collect();
-        // Zero-copy merge heads: each head keeps the raw key reference its
-        // shard cursor yielded (valid under that cursor's epoch pin, held
-        // by `iters` for the whole merge) — no per-entry key buffer is
-        // materialized.
-        let mut heads: Vec<Option<(SliceRef, HeaderRef)>> =
-            iters.iter_mut().map(|it| it.next_raw()).collect();
+        // Zero-copy merge heads, allocated once per scan and refilled in
+        // place. Each head caches the *dereferenced* key bytes of the
+        // entry its shard cursor yielded (valid under that cursor's epoch
+        // pin, held by `iters` for the whole merge), so the argmin pass
+        // compares cached slices instead of resolving off-heap references
+        // twice per comparison — no per-entry key buffer is materialized.
+        let mut heads: Vec<Option<(&[u8], HeaderRef)>> = iters
+            .iter_mut()
+            .enumerate()
+            .map(|(i, it)| self.fill_head(i, it.next_raw()))
+            .collect();
         let mut count = 0;
         loop {
             // Argmin over shard heads: keys are unique across shards
             // (routing is deterministic), so no tie-breaking is needed.
-            let Some(best) = self.pick(&heads, std::cmp::Ordering::Less) else {
+            let Some(best) = Self::pick(&self.cmp, &heads, std::cmp::Ordering::Less) else {
                 return count;
             };
-            let (kref, h) = heads[best].take().expect("picked head is live");
-            // SAFETY: key buffers are immutable; `kref` is pinned by the
-            // shard cursor in `iters[best]`, which outlives this use.
-            let kb = unsafe { self.shards[best].0.pool().slice(kref) };
+            let (kb, h) = heads[best].take().expect("picked head is live");
             // An Err means the entry was deleted under the scan: skip it
             // without counting.
             if let Ok(keep) = self.shards[best].0.value_store().read(h, |v| f(kb, v)) {
@@ -358,7 +424,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
                     return count;
                 }
             }
-            heads[best] = iters[best].next_raw();
+            heads[best] = self.fill_head(best, iters[best].next_raw());
         }
     }
 
@@ -378,23 +444,34 @@ impl<C: KeyComparator> ShardedOakMap<C> {
     ) -> Result<u64, OakError> {
         const SCAN_CHECK_INTERVAL: u64 = 64;
         budget.check(self.shards[0].0.pool())?;
-        let shed_after = match self.overload_state() {
-            OverloadState::Healthy => u64::MAX,
-            OverloadState::Degraded | OverloadState::Critical => {
-                let limit = self.shards[0].0.overload.config().degraded_scan_limit;
-                if limit == 0 {
-                    u64::MAX
-                } else {
-                    limit
+        // The shed limit needs the worst overload verdict across shards —
+        // an all-shard sampling walk. With the controller disabled (the
+        // default) the verdict is always `Healthy`; skip the walk entirely
+        // rather than paying N shard probes of fixed setup per scan.
+        let shed_after = if !self.shards[0].0.overload.enabled() {
+            u64::MAX
+        } else {
+            match self.overload_state() {
+                OverloadState::Healthy => u64::MAX,
+                OverloadState::Degraded | OverloadState::Critical => {
+                    let limit = self.shards[0].0.overload.config().degraded_scan_limit;
+                    if limit == 0 {
+                        u64::MAX
+                    } else {
+                        limit
+                    }
                 }
             }
         };
         let mut iters: Vec<_> = self.shards.iter().map(|s| s.0.iter_range(lo, hi)).collect();
-        let mut heads: Vec<Option<(SliceRef, HeaderRef)>> =
-            iters.iter_mut().map(|it| it.next_raw()).collect();
+        let mut heads: Vec<Option<(&[u8], HeaderRef)>> = iters
+            .iter_mut()
+            .enumerate()
+            .map(|(i, it)| self.fill_head(i, it.next_raw()))
+            .collect();
         let mut count: u64 = 0;
         loop {
-            let Some(best) = self.pick(&heads, std::cmp::Ordering::Less) else {
+            let Some(best) = Self::pick(&self.cmp, &heads, std::cmp::Ordering::Less) else {
                 return Ok(count);
             };
             if count >= shed_after {
@@ -405,10 +482,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
                 self.shards[best].0.pool().note_deadline_exceeded();
                 return Err(OakError::DeadlineExceeded);
             }
-            let (kref, h) = heads[best].take().expect("picked head is live");
-            // SAFETY: key buffers are immutable; `kref` is pinned by the
-            // shard cursor in `iters[best]`, which outlives this use.
-            let kb = unsafe { self.shards[best].0.pool().slice(kref) };
+            let (kb, h) = heads[best].take().expect("picked head is live");
             match self.shards[best]
                 .0
                 .value_store()
@@ -429,7 +503,7 @@ impl<C: KeyComparator> ShardedOakMap<C> {
                     return Err(OakError::Contended(info));
                 }
             }
-            heads[best] = iters[best].next_raw();
+            heads[best] = self.fill_head(best, iters[best].next_raw());
         }
     }
 
@@ -447,55 +521,74 @@ impl<C: KeyComparator> ShardedOakMap<C> {
             .iter()
             .map(|s| s.0.iter_descending(from, lo))
             .collect();
-        let mut heads: Vec<Option<(SliceRef, HeaderRef)>> =
-            iters.iter_mut().map(|it| it.next_raw()).collect();
+        let mut heads: Vec<Option<(&[u8], HeaderRef)>> = iters
+            .iter_mut()
+            .enumerate()
+            .map(|(i, it)| self.fill_head(i, it.next_raw()))
+            .collect();
         let mut count = 0;
         loop {
-            let Some(best) = self.pick(&heads, std::cmp::Ordering::Greater) else {
+            let Some(best) = Self::pick(&self.cmp, &heads, std::cmp::Ordering::Greater) else {
                 return count;
             };
-            let (kref, h) = heads[best].take().expect("picked head is live");
-            // SAFETY: key buffers are immutable; `kref` is pinned by the
-            // shard cursor in `iters[best]`, which outlives this use.
-            let kb = unsafe { self.shards[best].0.pool().slice(kref) };
+            let (kb, h) = heads[best].take().expect("picked head is live");
             if let Ok(keep) = self.shards[best].0.value_store().read(h, |v| f(kb, v)) {
                 count += 1;
                 if !keep {
                     return count;
                 }
             }
-            heads[best] = iters[best].next_raw();
+            heads[best] = self.fill_head(best, iters[best].next_raw());
         }
+    }
+
+    /// Resolves a raw merge head to its dereferenced key bytes once, at
+    /// refill time. The returned slice lives as long as `self`.
+    ///
+    /// # Safety invariant (caller-maintained)
+    ///
+    /// The cursor that yielded `raw` must stay alive (holding its epoch
+    /// pin) until the head is consumed or dropped — exactly the discipline
+    /// the merge loops follow by keeping `iters` for the whole scan. Key
+    /// buffers are immutable, so the cached slice never goes stale while
+    /// pinned.
+    #[inline]
+    fn fill_head(
+        &self,
+        shard: usize,
+        raw: Option<(SliceRef, HeaderRef)>,
+    ) -> Option<(&[u8], HeaderRef)> {
+        raw.map(|(kref, h)| {
+            // SAFETY: see above — `kref` is pinned by its live shard
+            // cursor and key bytes are immutable once published.
+            (unsafe { self.shards[shard].0.pool().slice(kref) }, h)
+        })
     }
 
     /// Index of the head whose key wins under `want` (Less = argmin for
     /// ascending, Greater = argmax for descending); `None` when all
-    /// iterators are drained. Heads are raw key references into their
-    /// shard's pool (kept valid by the shard cursors' epoch pins);
-    /// comparing derefs the off-heap bytes in place — no copies.
+    /// iterators are drained. Heads carry their key bytes pre-resolved by
+    /// [`fill_head`](Self::fill_head), so one merge step costs k−1 slice
+    /// comparisons and zero off-heap reference resolutions (the old shape
+    /// re-resolved both candidates on every comparison).
     fn pick(
-        &self,
-        heads: &[Option<(SliceRef, HeaderRef)>],
+        cmp: &C,
+        heads: &[Option<(&[u8], HeaderRef)>],
         want: std::cmp::Ordering,
     ) -> Option<usize> {
-        let mut best: Option<usize> = None;
+        let mut best: Option<(usize, &[u8])> = None;
         for (i, head) in heads.iter().enumerate() {
-            let Some((kref, _)) = head else { continue };
+            let Some((kb, _)) = head else { continue };
             match best {
-                None => best = Some(i),
-                Some(b) => {
-                    let bref = heads[b].as_ref().expect("best head is live").0;
-                    // SAFETY: key buffers are immutable; both refs are
-                    // pinned by their live shard cursors.
-                    let kb = unsafe { self.shards[i].0.pool().slice(*kref) };
-                    let bk = unsafe { self.shards[b].0.pool().slice(bref) };
-                    if self.cmp.compare(kb, bk) == want {
-                        best = Some(i);
+                None => best = Some((i, kb)),
+                Some((_, bk)) => {
+                    if cmp.compare(kb, bk) == want {
+                        best = Some((i, kb));
                     }
                 }
             }
         }
-        best
+        best.map(|(i, _)| i)
     }
 
     // --- aggregate queries ------------------------------------------------

@@ -5,8 +5,6 @@ use std::sync::Arc;
 use oak_core::{OakMapConfig, ShardSplitter, ShardedOakMap};
 use oak_mempool::{ArenaPool, PoolConfig};
 
-// The varying digits sit inside the default 8-byte hash prefix, so the
-// hash splitter sees many distinct prefixes and spreads keys over shards.
 fn key(t: usize, i: u64) -> Vec<u8> {
     format!("{t:02}-{i:06}").into_bytes()
 }
@@ -131,6 +129,96 @@ fn shards_draw_from_a_shared_reservoir() {
     // Dropping the sharded map returns every arena to the reservoir.
     drop(map);
     assert_eq!(reservoir.stats().outstanding, 0);
+}
+
+/// 8-thread scaling smoke over a shared lock-free reservoir: uniform keys
+/// from 8 writers must spread arenas across the 4 shards without any
+/// shard hoarding the reservoir (per-shard arena counts balance within
+/// 2× of each other), no operation may fail, and — under the audit
+/// feature — nothing may leak when the map is dropped.
+#[test]
+fn eight_thread_scaling_smoke_balances_shard_arenas() {
+    const THREADS: usize = 8;
+    const OPS: u64 = 4_000;
+
+    let reservoir = Arc::new(ArenaPool::new(64 << 10, 64));
+    let config = OakMapConfig::small()
+        .pool(PoolConfig {
+            arena_size: 64 << 10,
+            max_arenas: 16,
+            ..Default::default()
+        })
+        .shared_arenas(reservoir.clone());
+    let map = Arc::new(ShardedOakMap::with_config(4, config));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let map = map.clone();
+            std::thread::spawn(move || {
+                for i in 0..OPS {
+                    let k = key(t, i);
+                    map.put(&k, &i.to_le_bytes()).unwrap();
+                    if i % 4 == 3 {
+                        assert!(map.remove(&k));
+                    } else {
+                        assert!(map.get_with(&k, |v| v.len()).is_some());
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    map.validate();
+    assert_eq!(map.len() as u64, THREADS as u64 * OPS * 3 / 4);
+
+    // Per-shard arena caching must not let one shard starve the rest:
+    // under uniform keys the per-shard arena counts stay within 2×.
+    let arenas: Vec<u64> = map.shard_stats().iter().map(|s| s.pool.arenas).collect();
+    let (lo, hi) = (*arenas.iter().min().unwrap(), *arenas.iter().max().unwrap());
+    assert!(lo >= 1, "a shard never grew: {arenas:?}");
+    assert!(
+        hi <= lo * 2,
+        "shard arena caches out of balance (>{}x): {arenas:?}",
+        2
+    );
+    // The balance sheet on the shared reservoir is exact.
+    let stats = reservoir.stats();
+    assert_eq!(
+        stats.outstanding as u64,
+        arenas.iter().sum::<u64>(),
+        "reservoir ledger disagrees with shard arena counts: {stats:?}"
+    );
+
+    #[cfg(feature = "audit")]
+    for (i, report) in map.audit().iter().enumerate() {
+        assert_eq!(report.leaked_bytes, 0, "shard {i} leaked: {report:?}");
+    }
+    drop(map);
+    assert_eq!(reservoir.stats().outstanding, 0);
+}
+
+/// Routing hashes the whole key. A previous default hashed only the
+/// first 8 bytes, so any fixed-width key family with a constant header —
+/// like synchrobench's zero-padded decimal keys — collapsed onto one
+/// shard, leaving it with 1/N of the arena budget and N−1 idle shards.
+#[test]
+fn zero_padded_keys_spread_across_shards() {
+    let map = ShardedOakMap::with_config(8, OakMapConfig::small());
+    for i in 0..4_000u64 {
+        // 100-byte keys whose first 12 bytes are all '0' (the shape that
+        // degenerated under prefix routing).
+        let mut k = format!("{i:020}").into_bytes();
+        k.resize(100, b'0');
+        map.put(&k, b"v").unwrap();
+    }
+    let lens: Vec<usize> = map.shard_stats().iter().map(|s| s.len).collect();
+    let (lo, hi) = (*lens.iter().min().unwrap(), *lens.iter().max().unwrap());
+    assert!(lo > 0, "a shard stayed empty: {lens:?}");
+    assert!(
+        hi <= lo * 2,
+        "routing skew above 2x on fixed-header keys: {lens:?}"
+    );
 }
 
 #[test]
